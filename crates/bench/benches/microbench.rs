@@ -1,0 +1,151 @@
+//! Criterion microbenchmarks for the performance-critical kernels.
+//!
+//! The edge device must run the discriminator and the small model's
+//! post-processing per frame, so their costs matter; the harness-side
+//! costs (mAP evaluation, dataset generation, rendering) bound experiment
+//! turnaround.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use datagen::{Dataset, DatasetProfile, Scene, SplitId};
+use detcore::{
+    count_detected, nms, ApProtocol, BBox, ClassId, CountingConfig, Detection, ImageDetections,
+    MapEvaluator, NmsConfig,
+};
+use imaging::{brenner_gradient, encoded_size_bytes, gaussian_blur, render};
+use modelzoo::{Detector, ModelKind, SimDetector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::LinkModel;
+use smallbig_core::wire::{decode_frame, encode_frame};
+use smallbig_core::{DifficultCaseDiscriminator, SemanticFeatures};
+
+fn random_detections(n: usize, seed: u64) -> ImageDetections {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x0: f64 = rng.gen_range(0.0..0.8);
+            let y0: f64 = rng.gen_range(0.0..0.8);
+            Detection::new(
+                ClassId(rng.gen_range(0..20)),
+                rng.gen_range(0.01..1.0),
+                BBox::new(x0, y0, x0 + rng.gen_range(0.05..0.2), y0 + rng.gen_range(0.05..0.2))
+                    .unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let a = BBox::new(0.1, 0.1, 0.6, 0.6).unwrap();
+    let b = BBox::new(0.3, 0.2, 0.8, 0.7).unwrap();
+    c.bench_function("bbox_iou", |bench| bench.iter(|| black_box(a).iou(black_box(&b))));
+
+    let dets = random_detections(200, 1);
+    let cfg = NmsConfig::default();
+    c.bench_function("nms_200_boxes", |bench| {
+        bench.iter(|| nms(black_box(&dets), black_box(&cfg)))
+    });
+}
+
+fn bench_discriminator(c: &mut Criterion) {
+    let dets = random_detections(40, 2);
+    let disc = DifficultCaseDiscriminator::default();
+    c.bench_function("discriminator_classify", |bench| {
+        bench.iter(|| disc.classify(black_box(&dets)))
+    });
+    c.bench_function("semantic_features_extract", |bench| {
+        bench.iter(|| SemanticFeatures::extract(black_box(&dets), 0.2))
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let profile = DatasetProfile::voc();
+    let scenes: Vec<Scene> = (0..64).map(|i| Scene::sample(&profile, 5, i)).collect();
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+    let mut i = 0usize;
+    c.bench_function("sim_detect_small", |bench| {
+        bench.iter(|| {
+            i = (i + 1) % scenes.len();
+            small.detect(black_box(&scenes[i]))
+        })
+    });
+    c.bench_function("sim_detect_big", |bench| {
+        bench.iter(|| {
+            i = (i + 1) % scenes.len();
+            big.detect(black_box(&scenes[i]))
+        })
+    });
+}
+
+fn bench_map_eval(c: &mut Criterion) {
+    let profile = DatasetProfile::voc();
+    let ds = Dataset::generate("bench", &profile, 100, 3);
+    let det = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+    let results: Vec<ImageDetections> = ds.iter().map(|s| det.detect(s)).collect();
+    c.bench_function("map_eval_100_images", |bench| {
+        bench.iter(|| {
+            let mut ev = MapEvaluator::new(20, ApProtocol::Voc07ElevenPoint);
+            for (scene, dets) in ds.iter().zip(&results) {
+                ev.add_image(black_box(dets), &scene.ground_truths());
+            }
+            ev.evaluate().map
+        })
+    });
+    let cfg = CountingConfig::default();
+    c.bench_function("count_detected_per_image", |bench| {
+        let gts = ds.scenes()[0].ground_truths();
+        bench.iter(|| count_detected(black_box(&results[0]), &gts, &cfg))
+    });
+}
+
+fn bench_imaging(c: &mut Criterion) {
+    let scene = Scene::sample(&DatasetProfile::helmet(), 11, 0);
+    let spec = scene.render_spec(160, 120);
+    c.bench_function("render_160x120", |bench| bench.iter(|| render(black_box(&spec))));
+    let frame = render(&spec);
+    c.bench_function("gaussian_blur_sigma2", |bench| {
+        bench.iter(|| gaussian_blur(black_box(&frame), 2.0))
+    });
+    c.bench_function("brenner_gradient", |bench| {
+        bench.iter(|| brenner_gradient(black_box(&frame)))
+    });
+    c.bench_function("encoded_size_bytes", |bench| {
+        bench.iter(|| encoded_size_bytes(black_box(&frame)))
+    });
+}
+
+fn bench_infra(c: &mut Criterion) {
+    let wlan = LinkModel::wlan();
+    let mut rng = StdRng::seed_from_u64(9);
+    c.bench_function("wlan_transfer_time", |bench| {
+        bench.iter(|| wlan.transfer_time(black_box(60_000), &mut rng))
+    });
+    let dets = random_detections(30, 4);
+    c.bench_function("wire_encode_decode", |bench| {
+        bench.iter(|| {
+            let frame = encode_frame(black_box(&dets));
+            let back: ImageDetections = decode_frame(&frame).unwrap();
+            back
+        })
+    });
+    let profile = DatasetProfile::coco18();
+    c.bench_function("scene_sample", |bench| {
+        let mut id = 0u64;
+        bench.iter(|| {
+            id += 1;
+            Scene::sample(black_box(&profile), 3, id)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_geometry,
+    bench_discriminator,
+    bench_detector,
+    bench_map_eval,
+    bench_imaging,
+    bench_infra
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table-regeneration bench: `cargo bench --bench tables` re-runs **every**
+//! paper table and figure and prints them, so a single `cargo bench
+//! --workspace | tee bench_output.txt` captures the full reproduction.
+//!
+//! Scale defaults to 20% of the published split sizes to keep the run to a
+//! couple of minutes; set `SMALLBIG_BENCH_SCALE=1.0` for full scale.
+
+use eval::{run_experiment, ExpConfig};
+use std::time::Instant;
+
+fn main() {
+    let scale: f64 = std::env::var("SMALLBIG_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s| *s > 0.0 && *s <= 1.0)
+        .unwrap_or(0.2);
+    let cfg = ExpConfig { scale, render_size: (128, 96) };
+    println!("# smallbig table bench — scale {scale:.2} (SMALLBIG_BENCH_SCALE to override)\n");
+
+    let started = Instant::now();
+    for id in eval::ALL_EXPERIMENTS {
+        let t0 = Instant::now();
+        match run_experiment(id, &cfg) {
+            Ok(reports) => {
+                for r in reports {
+                    println!("{r}");
+                }
+                println!("  [{id} regenerated in {:.2?}]\n", t0.elapsed());
+            }
+            Err(e) => {
+                eprintln!("error running {id}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "# all {} experiments regenerated in {:.2?}",
+        eval::ALL_EXPERIMENTS.len(),
+        started.elapsed()
+    );
+}

@@ -1,0 +1,1 @@
+//! The bench crate holds benchmarks only; see `benches/`.

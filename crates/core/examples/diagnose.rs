@@ -1,0 +1,90 @@
+//! Calibration diagnostics: prints every intermediate statistic that the
+//! paper's headline numbers depend on, for one (small, big, split) triple.
+//!
+//! Usage: `cargo run -p smallbig-core --release --example diagnose [scale]`
+
+use datagen::{Split, SplitId};
+use modelzoo::{ModelKind, SimDetector};
+use smallbig_core::{
+    calibrate, difficult_fraction, discriminator_test_stats, evaluate,
+    DifficultCaseDiscriminator, EvalConfig, Policy,
+};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let pairs = [
+        (ModelKind::VggLiteSsd, ModelKind::SsdVgg16),
+        (ModelKind::MobileNetV1Ssd, ModelKind::SsdVgg16),
+        (ModelKind::MobileNetV2Ssd, ModelKind::SsdVgg16),
+        (ModelKind::YoloMobileNetV1, ModelKind::YoloV4),
+    ];
+    let splits = [
+        SplitId::Voc07,
+        SplitId::Voc0712,
+        SplitId::Voc0712pp,
+        SplitId::Coco18,
+        SplitId::Helmet,
+    ];
+    for (small_kind, big_kind) in pairs {
+        println!("=== {} + {} ===", small_kind.label(), big_kind.label());
+        for split_id in splits {
+            // keep the run fast: YOLO only on the two splits the paper uses
+            if big_kind == ModelKind::YoloV4
+                && !matches!(split_id, SplitId::Voc07 | SplitId::Voc0712)
+            {
+                continue;
+            }
+            if small_kind != ModelKind::VggLiteSsd && split_id == SplitId::Helmet {
+                continue;
+            }
+            let split = Split::load_scaled(split_id, scale);
+            let nc = split.test.taxonomy().len();
+            let small = SimDetector::new(small_kind, split_id, nc);
+            let big = SimDetector::new(big_kind, split_id, nc);
+            let (cal, examples) = calibrate(&split.train, &small, &big);
+            let frac = difficult_fraction(&examples);
+            let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+            let test_stats = discriminator_test_stats(&split.test, &small, &big, &disc);
+            let cfg = EvalConfig::default();
+            let ours = evaluate(&split.test, &small, &big, &Policy::DifficultCase(disc.clone()), &cfg);
+            let rand = evaluate(
+                &split.test,
+                &small,
+                &big,
+                &Policy::Random { upload_fraction: ours.upload_ratio, seed: 5 },
+                &cfg,
+            );
+            println!(
+                "  {:<7} thr=(conf {:.2}, n {}, a {:.2}) trainDiff {:.1}% trainAcc {:.1}% (P {:.1} R {:.1}) testAcc {:.1}% (P {:.1} R {:.1})",
+                split_id.label(),
+                cal.thresholds.conf,
+                cal.thresholds.count,
+                cal.thresholds.area,
+                frac * 100.0,
+                cal.train_stats.accuracy * 100.0,
+                cal.train_stats.precision * 100.0,
+                cal.train_stats.recall * 100.0,
+                test_stats.accuracy * 100.0,
+                test_stats.precision * 100.0,
+                test_stats.recall * 100.0,
+            );
+            println!(
+                "          big mAP {:>5.2}  small {:>5.2}  e2e {:>5.2} ({:.2}% of big)  upload {:>5.2}%  | dets: big {} small {} e2e {} ({:.2}%)  gt {}  | rand e2e mAP {:.2}",
+                ours.big_map_pct,
+                ours.small_map_pct,
+                ours.e2e_map_pct,
+                ours.e2e_map_vs_big_pct(),
+                ours.upload_ratio * 100.0,
+                ours.big_detected,
+                ours.small_detected,
+                ours.e2e_detected,
+                ours.e2e_detected_vs_big_pct(),
+                ours.total_gt,
+                rand.e2e_map_pct,
+            );
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Threshold calibration (Sec. V-D): the paper's training procedure.
+//!
+//! 1. The confidence (noise-filter) threshold minimises
+//!    `L = Σ |N_predict − N_truth|` over the training set (Eq. 1).
+//! 2. The count and area thresholds maximise accuracy of the difficulty
+//!    prediction computed from *ground-truth* features against the labels
+//!    from [`crate::label_dataset`].
+
+use crate::{CaseKind, DifficultCaseDiscriminator, LabeledExample, Thresholds};
+use datagen::Dataset;
+use modelzoo::Detector;
+use serde::{Deserialize, Serialize};
+
+/// Binary-classification quality metrics (difficult = positive).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryStats {
+    /// (TP + TN) / all.
+    pub accuracy: f64,
+    /// TP / (TP + FP).
+    pub precision: f64,
+    /// TP / (TP + FN).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (the paper's "hm").
+    pub f1: f64,
+    /// Fraction of examples predicted positive (the upload ratio this
+    /// discriminator would produce).
+    pub predicted_positive_rate: f64,
+}
+
+impl BinaryStats {
+    /// Computes stats from paired (predicted, actual) outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs` is empty.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (CaseKind, CaseKind)>) -> BinaryStats {
+        let (mut tp, mut fp, mut tn, mut fn_) = (0usize, 0usize, 0usize, 0usize);
+        for (pred, actual) in pairs {
+            match (pred.is_difficult(), actual.is_difficult()) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, false) => tn += 1,
+                (false, true) => fn_ += 1,
+            }
+        }
+        let total = tp + fp + tn + fn_;
+        assert!(total > 0, "cannot compute stats over zero examples");
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        BinaryStats {
+            accuracy: (tp + tn) as f64 / total as f64,
+            precision,
+            recall,
+            f1,
+            predicted_positive_rate: (tp + fp) as f64 / total as f64,
+        }
+    }
+}
+
+/// Result of the full calibration procedure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The calibrated thresholds.
+    pub thresholds: Thresholds,
+    /// Counting loss `Σ|N_est − N_true|` at the chosen confidence threshold.
+    pub counting_loss: u64,
+    /// Training-set stats of the (count, area) rule on ground-truth features
+    /// (the paper's Table I "Ground Truth" row).
+    pub train_stats: BinaryStats,
+}
+
+/// Calibrates the noise-filter confidence threshold by scanning
+/// `(0.05..=0.45)` and minimising Eq. 1's loss.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn calibrate_conf_threshold(dataset: &Dataset, small: &dyn Detector) -> (f64, u64) {
+    assert!(!dataset.is_empty(), "cannot calibrate on an empty dataset");
+    // Collect per-image (sorted scores, true count) once.
+    let per_image: Vec<(Vec<f64>, usize)> = dataset
+        .iter()
+        .map(|scene| {
+            let dets = small.detect(scene);
+            let mut scores: Vec<f64> = dets.iter().map(|d| d.score()).collect();
+            scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+            (scores, scene.num_objects())
+        })
+        .collect();
+    let mut best = (0.20, u64::MAX);
+    let mut t = 0.05;
+    while t <= 0.451 {
+        let mut loss = 0u64;
+        for (scores, n_true) in &per_image {
+            // count of scores >= t via binary search on the sorted vec
+            let idx = scores.partition_point(|&s| s < t);
+            let n_est = scores.len() - idx;
+            loss += n_est.abs_diff(*n_true) as u64;
+        }
+        if loss < best.1 {
+            best = (t, loss);
+        }
+        t += 0.01;
+    }
+    best
+}
+
+/// Grid-searches the count and area thresholds on ground-truth features,
+/// maximising accuracy against the difficulty labels (Sec. V-D).
+pub fn calibrate_count_area(examples: &[LabeledExample]) -> (usize, f64, BinaryStats) {
+    assert!(!examples.is_empty(), "cannot calibrate on zero examples");
+    let mut best: Option<(usize, f64, BinaryStats)> = None;
+    for count in 1..=6usize {
+        let mut area = 0.01;
+        while area <= 0.61 {
+            let disc = DifficultCaseDiscriminator::new(Thresholds {
+                conf: 0.2, // irrelevant for true-feature classification
+                count,
+                area,
+            });
+            let stats = BinaryStats::from_pairs(examples.iter().map(|e| {
+                (
+                    disc.classify_true_features(e.true_count, e.true_min_area),
+                    e.label,
+                )
+            }));
+            let better = match &best {
+                None => true,
+                Some((_, _, b)) => stats.accuracy > b.accuracy,
+            };
+            if better {
+                best = Some((count, area, stats));
+            }
+            area += 0.02;
+        }
+    }
+    let (c, a, s) = best.expect("grid is non-empty");
+    (c, a, s)
+}
+
+/// Runs the complete calibration: confidence threshold by regression, then
+/// count/area thresholds by grid search over labelled training data.
+pub fn calibrate(
+    train: &Dataset,
+    small: &dyn Detector,
+    big: &dyn Detector,
+) -> (Calibration, Vec<LabeledExample>) {
+    let (conf, counting_loss) = calibrate_conf_threshold(train, small);
+    let examples = crate::label_dataset(train, small, big, conf);
+    let (count, area, train_stats) = calibrate_count_area(&examples);
+    (
+        Calibration {
+            thresholds: Thresholds { conf, count, area },
+            counting_loss,
+            train_stats,
+        },
+        examples,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{DatasetProfile, SplitId};
+    use modelzoo::{ModelKind, SimDetector};
+
+    fn setup() -> (Dataset, SimDetector, SimDetector) {
+        let ds = Dataset::generate("t", &DatasetProfile::voc(), 300, 5);
+        let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+        let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+        (ds, small, big)
+    }
+
+    #[test]
+    fn binary_stats_hand_example() {
+        use CaseKind::{Difficult as D, Easy as E};
+        // pred, actual: TP, TP, FP, FN, TN
+        let s = BinaryStats::from_pairs(vec![(D, D), (D, D), (D, E), (E, D), (E, E)]);
+        assert!((s.accuracy - 0.6).abs() < 1e-12);
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.predicted_positive_rate - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conf_threshold_lands_in_paper_band() {
+        let (ds, small, _) = setup();
+        let (t, loss) = calibrate_conf_threshold(&ds, &small);
+        // The paper reports the useful band as 0.15–0.35.
+        assert!(
+            (0.10..=0.40).contains(&t),
+            "calibrated t_conf {t} outside plausible band"
+        );
+        assert!(loss < ds.total_objects() as u64, "loss should beat trivial");
+    }
+
+    #[test]
+    fn count_area_grid_prefers_discriminative_thresholds() {
+        let (ds, small, big) = setup();
+        let (cal, examples) = calibrate(&ds, &small, &big);
+        assert!(!examples.is_empty());
+        // Sanity: training accuracy must beat the majority-class baseline.
+        let frac = crate::difficult_fraction(&examples);
+        let majority = frac.max(1.0 - frac);
+        assert!(
+            cal.train_stats.accuracy >= majority - 0.02,
+            "grid accuracy {} vs majority {majority}",
+            cal.train_stats.accuracy
+        );
+        assert!((1..=6).contains(&cal.thresholds.count));
+        assert!(cal.thresholds.area > 0.0 && cal.thresholds.area < 0.62);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let (ds, small, big) = setup();
+        let (a, _) = calibrate(&ds, &small, &big);
+        let (b, _) = calibrate(&ds, &small, &big);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn empty_examples_panic() {
+        let _ = calibrate_count_area(&[]);
+    }
+}

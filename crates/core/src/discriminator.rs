@@ -1,0 +1,315 @@
+//! The difficult-case discriminator — the paper's core contribution (Sec. V).
+//!
+//! A three-threshold model over the small model's preliminary result:
+//!
+//! 1. **All detected?** If the predicted count equals the noise-filtered
+//!    estimate, the image is an easy case (no uncertain objects).
+//! 2. **Too many objects?** If the estimated count exceeds `t_count`
+//!    (paper optimum: 2), the image is a difficult case.
+//! 3. **Too small an object?** If the estimated minimum object area ratio is
+//!    below `t_area` (paper optimum: 0.31), the image is a difficult case.
+//!    Otherwise it is easy.
+
+use crate::{SemanticFeatures, PREDICTION_THRESHOLD};
+use detcore::ImageDetections;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The discriminator's verdict on one image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CaseKind {
+    /// The small model's result is trusted; processed locally at the edge.
+    Easy,
+    /// The image is uploaded to the cloud for the big model.
+    Difficult,
+}
+
+impl CaseKind {
+    /// `true` for difficult cases.
+    pub fn is_difficult(&self) -> bool {
+        matches!(self, CaseKind::Difficult)
+    }
+}
+
+impl fmt::Display for CaseKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseKind::Easy => f.write_str("easy"),
+            CaseKind::Difficult => f.write_str("difficult"),
+        }
+    }
+}
+
+/// The discriminator's calibrated thresholds (Sec. V-D).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Noise-filter confidence threshold (`t_conf`, regressed; 0.15–0.35).
+    pub conf: f64,
+    /// Object-count threshold (`t_count`; paper optimum 2).
+    pub count: usize,
+    /// Minimum-area-ratio threshold (`t_area`; paper optimum 0.31).
+    pub area: f64,
+}
+
+impl Thresholds {
+    /// The paper's published optimal thresholds (conf regressed to ≈ 0.2).
+    pub fn paper() -> Self {
+        Thresholds { conf: 0.20, count: 2, area: 0.31 }
+    }
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds::paper()
+    }
+}
+
+/// Which parts of the decision procedure are active (for ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscriminatorConfig {
+    /// Step 1: the all-detected shortcut.
+    pub use_all_detected_shortcut: bool,
+    /// Step 2: the object-count test.
+    pub use_count: bool,
+    /// Step 3: the minimum-area test.
+    pub use_area: bool,
+}
+
+impl Default for DiscriminatorConfig {
+    fn default() -> Self {
+        DiscriminatorConfig {
+            use_all_detected_shortcut: true,
+            use_count: true,
+            use_area: true,
+        }
+    }
+}
+
+/// The difficult-case discriminator.
+///
+/// # Examples
+///
+/// ```
+/// use detcore::{BBox, ClassId, Detection, ImageDetections};
+/// use smallbig_core::{CaseKind, DifficultCaseDiscriminator, Thresholds};
+///
+/// let disc = DifficultCaseDiscriminator::new(Thresholds::paper());
+///
+/// // One confidently-detected large object: easy case, stays at the edge.
+/// let easy = ImageDetections::from_vec(vec![Detection::new(
+///     ClassId(0), 0.95, BBox::new(0.1, 0.1, 0.8, 0.9).unwrap(),
+/// )]);
+/// assert_eq!(disc.classify(&easy), CaseKind::Easy);
+///
+/// // A sub-threshold box betrays a possibly-missed small object: difficult.
+/// let hard = ImageDetections::from_vec(vec![
+///     Detection::new(ClassId(0), 0.95, BBox::new(0.1, 0.1, 0.8, 0.9).unwrap()),
+///     Detection::new(ClassId(3), 0.28, BBox::new(0.0, 0.0, 0.08, 0.09).unwrap()),
+/// ]);
+/// assert_eq!(disc.classify(&hard), CaseKind::Difficult);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DifficultCaseDiscriminator {
+    thresholds: Thresholds,
+    config: DiscriminatorConfig,
+}
+
+impl DifficultCaseDiscriminator {
+    /// Creates a discriminator with the full three-step procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholds are out of range (`conf ∉ (0, 0.5]`,
+    /// `area ∉ [0, 1]`).
+    pub fn new(thresholds: Thresholds) -> Self {
+        Self::with_config(thresholds, DiscriminatorConfig::default())
+    }
+
+    /// Creates a discriminator with selected steps disabled (ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`DifficultCaseDiscriminator::new`].
+    pub fn with_config(thresholds: Thresholds, config: DiscriminatorConfig) -> Self {
+        assert!(
+            thresholds.conf > 0.0 && thresholds.conf <= PREDICTION_THRESHOLD,
+            "confidence threshold must be in (0, 0.5]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&thresholds.area),
+            "area threshold must be in [0, 1]"
+        );
+        DifficultCaseDiscriminator { thresholds, config }
+    }
+
+    /// The calibrated thresholds in use.
+    pub fn thresholds(&self) -> Thresholds {
+        self.thresholds
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> DiscriminatorConfig {
+        self.config
+    }
+
+    /// Classifies an image from the small model's raw detections
+    /// (the full workflow of Fig. 5).
+    pub fn classify(&self, small_dets: &ImageDetections) -> CaseKind {
+        let features = SemanticFeatures::extract(small_dets, self.thresholds.conf);
+        self.classify_features(&features)
+    }
+
+    /// Classifies from pre-extracted semantic features.
+    pub fn classify_features(&self, features: &SemanticFeatures) -> CaseKind {
+        // Step 1: all objects confidently detected -> easy.
+        if self.config.use_all_detected_shortcut && features.all_detected() {
+            return CaseKind::Easy;
+        }
+        // Step 2: too many objects -> difficult.
+        if self.config.use_count && features.estimated_count > self.thresholds.count {
+            return CaseKind::Difficult;
+        }
+        // Step 3: too small a minimum object -> difficult.
+        if self.config.use_area {
+            if let Some(min_area) = features.estimated_min_area {
+                if min_area < self.thresholds.area {
+                    return CaseKind::Difficult;
+                }
+            }
+        }
+        CaseKind::Easy
+    }
+
+    /// Classifies from *ground-truth* semantic features (the paper's Table I
+    /// "Ground Truth" row, used during threshold calibration): difficult iff
+    /// the count exceeds `t_count` **or** the minimum area is below `t_area`.
+    pub fn classify_true_features(&self, num_objects: usize, min_area: Option<f64>) -> CaseKind {
+        if self.config.use_count && num_objects > self.thresholds.count {
+            return CaseKind::Difficult;
+        }
+        if self.config.use_area {
+            if let Some(a) = min_area {
+                if a < self.thresholds.area {
+                    return CaseKind::Difficult;
+                }
+            }
+        }
+        CaseKind::Easy
+    }
+}
+
+impl Default for DifficultCaseDiscriminator {
+    fn default() -> Self {
+        DifficultCaseDiscriminator::new(Thresholds::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detcore::{BBox, ClassId, Detection};
+
+    fn dets(specs: &[(f64, f64)]) -> ImageDetections {
+        // (score, box side)
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(score, side))| {
+                let x0 = (i as f64 * 0.02).min(0.3);
+                Detection::new(
+                    ClassId(0),
+                    score,
+                    BBox::new(x0, 0.1, (x0 + side).min(1.0), (0.1 + side).min(1.0)).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn step1_all_detected_is_easy_even_if_small() {
+        let disc = DifficultCaseDiscriminator::default();
+        // tiny object but confidently detected and no uncertain boxes
+        let d = dets(&[(0.9, 0.05)]);
+        assert_eq!(disc.classify(&d), CaseKind::Easy);
+    }
+
+    #[test]
+    fn step2_many_objects_is_difficult() {
+        let disc = DifficultCaseDiscriminator::default();
+        // 3 predicted + 1 uncertain box -> estimated 4 > 2
+        let d = dets(&[(0.9, 0.6), (0.8, 0.6), (0.7, 0.6), (0.3, 0.6)]);
+        assert_eq!(disc.classify(&d), CaseKind::Difficult);
+    }
+
+    #[test]
+    fn step3_small_min_area_is_difficult() {
+        let disc = DifficultCaseDiscriminator::default();
+        // 1 predicted + 1 uncertain small box -> estimated 2, min area tiny
+        let d = dets(&[(0.9, 0.7), (0.3, 0.1)]);
+        assert_eq!(disc.classify(&d), CaseKind::Difficult);
+    }
+
+    #[test]
+    fn step3_large_min_area_is_easy() {
+        let disc = DifficultCaseDiscriminator::default();
+        // 1 predicted + 1 uncertain LARGE box -> estimated 2 <= 2, min area 0.36
+        let d = dets(&[(0.9, 0.7), (0.3, 0.6)]);
+        assert_eq!(disc.classify(&d), CaseKind::Easy);
+    }
+
+    #[test]
+    fn noise_below_tconf_is_ignored() {
+        let disc = DifficultCaseDiscriminator::default();
+        let d = dets(&[(0.9, 0.7), (0.1, 0.05)]); // noise box below 0.2
+        assert_eq!(disc.classify(&d), CaseKind::Easy);
+    }
+
+    #[test]
+    fn empty_image_is_easy() {
+        let disc = DifficultCaseDiscriminator::default();
+        assert_eq!(disc.classify(&ImageDetections::new()), CaseKind::Easy);
+    }
+
+    #[test]
+    fn true_feature_mode_uses_or_rule() {
+        let disc = DifficultCaseDiscriminator::default();
+        assert_eq!(disc.classify_true_features(3, Some(0.5)), CaseKind::Difficult);
+        assert_eq!(disc.classify_true_features(1, Some(0.1)), CaseKind::Difficult);
+        assert_eq!(disc.classify_true_features(2, Some(0.4)), CaseKind::Easy);
+        assert_eq!(disc.classify_true_features(0, None), CaseKind::Easy);
+    }
+
+    #[test]
+    fn ablation_disable_count() {
+        let cfg = DiscriminatorConfig { use_count: false, ..Default::default() };
+        let disc = DifficultCaseDiscriminator::with_config(Thresholds::paper(), cfg);
+        // many LARGE objects: count test off, min area large -> easy
+        let d = dets(&[(0.9, 0.6), (0.8, 0.6), (0.7, 0.6), (0.3, 0.6)]);
+        assert_eq!(disc.classify(&d), CaseKind::Easy);
+    }
+
+    #[test]
+    fn ablation_disable_shortcut() {
+        let cfg = DiscriminatorConfig {
+            use_all_detected_shortcut: false,
+            ..Default::default()
+        };
+        let disc = DifficultCaseDiscriminator::with_config(Thresholds::paper(), cfg);
+        // all detected, but small object -> without the shortcut it's difficult
+        let d = dets(&[(0.9, 0.05)]);
+        assert_eq!(disc.classify(&d), CaseKind::Difficult);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence threshold")]
+    fn rejects_bad_conf() {
+        let _ = DifficultCaseDiscriminator::new(Thresholds { conf: 0.7, count: 2, area: 0.31 });
+    }
+
+    #[test]
+    fn display_and_flags() {
+        assert_eq!(format!("{}", CaseKind::Easy), "easy");
+        assert!(CaseKind::Difficult.is_difficult());
+        assert!(!CaseKind::Easy.is_difficult());
+    }
+}

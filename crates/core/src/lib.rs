@@ -1,0 +1,65 @@
+//! # smallbig-core — the small-big model framework
+//!
+//! The paper's contribution (*Edge-Cloud Collaborated Object Detection via
+//! Difficult-Case Discriminator*, ICDCS 2023), implemented end to end:
+//!
+//! * [`SemanticFeatures`] — the two semantic features read off the small
+//!   model's raw output,
+//! * [`DifficultCaseDiscriminator`] — the three-threshold decision model,
+//! * [`label_scene`] / [`label_dataset`] — ground-truth difficulty labels,
+//! * [`calibrate`] — the paper's threshold-training procedure (Eq. 1
+//!   regression + grid search),
+//! * [`Policy`] — our strategy and every baseline (random / blurred / top-1
+//!   confidence / cloud-only / edge-only / oracle),
+//! * [`evaluate`] — batch evaluation producing the paper's table metrics,
+//! * [`run_system`] — a live edge-cloud runtime with real threads, real
+//!   serialized frames and simulated clocks (Table XI).
+//!
+//! # Example
+//!
+//! ```
+//! use datagen::{Split, SplitId};
+//! use modelzoo::{ModelKind, SimDetector};
+//! use smallbig_core::{calibrate, evaluate, EvalConfig, Policy,
+//!                     DifficultCaseDiscriminator};
+//!
+//! let split = Split::load_scaled(SplitId::Voc07, 0.01);
+//! let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+//! let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+//!
+//! let (cal, _examples) = calibrate(&split.train, &small, &big);
+//! let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+//! let outcome = evaluate(&split.test, &small, &big,
+//!                        &Policy::DifficultCase(disc), &EvalConfig::default());
+//! println!("end-to-end mAP {:.2}% at {:.0}% upload",
+//!          outcome.e2e_map_pct, outcome.upload_ratio * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibrate;
+mod discriminator;
+mod features;
+mod labeling;
+mod persist;
+mod pipeline;
+mod runtime;
+mod strategies;
+mod system;
+pub mod wire;
+
+pub use persist::PersistError;
+
+pub use calibrate::{
+    calibrate, calibrate_conf_threshold, calibrate_count_area, BinaryStats, Calibration,
+};
+pub use discriminator::{
+    CaseKind, DifficultCaseDiscriminator, DiscriminatorConfig, Thresholds,
+};
+pub use features::{SemanticFeatures, PREDICTION_THRESHOLD};
+pub use labeling::{difficult_fraction, label_dataset, label_scene, LabeledExample};
+pub use pipeline::{discriminator_test_stats, evaluate, EvalConfig, EvalOutcome};
+pub use runtime::{run_system, RuntimeConfig, RuntimeMode, RuntimeReport};
+pub use strategies::{Decision, Policy, PolicyInput};
+pub use system::{SmallBigSystem, SmallBigSystemBuilder};

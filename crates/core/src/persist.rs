@@ -1,0 +1,171 @@
+//! Persistence for calibrated artefacts.
+//!
+//! A deployed edge device calibrates once (or receives thresholds from the
+//! cloud) and then reloads them at boot; this module provides the JSON
+//! round-trip for [`Thresholds`] and [`Calibration`].
+
+use crate::{Calibration, Thresholds};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Errors from loading persisted artefacts.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// The file was not valid JSON for the target type.
+    Parse(serde_json::Error),
+    /// The loaded thresholds violate their invariants.
+    Invalid(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persisted artefact i/o error: {e}"),
+            PersistError::Parse(e) => write!(f, "persisted artefact is malformed: {e}"),
+            PersistError::Invalid(m) => write!(f, "persisted thresholds invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Parse(e) => Some(e),
+            PersistError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn validate(t: &Thresholds) -> Result<(), PersistError> {
+    if !(t.conf > 0.0 && t.conf <= crate::PREDICTION_THRESHOLD) {
+        return Err(PersistError::Invalid(format!(
+            "confidence threshold {} outside (0, 0.5]",
+            t.conf
+        )));
+    }
+    if !(0.0..=1.0).contains(&t.area) {
+        return Err(PersistError::Invalid(format!(
+            "area threshold {} outside [0, 1]",
+            t.area
+        )));
+    }
+    Ok(())
+}
+
+impl Thresholds {
+    /// Writes the thresholds to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_json<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        let json = serde_json::to_string_pretty(self).expect("thresholds serialize");
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads thresholds from a JSON file, validating invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on i/o failure, malformed JSON, or
+    /// out-of-range values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smallbig_core::Thresholds;
+    ///
+    /// let dir = std::env::temp_dir().join("smallbig-doc-thresholds.json");
+    /// Thresholds::paper().save_json(&dir).unwrap();
+    /// let loaded = Thresholds::load_json(&dir).unwrap();
+    /// assert_eq!(loaded, Thresholds::paper());
+    /// ```
+    pub fn load_json<P: AsRef<Path>>(path: P) -> Result<Thresholds, PersistError> {
+        let data = std::fs::read_to_string(path)?;
+        let t: Thresholds = serde_json::from_str(&data).map_err(PersistError::Parse)?;
+        validate(&t)?;
+        Ok(t)
+    }
+}
+
+impl Calibration {
+    /// Writes the full calibration record (thresholds + training stats).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_json<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        let json = serde_json::to_string_pretty(self).expect("calibration serializes");
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a calibration record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on i/o failure, malformed JSON, or invalid
+    /// thresholds.
+    pub fn load_json<P: AsRef<Path>>(path: P) -> Result<Calibration, PersistError> {
+        let data = std::fs::read_to_string(path)?;
+        let c: Calibration = serde_json::from_str(&data).map_err(PersistError::Parse)?;
+        validate(&c.thresholds)?;
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("smallbig-test-{name}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn thresholds_round_trip() {
+        let path = tmp("thr");
+        let t = Thresholds { conf: 0.22, count: 3, area: 0.17 };
+        t.save_json(&path).unwrap();
+        assert_eq!(Thresholds::load_json(&path).unwrap(), t);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let path = tmp("bad");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(
+            Thresholds::load_json(&path),
+            Err(PersistError::Parse(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let path = tmp("inv");
+        std::fs::write(&path, r#"{"conf": 0.9, "count": 2, "area": 0.31}"#).unwrap();
+        let err = Thresholds::load_json(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Invalid(_)));
+        assert!(format!("{err}").contains("confidence"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = Thresholds::load_json("/nonexistent/nope.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+}

@@ -1,0 +1,291 @@
+//! Batch evaluation of the small-big system over a dataset.
+//!
+//! Computes everything the paper's tables report: per-model mAP, end-to-end
+//! mAP under a policy, detected-object totals, and the upload ratio.
+
+use crate::{label_scene, CaseKind, Policy, PolicyInput, PREDICTION_THRESHOLD};
+use datagen::Dataset;
+use detcore::{
+    count_detected, ApProtocol, CountingConfig, DatasetCounter, ImageDetections, MapEvaluator,
+};
+use modelzoo::Detector;
+use serde::{Deserialize, Serialize};
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// AP interpolation protocol (the paper uses VOC 11-point).
+    pub ap_protocol: ApProtocol,
+    /// Counting thresholds for the detected-objects metric.
+    pub counting: CountingConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            ap_protocol: ApProtocol::Voc07ElevenPoint,
+            counting: CountingConfig::default(),
+        }
+    }
+}
+
+/// Everything one table row needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// Big model mAP (%): "upload everything" quality.
+    pub big_map_pct: f64,
+    /// Small model mAP (%): "edge-only" quality.
+    pub small_map_pct: f64,
+    /// End-to-end mAP (%) under the policy.
+    pub e2e_map_pct: f64,
+    /// Objects the big model detects on the whole test set.
+    pub big_detected: usize,
+    /// Objects the small model detects.
+    pub small_detected: usize,
+    /// Objects the end-to-end system detects.
+    pub e2e_detected: usize,
+    /// Ground-truth objects in the test set.
+    pub total_gt: usize,
+    /// Fraction of images uploaded to the cloud.
+    pub upload_ratio: f64,
+    /// Number of test images.
+    pub num_images: usize,
+}
+
+impl EvalOutcome {
+    /// End-to-end mAP relative to the big model, in percent
+    /// (the paper's headline 91.22–92.52 % band).
+    pub fn e2e_map_vs_big_pct(&self) -> f64 {
+        if self.big_map_pct == 0.0 {
+            0.0
+        } else {
+            self.e2e_map_pct / self.big_map_pct * 100.0
+        }
+    }
+
+    /// End-to-end detected objects relative to the big model, in percent
+    /// (the paper's "End-to-end/Big model" columns, ~94 %).
+    pub fn e2e_detected_vs_big_pct(&self) -> f64 {
+        if self.big_detected == 0 {
+            0.0
+        } else {
+            self.e2e_detected as f64 / self.big_detected as f64 * 100.0
+        }
+    }
+}
+
+/// Evaluates a (small, big, policy) triple over a test dataset.
+///
+/// Detections are computed once per model per image; the end-to-end result
+/// re-uses the big model's output on uploaded images and the small model's on
+/// local ones, exactly like the deployed system (big model outputs are
+/// identical whether computed in the cloud or here, since detectors are
+/// deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use datagen::{Dataset, DatasetProfile, SplitId};
+/// use modelzoo::{ModelKind, SimDetector};
+/// use smallbig_core::{evaluate, EvalConfig, Policy};
+///
+/// let test = Dataset::generate("demo", &DatasetProfile::voc(), 50, 3);
+/// let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+/// let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+/// let outcome = evaluate(&test, &small, &big, &Policy::CloudOnly, &EvalConfig::default());
+/// assert_eq!(outcome.upload_ratio, 1.0);
+/// assert!((outcome.e2e_map_pct - outcome.big_map_pct).abs() < 1e-9);
+/// ```
+pub fn evaluate(
+    test: &Dataset,
+    small: &dyn Detector,
+    big: &dyn Detector,
+    policy: &Policy,
+    config: &EvalConfig,
+) -> EvalOutcome {
+    assert!(!test.is_empty(), "cannot evaluate an empty dataset");
+    let num_classes = test.taxonomy().len();
+
+    // Run both models over the test set once.
+    let small_results: Vec<ImageDetections> = test.iter().map(|s| small.detect(s)).collect();
+    let big_results: Vec<ImageDetections> = test.iter().map(|s| big.detect(s)).collect();
+
+    // Labels for the oracle policy (cheap: counts are already available).
+    let labels: Vec<CaseKind> = small_results
+        .iter()
+        .zip(&big_results)
+        .map(|(s, b)| {
+            if b.count_above(PREDICTION_THRESHOLD) >= s.count_above(PREDICTION_THRESHOLD) + 1 {
+                CaseKind::Difficult
+            } else {
+                CaseKind::Easy
+            }
+        })
+        .collect();
+
+    let inputs: Vec<PolicyInput<'_>> = test
+        .iter()
+        .zip(&small_results)
+        .zip(&labels)
+        .map(|((scene, small_dets), label)| PolicyInput {
+            scene,
+            small_dets,
+            label: Some(*label),
+            num_classes,
+        })
+        .collect();
+    let decisions = policy.decide_all(&inputs);
+
+    let mut small_map = MapEvaluator::new(num_classes, config.ap_protocol);
+    let mut big_map = MapEvaluator::new(num_classes, config.ap_protocol);
+    let mut e2e_map = MapEvaluator::new(num_classes, config.ap_protocol);
+    let mut small_count = DatasetCounter::new();
+    let mut big_count = DatasetCounter::new();
+    let mut e2e_count = DatasetCounter::new();
+    let mut uploads = 0usize;
+
+    for (((scene, small_dets), big_dets), decision) in test
+        .iter()
+        .zip(&small_results)
+        .zip(&big_results)
+        .zip(&decisions)
+    {
+        let gts = scene.ground_truths();
+        small_map.add_image(small_dets, &gts);
+        big_map.add_image(big_dets, &gts);
+        small_count.add(count_detected(small_dets, &gts, &config.counting));
+        big_count.add(count_detected(big_dets, &gts, &config.counting));
+        let final_dets = if decision.is_upload() {
+            uploads += 1;
+            big_dets
+        } else {
+            small_dets
+        };
+        e2e_map.add_image(final_dets, &gts);
+        e2e_count.add(count_detected(final_dets, &gts, &config.counting));
+    }
+
+    EvalOutcome {
+        big_map_pct: big_map.evaluate().map_percent(),
+        small_map_pct: small_map.evaluate().map_percent(),
+        e2e_map_pct: e2e_map.evaluate().map_percent(),
+        big_detected: big_count.total_detected(),
+        small_detected: small_count.total_detected(),
+        e2e_detected: e2e_count.total_detected(),
+        total_gt: big_count.total_gt(),
+        upload_ratio: uploads as f64 / test.len() as f64,
+        num_images: test.len(),
+    }
+}
+
+/// Labels the dataset and reports discriminator quality on it
+/// (used for the paper's Table I test row).
+pub fn discriminator_test_stats(
+    test: &Dataset,
+    small: &dyn Detector,
+    big: &dyn Detector,
+    disc: &crate::DifficultCaseDiscriminator,
+) -> crate::BinaryStats {
+    let t_conf = disc.thresholds().conf;
+    let pairs: Vec<(CaseKind, CaseKind)> = test
+        .iter()
+        .map(|scene| {
+            let ex = label_scene(scene, small, big, t_conf);
+            (disc.classify_features(&ex.features), ex.label)
+        })
+        .collect();
+    crate::BinaryStats::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DifficultCaseDiscriminator, Thresholds};
+    use datagen::{DatasetProfile, SplitId};
+    use modelzoo::{ModelKind, SimDetector};
+
+    fn fixture() -> (Dataset, SimDetector, SimDetector) {
+        let test = Dataset::generate("t", &DatasetProfile::voc(), 250, 17);
+        let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+        let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+        (test, small, big)
+    }
+
+    #[test]
+    fn cloud_only_equals_big_edge_only_equals_small() {
+        let (test, small, big) = fixture();
+        let cfg = EvalConfig::default();
+        let cloud = evaluate(&test, &small, &big, &Policy::CloudOnly, &cfg);
+        assert_eq!(cloud.upload_ratio, 1.0);
+        assert!((cloud.e2e_map_pct - cloud.big_map_pct).abs() < 1e-9);
+        assert_eq!(cloud.e2e_detected, cloud.big_detected);
+        let edge = evaluate(&test, &small, &big, &Policy::EdgeOnly, &cfg);
+        assert_eq!(edge.upload_ratio, 0.0);
+        assert!((edge.e2e_map_pct - edge.small_map_pct).abs() < 1e-9);
+        assert_eq!(edge.e2e_detected, edge.small_detected);
+    }
+
+    #[test]
+    fn big_beats_small() {
+        let (test, small, big) = fixture();
+        let out = evaluate(&test, &small, &big, &Policy::CloudOnly, &EvalConfig::default());
+        assert!(out.big_map_pct > out.small_map_pct + 5.0);
+        assert!(out.big_detected > out.small_detected);
+    }
+
+    #[test]
+    fn discriminator_between_extremes_and_beats_random() {
+        let (test, small, big) = fixture();
+        let cfg = EvalConfig::default();
+        // Calibrate on a separate training set, as the paper does.
+        let train = Dataset::generate("train", &DatasetProfile::voc(), 400, 99);
+        let (cal, _) = crate::calibrate(&train, &small, &big);
+        let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+        let ours = evaluate(&test, &small, &big, &Policy::DifficultCase(disc), &cfg);
+        assert!(ours.upload_ratio > 0.1 && ours.upload_ratio < 0.9);
+        assert!(ours.e2e_map_pct > ours.small_map_pct);
+        assert!(ours.e2e_map_pct <= ours.big_map_pct + 1e-9);
+        // Compare with random at the same upload ratio.
+        let rand = evaluate(
+            &test,
+            &small,
+            &big,
+            &Policy::Random { upload_fraction: ours.upload_ratio, seed: 5 },
+            &cfg,
+        );
+        assert!(
+            ours.e2e_map_pct > rand.e2e_map_pct,
+            "ours {} vs random {}",
+            ours.e2e_map_pct,
+            rand.e2e_map_pct
+        );
+    }
+
+    #[test]
+    fn oracle_is_upper_boundish() {
+        let (test, small, big) = fixture();
+        let cfg = EvalConfig::default();
+        let disc = DifficultCaseDiscriminator::new(Thresholds::paper());
+        let ours = evaluate(&test, &small, &big, &Policy::DifficultCase(disc), &cfg);
+        let oracle = evaluate(&test, &small, &big, &Policy::Oracle, &cfg);
+        // The oracle detects at least as many objects per uploaded image.
+        assert!(oracle.e2e_detected_vs_big_pct() >= ours.e2e_detected_vs_big_pct() - 2.0);
+    }
+
+    #[test]
+    fn ratios_are_percentages() {
+        let (test, small, big) = fixture();
+        let out = evaluate(&test, &small, &big, &Policy::CloudOnly, &EvalConfig::default());
+        assert!((out.e2e_map_vs_big_pct() - 100.0).abs() < 1e-9);
+        assert!((out.e2e_detected_vs_big_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn test_stats_have_sane_ranges() {
+        let (test, small, big) = fixture();
+        let disc = DifficultCaseDiscriminator::default();
+        let stats = discriminator_test_stats(&test, &small, &big, &disc);
+        assert!(stats.accuracy > 0.5, "accuracy {}", stats.accuracy);
+        assert!(stats.recall > 0.5, "recall {}", stats.recall);
+    }
+}

@@ -1,0 +1,445 @@
+//! The live edge-cloud runtime: real threads, real serialized messages,
+//! simulated clocks.
+//!
+//! [`run_system`] spawns a **cloud server thread** and drives the edge device
+//! on the calling thread, exactly mirroring the paper's Jetson-Nano-plus-
+//! server deployment (Sec. VI-D). Images flow through the small model and the
+//! discriminator; difficult cases are serialized (length-prefixed frames),
+//! "uploaded" over a [`LinkModel`]-governed channel, processed by the big
+//! model under the server's [`DeviceModel`], and the results return to the
+//! edge. All latencies are *virtual time* computed from the device/link
+//! models — runs are deterministic and fast regardless of wall-clock.
+
+use crate::wire::{decode_frame, encode_frame};
+use crate::{CaseKind, DifficultCaseDiscriminator};
+use crossbeam::channel;
+use datagen::{Dataset, Scene};
+use detcore::{count_detected, ApProtocol, CountingConfig, DatasetCounter, MapEvaluator};
+use imaging::{encoded_size_bytes, render};
+use modelzoo::Detector;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use simnet::{DeviceModel, LatencyBreakdown, LatencyStats, LinkModel};
+use std::sync::Arc;
+use std::thread;
+
+/// Routing mode for the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeMode {
+    /// Small model + discriminator; difficult cases go to the cloud.
+    SmallBig,
+    /// Every image goes to the cloud (no edge inference).
+    CloudOnly,
+    /// Every image is handled by the edge model only.
+    EdgeOnly,
+}
+
+/// Configuration of a runtime session.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Edge device model (default: Jetson Nano).
+    pub edge: DeviceModel,
+    /// Cloud device model (default: RTX3060 server).
+    pub cloud: DeviceModel,
+    /// The edge↔cloud link (default: the paper's WLAN).
+    pub link: LinkModel,
+    /// Resolution at which frames are rendered/encoded for upload sizing.
+    pub frame_size: (usize, usize),
+    /// Fixed discriminator execution time (threshold checks are trivial).
+    pub discriminator_s: f64,
+    /// Seed for link jitter draws.
+    pub seed: u64,
+    /// AP protocol for the final report.
+    pub ap_protocol: ApProtocol,
+    /// Counting thresholds for the detected-objects metric.
+    pub counting: CountingConfig,
+    /// Optional per-image latency deadline. When the cloud's answer would
+    /// arrive later than `deadline_s` after the image entered the system,
+    /// the edge falls back to the small model's local result (the upload
+    /// bandwidth is still spent). `None` = wait indefinitely.
+    pub deadline_s: Option<f64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            edge: DeviceModel::jetson_nano(),
+            cloud: DeviceModel::gpu_server(),
+            link: LinkModel::wlan(),
+            frame_size: (300, 300),
+            discriminator_s: 0.0004,
+            seed: 0x5417,
+            ap_protocol: ApProtocol::Voc07ElevenPoint,
+            counting: CountingConfig::default(),
+            deadline_s: None,
+        }
+    }
+}
+
+/// What a runtime session reports (the paper's Table XI columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct RuntimeReport {
+    /// End-to-end mAP (%) of the results the edge device returned.
+    pub map_pct: f64,
+    /// Objects detected across the run.
+    pub detected: usize,
+    /// Ground-truth objects.
+    pub total_gt: usize,
+    /// Total (virtual) inference time for the whole run, seconds.
+    pub total_time_s: f64,
+    /// Fraction of images uploaded.
+    pub upload_ratio: f64,
+    /// Per-component latency totals.
+    pub latency: LatencyStats,
+    /// Total bytes shipped edge→cloud.
+    pub uplink_bytes: u64,
+    /// Uploads whose cloud answer missed the deadline (local fallback used).
+    pub deadline_misses: usize,
+}
+
+/// The message the edge sends for a difficult case.
+#[derive(Debug, Serialize, Deserialize)]
+struct UploadRequest {
+    scene: Scene,
+    /// Size of the encoded camera frame being uploaded (drives the link).
+    frame_bytes: usize,
+    /// Virtual send timestamp at the edge.
+    sent_at: f64,
+}
+
+/// The cloud's reply.
+#[derive(Debug, Serialize, Deserialize)]
+struct UploadResponse {
+    dets: detcore::ImageDetections,
+    /// Virtual timestamp at which the reply left the server.
+    sent_at: f64,
+    /// Server-side inference time (for the latency breakdown).
+    infer_s: f64,
+    /// Uplink transfer time the request experienced.
+    uplink_s: f64,
+}
+
+/// Runs the live system over a dataset and reports Table XI-style metrics.
+///
+/// The cloud runs on its own thread with its own virtual busy-clock; requests
+/// queue if they arrive while the server is busy. The edge processes frames
+/// sequentially, as the paper's measurement does.
+///
+/// # Examples
+///
+/// ```
+/// use datagen::{Dataset, DatasetProfile, SplitId};
+/// use modelzoo::{ModelKind, SimDetector};
+/// use smallbig_core::{run_system, DifficultCaseDiscriminator, RuntimeConfig, RuntimeMode};
+///
+/// let test = Dataset::generate("demo", &DatasetProfile::helmet(), 20, 3);
+/// let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+/// let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2);
+/// let report = run_system(
+///     &test, &small, &big,
+///     &DifficultCaseDiscriminator::default(),
+///     RuntimeMode::SmallBig,
+///     &RuntimeConfig { frame_size: (96, 96), ..Default::default() },
+/// );
+/// assert!(report.total_time_s > 0.0);
+/// ```
+pub fn run_system(
+    test: &Dataset,
+    small: &(dyn Detector + Sync),
+    big: &(dyn Detector + Sync),
+    discriminator: &DifficultCaseDiscriminator,
+    mode: RuntimeMode,
+    config: &RuntimeConfig,
+) -> RuntimeReport {
+    assert!(!test.is_empty(), "cannot run over an empty dataset");
+    let num_classes = test.taxonomy().len();
+
+    let (req_tx, req_rx) = channel::unbounded::<bytes::Bytes>();
+    let (resp_tx, resp_rx) = channel::unbounded::<bytes::Bytes>();
+
+    // Shared so the test below can assert the server actually saw traffic.
+    let served = Arc::new(Mutex::new(0usize));
+    let served_cloud = Arc::clone(&served);
+
+    let cloud_cfg = (config.cloud.clone(), config.link.clone(), config.seed);
+    let report = thread::scope(|scope| {
+        // ---- Cloud server thread ----
+        scope.spawn(move || {
+            let (device, link, seed) = cloud_cfg;
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xc10d);
+            let mut server_free_at = 0.0f64;
+            while let Ok(frame) = req_rx.recv() {
+                let req: UploadRequest =
+                    decode_frame(&frame).expect("edge sends well-formed frames");
+                let uplink_s = link.transfer_time(req.frame_bytes, &mut rng);
+                let arrival = req.sent_at + uplink_s;
+                let start = server_free_at.max(arrival);
+                let infer_s = device.inference_time(big.flops());
+                server_free_at = start + infer_s;
+                let dets = big.detect(&req.scene);
+                *served_cloud.lock() += 1;
+                let resp = UploadResponse {
+                    dets,
+                    sent_at: server_free_at,
+                    infer_s,
+                    uplink_s,
+                };
+                if resp_tx.send(encode_frame(&resp)).is_err() {
+                    break; // edge hung up
+                }
+            }
+        });
+
+        // ---- Edge device (this thread) ----
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xed6e);
+        let mut now = 0.0f64;
+        let mut map = MapEvaluator::new(num_classes, config.ap_protocol);
+        let mut counter = DatasetCounter::new();
+        let mut latency = LatencyStats::new();
+        let mut uplink_bytes = 0u64;
+        let mut deadline_misses = 0usize;
+        let mut uploads = 0usize;
+
+        for scene in test.iter() {
+            let gts = scene.ground_truths();
+            let mut breakdown = LatencyBreakdown::default();
+
+            let (final_dets, decision) = match mode {
+                RuntimeMode::EdgeOnly => {
+                    breakdown.edge_infer_s = config.edge.inference_time(small.flops());
+                    (small.detect(scene), CaseKind::Easy)
+                }
+                RuntimeMode::CloudOnly => (small.detect(scene), CaseKind::Difficult),
+                RuntimeMode::SmallBig => {
+                    breakdown.edge_infer_s = config.edge.inference_time(small.flops());
+                    breakdown.discriminator_s = config.discriminator_s;
+                    let dets = small.detect(scene);
+                    let kind = discriminator.classify(&dets);
+                    (dets, kind)
+                }
+            };
+
+            now += breakdown.edge_infer_s + breakdown.discriminator_s;
+
+            let final_dets = if decision.is_difficult() {
+                // Upload the encoded frame.
+                let image_entered_at = now - breakdown.edge_infer_s - breakdown.discriminator_s;
+                let frame = render(&scene.render_spec(config.frame_size.0, config.frame_size.1));
+                let frame_bytes = encoded_size_bytes(&frame);
+                uplink_bytes += frame_bytes as u64;
+                uploads += 1;
+                let req = UploadRequest {
+                    scene: scene.clone(),
+                    frame_bytes,
+                    sent_at: now,
+                };
+                req_tx.send(encode_frame(&req)).expect("cloud thread alive");
+                let resp: UploadResponse = decode_frame(
+                    &resp_rx.recv().expect("cloud thread replies"),
+                )
+                .expect("cloud sends well-formed frames");
+                let downlink_s = config
+                    .link
+                    .transfer_time(imaging::result_size_bytes(resp.dets.len()), &mut rng);
+                let answer_at = resp.sent_at + downlink_s;
+                let missed_deadline = config
+                    .deadline_s
+                    .map(|d| answer_at - image_entered_at > d)
+                    .unwrap_or(false);
+                if missed_deadline {
+                    // The edge gives up waiting and serves the local result;
+                    // the upload bandwidth is already spent.
+                    deadline_misses += 1;
+                    let deadline = config.deadline_s.expect("checked above");
+                    let waited = (image_entered_at + deadline - now).max(0.0);
+                    breakdown.uplink_s = waited;
+                    now += waited;
+                    final_dets
+                } else {
+                    breakdown.uplink_s = resp.uplink_s;
+                    breakdown.cloud_infer_s =
+                        resp.infer_s + (resp.sent_at - now - resp.uplink_s - resp.infer_s).max(0.0);
+                    breakdown.downlink_s = downlink_s;
+                    now = answer_at;
+                    resp.dets
+                }
+            } else {
+                final_dets
+            };
+
+            latency.add(breakdown);
+            map.add_image(&final_dets, &gts);
+            counter.add(count_detected(&final_dets, &gts, &config.counting));
+        }
+        drop(req_tx); // shut the cloud thread down
+
+        RuntimeReport {
+            map_pct: map.evaluate().map_percent(),
+            detected: counter.total_detected(),
+            total_gt: counter.total_gt(),
+            total_time_s: now,
+            upload_ratio: uploads as f64 / test.len() as f64,
+            latency,
+            uplink_bytes,
+            deadline_misses,
+        }
+    });
+
+    assert!(
+        *served.lock() == (report.upload_ratio * test.len() as f64).round() as usize,
+        "server must have processed every uploaded image"
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{DatasetProfile, SplitId};
+    use modelzoo::{ModelKind, SimDetector};
+
+    fn fixture() -> (Dataset, SimDetector, SimDetector) {
+        let test = Dataset::generate("t", &DatasetProfile::helmet(), 40, 9);
+        let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+        let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2);
+        (test, small, big)
+    }
+
+    /// Thresholds calibrated on a HELMET-like training set (computed once via
+    /// `calibrate`; pinned here to keep the tests fast).
+    fn helmet_disc() -> DifficultCaseDiscriminator {
+        DifficultCaseDiscriminator::new(crate::Thresholds { conf: 0.21, count: 4, area: 0.03 })
+    }
+
+    fn small_cfg() -> RuntimeConfig {
+        RuntimeConfig { frame_size: (96, 96), ..Default::default() }
+    }
+
+    #[test]
+    fn edge_only_never_uploads() {
+        let (test, small, big) = fixture();
+        let r = run_system(
+            &test,
+            &small,
+            &big,
+            &helmet_disc(),
+            RuntimeMode::EdgeOnly,
+            &small_cfg(),
+        );
+        assert_eq!(r.upload_ratio, 0.0);
+        assert_eq!(r.uplink_bytes, 0);
+        assert!(r.total_time_s > 0.0);
+    }
+
+    #[test]
+    fn cloud_only_uploads_everything_and_is_slowest() {
+        let (test, small, big) = fixture();
+        let disc = helmet_disc();
+        // Paper-realistic frame size: WLAN transfer dominates, so offloading
+        // everything is slower than hybrid routing (Table XI's regime).
+        let cfg = RuntimeConfig::default();
+        let cloud = run_system(&test, &small, &big, &disc, RuntimeMode::CloudOnly, &cfg);
+        let edge = run_system(&test, &small, &big, &disc, RuntimeMode::EdgeOnly, &cfg);
+        let ours = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &cfg);
+        assert_eq!(cloud.upload_ratio, 1.0);
+        // The paper's Table XI ordering: edge < ours < cloud in time,
+        // edge < ours <= cloud in accuracy.
+        assert!(edge.total_time_s < ours.total_time_s);
+        assert!(ours.total_time_s < cloud.total_time_s);
+        assert!(edge.map_pct <= ours.map_pct + 1e-9);
+        assert!(ours.map_pct <= cloud.map_pct + 1e-9);
+        assert!(edge.detected <= ours.detected);
+    }
+
+    #[test]
+    fn runtime_is_deterministic() {
+        let (test, small, big) = fixture();
+        let disc = helmet_disc();
+        let cfg = small_cfg();
+        let a = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &cfg);
+        let b = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smallbig_matches_batch_upload_ratio() {
+        let (test, small, big) = fixture();
+        let disc = helmet_disc();
+        let r = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &small_cfg());
+        let batch = crate::evaluate(
+            &test,
+            &small,
+            &big,
+            &crate::Policy::DifficultCase(disc),
+            &crate::EvalConfig::default(),
+        );
+        assert!((r.upload_ratio - batch.upload_ratio).abs() < 1e-9);
+        assert!((r.map_pct - batch.e2e_map_pct).abs() < 1e-9);
+        assert_eq!(r.detected, batch.e2e_detected);
+    }
+
+    #[test]
+    fn tight_deadline_forces_local_fallback() {
+        let (test, small, big) = fixture();
+        let disc = helmet_disc();
+        // 150 ms: enough for edge inference but never for a WLAN round trip.
+        let cfg = RuntimeConfig {
+            frame_size: (96, 96),
+            deadline_s: Some(0.15),
+            ..Default::default()
+        };
+        let strict = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &cfg);
+        let relaxed = run_system(
+            &test,
+            &small,
+            &big,
+            &disc,
+            RuntimeMode::SmallBig,
+            &RuntimeConfig { frame_size: (96, 96), ..Default::default() },
+        );
+        // Same routing decisions => same bandwidth, but misses under strict.
+        assert_eq!(strict.upload_ratio, relaxed.upload_ratio);
+        assert_eq!(strict.uplink_bytes, relaxed.uplink_bytes);
+        if strict.upload_ratio > 0.0 {
+            assert!(strict.deadline_misses > 0, "WLAN cannot meet 150 ms");
+            // Falling back to local results costs accuracy but bounds time.
+            assert!(strict.detected <= relaxed.detected);
+            assert!(strict.total_time_s < relaxed.total_time_s);
+            // Every image finished within edge time + deadline.
+            assert!(strict.latency.max_image_s <= 0.15 + 0.2);
+        }
+        assert_eq!(relaxed.deadline_misses, 0);
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let (test, small, big) = fixture();
+        let disc = helmet_disc();
+        let base = RuntimeConfig { frame_size: (96, 96), ..Default::default() };
+        let with_deadline = RuntimeConfig {
+            frame_size: (96, 96),
+            deadline_s: Some(60.0),
+            ..Default::default()
+        };
+        let a = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &base);
+        let b = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &with_deadline);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(b.deadline_misses, 0);
+        assert!((a.total_time_s - b.total_time_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uplink_bytes_scale_with_uploads() {
+        let (test, small, big) = fixture();
+        let disc = helmet_disc();
+        let r = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &small_cfg());
+        if r.latency.cloud_images > 0 {
+            assert!(r.uplink_bytes > 0);
+            let per_image = r.uplink_bytes as f64 / r.latency.cloud_images as f64;
+            assert!(per_image > 500.0, "encoded frames are non-trivial: {per_image}");
+        }
+    }
+}

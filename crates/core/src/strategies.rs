@@ -1,0 +1,362 @@
+//! Offload policies: ours plus every baseline the paper compares against.
+//!
+//! * [`Policy::DifficultCase`] — the paper's discriminator (Sec. V).
+//! * [`Policy::CloudOnly`] / [`Policy::EdgeOnly`] — the two extremes.
+//! * [`Policy::Random`] — upload a random 50 % (Sec. VI-E-1).
+//! * [`Policy::BlurQuantile`] — upload the blurriest images by Brenner
+//!   gradient (Sec. VI-E-2, Eq. 2).
+//! * [`Policy::Top1Quantile`] — upload the images with the lowest mean
+//!   per-class top-1 confidence (Sec. VI-E-3).
+//! * [`Policy::Oracle`] — upload exactly the true difficult cases (upper
+//!   bound, not in the paper; used for ablations).
+
+use crate::{CaseKind, DifficultCaseDiscriminator};
+use datagen::Scene;
+use detcore::ImageDetections;
+use imaging::{brenner_gradient, render};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-image routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Keep the small model's local result.
+    Local,
+    /// Upload to the cloud; the big model's result becomes final.
+    Upload,
+}
+
+impl Decision {
+    /// `true` when the image is uploaded.
+    pub fn is_upload(&self) -> bool {
+        matches!(self, Decision::Upload)
+    }
+}
+
+/// Everything a policy may consult for one image.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyInput<'a> {
+    /// The scene (gives the Oracle and the blur baseline their inputs).
+    pub scene: &'a Scene,
+    /// The small model's raw detections.
+    pub small_dets: &'a ImageDetections,
+    /// The ground-truth difficulty label, when known (Oracle only).
+    pub label: Option<CaseKind>,
+    /// Number of classes in the taxonomy (top-1 baseline normalisation).
+    pub num_classes: usize,
+}
+
+/// An offload policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// The paper's difficult-case discriminator.
+    DifficultCase(DifficultCaseDiscriminator),
+    /// Upload everything (the traditional cloud-offload scheme).
+    CloudOnly,
+    /// Upload nothing.
+    EdgeOnly,
+    /// Upload a uniformly random fraction of the images.
+    Random {
+        /// Fraction of images to upload (0–1).
+        upload_fraction: f64,
+        /// RNG seed (decisions are deterministic given the seed).
+        seed: u64,
+    },
+    /// Upload the blurriest `upload_fraction` by Brenner gradient.
+    BlurQuantile {
+        /// Fraction of images to upload (0–1).
+        upload_fraction: f64,
+        /// Resolution at which frames are rendered for scoring.
+        render_size: (usize, usize),
+    },
+    /// Upload the `upload_fraction` with the lowest mean top-1 confidence.
+    Top1Quantile {
+        /// Fraction of images to upload (0–1).
+        upload_fraction: f64,
+    },
+    /// Upload the `upload_fraction` most difficult-looking images, ranked by
+    /// the discriminator's semantic features (count mismatch, estimated
+    /// count, minimum area). This is the sweep behind the paper's Figs. 8–9:
+    /// the knee of the mAP-vs-upload curve sits near 50 %.
+    DifficultyQuantile {
+        /// Fraction of images to upload (0–1).
+        upload_fraction: f64,
+        /// Noise-filter confidence threshold for feature extraction.
+        t_conf: f64,
+    },
+    /// Upload exactly the images whose true label is difficult.
+    Oracle,
+}
+
+impl Policy {
+    /// Human-readable policy name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            Policy::DifficultCase(d) => {
+                let t = d.thresholds();
+                format!(
+                    "difficult-case (conf {:.2}, count {}, area {:.2})",
+                    t.conf, t.count, t.area
+                )
+            }
+            Policy::CloudOnly => "cloud-only".to_string(),
+            Policy::EdgeOnly => "edge-only".to_string(),
+            Policy::Random { upload_fraction, .. } => {
+                format!("random {:.0}%", upload_fraction * 100.0)
+            }
+            Policy::BlurQuantile { upload_fraction, .. } => {
+                format!("blurred {:.0}% (Brenner)", upload_fraction * 100.0)
+            }
+            Policy::Top1Quantile { upload_fraction } => {
+                format!("top-1 confidence {:.0}%", upload_fraction * 100.0)
+            }
+            Policy::DifficultyQuantile { upload_fraction, .. } => {
+                format!("difficulty-ranked {:.0}%", upload_fraction * 100.0)
+            }
+            Policy::Oracle => "oracle".to_string(),
+        }
+    }
+
+    /// Decides the whole batch at once.
+    ///
+    /// Quantile policies (random / blur / top-1) reproduce the paper's
+    /// protocol of sorting the entire test set and uploading the worst
+    /// fraction; the discriminator and the extremes decide per image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a quantile fraction is outside `[0, 1]`, or if
+    /// [`Policy::Oracle`] is used on inputs without labels.
+    pub fn decide_all(&self, inputs: &[PolicyInput<'_>]) -> Vec<Decision> {
+        match self {
+            Policy::DifficultCase(disc) => inputs
+                .iter()
+                .map(|ctx| match disc.classify(ctx.small_dets) {
+                    CaseKind::Difficult => Decision::Upload,
+                    CaseKind::Easy => Decision::Local,
+                })
+                .collect(),
+            Policy::CloudOnly => vec![Decision::Upload; inputs.len()],
+            Policy::EdgeOnly => vec![Decision::Local; inputs.len()],
+            Policy::Random { upload_fraction, seed } => {
+                assert!((0.0..=1.0).contains(upload_fraction), "fraction in [0, 1]");
+                let mut order: Vec<usize> = (0..inputs.len()).collect();
+                let mut rng = StdRng::seed_from_u64(*seed);
+                order.shuffle(&mut rng);
+                let k = quantile_count(inputs.len(), *upload_fraction);
+                let mut out = vec![Decision::Local; inputs.len()];
+                for &i in order.iter().take(k) {
+                    out[i] = Decision::Upload;
+                }
+                out
+            }
+            Policy::BlurQuantile { upload_fraction, render_size } => {
+                assert!((0.0..=1.0).contains(upload_fraction), "fraction in [0, 1]");
+                let scores: Vec<f64> = inputs
+                    .iter()
+                    .map(|ctx| {
+                        let frame =
+                            render(&ctx.scene.render_spec(render_size.0, render_size.1));
+                        brenner_gradient(&frame)
+                    })
+                    .collect();
+                // Blurriest = lowest Brenner score; upload those.
+                upload_lowest(&scores, *upload_fraction)
+            }
+            Policy::Top1Quantile { upload_fraction } => {
+                assert!((0.0..=1.0).contains(upload_fraction), "fraction in [0, 1]");
+                let scores: Vec<f64> = inputs
+                    .iter()
+                    .map(|ctx| ctx.small_dets.mean_top1_score(ctx.num_classes))
+                    .collect();
+                upload_lowest(&scores, *upload_fraction)
+            }
+            Policy::DifficultyQuantile { upload_fraction, t_conf } => {
+                assert!((0.0..=1.0).contains(upload_fraction), "fraction in [0, 1]");
+                let scores: Vec<f64> = inputs
+                    .iter()
+                    .map(|ctx| {
+                        let f = crate::SemanticFeatures::extract(ctx.small_dets, *t_conf);
+                        let uncertain =
+                            f.estimated_count.saturating_sub(f.predicted_count) as f64;
+                        let min_area = f.estimated_min_area.unwrap_or(1.0);
+                        // Higher = more difficult; negate for upload_lowest.
+                        -(uncertain * 1e6 + f.estimated_count as f64 * 1e3 + (1.0 - min_area))
+                    })
+                    .collect();
+                upload_lowest(&scores, *upload_fraction)
+            }
+            Policy::Oracle => inputs
+                .iter()
+                .map(|ctx| {
+                    match ctx.label.expect("oracle policy requires labelled inputs") {
+                        CaseKind::Difficult => Decision::Upload,
+                        CaseKind::Easy => Decision::Local,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+fn quantile_count(n: usize, fraction: f64) -> usize {
+    ((n as f64 * fraction).round() as usize).min(n)
+}
+
+/// Uploads the images with the `fraction` lowest scores.
+fn upload_lowest(scores: &[f64], fraction: f64) -> Vec<Decision> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let k = quantile_count(scores.len(), fraction);
+    let mut out = vec![Decision::Local; scores.len()];
+    for &i in order.iter().take(k) {
+        out[i] = Decision::Upload;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::DatasetProfile;
+    use modelzoo::{Detector, ModelKind, SimDetector};
+
+    fn inputs_fixture(
+        n: u64,
+    ) -> (Vec<Scene>, Vec<ImageDetections>) {
+        let profile = DatasetProfile::voc();
+        let scenes: Vec<Scene> = (0..n).map(|id| Scene::sample(&profile, 21, id)).collect();
+        let small = SimDetector::new(ModelKind::VggLiteSsd, datagen::SplitId::Voc07, 20);
+        let dets: Vec<ImageDetections> = scenes.iter().map(|s| small.detect(s)).collect();
+        (scenes, dets)
+    }
+
+    fn make_inputs<'a>(
+        scenes: &'a [Scene],
+        dets: &'a [ImageDetections],
+    ) -> Vec<PolicyInput<'a>> {
+        scenes
+            .iter()
+            .zip(dets)
+            .map(|(scene, small_dets)| PolicyInput {
+                scene,
+                small_dets,
+                label: Some(if scene.num_objects() > 2 {
+                    CaseKind::Difficult
+                } else {
+                    CaseKind::Easy
+                }),
+                num_classes: 20,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn extremes() {
+        let (scenes, dets) = inputs_fixture(20);
+        let inputs = make_inputs(&scenes, &dets);
+        assert!(Policy::CloudOnly
+            .decide_all(&inputs)
+            .iter()
+            .all(|d| d.is_upload()));
+        assert!(Policy::EdgeOnly
+            .decide_all(&inputs)
+            .iter()
+            .all(|d| !d.is_upload()));
+    }
+
+    #[test]
+    fn random_hits_requested_fraction_and_is_deterministic() {
+        let (scenes, dets) = inputs_fixture(100);
+        let inputs = make_inputs(&scenes, &dets);
+        let p = Policy::Random { upload_fraction: 0.5, seed: 3 };
+        let a = p.decide_all(&inputs);
+        let b = p.decide_all(&inputs);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|d| d.is_upload()).count(), 50);
+        let p2 = Policy::Random { upload_fraction: 0.5, seed: 4 };
+        assert_ne!(p2.decide_all(&inputs), a);
+    }
+
+    #[test]
+    fn quantile_policies_hit_fraction_exactly() {
+        let (scenes, dets) = inputs_fixture(40);
+        let inputs = make_inputs(&scenes, &dets);
+        for p in [
+            Policy::BlurQuantile { upload_fraction: 0.5, render_size: (64, 48) },
+            Policy::Top1Quantile { upload_fraction: 0.5 },
+        ] {
+            let d = p.decide_all(&inputs);
+            assert_eq!(d.iter().filter(|x| x.is_upload()).count(), 20, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn blur_uploads_blurriest() {
+        let (scenes, dets) = inputs_fixture(60);
+        let inputs = make_inputs(&scenes, &dets);
+        let p = Policy::BlurQuantile { upload_fraction: 0.5, render_size: (64, 48) };
+        let decisions = p.decide_all(&inputs);
+        let blur_of = |i: usize| scenes[i].camera_blur;
+        let uploaded: Vec<f64> = decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_upload())
+            .map(|(i, _)| blur_of(i))
+            .collect();
+        let kept: Vec<f64> = decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_upload())
+            .map(|(i, _)| blur_of(i))
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&uploaded) > mean(&kept),
+            "uploaded frames should be blurrier on average"
+        );
+    }
+
+    #[test]
+    fn oracle_follows_labels() {
+        let (scenes, dets) = inputs_fixture(30);
+        let inputs = make_inputs(&scenes, &dets);
+        let d = Policy::Oracle.decide_all(&inputs);
+        for (ctx, dec) in inputs.iter().zip(&d) {
+            assert_eq!(ctx.label.unwrap().is_difficult(), dec.is_upload());
+        }
+    }
+
+    #[test]
+    fn discriminator_policy_routes_by_classification() {
+        let (scenes, dets) = inputs_fixture(50);
+        let inputs = make_inputs(&scenes, &dets);
+        let disc = DifficultCaseDiscriminator::default();
+        let p = Policy::DifficultCase(disc.clone());
+        let decisions = p.decide_all(&inputs);
+        for (ctx, dec) in inputs.iter().zip(&decisions) {
+            assert_eq!(disc.classify(ctx.small_dets).is_difficult(), dec.is_upload());
+        }
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(Policy::CloudOnly.name().contains("cloud"));
+        assert!(Policy::Random { upload_fraction: 0.5, seed: 0 }
+            .name()
+            .contains("50"));
+        assert!(Policy::DifficultCase(DifficultCaseDiscriminator::default())
+            .name()
+            .contains("0.31"));
+    }
+
+    #[test]
+    #[should_panic(expected = "labelled")]
+    fn oracle_without_labels_panics() {
+        let (scenes, dets) = inputs_fixture(3);
+        let mut inputs = make_inputs(&scenes, &dets);
+        inputs[0].label = None;
+        let _ = Policy::Oracle.decide_all(&inputs);
+    }
+}

@@ -1,0 +1,147 @@
+//! Wire format for edge↔cloud messages: length-prefixed JSON frames.
+//!
+//! The runtime (see [`crate::runtime`]) ships real serialized bytes between
+//! the edge and cloud threads, so payload sizes — and therefore simulated
+//! transfer times — come from actual encoded messages, not guesses.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{de::DeserializeOwned, Serialize};
+use std::fmt;
+
+/// Maximum accepted frame payload (16 MiB) — guards against corrupt lengths.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Errors produced when decoding a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The buffer is shorter than its length prefix promises.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized(usize),
+    /// The payload was not valid JSON for the target type.
+    Malformed(serde_json::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame is truncated"),
+            WireError::Oversized(n) => write!(f, "frame length {n} exceeds limit"),
+            WireError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes a message as a length-prefixed JSON frame.
+///
+/// # Examples
+///
+/// ```
+/// use smallbig_core::wire::{decode_frame, encode_frame};
+///
+/// let frame = encode_frame(&vec![1u32, 2, 3]);
+/// let round_trip: Vec<u32> = decode_frame(&frame).unwrap();
+/// assert_eq!(round_trip, vec![1, 2, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the value cannot be serialized (never happens for the message
+/// types in this crate).
+pub fn encode_frame<T: Serialize>(value: &T) -> Bytes {
+    let payload = serde_json::to_vec(value).expect("message types serialize infallibly");
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Decodes a length-prefixed JSON frame.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, oversized prefixes, or JSON errors.
+pub fn decode_frame<T: DeserializeOwned>(frame: &Bytes) -> Result<T, WireError> {
+    let mut buf = frame.clone();
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized(len));
+    }
+    if buf.remaining() < len {
+        return Err(WireError::Truncated);
+    }
+    serde_json::from_slice(&buf.chunk()[..len]).map_err(WireError::Malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detcore::{BBox, ClassId, Detection, ImageDetections};
+
+    #[test]
+    fn round_trip_detections() {
+        let dets = ImageDetections::from_vec(vec![Detection::new(
+            ClassId(3),
+            0.77,
+            BBox::new(0.1, 0.2, 0.5, 0.9).unwrap(),
+        )]);
+        let frame = encode_frame(&dets);
+        let back: ImageDetections = decode_frame(&frame).unwrap();
+        assert_eq!(back, dets);
+    }
+
+    #[test]
+    fn frame_length_matches_prefix() {
+        let frame = encode_frame(&"hello".to_string());
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(frame.len(), 4 + len);
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let frame = encode_frame(&vec![1u8; 100]);
+        let cut = frame.slice(..frame.len() - 10);
+        assert!(matches!(
+            decode_frame::<Vec<u8>>(&cut),
+            Err(WireError::Truncated)
+        ));
+        let tiny = Bytes::from_static(&[1, 2]);
+        assert!(matches!(
+            decode_frame::<Vec<u8>>(&tiny),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        buf.put_slice(b"xx");
+        assert!(matches!(
+            decode_frame::<Vec<u8>>(&buf.freeze()),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_payload_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(3);
+        buf.put_slice(b"{{{");
+        let err = decode_frame::<Vec<u8>>(&buf.freeze()).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)));
+        assert!(format!("{err}").contains("malformed"));
+    }
+}

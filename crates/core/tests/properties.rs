@@ -1,0 +1,131 @@
+//! Property-based tests for the discriminator and policies.
+
+use detcore::{BBox, ClassId, Detection, ImageDetections};
+use proptest::prelude::*;
+use smallbig_core::{
+    CaseKind, DifficultCaseDiscriminator, SemanticFeatures, Thresholds, PREDICTION_THRESHOLD,
+};
+
+fn arb_detection() -> impl Strategy<Value = Detection> {
+    (0u16..20, 0.01f64..1.0, 0.0f64..0.8, 0.0f64..0.8, 0.05f64..0.2, 0.05f64..0.2).prop_map(
+        |(c, s, x, y, w, h)| {
+            Detection::new(
+                ClassId(c),
+                s,
+                BBox::new(x, y, (x + w).min(1.0), (y + h).min(1.0)).unwrap(),
+            )
+        },
+    )
+}
+
+fn arb_dets(max: usize) -> impl Strategy<Value = ImageDetections> {
+    prop::collection::vec(arb_detection(), 0..max).prop_map(ImageDetections::from_vec)
+}
+
+fn arb_thresholds() -> impl Strategy<Value = Thresholds> {
+    (0.05f64..0.5, 1usize..6, 0.0f64..0.6)
+        .prop_map(|(conf, count, area)| Thresholds { conf, count, area })
+}
+
+proptest! {
+    #[test]
+    fn features_are_consistent(dets in arb_dets(30), t_conf in 0.05f64..0.5) {
+        let f = SemanticFeatures::extract(&dets, t_conf);
+        // The estimated count can never be below the predicted count
+        // (t_conf <= 0.5 admits at least every predicted box).
+        prop_assert!(f.estimated_count >= f.predicted_count);
+        prop_assert_eq!(f.predicted_count, dets.count_above(PREDICTION_THRESHOLD));
+        if f.estimated_count > 0 {
+            prop_assert!(f.estimated_min_area.is_some());
+            let a = f.estimated_min_area.unwrap();
+            prop_assert!(a > 0.0 && a <= 1.0);
+        } else {
+            prop_assert!(f.estimated_min_area.is_none());
+        }
+    }
+
+    #[test]
+    fn classification_is_deterministic(dets in arb_dets(25), th in arb_thresholds()) {
+        let disc = DifficultCaseDiscriminator::new(th);
+        prop_assert_eq!(disc.classify(&dets), disc.classify(&dets));
+    }
+
+    #[test]
+    fn adding_uncertain_boxes_never_flips_difficult_to_easy(
+        dets in arb_dets(15),
+        th in arb_thresholds(),
+        extra_score in 0.0f64..0.49,
+        extra_side in 0.01f64..0.3,
+    ) {
+        // An extra sub-prediction-threshold box can reveal uncertainty
+        // (easy -> difficult) but must never hide it (difficult -> easy),
+        // because it cannot restore predicted==estimated equality, cannot
+        // lower the estimated count, and can only shrink the minimum area.
+        prop_assume!(extra_score >= th.conf); // inside the counted window
+        let disc = DifficultCaseDiscriminator::new(th);
+        let before = disc.classify(&dets);
+        let mut more = dets.clone();
+        more.push(Detection::new(
+            ClassId(0),
+            extra_score,
+            BBox::new(0.1, 0.1, 0.1 + extra_side, 0.1 + extra_side).unwrap(),
+        ));
+        let after = disc.classify(&more);
+        if before == CaseKind::Difficult {
+            prop_assert_eq!(after, CaseKind::Difficult);
+        }
+    }
+
+    #[test]
+    fn raising_count_threshold_never_creates_difficult(
+        dets in arb_dets(25),
+        conf in 0.05f64..0.5,
+        area in 0.0f64..0.5,
+        count_lo in 1usize..4,
+        extra in 1usize..4,
+    ) {
+        // A more permissive count threshold can only classify fewer images
+        // as difficult (for fixed conf/area).
+        let lo = DifficultCaseDiscriminator::new(Thresholds { conf, count: count_lo, area });
+        let hi = DifficultCaseDiscriminator::new(Thresholds {
+            conf,
+            count: count_lo + extra,
+            area,
+        });
+        if lo.classify(&dets) == CaseKind::Easy {
+            prop_assert_eq!(hi.classify(&dets), CaseKind::Easy);
+        }
+    }
+
+    #[test]
+    fn raising_area_threshold_never_creates_easy(
+        dets in arb_dets(25),
+        conf in 0.05f64..0.5,
+        count in 1usize..5,
+        area_lo in 0.0f64..0.3,
+        bump in 0.0f64..0.3,
+    ) {
+        // A larger area threshold flags more images as difficult.
+        let lo = DifficultCaseDiscriminator::new(Thresholds { conf, count, area: area_lo });
+        let hi = DifficultCaseDiscriminator::new(Thresholds {
+            conf,
+            count,
+            area: area_lo + bump,
+        });
+        if lo.classify(&dets) == CaseKind::Difficult {
+            prop_assert_eq!(hi.classify(&dets), CaseKind::Difficult);
+        }
+    }
+
+    #[test]
+    fn true_feature_rule_matches_or_semantics(
+        n in 0usize..20,
+        area in prop::option::of(1e-4f64..1.0),
+        th in arb_thresholds(),
+    ) {
+        let disc = DifficultCaseDiscriminator::new(th);
+        let verdict = disc.classify_true_features(n, area);
+        let expect = n > th.count || area.map(|a| a < th.area).unwrap_or(false);
+        prop_assert_eq!(verdict.is_difficult(), expect);
+    }
+}

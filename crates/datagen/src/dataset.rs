@@ -1,0 +1,191 @@
+//! Datasets: named collections of scenes with a train/test split identity.
+
+use crate::{DatasetProfile, Scene};
+use detcore::Taxonomy;
+use serde::{Deserialize, Serialize};
+
+/// A generated dataset: an ordered collection of scenes sharing one profile.
+///
+/// # Examples
+///
+/// ```
+/// use datagen::{Dataset, DatasetProfile};
+///
+/// let ds = Dataset::generate("demo", &DatasetProfile::voc(), 100, 7);
+/// assert_eq!(ds.len(), 100);
+/// assert!(ds.total_objects() >= 100); // every scene has >= 1 object
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    taxonomy: Taxonomy,
+    scenes: Vec<Scene>,
+}
+
+impl Dataset {
+    /// Generates `n` scenes from a profile, deterministically in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(name: &str, profile: &DatasetProfile, n: usize, seed: u64) -> Self {
+        assert!(n > 0, "dataset must contain at least one scene");
+        let scenes = (0..n as u64)
+            .map(|id| Scene::sample(profile, seed, id))
+            .collect();
+        Dataset {
+            name: name.to_string(),
+            taxonomy: profile.taxonomy.clone(),
+            scenes,
+        }
+    }
+
+    /// Builds a dataset from pre-sampled scenes (used by split composition).
+    pub fn from_scenes(name: &str, taxonomy: Taxonomy, scenes: Vec<Scene>) -> Self {
+        Dataset { name: name.to_string(), taxonomy, scenes }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The class taxonomy of this dataset.
+    pub fn taxonomy(&self) -> &Taxonomy {
+        &self.taxonomy
+    }
+
+    /// The scenes in order.
+    pub fn scenes(&self) -> &[Scene] {
+        &self.scenes
+    }
+
+    /// Number of images.
+    pub fn len(&self) -> usize {
+        self.scenes.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenes.is_empty()
+    }
+
+    /// Iterates over scenes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Scene> {
+        self.scenes.iter()
+    }
+
+    /// Total annotated objects across all scenes.
+    pub fn total_objects(&self) -> usize {
+        self.scenes.iter().map(|s| s.num_objects()).sum()
+    }
+
+    /// Mean objects per image.
+    pub fn mean_objects(&self) -> f64 {
+        if self.scenes.is_empty() {
+            return 0.0;
+        }
+        self.total_objects() as f64 / self.scenes.len() as f64
+    }
+
+    /// Returns a new dataset containing the first `n` scenes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the dataset size.
+    pub fn take_prefix(&self, n: usize) -> Dataset {
+        assert!(n > 0 && n <= self.scenes.len(), "invalid prefix length");
+        Dataset {
+            name: format!("{}[..{}]", self.name, n),
+            taxonomy: self.taxonomy.clone(),
+            scenes: self.scenes[..n].to_vec(),
+        }
+    }
+
+    /// Concatenates two datasets over the same taxonomy (e.g. 07+12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the taxonomies differ.
+    pub fn concat(&self, other: &Dataset, name: &str) -> Dataset {
+        assert_eq!(
+            self.taxonomy, other.taxonomy,
+            "cannot concatenate datasets over different taxonomies"
+        );
+        let mut scenes = self.scenes.clone();
+        // Re-id the second dataset's scenes to keep ids unique.
+        let offset = scenes.len() as u64;
+        scenes.extend(other.scenes.iter().cloned().map(|mut s| {
+            s.id += offset;
+            s
+        }));
+        Dataset { name: name.to_string(), taxonomy: self.taxonomy.clone(), scenes }
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Scene;
+    type IntoIter = std::slice::Iter<'a, Scene>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.scenes.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = DatasetProfile::voc();
+        let a = Dataset::generate("a", &p, 50, 11);
+        let b = Dataset::generate("b", &p, 50, 11);
+        assert_eq!(a.scenes(), b.scenes());
+        let c = Dataset::generate("c", &p, 50, 12);
+        assert_ne!(a.scenes(), c.scenes());
+    }
+
+    #[test]
+    fn scene_ids_are_sequential() {
+        let ds = Dataset::generate("x", &DatasetProfile::helmet(), 10, 3);
+        for (i, s) in ds.iter().enumerate() {
+            assert_eq!(s.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn concat_offsets_ids() {
+        let p = DatasetProfile::voc();
+        let a = Dataset::generate("a", &p, 5, 1);
+        let b = Dataset::generate("b", &p, 5, 2);
+        let c = a.concat(&b, "a+b");
+        assert_eq!(c.len(), 10);
+        let ids: Vec<u64> = c.iter().map(|s| s.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "ids must be unique after concat");
+    }
+
+    #[test]
+    #[should_panic(expected = "different taxonomies")]
+    fn concat_rejects_mixed_taxonomies() {
+        let a = Dataset::generate("a", &DatasetProfile::voc(), 2, 1);
+        let b = Dataset::generate("b", &DatasetProfile::helmet(), 2, 1);
+        let _ = a.concat(&b, "bad");
+    }
+
+    #[test]
+    fn take_prefix_shrinks() {
+        let ds = Dataset::generate("x", &DatasetProfile::voc(), 20, 3);
+        let p = ds.take_prefix(5);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.scenes()[0], ds.scenes()[0]);
+    }
+
+    #[test]
+    fn mean_objects_positive() {
+        let ds = Dataset::generate("x", &DatasetProfile::coco18(), 200, 3);
+        assert!(ds.mean_objects() >= 1.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! The paper's train/test splits, reproduced at their published sizes.
+//!
+//! | Split   | Train                                   | Test                  |
+//! |---------|-----------------------------------------|-----------------------|
+//! | 07      | VOC2007 trainval (5011)                 | VOC2007 test (4952)   |
+//! | 07+12   | VOC2007 trainval + VOC2012 trainval (16551) | VOC2007 test (4952) |
+//! | 07++12  | VOC2007 trainval+test (9963) + VOC2012 trainval (6588) | 4952 from VOC2012 |
+//! | COCO    | 93353 images (18 VOC classes)           | 4914 images           |
+//! | HELMET  | Sedna building-site footage             | held-out site footage |
+//!
+//! Each component dataset is generated from its profile with a fixed seed, so
+//! 07 and 07+12 share the *identical* test set, exactly as in the paper.
+
+use crate::{Dataset, DatasetProfile};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier for one of the paper's dataset splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SplitId {
+    /// VOC2007 only.
+    Voc07,
+    /// VOC2007 + VOC2012 trainval; VOC2007 test.
+    Voc0712,
+    /// VOC2007 trainval+test + VOC2012 trainval; VOC2012 test sample.
+    Voc0712pp,
+    /// The 18-class COCO subset.
+    Coco18,
+    /// The Sedna HELMET dataset.
+    Helmet,
+}
+
+impl SplitId {
+    /// All splits in the paper's table order.
+    pub const ALL: [SplitId; 5] = [
+        SplitId::Voc07,
+        SplitId::Voc0712,
+        SplitId::Voc0712pp,
+        SplitId::Coco18,
+        SplitId::Helmet,
+    ];
+
+    /// The label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SplitId::Voc07 => "07",
+            SplitId::Voc0712 => "07+12",
+            SplitId::Voc0712pp => "07++12",
+            SplitId::Coco18 => "COCO",
+            SplitId::Helmet => "HELMET",
+        }
+    }
+
+    /// The four splits used in Tables III–VIII (without HELMET).
+    pub const PAPER_MAIN: [SplitId; 4] = [
+        SplitId::Voc07,
+        SplitId::Voc0712,
+        SplitId::Voc0712pp,
+        SplitId::Coco18,
+    ];
+}
+
+impl fmt::Display for SplitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Published sizes of each component (images).
+mod sizes {
+    pub const VOC07_TRAINVAL: usize = 5011;
+    pub const VOC07_TEST: usize = 4952;
+    pub const VOC12_TRAINVAL: usize = 11540;
+    pub const VOC12_PP_TRAIN: usize = 6588;
+    pub const VOC12_PP_TEST: usize = 4952;
+    pub const COCO_TRAIN: usize = 93353;
+    pub const COCO_TEST: usize = 4914;
+    pub const HELMET_TRAIN: usize = 2500;
+    pub const HELMET_TEST: usize = 480;
+}
+
+/// Component seeds: fixed so that shared components are bit-identical across
+/// splits (e.g. the VOC2007 test set in 07 and 07+12).
+mod seeds {
+    pub const VOC07_TRAINVAL: u64 = 0x0007_aa01;
+    pub const VOC07_TEST: u64 = 0x0007_cc02;
+    pub const VOC12_TRAINVAL: u64 = 0x0012_bb03;
+    pub const VOC12_PP_TEST: u64 = 0x0012_dd04;
+    pub const COCO_TRAIN: u64 = 0x00c0_c001;
+    pub const COCO_TEST: u64 = 0x00c0_c002;
+    pub const HELMET_TRAIN: u64 = 0x00af_0041;
+    pub const HELMET_TEST: u64 = 0x00af_0042;
+}
+
+/// A train/test split over one taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// Which split this is.
+    pub id: SplitId,
+    /// Training images (used for labelling + threshold calibration).
+    pub train: Dataset,
+    /// Test images (used for every reported table).
+    pub test: Dataset,
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(30)
+}
+
+impl Split {
+    /// Loads a split at its full published size.
+    pub fn load(id: SplitId) -> Split {
+        Split::load_scaled(id, 1.0)
+    }
+
+    /// Loads a split with all component sizes multiplied by `scale`
+    /// (minimum 30 images per component). Useful for fast tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn load_scaled(id: SplitId, scale: f64) -> Split {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let voc = DatasetProfile::voc();
+        let coco = DatasetProfile::coco18();
+        let helmet = DatasetProfile::helmet();
+        match id {
+            SplitId::Voc07 => Split {
+                id,
+                train: Dataset::generate(
+                    "voc07-trainval",
+                    &voc,
+                    scaled(sizes::VOC07_TRAINVAL, scale),
+                    seeds::VOC07_TRAINVAL,
+                ),
+                test: Dataset::generate(
+                    "voc07-test",
+                    &voc,
+                    scaled(sizes::VOC07_TEST, scale),
+                    seeds::VOC07_TEST,
+                ),
+            },
+            SplitId::Voc0712 => {
+                let t07 = Dataset::generate(
+                    "voc07-trainval",
+                    &voc,
+                    scaled(sizes::VOC07_TRAINVAL, scale),
+                    seeds::VOC07_TRAINVAL,
+                );
+                let t12 = Dataset::generate(
+                    "voc12-trainval",
+                    &voc,
+                    scaled(sizes::VOC12_TRAINVAL, scale),
+                    seeds::VOC12_TRAINVAL,
+                );
+                Split {
+                    id,
+                    train: t07.concat(&t12, "voc0712-trainval"),
+                    test: Dataset::generate(
+                        "voc07-test",
+                        &voc,
+                        scaled(sizes::VOC07_TEST, scale),
+                        seeds::VOC07_TEST,
+                    ),
+                }
+            }
+            SplitId::Voc0712pp => {
+                let t07 = Dataset::generate(
+                    "voc07-trainval",
+                    &voc,
+                    scaled(sizes::VOC07_TRAINVAL, scale),
+                    seeds::VOC07_TRAINVAL,
+                );
+                let t07test = Dataset::generate(
+                    "voc07-test",
+                    &voc,
+                    scaled(sizes::VOC07_TEST, scale),
+                    seeds::VOC07_TEST,
+                );
+                let t12 = Dataset::generate(
+                    "voc12pp-train",
+                    &voc,
+                    scaled(sizes::VOC12_PP_TRAIN, scale),
+                    seeds::VOC12_TRAINVAL,
+                );
+                let train = t07.concat(&t07test, "voc07-all").concat(&t12, "voc0712pp-train");
+                Split {
+                    id,
+                    train,
+                    test: Dataset::generate(
+                        "voc12-test",
+                        &voc,
+                        scaled(sizes::VOC12_PP_TEST, scale),
+                        seeds::VOC12_PP_TEST,
+                    ),
+                }
+            }
+            SplitId::Coco18 => Split {
+                id,
+                train: Dataset::generate(
+                    "coco18-train",
+                    &coco,
+                    scaled(sizes::COCO_TRAIN, scale),
+                    seeds::COCO_TRAIN,
+                ),
+                test: Dataset::generate(
+                    "coco18-test",
+                    &coco,
+                    scaled(sizes::COCO_TEST, scale),
+                    seeds::COCO_TEST,
+                ),
+            },
+            SplitId::Helmet => Split {
+                id,
+                train: Dataset::generate(
+                    "helmet-train",
+                    &helmet,
+                    scaled(sizes::HELMET_TRAIN, scale),
+                    seeds::HELMET_TRAIN,
+                ),
+                test: Dataset::generate(
+                    "helmet-test",
+                    &helmet,
+                    scaled(sizes::HELMET_TEST, scale),
+                    seeds::HELMET_TEST,
+                ),
+            },
+        }
+    }
+
+    /// The profile this split's scenes were drawn from.
+    pub fn profile(&self) -> DatasetProfile {
+        match self.id {
+            SplitId::Voc07 | SplitId::Voc0712 | SplitId::Voc0712pp => DatasetProfile::voc(),
+            SplitId::Coco18 => DatasetProfile::coco18(),
+            SplitId::Helmet => DatasetProfile::helmet(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_sizes_match_paper() {
+        // use a small scale for the big ones; check exact arithmetic at scale 1
+        assert_eq!(scaled(sizes::VOC07_TRAINVAL, 1.0), 5011);
+        assert_eq!(scaled(sizes::VOC07_TEST, 1.0), 4952);
+        assert_eq!(
+            scaled(sizes::VOC07_TRAINVAL, 1.0) + scaled(sizes::VOC12_TRAINVAL, 1.0),
+            16551
+        );
+        assert_eq!(
+            scaled(sizes::VOC07_TRAINVAL, 1.0)
+                + scaled(sizes::VOC07_TEST, 1.0)
+                + scaled(sizes::VOC12_PP_TRAIN, 1.0),
+            16551
+        );
+        assert_eq!(scaled(sizes::COCO_TRAIN, 1.0), 93353);
+        assert_eq!(scaled(sizes::COCO_TEST, 1.0), 4914);
+    }
+
+    #[test]
+    fn voc07_and_0712_share_test_set() {
+        let a = Split::load_scaled(SplitId::Voc07, 0.02);
+        let b = Split::load_scaled(SplitId::Voc0712, 0.02);
+        assert_eq!(a.test.scenes(), b.test.scenes());
+    }
+
+    #[test]
+    fn pp_test_set_differs_from_07_test() {
+        let a = Split::load_scaled(SplitId::Voc07, 0.02);
+        let c = Split::load_scaled(SplitId::Voc0712pp, 0.02);
+        assert_ne!(a.test.scenes(), c.test.scenes());
+    }
+
+    #[test]
+    fn train_is_larger_for_composed_splits() {
+        let a = Split::load_scaled(SplitId::Voc07, 0.02);
+        let b = Split::load_scaled(SplitId::Voc0712, 0.02);
+        assert!(b.train.len() > a.train.len());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(SplitId::Voc07.label(), "07");
+        assert_eq!(SplitId::Voc0712.label(), "07+12");
+        assert_eq!(SplitId::Voc0712pp.label(), "07++12");
+        assert_eq!(SplitId::Coco18.label(), "COCO");
+        assert_eq!(format!("{}", SplitId::Helmet), "HELMET");
+    }
+
+    #[test]
+    fn helmet_uses_helmet_taxonomy() {
+        let s = Split::load_scaled(SplitId::Helmet, 0.1);
+        assert_eq!(s.train.taxonomy().len(), 2);
+        assert_eq!(s.profile().name, "helmet");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        let _ = Split::load_scaled(SplitId::Voc07, 0.0);
+    }
+
+    #[test]
+    fn loading_is_deterministic() {
+        let a = Split::load_scaled(SplitId::Coco18, 0.005);
+        let b = Split::load_scaled(SplitId::Coco18, 0.005);
+        assert_eq!(a.train.scenes(), b.train.scenes());
+        assert_eq!(a.test.scenes(), b.test.scenes());
+    }
+}

@@ -1,0 +1,128 @@
+//! Dataset statistics: the aggregate views the paper's Fig. 4 relies on.
+
+use crate::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a dataset's semantic features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of images.
+    pub num_images: usize,
+    /// Total annotated objects.
+    pub total_objects: usize,
+    /// Mean objects per image.
+    pub mean_objects: f64,
+    /// Histogram of object counts (index = count, clipped at 20+).
+    pub count_histogram: Vec<usize>,
+    /// Quantiles of the per-image minimum area ratio: `[p10, p25, p50, p75, p90]`.
+    pub min_area_quantiles: [f64; 5],
+    /// Mean intrinsic difficulty over all objects.
+    pub mean_difficulty: f64,
+    /// Fraction of images with more than two objects.
+    pub frac_multi_object: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for a dataset.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use datagen::{Dataset, DatasetProfile, DatasetStats};
+    ///
+    /// let ds = Dataset::generate("d", &DatasetProfile::voc(), 200, 1);
+    /// let stats = DatasetStats::compute(&ds);
+    /// assert_eq!(stats.num_images, 200);
+    /// assert!(stats.mean_objects >= 1.0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn compute(ds: &Dataset) -> DatasetStats {
+        assert!(!ds.is_empty(), "cannot summarise an empty dataset");
+        let num_images = ds.len();
+        let total_objects = ds.total_objects();
+        let mut count_histogram = vec![0usize; 21];
+        let mut min_areas: Vec<f64> = Vec::with_capacity(num_images);
+        let mut diff_sum = 0.0;
+        let mut multi = 0usize;
+        for s in ds.iter() {
+            let n = s.num_objects();
+            count_histogram[n.min(20)] += 1;
+            if let Some(a) = s.min_area_ratio() {
+                min_areas.push(a);
+            }
+            for o in &s.objects {
+                diff_sum += o.difficulty;
+            }
+            if n > 2 {
+                multi += 1;
+            }
+        }
+        min_areas.sort_by(|a, b| a.partial_cmp(b).expect("finite areas"));
+        let q = |p: f64| -> f64 {
+            if min_areas.is_empty() {
+                return 0.0;
+            }
+            let idx = ((min_areas.len() - 1) as f64 * p).round() as usize;
+            min_areas[idx]
+        };
+        DatasetStats {
+            num_images,
+            total_objects,
+            mean_objects: total_objects as f64 / num_images as f64,
+            count_histogram,
+            min_area_quantiles: [q(0.10), q(0.25), q(0.50), q(0.75), q(0.90)],
+            mean_difficulty: if total_objects == 0 {
+                0.0
+            } else {
+                diff_sum / total_objects as f64
+            },
+            frac_multi_object: multi as f64 / num_images as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetProfile;
+
+    #[test]
+    fn histogram_sums_to_images() {
+        let ds = Dataset::generate("d", &DatasetProfile::voc(), 300, 5);
+        let st = DatasetStats::compute(&ds);
+        assert_eq!(st.count_histogram.iter().sum::<usize>(), 300);
+        assert_eq!(st.count_histogram[0], 0, "profiles never emit empty scenes");
+    }
+
+    #[test]
+    fn quantiles_are_sorted() {
+        let ds = Dataset::generate("d", &DatasetProfile::coco18(), 300, 5);
+        let st = DatasetStats::compute(&ds);
+        let q = st.min_area_quantiles;
+        assert!(q.windows(2).all(|w| w[0] <= w[1]));
+        assert!(q[0] > 0.0);
+    }
+
+    #[test]
+    fn voc_mean_count_in_expected_band() {
+        // calibrated so the full VOC07 test set carries ~11-13k objects
+        let ds = Dataset::generate("d", &DatasetProfile::voc(), 2000, 9);
+        let st = DatasetStats::compute(&ds);
+        assert!(
+            (1.9..=3.2).contains(&st.mean_objects),
+            "voc mean objects {}",
+            st.mean_objects
+        );
+    }
+
+    #[test]
+    fn difficulty_in_unit_interval() {
+        let ds = Dataset::generate("d", &DatasetProfile::helmet(), 200, 5);
+        let st = DatasetStats::compute(&ds);
+        assert!((0.0..=1.0).contains(&st.mean_difficulty));
+        assert!(st.mean_difficulty > 0.1, "helmet should be hard");
+    }
+}

@@ -1,0 +1,290 @@
+//! Temporally correlated video sequences.
+//!
+//! The paper's framework targets video workloads ("Edge-Cloud collaboration
+//! focuses more on timeliness (e.g., object detection for video stream)"),
+//! where consecutive frames share most of their objects. A
+//! [`VideoSequence`] evolves a scene over time: objects persist with high
+//! probability, drift and change scale smoothly, leave the frame, and new
+//! objects enter — while camera conditions (blur, light) follow a slow
+//! random walk. This is the substrate for streaming experiments where
+//! discriminator verdicts are expected to be temporally coherent.
+
+use crate::{DatasetProfile, Scene, SceneObject};
+use detcore::BBox;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, Poisson};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the temporal evolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoProfile {
+    /// The per-frame content statistics (class mix, areas, difficulty…).
+    pub base: DatasetProfile,
+    /// Per-frame survival probability of an object (e.g. 0.95 at 1 fps).
+    pub persistence: f64,
+    /// Poisson rate of new objects entering per frame.
+    pub entry_rate: f64,
+    /// Std-dev of per-frame centre drift, as a fraction of the image.
+    pub motion_sigma: f64,
+    /// Std-dev of per-frame log-scale drift.
+    pub zoom_sigma: f64,
+    /// AR(1) smoothing factor for camera conditions (0 = frozen, 1 = i.i.d.).
+    pub camera_drift: f64,
+}
+
+impl VideoProfile {
+    /// A surveillance-style stream over the given content profile.
+    pub fn surveillance(base: DatasetProfile) -> Self {
+        VideoProfile {
+            base,
+            persistence: 0.93,
+            entry_rate: 0.35,
+            motion_sigma: 0.015,
+            zoom_sigma: 0.03,
+            camera_drift: 0.15,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.persistence),
+            "persistence must be a probability"
+        );
+        assert!(self.entry_rate >= 0.0, "entry rate must be non-negative");
+        assert!(self.motion_sigma >= 0.0 && self.zoom_sigma >= 0.0);
+        assert!((0.0..=1.0).contains(&self.camera_drift));
+    }
+}
+
+/// A generated sequence of temporally correlated frames.
+///
+/// # Examples
+///
+/// ```
+/// use datagen::{DatasetProfile, VideoProfile, VideoSequence};
+///
+/// let profile = VideoProfile::surveillance(DatasetProfile::helmet());
+/// let video = VideoSequence::generate(&profile, 30, 7);
+/// assert_eq!(video.frames().len(), 30);
+/// // consecutive frames share most objects
+/// let a = video.frames()[0].num_objects();
+/// assert!(a >= 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoSequence {
+    frames: Vec<Scene>,
+}
+
+impl VideoSequence {
+    /// Generates `num_frames` frames deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_frames == 0` or the profile is invalid.
+    pub fn generate(profile: &VideoProfile, num_frames: usize, seed: u64) -> VideoSequence {
+        assert!(num_frames > 0, "video needs at least one frame");
+        profile.validate();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x71de_05eb);
+        let first = Scene::sample(&profile.base, seed, 0);
+        let mut objects = first.objects.clone();
+        let (mut blur, mut noise, mut illum) =
+            (first.camera_blur, first.noise_std, first.illumination);
+
+        let motion = Normal::new(0.0, profile.motion_sigma.max(1e-12)).expect("valid");
+        let zoom = Normal::new(0.0, profile.zoom_sigma.max(1e-12)).expect("valid");
+
+        let mut frames = Vec::with_capacity(num_frames);
+        for f in 0..num_frames as u64 {
+            if f > 0 {
+                // Survive + drift existing objects.
+                objects.retain(|_| rng.gen::<f64>() < profile.persistence);
+                for o in &mut objects {
+                    let (cx, cy) = o.bbox.center();
+                    let s = (zoom.sample(&mut rng)).exp();
+                    let w = (o.bbox.width() * s).clamp(0.01, 0.98);
+                    let h = (o.bbox.height() * s).clamp(0.01, 0.98);
+                    let cx = (cx + motion.sample(&mut rng)).clamp(w / 2.0, 1.0 - w / 2.0);
+                    let cy = (cy + motion.sample(&mut rng)).clamp(h / 2.0, 1.0 - h / 2.0);
+                    o.bbox = BBox::from_center(cx, cy, w, h).clamp_unit();
+                }
+                // New arrivals.
+                let arrivals = if profile.entry_rate > 0.0 {
+                    Poisson::new(profile.entry_rate).expect("positive rate").sample(&mut rng)
+                        as usize
+                } else {
+                    0
+                };
+                for k in 0..arrivals {
+                    objects.push(sample_entrant(&profile.base, &mut rng, f, k));
+                }
+                // Keep at least one object in frame (a tracked subject).
+                if objects.is_empty() {
+                    objects.push(sample_entrant(&profile.base, &mut rng, f, 99));
+                }
+                // Camera random walk.
+                let (b2, n2, i2) = profile.base.camera.sample(&mut rng);
+                let a = profile.camera_drift;
+                blur = blur * (1.0 - a) + b2 * a;
+                noise = noise * (1.0 - a) + n2 * a;
+                illum = illum * (1.0 - a) + i2 * a;
+            }
+            frames.push(Scene {
+                id: f,
+                objects: objects.clone(),
+                camera_blur: blur,
+                noise_std: noise,
+                illumination: illum,
+                seed: seed ^ f.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            });
+        }
+        VideoSequence { frames }
+    }
+
+    /// The frames in temporal order.
+    pub fn frames(&self) -> &[Scene] {
+        &self.frames
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the sequence is empty (never true for generated sequences).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Converts the sequence into a [`crate::Dataset`] for batch evaluation.
+    pub fn into_dataset(self, name: &str, profile: &VideoProfile) -> crate::Dataset {
+        crate::Dataset::from_scenes(name, profile.base.taxonomy.clone(), self.frames)
+    }
+
+    /// Mean fraction of objects shared between consecutive frames
+    /// (a temporal-coherence measure in `[0, 1]`).
+    pub fn mean_persistence(&self) -> f64 {
+        if self.frames.len() < 2 {
+            return 1.0;
+        }
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for w in self.frames.windows(2) {
+            let prev = &w[0].objects;
+            let next = &w[1].objects;
+            if prev.is_empty() {
+                continue;
+            }
+            let survivors = prev
+                .iter()
+                .filter(|o| next.iter().any(|p| p.texture_seed == o.texture_seed))
+                .count();
+            sum += survivors as f64 / prev.len() as f64;
+            n += 1;
+        }
+        if n == 0 {
+            1.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// A fresh object entering the field of view.
+fn sample_entrant(
+    base: &DatasetProfile,
+    rng: &mut StdRng,
+    frame: u64,
+    k: usize,
+) -> SceneObject {
+    let class = base.sample_class(rng);
+    let area = base.area.sample(rng, 2);
+    let aspect = 0.7 + rng.gen::<f64>() * 0.6;
+    let w = (area * aspect).sqrt().min(0.95);
+    let h = (area / aspect).sqrt().min(0.95);
+    let cx = rng.gen_range(w / 2.0..=1.0 - w / 2.0);
+    let cy = rng.gen_range(h / 2.0..=1.0 - h / 2.0);
+    SceneObject {
+        class,
+        bbox: BBox::from_center(cx, cy, w, h).clamp_unit(),
+        difficulty: base.difficulty.sample(rng),
+        texture_seed: frame
+            .wrapping_mul(0x517c_c1b7_2722_0a95)
+            .wrapping_add(k as u64 + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> VideoProfile {
+        VideoProfile::surveillance(DatasetProfile::voc())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = VideoSequence::generate(&profile(), 20, 3);
+        let b = VideoSequence::generate(&profile(), 20, 3);
+        assert_eq!(a, b);
+        let c = VideoSequence::generate(&profile(), 20, 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn frames_are_temporally_coherent() {
+        let v = VideoSequence::generate(&profile(), 60, 9);
+        let p = v.mean_persistence();
+        assert!(
+            (0.80..=1.0).contains(&p),
+            "persistence 0.93 should yield high overlap, got {p}"
+        );
+    }
+
+    #[test]
+    fn iid_profile_has_low_coherence() {
+        let mut prof = profile();
+        prof.persistence = 0.05;
+        prof.entry_rate = 2.0;
+        let v = VideoSequence::generate(&prof, 40, 9);
+        assert!(v.mean_persistence() < 0.3);
+    }
+
+    #[test]
+    fn every_frame_is_valid() {
+        let v = VideoSequence::generate(&profile(), 50, 5);
+        for s in v.frames() {
+            assert!(!s.objects.is_empty());
+            for o in &s.objects {
+                assert!(o.bbox.x_min() >= 0.0 && o.bbox.x_max() <= 1.0);
+                assert!(o.bbox.area() > 0.0);
+            }
+            assert!(s.camera_blur >= 0.0 && s.illumination > 0.0);
+        }
+    }
+
+    #[test]
+    fn camera_conditions_drift_smoothly() {
+        let v = VideoSequence::generate(&profile(), 60, 11);
+        let blurs: Vec<f64> = v.frames().iter().map(|s| s.camera_blur).collect();
+        let max_step = blurs
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0, f64::max);
+        let range = blurs.iter().cloned().fold(f64::MIN, f64::max)
+            - blurs.iter().cloned().fold(f64::MAX, f64::min);
+        // single steps are small relative to the overall excursion
+        assert!(max_step <= range + 1e-12);
+        assert!(max_step < 1.0, "blur must not jump: {max_step}");
+    }
+
+    #[test]
+    fn into_dataset_preserves_frames() {
+        let prof = profile();
+        let v = VideoSequence::generate(&prof, 15, 2);
+        let frames = v.frames().to_vec();
+        let ds = v.into_dataset("video", &prof);
+        assert_eq!(ds.len(), 15);
+        assert_eq!(ds.scenes(), &frames[..]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for dataset generation invariants.
+
+use datagen::{Dataset, DatasetProfile, DatasetStats, Scene};
+use proptest::prelude::*;
+
+fn profiles() -> Vec<DatasetProfile> {
+    vec![
+        DatasetProfile::voc(),
+        DatasetProfile::coco18(),
+        DatasetProfile::helmet(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scenes_always_have_objects_in_bounds(seed in any::<u64>(), id in 0u64..10_000) {
+        for profile in profiles() {
+            let s = Scene::sample(&profile, seed, id);
+            prop_assert!(!s.objects.is_empty(), "profiles never emit empty scenes");
+            for o in &s.objects {
+                prop_assert!(o.bbox.x_min() >= 0.0 && o.bbox.x_max() <= 1.0);
+                prop_assert!(o.bbox.y_min() >= 0.0 && o.bbox.y_max() <= 1.0);
+                prop_assert!(o.area_ratio() > 0.0);
+                prop_assert!((0.0..=1.0).contains(&o.difficulty));
+                prop_assert!(profile.taxonomy.contains(o.class));
+            }
+            prop_assert!(s.camera_blur >= 0.0);
+            prop_assert!(s.noise_std >= 0.0);
+            prop_assert!(s.illumination > 0.0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function(seed in any::<u64>(), id in 0u64..1000) {
+        let p = DatasetProfile::voc();
+        prop_assert_eq!(Scene::sample(&p, seed, id), Scene::sample(&p, seed, id));
+    }
+
+    #[test]
+    fn min_area_is_truly_minimal(seed in any::<u64>(), id in 0u64..1000) {
+        let p = DatasetProfile::coco18();
+        let s = Scene::sample(&p, seed, id);
+        let min = s.min_area_ratio().unwrap();
+        for o in &s.objects {
+            prop_assert!(o.area_ratio() >= min - 1e-15);
+        }
+    }
+
+    #[test]
+    fn dataset_stats_are_consistent(n in 5usize..60, seed in any::<u64>()) {
+        let ds = Dataset::generate("p", &DatasetProfile::voc(), n, seed);
+        let st = DatasetStats::compute(&ds);
+        prop_assert_eq!(st.num_images, n);
+        prop_assert_eq!(st.total_objects, ds.total_objects());
+        prop_assert!((st.mean_objects - ds.mean_objects()).abs() < 1e-12);
+        prop_assert_eq!(st.count_histogram.iter().sum::<usize>(), n);
+        prop_assert!(st.frac_multi_object >= 0.0 && st.frac_multi_object <= 1.0);
+    }
+
+    #[test]
+    fn concat_preserves_scene_content(a in 2usize..20, b in 2usize..20, seed in any::<u64>()) {
+        let p = DatasetProfile::voc();
+        let da = Dataset::generate("a", &p, a, seed);
+        let db = Dataset::generate("b", &p, b, seed ^ 0xff);
+        let c = da.concat(&db, "c");
+        prop_assert_eq!(c.len(), a + b);
+        prop_assert_eq!(c.total_objects(), da.total_objects() + db.total_objects());
+        // objects (not ids) are preserved verbatim
+        for (orig, cat) in da.iter().zip(c.iter()) {
+            prop_assert_eq!(&orig.objects, &cat.objects);
+        }
+    }
+}

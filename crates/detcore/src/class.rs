@@ -1,0 +1,242 @@
+//! Object-class identifiers and the class taxonomies used by the paper.
+//!
+//! The paper evaluates on three taxonomies: the 20 PASCAL VOC classes, an
+//! 18-class subset of MS COCO ("the same 18 classes as in the VOC dataset"),
+//! and the 2-class Sedna HELMET dataset (helmet / no-helmet person heads).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A compact class identifier: an index into a [`Taxonomy`].
+///
+/// `ClassId` is a deliberate newtype (not a bare `usize`) so that class
+/// indices cannot be confused with image indices or object counts.
+///
+/// # Examples
+///
+/// ```
+/// use detcore::{ClassId, Taxonomy};
+///
+/// let voc = Taxonomy::voc20();
+/// let dog = voc.class_by_name("dog").unwrap();
+/// assert_eq!(voc.name(dog), "dog");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ClassId(pub u16);
+
+impl ClassId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+impl From<u16> for ClassId {
+    fn from(v: u16) -> Self {
+        ClassId(v)
+    }
+}
+
+/// A named set of object classes (VOC-20, COCO-18, HELMET…).
+///
+/// # Examples
+///
+/// ```
+/// use detcore::Taxonomy;
+///
+/// assert_eq!(Taxonomy::voc20().len(), 20);
+/// assert_eq!(Taxonomy::coco18().len(), 18);
+/// assert_eq!(Taxonomy::helmet().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Taxonomy {
+    name: String,
+    classes: Vec<String>,
+}
+
+/// The 20 PASCAL VOC object classes in canonical order.
+pub const VOC20_NAMES: [&str; 20] = [
+    "aeroplane",
+    "bicycle",
+    "bird",
+    "boat",
+    "bottle",
+    "bus",
+    "car",
+    "cat",
+    "chair",
+    "cow",
+    "diningtable",
+    "dog",
+    "horse",
+    "motorbike",
+    "person",
+    "pottedplant",
+    "sheep",
+    "sofa",
+    "train",
+    "tvmonitor",
+];
+
+/// The 18-class VOC-overlapping subset of COCO used by the paper.
+///
+/// The paper selects "a total of 98,267 images containing 18 classes of
+/// objects, which are the same 18 classes as in the VOC dataset". COCO has no
+/// `diningtable`/`pottedplant` under those exact names, which is the usual
+/// reading of the 18-class overlap.
+pub const COCO18_NAMES: [&str; 18] = [
+    "aeroplane",
+    "bicycle",
+    "bird",
+    "boat",
+    "bottle",
+    "bus",
+    "car",
+    "cat",
+    "chair",
+    "cow",
+    "dog",
+    "horse",
+    "motorbike",
+    "person",
+    "sheep",
+    "sofa",
+    "train",
+    "tvmonitor",
+];
+
+/// The Sedna HELMET dataset classes (construction-site safety monitoring).
+pub const HELMET_NAMES: [&str; 2] = ["helmet", "head"];
+
+impl Taxonomy {
+    /// Creates a taxonomy from a name and class list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or contains duplicates.
+    pub fn new<S: Into<String>>(name: S, classes: Vec<String>) -> Self {
+        assert!(!classes.is_empty(), "taxonomy must have at least one class");
+        let mut seen = std::collections::HashSet::new();
+        for c in &classes {
+            assert!(seen.insert(c.clone()), "duplicate class name: {c}");
+        }
+        Taxonomy { name: name.into(), classes }
+    }
+
+    /// The 20-class PASCAL VOC taxonomy.
+    pub fn voc20() -> Self {
+        Taxonomy::new("voc20", VOC20_NAMES.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// The paper's 18-class COCO subset.
+    pub fn coco18() -> Self {
+        Taxonomy::new("coco18", COCO18_NAMES.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// The Sedna HELMET taxonomy.
+    pub fn helmet() -> Self {
+        Taxonomy::new("helmet", HELMET_NAMES.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Taxonomy name (e.g. `"voc20"`).
+    pub fn name_str(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the taxonomy has zero classes (never true for valid values).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The display name of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this taxonomy.
+    pub fn name(&self, id: ClassId) -> &str {
+        &self.classes[id.index()]
+    }
+
+    /// Looks up a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c == name)
+            .map(|i| ClassId(i as u16))
+    }
+
+    /// Iterates over all class ids in order.
+    pub fn ids(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len()).map(|i| ClassId(i as u16))
+    }
+
+    /// Returns `true` if `id` indexes a valid class.
+    pub fn contains(&self, id: ClassId) -> bool {
+        id.index() < self.classes.len()
+    }
+}
+
+impl fmt::Display for Taxonomy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} classes)", self.name, self.classes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voc_has_20_classes() {
+        let t = Taxonomy::voc20();
+        assert_eq!(t.len(), 20);
+        assert_eq!(t.name(ClassId(14)), "person");
+        assert_eq!(t.class_by_name("dog"), Some(ClassId(11)));
+        assert_eq!(t.class_by_name("zebra"), None);
+    }
+
+    #[test]
+    fn coco18_is_voc_subset() {
+        let voc = Taxonomy::voc20();
+        let coco = Taxonomy::coco18();
+        assert_eq!(coco.len(), 18);
+        for id in coco.ids() {
+            assert!(voc.class_by_name(coco.name(id)).is_some());
+        }
+    }
+
+    #[test]
+    fn helmet_classes() {
+        let t = Taxonomy::helmet();
+        assert_eq!(t.len(), 2);
+        assert!(t.class_by_name("helmet").is_some());
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let t = Taxonomy::helmet();
+        let ids: Vec<_> = t.ids().collect();
+        assert_eq!(ids, vec![ClassId(0), ClassId(1)]);
+        assert!(t.contains(ClassId(1)));
+        assert!(!t.contains(ClassId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class name")]
+    fn duplicate_names_panic() {
+        let _ = Taxonomy::new("bad", vec!["a".into(), "a".into()]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Object-counting metrics ("the number of detected objects", paper Sec. VI).
+//!
+//! The paper's second metric counts, over a whole test set, how many
+//! ground-truth objects the system correctly detected: a detection counts if
+//! its score clears 0.5 and it matches an unclaimed ground truth of the same
+//! class at IoU ≥ 0.5 (Tables IV, VI, VIII, X, XI, XIII, XV, XVII).
+
+use crate::{match_greedy, Detection, GroundTruth, ImageDetections};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for object counting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CountingConfig {
+    /// Minimum detection score ("recognition boxes with a score value greater
+    /// than 0.5 are considered as correctly identified objects").
+    pub score_threshold: f64,
+    /// Minimum IoU against a ground truth to count as detected.
+    pub iou_threshold: f64,
+}
+
+impl Default for CountingConfig {
+    fn default() -> Self {
+        CountingConfig { score_threshold: 0.5, iou_threshold: 0.5 }
+    }
+}
+
+/// Per-image counting outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageCount {
+    /// Ground-truth objects in the image (non-difficult).
+    pub num_gt: usize,
+    /// Ground-truth objects correctly detected.
+    pub detected: usize,
+    /// Detections above threshold that matched nothing (false alarms).
+    pub false_positives: usize,
+}
+
+impl ImageCount {
+    /// Objects the detector failed to find.
+    pub fn missed(&self) -> usize {
+        self.num_gt - self.detected
+    }
+
+    /// `true` when every ground-truth object was detected — the paper's
+    /// criterion for an image being an *easy case* for this detector.
+    pub fn all_detected(&self) -> bool {
+        self.detected == self.num_gt
+    }
+}
+
+/// Counts correctly detected objects in one image.
+///
+/// Detections are filtered at `config.score_threshold`, grouped per class and
+/// matched greedily at `config.iou_threshold`.
+///
+/// # Examples
+///
+/// ```
+/// use detcore::{count_detected, BBox, ClassId, CountingConfig, Detection, GroundTruth,
+///               ImageDetections};
+///
+/// let gts = vec![GroundTruth::new(ClassId(0), BBox::new(0.0, 0.0, 0.5, 0.5).unwrap())];
+/// let dets = ImageDetections::from_vec(vec![
+///     Detection::new(ClassId(0), 0.9, BBox::new(0.0, 0.0, 0.5, 0.5).unwrap()),
+///     Detection::new(ClassId(0), 0.3, BBox::new(0.6, 0.6, 0.9, 0.9).unwrap()), // below 0.5
+/// ]);
+/// let c = count_detected(&dets, &gts, &CountingConfig::default());
+/// assert_eq!(c.detected, 1);
+/// assert_eq!(c.false_positives, 0);
+/// assert!(c.all_detected());
+/// ```
+pub fn count_detected(
+    dets: &ImageDetections,
+    gts: &[GroundTruth],
+    config: &CountingConfig,
+) -> ImageCount {
+    let num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
+    // Group by class.
+    let mut classes: std::collections::BTreeSet<u16> = std::collections::BTreeSet::new();
+    for d in dets.iter() {
+        classes.insert(d.class().0);
+    }
+    for g in gts {
+        classes.insert(g.class().0);
+    }
+    let mut detected = 0usize;
+    let mut false_positives = 0usize;
+    for c in classes {
+        let class_dets: Vec<Detection> = dets
+            .iter()
+            .copied()
+            .filter(|d| d.class().0 == c && d.score() >= config.score_threshold)
+            .collect();
+        let class_gts: Vec<GroundTruth> =
+            gts.iter().copied().filter(|g| g.class().0 == c).collect();
+        if class_dets.is_empty() {
+            continue;
+        }
+        let m = match_greedy(&class_dets, &class_gts, config.iou_threshold);
+        for o in &m.outcomes {
+            if o.is_tp() {
+                detected += 1;
+            } else if o.is_fp() {
+                false_positives += 1;
+            }
+        }
+    }
+    ImageCount { num_gt, detected, false_positives }
+}
+
+/// Accumulates [`ImageCount`]s over a dataset.
+///
+/// # Examples
+///
+/// ```
+/// use detcore::DatasetCounter;
+///
+/// let mut counter = DatasetCounter::new();
+/// // counter.add(count_detected(...)) per image …
+/// assert_eq!(counter.total_detected(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetCounter {
+    num_images: usize,
+    total_gt: usize,
+    total_detected: usize,
+    total_false_positives: usize,
+    fully_detected_images: usize,
+}
+
+impl DatasetCounter {
+    /// Creates an empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one image's count.
+    pub fn add(&mut self, count: ImageCount) {
+        self.num_images += 1;
+        self.total_gt += count.num_gt;
+        self.total_detected += count.detected;
+        self.total_false_positives += count.false_positives;
+        if count.all_detected() {
+            self.fully_detected_images += 1;
+        }
+    }
+
+    /// Number of images accumulated.
+    pub fn num_images(&self) -> usize {
+        self.num_images
+    }
+
+    /// Total ground-truth objects.
+    pub fn total_gt(&self) -> usize {
+        self.total_gt
+    }
+
+    /// Total correctly detected objects (the paper's table entries).
+    pub fn total_detected(&self) -> usize {
+        self.total_detected
+    }
+
+    /// Total false alarms above the score threshold.
+    pub fn total_false_positives(&self) -> usize {
+        self.total_false_positives
+    }
+
+    /// Images where every object was found (easy cases for this detector).
+    pub fn fully_detected_images(&self) -> usize {
+        self.fully_detected_images
+    }
+
+    /// Detected / ground-truth ratio in `[0, 1]` (0 if no ground truths).
+    pub fn detection_rate(&self) -> f64 {
+        if self.total_gt == 0 {
+            0.0
+        } else {
+            self.total_detected as f64 / self.total_gt as f64
+        }
+    }
+}
+
+impl Extend<ImageCount> for DatasetCounter {
+    fn extend<T: IntoIterator<Item = ImageCount>>(&mut self, iter: T) {
+        for c in iter {
+            self.add(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BBox, ClassId};
+
+    fn det(c: u16, score: f64, x0: f64, y0: f64, x1: f64, y1: f64) -> Detection {
+        Detection::new(ClassId(c), score, BBox::new(x0, y0, x1, y1).unwrap())
+    }
+
+    fn gt(c: u16, x0: f64, y0: f64, x1: f64, y1: f64) -> GroundTruth {
+        GroundTruth::new(ClassId(c), BBox::new(x0, y0, x1, y1).unwrap())
+    }
+
+    #[test]
+    fn sub_threshold_detection_does_not_count() {
+        let c = count_detected(
+            &ImageDetections::from_vec(vec![det(0, 0.49, 0.0, 0.0, 0.5, 0.5)]),
+            &[gt(0, 0.0, 0.0, 0.5, 0.5)],
+            &CountingConfig::default(),
+        );
+        assert_eq!(c.detected, 0);
+        assert_eq!(c.missed(), 1);
+        assert!(!c.all_detected());
+    }
+
+    #[test]
+    fn wrong_class_is_false_positive() {
+        let c = count_detected(
+            &ImageDetections::from_vec(vec![det(1, 0.9, 0.0, 0.0, 0.5, 0.5)]),
+            &[gt(0, 0.0, 0.0, 0.5, 0.5)],
+            &CountingConfig::default(),
+        );
+        assert_eq!(c.detected, 0);
+        assert_eq!(c.false_positives, 1);
+    }
+
+    #[test]
+    fn multi_class_counting() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.4, 0.4),
+            det(1, 0.8, 0.5, 0.5, 0.9, 0.9),
+            det(1, 0.7, 0.5, 0.5, 0.9, 0.9), // duplicate -> FP
+        ]);
+        let gts = vec![gt(0, 0.0, 0.0, 0.4, 0.4), gt(1, 0.5, 0.5, 0.9, 0.9)];
+        let c = count_detected(&dets, &gts, &CountingConfig::default());
+        assert_eq!(c.detected, 2);
+        assert_eq!(c.false_positives, 1);
+        assert!(c.all_detected());
+    }
+
+    #[test]
+    fn empty_image_all_detected_trivially() {
+        let c = count_detected(&ImageDetections::new(), &[], &CountingConfig::default());
+        assert!(c.all_detected());
+        assert_eq!(c.num_gt, 0);
+    }
+
+    #[test]
+    fn dataset_counter_accumulates() {
+        let mut counter = DatasetCounter::new();
+        counter.add(ImageCount { num_gt: 2, detected: 2, false_positives: 0 });
+        counter.add(ImageCount { num_gt: 3, detected: 1, false_positives: 2 });
+        assert_eq!(counter.num_images(), 2);
+        assert_eq!(counter.total_gt(), 5);
+        assert_eq!(counter.total_detected(), 3);
+        assert_eq!(counter.total_false_positives(), 2);
+        assert_eq!(counter.fully_detected_images(), 1);
+        assert!((counter.detection_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_extend() {
+        let mut counter = DatasetCounter::new();
+        counter.extend(vec![
+            ImageCount { num_gt: 1, detected: 1, false_positives: 0 },
+            ImageCount { num_gt: 1, detected: 0, false_positives: 0 },
+        ]);
+        assert_eq!(counter.total_detected(), 1);
+    }
+}

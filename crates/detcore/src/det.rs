@@ -1,0 +1,336 @@
+//! Detections, ground-truth objects, and per-image result containers.
+
+use crate::{BBox, ClassId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single predicted bounding box with class and confidence score.
+///
+/// This mirrors the paper's Fig. 6 representation of one prediction row:
+/// `[confidence, x_min, y_min, x_max, y_max]` attached to a class.
+///
+/// # Examples
+///
+/// ```
+/// use detcore::{BBox, ClassId, Detection};
+///
+/// let d = Detection::new(ClassId(11), 0.2507, BBox::new(0.09, 0.42, 0.66, 0.92).unwrap());
+/// assert!(d.score() < 0.5); // the paper's missed dog
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    class: ClassId,
+    score: f64,
+    bbox: BBox,
+}
+
+impl Detection {
+    /// Creates a detection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `score` is not in `[0, 1]`.
+    pub fn new(class: ClassId, score: f64, bbox: BBox) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&score),
+            "confidence score must be in [0, 1], got {score}"
+        );
+        Detection { class, score, bbox }
+    }
+
+    /// Predicted class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Confidence score in `[0, 1]`.
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// Predicted box.
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Returns a copy with the score replaced (used by Soft-NMS decay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `score` is not in `[0, 1]`.
+    pub fn with_score(&self, score: f64) -> Self {
+        Detection::new(self.class, score, self.bbox)
+    }
+}
+
+impl fmt::Display for Detection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {:.4} {}", self.class, self.score, self.bbox)
+    }
+}
+
+/// A ground-truth object annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    class: ClassId,
+    bbox: BBox,
+    difficult: bool,
+}
+
+impl GroundTruth {
+    /// Creates a normal (non-difficult) annotation.
+    pub fn new(class: ClassId, bbox: BBox) -> Self {
+        GroundTruth { class, bbox, difficult: false }
+    }
+
+    /// Creates an annotation flagged as VOC-"difficult" (excluded from AP).
+    pub fn new_difficult(class: ClassId, bbox: BBox) -> Self {
+        GroundTruth { class, bbox, difficult: true }
+    }
+
+    /// Annotated class.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Annotated box.
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Whether the object carries the VOC `difficult` flag.
+    ///
+    /// Note: this is the *VOC annotation flag* (hard-to-annotate objects that
+    /// the VOC protocol excludes from AP), unrelated to the paper's
+    /// "difficult case" image label.
+    pub fn is_difficult(&self) -> bool {
+        self.difficult
+    }
+}
+
+/// All predictions a detector produced for one image.
+///
+/// # Examples
+///
+/// ```
+/// use detcore::{BBox, ClassId, Detection, ImageDetections};
+///
+/// let mut dets = ImageDetections::new();
+/// dets.push(Detection::new(ClassId(14), 0.98, BBox::new(0.0, 0.0, 1.0, 0.97).unwrap()));
+/// dets.push(Detection::new(ClassId(11), 0.25, BBox::new(0.1, 0.4, 0.66, 0.92).unwrap()));
+/// assert_eq!(dets.count_above(0.5), 1);
+/// assert_eq!(dets.count_above(0.2), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ImageDetections {
+    dets: Vec<Detection>,
+}
+
+impl ImageDetections {
+    /// Creates an empty result set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a result set from raw detections.
+    pub fn from_vec(dets: Vec<Detection>) -> Self {
+        ImageDetections { dets }
+    }
+
+    /// Adds one detection.
+    pub fn push(&mut self, det: Detection) {
+        self.dets.push(det);
+    }
+
+    /// All detections, unordered.
+    pub fn as_slice(&self) -> &[Detection] {
+        &self.dets
+    }
+
+    /// Number of raw detections (no threshold applied).
+    pub fn len(&self) -> usize {
+        self.dets.len()
+    }
+
+    /// Whether there are no detections at all.
+    pub fn is_empty(&self) -> bool {
+        self.dets.is_empty()
+    }
+
+    /// Iterates over detections.
+    pub fn iter(&self) -> std::slice::Iter<'_, Detection> {
+        self.dets.iter()
+    }
+
+    /// Counts detections with `score >= threshold`.
+    ///
+    /// This is the quantity the paper's discriminator computes twice: once at
+    /// the prediction threshold (0.5) and once at the calibrated noise-filter
+    /// threshold (0.15–0.35).
+    pub fn count_above(&self, threshold: f64) -> usize {
+        self.dets.iter().filter(|d| d.score >= threshold).count()
+    }
+
+    /// Returns the detections with `score >= threshold`, ordered by
+    /// descending score.
+    pub fn filtered(&self, threshold: f64) -> Vec<Detection> {
+        let mut v: Vec<Detection> = self
+            .dets
+            .iter()
+            .copied()
+            .filter(|d| d.score >= threshold)
+            .collect();
+        v.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+        v
+    }
+
+    /// The smallest box area among detections with `score >= threshold`,
+    /// or `None` if none qualify.
+    ///
+    /// For normalised boxes this is the *estimated minimum object area
+    /// ratio* used by the discriminator.
+    pub fn min_area_above(&self, threshold: f64) -> Option<f64> {
+        self.dets
+            .iter()
+            .filter(|d| d.score >= threshold)
+            .map(|d| d.bbox.area())
+            .min_by(|a, b| a.partial_cmp(b).expect("areas are finite"))
+    }
+
+    /// The maximum confidence score per class, for classes that appear.
+    ///
+    /// Used by the top-1-confidence upload baseline (Sec. VI-E-3): "take the
+    /// top-1 of the recognition boxes of each type of object in a single
+    /// image, then … take the average value".
+    pub fn top1_per_class(&self) -> std::collections::BTreeMap<ClassId, f64> {
+        let mut m = std::collections::BTreeMap::new();
+        for d in &self.dets {
+            let e = m.entry(d.class).or_insert(0.0f64);
+            if d.score > *e {
+                *e = d.score;
+            }
+        }
+        m
+    }
+
+    /// Mean of the per-class top-1 scores over `num_classes` classes.
+    ///
+    /// Classes with no boxes contribute 0, matching the paper's "add a total
+    /// of 20 confidence scores for 20 categories and then take the average".
+    pub fn mean_top1_score(&self, num_classes: usize) -> f64 {
+        assert!(num_classes > 0, "num_classes must be positive");
+        let m = self.top1_per_class();
+        m.values().sum::<f64>() / num_classes as f64
+    }
+}
+
+impl FromIterator<Detection> for ImageDetections {
+    fn from_iter<T: IntoIterator<Item = Detection>>(iter: T) -> Self {
+        ImageDetections { dets: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Detection> for ImageDetections {
+    fn extend<T: IntoIterator<Item = Detection>>(&mut self, iter: T) {
+        self.dets.extend(iter);
+    }
+}
+
+impl IntoIterator for ImageDetections {
+    type Item = Detection;
+    type IntoIter = std::vec::IntoIter<Detection>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.dets.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ImageDetections {
+    type Item = &'a Detection;
+    type IntoIter = std::slice::Iter<'a, Detection>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.dets.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: u16, score: f64, x0: f64, y0: f64, x1: f64, y1: f64) -> Detection {
+        Detection::new(ClassId(class), score, BBox::new(x0, y0, x1, y1).unwrap())
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence score")]
+    fn rejects_out_of_range_score() {
+        let _ = det(0, 1.5, 0.0, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn count_above_thresholds() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.5, 0.5),
+            det(1, 0.45, 0.5, 0.5, 1.0, 1.0),
+            det(2, 0.10, 0.2, 0.2, 0.3, 0.3),
+        ]);
+        assert_eq!(dets.count_above(0.5), 1);
+        assert_eq!(dets.count_above(0.4), 2);
+        assert_eq!(dets.count_above(0.05), 3);
+        assert_eq!(dets.count_above(0.95), 0);
+    }
+
+    #[test]
+    fn filtered_sorted_desc() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.3, 0.0, 0.0, 0.5, 0.5),
+            det(1, 0.8, 0.5, 0.5, 1.0, 1.0),
+            det(2, 0.6, 0.2, 0.2, 0.3, 0.3),
+        ]);
+        let f = dets.filtered(0.4);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].score() >= f[1].score());
+    }
+
+    #[test]
+    fn min_area_above_picks_smallest() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.5, 0.5),   // area 0.25
+            det(1, 0.7, 0.0, 0.0, 0.1, 0.1),   // area 0.01
+            det(2, 0.05, 0.0, 0.0, 0.01, 0.01), // filtered out
+        ]);
+        let a = dets.min_area_above(0.5).unwrap();
+        assert!((a - 0.01).abs() < 1e-12);
+        assert!(dets.min_area_above(0.95).is_none());
+    }
+
+    #[test]
+    fn mean_top1_counts_absent_classes_as_zero() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.8, 0.0, 0.0, 0.5, 0.5),
+            det(0, 0.6, 0.0, 0.0, 0.4, 0.4),
+            det(1, 0.4, 0.5, 0.5, 1.0, 1.0),
+        ]);
+        // top1: class0=0.8, class1=0.4; mean over 4 classes = 1.2/4
+        assert!((dets.mean_top1_score(4) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut dets: ImageDetections =
+            vec![det(0, 0.5, 0.0, 0.0, 0.5, 0.5)].into_iter().collect();
+        dets.extend(vec![det(1, 0.6, 0.0, 0.0, 0.2, 0.2)]);
+        assert_eq!(dets.len(), 2);
+        let back: Vec<Detection> = dets.clone().into_iter().collect();
+        assert_eq!(back.len(), 2);
+        assert_eq!((&dets).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn ground_truth_flags() {
+        let g = GroundTruth::new_difficult(ClassId(3), BBox::unit());
+        assert!(g.is_difficult());
+        assert_eq!(g.class(), ClassId(3));
+        let n = GroundTruth::new(ClassId(3), BBox::unit());
+        assert!(!n.is_difficult());
+    }
+}

@@ -1,0 +1,391 @@
+//! Axis-aligned bounding-box geometry in normalised image coordinates.
+//!
+//! All boxes live in `[0, 1] × [0, 1]` with the origin at the top-left corner,
+//! matching the convention used by SSD-style detectors (and by the paper's
+//! Fig. 6, where each box is `[score, x_min, y_min, x_max, y_max]`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned bounding box in normalised `[0, 1]` image coordinates.
+///
+/// Invariant: `x_min <= x_max` and `y_min <= y_max`; all coordinates are
+/// finite. Construct via [`BBox::new`] (validating) or [`BBox::from_corners`]
+/// (normalising, swaps corners if needed).
+///
+/// # Examples
+///
+/// ```
+/// use detcore::BBox;
+///
+/// let a = BBox::new(0.0, 0.0, 0.5, 0.5).unwrap();
+/// let b = BBox::new(0.25, 0.25, 0.75, 0.75).unwrap();
+/// assert!((a.iou(&b) - 1.0 / 7.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    x_min: f64,
+    y_min: f64,
+    x_max: f64,
+    y_max: f64,
+}
+
+/// Error returned when constructing an invalid [`BBox`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BBoxError {
+    /// A coordinate was NaN or infinite.
+    NonFinite,
+    /// `x_min > x_max` or `y_min > y_max`.
+    Inverted,
+}
+
+impl fmt::Display for BBoxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BBoxError::NonFinite => write!(f, "bounding box coordinate was not finite"),
+            BBoxError::Inverted => write!(f, "bounding box min corner exceeds max corner"),
+        }
+    }
+}
+
+impl std::error::Error for BBoxError {}
+
+impl BBox {
+    /// Creates a box from `(x_min, y_min, x_max, y_max)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BBoxError::NonFinite`] if any coordinate is NaN/infinite and
+    /// [`BBoxError::Inverted`] if a min coordinate exceeds its max.
+    pub fn new(x_min: f64, y_min: f64, x_max: f64, y_max: f64) -> Result<Self, BBoxError> {
+        if !(x_min.is_finite() && y_min.is_finite() && x_max.is_finite() && y_max.is_finite()) {
+            return Err(BBoxError::NonFinite);
+        }
+        if x_min > x_max || y_min > y_max {
+            return Err(BBoxError::Inverted);
+        }
+        Ok(BBox { x_min, y_min, x_max, y_max })
+    }
+
+    /// Creates a box from two arbitrary corners, swapping them as needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is not finite.
+    pub fn from_corners(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(
+            x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite(),
+            "bbox corners must be finite"
+        );
+        BBox {
+            x_min: x0.min(x1),
+            y_min: y0.min(y1),
+            x_max: x0.max(x1),
+            y_max: y0.max(y1),
+        }
+    }
+
+    /// Creates a box from a centre point and full width/height.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w < 0` or `h < 0` or any input is not finite.
+    pub fn from_center(cx: f64, cy: f64, w: f64, h: f64) -> Self {
+        assert!(w >= 0.0 && h >= 0.0, "width/height must be non-negative");
+        Self::from_corners(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0)
+    }
+
+    /// The unit box covering the whole image.
+    pub const fn unit() -> Self {
+        BBox { x_min: 0.0, y_min: 0.0, x_max: 1.0, y_max: 1.0 }
+    }
+
+    /// Left edge.
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// Top edge.
+    pub fn y_min(&self) -> f64 {
+        self.y_min
+    }
+
+    /// Right edge.
+    pub fn x_max(&self) -> f64 {
+        self.x_max
+    }
+
+    /// Bottom edge.
+    pub fn y_max(&self) -> f64 {
+        self.y_max
+    }
+
+    /// Box width (`>= 0`).
+    pub fn width(&self) -> f64 {
+        self.x_max - self.x_min
+    }
+
+    /// Box height (`>= 0`).
+    pub fn height(&self) -> f64 {
+        self.y_max - self.y_min
+    }
+
+    /// Centre point `(cx, cy)`.
+    pub fn center(&self) -> (f64, f64) {
+        (
+            (self.x_min + self.x_max) / 2.0,
+            (self.y_min + self.y_max) / 2.0,
+        )
+    }
+
+    /// Area of the box. For normalised boxes this equals the *area ratio* of
+    /// the box with respect to the whole image — the quantity the paper's
+    /// discriminator thresholds (`t_area = 0.31`).
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Returns `true` if the box has zero width or height.
+    pub fn is_empty(&self) -> bool {
+        self.width() == 0.0 || self.height() == 0.0
+    }
+
+    /// Intersection box, if the boxes overlap (possibly degenerately).
+    pub fn intersection(&self, other: &BBox) -> Option<BBox> {
+        let x_min = self.x_min.max(other.x_min);
+        let y_min = self.y_min.max(other.y_min);
+        let x_max = self.x_max.min(other.x_max);
+        let y_max = self.y_max.min(other.y_max);
+        if x_min <= x_max && y_min <= y_max {
+            Some(BBox { x_min, y_min, x_max, y_max })
+        } else {
+            None
+        }
+    }
+
+    /// Area of the intersection with `other` (zero when disjoint).
+    pub fn intersection_area(&self, other: &BBox) -> f64 {
+        let w = (self.x_max.min(other.x_max) - self.x_min.max(other.x_min)).max(0.0);
+        let h = (self.y_max.min(other.y_max) - self.y_min.max(other.y_min)).max(0.0);
+        w * h
+    }
+
+    /// Intersection-over-union with `other`, in `[0, 1]`.
+    ///
+    /// Defined as `0` when both boxes are degenerate (union area zero).
+    pub fn iou(&self, other: &BBox) -> f64 {
+        let inter = self.intersection_area(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// The smallest box containing both `self` and `other`.
+    pub fn union_hull(&self, other: &BBox) -> BBox {
+        BBox {
+            x_min: self.x_min.min(other.x_min),
+            y_min: self.y_min.min(other.y_min),
+            x_max: self.x_max.max(other.x_max),
+            y_max: self.y_max.max(other.y_max),
+        }
+    }
+
+    /// Clamps the box to the unit square `[0, 1] × [0, 1]`.
+    pub fn clamp_unit(&self) -> BBox {
+        BBox {
+            x_min: self.x_min.clamp(0.0, 1.0),
+            y_min: self.y_min.clamp(0.0, 1.0),
+            x_max: self.x_max.clamp(0.0, 1.0),
+            y_max: self.y_max.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Translates the box by `(dx, dy)` without clamping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dx` or `dy` is not finite.
+    pub fn translated(&self, dx: f64, dy: f64) -> BBox {
+        assert!(dx.is_finite() && dy.is_finite());
+        BBox {
+            x_min: self.x_min + dx,
+            y_min: self.y_min + dy,
+            x_max: self.x_max + dx,
+            y_max: self.y_max + dy,
+        }
+    }
+
+    /// Scales width and height about the centre by `(sx, sy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sx < 0` or `sy < 0`.
+    pub fn scaled(&self, sx: f64, sy: f64) -> BBox {
+        assert!(sx >= 0.0 && sy >= 0.0, "scale factors must be non-negative");
+        let (cx, cy) = self.center();
+        BBox::from_center(cx, cy, self.width() * sx, self.height() * sy)
+    }
+
+    /// Returns `true` if `(x, y)` lies inside (or on the border of) the box.
+    pub fn contains_point(&self, x: f64, y: f64) -> bool {
+        x >= self.x_min && x <= self.x_max && y >= self.y_min && y <= self.y_max
+    }
+
+    /// Returns `true` if `other` lies entirely inside `self`.
+    pub fn contains_box(&self, other: &BBox) -> bool {
+        other.x_min >= self.x_min
+            && other.y_min >= self.y_min
+            && other.x_max <= self.x_max
+            && other.y_max <= self.y_max
+    }
+
+    /// Converts to pixel coordinates `(x0, y0, x1, y1)` for an image of the
+    /// given dimensions, clamped to the image bounds.
+    pub fn to_pixels(&self, width: usize, height: usize) -> (usize, usize, usize, usize) {
+        let clamped = self.clamp_unit();
+        let w = width as f64;
+        let h = height as f64;
+        let x0 = (clamped.x_min * w).floor() as usize;
+        let y0 = (clamped.y_min * h).floor() as usize;
+        let x1 = ((clamped.x_max * w).ceil() as usize).min(width);
+        let y1 = ((clamped.y_max * h).ceil() as usize).min(height);
+        (x0, y0, x1, y1)
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.4}, {:.4}, {:.4}, {:.4}]",
+            self.x_min, self.y_min, self.x_max, self.y_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_inverted() {
+        assert_eq!(BBox::new(0.5, 0.0, 0.4, 1.0), Err(BBoxError::Inverted));
+        assert_eq!(BBox::new(0.0, 0.5, 1.0, 0.4), Err(BBoxError::Inverted));
+    }
+
+    #[test]
+    fn new_rejects_non_finite() {
+        assert_eq!(BBox::new(f64::NAN, 0.0, 1.0, 1.0), Err(BBoxError::NonFinite));
+        assert_eq!(
+            BBox::new(0.0, 0.0, f64::INFINITY, 1.0),
+            Err(BBoxError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn from_corners_swaps() {
+        let b = BBox::from_corners(0.8, 0.9, 0.1, 0.2);
+        assert_eq!(b.x_min(), 0.1);
+        assert_eq!(b.y_min(), 0.2);
+        assert_eq!(b.x_max(), 0.8);
+        assert_eq!(b.y_max(), 0.9);
+    }
+
+    #[test]
+    fn area_and_center() {
+        let b = BBox::new(0.2, 0.2, 0.6, 0.8).unwrap();
+        assert!((b.area() - 0.24).abs() < 1e-12);
+        let (cx, cy) = b.center();
+        assert!((cx - 0.4).abs() < 1e-12);
+        assert!((cy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_identical_is_one() {
+        let b = BBox::new(0.1, 0.1, 0.6, 0.6).unwrap();
+        assert!((b.iou(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = BBox::new(0.0, 0.0, 0.2, 0.2).unwrap();
+        let b = BBox::new(0.5, 0.5, 0.9, 0.9).unwrap();
+        assert_eq!(a.iou(&b), 0.0);
+        assert!(a.intersection(&b).is_none());
+    }
+
+    #[test]
+    fn iou_touching_edges_is_zero() {
+        let a = BBox::new(0.0, 0.0, 0.5, 0.5).unwrap();
+        let b = BBox::new(0.5, 0.0, 1.0, 0.5).unwrap();
+        assert_eq!(a.iou(&b), 0.0);
+        // Degenerate shared edge still yields an (empty) intersection box.
+        assert!(a.intersection(&b).is_some());
+        assert!(a.intersection(&b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn iou_known_value() {
+        // quarter overlap: inter = 0.25*0.25 isn't the case here; compute:
+        let a = BBox::new(0.0, 0.0, 0.5, 0.5).unwrap();
+        let b = BBox::new(0.25, 0.25, 0.75, 0.75).unwrap();
+        // inter = 0.25^2 = 0.0625; union = 0.25 + 0.25 - 0.0625 = 0.4375
+        assert!((a.iou(&b) - 0.0625 / 0.4375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_boxes_iou_zero() {
+        let p = BBox::new(0.3, 0.3, 0.3, 0.3).unwrap();
+        assert_eq!(p.iou(&p), 0.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn union_hull_contains_both() {
+        let a = BBox::new(0.0, 0.0, 0.2, 0.2).unwrap();
+        let b = BBox::new(0.5, 0.6, 0.9, 0.9).unwrap();
+        let u = a.union_hull(&b);
+        assert!(u.contains_box(&a));
+        assert!(u.contains_box(&b));
+    }
+
+    #[test]
+    fn clamp_unit_clamps() {
+        let b = BBox::from_corners(-0.5, -0.5, 1.5, 0.5).clamp_unit();
+        assert_eq!(b.x_min(), 0.0);
+        assert_eq!(b.y_min(), 0.0);
+        assert_eq!(b.x_max(), 1.0);
+        assert_eq!(b.y_max(), 0.5);
+    }
+
+    #[test]
+    fn to_pixels_round_trip_bounds() {
+        let b = BBox::new(0.1, 0.2, 0.9, 0.8).unwrap();
+        let (x0, y0, x1, y1) = b.to_pixels(300, 300);
+        assert_eq!((x0, y0), (30, 60));
+        assert_eq!((x1, y1), (270, 240));
+    }
+
+    #[test]
+    fn scaled_preserves_center() {
+        let b = BBox::new(0.2, 0.2, 0.6, 0.6).unwrap();
+        let s = b.scaled(0.5, 2.0);
+        let (cx, cy) = b.center();
+        let (sx, sy) = s.center();
+        assert!((cx - sx).abs() < 1e-12);
+        assert!((cy - sy).abs() < 1e-12);
+        assert!((s.width() - b.width() * 0.5).abs() < 1e-12);
+        assert!((s.height() - b.height() * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_point_edges() {
+        let b = BBox::new(0.25, 0.25, 0.75, 0.75).unwrap();
+        assert!(b.contains_point(0.25, 0.25));
+        assert!(b.contains_point(0.75, 0.75));
+        assert!(!b.contains_point(0.24, 0.5));
+    }
+}

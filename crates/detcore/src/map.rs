@@ -1,0 +1,423 @@
+//! Mean average precision (mAP) evaluation over a dataset of images.
+//!
+//! Implements the PASCAL VOC protocol: per-class greedy matching at IoU ≥ 0.5,
+//! precision/recall curve construction over descending score, and AP either by
+//! the VOC2007 11-point interpolation or by the continuous (all-point)
+//! interpolation. The paper reports VOC-style mAP percentages.
+
+use crate::{match_greedy, ClassId, Detection, GroundTruth, ImageDetections};
+use serde::{Deserialize, Serialize};
+
+/// AP interpolation protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ApProtocol {
+    /// VOC2007 11-point interpolation (recall ∈ {0, 0.1, …, 1.0}).
+    #[default]
+    Voc07ElevenPoint,
+    /// Continuous interpolation (area under the monotonised PR curve).
+    AllPoint,
+}
+
+/// One precision/recall point at a score cut-off.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Precision at this cut-off.
+    pub precision: f64,
+    /// Recall at this cut-off.
+    pub recall: f64,
+    /// The detection score at which this point was produced.
+    pub score: f64,
+}
+
+/// Per-class AP result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassAp {
+    /// The class this entry describes.
+    pub class: ClassId,
+    /// Average precision in `[0, 1]`.
+    pub ap: f64,
+    /// Number of (non-difficult) ground-truth objects of this class.
+    pub num_gt: usize,
+    /// Number of detections of this class that were evaluated.
+    pub num_dets: usize,
+}
+
+/// Full mAP report for a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapReport {
+    /// Per-class APs, indexed by class order.
+    pub per_class: Vec<ClassAp>,
+    /// Mean AP over classes that have at least one ground-truth object.
+    pub map: f64,
+}
+
+impl MapReport {
+    /// mAP as a percentage (the paper reports e.g. `70.76`).
+    pub fn map_percent(&self) -> f64 {
+        self.map * 100.0
+    }
+}
+
+/// Streaming mAP evaluator: feed image results one at a time, then evaluate.
+///
+/// # Examples
+///
+/// ```
+/// use detcore::{ApProtocol, BBox, ClassId, Detection, GroundTruth, ImageDetections,
+///               MapEvaluator};
+///
+/// let mut ev = MapEvaluator::new(2, ApProtocol::Voc07ElevenPoint);
+/// let gts = vec![GroundTruth::new(ClassId(0), BBox::new(0.0, 0.0, 0.5, 0.5).unwrap())];
+/// let dets = ImageDetections::from_vec(vec![Detection::new(
+///     ClassId(0), 0.9, BBox::new(0.0, 0.0, 0.5, 0.5).unwrap(),
+/// )]);
+/// ev.add_image(&dets, &gts);
+/// let report = ev.evaluate();
+/// assert!((report.map - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MapEvaluator {
+    iou_threshold: f64,
+    protocol: ApProtocol,
+    /// Per class: (score, is_tp) for every counted detection.
+    records: Vec<Vec<(f64, bool)>>,
+    /// Per class: number of non-difficult ground truths.
+    gt_counts: Vec<usize>,
+    images_seen: usize,
+}
+
+impl MapEvaluator {
+    /// Creates an evaluator for `num_classes` classes at IoU threshold 0.5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0`.
+    pub fn new(num_classes: usize, protocol: ApProtocol) -> Self {
+        Self::with_iou(num_classes, protocol, 0.5)
+    }
+
+    /// Creates an evaluator with a custom IoU threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0` or the threshold is outside `[0, 1]`.
+    pub fn with_iou(num_classes: usize, protocol: ApProtocol, iou_threshold: f64) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        assert!(
+            (0.0..=1.0).contains(&iou_threshold),
+            "iou threshold must be in [0, 1]"
+        );
+        MapEvaluator {
+            iou_threshold,
+            protocol,
+            records: vec![Vec::new(); num_classes],
+            gt_counts: vec![0; num_classes],
+            images_seen: 0,
+        }
+    }
+
+    /// Number of classes being evaluated.
+    pub fn num_classes(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of images accumulated so far.
+    pub fn images_seen(&self) -> usize {
+        self.images_seen
+    }
+
+    /// Accumulates one image's detections against its ground truths.
+    ///
+    /// Detections or ground truths whose class index is out of range are
+    /// ignored (they belong to a different taxonomy).
+    pub fn add_image(&mut self, dets: &ImageDetections, gts: &[GroundTruth]) {
+        self.images_seen += 1;
+        let n = self.records.len();
+        // Group per class.
+        let mut dets_by_class: Vec<Vec<Detection>> = vec![Vec::new(); n];
+        for d in dets.iter() {
+            if d.class().index() < n {
+                dets_by_class[d.class().index()].push(*d);
+            }
+        }
+        let mut gts_by_class: Vec<Vec<GroundTruth>> = vec![Vec::new(); n];
+        for g in gts {
+            if g.class().index() < n {
+                gts_by_class[g.class().index()].push(*g);
+            }
+        }
+        for c in 0..n {
+            let class_dets = &dets_by_class[c];
+            let class_gts = &gts_by_class[c];
+            self.gt_counts[c] += class_gts.iter().filter(|g| !g.is_difficult()).count();
+            if class_dets.is_empty() {
+                continue;
+            }
+            let m = match_greedy(class_dets, class_gts, self.iou_threshold);
+            for (d, outcome) in class_dets.iter().zip(&m.outcomes) {
+                match outcome {
+                    crate::MatchOutcome::TruePositive { .. } => {
+                        self.records[c].push((d.score(), true));
+                    }
+                    crate::MatchOutcome::FalsePositive => {
+                        self.records[c].push((d.score(), false));
+                    }
+                    crate::MatchOutcome::IgnoredDifficult => {}
+                }
+            }
+        }
+    }
+
+    /// Computes the PR curve for one class (descending score order).
+    pub fn pr_curve(&self, class: ClassId) -> Vec<PrPoint> {
+        let c = class.index();
+        assert!(c < self.records.len(), "class out of range");
+        let num_gt = self.gt_counts[c];
+        let mut recs = self.records[c].clone();
+        recs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut points = Vec::with_capacity(recs.len());
+        for (score, is_tp) in recs {
+            if is_tp {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            let precision = tp as f64 / (tp + fp) as f64;
+            let recall = if num_gt == 0 { 0.0 } else { tp as f64 / num_gt as f64 };
+            points.push(PrPoint { precision, recall, score });
+        }
+        points
+    }
+
+    /// AP for one class under the configured protocol.
+    pub fn class_ap(&self, class: ClassId) -> f64 {
+        let points = self.pr_curve(class);
+        match self.protocol {
+            ApProtocol::Voc07ElevenPoint => eleven_point_ap(&points),
+            ApProtocol::AllPoint => all_point_ap(&points),
+        }
+    }
+
+    /// Evaluates mAP over all classes with at least one ground truth.
+    ///
+    /// Classes with zero ground truths are skipped (they would be undefined);
+    /// if *all* classes are empty the mAP is 0.
+    pub fn evaluate(&self) -> MapReport {
+        let mut per_class = Vec::with_capacity(self.records.len());
+        let mut sum = 0.0;
+        let mut counted = 0usize;
+        for c in 0..self.records.len() {
+            let id = ClassId(c as u16);
+            let ap = if self.gt_counts[c] > 0 { self.class_ap(id) } else { 0.0 };
+            if self.gt_counts[c] > 0 {
+                sum += ap;
+                counted += 1;
+            }
+            per_class.push(ClassAp {
+                class: id,
+                ap,
+                num_gt: self.gt_counts[c],
+                num_dets: self.records[c].len(),
+            });
+        }
+        let map = if counted == 0 { 0.0 } else { sum / counted as f64 };
+        MapReport { per_class, map }
+    }
+}
+
+/// VOC2007 11-point interpolated AP.
+fn eleven_point_ap(points: &[PrPoint]) -> f64 {
+    let mut ap = 0.0;
+    for i in 0..=10 {
+        let r = i as f64 / 10.0;
+        let p_max = points
+            .iter()
+            .filter(|p| p.recall >= r - 1e-12)
+            .map(|p| p.precision)
+            .fold(0.0, f64::max);
+        ap += p_max;
+    }
+    ap / 11.0
+}
+
+/// Continuous (all-point) interpolated AP: area under the monotonised curve.
+fn all_point_ap(points: &[PrPoint]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    // Build (recall, precision) with precision monotonised from the right.
+    let mut rp: Vec<(f64, f64)> = points.iter().map(|p| (p.recall, p.precision)).collect();
+    for i in (0..rp.len().saturating_sub(1)).rev() {
+        rp[i].1 = rp[i].1.max(rp[i + 1].1);
+    }
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for (r, p) in rp {
+        if r > prev_recall {
+            ap += (r - prev_recall) * p;
+            prev_recall = r;
+        }
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BBox;
+
+    fn det(c: u16, score: f64, x0: f64, y0: f64, x1: f64, y1: f64) -> Detection {
+        Detection::new(ClassId(c), score, BBox::new(x0, y0, x1, y1).unwrap())
+    }
+
+    fn gt(c: u16, x0: f64, y0: f64, x1: f64, y1: f64) -> GroundTruth {
+        GroundTruth::new(ClassId(c), BBox::new(x0, y0, x1, y1).unwrap())
+    }
+
+    #[test]
+    fn perfect_detection_gives_map_one() {
+        for protocol in [ApProtocol::Voc07ElevenPoint, ApProtocol::AllPoint] {
+            let mut ev = MapEvaluator::new(1, protocol);
+            ev.add_image(
+                &ImageDetections::from_vec(vec![det(0, 0.9, 0.0, 0.0, 0.5, 0.5)]),
+                &[gt(0, 0.0, 0.0, 0.5, 0.5)],
+            );
+            let r = ev.evaluate();
+            assert!((r.map - 1.0).abs() < 1e-9, "protocol {protocol:?}");
+        }
+    }
+
+    #[test]
+    fn no_detections_gives_zero() {
+        let mut ev = MapEvaluator::new(1, ApProtocol::Voc07ElevenPoint);
+        ev.add_image(&ImageDetections::new(), &[gt(0, 0.0, 0.0, 0.5, 0.5)]);
+        assert_eq!(ev.evaluate().map, 0.0);
+    }
+
+    #[test]
+    fn all_fp_gives_zero() {
+        let mut ev = MapEvaluator::new(1, ApProtocol::AllPoint);
+        ev.add_image(
+            &ImageDetections::from_vec(vec![det(0, 0.9, 0.6, 0.6, 0.9, 0.9)]),
+            &[gt(0, 0.0, 0.0, 0.3, 0.3)],
+        );
+        assert_eq!(ev.evaluate().map, 0.0);
+    }
+
+    #[test]
+    fn half_detected_eleven_point() {
+        // Two objects, one detected perfectly: recall tops out at 0.5 with
+        // precision 1 => 11-pt AP = 6/11 (recall points 0.0..0.5).
+        let mut ev = MapEvaluator::new(1, ApProtocol::Voc07ElevenPoint);
+        ev.add_image(
+            &ImageDetections::from_vec(vec![det(0, 0.9, 0.0, 0.0, 0.4, 0.4)]),
+            &[gt(0, 0.0, 0.0, 0.4, 0.4), gt(0, 0.6, 0.6, 0.9, 0.9)],
+        );
+        let r = ev.evaluate();
+        assert!((r.map - 6.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_detected_all_point() {
+        let mut ev = MapEvaluator::new(1, ApProtocol::AllPoint);
+        ev.add_image(
+            &ImageDetections::from_vec(vec![det(0, 0.9, 0.0, 0.0, 0.4, 0.4)]),
+            &[gt(0, 0.0, 0.0, 0.4, 0.4), gt(0, 0.6, 0.6, 0.9, 0.9)],
+        );
+        let r = ev.evaluate();
+        assert!((r.map - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_averages_over_classes_with_gt_only() {
+        let mut ev = MapEvaluator::new(3, ApProtocol::AllPoint);
+        // class 0 perfect, class 1 missed, class 2 has no gt at all
+        ev.add_image(
+            &ImageDetections::from_vec(vec![det(0, 0.9, 0.0, 0.0, 0.4, 0.4)]),
+            &[gt(0, 0.0, 0.0, 0.4, 0.4), gt(1, 0.6, 0.6, 0.9, 0.9)],
+        );
+        let r = ev.evaluate();
+        assert!((r.map - 0.5).abs() < 1e-9, "mean of AP(1.0) and AP(0.0)");
+        assert_eq!(r.per_class.len(), 3);
+        assert_eq!(r.per_class[2].num_gt, 0);
+    }
+
+    #[test]
+    fn fp_before_tp_lowers_ap() {
+        let mut ev = MapEvaluator::new(1, ApProtocol::AllPoint);
+        ev.add_image(
+            &ImageDetections::from_vec(vec![
+                det(0, 0.95, 0.6, 0.6, 0.9, 0.9), // FP at higher score
+                det(0, 0.80, 0.0, 0.0, 0.4, 0.4), // TP
+            ]),
+            &[gt(0, 0.0, 0.0, 0.4, 0.4)],
+        );
+        let r = ev.evaluate();
+        assert!((r.map - 0.5).abs() < 1e-9, "precision at recall 1 is 1/2");
+    }
+
+    #[test]
+    fn difficult_gt_not_in_denominator() {
+        let mut ev = MapEvaluator::new(1, ApProtocol::AllPoint);
+        let gts = vec![
+            GroundTruth::new(ClassId(0), BBox::new(0.0, 0.0, 0.4, 0.4).unwrap()),
+            GroundTruth::new_difficult(ClassId(0), BBox::new(0.6, 0.6, 0.9, 0.9).unwrap()),
+        ];
+        ev.add_image(
+            &ImageDetections::from_vec(vec![det(0, 0.9, 0.0, 0.0, 0.4, 0.4)]),
+            &gts,
+        );
+        let r = ev.evaluate();
+        assert!((r.map - 1.0).abs() < 1e-9);
+        assert_eq!(r.per_class[0].num_gt, 1);
+    }
+
+    #[test]
+    fn pr_curve_monotone_recall() {
+        let mut ev = MapEvaluator::new(1, ApProtocol::AllPoint);
+        ev.add_image(
+            &ImageDetections::from_vec(vec![
+                det(0, 0.9, 0.0, 0.0, 0.4, 0.4),
+                det(0, 0.8, 0.6, 0.6, 0.9, 0.9),
+                det(0, 0.7, 0.1, 0.5, 0.3, 0.9),
+            ]),
+            &[gt(0, 0.0, 0.0, 0.4, 0.4), gt(0, 0.6, 0.6, 0.9, 0.9)],
+        );
+        let pr = ev.pr_curve(ClassId(0));
+        assert_eq!(pr.len(), 3);
+        assert!(pr.windows(2).all(|w| w[0].recall <= w[1].recall));
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        // Adding images one by one equals adding them in another order.
+        let img1 = (
+            ImageDetections::from_vec(vec![det(0, 0.9, 0.0, 0.0, 0.4, 0.4)]),
+            vec![gt(0, 0.0, 0.0, 0.4, 0.4)],
+        );
+        let img2 = (
+            ImageDetections::from_vec(vec![det(0, 0.3, 0.5, 0.5, 0.9, 0.9)]),
+            vec![gt(0, 0.5, 0.5, 0.9, 0.9), gt(0, 0.0, 0.5, 0.2, 0.9)],
+        );
+        let mut a = MapEvaluator::new(1, ApProtocol::AllPoint);
+        a.add_image(&img1.0, &img1.1);
+        a.add_image(&img2.0, &img2.1);
+        let mut b = MapEvaluator::new(1, ApProtocol::AllPoint);
+        b.add_image(&img2.0, &img2.1);
+        b.add_image(&img1.0, &img1.1);
+        assert!((a.evaluate().map - b.evaluate().map).abs() < 1e-12);
+        assert_eq!(a.images_seen(), 2);
+    }
+
+    #[test]
+    fn map_percent_scales() {
+        let mut ev = MapEvaluator::new(1, ApProtocol::AllPoint);
+        ev.add_image(
+            &ImageDetections::from_vec(vec![det(0, 0.9, 0.0, 0.0, 0.4, 0.4)]),
+            &[gt(0, 0.0, 0.0, 0.4, 0.4)],
+        );
+        assert!((ev.evaluate().map_percent() - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Greedy detection-to-ground-truth matching (VOC evaluation protocol).
+//!
+//! Detections of a class are visited in descending score order; each claims
+//! the unclaimed ground-truth box of the same class with the highest IoU, if
+//! that IoU clears the threshold (0.5 in the VOC protocol). A second
+//! detection on an already-claimed object is a false positive ("duplicate
+//! detection").
+
+use crate::{Detection, GroundTruth};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of matching one detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MatchOutcome {
+    /// True positive: claimed ground-truth object at `gt_index` with `iou`.
+    TruePositive {
+        /// Index into the ground-truth slice that was claimed.
+        gt_index: usize,
+        /// IoU between the detection and the claimed object.
+        iou: f64,
+    },
+    /// The best overlap was with a VOC-`difficult` object; the detection is
+    /// ignored (neither TP nor FP) under the VOC protocol.
+    IgnoredDifficult,
+    /// False positive: no unclaimed same-class object overlapped enough.
+    FalsePositive,
+}
+
+impl MatchOutcome {
+    /// Whether this outcome is a true positive.
+    pub fn is_tp(&self) -> bool {
+        matches!(self, MatchOutcome::TruePositive { .. })
+    }
+
+    /// Whether this outcome is a false positive.
+    pub fn is_fp(&self) -> bool {
+        matches!(self, MatchOutcome::FalsePositive)
+    }
+}
+
+/// Result of matching all detections of one image for one class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageMatch {
+    /// One outcome per detection, in the same (descending-score) order as the
+    /// input detections.
+    pub outcomes: Vec<MatchOutcome>,
+    /// Number of non-difficult ground-truth objects (the AP denominator
+    /// contribution of this image/class).
+    pub num_gt: usize,
+    /// Indices of ground-truth objects that were never claimed (missed).
+    pub missed_gt: Vec<usize>,
+}
+
+/// Matches same-class detections against ground truths greedily by score.
+///
+/// `dets` **must** all share one class and so must `gts`; callers group by
+/// class first (see [`crate::map::MapEvaluator`]). Detections are sorted
+/// internally by descending score.
+///
+/// # Examples
+///
+/// ```
+/// use detcore::{match_greedy, BBox, ClassId, Detection, GroundTruth};
+///
+/// let gts = vec![GroundTruth::new(ClassId(0), BBox::new(0.0, 0.0, 0.5, 0.5).unwrap())];
+/// let dets = vec![Detection::new(ClassId(0), 0.9, BBox::new(0.01, 0.0, 0.5, 0.5).unwrap())];
+/// let m = match_greedy(&dets, &gts, 0.5);
+/// assert!(m.outcomes[0].is_tp());
+/// assert!(m.missed_gt.is_empty());
+/// ```
+pub fn match_greedy(dets: &[Detection], gts: &[GroundTruth], iou_threshold: f64) -> ImageMatch {
+    assert!(
+        (0.0..=1.0).contains(&iou_threshold),
+        "iou threshold must be in [0, 1]"
+    );
+    let mut order: Vec<usize> = (0..dets.len()).collect();
+    order.sort_by(|&a, &b| {
+        dets[b]
+            .score()
+            .partial_cmp(&dets[a].score())
+            .expect("finite scores")
+    });
+
+    let mut claimed = vec![false; gts.len()];
+    let mut outcomes = vec![MatchOutcome::FalsePositive; dets.len()];
+
+    for &di in &order {
+        let det = &dets[di];
+        // Find best-IoU ground truth (claimed or not, difficult or not).
+        let mut best: Option<(usize, f64)> = None;
+        for (gi, gt) in gts.iter().enumerate() {
+            debug_assert_eq!(gt.class(), det.class(), "matching requires one class");
+            let iou = det.bbox().iou(&gt.bbox());
+            if iou >= iou_threshold {
+                match best {
+                    Some((_, biou)) if biou >= iou => {}
+                    _ => best = Some((gi, iou)),
+                }
+            }
+        }
+        outcomes[di] = match best {
+            Some((gi, iou)) => {
+                if gts[gi].is_difficult() {
+                    MatchOutcome::IgnoredDifficult
+                } else if !claimed[gi] {
+                    claimed[gi] = true;
+                    MatchOutcome::TruePositive { gt_index: gi, iou }
+                } else {
+                    MatchOutcome::FalsePositive
+                }
+            }
+            None => MatchOutcome::FalsePositive,
+        };
+    }
+
+    let num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
+    let missed_gt = gts
+        .iter()
+        .enumerate()
+        .filter(|(gi, gt)| !gt.is_difficult() && !claimed[*gi])
+        .map(|(gi, _)| gi)
+        .collect();
+
+    ImageMatch { outcomes, num_gt, missed_gt }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BBox, ClassId};
+
+    fn det(score: f64, x0: f64, y0: f64, x1: f64, y1: f64) -> Detection {
+        Detection::new(ClassId(0), score, BBox::new(x0, y0, x1, y1).unwrap())
+    }
+
+    fn gt(x0: f64, y0: f64, x1: f64, y1: f64) -> GroundTruth {
+        GroundTruth::new(ClassId(0), BBox::new(x0, y0, x1, y1).unwrap())
+    }
+
+    #[test]
+    fn perfect_match() {
+        let m = match_greedy(&[det(0.9, 0.0, 0.0, 0.5, 0.5)], &[gt(0.0, 0.0, 0.5, 0.5)], 0.5);
+        assert!(m.outcomes[0].is_tp());
+        assert_eq!(m.num_gt, 1);
+        assert!(m.missed_gt.is_empty());
+    }
+
+    #[test]
+    fn duplicate_detection_is_fp() {
+        let dets = vec![
+            det(0.9, 0.0, 0.0, 0.5, 0.5),
+            det(0.8, 0.01, 0.0, 0.5, 0.5),
+        ];
+        let m = match_greedy(&dets, &[gt(0.0, 0.0, 0.5, 0.5)], 0.5);
+        assert!(m.outcomes[0].is_tp());
+        assert!(m.outcomes[1].is_fp());
+    }
+
+    #[test]
+    fn higher_score_claims_first_even_if_listed_later() {
+        let dets = vec![
+            det(0.5, 0.0, 0.0, 0.5, 0.5),
+            det(0.95, 0.0, 0.0, 0.5, 0.5),
+        ];
+        let m = match_greedy(&dets, &[gt(0.0, 0.0, 0.5, 0.5)], 0.5);
+        assert!(m.outcomes[1].is_tp(), "the 0.95 detection claims the object");
+        assert!(m.outcomes[0].is_fp());
+    }
+
+    #[test]
+    fn low_iou_is_fp_and_object_missed() {
+        let m = match_greedy(&[det(0.9, 0.6, 0.6, 1.0, 1.0)], &[gt(0.0, 0.0, 0.3, 0.3)], 0.5);
+        assert!(m.outcomes[0].is_fp());
+        assert_eq!(m.missed_gt, vec![0]);
+    }
+
+    #[test]
+    fn difficult_gt_ignored_not_counted() {
+        let gts = vec![GroundTruth::new_difficult(
+            ClassId(0),
+            BBox::new(0.0, 0.0, 0.5, 0.5).unwrap(),
+        )];
+        let m = match_greedy(&[det(0.9, 0.0, 0.0, 0.5, 0.5)], &gts, 0.5);
+        assert_eq!(m.outcomes[0], MatchOutcome::IgnoredDifficult);
+        assert_eq!(m.num_gt, 0);
+        assert!(m.missed_gt.is_empty());
+    }
+
+    #[test]
+    fn picks_best_iou_among_candidates() {
+        let gts = vec![gt(0.0, 0.0, 0.5, 0.5), gt(0.05, 0.05, 0.55, 0.55)];
+        let d = det(0.9, 0.05, 0.05, 0.55, 0.55);
+        let m = match_greedy(&[d], &gts, 0.5);
+        match m.outcomes[0] {
+            MatchOutcome::TruePositive { gt_index, iou } => {
+                assert_eq!(gt_index, 1);
+                assert!((iou - 1.0).abs() < 1e-12);
+            }
+            _ => panic!("expected TP"),
+        }
+        assert_eq!(m.missed_gt, vec![0]);
+    }
+
+    #[test]
+    fn no_detections_all_missed() {
+        let gts = vec![gt(0.0, 0.0, 0.5, 0.5), gt(0.6, 0.6, 0.9, 0.9)];
+        let m = match_greedy(&[], &gts, 0.5);
+        assert!(m.outcomes.is_empty());
+        assert_eq!(m.num_gt, 2);
+        assert_eq!(m.missed_gt.len(), 2);
+    }
+}

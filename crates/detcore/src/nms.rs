@@ -1,0 +1,267 @@
+//! Non-maximum suppression over per-image detections.
+//!
+//! SSD-style heads emit thousands of overlapping candidate boxes; NMS keeps a
+//! locally-best subset. Both classic ("hard") NMS and Gaussian Soft-NMS are
+//! provided; both operate per class, as in the SSD/YOLO post-processing the
+//! paper's models use.
+
+use crate::{ClassId, Detection, ImageDetections};
+use std::collections::BTreeMap;
+
+/// Parameters for [`nms`] and [`soft_nms`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NmsConfig {
+    /// Boxes with IoU above this value against a kept box are suppressed
+    /// (hard NMS) or decayed (soft NMS). Typical: `0.45` for SSD.
+    pub iou_threshold: f64,
+    /// Detections below this score are dropped before suppression.
+    pub score_floor: f64,
+    /// Keep at most this many detections per class (`usize::MAX` = no limit).
+    pub max_per_class: usize,
+}
+
+impl Default for NmsConfig {
+    fn default() -> Self {
+        NmsConfig {
+            iou_threshold: 0.45,
+            score_floor: 0.01,
+            max_per_class: 200,
+        }
+    }
+}
+
+impl NmsConfig {
+    /// Creates a config with the given IoU threshold and defaults otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iou_threshold` is not in `[0, 1]`.
+    pub fn with_iou(iou_threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&iou_threshold),
+            "iou threshold must be in [0, 1]"
+        );
+        NmsConfig { iou_threshold, ..Default::default() }
+    }
+}
+
+fn group_by_class(dets: &ImageDetections, floor: f64) -> BTreeMap<ClassId, Vec<Detection>> {
+    let mut groups: BTreeMap<ClassId, Vec<Detection>> = BTreeMap::new();
+    for d in dets.iter().filter(|d| d.score() >= floor) {
+        groups.entry(d.class()).or_default().push(*d);
+    }
+    for group in groups.values_mut() {
+        group.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+    }
+    groups
+}
+
+/// Classic greedy per-class non-maximum suppression.
+///
+/// Within each class, detections are visited in descending score order; a
+/// detection is kept unless it overlaps an already-kept detection of the same
+/// class with IoU greater than `config.iou_threshold`.
+///
+/// The output is sorted by descending score across classes.
+///
+/// # Examples
+///
+/// ```
+/// use detcore::{nms, BBox, ClassId, Detection, ImageDetections, NmsConfig};
+///
+/// let dets = ImageDetections::from_vec(vec![
+///     Detection::new(ClassId(0), 0.9, BBox::new(0.0, 0.0, 0.5, 0.5).unwrap()),
+///     Detection::new(ClassId(0), 0.8, BBox::new(0.01, 0.01, 0.5, 0.5).unwrap()),
+/// ]);
+/// let kept = nms(&dets, &NmsConfig::default());
+/// assert_eq!(kept.len(), 1); // near-duplicate suppressed
+/// ```
+pub fn nms(dets: &ImageDetections, config: &NmsConfig) -> ImageDetections {
+    let groups = group_by_class(dets, config.score_floor);
+    let mut kept: Vec<Detection> = Vec::new();
+    for (_, group) in groups {
+        let mut class_kept: Vec<Detection> = Vec::new();
+        for d in group {
+            if class_kept.len() >= config.max_per_class {
+                break;
+            }
+            let suppressed = class_kept
+                .iter()
+                .any(|k| k.bbox().iou(&d.bbox()) > config.iou_threshold);
+            if !suppressed {
+                class_kept.push(d);
+            }
+        }
+        kept.extend(class_kept);
+    }
+    kept.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+    ImageDetections::from_vec(kept)
+}
+
+/// Gaussian Soft-NMS (Bodla et al.): instead of removing overlapping boxes,
+/// decays their scores by `exp(-iou² / sigma)` and re-sorts.
+///
+/// Boxes whose decayed score drops below `config.score_floor` are discarded.
+///
+/// # Panics
+///
+/// Panics if `sigma <= 0`.
+pub fn soft_nms(dets: &ImageDetections, config: &NmsConfig, sigma: f64) -> ImageDetections {
+    assert!(sigma > 0.0, "soft-nms sigma must be positive");
+    let groups = group_by_class(dets, config.score_floor);
+    let mut kept: Vec<Detection> = Vec::new();
+    for (_, group) in groups {
+        let mut pool = group;
+        let mut class_kept: Vec<Detection> = Vec::new();
+        while !pool.is_empty() && class_kept.len() < config.max_per_class {
+            // Select current max-score detection.
+            let (best_idx, _) = pool
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.score().partial_cmp(&b.score()).expect("finite scores")
+                })
+                .expect("pool is non-empty");
+            let best = pool.swap_remove(best_idx);
+            // Decay remaining scores.
+            pool = pool
+                .into_iter()
+                .filter_map(|d| {
+                    let iou = best.bbox().iou(&d.bbox());
+                    let decayed = d.score() * (-iou * iou / sigma).exp();
+                    if decayed >= config.score_floor {
+                        Some(d.with_score(decayed))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            class_kept.push(best);
+        }
+        kept.extend(class_kept);
+    }
+    kept.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+    ImageDetections::from_vec(kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BBox;
+
+    fn det(class: u16, score: f64, x0: f64, y0: f64, x1: f64, y1: f64) -> Detection {
+        Detection::new(ClassId(class), score, BBox::new(x0, y0, x1, y1).unwrap())
+    }
+
+    #[test]
+    fn suppresses_duplicates_keeps_highest() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.7, 0.0, 0.0, 0.5, 0.5),
+            det(0, 0.9, 0.005, 0.0, 0.5, 0.5),
+            det(0, 0.6, 0.01, 0.01, 0.51, 0.52),
+        ]);
+        let kept = nms(&dets, &NmsConfig::default());
+        assert_eq!(kept.len(), 1);
+        assert!((kept.as_slice()[0].score() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_classes_not_suppressed() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.5, 0.5),
+            det(1, 0.8, 0.0, 0.0, 0.5, 0.5),
+        ]);
+        let kept = nms(&dets, &NmsConfig::default());
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_boxes_all_kept() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.2, 0.2),
+            det(0, 0.8, 0.4, 0.4, 0.6, 0.6),
+            det(0, 0.7, 0.8, 0.8, 1.0, 1.0),
+        ]);
+        let kept = nms(&dets, &NmsConfig::default());
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn score_floor_drops_noise() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.2, 0.2),
+            det(0, 0.005, 0.4, 0.4, 0.6, 0.6),
+        ]);
+        let kept = nms(&dets, &NmsConfig::default());
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn max_per_class_respected() {
+        let mut v = Vec::new();
+        for i in 0..10 {
+            let x = i as f64 * 0.1;
+            v.push(det(0, 0.9 - i as f64 * 0.01, x, 0.0, x + 0.05, 0.05));
+        }
+        let cfg = NmsConfig { max_per_class: 3, ..Default::default() };
+        let kept = nms(&ImageDetections::from_vec(v), &cfg);
+        assert_eq!(kept.len(), 3);
+    }
+
+    #[test]
+    fn output_sorted_desc() {
+        let dets = ImageDetections::from_vec(vec![
+            det(1, 0.5, 0.0, 0.0, 0.2, 0.2),
+            det(0, 0.9, 0.4, 0.4, 0.6, 0.6),
+            det(2, 0.7, 0.8, 0.8, 1.0, 1.0),
+        ]);
+        let kept = nms(&dets, &NmsConfig::default());
+        let scores: Vec<f64> = kept.iter().map(|d| d.score()).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn nms_idempotent() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.5, 0.5),
+            det(0, 0.8, 0.02, 0.0, 0.5, 0.5),
+            det(1, 0.7, 0.6, 0.6, 0.9, 0.9),
+        ]);
+        let cfg = NmsConfig::default();
+        let once = nms(&dets, &cfg);
+        let twice = nms(&once, &cfg);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn soft_nms_decays_but_may_keep() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.5, 0.5),
+            det(0, 0.8, 0.1, 0.1, 0.6, 0.6), // overlapping but distinct
+        ]);
+        let cfg = NmsConfig { score_floor: 0.01, ..Default::default() };
+        let kept = soft_nms(&dets, &cfg, 0.5);
+        assert_eq!(kept.len(), 2);
+        // the second box's score must have decayed
+        let min_score = kept.iter().map(|d| d.score()).fold(f64::MAX, f64::min);
+        assert!(min_score < 0.8);
+    }
+
+    #[test]
+    fn soft_nms_drops_below_floor() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.5, 0.5),
+            det(0, 0.02, 0.0, 0.0, 0.5, 0.5), // heavy overlap, low score
+        ]);
+        let cfg = NmsConfig { score_floor: 0.019, ..Default::default() };
+        let kept = soft_nms(&dets, &cfg, 0.1);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn soft_nms_rejects_bad_sigma() {
+        let dets = ImageDetections::new();
+        let _ = soft_nms(&dets, &NmsConfig::default(), 0.0);
+    }
+}

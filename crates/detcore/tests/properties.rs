@@ -1,0 +1,195 @@
+//! Property-based tests for detcore invariants.
+
+use detcore::{
+    count_detected, match_greedy, nms, soft_nms, ApProtocol, BBox, ClassId, CountingConfig,
+    Detection, GroundTruth, ImageDetections, MapEvaluator, NmsConfig,
+};
+use proptest::prelude::*;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)
+        .prop_map(|(x0, y0, x1, y1)| BBox::from_corners(x0, y0, x1, y1))
+}
+
+fn arb_detection(max_class: u16) -> impl Strategy<Value = Detection> {
+    (0..max_class, 0.0f64..=1.0, arb_bbox())
+        .prop_map(|(c, s, b)| Detection::new(ClassId(c), s, b))
+}
+
+fn arb_gt(max_class: u16) -> impl Strategy<Value = GroundTruth> {
+    (0..max_class, arb_bbox(), any::<bool>()).prop_map(|(c, b, d)| {
+        if d {
+            GroundTruth::new_difficult(ClassId(c), b)
+        } else {
+            GroundTruth::new(ClassId(c), b)
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn iou_is_symmetric(a in arb_bbox(), b in arb_bbox()) {
+        prop_assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_in_unit_interval(a in arb_bbox(), b in arb_bbox()) {
+        let v = a.iou(&b);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn iou_self_is_one_unless_degenerate(a in arb_bbox()) {
+        let v = a.iou(&a);
+        if a.area() > 0.0 {
+            prop_assert!((v - 1.0).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn intersection_area_bounded(a in arb_bbox(), b in arb_bbox()) {
+        let i = a.intersection_area(&b);
+        prop_assert!(i >= 0.0);
+        prop_assert!(i <= a.area() + 1e-12);
+        prop_assert!(i <= b.area() + 1e-12);
+    }
+
+    #[test]
+    fn union_hull_contains_inputs(a in arb_bbox(), b in arb_bbox()) {
+        let u = a.union_hull(&b);
+        prop_assert!(u.contains_box(&a));
+        prop_assert!(u.contains_box(&b));
+        prop_assert!(u.area() + 1e-12 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn clamp_unit_stays_in_unit(a in arb_bbox()) {
+        let t = a.translated(0.7, -0.4).clamp_unit();
+        prop_assert!(t.x_min() >= 0.0 && t.x_max() <= 1.0);
+        prop_assert!(t.y_min() >= 0.0 && t.y_max() <= 1.0);
+    }
+
+    #[test]
+    fn nms_output_subset_and_sorted(
+        dets in prop::collection::vec(arb_detection(4), 0..40),
+        iou in 0.1f64..0.9,
+    ) {
+        let input = ImageDetections::from_vec(dets);
+        let cfg = NmsConfig::with_iou(iou);
+        let out = nms(&input, &cfg);
+        prop_assert!(out.len() <= input.len());
+        // Every output detection was in the input.
+        for d in out.iter() {
+            prop_assert!(input.iter().any(|i| i == d));
+        }
+        // Sorted by descending score.
+        let scores: Vec<f64> = out.iter().map(|d| d.score()).collect();
+        prop_assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+        // No same-class pair overlaps more than the threshold.
+        let v = out.as_slice();
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                if v[i].class() == v[j].class() {
+                    prop_assert!(v[i].bbox().iou(&v[j].bbox()) <= iou + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nms_idempotent(
+        dets in prop::collection::vec(arb_detection(3), 0..30),
+        iou in 0.1f64..0.9,
+    ) {
+        let cfg = NmsConfig::with_iou(iou);
+        let once = nms(&ImageDetections::from_vec(dets), &cfg);
+        let twice = nms(&once, &cfg);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn soft_nms_never_raises_scores(
+        dets in prop::collection::vec(arb_detection(3), 0..25),
+        sigma in 0.05f64..1.0,
+    ) {
+        let input = ImageDetections::from_vec(dets);
+        let out = soft_nms(&input, &NmsConfig::default(), sigma);
+        prop_assert!(out.len() <= input.len());
+        let max_in = input.iter().map(|d| d.score()).fold(0.0, f64::max);
+        let max_out = out.iter().map(|d| d.score()).fold(0.0, f64::max);
+        prop_assert!(max_out <= max_in + 1e-12);
+    }
+
+    #[test]
+    fn matching_tp_count_bounded(
+        dets in prop::collection::vec(arb_detection(1), 0..20),
+        gts in prop::collection::vec(arb_gt(1), 0..10),
+    ) {
+        let m = match_greedy(&dets, &gts, 0.5);
+        let tps = m.outcomes.iter().filter(|o| o.is_tp()).count();
+        prop_assert!(tps <= m.num_gt);
+        prop_assert!(tps <= dets.len());
+        prop_assert_eq!(m.outcomes.len(), dets.len());
+        prop_assert_eq!(tps + m.missed_gt.len(), m.num_gt);
+    }
+
+    #[test]
+    fn map_in_unit_interval(
+        dets in prop::collection::vec(arb_detection(3), 0..30),
+        gts in prop::collection::vec(arb_gt(3), 1..15),
+    ) {
+        for protocol in [ApProtocol::Voc07ElevenPoint, ApProtocol::AllPoint] {
+            let mut ev = MapEvaluator::new(3, protocol);
+            ev.add_image(&ImageDetections::from_vec(dets.clone()), &gts);
+            let r = ev.evaluate();
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&r.map));
+        }
+    }
+
+    #[test]
+    fn eleven_point_never_exceeds_all_point_by_much(
+        dets in prop::collection::vec(arb_detection(2), 0..30),
+        gts in prop::collection::vec(arb_gt(2), 1..10),
+    ) {
+        // The two protocols agree within the 11-point discretisation error.
+        let mut e11 = MapEvaluator::new(2, ApProtocol::Voc07ElevenPoint);
+        let mut eall = MapEvaluator::new(2, ApProtocol::AllPoint);
+        let d = ImageDetections::from_vec(dets);
+        e11.add_image(&d, &gts);
+        eall.add_image(&d, &gts);
+        let a = e11.evaluate().map;
+        let b = eall.evaluate().map;
+        prop_assert!((a - b).abs() <= 0.15, "11pt={a} allpt={b}");
+    }
+
+    #[test]
+    fn counting_bounds(
+        dets in prop::collection::vec(arb_detection(2), 0..25),
+        gts in prop::collection::vec(arb_gt(2), 0..12),
+    ) {
+        let c = count_detected(
+            &ImageDetections::from_vec(dets.clone()),
+            &gts,
+            &CountingConfig::default(),
+        );
+        prop_assert!(c.detected <= c.num_gt);
+        let above: usize = dets.iter().filter(|d| d.score() >= 0.5).count();
+        prop_assert!(c.detected + c.false_positives <= above);
+    }
+
+    #[test]
+    fn more_detections_never_reduce_detected_count(
+        dets in prop::collection::vec(arb_detection(1), 0..15),
+        extra in prop::collection::vec(arb_detection(1), 0..10),
+        gts in prop::collection::vec(arb_gt(1), 0..8),
+    ) {
+        let cfg = CountingConfig::default();
+        let base = count_detected(&ImageDetections::from_vec(dets.clone()), &gts, &cfg);
+        let mut all = dets;
+        all.extend(extra);
+        let bigger = count_detected(&ImageDetections::from_vec(all), &gts, &cfg);
+        prop_assert!(bigger.detected >= base.detected);
+    }
+}

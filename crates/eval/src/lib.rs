@@ -1,0 +1,176 @@
+//! # eval — the experiment harness
+//!
+//! Regenerates **every table and figure** of the paper plus the intro's
+//! partition motivation and three ablations. Each experiment returns a
+//! [`Report`] containing a rendered [`Table`] with `measured (paper)` cells.
+//!
+//! Run everything:
+//!
+//! ```bash
+//! cargo run -p eval --release -- all
+//! # reduced scale (1% of the published split sizes):
+//! cargo run -p eval --release -- --scale 0.01 table3 fig8
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use eval::{run_experiment, ExpConfig};
+//!
+//! let reports = run_experiment("table2", &ExpConfig::quick()).unwrap();
+//! assert!(reports[0].to_string().contains("SSD"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exp {
+    pub mod extras;
+    pub mod figures;
+    pub mod tables;
+}
+pub mod paper;
+mod pairs;
+mod table;
+
+pub use pairs::{pair_run, ExpConfig, PairRun, SSD_SMALLS};
+pub use table::{f2, with_paper, Table};
+
+use std::fmt;
+
+/// A completed experiment: a titled table plus free-form notes.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `"table3"`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The result table.
+    pub table: Table,
+    /// Notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(id: &str, title: &str, table: Table) -> Self {
+        Report { id: id.to_string(), title: title.to_string(), table, notes: Vec::new() }
+    }
+
+    /// Appends a note line.
+    pub fn with_note<S: Into<String>>(mut self, note: S) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        write!(f, "{}", self.table)?;
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All experiment ids in presentation order.
+pub const ALL_EXPERIMENTS: [&str; 28] = [
+    "motivation",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "table13",
+    "table14",
+    "table15",
+    "table16",
+    "table17",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ablation-features",
+    "ablation-tconf",
+    "ablation-links",
+    "ablation-deadline",
+    "compress",
+    "perclass",
+];
+
+/// Runs one experiment by id (or `"all"`).
+///
+/// # Errors
+///
+/// Returns the unknown id as `Err` so the CLI can report it.
+pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Result<Vec<Report>, String> {
+    use exp::{extras, figures, tables};
+    let report = match id {
+        "all" => {
+            let mut out = Vec::new();
+            for id in ALL_EXPERIMENTS {
+                out.extend(run_experiment(id, cfg)?);
+            }
+            return Ok(out);
+        }
+        "motivation" => extras::motivation(cfg),
+        "table1" => tables::table1(cfg),
+        "table2" => tables::table2(cfg),
+        "table3" => tables::table3(cfg),
+        "table4" => tables::table4(cfg),
+        "table5" => tables::table5(cfg),
+        "table6" => tables::table6(cfg),
+        "table7" => tables::table7(cfg),
+        "table8" => tables::table8(cfg),
+        "table9" => tables::table9(cfg),
+        "table10" => tables::table10(cfg),
+        "table11" => tables::table11(cfg),
+        "table12" => tables::table12(cfg),
+        "table13" => tables::table13(cfg),
+        "table14" => tables::table14(cfg),
+        "table15" => tables::table15(cfg),
+        "table16" => tables::table16(cfg),
+        "table17" => tables::table17(cfg),
+        "fig4" => figures::fig4(cfg),
+        "fig7" => figures::fig7(cfg),
+        "fig8" => figures::fig8(cfg),
+        "fig9" => figures::fig9(cfg),
+        "ablation-features" => extras::ablation_features(cfg),
+        "ablation-tconf" => extras::ablation_tconf(cfg),
+        "ablation-links" => extras::ablation_links(cfg),
+        "ablation-deadline" => extras::ablation_deadline(cfg),
+        "compress" => extras::compress(cfg),
+        "perclass" => extras::perclass(cfg),
+        other => return Err(format!("unknown experiment id: {other}")),
+    };
+    Ok(vec![report])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_id_is_error() {
+        assert!(run_experiment("table99", &ExpConfig::quick()).is_err());
+    }
+
+    #[test]
+    fn report_display_contains_notes() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.add_row(vec!["1".into()]);
+        let r = Report::new("x", "title", t).with_note("hello");
+        let s = r.to_string();
+        assert!(s.contains("## x — title"));
+        assert!(s.contains("note: hello"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Shared (small, big, split) evaluation machinery with process-level caching.
+//!
+//! Several tables report different projections of the same run (e.g. Tables
+//! III and IV both need small-model-1 over all four splits), so runs are
+//! memoised on `(small, big, split, scale)`.
+
+use datagen::{Split, SplitId};
+use modelzoo::{ModelKind, SimDetector};
+use parking_lot::Mutex;
+use smallbig_core::{
+    calibrate, evaluate, BinaryStats, Calibration, DifficultCaseDiscriminator, EvalConfig,
+    EvalOutcome, LabeledExample, Policy,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Experiment-wide configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpConfig {
+    /// Dataset scale in `(0, 1]` (1 = the paper's full split sizes).
+    pub scale: f64,
+    /// Render resolution for pixel-level baselines (blur) and the runtime.
+    pub render_size: (usize, usize),
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig { scale: 1.0, render_size: (128, 96) }
+    }
+}
+
+impl ExpConfig {
+    /// A reduced-scale config for quick runs and tests.
+    pub fn quick() -> Self {
+        ExpConfig { scale: 0.02, render_size: (64, 48) }
+    }
+}
+
+/// Everything a (small, big, split) run produces.
+#[derive(Debug, Clone)]
+pub struct PairRun {
+    /// Which split was used.
+    pub split_id: SplitId,
+    /// The calibration obtained on the training set.
+    pub calibration: Calibration,
+    /// Labelled training examples (Fig. 4 data).
+    pub train_examples: Vec<LabeledExample>,
+    /// Discriminator quality on the test set (predicted features).
+    pub test_stats: BinaryStats,
+    /// Our policy's outcome on the test set.
+    pub ours: EvalOutcome,
+    /// The loaded split (kept for baseline policies).
+    pub split: Arc<Split>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl PairRun {
+    /// The calibrated discriminator for this pair.
+    pub fn discriminator(&self) -> DifficultCaseDiscriminator {
+        DifficultCaseDiscriminator::new(self.calibration.thresholds)
+    }
+
+    /// The detectors for this pair (reconstructed deterministically).
+    pub fn detectors(&self, small: ModelKind, big: ModelKind) -> (SimDetector, SimDetector) {
+        (
+            SimDetector::new(small, self.split_id, self.num_classes),
+            SimDetector::new(big, self.split_id, self.num_classes),
+        )
+    }
+
+    /// Evaluates a different policy on the same split/pair.
+    pub fn evaluate_policy(
+        &self,
+        small_kind: ModelKind,
+        big_kind: ModelKind,
+        policy: &Policy,
+    ) -> EvalOutcome {
+        let (small, big) = self.detectors(small_kind, big_kind);
+        evaluate(&self.split.test, &small, &big, policy, &EvalConfig::default())
+    }
+}
+
+type CacheKey = (ModelKind, ModelKind, SplitId, u64);
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<PairRun>>> {
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<PairRun>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs (or retrieves from cache) the full pipeline for one pair on a split:
+/// calibration on the train set, discriminator stats, our policy's outcome.
+pub fn pair_run(
+    small_kind: ModelKind,
+    big_kind: ModelKind,
+    split_id: SplitId,
+    cfg: &ExpConfig,
+) -> Arc<PairRun> {
+    let key = (small_kind, big_kind, split_id, cfg.scale.to_bits());
+    if let Some(hit) = cache().lock().get(&key) {
+        return Arc::clone(hit);
+    }
+    let split = Arc::new(Split::load_scaled(split_id, cfg.scale));
+    let num_classes = split.test.taxonomy().len();
+    let small = SimDetector::new(small_kind, split_id, num_classes);
+    let big = SimDetector::new(big_kind, split_id, num_classes);
+    let (calibration, train_examples) = calibrate(&split.train, &small, &big);
+    let disc = DifficultCaseDiscriminator::new(calibration.thresholds);
+    let test_stats =
+        smallbig_core::discriminator_test_stats(&split.test, &small, &big, &disc);
+    let ours = evaluate(
+        &split.test,
+        &small,
+        &big,
+        &Policy::DifficultCase(disc),
+        &EvalConfig::default(),
+    );
+    let run = Arc::new(PairRun {
+        split_id,
+        calibration,
+        train_examples,
+        test_stats,
+        ours,
+        split,
+        num_classes,
+    });
+    cache().lock().insert(key, Arc::clone(&run));
+    run
+}
+
+/// The paper's three SSD small models in table order.
+pub const SSD_SMALLS: [ModelKind; 3] = [
+    ModelKind::VggLiteSsd,
+    ModelKind::MobileNetV1Ssd,
+    ModelKind::MobileNetV2Ssd,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_same_arc() {
+        let cfg = ExpConfig::quick();
+        let a = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, &cfg);
+        let b = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn pair_run_is_complete() {
+        let cfg = ExpConfig::quick();
+        let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, &cfg);
+        assert!(!run.train_examples.is_empty());
+        assert!(run.ours.num_images > 0);
+        assert!(run.calibration.thresholds.conf > 0.0);
+        assert!(run.test_stats.accuracy > 0.0);
+    }
+
+    #[test]
+    fn evaluate_policy_reuses_split() {
+        let cfg = ExpConfig::quick();
+        let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, &cfg);
+        let cloud = run.evaluate_policy(
+            ModelKind::VggLiteSsd,
+            ModelKind::SsdVgg16,
+            &Policy::CloudOnly,
+        );
+        assert_eq!(cloud.upload_ratio, 1.0);
+        assert_eq!(cloud.num_images, run.ours.num_images);
+    }
+}

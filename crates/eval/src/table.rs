@@ -1,0 +1,146 @@
+//! Plain-text table rendering for experiment reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rendered experiment table.
+///
+/// # Examples
+///
+/// ```
+/// use eval::Table;
+///
+/// let mut t = Table::new(vec!["split".into(), "mAP".into()]);
+/// t.add_row(vec!["07".into(), "62.68".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("07"));
+/// assert!(s.contains("mAP"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The header row.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as CSV (quoting not needed for our numeric content).
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, cell) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", cell, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        write!(f, "|")?;
+        for w in &widths {
+            write!(f, "{:-<width$}|", "", width = w + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with two decimals (the paper's table precision).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a "measured (paper X)" cell for side-by-side comparison.
+pub fn with_paper(measured: f64, paper: f64) -> String {
+    format!("{measured:.2} ({paper:.2})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a".into(), "long header".into()]);
+        t.add_row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len(), "aligned widths");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.add_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.add_row(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(with_paper(62.1, 62.68), "62.10 (62.68)");
+    }
+}

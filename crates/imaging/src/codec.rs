@@ -1,0 +1,117 @@
+//! Encoded-image size model: how many bytes a frame occupies on the wire.
+//!
+//! The paper's framework uploads *whole images* to the cloud, so the byte
+//! size of an encoded frame is what the WLAN link actually carries. We model
+//! a lossless DPCM-style encoder: each pixel is predicted from its left
+//! neighbour and the residuals are entropy-coded, so the size is
+//! `header + ceil(n_pixels × H_residual / 8)` where `H_residual` is the
+//! Shannon entropy of the residual histogram. Smooth/blurred frames compress
+//! better; textured, sharp frames cost more — matching real codecs closely
+//! enough for bandwidth accounting.
+
+use crate::GrayImage;
+
+/// Fixed per-image container overhead in bytes (headers, tables).
+pub const CODEC_HEADER_BYTES: usize = 620;
+
+/// Entropy (bits/pixel) of the horizontal-DPCM residuals of an image.
+///
+/// The first pixel of each row is predicted as 128.
+pub fn residual_entropy_bits(img: &GrayImage) -> f64 {
+    let mut hist = [0u64; 256];
+    let mut n = 0u64;
+    for y in 0..img.height() {
+        let row = img.row(y);
+        let mut prev = 128u8;
+        for &p in row {
+            let residual = p.wrapping_sub(prev);
+            hist[residual as usize] += 1;
+            n += 1;
+            prev = p;
+        }
+    }
+    let n = n as f64;
+    let mut e = 0.0;
+    for &c in &hist {
+        if c > 0 {
+            let p = c as f64 / n;
+            e -= p * p.log2();
+        }
+    }
+    e
+}
+
+/// Estimated encoded size of the frame in bytes.
+///
+/// # Examples
+///
+/// ```
+/// use imaging::{encoded_size_bytes, gaussian_blur, GrayImage, render, RenderSpec};
+///
+/// let frame = render(&RenderSpec::empty(320, 240, 3));
+/// let sharp = encoded_size_bytes(&frame);
+/// let soft = encoded_size_bytes(&gaussian_blur(&frame, 3.0));
+/// assert!(soft <= sharp); // blurred frames compress better
+/// ```
+pub fn encoded_size_bytes(img: &GrayImage) -> usize {
+    let bits = residual_entropy_bits(img) * img.len() as f64;
+    CODEC_HEADER_BYTES + (bits / 8.0).ceil() as usize
+}
+
+/// Byte size of the *detection result* message for `n` boxes.
+///
+/// Each box serialises to class id (2 B) + score (4 B) + four coordinates
+/// (4 × 4 B) plus a small envelope; results are tiny compared with images,
+/// which is why returning results downstream is negligible in the paper.
+pub fn result_size_bytes(num_boxes: usize) -> usize {
+    24 + num_boxes * 22
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gaussian_blur, render, RenderSpec};
+
+    #[test]
+    fn flat_image_compresses_to_header() {
+        let img = GrayImage::filled(100, 100, 200);
+        // residuals: one 200-128=72 at each row start, rest zeros -> tiny entropy
+        let size = encoded_size_bytes(&img);
+        assert!(size < CODEC_HEADER_BYTES + 1500, "got {size}");
+    }
+
+    #[test]
+    fn textured_image_costs_more_than_flat() {
+        let flat = GrayImage::filled(64, 64, 130);
+        let textured = render(&RenderSpec::empty(64, 64, 99));
+        assert!(encoded_size_bytes(&textured) > encoded_size_bytes(&flat));
+    }
+
+    #[test]
+    fn blur_reduces_size() {
+        let frame = render(&RenderSpec::empty(128, 128, 5));
+        let soft = gaussian_blur(&frame, 2.5);
+        assert!(encoded_size_bytes(&soft) <= encoded_size_bytes(&frame));
+    }
+
+    #[test]
+    fn entropy_bounded_by_8_bits() {
+        let frame = render(&RenderSpec::empty(64, 64, 17));
+        let e = residual_entropy_bits(&frame);
+        assert!(e >= 0.0 && e <= 8.0);
+    }
+
+    #[test]
+    fn size_scales_with_area() {
+        let small = render(&RenderSpec::empty(64, 64, 4));
+        let large = render(&RenderSpec::empty(128, 128, 4));
+        assert!(encoded_size_bytes(&large) > encoded_size_bytes(&small) * 2);
+    }
+
+    #[test]
+    fn result_size_is_small() {
+        assert!(result_size_bytes(50) < 2000);
+        assert!(result_size_bytes(0) > 0);
+        assert!(result_size_bytes(10) > result_size_bytes(5));
+    }
+}

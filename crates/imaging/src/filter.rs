@@ -1,0 +1,208 @@
+//! Image filters: Gaussian blur and sensor noise.
+
+use crate::GrayImage;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Builds a normalised 1-D Gaussian kernel for the given sigma.
+///
+/// The radius is `ceil(3 sigma)`, covering > 99.7 % of the mass.
+///
+/// # Panics
+///
+/// Panics if `sigma <= 0` or is not finite.
+pub fn gaussian_kernel(sigma: f64) -> Vec<f64> {
+    assert!(sigma.is_finite() && sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as i64;
+    let mut kernel = Vec::with_capacity((2 * radius + 1) as usize);
+    let denom = 2.0 * sigma * sigma;
+    for i in -radius..=radius {
+        kernel.push((-(i * i) as f64 / denom).exp());
+    }
+    let sum: f64 = kernel.iter().sum();
+    for k in &mut kernel {
+        *k /= sum;
+    }
+    kernel
+}
+
+fn convolve_1d(src: &[f64], width: usize, height: usize, kernel: &[f64], horizontal: bool) -> Vec<f64> {
+    let radius = (kernel.len() / 2) as i64;
+    let mut out = vec![0.0; src.len()];
+    for y in 0..height as i64 {
+        for x in 0..width as i64 {
+            let mut acc = 0.0;
+            for (ki, &k) in kernel.iter().enumerate() {
+                let off = ki as i64 - radius;
+                let (sx, sy) = if horizontal { (x + off, y) } else { (x, y + off) };
+                // clamp-to-edge boundary
+                let sx = sx.clamp(0, width as i64 - 1);
+                let sy = sy.clamp(0, height as i64 - 1);
+                acc += k * src[(sy * width as i64 + sx) as usize];
+            }
+            out[(y * width as i64 + x) as usize] = acc;
+        }
+    }
+    out
+}
+
+/// Applies separable Gaussian blur with the given sigma (in pixels).
+///
+/// Uses clamp-to-edge boundary handling. `sigma == 0` returns a copy.
+///
+/// # Examples
+///
+/// ```
+/// use imaging::{gaussian_blur, GrayImage};
+///
+/// let mut img = GrayImage::new(32, 32);
+/// img.set(16, 16, 255);
+/// let blurred = gaussian_blur(&img, 2.0);
+/// assert!(blurred.get(16, 16) < 255); // energy spread out
+/// assert!(blurred.get(17, 16) > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn gaussian_blur(img: &GrayImage, sigma: f64) -> GrayImage {
+    assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+    if sigma == 0.0 {
+        return img.clone();
+    }
+    let kernel = gaussian_kernel(sigma);
+    let (w, h) = (img.width(), img.height());
+    let src: Vec<f64> = img.as_bytes().iter().map(|&p| p as f64).collect();
+    let tmp = convolve_1d(&src, w, h, &kernel, true);
+    let out = convolve_1d(&tmp, w, h, &kernel, false);
+    GrayImage::from_pixels(
+        w,
+        h,
+        out.into_iter().map(|v| v.round().clamp(0.0, 255.0) as u8).collect(),
+    )
+}
+
+/// Adds zero-mean Gaussian sensor noise with the given standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or not finite.
+pub fn add_gaussian_noise<R: Rng + ?Sized>(img: &GrayImage, std_dev: f64, rng: &mut R) -> GrayImage {
+    assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be non-negative");
+    if std_dev == 0.0 {
+        return img.clone();
+    }
+    let normal = Normal::new(0.0, std_dev).expect("validated std_dev");
+    let pixels = img
+        .as_bytes()
+        .iter()
+        .map(|&p| (p as f64 + normal.sample(rng)).round().clamp(0.0, 255.0) as u8)
+        .collect();
+    GrayImage::from_pixels(img.width(), img.height(), pixels)
+}
+
+/// Applies a global illumination scale (e.g. insufficient light on a building
+/// site): `out = in * gain`, clamped.
+///
+/// # Panics
+///
+/// Panics if `gain` is negative or not finite.
+pub fn scale_illumination(img: &GrayImage, gain: f64) -> GrayImage {
+    assert!(gain.is_finite() && gain >= 0.0, "gain must be non-negative");
+    let pixels = img
+        .as_bytes()
+        .iter()
+        .map(|&p| (p as f64 * gain).round().clamp(0.0, 255.0) as u8)
+        .collect();
+    GrayImage::from_pixels(img.width(), img.height(), pixels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kernel_normalised_and_symmetric() {
+        for sigma in [0.5, 1.0, 2.5] {
+            let k = gaussian_kernel(sigma);
+            assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert_eq!(k.len() % 2, 1);
+            for i in 0..k.len() / 2 {
+                assert!((k[i] - k[k.len() - 1 - i]).abs() < 1e-12);
+            }
+            // centre is the max
+            let mid = k[k.len() / 2];
+            assert!(k.iter().all(|&v| v <= mid + 1e-12));
+        }
+    }
+
+    #[test]
+    fn blur_preserves_flat_image() {
+        let img = GrayImage::filled(16, 16, 77);
+        let b = gaussian_blur(&img, 1.5);
+        assert!(b.as_bytes().iter().all(|&p| (p as i32 - 77).abs() <= 1));
+    }
+
+    #[test]
+    fn blur_zero_sigma_is_identity() {
+        let mut img = GrayImage::new(8, 8);
+        img.set(3, 3, 200);
+        assert_eq!(gaussian_blur(&img, 0.0), img);
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let mut img = GrayImage::new(32, 32);
+        // checkerboard = maximal high-frequency content
+        for y in 0..32 {
+            for x in 0..32 {
+                img.set(x, y, if (x + y) % 2 == 0 { 0 } else { 255 });
+            }
+        }
+        let b = gaussian_blur(&img, 2.0);
+        assert!(b.variance() < img.variance() / 10.0);
+    }
+
+    #[test]
+    fn blur_approximately_preserves_mean() {
+        let mut img = GrayImage::new(24, 24);
+        let mut v: u8 = 13;
+        img.map_in_place(|_| {
+            v = v.wrapping_mul(31).wrapping_add(7);
+            v
+        });
+        let b = gaussian_blur(&img, 1.0);
+        assert!((b.mean() - img.mean()).abs() < 2.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let img = GrayImage::filled(16, 16, 128);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let n1 = add_gaussian_noise(&img, 10.0, &mut r1);
+        let n2 = add_gaussian_noise(&img, 10.0, &mut r2);
+        assert_eq!(n1, n2);
+        let mut r3 = StdRng::seed_from_u64(8);
+        let n3 = add_gaussian_noise(&img, 10.0, &mut r3);
+        assert_ne!(n1, n3);
+    }
+
+    #[test]
+    fn noise_zero_is_identity() {
+        let img = GrayImage::filled(8, 8, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(add_gaussian_noise(&img, 0.0, &mut rng), img);
+    }
+
+    #[test]
+    fn illumination_scaling() {
+        let img = GrayImage::filled(4, 4, 100);
+        let darker = scale_illumination(&img, 0.5);
+        assert_eq!(darker.get(0, 0), 50);
+        let clipped = scale_illumination(&img, 10.0);
+        assert_eq!(clipped.get(0, 0), 255);
+    }
+}

@@ -1,0 +1,36 @@
+//! # imaging — raster substrate for the smallbig workspace
+//!
+//! Synthetic camera frames for the edge-cloud object-detection reproduction:
+//!
+//! * [`GrayImage`] — 8-bit grayscale buffer with statistics,
+//! * [`gaussian_blur`] / [`add_gaussian_noise`] / [`scale_illumination`] —
+//!   camera/optics effects,
+//! * [`brenner_gradient`] / [`tenengrad`] / [`laplacian_variance`] — focus
+//!   measures (the paper's blurred-upload baseline uses Brenner, Eq. 2),
+//! * [`render`] — deterministic scene→frame renderer,
+//! * [`encoded_size_bytes`] — bytes-on-the-wire model for uploaded frames.
+//!
+//! # Example
+//!
+//! ```
+//! use imaging::{brenner_gradient, encoded_size_bytes, render, RenderSpec};
+//!
+//! let frame = render(&RenderSpec::empty(320, 240, 1));
+//! println!("sharpness = {:.1}", brenner_gradient(&frame));
+//! println!("size      = {} bytes", encoded_size_bytes(&frame));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod codec;
+mod filter;
+mod render;
+mod sharpness;
+
+pub use buffer::GrayImage;
+pub use codec::{encoded_size_bytes, residual_entropy_bits, result_size_bytes, CODEC_HEADER_BYTES};
+pub use filter::{add_gaussian_noise, gaussian_blur, gaussian_kernel, scale_illumination};
+pub use render::{render, ObjectRenderSpec, RenderSpec};
+pub use sharpness::{brenner_gradient, laplacian_variance, tenengrad};

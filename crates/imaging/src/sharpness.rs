@@ -1,0 +1,151 @@
+//! Image sharpness (focus/ambiguity) metrics.
+//!
+//! The paper's blurred-upload baseline (Sec. VI-E-2) ranks images by the
+//! **Brenner gradient**: `Σ_y Σ_x |f(x+2, y) − f(x, y)|²` — "the larger the
+//! value of the function, the clearer the image". Tenengrad and
+//! variance-of-Laplacian are provided as alternative focus measures for
+//! ablation.
+
+use crate::GrayImage;
+
+/// Brenner gradient focus measure, normalised per pixel.
+///
+/// Computes `Σ |f(x+2, y) − f(x, y)|²` over all valid pixels, divided by the
+/// number of terms so that values are comparable across image sizes.
+///
+/// # Examples
+///
+/// ```
+/// use imaging::{brenner_gradient, gaussian_blur, GrayImage};
+///
+/// let mut img = GrayImage::new(32, 32);
+/// for y in 0..32 {
+///     for x in 0..32 {
+///         img.set(x, y, if x % 4 < 2 { 0 } else { 255 });
+///     }
+/// }
+/// let sharp = brenner_gradient(&img);
+/// let blurred = brenner_gradient(&gaussian_blur(&img, 2.0));
+/// assert!(sharp > blurred); // blur lowers the Brenner score
+/// ```
+pub fn brenner_gradient(img: &GrayImage) -> f64 {
+    let (w, h) = (img.width(), img.height());
+    if w < 3 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for y in 0..h {
+        let row = img.row(y);
+        for x in 0..w - 2 {
+            let d = row[x + 2] as f64 - row[x] as f64;
+            sum += d * d;
+        }
+    }
+    sum / ((w - 2) * h) as f64
+}
+
+/// Tenengrad focus measure: mean squared Sobel gradient magnitude.
+pub fn tenengrad(img: &GrayImage) -> f64 {
+    let (w, h) = (img.width(), img.height());
+    if w < 3 || h < 3 {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let p = |dx: i64, dy: i64| {
+                img.get((x as i64 + dx) as usize, (y as i64 + dy) as usize) as f64
+            };
+            let gx = -p(-1, -1) - 2.0 * p(-1, 0) - p(-1, 1) + p(1, -1) + 2.0 * p(1, 0) + p(1, 1);
+            let gy = -p(-1, -1) - 2.0 * p(0, -1) - p(1, -1) + p(-1, 1) + 2.0 * p(0, 1) + p(1, 1);
+            sum += gx * gx + gy * gy;
+        }
+    }
+    sum / ((w - 2) * (h - 2)) as f64
+}
+
+/// Variance of the 4-neighbour Laplacian response.
+pub fn laplacian_variance(img: &GrayImage) -> f64 {
+    let (w, h) = (img.width(), img.height());
+    if w < 3 || h < 3 {
+        return 0.0;
+    }
+    let mut values = Vec::with_capacity((w - 2) * (h - 2));
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let c = img.get(x, y) as f64;
+            let lap = img.get(x - 1, y) as f64
+                + img.get(x + 1, y) as f64
+                + img.get(x, y - 1) as f64
+                + img.get(x, y + 1) as f64
+                - 4.0 * c;
+            values.push(lap);
+        }
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian_blur;
+
+    fn stripes(w: usize, h: usize, period: usize) -> GrayImage {
+        let mut img = GrayImage::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, if (x / period) % 2 == 0 { 0 } else { 255 });
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn flat_image_has_zero_sharpness() {
+        let img = GrayImage::filled(32, 32, 120);
+        assert_eq!(brenner_gradient(&img), 0.0);
+        assert_eq!(tenengrad(&img), 0.0);
+        assert_eq!(laplacian_variance(&img), 0.0);
+    }
+
+    #[test]
+    fn blur_monotonically_decreases_brenner() {
+        let img = stripes(64, 64, 3);
+        let b0 = brenner_gradient(&img);
+        let b1 = brenner_gradient(&gaussian_blur(&img, 0.8));
+        let b2 = brenner_gradient(&gaussian_blur(&img, 2.0));
+        let b3 = brenner_gradient(&gaussian_blur(&img, 4.0));
+        assert!(b0 > b1 && b1 > b2 && b2 > b3, "{b0} {b1} {b2} {b3}");
+    }
+
+    #[test]
+    fn blur_decreases_tenengrad_and_laplacian() {
+        let img = stripes(64, 64, 4);
+        let blurred = gaussian_blur(&img, 2.5);
+        assert!(tenengrad(&img) > tenengrad(&blurred));
+        assert!(laplacian_variance(&img) > laplacian_variance(&blurred));
+    }
+
+    #[test]
+    fn brenner_matches_hand_computation() {
+        // 1x5 image: f = [0, 0, 10, 0, 20]
+        // terms: |10-0|^2 + |0-0|^2 + |20-10|^2 = 100 + 0 + 100 = 200; /3 terms
+        let img = GrayImage::from_pixels(5, 1, vec![0, 0, 10, 0, 20]);
+        assert!((brenner_gradient(&img) - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_images_are_zero() {
+        let img = GrayImage::filled(2, 2, 9);
+        assert_eq!(brenner_gradient(&img), 0.0);
+        assert_eq!(tenengrad(&img), 0.0);
+    }
+
+    #[test]
+    fn finer_stripes_are_sharper() {
+        let fine = stripes(64, 64, 2);
+        let coarse = stripes(64, 64, 8);
+        assert!(brenner_gradient(&fine) > brenner_gradient(&coarse));
+    }
+}

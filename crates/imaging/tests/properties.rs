@@ -1,0 +1,78 @@
+//! Property-based tests for imaging invariants.
+
+use imaging::{
+    brenner_gradient, encoded_size_bytes, gaussian_blur, gaussian_kernel, render, GrayImage,
+    RenderSpec, CODEC_HEADER_BYTES,
+};
+use proptest::prelude::*;
+
+fn arb_image() -> impl Strategy<Value = GrayImage> {
+    (4usize..40, 4usize..40, any::<u64>()).prop_map(|(w, h, seed)| {
+        // cheap deterministic pseudo-random fill
+        let mut pixels = Vec::with_capacity(w * h);
+        let mut s = seed | 1;
+        for _ in 0..w * h {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            pixels.push((s >> 33) as u8);
+        }
+        GrayImage::from_pixels(w, h, pixels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn kernel_sums_to_one(sigma in 0.2f64..5.0) {
+        let k = gaussian_kernel(sigma);
+        prop_assert!((k.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(k.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn blur_preserves_dimensions_and_range(img in arb_image(), sigma in 0.0f64..4.0) {
+        let b = gaussian_blur(&img, sigma);
+        prop_assert_eq!(b.width(), img.width());
+        prop_assert_eq!(b.height(), img.height());
+    }
+
+    #[test]
+    fn blur_never_expands_intensity_range(img in arb_image(), sigma in 0.1f64..4.0) {
+        let lo_in = *img.as_bytes().iter().min().unwrap();
+        let hi_in = *img.as_bytes().iter().max().unwrap();
+        let b = gaussian_blur(&img, sigma);
+        let lo_out = *b.as_bytes().iter().min().unwrap();
+        let hi_out = *b.as_bytes().iter().max().unwrap();
+        // rounding tolerance of 1
+        prop_assert!(lo_out + 1 >= lo_in);
+        prop_assert!(hi_out <= hi_in.saturating_add(1));
+    }
+
+    #[test]
+    fn sharpness_non_negative(img in arb_image()) {
+        prop_assert!(brenner_gradient(&img) >= 0.0);
+    }
+
+    #[test]
+    fn encoded_size_at_least_header(img in arb_image()) {
+        prop_assert!(encoded_size_bytes(&img) >= CODEC_HEADER_BYTES);
+    }
+
+    #[test]
+    fn encoded_size_at_most_raw_plus_header(img in arb_image()) {
+        // entropy coding can't exceed 8 bits/pixel in this model
+        prop_assert!(encoded_size_bytes(&img) <= CODEC_HEADER_BYTES + img.len() + 1);
+    }
+
+    #[test]
+    fn render_deterministic(seed in any::<u64>()) {
+        let spec = RenderSpec::empty(24, 24, seed);
+        prop_assert_eq!(render(&spec), render(&spec));
+    }
+
+    #[test]
+    fn downscale_dimensions(img in arb_image(), factor in 1usize..4) {
+        prop_assume!(factor <= img.width() && factor <= img.height());
+        let d = img.downscale(factor);
+        prop_assert_eq!(d.width(), img.width() / factor);
+        prop_assert_eq!(d.height(), img.height() / factor);
+    }
+}

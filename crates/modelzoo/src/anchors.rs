@@ -1,0 +1,147 @@
+//! SSD default-box ("anchor"/"prior") generation.
+//!
+//! The paper leans on default-box arithmetic: SSD300 has **8732** default
+//! boxes of which the 38×38 feature map provides **5776**; the small model
+//! discards that map and "loses 66 % of default boxes", keeping **2956**.
+//! This module reproduces those numbers from first principles.
+
+use detcore::BBox;
+use serde::{Deserialize, Serialize};
+
+/// One feature map participating in detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMapSpec {
+    /// Spatial size (the map is `size × size`).
+    pub size: usize,
+    /// Default boxes per cell (4 or 6 in SSD).
+    pub boxes_per_cell: usize,
+    /// Box scale for this map, relative to the image.
+    pub scale: f64,
+    /// Scale of the next map (for the extra √(s_k·s_{k+1}) box).
+    pub next_scale: f64,
+}
+
+/// The six SSD300 feature maps in order (38 → 1).
+pub fn ssd300_feature_maps() -> Vec<FeatureMapSpec> {
+    // Standard SSD300 scales: first map 0.1, then 0.2 … 0.9 linear.
+    let sizes = [38usize, 19, 10, 5, 3, 1];
+    let boxes = [4usize, 6, 6, 6, 4, 4];
+    let scales = [0.1, 0.2, 0.375, 0.55, 0.725, 0.9];
+    let next = [0.2, 0.375, 0.55, 0.725, 0.9, 1.075];
+    (0..6)
+        .map(|i| FeatureMapSpec {
+            size: sizes[i],
+            boxes_per_cell: boxes[i],
+            scale: scales[i],
+            next_scale: next[i],
+        })
+        .collect()
+}
+
+/// The small model's feature maps: SSD300 **without** the 38×38 map
+/// (Sec. IV-B: "we discard the feature map of 38*38").
+pub fn small_model_feature_maps() -> Vec<FeatureMapSpec> {
+    ssd300_feature_maps().into_iter().skip(1).collect()
+}
+
+/// Total number of default boxes across maps.
+pub fn num_default_boxes(maps: &[FeatureMapSpec]) -> usize {
+    maps.iter().map(|m| m.size * m.size * m.boxes_per_cell).sum()
+}
+
+/// Generates the actual default boxes for a feature-map set.
+///
+/// Per SSD: each cell gets boxes at aspect ratios {1, 2, ½} (+{3, ⅓} when 6
+/// per cell) at scale `s_k`, plus one square box at scale `√(s_k·s_{k+1})`.
+/// Boxes are clamped to the unit square.
+///
+/// # Examples
+///
+/// ```
+/// use modelzoo::{default_boxes, num_default_boxes, ssd300_feature_maps};
+///
+/// let maps = ssd300_feature_maps();
+/// assert_eq!(num_default_boxes(&maps), 8732);
+/// assert_eq!(default_boxes(&maps).len(), 8732);
+/// ```
+pub fn default_boxes(maps: &[FeatureMapSpec]) -> Vec<BBox> {
+    let mut out = Vec::with_capacity(num_default_boxes(maps));
+    for m in maps {
+        // Aspect-ratio list in SSD order.
+        let aspects: Vec<f64> = match m.boxes_per_cell {
+            4 => vec![1.0, 2.0, 0.5],
+            6 => vec![1.0, 2.0, 0.5, 3.0, 1.0 / 3.0],
+            n => panic!("unsupported boxes_per_cell: {n}"),
+        };
+        let extra_scale = (m.scale * m.next_scale).sqrt();
+        for i in 0..m.size {
+            for j in 0..m.size {
+                let cx = (j as f64 + 0.5) / m.size as f64;
+                let cy = (i as f64 + 0.5) / m.size as f64;
+                for &ar in &aspects {
+                    let w = m.scale * ar.sqrt();
+                    let h = m.scale / ar.sqrt();
+                    out.push(BBox::from_center(cx, cy, w, h).clamp_unit());
+                }
+                // the extra square box at the geometric-mean scale
+                out.push(BBox::from_center(cx, cy, extra_scale, extra_scale).clamp_unit());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd300_has_8732_boxes() {
+        assert_eq!(num_default_boxes(&ssd300_feature_maps()), 8732);
+    }
+
+    #[test]
+    fn first_map_provides_5776() {
+        let maps = ssd300_feature_maps();
+        assert_eq!(maps[0].size * maps[0].size * maps[0].boxes_per_cell, 5776);
+    }
+
+    #[test]
+    fn small_model_keeps_2956() {
+        let maps = small_model_feature_maps();
+        assert_eq!(num_default_boxes(&maps), 2956);
+        assert_eq!(8732 - 5776, 2956);
+    }
+
+    #[test]
+    fn small_model_loses_66_percent() {
+        let lost: f64 = 5776.0 / 8732.0;
+        assert!((lost - 0.6615).abs() < 0.001, "the paper's 66 % figure");
+    }
+
+    #[test]
+    fn generated_boxes_match_count_and_bounds() {
+        for maps in [ssd300_feature_maps(), small_model_feature_maps()] {
+            let boxes = default_boxes(&maps);
+            assert_eq!(boxes.len(), num_default_boxes(&maps));
+            for b in &boxes {
+                assert!(b.x_min() >= 0.0 && b.x_max() <= 1.0);
+                assert!(b.y_min() >= 0.0 && b.y_max() <= 1.0);
+                assert!(b.area() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn large_maps_have_smaller_boxes() {
+        let maps = ssd300_feature_maps();
+        let boxes = default_boxes(&maps);
+        // mean area of the 38x38 map's boxes vs the 1x1 map's boxes
+        let first: f64 = boxes[..5776].iter().map(|b| b.area()).sum::<f64>() / 5776.0;
+        let last: f64 = boxes[boxes.len() - 4..].iter().map(|b| b.area()).sum::<f64>() / 4.0;
+        assert!(
+            first < last / 10.0,
+            "38x38 boxes analyse small objects: {first} vs {last}"
+        );
+    }
+}

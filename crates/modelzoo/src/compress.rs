@@ -1,0 +1,166 @@
+//! Automatic small-model generation — the paper's Sec. VII future work.
+//!
+//! "In the future, we will design automatic object detection model
+//! compression, that is, the users only need to select the object detection
+//! models in the cloud, and then a lightweight object detection model
+//! suitable for given edge devices … can be automatically obtained."
+//!
+//! This module implements the storage/compute-budgeted search over the
+//! MobileNet width multiplier: given an edge device's budget, it finds the
+//! widest (most accurate) small model that fits.
+
+use crate::{mobilenet_v1_ssd, mobilenet_v2_ssd, Network};
+use serde::{Deserialize, Serialize};
+
+/// Which base network family to search over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompressBase {
+    /// MobileNetV1-SSD (the paper's small model 2 family).
+    MobileNetV1,
+    /// MobileNetV2-SSD (the paper's small model 3 family).
+    MobileNetV2,
+}
+
+/// The budget a candidate small model must fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeBudget {
+    /// Maximum model size in MB (storage on the edge device).
+    pub max_size_mb: f64,
+    /// Maximum compute in GFLOPs per frame (optional).
+    pub max_gflops: Option<f64>,
+}
+
+impl EdgeBudget {
+    /// A size-only budget.
+    pub fn size_mb(max_size_mb: f64) -> Self {
+        EdgeBudget { max_size_mb, max_gflops: None }
+    }
+
+    fn admits(&self, net: &Network) -> bool {
+        net.size_mb() <= self.max_size_mb
+            && self.max_gflops.map(|g| net.gflops() <= g).unwrap_or(true)
+    }
+}
+
+/// A found compression point.
+#[derive(Debug, Clone)]
+pub struct Compressed {
+    /// The chosen width multiplier.
+    pub alpha: f64,
+    /// The resulting network.
+    pub network: Network,
+}
+
+fn build(base: CompressBase, num_classes: usize, alpha: f64) -> Network {
+    match base {
+        CompressBase::MobileNetV1 => mobilenet_v1_ssd(num_classes, alpha),
+        CompressBase::MobileNetV2 => mobilenet_v2_ssd(num_classes, alpha),
+    }
+}
+
+/// Finds the widest width multiplier whose network fits the budget.
+///
+/// Searches `alpha ∈ [0.1, 1.5]` by bisection (model size is monotone in the
+/// width multiplier). Returns `None` when even the narrowest candidate
+/// exceeds the budget.
+///
+/// # Examples
+///
+/// ```
+/// use modelzoo::{compress_to_budget, CompressBase, EdgeBudget};
+///
+/// // Reproduce (approximately) the paper's small model 2 from its budget:
+/// let found = compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(12.0))
+///     .expect("12 MB is feasible");
+/// assert!(found.network.size_mb() <= 12.0);
+/// assert!((found.alpha - 0.85).abs() < 0.15);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_classes == 0` or the budget is non-positive.
+pub fn compress_to_budget(
+    base: CompressBase,
+    num_classes: usize,
+    budget: EdgeBudget,
+) -> Option<Compressed> {
+    assert!(num_classes > 0, "need at least one class");
+    assert!(budget.max_size_mb > 0.0, "budget must be positive");
+    let (mut lo, mut hi) = (0.1f64, 1.5f64);
+    if !budget.admits(&build(base, num_classes, lo)) {
+        return None;
+    }
+    // If even the widest fits, take it.
+    if budget.admits(&build(base, num_classes, hi)) {
+        return Some(Compressed { alpha: hi, network: build(base, num_classes, hi) });
+    }
+    for _ in 0..24 {
+        let mid = (lo + hi) / 2.0;
+        if budget.admits(&build(base, num_classes, mid)) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(Compressed { alpha: lo, network: build(base, num_classes, lo) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_paper_small_model_2() {
+        let c = compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(12.05))
+            .unwrap();
+        assert!(c.network.size_mb() <= 12.05);
+        // the paper configuration uses alpha 0.85 at ~12 MB
+        assert!((0.7..=1.0).contains(&c.alpha), "alpha {}", c.alpha);
+    }
+
+    #[test]
+    fn recovers_paper_small_model_3() {
+        let c = compress_to_budget(CompressBase::MobileNetV2, 20, EdgeBudget::size_mb(7.1))
+            .unwrap();
+        assert!(c.network.size_mb() <= 7.1);
+        assert!((0.75..=1.05).contains(&c.alpha), "alpha {}", c.alpha);
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        assert!(
+            compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(0.5)).is_none()
+        );
+    }
+
+    #[test]
+    fn generous_budget_takes_widest() {
+        let c = compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(500.0))
+            .unwrap();
+        assert!((c.alpha - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flops_constraint_binds() {
+        let size_only = compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(30.0))
+            .unwrap();
+        let tight = compress_to_budget(
+            CompressBase::MobileNetV1,
+            20,
+            EdgeBudget { max_size_mb: 30.0, max_gflops: Some(1.0) },
+        )
+        .unwrap();
+        assert!(tight.alpha < size_only.alpha);
+        assert!(tight.network.gflops() <= 1.0);
+    }
+
+    #[test]
+    fn result_is_monotone_in_budget() {
+        let small = compress_to_budget(CompressBase::MobileNetV2, 20, EdgeBudget::size_mb(4.0))
+            .unwrap();
+        let large = compress_to_budget(CompressBase::MobileNetV2, 20, EdgeBudget::size_mb(9.0))
+            .unwrap();
+        assert!(small.alpha <= large.alpha);
+        assert!(small.network.size_mb() <= large.network.size_mb());
+    }
+}

@@ -1,0 +1,211 @@
+//! The layer vocabulary used to describe detector architectures.
+//!
+//! Each layer knows how to infer its output shape and count its parameters
+//! and floating-point operations (FLOPs, counting one multiply-accumulate as
+//! **two** operations, the convention the paper's Table II uses — SSD300 on
+//! VGG16 comes out at ~61 GFLOPs).
+
+use crate::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// One network layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Standard 2-D convolution with square kernel and `same`-style padding.
+    Conv2d {
+        /// Output channel count.
+        out_channels: usize,
+        /// Square kernel side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Depthwise convolution (one filter per input channel).
+    DepthwiseConv {
+        /// Square kernel side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Pointwise (1×1) convolution.
+    PointwiseConv {
+        /// Output channel count.
+        out_channels: usize,
+    },
+    /// 2-D convolution with *valid* padding and stride 1 (SSD's conv10/11
+    /// blocks use this to step 5×5 → 3×3 → 1×1).
+    Conv2dValid {
+        /// Output channel count.
+        out_channels: usize,
+        /// Square kernel side.
+        kernel: usize,
+    },
+    /// Max pooling with square window; `ceil`-mode spatial reduction.
+    MaxPool {
+        /// Window side and stride (SSD uses kernel == stride except pool5).
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Global average pooling to `C × 1 × 1`.
+    GlobalAvgPool,
+    /// Fully connected layer.
+    Dense {
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+impl Layer {
+    /// Output shape for the given input.
+    pub fn output_shape(&self, input: TensorShape) -> TensorShape {
+        match *self {
+            Layer::Conv2d { out_channels, stride, .. } => TensorShape::new(
+                out_channels,
+                div_ceil(input.h, stride),
+                div_ceil(input.w, stride),
+            ),
+            Layer::DepthwiseConv { stride, .. } => TensorShape::new(
+                input.c,
+                div_ceil(input.h, stride),
+                div_ceil(input.w, stride),
+            ),
+            Layer::PointwiseConv { out_channels } => {
+                TensorShape::new(out_channels, input.h, input.w)
+            }
+            Layer::Conv2dValid { out_channels, kernel } => {
+                assert!(
+                    input.h >= kernel && input.w >= kernel,
+                    "valid conv kernel exceeds input"
+                );
+                TensorShape::new(out_channels, input.h - kernel + 1, input.w - kernel + 1)
+            }
+            Layer::MaxPool { stride, .. } => TensorShape::new(
+                input.c,
+                div_ceil(input.h, stride),
+                div_ceil(input.w, stride),
+            ),
+            Layer::GlobalAvgPool => TensorShape::new(input.c, 1, 1),
+            Layer::Dense { out_features } => TensorShape::new(out_features, 1, 1),
+        }
+    }
+
+    /// Learnable parameter count (weights + biases).
+    pub fn params(&self, input: TensorShape) -> u64 {
+        match *self {
+            Layer::Conv2d { out_channels, kernel, .. } => {
+                (kernel * kernel * input.c * out_channels + out_channels) as u64
+            }
+            Layer::DepthwiseConv { kernel, .. } => (kernel * kernel * input.c + input.c) as u64,
+            Layer::PointwiseConv { out_channels } => {
+                (input.c * out_channels + out_channels) as u64
+            }
+            Layer::Conv2dValid { out_channels, kernel } => {
+                (kernel * kernel * input.c * out_channels + out_channels) as u64
+            }
+            Layer::MaxPool { .. } | Layer::GlobalAvgPool => 0,
+            Layer::Dense { out_features } => {
+                (input.elements() as usize * out_features + out_features) as u64
+            }
+        }
+    }
+
+    /// FLOPs for one forward pass (2 × multiply-accumulates).
+    pub fn flops(&self, input: TensorShape) -> u64 {
+        let out = self.output_shape(input);
+        match *self {
+            Layer::Conv2d { out_channels, kernel, .. } => {
+                2 * (kernel * kernel * input.c) as u64 * out_channels as u64 * (out.h * out.w) as u64
+            }
+            Layer::DepthwiseConv { kernel, .. } => {
+                2 * (kernel * kernel) as u64 * input.c as u64 * (out.h * out.w) as u64
+            }
+            Layer::PointwiseConv { out_channels } => {
+                2 * input.c as u64 * out_channels as u64 * (out.h * out.w) as u64
+            }
+            Layer::Conv2dValid { out_channels, kernel } => {
+                2 * (kernel * kernel * input.c) as u64 * out_channels as u64 * (out.h * out.w) as u64
+            }
+            Layer::MaxPool { kernel, .. } => {
+                (kernel * kernel) as u64 * out.elements()
+            }
+            Layer::GlobalAvgPool => input.elements(),
+            Layer::Dense { out_features } => 2 * input.elements() * out_features as u64,
+        }
+    }
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    (a + b - 1) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_and_flops() {
+        let input = TensorShape::new(3, 300, 300);
+        let conv = Layer::Conv2d { out_channels: 64, kernel: 3, stride: 1 };
+        let out = conv.output_shape(input);
+        assert_eq!(out, TensorShape::new(64, 300, 300));
+        assert_eq!(conv.params(input), (9 * 3 * 64 + 64) as u64);
+        assert_eq!(conv.flops(input), 2 * 9 * 3 * 64 * 300 * 300);
+    }
+
+    #[test]
+    fn strided_conv_halves_spatial() {
+        let input = TensorShape::new(64, 150, 150);
+        let conv = Layer::Conv2d { out_channels: 128, kernel: 3, stride: 2 };
+        assert_eq!(conv.output_shape(input), TensorShape::new(128, 75, 75));
+    }
+
+    #[test]
+    fn ceil_mode_pooling() {
+        // SSD's conv4_3 -> pool4: 75 -> 38 with ceil mode
+        let input = TensorShape::new(512, 75, 75);
+        let pool = Layer::MaxPool { kernel: 2, stride: 2 };
+        assert_eq!(pool.output_shape(input), TensorShape::new(512, 38, 38));
+        assert_eq!(pool.params(input), 0);
+    }
+
+    #[test]
+    fn depthwise_separable_cheaper_than_full() {
+        let input = TensorShape::new(128, 38, 38);
+        let full = Layer::Conv2d { out_channels: 128, kernel: 3, stride: 1 };
+        let dw = Layer::DepthwiseConv { kernel: 3, stride: 1 };
+        let pw = Layer::PointwiseConv { out_channels: 128 };
+        let dw_out = dw.output_shape(input);
+        let separable = dw.flops(input) + pw.flops(dw_out);
+        assert!(separable < full.flops(input) / 5);
+    }
+
+    #[test]
+    fn valid_conv_shrinks_spatial() {
+        // SSD conv10_2: 5x5 -> 3x3, conv11_2: 3x3 -> 1x1
+        let c = Layer::Conv2dValid { out_channels: 256, kernel: 3 };
+        let five = TensorShape::new(128, 5, 5);
+        assert_eq!(c.output_shape(five), TensorShape::new(256, 3, 3));
+        let three = TensorShape::new(128, 3, 3);
+        assert_eq!(c.output_shape(three), TensorShape::new(256, 1, 1));
+        assert_eq!(c.params(three), (9 * 128 * 256 + 256) as u64);
+    }
+
+    #[test]
+    fn dense_layer_params() {
+        let input = TensorShape::new(256, 1, 1);
+        let d = Layer::Dense { out_features: 10 };
+        assert_eq!(d.params(input), 2570);
+        assert_eq!(d.output_shape(input), TensorShape::new(10, 1, 1));
+        assert_eq!(d.flops(input), 2 * 256 * 10);
+    }
+
+    #[test]
+    fn global_pool_shape() {
+        let input = TensorShape::new(1024, 7, 7);
+        assert_eq!(
+            Layer::GlobalAvgPool.output_shape(input),
+            TensorShape::new(1024, 1, 1)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! # modelzoo — detector architectures and behavioural simulation
+//!
+//! Two complementary views of the paper's models:
+//!
+//! 1. **Static analysis** — [`Network`] descriptions of SSD300-VGG16, the
+//!    VGG-Lite small model, the MobileNetV1/V2 small models and YOLOv4, with
+//!    exact layer-by-layer shape, parameter, FLOP and activation-size
+//!    accounting (reproduces Table II and the Neurosurgeon-style partition
+//!    motivation via [`PartitionAnalysis`]).
+//! 2. **Behavioural simulation** — [`SimDetector`] produces post-NMS
+//!    detections whose statistics are governed by a calibrated
+//!    [`Capability`]: small models miss small objects (no 38×38 map) and
+//!    multi-object scenes (66 % fewer default boxes), exactly the structure
+//!    the paper's Fig. 4 documents.
+//!
+//! # Example
+//!
+//! ```
+//! use datagen::{DatasetProfile, Scene, SplitId};
+//! use modelzoo::{Detector, ModelKind, SimDetector};
+//!
+//! let scene = Scene::sample(&DatasetProfile::voc(), 7, 0);
+//! let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+//! let detections = small.detect(&scene);
+//! println!("{} raw boxes", detections.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anchors;
+mod capability;
+mod compress;
+mod detector;
+mod layer;
+mod mobilenet;
+mod network;
+mod partition;
+mod ssd;
+mod tensor;
+mod yolo;
+
+pub use anchors::{
+    default_boxes, num_default_boxes, small_model_feature_maps, ssd300_feature_maps,
+    FeatureMapSpec,
+};
+pub use capability::{Capability, ModelKind};
+pub use compress::{compress_to_budget, CompressBase, Compressed, EdgeBudget};
+pub use detector::{Detector, SimDetector};
+pub use layer::Layer;
+pub use mobilenet::{
+    mobilenet_v1_ssd, mobilenet_v1_ssd_paper, mobilenet_v2_ssd, mobilenet_v2_ssd_paper,
+};
+pub use network::{LayerInfo, Network};
+pub use partition::{PartitionAnalysis, SplitPoint};
+pub use ssd::{ssd300_vgg16, vgg_lite_ssd};
+pub use tensor::TensorShape;
+pub use yolo::{yolo_mobilenet_small, yolov4};

@@ -1,0 +1,187 @@
+//! MobileNet-based small models (paper small models 2 and 3).
+//!
+//! Small model 2 uses Google MobileNetV1 as the base network, small model 3
+//! MobileNetV2; both keep the SSD-style extra feature layers and drop the
+//! 38×38 detection map, like small model 1. Heads are depthwise-separable
+//! (SSDLite-style), which is what makes these models so small (Table II:
+//! 11.55 MB and 6.50 MB).
+
+use crate::ssd::attach_sdlite_heads;
+use crate::{Layer, Network, TensorShape};
+
+fn scaled(channels: usize, alpha: f64) -> usize {
+    ((channels as f64 * alpha / 8.0).round() as usize * 8).max(8)
+}
+
+/// Pushes a depthwise-separable block (3×3 depthwise + 1×1 pointwise).
+fn dw_block(net: &mut Network, name: &str, out_channels: usize, stride: usize) -> TensorShape {
+    net.push(&format!("{name}_dw"), Layer::DepthwiseConv { kernel: 3, stride });
+    net.push(&format!("{name}_pw"), Layer::PointwiseConv { out_channels })
+}
+
+/// Small model 2: MobileNetV1 base network + SSD extras, no 38×38 map.
+///
+/// `alpha` is the width multiplier; the paper's configuration corresponds to
+/// [`mobilenet_v1_ssd_paper`].
+pub fn mobilenet_v1_ssd(num_classes: usize, alpha: f64) -> Network {
+    assert!(alpha > 0.0 && alpha <= 1.5, "width multiplier out of range");
+    let mut net = Network::new("mobilenet-v1-ssd", TensorShape::new(3, 300, 300));
+    let s = |c: usize| scaled(c, alpha);
+
+    net.push("conv1", Layer::Conv2d { out_channels: s(32), kernel: 3, stride: 2 }); // 150
+    dw_block(&mut net, "block2", s(64), 1); // 150
+    dw_block(&mut net, "block3", s(128), 2); // 75
+    dw_block(&mut net, "block4", s(128), 1);
+    dw_block(&mut net, "block5", s(256), 2); // 38
+    dw_block(&mut net, "block6", s(256), 1);
+    dw_block(&mut net, "block7", s(512), 2); // 19
+    let mut map19 = net.output_shape();
+    for i in 0..5 {
+        map19 = dw_block(&mut net, &format!("block{}", 8 + i), s(512), 1);
+    }
+    dw_block(&mut net, "block13", s(1024), 2); // 10
+    let map10 = dw_block(&mut net, "block14", s(1024), 1); // 10
+
+    // SSD-style extra feature layers (reduced widths as in small model 1).
+    net.push("extra1_1", Layer::PointwiseConv { out_channels: 128 });
+    let map5 = net.push("extra1_2", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 });
+    net.push("extra2_1", Layer::PointwiseConv { out_channels: 64 });
+    let map3 = net.push("extra2_2", Layer::Conv2dValid { out_channels: 128, kernel: 3 });
+    net.push("extra3_1", Layer::PointwiseConv { out_channels: 64 });
+    let map1 = net.push("extra3_2", Layer::Conv2dValid { out_channels: 128, kernel: 3 });
+
+    attach_sdlite_heads(
+        &mut net,
+        &[
+            ("block12", map19, 6),
+            ("block14", map10, 6),
+            ("extra1_2", map5, 6),
+            ("extra2_2", map3, 4),
+            ("extra3_2", map1, 4),
+        ],
+        num_classes,
+    );
+    net
+}
+
+/// Small model 2 at the width the paper's Table II row implies (≈ 11.55 MB).
+pub fn mobilenet_v1_ssd_paper(num_classes: usize) -> Network {
+    mobilenet_v1_ssd(num_classes, 0.85)
+}
+
+/// Pushes an inverted-residual (MobileNetV2) block.
+fn inverted_residual(
+    net: &mut Network,
+    name: &str,
+    out_channels: usize,
+    expansion: usize,
+    stride: usize,
+) -> TensorShape {
+    let in_c = net.output_shape().c;
+    if expansion != 1 {
+        net.push(
+            &format!("{name}_expand"),
+            Layer::PointwiseConv { out_channels: in_c * expansion },
+        );
+    }
+    net.push(&format!("{name}_dw"), Layer::DepthwiseConv { kernel: 3, stride });
+    net.push(&format!("{name}_project"), Layer::PointwiseConv { out_channels })
+}
+
+/// Small model 3: MobileNetV2 base network + SSD extras, no 38×38 map.
+pub fn mobilenet_v2_ssd(num_classes: usize, alpha: f64) -> Network {
+    assert!(alpha > 0.0 && alpha <= 1.5, "width multiplier out of range");
+    let mut net = Network::new("mobilenet-v2-ssd", TensorShape::new(3, 300, 300));
+    let s = |c: usize| scaled(c, alpha);
+
+    net.push("conv1", Layer::Conv2d { out_channels: s(32), kernel: 3, stride: 2 }); // 150
+    inverted_residual(&mut net, "b1", s(16), 1, 1); // 150
+    inverted_residual(&mut net, "b2", s(24), 6, 2); // 75
+    inverted_residual(&mut net, "b3", s(24), 6, 1);
+    inverted_residual(&mut net, "b4", s(32), 6, 2); // 38
+    inverted_residual(&mut net, "b5", s(32), 6, 1);
+    inverted_residual(&mut net, "b6", s(32), 6, 1);
+    inverted_residual(&mut net, "b7", s(64), 6, 2); // 19
+    inverted_residual(&mut net, "b8", s(64), 6, 1);
+    inverted_residual(&mut net, "b9", s(64), 6, 1);
+    inverted_residual(&mut net, "b10", s(64), 6, 1);
+    inverted_residual(&mut net, "b11", s(96), 6, 1);
+    inverted_residual(&mut net, "b12", s(96), 6, 1);
+    let map19 = inverted_residual(&mut net, "b13", s(96), 6, 1); // 19
+    inverted_residual(&mut net, "b14", s(160), 6, 2); // 10
+    inverted_residual(&mut net, "b15", s(160), 6, 1);
+    inverted_residual(&mut net, "b16", s(320), 6, 1);
+    let map10 = net.push("conv_last", Layer::PointwiseConv { out_channels: s(640) }); // 10
+
+    net.push("extra1_1", Layer::PointwiseConv { out_channels: 96 });
+    let map5 = net.push("extra1_2", Layer::Conv2d { out_channels: 192, kernel: 3, stride: 2 });
+    net.push("extra2_1", Layer::PointwiseConv { out_channels: 48 });
+    let map3 = net.push("extra2_2", Layer::Conv2dValid { out_channels: 96, kernel: 3 });
+    net.push("extra3_1", Layer::PointwiseConv { out_channels: 48 });
+    let map1 = net.push("extra3_2", Layer::Conv2dValid { out_channels: 96, kernel: 3 });
+
+    attach_sdlite_heads(
+        &mut net,
+        &[
+            ("b13", map19, 6),
+            ("conv_last", map10, 6),
+            ("extra1_2", map5, 6),
+            ("extra2_2", map3, 4),
+            ("extra3_2", map1, 4),
+        ],
+        num_classes,
+    );
+    net
+}
+
+/// Small model 3 at the width the paper's Table II row implies (≈ 6.50 MB).
+pub fn mobilenet_v2_ssd_paper(num_classes: usize) -> Network {
+    mobilenet_v2_ssd(num_classes, 0.9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssd300_vgg16;
+
+    #[test]
+    fn v1_smaller_than_vgg_lite_bigger_than_v2() {
+        let s1 = crate::vgg_lite_ssd(20);
+        let s2 = mobilenet_v1_ssd_paper(20);
+        let s3 = mobilenet_v2_ssd_paper(20);
+        assert!(s2.size_mb() < s1.size_mb(), "{} < {}", s2.size_mb(), s1.size_mb());
+        assert!(s3.size_mb() < s2.size_mb(), "{} < {}", s3.size_mb(), s2.size_mb());
+    }
+
+    #[test]
+    fn pruned_above_80_percent() {
+        let big = ssd300_vgg16(20);
+        for net in [mobilenet_v1_ssd_paper(20), mobilenet_v2_ssd_paper(20)] {
+            let pruned = net.pruned_percent_vs(&big);
+            assert!(pruned > 80.0, "{} pruned {pruned:.2}%", net.name());
+        }
+    }
+
+    #[test]
+    fn v2_cheapest_flops() {
+        let s1 = crate::vgg_lite_ssd(20);
+        let s2 = mobilenet_v1_ssd_paper(20);
+        let s3 = mobilenet_v2_ssd_paper(20);
+        assert!(s3.gflops() < s2.gflops());
+        assert!(s3.gflops() < s1.gflops());
+    }
+
+    #[test]
+    fn width_multiplier_scales_size() {
+        let half = mobilenet_v1_ssd(20, 0.5);
+        let full = mobilenet_v1_ssd(20, 1.0);
+        assert!(half.size_mb() < full.size_mb());
+    }
+
+    #[test]
+    fn backbone_ends_at_10x10() {
+        let net = mobilenet_v1_ssd_paper(20);
+        assert_eq!(net.shape_of("block14_pw").unwrap().h, 10);
+        assert_eq!(net.shape_of("extra3_2").unwrap().h, 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Whole-network static analysis: shapes, parameters, FLOPs, activations.
+
+use crate::{Layer, TensorShape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Analysis record for one layer in a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerInfo {
+    /// Layer name (e.g. `"conv4_3"`).
+    pub name: String,
+    /// The layer description.
+    pub layer: Layer,
+    /// Output activation shape.
+    pub output: TensorShape,
+    /// Parameter count.
+    pub params: u64,
+    /// FLOPs for one forward pass.
+    pub flops: u64,
+}
+
+/// A sequential network description for static cost analysis.
+///
+/// Branching heads (SSD's per-feature-map detection heads) are modelled as
+/// *auxiliary* layers attached to named trunk layers: their costs are counted
+/// but they do not advance the trunk shape.
+///
+/// # Examples
+///
+/// ```
+/// use modelzoo::{Layer, Network, TensorShape};
+///
+/// let mut net = Network::new("tiny", TensorShape::new(3, 32, 32));
+/// net.push("conv1", Layer::Conv2d { out_channels: 8, kernel: 3, stride: 1 });
+/// net.push("pool1", Layer::MaxPool { kernel: 2, stride: 2 });
+/// assert_eq!(net.output_shape(), TensorShape::new(8, 16, 16));
+/// assert!(net.total_flops() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    input: TensorShape,
+    trunk: Vec<LayerInfo>,
+    aux: Vec<LayerInfo>,
+}
+
+impl Network {
+    /// Creates an empty network with the given input shape.
+    pub fn new(name: &str, input: TensorShape) -> Self {
+        Network { name: name.to_string(), input, trunk: Vec::new(), aux: Vec::new() }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input shape.
+    pub fn input_shape(&self) -> TensorShape {
+        self.input
+    }
+
+    /// Appends a trunk layer; returns its output shape.
+    pub fn push(&mut self, name: &str, layer: Layer) -> TensorShape {
+        let input = self.output_shape();
+        let output = layer.output_shape(input);
+        self.trunk.push(LayerInfo {
+            name: name.to_string(),
+            layer,
+            output,
+            params: layer.params(input),
+            flops: layer.flops(input),
+        });
+        output
+    }
+
+    /// Attaches an auxiliary (branch) layer reading from the given shape.
+    ///
+    /// Used for detection heads: costs are accounted, trunk shape unchanged.
+    pub fn push_aux(&mut self, name: &str, layer: Layer, input: TensorShape) {
+        let output = layer.output_shape(input);
+        self.aux.push(LayerInfo {
+            name: name.to_string(),
+            layer,
+            output,
+            params: layer.params(input),
+            flops: layer.flops(input),
+        });
+    }
+
+    /// Current trunk output shape (input shape if no layers yet).
+    pub fn output_shape(&self) -> TensorShape {
+        self.trunk.last().map(|l| l.output).unwrap_or(self.input)
+    }
+
+    /// The output shape of the named trunk layer.
+    pub fn shape_of(&self, name: &str) -> Option<TensorShape> {
+        self.trunk.iter().find(|l| l.name == name).map(|l| l.output)
+    }
+
+    /// Trunk layers in order.
+    pub fn trunk_layers(&self) -> &[LayerInfo] {
+        &self.trunk
+    }
+
+    /// Auxiliary (head) layers.
+    pub fn aux_layers(&self) -> &[LayerInfo] {
+        &self.aux
+    }
+
+    /// Total parameters (trunk + heads).
+    pub fn total_params(&self) -> u64 {
+        self.trunk.iter().chain(&self.aux).map(|l| l.params).sum()
+    }
+
+    /// Total FLOPs (trunk + heads).
+    pub fn total_flops(&self) -> u64 {
+        self.trunk.iter().chain(&self.aux).map(|l| l.flops).sum()
+    }
+
+    /// Total FLOPs in units of 10⁹ (the paper's "Billion FLOPs").
+    pub fn gflops(&self) -> f64 {
+        self.total_flops() as f64 / 1e9
+    }
+
+    /// Model size in MiB at float32, matching the paper's "model size (MB)"
+    /// (SSD300-VGG16 ≈ 100.28 MB ↔ 26.3 M params × 4 B).
+    pub fn size_mb(&self) -> f64 {
+        self.total_params() as f64 * 4.0 / (1024.0 * 1024.0)
+    }
+
+    /// Pruned ratio relative to a reference network, in percent:
+    /// `(1 − size/reference_size) × 100` (Table II's "Pruned" column).
+    pub fn pruned_percent_vs(&self, reference: &Network) -> f64 {
+        (1.0 - self.size_mb() / reference.size_mb()) * 100.0
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: input {}, {} trunk + {} aux layers",
+            self.name,
+            self.input,
+            self.trunk.len(),
+            self.aux.len()
+        )?;
+        for l in &self.trunk {
+            writeln!(
+                f,
+                "  {:<12} -> {:>12}  {:>12} params  {:>14} flops",
+                l.name,
+                l.output.to_string(),
+                l.params,
+                l.flops
+            )?;
+        }
+        for l in &self.aux {
+            writeln!(
+                f,
+                "  [head] {:<8} {:>12} params  {:>14} flops",
+                l.name, l.params, l.flops
+            )?;
+        }
+        write!(
+            f,
+            "  total: {:.2} MB, {:.2} GFLOPs",
+            self.size_mb(),
+            self.gflops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        let mut net = Network::new("tiny", TensorShape::new(3, 32, 32));
+        net.push("conv1", Layer::Conv2d { out_channels: 8, kernel: 3, stride: 1 });
+        net.push("pool1", Layer::MaxPool { kernel: 2, stride: 2 });
+        net.push("conv2", Layer::Conv2d { out_channels: 16, kernel: 3, stride: 1 });
+        net
+    }
+
+    #[test]
+    fn shapes_chain() {
+        let net = tiny();
+        assert_eq!(net.output_shape(), TensorShape::new(16, 16, 16));
+        assert_eq!(net.shape_of("conv1"), Some(TensorShape::new(8, 32, 32)));
+        assert_eq!(net.shape_of("nope"), None);
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let net = tiny();
+        let sum_p: u64 = net.trunk_layers().iter().map(|l| l.params).sum();
+        assert_eq!(net.total_params(), sum_p);
+        assert!(net.gflops() > 0.0);
+    }
+
+    #[test]
+    fn aux_layers_counted() {
+        let mut net = tiny();
+        let before = net.total_params();
+        let shape = net.shape_of("conv2").unwrap();
+        net.push_aux("head", Layer::Conv2d { out_channels: 4, kernel: 3, stride: 1 }, shape);
+        assert!(net.total_params() > before);
+        // trunk output unchanged by aux
+        assert_eq!(net.output_shape(), TensorShape::new(16, 16, 16));
+    }
+
+    #[test]
+    fn pruned_percent() {
+        let big = tiny();
+        let mut small = Network::new("small", TensorShape::new(3, 32, 32));
+        small.push("conv1", Layer::Conv2d { out_channels: 2, kernel: 3, stride: 1 });
+        let pruned = small.pruned_percent_vs(&big);
+        assert!(pruned > 0.0 && pruned < 100.0);
+    }
+
+    #[test]
+    fn display_contains_totals() {
+        let s = format!("{}", tiny());
+        assert!(s.contains("total:"));
+        assert!(s.contains("conv1"));
+    }
+}

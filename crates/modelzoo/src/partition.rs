@@ -1,0 +1,131 @@
+//! Model-partition (Neurosurgeon-style) analysis.
+//!
+//! The paper's motivation (Sec. II-C): partitioned execution ships an
+//! intermediate activation tensor from the edge to the cloud, and for object
+//! detectors that tensor is large — often larger than the encoded image
+//! itself — so partitioning is a poor fit for detection. This module computes
+//! the per-layer activation sizes that argument rests on.
+
+use crate::Network;
+use serde::{Deserialize, Serialize};
+
+/// One candidate split point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitPoint {
+    /// Index into the trunk (split *after* this layer).
+    pub layer_index: usize,
+    /// Layer name.
+    pub layer_name: String,
+    /// Bytes that must cross the network at this split (float32 activations).
+    pub transfer_bytes: u64,
+    /// FLOPs executed on the device (layers up to and including this one).
+    pub device_flops: u64,
+    /// FLOPs executed in the cloud (remaining trunk + all heads).
+    pub cloud_flops: u64,
+}
+
+/// Analysis of every trunk split point of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionAnalysis {
+    /// Network name.
+    pub network: String,
+    /// All split points in trunk order.
+    pub splits: Vec<SplitPoint>,
+}
+
+impl PartitionAnalysis {
+    /// Computes activation sizes and FLOP balance at every trunk layer.
+    pub fn of(net: &Network) -> PartitionAnalysis {
+        let total_trunk: u64 = net.trunk_layers().iter().map(|l| l.flops).sum();
+        let head_flops: u64 = net.aux_layers().iter().map(|l| l.flops).sum();
+        let mut device = 0u64;
+        let splits = net
+            .trunk_layers()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                device += l.flops;
+                SplitPoint {
+                    layer_index: i,
+                    layer_name: l.name.clone(),
+                    transfer_bytes: l.output.bytes_f32(),
+                    device_flops: device,
+                    cloud_flops: total_trunk - device + head_flops,
+                }
+            })
+            .collect();
+        PartitionAnalysis { network: net.name().to_string(), splits }
+    }
+
+    /// The smallest transfer among split points whose device share of FLOPs
+    /// is at most `max_device_fraction` (a Jetson-class budget).
+    pub fn min_transfer_within_budget(&self, max_device_fraction: f64) -> Option<&SplitPoint> {
+        assert!(
+            (0.0..=1.0).contains(&max_device_fraction),
+            "fraction must be in [0, 1]"
+        );
+        let total = self
+            .splits
+            .last()
+            .map(|s| s.device_flops + s.cloud_flops)
+            .unwrap_or(0) as f64;
+        self.splits
+            .iter()
+            .filter(|s| (s.device_flops as f64) <= total * max_device_fraction)
+            .min_by_key(|s| s.transfer_bytes)
+    }
+
+    /// How many split points transfer more bytes than `image_bytes`
+    /// (the paper's claim: most of them, for object detectors).
+    pub fn splits_larger_than_image(&self, image_bytes: u64) -> usize {
+        self.splits
+            .iter()
+            .filter(|s| s.transfer_bytes > image_bytes)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssd300_vgg16;
+
+    #[test]
+    fn early_layers_dwarf_encoded_image() {
+        let net = ssd300_vgg16(20);
+        let analysis = PartitionAnalysis::of(&net);
+        // conv1_1 output: 64×300×300×4 B = 23 MB, vs a ~50 KB encoded image.
+        assert_eq!(analysis.splits[0].transfer_bytes, 64 * 300 * 300 * 4);
+        let image_bytes = 60_000;
+        let worse = analysis.splits_larger_than_image(image_bytes);
+        assert!(
+            worse as f64 > analysis.splits.len() as f64 * 0.5,
+            "most split points ship more than the image: {worse}/{}",
+            analysis.splits.len()
+        );
+    }
+
+    #[test]
+    fn device_flops_monotone() {
+        let analysis = PartitionAnalysis::of(&ssd300_vgg16(20));
+        let flops: Vec<u64> = analysis.splits.iter().map(|s| s.device_flops).collect();
+        assert!(flops.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn budget_filter_respects_fraction() {
+        let analysis = PartitionAnalysis::of(&ssd300_vgg16(20));
+        let sp = analysis.min_transfer_within_budget(0.2).unwrap();
+        let total = analysis.splits.last().unwrap().device_flops
+            + analysis.splits.last().unwrap().cloud_flops;
+        assert!(sp.device_flops as f64 <= 0.2 * total as f64);
+    }
+
+    #[test]
+    fn full_budget_finds_global_min() {
+        let analysis = PartitionAnalysis::of(&ssd300_vgg16(20));
+        let sp = analysis.min_transfer_within_budget(1.0).unwrap();
+        let global_min = analysis.splits.iter().map(|s| s.transfer_bytes).min().unwrap();
+        assert_eq!(sp.transfer_bytes, global_min);
+    }
+}

@@ -1,0 +1,252 @@
+//! SSD-family architectures: the big SSD300-VGG16 and the paper's small
+//! model 1 (VGG-Lite + Conv6&7, Fig. 3).
+
+use crate::{Layer, Network, TensorShape};
+
+/// Attaches SSD detection heads (a 3×3 localisation conv and a 3×3
+/// class-confidence conv) to each listed feature map.
+///
+/// `maps` holds `(layer_name, shape, boxes_per_cell)`. `num_classes` excludes
+/// background; SSD adds one background class internally.
+pub(crate) fn attach_ssd_heads(
+    net: &mut Network,
+    maps: &[(&str, TensorShape, usize)],
+    num_classes: usize,
+) {
+    for (name, shape, boxes) in maps {
+        let loc = Layer::Conv2d { out_channels: boxes * 4, kernel: 3, stride: 1 };
+        let conf = Layer::Conv2d {
+            out_channels: boxes * (num_classes + 1),
+            kernel: 3,
+            stride: 1,
+        };
+        net.push_aux(&format!("{name}_loc"), loc, *shape);
+        net.push_aux(&format!("{name}_conf"), conf, *shape);
+    }
+}
+
+/// Attaches SSDLite-style heads (depthwise 3×3 + pointwise 1×1) to each
+/// listed feature map — the light-head variant the MobileNet small models use.
+pub(crate) fn attach_sdlite_heads(
+    net: &mut Network,
+    maps: &[(&str, TensorShape, usize)],
+    num_classes: usize,
+) {
+    for (name, shape, boxes) in maps {
+        net.push_aux(
+            &format!("{name}_dw"),
+            Layer::DepthwiseConv { kernel: 3, stride: 1 },
+            *shape,
+        );
+        net.push_aux(
+            &format!("{name}_loc"),
+            Layer::PointwiseConv { out_channels: boxes * 4 },
+            *shape,
+        );
+        net.push_aux(
+            &format!("{name}_conf"),
+            Layer::PointwiseConv { out_channels: boxes * (num_classes + 1) },
+            *shape,
+        );
+    }
+}
+
+/// The big model: SSD300 with the VGG16 base network.
+///
+/// Six detection feature maps (38², 19², 10², 5², 3², 1²) carrying 8732
+/// default boxes. With `num_classes = 20` (VOC) this comes out at
+/// ≈ 100 MB / ≈ 61 GFLOPs — the paper's Table II row for SSD.
+///
+/// # Examples
+///
+/// ```
+/// use modelzoo::ssd300_vgg16;
+///
+/// let net = ssd300_vgg16(20);
+/// assert!((net.size_mb() - 100.3).abs() < 3.0);
+/// assert!((net.gflops() - 61.2).abs() < 5.0);
+/// ```
+pub fn ssd300_vgg16(num_classes: usize) -> Network {
+    let mut net = Network::new("ssd300-vgg16", TensorShape::new(3, 300, 300));
+    let c = |o: usize| Layer::Conv2d { out_channels: o, kernel: 3, stride: 1 };
+    let pool = Layer::MaxPool { kernel: 2, stride: 2 };
+
+    net.push("conv1_1", c(64));
+    net.push("conv1_2", c(64));
+    net.push("pool1", pool); // 150
+    net.push("conv2_1", c(128));
+    net.push("conv2_2", c(128));
+    net.push("pool2", pool); // 75
+    net.push("conv3_1", c(256));
+    net.push("conv3_2", c(256));
+    net.push("conv3_3", c(256));
+    net.push("pool3", pool); // 38 (ceil mode)
+    net.push("conv4_1", c(512));
+    net.push("conv4_2", c(512));
+    let map38 = net.push("conv4_3", c(512)); // detection map 1
+    net.push("pool4", pool); // 19
+    net.push("conv5_1", c(512));
+    net.push("conv5_2", c(512));
+    net.push("conv5_3", c(512));
+    net.push("pool5", Layer::MaxPool { kernel: 3, stride: 1 }); // 19
+    net.push("conv6", c(1024)); // dilated fc6
+    let map19 = net.push("conv7", Layer::PointwiseConv { out_channels: 1024 }); // detection map 2
+    net.push("conv8_1", Layer::PointwiseConv { out_channels: 256 });
+    let map10 = net.push("conv8_2", Layer::Conv2d { out_channels: 512, kernel: 3, stride: 2 });
+    net.push("conv9_1", Layer::PointwiseConv { out_channels: 128 });
+    let map5 = net.push("conv9_2", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 });
+    net.push("conv10_1", Layer::PointwiseConv { out_channels: 128 });
+    let map3 = net.push("conv10_2", Layer::Conv2dValid { out_channels: 256, kernel: 3 });
+    net.push("conv11_1", Layer::PointwiseConv { out_channels: 128 });
+    let map1 = net.push("conv11_2", Layer::Conv2dValid { out_channels: 256, kernel: 3 });
+
+    attach_ssd_heads(
+        &mut net,
+        &[
+            ("conv4_3", map38, 4),
+            ("conv7", map19, 6),
+            ("conv8_2", map10, 6),
+            ("conv9_2", map5, 6),
+            ("conv10_2", map3, 4),
+            ("conv11_2", map1, 4),
+        ],
+        num_classes,
+    );
+    net
+}
+
+/// Small model 1: VGG-Lite + Conv6&7 (paper Fig. 3).
+///
+/// The VGG-Lite base cuts VGG16 down (9 convolutions and 2 pooling layers
+/// removed, strided convolutions instead); Conv6&7 re-scale the features;
+/// the SSD-style extra feature layers follow, and — crucially — **the 38×38
+/// detection map is discarded**, leaving 2956 default boxes on five maps.
+/// With VOC classes this is ≈ 19 MB / ≈ 5 GFLOPs (Table II row 1).
+///
+/// # Examples
+///
+/// ```
+/// use modelzoo::{ssd300_vgg16, vgg_lite_ssd};
+///
+/// let small = vgg_lite_ssd(20);
+/// let big = ssd300_vgg16(20);
+/// assert!(small.pruned_percent_vs(&big) > 80.0);
+/// ```
+pub fn vgg_lite_ssd(num_classes: usize) -> Network {
+    let mut net = Network::new("vgg-lite-ssd", TensorShape::new(3, 300, 300));
+
+    // VGG-Lite: one conv per scale, strided (Fig. 3's "-s2" blocks).
+    net.push("conv1", Layer::Conv2d { out_channels: 64, kernel: 3, stride: 1 }); // 300
+    net.push("pool1", Layer::MaxPool { kernel: 2, stride: 2 }); // 150
+    net.push("conv2", Layer::Conv2d { out_channels: 128, kernel: 3, stride: 2 }); // 75
+    net.push("conv3", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 }); // 38
+    net.push("conv4", Layer::Conv2d { out_channels: 160, kernel: 3, stride: 1 }); // 38
+    net.push("conv5", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 }); // 19
+    // Conv6&7 adjust the scale of the feature layers (Fig. 3).
+    net.push("conv6", Layer::Conv2d { out_channels: 512, kernel: 3, stride: 1 }); // 19
+    let map19 = net.push("conv7", Layer::PointwiseConv { out_channels: 768 }); // 19
+
+    // Extra feature layers, reduced-width versions of SSD's conv8–conv11.
+    net.push("conv8_1", Layer::PointwiseConv { out_channels: 128 });
+    let map10 = net.push("conv8_2", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 });
+    net.push("conv9_1", Layer::PointwiseConv { out_channels: 64 });
+    let map5 = net.push("conv9_2", Layer::Conv2d { out_channels: 128, kernel: 3, stride: 2 });
+    net.push("conv10_1", Layer::PointwiseConv { out_channels: 64 });
+    let map3 = net.push("conv10_2", Layer::Conv2dValid { out_channels: 128, kernel: 3 });
+    net.push("conv11_1", Layer::PointwiseConv { out_channels: 64 });
+    let map1 = net.push("conv11_2", Layer::Conv2dValid { out_channels: 128, kernel: 3 });
+
+    // Heads on five maps only — the 38×38 map is gone.
+    attach_ssd_heads(
+        &mut net,
+        &[
+            ("conv7", map19, 6),
+            ("conv8_2", map10, 6),
+            ("conv9_2", map5, 6),
+            ("conv10_2", map3, 4),
+            ("conv11_2", map1, 4),
+        ],
+        num_classes,
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ssd300_matches_table2_row() {
+        let net = ssd300_vgg16(20);
+        // Paper Table II: 100.28 MB, 61.19 GFLOPs.
+        assert!(
+            (net.size_mb() - 100.28).abs() < 3.0,
+            "size {:.2} MB",
+            net.size_mb()
+        );
+        assert!(
+            (net.gflops() - 61.19).abs() < 5.0,
+            "flops {:.2} G",
+            net.gflops()
+        );
+    }
+
+    #[test]
+    fn ssd300_feature_map_shapes() {
+        let net = ssd300_vgg16(20);
+        assert_eq!(net.shape_of("conv4_3").unwrap().h, 38);
+        assert_eq!(net.shape_of("conv7").unwrap().h, 19);
+        assert_eq!(net.shape_of("conv8_2").unwrap().h, 10);
+        assert_eq!(net.shape_of("conv9_2").unwrap().h, 5);
+        assert_eq!(net.shape_of("conv10_2").unwrap().h, 3);
+        assert_eq!(net.shape_of("conv11_2").unwrap().h, 1);
+    }
+
+    #[test]
+    fn vgg_lite_matches_table2_row() {
+        let small = vgg_lite_ssd(20);
+        // Paper Table II: 18.50 MB, 5.60 GFLOPs, pruned 81.55 %.
+        assert!(
+            (small.size_mb() - 18.50).abs() < 4.0,
+            "size {:.2} MB",
+            small.size_mb()
+        );
+        assert!(
+            (small.gflops() - 5.60).abs() < 1.5,
+            "flops {:.2} G",
+            small.gflops()
+        );
+        let big = ssd300_vgg16(20);
+        let pruned = small.pruned_percent_vs(&big);
+        assert!(pruned > 78.0 && pruned < 90.0, "pruned {pruned:.2} %");
+    }
+
+    #[test]
+    fn vgg_lite_has_no_38_map() {
+        let net = vgg_lite_ssd(20);
+        for l in net.trunk_layers() {
+            if l.name.ends_with("_loc") || l.name.ends_with("_conf") {
+                continue;
+            }
+        }
+        // the first detection head reads the 19x19 map
+        assert!(net.aux_layers().iter().all(|l| l.output.h <= 19));
+    }
+
+    #[test]
+    fn head_output_channels_encode_boxes() {
+        let net = ssd300_vgg16(20);
+        let conf38 = net
+            .aux_layers()
+            .iter()
+            .find(|l| l.name == "conv4_3_conf")
+            .unwrap();
+        assert_eq!(conf38.output.c, 4 * 21);
+        let loc19 = net
+            .aux_layers()
+            .iter()
+            .find(|l| l.name == "conv7_loc")
+            .unwrap();
+        assert_eq!(loc19.output.c, 6 * 4);
+    }
+}

@@ -1,0 +1,63 @@
+//! Tensor shapes for static network analysis.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `C × H × W` activation shape (batch dimension omitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl TensorShape {
+    /// Creates a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        assert!(c > 0 && h > 0 && w > 0, "tensor dimensions must be positive");
+        TensorShape { c, h, w }
+    }
+
+    /// Total element count.
+    pub fn elements(&self) -> u64 {
+        self.c as u64 * self.h as u64 * self.w as u64
+    }
+
+    /// Bytes occupied at float32 precision — the quantity a partitioned
+    /// (Neurosurgeon-style) execution would ship over the network.
+    pub fn bytes_f32(&self) -> u64 {
+        self.elements() * 4
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elements_and_bytes() {
+        let s = TensorShape::new(64, 300, 300);
+        assert_eq!(s.elements(), 64 * 300 * 300);
+        assert_eq!(s.bytes_f32(), 64 * 300 * 300 * 4);
+        assert_eq!(format!("{s}"), "64x300x300");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        let _ = TensorShape::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! YOLOv4-family architectures for the paper's Sec. VI-C experiments.
+//!
+//! The big model is YOLOv4 (CSPDarknet53 backbone, SPP+PAN neck, three
+//! detection scales at 416×416). The small counterpart follows the paper's
+//! recipe: "select MobileNet v1 as the base network, and reduce the
+//! large-scale feature map".
+
+use crate::ssd::attach_sdlite_heads;
+use crate::{Layer, Network, TensorShape};
+
+/// Pushes one CSP stage: a strided downsampling conv followed by `n`
+/// residual units (modelled as 1×1 reduce + 3×3 expand at half width).
+fn csp_stage(net: &mut Network, name: &str, out_channels: usize, n: usize) -> TensorShape {
+    let mut shape =
+        net.push(&format!("{name}_down"), Layer::Conv2d { out_channels, kernel: 3, stride: 2 });
+    let half = out_channels / 2;
+    for i in 0..n {
+        net.push(&format!("{name}_r{i}_1"), Layer::PointwiseConv { out_channels: half });
+        shape = net.push(
+            &format!("{name}_r{i}_2"),
+            Layer::Conv2d { out_channels, kernel: 3, stride: 1 },
+        );
+    }
+    shape
+}
+
+/// The big model for Sec. VI-C: YOLOv4 at 416×416 input.
+///
+/// Three detection scales (52², 26², 13²) with 3 anchors each. Roughly
+/// 64 M parameters / ≈ 245 MB — far too heavy for a Jetson-class device,
+/// which is the paper's premise for keeping it in the cloud.
+///
+/// # Examples
+///
+/// ```
+/// use modelzoo::yolov4;
+///
+/// let net = yolov4(20);
+/// assert!(net.size_mb() > 150.0);
+/// ```
+pub fn yolov4(num_classes: usize) -> Network {
+    let mut net = Network::new("yolov4", TensorShape::new(3, 416, 416));
+    net.push("stem", Layer::Conv2d { out_channels: 32, kernel: 3, stride: 1 }); // 416
+    csp_stage(&mut net, "csp1", 64, 1); // 208
+    csp_stage(&mut net, "csp2", 128, 2); // 104
+    let map52 = csp_stage(&mut net, "csp3", 256, 8); // 52
+    let map26 = csp_stage(&mut net, "csp4", 512, 8); // 26
+    let map13 = csp_stage(&mut net, "csp5", 1024, 4); // 13
+
+    // SPP + PAN neck, approximated by 1×1/3×3 conv pairs at each scale.
+    net.push_aux("spp_1", Layer::PointwiseConv { out_channels: 512 }, map13);
+    net.push_aux("spp_2", Layer::Conv2d { out_channels: 1024, kernel: 3, stride: 1 }, TensorShape::new(512, 13, 13));
+    net.push_aux("pan_26_1", Layer::PointwiseConv { out_channels: 256 }, map26);
+    net.push_aux("pan_26_2", Layer::Conv2d { out_channels: 512, kernel: 3, stride: 1 }, TensorShape::new(256, 26, 26));
+    net.push_aux("pan_52_1", Layer::PointwiseConv { out_channels: 128 }, map52);
+    net.push_aux("pan_52_2", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 1 }, TensorShape::new(128, 52, 52));
+
+    // Three YOLO heads: 3 anchors × (5 + classes) channels each.
+    let out_c = 3 * (5 + num_classes);
+    net.push_aux("head52", Layer::PointwiseConv { out_channels: out_c }, TensorShape::new(256, 52, 52));
+    net.push_aux("head26", Layer::PointwiseConv { out_channels: out_c }, TensorShape::new(512, 26, 26));
+    net.push_aux("head13", Layer::PointwiseConv { out_channels: out_c }, TensorShape::new(1024, 13, 13));
+    net
+}
+
+/// The small YOLO model: MobileNetV1 backbone, large-scale feature map
+/// removed, detection on two coarse scales only.
+pub fn yolo_mobilenet_small(num_classes: usize) -> Network {
+    let mut net = Network::new("yolo-mnv1-small", TensorShape::new(3, 416, 416));
+    let s = |c: usize| ((c as f64 * 0.75 / 8.0).round() as usize * 8).max(8);
+    net.push("conv1", Layer::Conv2d { out_channels: s(32), kernel: 3, stride: 2 }); // 208
+    let blocks: [(usize, usize); 13] = [
+        (64, 1),
+        (128, 2),
+        (128, 1),
+        (256, 2),
+        (256, 1),
+        (512, 2), // 26
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (512, 1),
+        (1024, 2), // 13
+        (1024, 1),
+    ];
+    let mut map26 = net.output_shape();
+    let mut shape = net.output_shape();
+    for (i, (c, stride)) in blocks.iter().enumerate() {
+        net.push(&format!("b{i}_dw"), Layer::DepthwiseConv { kernel: 3, stride: *stride });
+        shape = net.push(&format!("b{i}_pw"), Layer::PointwiseConv { out_channels: s(*c) });
+        if shape.h == 26 {
+            map26 = shape;
+        }
+    }
+    let map13 = shape;
+    // Two-scale SSDLite-style heads; the 52×52 (large) map is dropped,
+    // mirroring the paper's small-model recipe.
+    attach_sdlite_heads(&mut net, &[("b10", map26, 6), ("b12", map13, 6)], num_classes);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yolov4_is_heavyweight() {
+        let net = yolov4(20);
+        // Real YOLOv4 ≈ 64 M params ≈ 245 MB; accept a generous band.
+        assert!(net.size_mb() > 150.0 && net.size_mb() < 320.0, "{}", net.size_mb());
+        assert!(net.gflops() > 40.0, "{}", net.gflops());
+    }
+
+    #[test]
+    fn yolo_scales_present() {
+        let net = yolov4(20);
+        assert_eq!(net.shape_of("csp3_r7_2").unwrap().h, 52);
+        assert_eq!(net.shape_of("csp4_r7_2").unwrap().h, 26);
+        assert_eq!(net.shape_of("csp5_r3_2").unwrap().h, 13);
+    }
+
+    #[test]
+    fn small_yolo_much_smaller() {
+        let big = yolov4(20);
+        let small = yolo_mobilenet_small(20);
+        assert!(small.pruned_percent_vs(&big) > 90.0);
+        assert!(small.gflops() < big.gflops() / 10.0);
+    }
+
+    #[test]
+    fn head_channels_follow_yolo_convention() {
+        let net = yolov4(20);
+        let head = net.aux_layers().iter().find(|l| l.name == "head13").unwrap();
+        assert_eq!(head.output.c, 3 * 25);
+    }
+}

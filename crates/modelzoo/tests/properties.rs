@@ -1,0 +1,91 @@
+//! Property-based tests for architecture analysis and detector behaviour.
+
+use datagen::{DatasetProfile, Scene, SplitId};
+use modelzoo::{
+    mobilenet_v1_ssd, Capability, Detector, Layer, ModelKind, Network, PartitionAnalysis,
+    SimDetector, TensorShape,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conv_flops_scale_with_channels(
+        c_in in 1usize..64,
+        c_out in 1usize..64,
+        size in 8usize..64,
+        k in prop::sample::select(vec![1usize, 3, 5]),
+    ) {
+        let input = TensorShape::new(c_in, size, size);
+        let conv = Layer::Conv2d { out_channels: c_out, kernel: k, stride: 1 };
+        let doubled = Layer::Conv2d { out_channels: c_out * 2, kernel: k, stride: 1 };
+        prop_assert_eq!(doubled.flops(input), 2 * conv.flops(input));
+        // params scale similarly up to the bias term
+        let p1 = conv.params(input) - c_out as u64;
+        let p2 = doubled.params(input) - 2 * c_out as u64;
+        prop_assert_eq!(p2, 2 * p1);
+    }
+
+    #[test]
+    fn width_multiplier_is_monotone(a in 0.2f64..1.4, bump in 0.05f64..0.3) {
+        let narrow = mobilenet_v1_ssd(20, a);
+        let wide = mobilenet_v1_ssd(20, (a + bump).min(1.5));
+        prop_assert!(wide.total_params() >= narrow.total_params());
+        prop_assert!(wide.total_flops() >= narrow.total_flops());
+    }
+
+    #[test]
+    fn p_detect_monotone_in_every_factor(
+        area in 1e-4f64..0.9,
+        n in 1usize..30,
+        d in 0.0f64..1.0,
+        blur in 0.0f64..4.0,
+    ) {
+        for kind in ModelKind::ALL {
+            let c = Capability::base(kind);
+            let p = c.p_detect(area, n, d, blur);
+            prop_assert!((0.0..=1.0).contains(&p));
+            // monotone: bigger area helps, more clutter/difficulty/blur hurts
+            prop_assert!(c.p_detect((area * 1.5).min(0.95), n, d, blur) >= p - 1e-12);
+            prop_assert!(c.p_detect(area, n + 3, d, blur) <= p + 1e-12);
+            prop_assert!(c.p_detect(area, n, (d + 0.1).min(1.0), blur) <= p + 1e-12);
+            prop_assert!(c.p_detect(area, n, d, blur + 1.0) <= p + 1e-12);
+        }
+    }
+
+    #[test]
+    fn detector_output_is_well_formed(seed in any::<u64>(), id in 0u64..500) {
+        let scene = Scene::sample(&DatasetProfile::voc(), seed, id);
+        let det = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+        let out = det.detect(&scene);
+        for d in out.iter() {
+            prop_assert!(d.score() > 0.0 && d.score() < 1.0);
+            prop_assert!(d.bbox().x_min() >= 0.0 && d.bbox().x_max() <= 1.0);
+            prop_assert!(d.bbox().area() > 0.0);
+            prop_assert!(d.class().index() < 20);
+        }
+        // bounded output: objects + sub-boxes + fps + noise are all capped
+        prop_assert!(out.len() <= scene.num_objects() + 16);
+    }
+
+    #[test]
+    fn partition_analysis_covers_all_trunk_layers(classes in 2usize..40) {
+        let net = modelzoo::ssd300_vgg16(classes);
+        let analysis = PartitionAnalysis::of(&net);
+        prop_assert_eq!(analysis.splits.len(), net.trunk_layers().len());
+        let last = analysis.splits.last().unwrap();
+        // at the last split everything except heads has run on the device
+        let trunk_total: u64 = net.trunk_layers().iter().map(|l| l.flops).sum();
+        prop_assert_eq!(last.device_flops, trunk_total);
+    }
+}
+
+#[test]
+fn network_display_reports_every_layer() {
+    let mut net = Network::new("t", TensorShape::new(3, 16, 16));
+    net.push("a", Layer::Conv2d { out_channels: 4, kernel: 3, stride: 1 });
+    net.push("b", Layer::MaxPool { kernel: 2, stride: 2 });
+    let s = net.to_string();
+    assert!(s.contains("a") && s.contains("b") && s.contains("total:"));
+}

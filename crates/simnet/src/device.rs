@@ -1,0 +1,108 @@
+//! Compute-device models: how long a forward pass takes on a given machine.
+
+use serde::{Deserialize, Serialize};
+
+/// A compute device executing neural-network inference.
+///
+/// Inference time is modelled as `overhead + flops / effective_throughput`,
+/// where the effective throughput is the *sustained* detector throughput
+/// (well below datasheet peak — memory-bound layers, pre/post-processing).
+///
+/// # Examples
+///
+/// ```
+/// use simnet::DeviceModel;
+///
+/// let nano = DeviceModel::jetson_nano();
+/// let server = DeviceModel::gpu_server();
+/// let flops = 5_430_000_000; // VGG-Lite small model
+/// assert!(nano.inference_time(flops) > server.inference_time(flops));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    name: String,
+    /// Sustained throughput in FLOP/s.
+    effective_flops: f64,
+    /// Fixed per-inference overhead in seconds (launch, pre/post-processing).
+    overhead_s: f64,
+}
+
+impl DeviceModel {
+    /// Creates a device model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `effective_flops <= 0` or `overhead_s < 0`.
+    pub fn new(name: &str, effective_flops: f64, overhead_s: f64) -> Self {
+        assert!(effective_flops > 0.0, "throughput must be positive");
+        assert!(overhead_s >= 0.0, "overhead must be non-negative");
+        DeviceModel { name: name.to_string(), effective_flops, overhead_s }
+    }
+
+    /// The paper's edge device: NVIDIA Jetson Nano.
+    ///
+    /// Calibrated so the small model 1 (≈ 5.4 GFLOPs) takes ≈ 95 ms per
+    /// frame, which reproduces the paper's Table XI edge-only total
+    /// (47.13 s for the HELMET test footage).
+    pub fn jetson_nano() -> Self {
+        DeviceModel::new("jetson-nano", 62.0e9, 0.008)
+    }
+
+    /// The paper's cloud side: a workstation with an RTX3060 GPU.
+    ///
+    /// SSD300-VGG16 (≈ 63 GFLOPs) runs in ≈ 28 ms.
+    pub fn gpu_server() -> Self {
+        DeviceModel::new("rtx3060-server", 2.6e12, 0.004)
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sustained throughput in FLOP/s.
+    pub fn effective_flops(&self) -> f64 {
+        self.effective_flops
+    }
+
+    /// Time for one forward pass of a `flops`-sized model, in seconds.
+    pub fn inference_time(&self, flops: u64) -> f64 {
+        self.overhead_s + flops as f64 / self.effective_flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_time_scales_with_flops() {
+        let d = DeviceModel::new("d", 1e9, 0.0);
+        assert!((d.inference_time(1_000_000_000) - 1.0).abs() < 1e-12);
+        assert!((d.inference_time(500_000_000) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_adds() {
+        let d = DeviceModel::new("d", 1e9, 0.01);
+        assert!((d.inference_time(0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jetson_runs_small_model_near_100ms() {
+        let t = DeviceModel::jetson_nano().inference_time(5_430_000_000);
+        assert!((0.07..0.13).contains(&t), "jetson small-model time {t}");
+    }
+
+    #[test]
+    fn server_runs_ssd_in_tens_of_ms() {
+        let t = DeviceModel::gpu_server().inference_time(62_760_000_000);
+        assert!((0.015..0.06).contains(&t), "server SSD time {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_throughput() {
+        let _ = DeviceModel::new("bad", 0.0, 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Per-image latency breakdowns for the edge-cloud pipeline.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Where one image's end-to-end time went.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Small-model inference on the edge device.
+    pub edge_infer_s: f64,
+    /// Difficult-case discriminator execution (tiny, but accounted).
+    pub discriminator_s: f64,
+    /// Image upload to the cloud (zero for easy cases).
+    pub uplink_s: f64,
+    /// Big-model inference in the cloud (zero for easy cases).
+    pub cloud_infer_s: f64,
+    /// Result download back to the edge (zero for easy cases).
+    pub downlink_s: f64,
+}
+
+impl LatencyBreakdown {
+    /// Total end-to-end latency for this image.
+    pub fn total(&self) -> f64 {
+        self.edge_infer_s
+            + self.discriminator_s
+            + self.uplink_s
+            + self.cloud_infer_s
+            + self.downlink_s
+    }
+
+    /// Whether the image involved the cloud at all.
+    pub fn used_cloud(&self) -> bool {
+        self.uplink_s > 0.0 || self.cloud_infer_s > 0.0
+    }
+}
+
+impl AddAssign for LatencyBreakdown {
+    fn add_assign(&mut self, rhs: Self) {
+        self.edge_infer_s += rhs.edge_infer_s;
+        self.discriminator_s += rhs.discriminator_s;
+        self.uplink_s += rhs.uplink_s;
+        self.cloud_infer_s += rhs.cloud_infer_s;
+        self.downlink_s += rhs.downlink_s;
+    }
+}
+
+/// Aggregated latency over a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Sum of all per-image breakdowns.
+    pub total: LatencyBreakdown,
+    /// Number of images accumulated.
+    pub images: usize,
+    /// Number of images that used the cloud.
+    pub cloud_images: usize,
+    /// The largest single-image total seen.
+    pub max_image_s: f64,
+}
+
+impl LatencyStats {
+    /// Creates empty stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one image's breakdown.
+    pub fn add(&mut self, b: LatencyBreakdown) {
+        self.total += b;
+        self.images += 1;
+        if b.used_cloud() {
+            self.cloud_images += 1;
+        }
+        if b.total() > self.max_image_s {
+            self.max_image_s = b.total();
+        }
+    }
+
+    /// Total wall time of the (sequential) run, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.total.total()
+    }
+
+    /// Mean per-image latency, seconds (0 when empty).
+    pub fn mean_s(&self) -> f64 {
+        if self.images == 0 {
+            0.0
+        } else {
+            self.total_s() / self.images as f64
+        }
+    }
+
+    /// Fraction of images that went to the cloud.
+    pub fn upload_ratio(&self) -> f64 {
+        if self.images == 0 {
+            0.0
+        } else {
+            self.cloud_images as f64 / self.images as f64
+        }
+    }
+}
+
+impl Extend<LatencyBreakdown> for LatencyStats {
+    fn extend<T: IntoIterator<Item = LatencyBreakdown>>(&mut self, iter: T) {
+        for b in iter {
+            self.add(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_only(t: f64) -> LatencyBreakdown {
+        LatencyBreakdown { edge_infer_s: t, discriminator_s: 0.001, ..Default::default() }
+    }
+
+    fn cloud(t_up: f64, t_infer: f64) -> LatencyBreakdown {
+        LatencyBreakdown {
+            edge_infer_s: 0.09,
+            discriminator_s: 0.001,
+            uplink_s: t_up,
+            cloud_infer_s: t_infer,
+            downlink_s: 0.03,
+        }
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let b = cloud(0.4, 0.03);
+        assert!((b.total() - (0.09 + 0.001 + 0.4 + 0.03 + 0.03)).abs() < 1e-12);
+        assert!(b.used_cloud());
+        assert!(!edge_only(0.09).used_cloud());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = LatencyStats::new();
+        s.add(edge_only(0.1));
+        s.add(cloud(0.5, 0.03));
+        assert_eq!(s.images, 2);
+        assert_eq!(s.cloud_images, 1);
+        assert!((s.upload_ratio() - 0.5).abs() < 1e-12);
+        assert!(s.max_image_s > 0.6);
+        assert!(s.mean_s() > 0.0);
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut s = LatencyStats::new();
+        s.extend(vec![edge_only(0.1); 10]);
+        assert_eq!(s.images, 10);
+        assert_eq!(s.upload_ratio(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.mean_s(), 0.0);
+        assert_eq!(s.upload_ratio(), 0.0);
+        assert_eq!(s.total_s(), 0.0);
+    }
+}

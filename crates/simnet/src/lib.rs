@@ -1,0 +1,36 @@
+//! # simnet — edge-cloud infrastructure simulation
+//!
+//! Device and network models for the smallbig reproduction's Table XI
+//! ("real-world edge-cloud" HELMET experiment) and the runtime examples:
+//!
+//! * [`DeviceModel`] — sustained-throughput inference timing
+//!   (Jetson Nano edge device, RTX3060 cloud server),
+//! * [`LinkModel`] — bandwidth/RTT/jitter/loss transfer times
+//!   (the paper's shared WLAN plus faster/slower ablation links),
+//! * [`LatencyBreakdown`] / [`LatencyStats`] — where each image's end-to-end
+//!   time went.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use simnet::{DeviceModel, LinkModel};
+//!
+//! let nano = DeviceModel::jetson_nano();
+//! let wlan = LinkModel::wlan();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let edge = nano.inference_time(5_430_000_000);
+//! let upload = wlan.transfer_time(60_000, &mut rng);
+//! println!("edge {edge:.3}s + upload {upload:.3}s");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod latency;
+mod link;
+
+pub use device::DeviceModel;
+pub use latency::{LatencyBreakdown, LatencyStats};
+pub use link::LinkModel;

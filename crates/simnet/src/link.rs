@@ -1,0 +1,182 @@
+//! Network-link models: how long a payload takes to cross the edge↔cloud hop.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point network link with bandwidth, latency, jitter and loss.
+///
+/// Transfer time is `rtt + bytes × 8 / bandwidth`, scaled by a log-normal
+/// jitter multiplier; each lost transfer (probability `loss_prob`) costs one
+/// retransmission round (an extra RTT plus the payload time again).
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use simnet::LinkModel;
+///
+/// let wlan = LinkModel::wlan();
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let t = wlan.transfer_time(60_000, &mut rng);
+/// assert!(t > 0.0 && t < 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    name: String,
+    /// Usable bandwidth, bits per second.
+    bandwidth_bps: f64,
+    /// Round-trip time in seconds.
+    rtt_s: f64,
+    /// Log-normal jitter sigma (0 = deterministic).
+    jitter_sigma: f64,
+    /// Probability a transfer must be retransmitted.
+    loss_prob: f64,
+}
+
+impl LinkModel {
+    /// Creates a link model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth/RTT are non-positive, jitter is negative, or the
+    /// loss probability is outside `[0, 1)`.
+    pub fn new(name: &str, bandwidth_bps: f64, rtt_s: f64, jitter_sigma: f64, loss_prob: f64) -> Self {
+        assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(rtt_s >= 0.0, "rtt must be non-negative");
+        assert!(jitter_sigma >= 0.0, "jitter must be non-negative");
+        assert!((0.0..1.0).contains(&loss_prob), "loss probability in [0, 1)");
+        LinkModel {
+            name: name.to_string(),
+            bandwidth_bps,
+            rtt_s,
+            jitter_sigma,
+            loss_prob,
+        }
+    }
+
+    /// The paper's testbed link: a shared WLAN between the Jetson Nano and
+    /// the server. Calibrated so a HELMET frame upload plus SSD inference
+    /// reproduces Table XI's cloud-only total (264.76 s for the test set):
+    /// ≈ 1.3 Mbit/s sustained with 30 ms RTT and mild jitter.
+    pub fn wlan() -> Self {
+        LinkModel::new("wlan", 1.3e6, 0.030, 0.25, 0.02)
+    }
+
+    /// A campus-grade wired/5 GHz link (for ablations): 50 Mbit/s, 10 ms RTT.
+    pub fn fast_wifi() -> Self {
+        LinkModel::new("fast-wifi", 50.0e6, 0.010, 0.10, 0.005)
+    }
+
+    /// A cellular WAN uplink (for ablations): 2 Mbit/s, 80 ms RTT, lossy.
+    pub fn cellular() -> Self {
+        LinkModel::new("cellular", 2.0e6, 0.080, 0.40, 0.05)
+    }
+
+    /// Link name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Usable bandwidth in bits per second.
+    pub fn bandwidth_bps(&self) -> f64 {
+        self.bandwidth_bps
+    }
+
+    /// Round-trip time in seconds.
+    pub fn rtt_s(&self) -> f64 {
+        self.rtt_s
+    }
+
+    /// Deterministic (jitter-free, loss-free) transfer time for a payload.
+    pub fn nominal_transfer_time(&self, bytes: usize) -> f64 {
+        self.rtt_s + bytes as f64 * 8.0 / self.bandwidth_bps
+    }
+
+    /// Stochastic transfer time for a payload, including jitter and
+    /// retransmissions. Deterministic given the RNG state.
+    pub fn transfer_time<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> f64 {
+        let base = self.nominal_transfer_time(bytes);
+        let jitter = if self.jitter_sigma > 0.0 {
+            LogNormal::new(0.0, self.jitter_sigma)
+                .expect("validated sigma")
+                .sample(rng)
+        } else {
+            1.0
+        };
+        let mut total = base * jitter;
+        // Geometric retransmissions.
+        let mut guard = 0;
+        while rng.gen::<f64>() < self.loss_prob && guard < 8 {
+            total += self.rtt_s + base;
+            guard += 1;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_time_is_rtt_plus_serialisation() {
+        let l = LinkModel::new("l", 8e6, 0.02, 0.0, 0.0);
+        // 1 MB over 8 Mbit/s = 1 s, plus 20 ms RTT
+        assert!((l.nominal_transfer_time(1_000_000) - 1.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_jitter_zero_loss_is_deterministic() {
+        let l = LinkModel::new("l", 8e6, 0.02, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = l.transfer_time(500_000, &mut rng);
+        assert!((a - l.nominal_transfer_time(500_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_is_reproducible_per_seed() {
+        let l = LinkModel::wlan();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(l.transfer_time(60_000, &mut r1), l.transfer_time(60_000, &mut r2));
+    }
+
+    #[test]
+    fn larger_payloads_take_longer_on_average() {
+        let l = LinkModel::wlan();
+        let mut rng = StdRng::seed_from_u64(7);
+        let small: f64 = (0..200).map(|_| l.transfer_time(10_000, &mut rng)).sum();
+        let mut rng = StdRng::seed_from_u64(7);
+        let large: f64 = (0..200).map(|_| l.transfer_time(200_000, &mut rng)).sum();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn loss_adds_retransmission_cost() {
+        let lossless = LinkModel::new("a", 1e6, 0.02, 0.0, 0.0);
+        let lossy = LinkModel::new("b", 1e6, 0.02, 0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let t0: f64 = (0..300).map(|_| lossless.transfer_time(50_000, &mut rng)).sum();
+        let mut rng = StdRng::seed_from_u64(9);
+        let t1: f64 = (0..300).map(|_| lossy.transfer_time(50_000, &mut rng)).sum();
+        assert!(t1 > t0 * 1.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn rejects_certain_loss() {
+        let _ = LinkModel::new("bad", 1e6, 0.0, 0.0, 1.0);
+    }
+
+    #[test]
+    fn wlan_uploads_frame_in_under_a_second_typically() {
+        let l = LinkModel::wlan();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mean: f64 =
+            (0..300).map(|_| l.transfer_time(60_000, &mut rng)).sum::<f64>() / 300.0;
+        assert!((0.2..1.2).contains(&mean), "mean wlan frame upload {mean}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Why not Neurosurgeon-style model partitioning? (paper Sec. II-C)
+//!
+//! For object detectors, the intermediate activations that a partitioned
+//! execution would ship across the network are larger than the encoded image
+//! itself at almost every split point — which is precisely why the paper
+//! uploads (selected) images instead.
+//!
+//! ```bash
+//! cargo run --release --example partition_motivation
+//! ```
+
+use modelzoo::PartitionAnalysis;
+use smallbig::prelude::*;
+
+fn main() {
+    let net = modelzoo::ssd300_vgg16(20);
+    let analysis = PartitionAnalysis::of(&net);
+
+    // A representative encoded camera frame.
+    let scene = Scene::sample(&DatasetProfile::voc(), 1, 0);
+    let frame = imaging::render(&scene.render_spec(300, 300));
+    let image_bytes = imaging::encoded_size_bytes(&frame) as u64;
+    println!("encoded 300x300 camera frame: {} KB\n", image_bytes / 1024);
+
+    println!(
+        "{:<12} {:>14} {:>12} {:>12}",
+        "split after", "activation", "vs image", "edge FLOPs"
+    );
+    let total: u64 = analysis
+        .splits
+        .last()
+        .map(|s| s.device_flops + s.cloud_flops)
+        .unwrap_or(1);
+    for sp in analysis.splits.iter().step_by(2) {
+        println!(
+            "{:<12} {:>11} KB {:>11.1}x {:>11.1}%",
+            sp.layer_name,
+            sp.transfer_bytes / 1024,
+            sp.transfer_bytes as f64 / image_bytes as f64,
+            sp.device_flops as f64 / total as f64 * 100.0
+        );
+    }
+
+    let worse = analysis.splits_larger_than_image(image_bytes);
+    println!(
+        "\n{}/{} split points would transfer MORE than the image itself.",
+        worse,
+        analysis.splits.len()
+    );
+    if let Some(sp) = analysis.min_transfer_within_budget(0.25) {
+        println!(
+            "even the best split within a 25% edge-compute budget ships {:.1}x the image (after {}).",
+            sp.transfer_bytes as f64 / image_bytes as f64,
+            sp.layer_name
+        );
+    }
+    println!("conclusion: for detection, ship (difficult) images — not features.");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: calibrate the discriminator and run the small-big system on a
+//! VOC07-like split.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use smallbig::prelude::*;
+
+fn main() {
+    // 10% of the published VOC07 sizes keeps this snappy; use 1.0 for full.
+    let split = Split::load_scaled(SplitId::Voc07, 0.1);
+    println!(
+        "VOC07-like split: {} train / {} test images, {} classes",
+        split.train.len(),
+        split.test.len(),
+        split.test.taxonomy().len()
+    );
+
+    // The edge's small model and the cloud's big model.
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+
+    // Calibrate the three thresholds on the training set (paper Sec. V-D):
+    // the confidence threshold by count-loss regression, the count and area
+    // thresholds by accuracy grid search over labelled difficulty.
+    let (cal, examples) = calibrate(&split.train, &small, &big);
+    println!(
+        "calibrated thresholds: conf {:.2}, count {}, area {:.2}",
+        cal.thresholds.conf, cal.thresholds.count, cal.thresholds.area
+    );
+    println!(
+        "training set: {:.1}% difficult cases, discriminator accuracy {:.1}%",
+        smallbig::core::difficult_fraction(&examples) * 100.0,
+        cal.train_stats.accuracy * 100.0
+    );
+
+    // Evaluate the full system against the two extremes.
+    let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+    let cfg = EvalConfig::default();
+    for policy in [
+        Policy::EdgeOnly,
+        Policy::DifficultCase(disc),
+        Policy::CloudOnly,
+    ] {
+        let name = policy.name();
+        let out = evaluate(&split.test, &small, &big, &policy, &cfg);
+        println!(
+            "{name:<45} mAP {:>5.2}%  detected {:>5}/{}  upload {:>5.1}%",
+            out.e2e_map_pct,
+            out.e2e_detected,
+            out.total_gt,
+            out.upload_ratio * 100.0
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! # smallbig — edge-cloud collaborated object detection
+//!
+//! A complete Rust reproduction of *Edge-Cloud Collaborated Object Detection
+//! via Difficult-Case Discriminator* (ICDCS 2023): a lightweight **small
+//! model** runs on the edge device, a heavyweight **big model** runs in the
+//! cloud, and a **difficult-case discriminator** decides per image whether
+//! the local result suffices or the frame must be uploaded.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`detcore`] | boxes, IoU, NMS, matching, VOC mAP, counting metrics |
+//! | [`imaging`] | raster frames, blur/noise, Brenner sharpness, byte-size model |
+//! | [`datagen`] | synthetic VOC / COCO-18 / HELMET datasets at published sizes |
+//! | [`modelzoo`] | SSD/MobileNet/YOLO architectures (FLOPs, params, anchors) and the behavioural detector simulator |
+//! | [`simnet`] | Jetson-Nano / GPU-server devices and WLAN link models |
+//! | [`core`] | the discriminator, calibration, offload policies, batch evaluator and the live threaded runtime |
+//! | [`eval`] | experiment harness regenerating every paper table and figure |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smallbig::prelude::*;
+//!
+//! // A reduced-scale VOC07 split (use 1.0 for the paper's full sizes).
+//! let split = Split::load_scaled(SplitId::Voc07, 0.01);
+//! let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+//! let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+//!
+//! // Calibrate the three thresholds on the training set (Sec. V-D)…
+//! let (cal, _) = calibrate(&split.train, &small, &big);
+//! let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+//!
+//! // …and evaluate the small-big system on the test set.
+//! let outcome = evaluate(
+//!     &split.test,
+//!     &small,
+//!     &big,
+//!     &Policy::DifficultCase(disc),
+//!     &EvalConfig::default(),
+//! );
+//! println!(
+//!     "end-to-end mAP {:.1}% at {:.0}% upload",
+//!     outcome.e2e_map_pct,
+//!     outcome.upload_ratio * 100.0
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use datagen;
+pub use detcore;
+pub use eval;
+pub use imaging;
+pub use modelzoo;
+pub use simnet;
+pub use smallbig_core as core;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use datagen::{Dataset, DatasetProfile, Scene, Split, SplitId};
+    pub use detcore::{
+        ApProtocol, BBox, ClassId, Detection, GroundTruth, ImageDetections, MapEvaluator,
+        Taxonomy,
+    };
+    pub use modelzoo::{Capability, Detector, ModelKind, SimDetector};
+    pub use simnet::{DeviceModel, LinkModel};
+    pub use smallbig_core::{
+        calibrate, evaluate, run_system, CaseKind, DifficultCaseDiscriminator, EvalConfig,
+        Policy, RuntimeConfig, RuntimeMode, Thresholds,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exports_compile() {
+        use crate::prelude::*;
+        let b = BBox::new(0.0, 0.0, 0.5, 0.5).unwrap();
+        assert!(b.area() > 0.0);
+        assert_eq!(Taxonomy::voc20().len(), 20);
+        assert!(ModelKind::SsdVgg16.is_big());
+    }
+}

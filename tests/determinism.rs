@@ -1,0 +1,65 @@
+//! Reproducibility guarantees: every published number must be regenerable
+//! bit-for-bit from the seeds.
+
+use smallbig::prelude::*;
+
+#[test]
+fn datasets_are_bit_identical_across_loads() {
+    let a = Split::load_scaled(SplitId::Voc07, 0.01);
+    let b = Split::load_scaled(SplitId::Voc07, 0.01);
+    assert_eq!(a.train.scenes(), b.train.scenes());
+    assert_eq!(a.test.scenes(), b.test.scenes());
+}
+
+#[test]
+fn detectors_are_pure_functions_of_scene() {
+    let split = Split::load_scaled(SplitId::Coco18, 0.002);
+    let d1 = SimDetector::new(ModelKind::MobileNetV2Ssd, SplitId::Coco18, 18);
+    let d2 = SimDetector::new(ModelKind::MobileNetV2Ssd, SplitId::Coco18, 18);
+    for scene in split.test.iter() {
+        assert_eq!(d1.detect(scene), d2.detect(scene));
+    }
+}
+
+#[test]
+fn full_evaluation_is_deterministic() {
+    let run = || {
+        let split = Split::load_scaled(SplitId::Voc07, 0.01);
+        let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+        let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+        let (cal, _) = calibrate(&split.train, &small, &big);
+        evaluate(
+            &split.test,
+            &small,
+            &big,
+            &Policy::DifficultCase(DifficultCaseDiscriminator::new(cal.thresholds)),
+            &EvalConfig::default(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn runtime_is_deterministic_across_thread_schedules() {
+    // The virtual-clock design must make results independent of actual
+    // thread interleaving; run several times to shake out races.
+    let split = Split::load_scaled(SplitId::Helmet, 0.03);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2);
+    let disc = DifficultCaseDiscriminator::new(Thresholds { conf: 0.2, count: 3, area: 0.05 });
+    let rt = RuntimeConfig { frame_size: (64, 64), ..Default::default() };
+    let first = run_system(&split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);
+    for _ in 0..4 {
+        let again = run_system(&split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);
+        assert_eq!(first, again);
+    }
+}
+
+#[test]
+fn seeds_actually_matter() {
+    use smallbig::datagen::Dataset;
+    let p = DatasetProfile::voc();
+    let a = Dataset::generate("a", &p, 50, 1);
+    let b = Dataset::generate("b", &p, 50, 2);
+    assert_ne!(a.scenes(), b.scenes(), "different seeds differ");
+}

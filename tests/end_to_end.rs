@@ -1,0 +1,182 @@
+//! Cross-crate integration: the full pipeline from dataset generation through
+//! calibration, batch evaluation and the live runtime.
+
+use smallbig::core::difficult_fraction;
+use smallbig::prelude::*;
+
+const SCALE: f64 = 0.02;
+
+fn voc_setup() -> (Split, SimDetector, SimDetector) {
+    let split = Split::load_scaled(SplitId::Voc0712, SCALE);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc0712, 20);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc0712, 20);
+    (split, small, big)
+}
+
+#[test]
+fn calibration_lands_in_paper_bands() {
+    let (split, small, big) = voc_setup();
+    let (cal, examples) = calibrate(&split.train, &small, &big);
+    // The paper's conf band is 0.15-0.35; count optimum 2; some area > 0.
+    assert!(
+        (0.10..=0.40).contains(&cal.thresholds.conf),
+        "conf {}",
+        cal.thresholds.conf
+    );
+    assert!((1..=5).contains(&cal.thresholds.count));
+    assert!(cal.thresholds.area > 0.0);
+    // Roughly half the training images are difficult for the small model.
+    let frac = difficult_fraction(&examples);
+    assert!((0.30..=0.65).contains(&frac), "difficult fraction {frac}");
+    // Grid accuracy beats the trivial majority classifier.
+    assert!(cal.train_stats.accuracy > frac.max(1.0 - frac));
+}
+
+#[test]
+fn small_big_system_matches_headline_claims() {
+    let (split, small, big) = voc_setup();
+    let (cal, _) = calibrate(&split.train, &small, &big);
+    let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+    let cfg = EvalConfig::default();
+    let ours = evaluate(
+        &split.test,
+        &small,
+        &big,
+        &Policy::DifficultCase(disc),
+        &cfg,
+    );
+    // Upload about half the images…
+    assert!(
+        (0.35..=0.70).contains(&ours.upload_ratio),
+        "upload {}",
+        ours.upload_ratio
+    );
+    // …reach most of the big model's mAP…
+    assert!(
+        ours.e2e_map_vs_big_pct() > 88.0,
+        "e2e/big mAP {}",
+        ours.e2e_map_vs_big_pct()
+    );
+    // …and most of its detections (the paper's 94% claim, with slack for
+    // the reduced scale).
+    assert!(
+        ours.e2e_detected_vs_big_pct() > 85.0,
+        "e2e/big dets {}",
+        ours.e2e_detected_vs_big_pct()
+    );
+}
+
+#[test]
+fn our_method_beats_every_baseline_at_matched_ratio() {
+    let (split, small, big) = voc_setup();
+    let (cal, _) = calibrate(&split.train, &small, &big);
+    let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+    let cfg = EvalConfig::default();
+    let ours = evaluate(
+        &split.test,
+        &small,
+        &big,
+        &Policy::DifficultCase(disc),
+        &cfg,
+    );
+    let q = ours.upload_ratio;
+    for baseline in [
+        Policy::Random { upload_fraction: q, seed: 7 },
+        Policy::BlurQuantile { upload_fraction: q, render_size: (64, 48) },
+        Policy::Top1Quantile { upload_fraction: q },
+    ] {
+        let base = evaluate(&split.test, &small, &big, &baseline, &cfg);
+        assert!(
+            ours.e2e_map_pct > base.e2e_map_pct,
+            "{}: ours {} vs baseline {}",
+            baseline.name(),
+            ours.e2e_map_pct,
+            base.e2e_map_pct
+        );
+        assert!(
+            ours.e2e_detected >= base.e2e_detected,
+            "{}: detected",
+            baseline.name()
+        );
+    }
+}
+
+#[test]
+fn yolo_pair_needs_fewer_uploads_than_ssd_pair() {
+    // Needs a slightly larger sample: calibration is noisy below ~200
+    // training images.
+    let scale = 0.06;
+    let split = Split::load_scaled(SplitId::Voc07, scale);
+    let cfg = EvalConfig::default();
+
+    let ssd_small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+    let ssd_big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+    let (cal, _) = calibrate(&split.train, &ssd_small, &ssd_big);
+    let ssd = evaluate(
+        &split.test,
+        &ssd_small,
+        &ssd_big,
+        &Policy::DifficultCase(DifficultCaseDiscriminator::new(cal.thresholds)),
+        &cfg,
+    );
+
+    let y_small = SimDetector::new(ModelKind::YoloMobileNetV1, SplitId::Voc07, 20);
+    let y_big = SimDetector::new(ModelKind::YoloV4, SplitId::Voc07, 20);
+    let (cal, _) = calibrate(&split.train, &y_small, &y_big);
+    let yolo = evaluate(
+        &split.test,
+        &y_small,
+        &y_big,
+        &Policy::DifficultCase(DifficultCaseDiscriminator::new(cal.thresholds)),
+        &cfg,
+    );
+
+    // Sec. VI-C: the stronger YOLO pair produces far fewer difficult cases.
+    assert!(
+        yolo.upload_ratio < ssd.upload_ratio - 0.1,
+        "yolo {} vs ssd {}",
+        yolo.upload_ratio,
+        ssd.upload_ratio
+    );
+}
+
+#[test]
+fn runtime_agrees_with_batch_evaluator() {
+    let split = Split::load_scaled(SplitId::Helmet, 0.05);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2);
+    let (cal, _) = calibrate(&split.train, &small, &big);
+    let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+
+    let rt = RuntimeConfig { frame_size: (96, 96), ..Default::default() };
+    let live = run_system(&split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);
+    let batch = evaluate(
+        &split.test,
+        &small,
+        &big,
+        &Policy::DifficultCase(disc),
+        &EvalConfig::default(),
+    );
+    assert!((live.map_pct - batch.e2e_map_pct).abs() < 1e-9);
+    assert_eq!(live.detected, batch.e2e_detected);
+    assert!((live.upload_ratio - batch.upload_ratio).abs() < 1e-9);
+}
+
+#[test]
+fn table_xi_time_ordering_holds() {
+    let split = Split::load_scaled(SplitId::Helmet, 0.05);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2);
+    let (cal, _) = calibrate(&split.train, &small, &big);
+    let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+    let rt = RuntimeConfig::default(); // paper-realistic 300x300 frames
+    let edge = run_system(&split.test, &small, &big, &disc, RuntimeMode::EdgeOnly, &rt);
+    let ours = run_system(&split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);
+    let cloud = run_system(&split.test, &small, &big, &disc, RuntimeMode::CloudOnly, &rt);
+    assert!(edge.total_time_s < ours.total_time_s);
+    assert!(ours.total_time_s < cloud.total_time_s);
+    assert!(edge.map_pct <= ours.map_pct);
+    assert!(ours.map_pct <= cloud.map_pct + 1e-9);
+    assert!(edge.detected <= ours.detected);
+    assert!(ours.detected <= cloud.detected);
+}

@@ -1,0 +1,33 @@
+//! Every experiment in the harness must run at reduced scale.
+
+use smallbig::eval::{run_experiment, ExpConfig};
+
+#[test]
+fn every_table_and_figure_regenerates() {
+    let cfg = ExpConfig::quick();
+    for id in smallbig::eval::ALL_EXPERIMENTS {
+        let reports = run_experiment(id, &cfg)
+            .unwrap_or_else(|e| panic!("experiment {id} failed: {e}"));
+        assert_eq!(reports.len(), 1, "{id}");
+        let text = reports[0].to_string();
+        assert!(text.contains("## "), "{id} renders a title");
+        assert!(reports[0].table.num_rows() > 0, "{id} has rows");
+    }
+}
+
+#[test]
+fn all_alias_runs_everything() {
+    let cfg = ExpConfig::quick();
+    let reports = run_experiment("all", &cfg).unwrap();
+    assert_eq!(reports.len(), smallbig::eval::ALL_EXPERIMENTS.len());
+}
+
+#[test]
+fn csv_export_shape() {
+    let cfg = ExpConfig::quick();
+    let reports = run_experiment("table2", &cfg).unwrap();
+    let csv = reports[0].table.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 5, "header + four model rows");
+    assert!(lines[0].contains("Model size"));
+}

@@ -1,0 +1,126 @@
+//! The paper's specific numeric claims, checked as executable assertions
+//! (with tolerance for the reduced test scale).
+
+use smallbig::modelzoo::{
+    self, num_default_boxes, small_model_feature_maps, ssd300_feature_maps,
+};
+use smallbig::prelude::*;
+
+#[test]
+fn default_box_arithmetic_is_exact() {
+    // Sec. IV-B: SSD has 8732 default boxes; the 38x38 map provides 5776;
+    // dropping it loses 66% of the boxes.
+    let full = ssd300_feature_maps();
+    let small = small_model_feature_maps();
+    assert_eq!(num_default_boxes(&full), 8732);
+    assert_eq!(num_default_boxes(&small), 2956);
+    let lost: f64 = 5776.0 / 8732.0;
+    assert!((lost - 0.66).abs() < 0.01);
+}
+
+#[test]
+fn table2_model_budget_claims() {
+    // "All the small models are lightweight models with pruned above 80%."
+    let big = modelzoo::ssd300_vgg16(20);
+    assert!((big.size_mb() - 100.28).abs() < 2.0);
+    for net in [
+        modelzoo::vgg_lite_ssd(20),
+        modelzoo::mobilenet_v1_ssd_paper(20),
+        modelzoo::mobilenet_v2_ssd_paper(20),
+    ] {
+        assert!(net.pruned_percent_vs(&big) > 80.0, "{}", net.name());
+    }
+    // Size ordering matches Table II: small3 < small2 < small1 < SSD.
+    let s1 = modelzoo::vgg_lite_ssd(20).size_mb();
+    let s2 = modelzoo::mobilenet_v1_ssd_paper(20).size_mb();
+    let s3 = modelzoo::mobilenet_v2_ssd_paper(20).size_mb();
+    assert!(s3 < s2 && s2 < s1 && s1 < big.size_mb());
+}
+
+#[test]
+fn partition_motivation_claim() {
+    // Sec. II-C: "the amount of intermediate data for object detection is
+    // quite large, even larger than the image itself".
+    let net = modelzoo::ssd300_vgg16(20);
+    let analysis = modelzoo::PartitionAnalysis::of(&net);
+    let typical_image_bytes = 60_000;
+    let worse = analysis.splits_larger_than_image(typical_image_bytes);
+    assert!(
+        worse * 2 > analysis.splits.len(),
+        "most split points must ship more than the image"
+    );
+}
+
+#[test]
+fn fig4_structure_difficult_cases_cluster() {
+    // Fig. 4: difficult cases are concentrated at many objects / small
+    // minimum object area; easy cases at few objects / large areas.
+    let split = Split::load_scaled(SplitId::Voc0712, 0.02);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc0712, 20);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc0712, 20);
+    let examples = smallbig::core::label_dataset(&split.train, &small, &big, 0.2);
+
+    let rate = |pred: &dyn Fn(&smallbig::core::LabeledExample) -> bool| -> f64 {
+        let matching: Vec<_> = examples.iter().filter(|e| pred(e)).collect();
+        assert!(!matching.is_empty());
+        matching.iter().filter(|e| e.label.is_difficult()).count() as f64
+            / matching.len() as f64
+    };
+    let crowded = rate(&|e| e.true_count >= 5);
+    let sparse_large =
+        rate(&|e| e.true_count <= 2 && e.true_min_area.unwrap_or(0.0) >= 0.31);
+    assert!(
+        crowded > 0.85,
+        "crowded images should almost all be difficult: {crowded}"
+    );
+    assert!(
+        sparse_large < 0.25,
+        "large sparse images should be easy: {sparse_large}"
+    );
+}
+
+#[test]
+fn discriminator_quality_claims() {
+    // Table I bands, with slack for the reduced scale.
+    let split = Split::load_scaled(SplitId::Voc0712, 0.03);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc0712, 20);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc0712, 20);
+    let (cal, _) = calibrate(&split.train, &small, &big);
+    assert!(
+        cal.train_stats.accuracy > 0.72,
+        "train accuracy {}",
+        cal.train_stats.accuracy
+    );
+    let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+    let test = smallbig::core::discriminator_test_stats(&split.test, &small, &big, &disc);
+    assert!(test.accuracy > 0.60, "test accuracy {}", test.accuracy);
+    assert!(test.recall > 0.60, "test recall {}", test.recall);
+}
+
+#[test]
+fn bandwidth_savings_claim() {
+    // Abstract: "detect 94.01%-97.84% of objects with only about 50% images
+    // uploaded" — at reduced scale we accept >= 85% at <= 70% upload.
+    let split = Split::load_scaled(SplitId::Voc07, 0.02);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+    let (cal, _) = calibrate(&split.train, &small, &big);
+    let out = evaluate(
+        &split.test,
+        &small,
+        &big,
+        &Policy::DifficultCase(DifficultCaseDiscriminator::new(cal.thresholds)),
+        &EvalConfig::default(),
+    );
+    assert!(out.upload_ratio < 0.70);
+    assert!(out.e2e_detected_vs_big_pct() > 85.0);
+}
+
+#[test]
+fn brenner_gradient_matches_eq2_definition() {
+    // Eq. 2 sanity on a hand image (also covered in imaging's unit tests;
+    // this asserts the cross-crate export is the same function).
+    let img = smallbig::imaging::GrayImage::from_pixels(5, 1, vec![0, 0, 10, 0, 20]);
+    let b = smallbig::imaging::brenner_gradient(&img);
+    assert!((b - 200.0 / 3.0).abs() < 1e-9);
+}

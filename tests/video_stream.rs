@@ -1,0 +1,68 @@
+//! Integration: temporally correlated video through the full system.
+
+use smallbig::datagen::{Dataset, VideoProfile, VideoSequence};
+use smallbig::prelude::*;
+
+#[test]
+fn video_verdicts_are_temporally_coherent() {
+    let profile = VideoProfile::surveillance(DatasetProfile::voc());
+    let video = VideoSequence::generate(&profile, 80, 42);
+    assert!(video.mean_persistence() > 0.8);
+
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+    let disc = DifficultCaseDiscriminator::new(Thresholds { conf: 0.2, count: 2, area: 0.15 });
+
+    let verdicts: Vec<CaseKind> = video
+        .frames()
+        .iter()
+        .map(|f| disc.classify(&small.detect(f)))
+        .collect();
+    let flips = verdicts.windows(2).filter(|w| w[0] != w[1]).count();
+    // Correlated frames must flip verdicts far less often than a coin.
+    assert!(
+        (flips as f64) < verdicts.len() as f64 * 0.4,
+        "verdicts flipped {flips}/{} times",
+        verdicts.len() - 1
+    );
+}
+
+#[test]
+fn video_dataset_evaluates_like_any_other() {
+    let profile = VideoProfile::surveillance(DatasetProfile::helmet());
+    let video = VideoSequence::generate(&profile, 60, 3);
+    let ds = video.into_dataset("clip", &profile);
+    assert_eq!(ds.len(), 60);
+
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2);
+    let out = evaluate(
+        &ds,
+        &small,
+        &big,
+        &Policy::DifficultCase(DifficultCaseDiscriminator::new(Thresholds {
+            conf: 0.2,
+            count: 3,
+            area: 0.05,
+        })),
+        &EvalConfig::default(),
+    );
+    assert!(out.big_map_pct >= out.small_map_pct);
+    assert!(out.e2e_map_pct >= out.small_map_pct);
+    assert!(out.num_images == 60);
+}
+
+#[test]
+fn static_dataset_has_no_temporal_structure() {
+    // Control: i.i.d. scenes share (essentially) no objects across "frames".
+    let ds = Dataset::generate("iid", &DatasetProfile::voc(), 50, 5);
+    let shared = ds
+        .scenes()
+        .windows(2)
+        .filter(|w| {
+            w[0].objects
+                .iter()
+                .any(|o| w[1].objects.iter().any(|p| p.texture_seed == o.texture_seed))
+        })
+        .count();
+    assert_eq!(shared, 0, "independent scenes never share object identities");
+}
