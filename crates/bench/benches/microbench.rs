@@ -28,8 +28,13 @@ fn random_detections(n: usize, seed: u64) -> ImageDetections {
             Detection::new(
                 ClassId(rng.gen_range(0..20)),
                 rng.gen_range(0.01..1.0),
-                BBox::new(x0, y0, x0 + rng.gen_range(0.05..0.2), y0 + rng.gen_range(0.05..0.2))
-                    .unwrap(),
+                BBox::new(
+                    x0,
+                    y0,
+                    x0 + rng.gen_range(0.05..0.2),
+                    y0 + rng.gen_range(0.05..0.2),
+                )
+                .unwrap(),
             )
         })
         .collect()
@@ -38,7 +43,9 @@ fn random_detections(n: usize, seed: u64) -> ImageDetections {
 fn bench_geometry(c: &mut Criterion) {
     let a = BBox::new(0.1, 0.1, 0.6, 0.6).unwrap();
     let b = BBox::new(0.3, 0.2, 0.8, 0.7).unwrap();
-    c.bench_function("bbox_iou", |bench| bench.iter(|| black_box(a).iou(black_box(&b))));
+    c.bench_function("bbox_iou", |bench| {
+        bench.iter(|| black_box(a).iou(black_box(&b)))
+    });
 
     let dets = random_detections(200, 1);
     let cfg = NmsConfig::default();
@@ -102,7 +109,9 @@ fn bench_map_eval(c: &mut Criterion) {
 fn bench_imaging(c: &mut Criterion) {
     let scene = Scene::sample(&DatasetProfile::helmet(), 11, 0);
     let spec = scene.render_spec(160, 120);
-    c.bench_function("render_160x120", |bench| bench.iter(|| render(black_box(&spec))));
+    c.bench_function("render_160x120", |bench| {
+        bench.iter(|| render(black_box(&spec)))
+    });
     let frame = render(&spec);
     c.bench_function("gaussian_blur_sigma2", |bench| {
         bench.iter(|| gaussian_blur(black_box(&frame), 2.0))

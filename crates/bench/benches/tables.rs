@@ -14,7 +14,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .filter(|s| *s > 0.0 && *s <= 1.0)
         .unwrap_or(0.2);
-    let cfg = ExpConfig { scale, render_size: (128, 96) };
+    let cfg = ExpConfig {
+        scale,
+        render_size: (128, 96),
+    };
     println!("# smallbig table bench — scale {scale:.2} (SMALLBIG_BENCH_SCALE to override)\n");
 
     let started = Instant::now();

@@ -6,8 +6,8 @@
 use datagen::{Split, SplitId};
 use modelzoo::{ModelKind, SimDetector};
 use smallbig_core::{
-    calibrate, difficult_fraction, discriminator_test_stats, evaluate,
-    DifficultCaseDiscriminator, EvalConfig, Policy,
+    calibrate, difficult_fraction, discriminator_test_stats, evaluate, DifficultCaseDiscriminator,
+    EvalConfig, Policy,
 };
 
 fn main() {
@@ -49,12 +49,21 @@ fn main() {
             let disc = DifficultCaseDiscriminator::new(cal.thresholds);
             let test_stats = discriminator_test_stats(&split.test, &small, &big, &disc);
             let cfg = EvalConfig::default();
-            let ours = evaluate(&split.test, &small, &big, &Policy::DifficultCase(disc.clone()), &cfg);
+            let ours = evaluate(
+                &split.test,
+                &small,
+                &big,
+                &Policy::DifficultCase(disc.clone()),
+                &cfg,
+            );
             let rand = evaluate(
                 &split.test,
                 &small,
                 &big,
-                &Policy::Random { upload_fraction: ours.upload_ratio, seed: 5 },
+                &Policy::Random {
+                    upload_fraction: ours.upload_ratio,
+                    seed: 5,
+                },
                 &cfg,
             );
             println!(

@@ -45,8 +45,16 @@ impl BinaryStats {
         }
         let total = tp + fp + tn + fn_;
         assert!(total > 0, "cannot compute stats over zero examples");
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {

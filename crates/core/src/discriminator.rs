@@ -54,7 +54,11 @@ pub struct Thresholds {
 impl Thresholds {
     /// The paper's published optimal thresholds (conf regressed to ≈ 0.2).
     pub fn paper() -> Self {
-        Thresholds { conf: 0.20, count: 2, area: 0.31 }
+        Thresholds {
+            conf: 0.20,
+            count: 2,
+            area: 0.31,
+        }
     }
 }
 
@@ -273,15 +277,24 @@ mod tests {
     #[test]
     fn true_feature_mode_uses_or_rule() {
         let disc = DifficultCaseDiscriminator::default();
-        assert_eq!(disc.classify_true_features(3, Some(0.5)), CaseKind::Difficult);
-        assert_eq!(disc.classify_true_features(1, Some(0.1)), CaseKind::Difficult);
+        assert_eq!(
+            disc.classify_true_features(3, Some(0.5)),
+            CaseKind::Difficult
+        );
+        assert_eq!(
+            disc.classify_true_features(1, Some(0.1)),
+            CaseKind::Difficult
+        );
         assert_eq!(disc.classify_true_features(2, Some(0.4)), CaseKind::Easy);
         assert_eq!(disc.classify_true_features(0, None), CaseKind::Easy);
     }
 
     #[test]
     fn ablation_disable_count() {
-        let cfg = DiscriminatorConfig { use_count: false, ..Default::default() };
+        let cfg = DiscriminatorConfig {
+            use_count: false,
+            ..Default::default()
+        };
         let disc = DifficultCaseDiscriminator::with_config(Thresholds::paper(), cfg);
         // many LARGE objects: count test off, min area large -> easy
         let d = dets(&[(0.9, 0.6), (0.8, 0.6), (0.7, 0.6), (0.3, 0.6)]);
@@ -303,7 +316,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "confidence threshold")]
     fn rejects_bad_conf() {
-        let _ = DifficultCaseDiscriminator::new(Thresholds { conf: 0.7, count: 2, area: 0.31 });
+        let _ = DifficultCaseDiscriminator::new(Thresholds {
+            conf: 0.7,
+            count: 2,
+            area: 0.31,
+        });
     }
 
     #[test]

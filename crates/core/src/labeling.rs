@@ -51,7 +51,7 @@ pub fn label_scene(
     let big_dets = big.detect(scene);
     let n_small = small_dets.count_above(PREDICTION_THRESHOLD);
     let n_big = big_dets.count_above(PREDICTION_THRESHOLD);
-    let label = if n_big >= n_small + 1 {
+    let label = if n_big > n_small {
         CaseKind::Difficult
     } else {
         CaseKind::Easy

@@ -1,7 +1,10 @@
 //! # smallbig-core — the small-big model framework
 //!
 //! The paper's contribution (*Edge-Cloud Collaborated Object Detection via
-//! Difficult-Case Discriminator*, ICDCS 2023), implemented end to end:
+//! Difficult-Case Discriminator*, ICDCS 2023), implemented end to end and
+//! grown into a streaming multi-edge serving system.
+//!
+//! ## The discriminator (the paper)
 //!
 //! * [`SemanticFeatures`] — the two semantic features read off the small
 //!   model's raw output,
@@ -9,13 +12,33 @@
 //! * [`label_scene`] / [`label_dataset`] — ground-truth difficulty labels,
 //! * [`calibrate`] — the paper's threshold-training procedure (Eq. 1
 //!   regression + grid search),
-//! * [`Policy`] — our strategy and every baseline (random / blurred / top-1
-//!   confidence / cloud-only / edge-only / oracle),
-//! * [`evaluate`] — batch evaluation producing the paper's table metrics,
-//! * [`run_system`] — a live edge-cloud runtime with real threads, real
-//!   serialized frames and simulated clocks (Table XI).
+//! * [`evaluate`] — batch evaluation producing the paper's table metrics.
 //!
-//! # Example
+//! ## Offload strategies
+//!
+//! * [`OffloadPolicy`] — the object-safe extension point: anything that can
+//!   route one frame at a time. Implement it to plug custom strategies into
+//!   the runtime without touching this crate.
+//! * [`Policy`] — the concrete catalogue: ours plus every baseline (random /
+//!   blurred / top-1 confidence / cloud-only / edge-only / oracle), with
+//!   [`Policy::decide_all`] for the paper's whole-test-set batch protocol
+//!   and [`Policy::into_stream`] for the streaming form ([`QuantileStream`]
+//!   gives the quantile baselines an online meaning).
+//!
+//! ## The streaming runtime
+//!
+//! * [`CloudServer`] — a cloud worker serving any number of edges, with a
+//!   FIFO scheduler that batches big-model inference across sessions,
+//! * [`EdgeSession`] — one edge device: own virtual clock, own
+//!   [`simnet::LinkModel`], own RNG stream, own policy;
+//!   [`EdgeSession::submit`] / [`EdgeSession::poll`] /
+//!   [`EdgeSession::drain`] stream frames through it,
+//! * [`run_system`] — the legacy one-edge batch entry point, now a thin
+//!   wrapper over a single-session [`CloudServer`] (bit-identical reports),
+//! * [`wire`] — the length-prefixed frame format actually shipped between
+//!   the edge and cloud threads.
+//!
+//! # Batch example (the paper's protocol)
 //!
 //! ```
 //! use datagen::{Split, SplitId};
@@ -34,6 +57,55 @@
 //! println!("end-to-end mAP {:.2}% at {:.0}% upload",
 //!          outcome.e2e_map_pct, outcome.upload_ratio * 100.0);
 //! ```
+//!
+//! # Streaming example (many edges, one cloud)
+//!
+//! ```
+//! use std::sync::Arc;
+//! use datagen::{Dataset, DatasetProfile, SplitId};
+//! use modelzoo::{Detector, ModelKind, SimDetector};
+//! use simnet::LinkModel;
+//! use smallbig_core::{CloudConfig, CloudServer, DifficultCaseDiscriminator,
+//!                     Policy, SessionConfig};
+//!
+//! let data = Dataset::generate("stream", &DatasetProfile::helmet(), 10, 3);
+//! let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+//! let big: Arc<dyn Detector + Send + Sync> =
+//!     Arc::new(SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2));
+//!
+//! let mut cloud = CloudServer::spawn(
+//!     CloudConfig { max_batch: 2, ..CloudConfig::default() }, big);
+//! let cfg = SessionConfig { frame_size: (96, 96), ..SessionConfig::new(2) };
+//! let mut cautious = cloud.connect(
+//!     cfg.clone(), &small, Box::new(DifficultCaseDiscriminator::default()));
+//! let mut thorough = cloud.connect(
+//!     SessionConfig { link: LinkModel::fast_wifi(), ..cfg },
+//!     &small, Box::new(Policy::CloudOnly));
+//!
+//! for scene in data.iter() {
+//!     cautious.submit(scene);
+//!     thorough.submit(scene);
+//! }
+//! let (a, b) = (cautious.drain(), thorough.drain());
+//! assert_eq!(b.uploads, 10);
+//! drop((cautious, thorough));
+//! let stats = cloud.shutdown();
+//! assert_eq!(stats.served, a.uploads + b.uploads);
+//! ```
+//!
+//! # Migrating from the pre-session API
+//!
+//! The closed `Policy`-enum-only world became trait-based, and the
+//! dataset-at-a-time entry points became streaming:
+//!
+//! | before | after |
+//! |---|---|
+//! | match on `Policy` variants | implement [`OffloadPolicy`] |
+//! | `run_system(&dataset, …)` | [`CloudServer::spawn`] + [`EdgeSession::submit`]/[`poll`](EdgeSession::poll)/[`drain`](EdgeSession::drain) |
+//! | one edge, one link | N sessions, each with its own [`SessionConfig`] |
+//!
+//! `run_system`, `SmallBigSystem::run` and every report type are unchanged
+//! and produce bit-identical results (guarded by `tests/api_equivalence.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +117,7 @@ mod labeling;
 mod persist;
 mod pipeline;
 mod runtime;
+mod server;
 mod strategies;
 mod system;
 pub mod wire;
@@ -54,12 +127,16 @@ pub use persist::PersistError;
 pub use calibrate::{
     calibrate, calibrate_conf_threshold, calibrate_count_area, BinaryStats, Calibration,
 };
-pub use discriminator::{
-    CaseKind, DifficultCaseDiscriminator, DiscriminatorConfig, Thresholds,
-};
+pub use discriminator::{CaseKind, DifficultCaseDiscriminator, DiscriminatorConfig, Thresholds};
 pub use features::{SemanticFeatures, PREDICTION_THRESHOLD};
 pub use labeling::{difficult_fraction, label_dataset, label_scene, LabeledExample};
-pub use pipeline::{discriminator_test_stats, evaluate, EvalConfig, EvalOutcome};
+pub use pipeline::{
+    discriminator_test_stats, evaluate, evaluate_streaming, EvalConfig, EvalOutcome,
+};
 pub use runtime::{run_system, RuntimeConfig, RuntimeMode, RuntimeReport};
-pub use strategies::{Decision, Policy, PolicyInput};
+pub use server::{
+    CloudConfig, CloudServer, CloudStats, EdgePipeline, EdgeSession, FrameResult, FrameTicket,
+    SessionConfig, SessionReport,
+};
+pub use strategies::{Decision, OffloadPolicy, Policy, PolicyInput, QuantileStream, ScoreKind};
 pub use system::{SmallBigSystem, SmallBigSystemBuilder};

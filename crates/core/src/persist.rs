@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn thresholds_round_trip() {
         let path = tmp("thr");
-        let t = Thresholds { conf: 0.22, count: 3, area: 0.17 };
+        let t = Thresholds {
+            conf: 0.22,
+            count: 3,
+            area: 0.17,
+        };
         t.save_json(&path).unwrap();
         assert_eq!(Thresholds::load_json(&path).unwrap(), t);
         std::fs::remove_file(path).ok();

@@ -115,7 +115,7 @@ pub fn evaluate(
         .iter()
         .zip(&big_results)
         .map(|(s, b)| {
-            if b.count_above(PREDICTION_THRESHOLD) >= s.count_above(PREDICTION_THRESHOLD) + 1 {
+            if b.count_above(PREDICTION_THRESHOLD) > s.count_above(PREDICTION_THRESHOLD) {
                 CaseKind::Difficult
             } else {
                 CaseKind::Easy
@@ -160,6 +160,94 @@ pub fn evaluate(
             big_dets
         } else {
             small_dets
+        };
+        e2e_map.add_image(final_dets, &gts);
+        e2e_count.add(count_detected(final_dets, &gts, &config.counting));
+    }
+
+    EvalOutcome {
+        big_map_pct: big_map.evaluate().map_percent(),
+        small_map_pct: small_map.evaluate().map_percent(),
+        e2e_map_pct: e2e_map.evaluate().map_percent(),
+        big_detected: big_count.total_detected(),
+        small_detected: small_count.total_detected(),
+        e2e_detected: e2e_count.total_detected(),
+        total_gt: big_count.total_gt(),
+        upload_ratio: uploads as f64 / test.len() as f64,
+        num_images: test.len(),
+    }
+}
+
+/// Evaluates a streaming [`crate::OffloadPolicy`] over a test dataset,
+/// deciding frame-by-frame in dataset order.
+///
+/// The batch [`evaluate`] hands the policy the whole test set at once (the
+/// paper's protocol); this variant feeds one frame at a time, which is what
+/// a deployed [`crate::EdgeSession`] does. For per-image policies
+/// (discriminator, extremes) both agree exactly; for quantile baselines the
+/// streaming form converges on the batch quantile as frames accumulate.
+///
+/// # Examples
+///
+/// ```
+/// use datagen::{Dataset, DatasetProfile, SplitId};
+/// use modelzoo::{ModelKind, SimDetector};
+/// use smallbig_core::{evaluate_streaming, DifficultCaseDiscriminator, EvalConfig};
+///
+/// let test = Dataset::generate("demo", &DatasetProfile::voc(), 50, 3);
+/// let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+/// let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+/// let mut disc = DifficultCaseDiscriminator::default();
+/// let outcome =
+///     evaluate_streaming(&test, &small, &big, &mut disc, &EvalConfig::default());
+/// assert!(outcome.upload_ratio >= 0.0 && outcome.upload_ratio <= 1.0);
+/// ```
+pub fn evaluate_streaming(
+    test: &Dataset,
+    small: &dyn Detector,
+    big: &dyn Detector,
+    policy: &mut dyn crate::OffloadPolicy,
+    config: &EvalConfig,
+) -> EvalOutcome {
+    assert!(!test.is_empty(), "cannot evaluate an empty dataset");
+    let num_classes = test.taxonomy().len();
+
+    let mut small_map = MapEvaluator::new(num_classes, config.ap_protocol);
+    let mut big_map = MapEvaluator::new(num_classes, config.ap_protocol);
+    let mut e2e_map = MapEvaluator::new(num_classes, config.ap_protocol);
+    let mut small_count = DatasetCounter::new();
+    let mut big_count = DatasetCounter::new();
+    let mut e2e_count = DatasetCounter::new();
+    let mut uploads = 0usize;
+
+    for scene in test.iter() {
+        let gts = scene.ground_truths();
+        let small_dets = small.detect(scene);
+        let big_dets = big.detect(scene);
+        // Same label rule as the batch path (both models already ran here),
+        // so Policy::Oracle works identically in streaming form.
+        let label = if big_dets.count_above(PREDICTION_THRESHOLD)
+            > small_dets.count_above(PREDICTION_THRESHOLD)
+        {
+            CaseKind::Difficult
+        } else {
+            CaseKind::Easy
+        };
+        let decision = policy.decide(&PolicyInput {
+            scene,
+            small_dets: &small_dets,
+            label: Some(label),
+            num_classes,
+        });
+        small_map.add_image(&small_dets, &gts);
+        big_map.add_image(&big_dets, &gts);
+        small_count.add(count_detected(&small_dets, &gts, &config.counting));
+        big_count.add(count_detected(&big_dets, &gts, &config.counting));
+        let final_dets = if decision.is_upload() {
+            uploads += 1;
+            &big_dets
+        } else {
+            &small_dets
         };
         e2e_map.add_image(final_dets, &gts);
         e2e_count.add(count_detected(final_dets, &gts, &config.counting));
@@ -228,7 +316,13 @@ mod tests {
     #[test]
     fn big_beats_small() {
         let (test, small, big) = fixture();
-        let out = evaluate(&test, &small, &big, &Policy::CloudOnly, &EvalConfig::default());
+        let out = evaluate(
+            &test,
+            &small,
+            &big,
+            &Policy::CloudOnly,
+            &EvalConfig::default(),
+        );
         assert!(out.big_map_pct > out.small_map_pct + 5.0);
         assert!(out.big_detected > out.small_detected);
     }
@@ -250,7 +344,10 @@ mod tests {
             &test,
             &small,
             &big,
-            &Policy::Random { upload_fraction: ours.upload_ratio, seed: 5 },
+            &Policy::Random {
+                upload_fraction: ours.upload_ratio,
+                seed: 5,
+            },
             &cfg,
         );
         assert!(
@@ -275,7 +372,13 @@ mod tests {
     #[test]
     fn ratios_are_percentages() {
         let (test, small, big) = fixture();
-        let out = evaluate(&test, &small, &big, &Policy::CloudOnly, &EvalConfig::default());
+        let out = evaluate(
+            &test,
+            &small,
+            &big,
+            &Policy::CloudOnly,
+            &EvalConfig::default(),
+        );
         assert!((out.e2e_map_vs_big_pct() - 100.0).abs() < 1e-9);
         assert!((out.e2e_detected_vs_big_pct() - 100.0).abs() < 1e-9);
     }

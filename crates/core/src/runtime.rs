@@ -1,28 +1,28 @@
-//! The live edge-cloud runtime: real threads, real serialized messages,
-//! simulated clocks.
+//! The legacy batch runtime, now a thin wrapper over the streaming session
+//! layer ([`crate::CloudServer`] / [`crate::EdgeSession`]).
 //!
-//! [`run_system`] spawns a **cloud server thread** and drives the edge device
-//! on the calling thread, exactly mirroring the paper's Jetson-Nano-plus-
-//! server deployment (Sec. VI-D). Images flow through the small model and the
-//! discriminator; difficult cases are serialized (length-prefixed frames),
-//! "uploaded" over a [`LinkModel`]-governed channel, processed by the big
-//! model under the server's [`DeviceModel`], and the results return to the
-//! edge. All latencies are *virtual time* computed from the device/link
-//! models — runs are deterministic and fast regardless of wall-clock.
+//! [`run_system`] spawns a **cloud worker thread** and drives one edge
+//! session frame-by-frame on the calling thread, exactly mirroring the
+//! paper's Jetson-Nano-plus-server deployment (Sec. VI-D). Images flow
+//! through the small model and the discriminator; difficult cases are
+//! serialized (length-prefixed frames), "uploaded" over a
+//! [`LinkModel`]-governed channel, processed by the big model under the
+//! server's [`DeviceModel`], and the results return to the edge. All
+//! latencies are *virtual time* computed from the device/link models — runs
+//! are deterministic and fast regardless of wall-clock, and byte-for-byte
+//! identical to the pre-session-layer implementation (guarded by
+//! `tests/api_equivalence.rs`).
 
-use crate::wire::{decode_frame, encode_frame};
-use crate::{CaseKind, DifficultCaseDiscriminator};
+use crate::server::{cloud_loop, CloudConfig, EdgePipeline, SessionConfig};
+use crate::strategies::OffloadPolicy;
+use crate::{DifficultCaseDiscriminator, Policy};
 use crossbeam::channel;
-use datagen::{Dataset, Scene};
-use detcore::{count_detected, ApProtocol, CountingConfig, DatasetCounter, MapEvaluator};
-use imaging::{encoded_size_bytes, render};
+use datagen::Dataset;
+use detcore::ApProtocol;
+use detcore::CountingConfig;
 use modelzoo::Detector;
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use simnet::{DeviceModel, LatencyBreakdown, LatencyStats, LinkModel};
-use std::sync::Arc;
+use simnet::{DeviceModel, LatencyStats, LinkModel};
 use std::thread;
 
 /// Routing mode for the runtime.
@@ -100,33 +100,14 @@ pub struct RuntimeReport {
     pub deadline_misses: usize,
 }
 
-/// The message the edge sends for a difficult case.
-#[derive(Debug, Serialize, Deserialize)]
-struct UploadRequest {
-    scene: Scene,
-    /// Size of the encoded camera frame being uploaded (drives the link).
-    frame_bytes: usize,
-    /// Virtual send timestamp at the edge.
-    sent_at: f64,
-}
-
-/// The cloud's reply.
-#[derive(Debug, Serialize, Deserialize)]
-struct UploadResponse {
-    dets: detcore::ImageDetections,
-    /// Virtual timestamp at which the reply left the server.
-    sent_at: f64,
-    /// Server-side inference time (for the latency breakdown).
-    infer_s: f64,
-    /// Uplink transfer time the request experienced.
-    uplink_s: f64,
-}
-
 /// Runs the live system over a dataset and reports Table XI-style metrics.
 ///
 /// The cloud runs on its own thread with its own virtual busy-clock; requests
 /// queue if they arrive while the server is busy. The edge processes frames
-/// sequentially, as the paper's measurement does.
+/// sequentially, as the paper's measurement does. Internally this is one
+/// [`crate::EdgeSession`] against a single-session [`crate::CloudServer`]
+/// worker; use those types directly for incremental submission or multiple
+/// concurrent edges.
 ///
 /// # Examples
 ///
@@ -157,142 +138,65 @@ pub fn run_system(
     assert!(!test.is_empty(), "cannot run over an empty dataset");
     let num_classes = test.taxonomy().len();
 
-    let (req_tx, req_rx) = channel::unbounded::<bytes::Bytes>();
-    let (resp_tx, resp_rx) = channel::unbounded::<bytes::Bytes>();
+    let cloud_cfg = CloudConfig {
+        device: config.cloud.clone(),
+        seed: config.seed,
+        max_batch: 1,
+    };
+    let session_cfg = SessionConfig {
+        edge: config.edge.clone(),
+        link: config.link.clone(),
+        frame_size: config.frame_size,
+        discriminator_s: config.discriminator_s,
+        seed: config.seed,
+        ap_protocol: config.ap_protocol,
+        counting: config.counting,
+        deadline_s: config.deadline_s,
+        pipeline: match mode {
+            RuntimeMode::SmallBig => EdgePipeline::Full,
+            RuntimeMode::EdgeOnly => EdgePipeline::ModelOnly,
+            RuntimeMode::CloudOnly => EdgePipeline::Bypass,
+        },
+        num_classes,
+    };
+    let policy: Box<dyn OffloadPolicy + '_> = match mode {
+        RuntimeMode::SmallBig => Box::new(discriminator.clone()),
+        RuntimeMode::EdgeOnly => Box::new(Policy::EdgeOnly),
+        RuntimeMode::CloudOnly => Box::new(Policy::CloudOnly),
+    };
 
-    // Shared so the test below can assert the server actually saw traffic.
-    let served = Arc::new(Mutex::new(0usize));
-    let served_cloud = Arc::clone(&served);
+    let (tx, rx) = channel::unbounded();
+    let (report, stats) = thread::scope(|scope| {
+        // ---- Cloud worker thread (same loop CloudServer::spawn runs) ----
+        let cloud = scope.spawn(|| cloud_loop(&rx, big, &cloud_cfg));
 
-    let cloud_cfg = (config.cloud.clone(), config.link.clone(), config.seed);
-    let report = thread::scope(|scope| {
-        // ---- Cloud server thread ----
-        scope.spawn(move || {
-            let (device, link, seed) = cloud_cfg;
-            let mut rng = StdRng::seed_from_u64(seed ^ 0xc10d);
-            let mut server_free_at = 0.0f64;
-            while let Ok(frame) = req_rx.recv() {
-                let req: UploadRequest =
-                    decode_frame(&frame).expect("edge sends well-formed frames");
-                let uplink_s = link.transfer_time(req.frame_bytes, &mut rng);
-                let arrival = req.sent_at + uplink_s;
-                let start = server_free_at.max(arrival);
-                let infer_s = device.inference_time(big.flops());
-                server_free_at = start + infer_s;
-                let dets = big.detect(&req.scene);
-                *served_cloud.lock() += 1;
-                let resp = UploadResponse {
-                    dets,
-                    sent_at: server_free_at,
-                    infer_s,
-                    uplink_s,
-                };
-                if resp_tx.send(encode_frame(&resp)).is_err() {
-                    break; // edge hung up
-                }
-            }
-        });
-
-        // ---- Edge device (this thread) ----
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xed6e);
-        let mut now = 0.0f64;
-        let mut map = MapEvaluator::new(num_classes, config.ap_protocol);
-        let mut counter = DatasetCounter::new();
-        let mut latency = LatencyStats::new();
-        let mut uplink_bytes = 0u64;
-        let mut deadline_misses = 0usize;
-        let mut uploads = 0usize;
-
+        // ---- Edge device (this thread): one blocking session ----
+        let mut session = crate::EdgeSession::attach(0, session_cfg, small, policy, tx.clone());
+        drop(tx);
         for scene in test.iter() {
-            let gts = scene.ground_truths();
-            let mut breakdown = LatencyBreakdown::default();
-
-            let (final_dets, decision) = match mode {
-                RuntimeMode::EdgeOnly => {
-                    breakdown.edge_infer_s = config.edge.inference_time(small.flops());
-                    (small.detect(scene), CaseKind::Easy)
-                }
-                RuntimeMode::CloudOnly => (small.detect(scene), CaseKind::Difficult),
-                RuntimeMode::SmallBig => {
-                    breakdown.edge_infer_s = config.edge.inference_time(small.flops());
-                    breakdown.discriminator_s = config.discriminator_s;
-                    let dets = small.detect(scene);
-                    let kind = discriminator.classify(&dets);
-                    (dets, kind)
-                }
-            };
-
-            now += breakdown.edge_infer_s + breakdown.discriminator_s;
-
-            let final_dets = if decision.is_difficult() {
-                // Upload the encoded frame.
-                let image_entered_at = now - breakdown.edge_infer_s - breakdown.discriminator_s;
-                let frame = render(&scene.render_spec(config.frame_size.0, config.frame_size.1));
-                let frame_bytes = encoded_size_bytes(&frame);
-                uplink_bytes += frame_bytes as u64;
-                uploads += 1;
-                let req = UploadRequest {
-                    scene: scene.clone(),
-                    frame_bytes,
-                    sent_at: now,
-                };
-                req_tx.send(encode_frame(&req)).expect("cloud thread alive");
-                let resp: UploadResponse = decode_frame(
-                    &resp_rx.recv().expect("cloud thread replies"),
-                )
-                .expect("cloud sends well-formed frames");
-                let downlink_s = config
-                    .link
-                    .transfer_time(imaging::result_size_bytes(resp.dets.len()), &mut rng);
-                let answer_at = resp.sent_at + downlink_s;
-                let missed_deadline = config
-                    .deadline_s
-                    .map(|d| answer_at - image_entered_at > d)
-                    .unwrap_or(false);
-                if missed_deadline {
-                    // The edge gives up waiting and serves the local result;
-                    // the upload bandwidth is already spent.
-                    deadline_misses += 1;
-                    let deadline = config.deadline_s.expect("checked above");
-                    let waited = (image_entered_at + deadline - now).max(0.0);
-                    breakdown.uplink_s = waited;
-                    now += waited;
-                    final_dets
-                } else {
-                    breakdown.uplink_s = resp.uplink_s;
-                    breakdown.cloud_infer_s =
-                        resp.infer_s + (resp.sent_at - now - resp.uplink_s - resp.infer_s).max(0.0);
-                    breakdown.downlink_s = downlink_s;
-                    now = answer_at;
-                    resp.dets
-                }
-            } else {
-                final_dets
-            };
-
-            latency.add(breakdown);
-            map.add_image(&final_dets, &gts);
-            counter.add(count_detected(&final_dets, &gts, &config.counting));
+            let ticket = session.submit(scene);
+            // Block on each frame: the paper's edge is strictly sequential.
+            let _ = session.poll(ticket);
         }
-        drop(req_tx); // shut the cloud thread down
-
-        RuntimeReport {
-            map_pct: map.evaluate().map_percent(),
-            detected: counter.total_detected(),
-            total_gt: counter.total_gt(),
-            total_time_s: now,
-            upload_ratio: uploads as f64 / test.len() as f64,
-            latency,
-            uplink_bytes,
-            deadline_misses,
-        }
+        let report = session.drain();
+        drop(session); // deregister; the worker exits once all senders drop
+        (report, cloud.join().expect("cloud worker never panics"))
     });
 
     assert!(
-        *served.lock() == (report.upload_ratio * test.len() as f64).round() as usize,
+        stats.served == report.uploads,
         "server must have processed every uploaded image"
     );
-    report
+    RuntimeReport {
+        map_pct: report.map_pct,
+        detected: report.detected,
+        total_gt: report.total_gt,
+        total_time_s: report.total_time_s,
+        upload_ratio: report.upload_ratio,
+        latency: report.latency,
+        uplink_bytes: report.uplink_bytes,
+        deadline_misses: report.deadline_misses,
+    }
 }
 
 #[cfg(test)]
@@ -311,11 +215,18 @@ mod tests {
     /// Thresholds calibrated on a HELMET-like training set (computed once via
     /// `calibrate`; pinned here to keep the tests fast).
     fn helmet_disc() -> DifficultCaseDiscriminator {
-        DifficultCaseDiscriminator::new(crate::Thresholds { conf: 0.21, count: 4, area: 0.03 })
+        DifficultCaseDiscriminator::new(crate::Thresholds {
+            conf: 0.21,
+            count: 4,
+            area: 0.03,
+        })
     }
 
     fn small_cfg() -> RuntimeConfig {
-        RuntimeConfig { frame_size: (96, 96), ..Default::default() }
+        RuntimeConfig {
+            frame_size: (96, 96),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -368,7 +279,14 @@ mod tests {
     fn smallbig_matches_batch_upload_ratio() {
         let (test, small, big) = fixture();
         let disc = helmet_disc();
-        let r = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &small_cfg());
+        let r = run_system(
+            &test,
+            &small,
+            &big,
+            &disc,
+            RuntimeMode::SmallBig,
+            &small_cfg(),
+        );
         let batch = crate::evaluate(
             &test,
             &small,
@@ -398,7 +316,10 @@ mod tests {
             &big,
             &disc,
             RuntimeMode::SmallBig,
-            &RuntimeConfig { frame_size: (96, 96), ..Default::default() },
+            &RuntimeConfig {
+                frame_size: (96, 96),
+                ..Default::default()
+            },
         );
         // Same routing decisions => same bandwidth, but misses under strict.
         assert_eq!(strict.upload_ratio, relaxed.upload_ratio);
@@ -418,14 +339,24 @@ mod tests {
     fn generous_deadline_changes_nothing() {
         let (test, small, big) = fixture();
         let disc = helmet_disc();
-        let base = RuntimeConfig { frame_size: (96, 96), ..Default::default() };
+        let base = RuntimeConfig {
+            frame_size: (96, 96),
+            ..Default::default()
+        };
         let with_deadline = RuntimeConfig {
             frame_size: (96, 96),
             deadline_s: Some(60.0),
             ..Default::default()
         };
         let a = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &base);
-        let b = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &with_deadline);
+        let b = run_system(
+            &test,
+            &small,
+            &big,
+            &disc,
+            RuntimeMode::SmallBig,
+            &with_deadline,
+        );
         assert_eq!(a.detected, b.detected);
         assert_eq!(b.deadline_misses, 0);
         assert!((a.total_time_s - b.total_time_s).abs() < 1e-9);
@@ -435,11 +366,21 @@ mod tests {
     fn uplink_bytes_scale_with_uploads() {
         let (test, small, big) = fixture();
         let disc = helmet_disc();
-        let r = run_system(&test, &small, &big, &disc, RuntimeMode::SmallBig, &small_cfg());
+        let r = run_system(
+            &test,
+            &small,
+            &big,
+            &disc,
+            RuntimeMode::SmallBig,
+            &small_cfg(),
+        );
         if r.latency.cloud_images > 0 {
             assert!(r.uplink_bytes > 0);
             let per_image = r.uplink_bytes as f64 / r.latency.cloud_images as f64;
-            assert!(per_image > 500.0, "encoded frames are non-trivial: {per_image}");
+            assert!(
+                per_image > 500.0,
+                "encoded frames are non-trivial: {per_image}"
+            );
         }
     }
 }

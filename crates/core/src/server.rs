@@ -1,0 +1,921 @@
+//! The streaming multi-edge session layer.
+//!
+//! The paper's deployment is one Jetson edge and one cloud server driven
+//! over a whole dataset at once. Production traffic does not look like
+//! that: frames arrive incrementally from many edge devices, and one cloud
+//! serves them all. This module is the API for that shape:
+//!
+//! * [`CloudServer::spawn`] starts a cloud worker thread (big model + device
+//!   model + a FIFO scheduler that batches inference across sessions).
+//! * [`CloudServer::connect`] opens an [`EdgeSession`]: an edge device with
+//!   its own virtual clock, link model, RNG stream and offload policy.
+//! * [`EdgeSession::submit`] pushes one frame through the edge pipeline and
+//!   returns a [`FrameTicket`]; difficult cases are serialized as real
+//!   length-prefixed wire frames and queued to the cloud.
+//! * [`EdgeSession::poll`] blocks until a ticket's frame is resolved;
+//!   [`EdgeSession::drain`] resolves everything outstanding and snapshots a
+//!   [`SessionReport`].
+//!
+//! All time is *virtual*: latencies come from the device/link models, so a
+//! run finishes at compute speed and — as long as sessions are driven from
+//! one thread — is fully deterministic under a fixed seed. The legacy batch
+//! entry point [`crate::run_system`] is a thin wrapper over one
+//! single-session server and reproduces its historical reports exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use datagen::{Dataset, DatasetProfile, SplitId};
+//! use modelzoo::{Detector, ModelKind, SimDetector};
+//! use smallbig_core::{CloudConfig, CloudServer, DifficultCaseDiscriminator, SessionConfig};
+//!
+//! let data = Dataset::generate("demo", &DatasetProfile::helmet(), 12, 3);
+//! let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+//! let big: Arc<dyn Detector + Send + Sync> =
+//!     Arc::new(SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2));
+//!
+//! let mut cloud = CloudServer::spawn(CloudConfig::default(), big);
+//! let mut session = cloud.connect(
+//!     SessionConfig { frame_size: (96, 96), ..SessionConfig::new(2) },
+//!     &small,
+//!     Box::new(DifficultCaseDiscriminator::default()),
+//! );
+//! for scene in data.iter() {
+//!     let ticket = session.submit(scene);
+//!     let result = session.poll(ticket).expect("frame resolves");
+//!     assert!(result.completed_at >= 0.0);
+//! }
+//! let report = session.drain();
+//! assert_eq!(report.frames, 12);
+//! drop(session);
+//! let stats = cloud.shutdown();
+//! assert_eq!(stats.served, report.uploads);
+//! ```
+
+use crate::strategies::{Decision, OffloadPolicy, PolicyInput};
+use crate::wire::{decode_frame, encode_frame};
+use crossbeam::channel::{self, Receiver, Sender};
+use datagen::Scene;
+use detcore::{
+    count_detected, ApProtocol, CountingConfig, DatasetCounter, GroundTruth, ImageDetections,
+    MapEvaluator,
+};
+use imaging::{encoded_size_bytes, render, result_size_bytes};
+use modelzoo::Detector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use simnet::{DeviceModel, LatencyBreakdown, LatencyStats, LinkModel};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How much edge compute runs (and is charged) before the offload decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EdgePipeline {
+    /// Small model plus discriminator cost — the paper's deployment.
+    Full,
+    /// Small model cost only (edge-only baselines have no discriminator).
+    ModelOnly,
+    /// No edge compute charged; the small model still runs *untimed* so a
+    /// local fallback result exists (cloud-only baselines).
+    Bypass,
+}
+
+/// Configuration of the cloud side of a deployment.
+#[derive(Debug, Clone)]
+pub struct CloudConfig {
+    /// Cloud device model (default: RTX3060 server).
+    pub device: DeviceModel,
+    /// Seed for the cloud's uplink-jitter RNG stream.
+    pub seed: u64,
+    /// Maximum frames fused into one big-model batch. `1` reproduces the
+    /// paper's one-at-a-time serving; larger values let the FIFO scheduler
+    /// batch requests that queue up across sessions.
+    pub max_batch: usize,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            device: DeviceModel::gpu_server(),
+            seed: 0x5417,
+            max_batch: 1,
+        }
+    }
+}
+
+/// Configuration of one edge session.
+///
+/// Defaults mirror the paper's testbed (Jetson Nano over the shared WLAN,
+/// 300×300 frames); construct with [`SessionConfig::new`] to set the class
+/// count of the workload's taxonomy.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Edge device model (default: Jetson Nano).
+    pub edge: DeviceModel,
+    /// This session's uplink/downlink model (default: the paper's WLAN).
+    pub link: LinkModel,
+    /// Resolution at which frames are rendered/encoded for upload sizing.
+    pub frame_size: (usize, usize),
+    /// Fixed discriminator execution time (threshold checks are trivial).
+    pub discriminator_s: f64,
+    /// Seed for this session's downlink-jitter RNG stream.
+    pub seed: u64,
+    /// AP protocol for the session report.
+    pub ap_protocol: ApProtocol,
+    /// Counting thresholds for the detected-objects metric.
+    pub counting: CountingConfig,
+    /// Optional per-image latency deadline (see [`crate::RuntimeConfig`]).
+    pub deadline_s: Option<f64>,
+    /// How much edge compute runs before the decision.
+    pub pipeline: EdgePipeline,
+    /// Number of classes in the workload's taxonomy.
+    pub num_classes: usize,
+}
+
+impl SessionConfig {
+    /// Paper-testbed defaults for a `num_classes`-way workload.
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        SessionConfig {
+            edge: DeviceModel::jetson_nano(),
+            link: LinkModel::wlan(),
+            frame_size: (300, 300),
+            discriminator_s: 0.0004,
+            seed: 0x5417,
+            ap_protocol: ApProtocol::Voc07ElevenPoint,
+            counting: CountingConfig::default(),
+            deadline_s: None,
+            pipeline: EdgePipeline::Full,
+            num_classes,
+        }
+    }
+}
+
+/// Handle to one submitted frame, returned by [`EdgeSession::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameTicket(u64);
+
+/// The resolved outcome of one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameResult {
+    /// The frame's ticket.
+    pub ticket: FrameTicket,
+    /// Whether the frame was uploaded.
+    pub decision: Decision,
+    /// The detections served to the application (local or cloud).
+    pub dets: ImageDetections,
+    /// Where the frame's latency went.
+    pub breakdown: LatencyBreakdown,
+    /// Virtual time at which the result became available on the edge.
+    pub completed_at: f64,
+    /// Whether the cloud answer missed the deadline (local fallback served).
+    pub missed_deadline: bool,
+}
+
+/// Everything one session measured (the per-edge analogue of
+/// [`crate::RuntimeReport`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct SessionReport {
+    /// Session id assigned by the cloud server.
+    pub session: u64,
+    /// Frames submitted.
+    pub frames: usize,
+    /// Frames uploaded to the cloud.
+    pub uploads: usize,
+    /// End-to-end mAP (%) of the results served on the edge.
+    pub map_pct: f64,
+    /// Objects detected across the session.
+    pub detected: usize,
+    /// Ground-truth objects seen.
+    pub total_gt: usize,
+    /// The session's virtual clock after its last resolved frame.
+    pub total_time_s: f64,
+    /// Fraction of frames uploaded.
+    pub upload_ratio: f64,
+    /// Per-component latency totals.
+    pub latency: LatencyStats,
+    /// Total bytes shipped edge→cloud.
+    pub uplink_bytes: u64,
+    /// Uploads whose cloud answer missed the deadline.
+    pub deadline_misses: usize,
+}
+
+/// What the cloud worker measured over its lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudStats {
+    /// Frames served by the big model.
+    pub served: usize,
+    /// Big-model batches executed.
+    pub batches: usize,
+    /// Total virtual time the server spent busy.
+    pub busy_s: f64,
+    /// Sessions that registered over the server's lifetime.
+    pub sessions: usize,
+}
+
+/// The wire message for one uploaded frame (edge → cloud).
+#[derive(Debug, Serialize, Deserialize)]
+struct SubmitRequest {
+    session: u64,
+    ticket: u64,
+    scene: Scene,
+    /// Size of the encoded camera frame being uploaded (drives the link).
+    frame_bytes: usize,
+    /// Virtual send timestamp at the edge.
+    sent_at: f64,
+}
+
+/// The wire message for one answer (cloud → edge).
+#[derive(Debug, Serialize, Deserialize)]
+struct SubmitResponse {
+    ticket: u64,
+    dets: ImageDetections,
+    /// Virtual timestamp at which the reply left the server.
+    sent_at: f64,
+    /// Server-side inference time attributed to this frame.
+    infer_s: f64,
+    /// Uplink transfer time the request experienced.
+    uplink_s: f64,
+}
+
+/// Control-plane messages into the cloud worker. Frame payloads stay
+/// wire-encoded ([`SubmitRequest`] bytes) so upload sizes are real.
+pub(crate) enum ToCloud {
+    Register {
+        session: u64,
+        link: LinkModel,
+        resp_tx: Sender<bytes::Bytes>,
+    },
+    Frame(bytes::Bytes),
+    Flush,
+    Deregister {
+        session: u64,
+    },
+    Shutdown,
+}
+
+/// A frame waiting cloud-side for its batch.
+struct QueuedFrame {
+    req: SubmitRequest,
+    uplink_s: f64,
+    arrival: f64,
+}
+
+/// The cloud worker: FIFO over the control channel, batching big-model
+/// inference across sessions.
+///
+/// Determinism: everything the worker does is a pure function of the
+/// message order on `rx` (uplink jitter is drawn per frame in arrival
+/// order). Drive all sessions from one thread and the whole run is
+/// reproducible; the wall-clock speed of this thread never matters.
+pub(crate) fn cloud_loop(
+    rx: &Receiver<ToCloud>,
+    big: &(dyn Detector + Sync),
+    config: &CloudConfig,
+) -> CloudStats {
+    assert!(config.max_batch >= 1, "max_batch must be at least 1");
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xc10d);
+    let mut server_free_at = 0.0f64;
+    let mut sessions: HashMap<u64, (LinkModel, Sender<bytes::Bytes>)> = HashMap::new();
+    let mut queue: Vec<QueuedFrame> = Vec::new();
+    let mut stats = CloudStats {
+        served: 0,
+        batches: 0,
+        busy_s: 0.0,
+        sessions: 0,
+    };
+
+    let process_batch = |queue: &mut Vec<QueuedFrame>,
+                         sessions: &HashMap<u64, (LinkModel, Sender<bytes::Bytes>)>,
+                         server_free_at: &mut f64,
+                         stats: &mut CloudStats| {
+        if queue.is_empty() {
+            return;
+        }
+        let n = queue.len();
+        let latest_arrival = queue.iter().map(|q| q.arrival).fold(f64::MIN, f64::max);
+        let start = server_free_at.max(latest_arrival);
+        let batch_s = config.device.batch_inference_time(big.flops(), n);
+        *server_free_at = start + batch_s;
+        stats.batches += 1;
+        stats.busy_s += batch_s;
+        let per_frame_infer = batch_s / n as f64;
+        for q in queue.drain(..) {
+            let dets = big.detect(&q.req.scene);
+            stats.served += 1;
+            let resp = SubmitResponse {
+                ticket: q.req.ticket,
+                dets,
+                sent_at: *server_free_at,
+                infer_s: per_frame_infer,
+                uplink_s: q.uplink_s,
+            };
+            if let Some((_, resp_tx)) = sessions.get(&q.req.session) {
+                // A session that hung up just loses its reply.
+                let _ = resp_tx.send(encode_frame(&resp));
+            }
+        }
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToCloud::Register {
+                session,
+                link,
+                resp_tx,
+            } => {
+                stats.sessions += 1;
+                sessions.insert(session, (link, resp_tx));
+            }
+            ToCloud::Frame(frame) => {
+                let req: SubmitRequest =
+                    decode_frame(&frame).expect("edge sends well-formed frames");
+                let link = &sessions
+                    .get(&req.session)
+                    .expect("frames only arrive from registered sessions")
+                    .0;
+                let uplink_s = link.transfer_time(req.frame_bytes, &mut rng);
+                let arrival = req.sent_at + uplink_s;
+                queue.push(QueuedFrame {
+                    req,
+                    uplink_s,
+                    arrival,
+                });
+                if queue.len() >= config.max_batch {
+                    process_batch(&mut queue, &sessions, &mut server_free_at, &mut stats);
+                }
+            }
+            ToCloud::Flush => {
+                process_batch(&mut queue, &sessions, &mut server_free_at, &mut stats);
+            }
+            ToCloud::Deregister { session } => {
+                // Resolve anything queued (possibly other sessions' frames —
+                // cheaper than per-session bookkeeping, and deterministic).
+                process_batch(&mut queue, &sessions, &mut server_free_at, &mut stats);
+                sessions.remove(&session);
+            }
+            ToCloud::Shutdown => break,
+        }
+    }
+    process_batch(&mut queue, &sessions, &mut server_free_at, &mut stats);
+    stats
+}
+
+/// Handle to a running cloud worker accepting any number of edge sessions.
+pub struct CloudServer {
+    tx: Sender<ToCloud>,
+    handle: JoinHandle<CloudStats>,
+    next_session: u64,
+}
+
+impl CloudServer {
+    /// Spawns the cloud worker thread.
+    pub fn spawn(config: CloudConfig, big: Arc<dyn Detector + Send + Sync>) -> CloudServer {
+        let (tx, rx) = channel::unbounded();
+        let handle = std::thread::spawn(move || cloud_loop(&rx, &*big, &config));
+        CloudServer {
+            tx,
+            handle,
+            next_session: 0,
+        }
+    }
+
+    /// Opens a new edge session against this cloud.
+    ///
+    /// `small` is the session's edge model and `policy` its offload
+    /// strategy; both may borrow (sessions just have to be dropped before
+    /// [`CloudServer::shutdown`]).
+    ///
+    /// Note: [`Policy`](crate::Policy)'s quantile baselines are batch-only
+    /// and panic if boxed directly as a streaming policy — pass
+    /// [`Policy::into_stream()`](crate::Policy::into_stream) instead, which
+    /// converts them to their online-quantile form.
+    pub fn connect<'a>(
+        &mut self,
+        config: SessionConfig,
+        small: &'a (dyn Detector + Sync),
+        policy: Box<dyn OffloadPolicy + 'a>,
+    ) -> EdgeSession<'a> {
+        let id = self.next_session;
+        self.next_session += 1;
+        EdgeSession::attach(id, config, small, policy, self.tx.clone())
+    }
+
+    /// Stops the worker after resolving every queued frame and returns its
+    /// stats. Outstanding sessions lose their link; poll/drain them first.
+    pub fn shutdown(self) -> CloudStats {
+        let _ = self.tx.send(ToCloud::Shutdown);
+        self.handle.join().expect("cloud worker never panics")
+    }
+}
+
+/// A frame uploaded and awaiting its cloud answer.
+struct PendingUpload {
+    entered_at: f64,
+    sent_at: f64,
+    breakdown: LatencyBreakdown,
+    local_dets: ImageDetections,
+    gts: Vec<GroundTruth>,
+}
+
+/// One edge device streaming frames against a [`CloudServer`].
+///
+/// The session owns a virtual clock, an RNG stream for downlink jitter, and
+/// running quality/latency accounting. Frames resolve either locally at
+/// [`submit`](Self::submit) time or when [`poll`](Self::poll) /
+/// [`drain`](Self::drain) absorbs the cloud's answer.
+pub struct EdgeSession<'a> {
+    id: u64,
+    cfg: SessionConfig,
+    small: &'a (dyn Detector + Sync),
+    policy: Box<dyn OffloadPolicy + 'a>,
+    tx: Sender<ToCloud>,
+    rx: Receiver<bytes::Bytes>,
+    rng: StdRng,
+    now: f64,
+    map: MapEvaluator,
+    counter: DatasetCounter,
+    latency: LatencyStats,
+    uplink_bytes: u64,
+    deadline_misses: usize,
+    uploads: usize,
+    frames: usize,
+    next_ticket: u64,
+    pending: HashMap<u64, PendingUpload>,
+    done: HashMap<u64, FrameResult>,
+}
+
+impl<'a> EdgeSession<'a> {
+    pub(crate) fn attach(
+        id: u64,
+        cfg: SessionConfig,
+        small: &'a (dyn Detector + Sync),
+        policy: Box<dyn OffloadPolicy + 'a>,
+        tx: Sender<ToCloud>,
+    ) -> EdgeSession<'a> {
+        let (resp_tx, resp_rx) = channel::unbounded();
+        tx.send(ToCloud::Register {
+            session: id,
+            link: cfg.link.clone(),
+            resp_tx,
+        })
+        .expect("cloud server alive");
+        let rng = StdRng::seed_from_u64(cfg.seed ^ 0xed6e);
+        let map = MapEvaluator::new(cfg.num_classes, cfg.ap_protocol);
+        EdgeSession {
+            id,
+            cfg,
+            small,
+            policy,
+            tx,
+            rx: resp_rx,
+            rng,
+            now: 0.0,
+            map,
+            counter: DatasetCounter::new(),
+            latency: LatencyStats::new(),
+            uplink_bytes: 0,
+            deadline_misses: 0,
+            uploads: 0,
+            frames: 0,
+            next_ticket: 0,
+            pending: HashMap::new(),
+            done: HashMap::new(),
+        }
+    }
+
+    /// The session id assigned by the cloud server.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The session's virtual clock.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Frames submitted but not yet resolved.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The offload policy's name (for reports).
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// Pushes one frame through the edge pipeline.
+    ///
+    /// Easy cases resolve immediately; difficult cases are rendered,
+    /// serialized and queued to the cloud, and resolve on a later
+    /// [`poll`](Self::poll) or [`drain`](Self::drain).
+    pub fn submit(&mut self, scene: &Scene) -> FrameTicket {
+        let ticket = FrameTicket(self.next_ticket);
+        self.next_ticket += 1;
+        self.frames += 1;
+
+        let gts = scene.ground_truths();
+        let mut breakdown = LatencyBreakdown::default();
+        let dets = self.small.detect(scene);
+        match self.cfg.pipeline {
+            EdgePipeline::Full => {
+                breakdown.edge_infer_s = self.cfg.edge.inference_time(self.small.flops());
+                breakdown.discriminator_s = self.cfg.discriminator_s;
+            }
+            EdgePipeline::ModelOnly => {
+                breakdown.edge_infer_s = self.cfg.edge.inference_time(self.small.flops());
+            }
+            EdgePipeline::Bypass => {}
+        }
+        let decision = self.policy.decide(&PolicyInput {
+            scene,
+            small_dets: &dets,
+            label: None,
+            num_classes: self.cfg.num_classes,
+        });
+
+        self.now += breakdown.edge_infer_s + breakdown.discriminator_s;
+
+        if decision.is_upload() {
+            let entered_at = self.now - breakdown.edge_infer_s - breakdown.discriminator_s;
+            let frame = render(&scene.render_spec(self.cfg.frame_size.0, self.cfg.frame_size.1));
+            let frame_bytes = encoded_size_bytes(&frame);
+            self.uplink_bytes += frame_bytes as u64;
+            self.uploads += 1;
+            let req = SubmitRequest {
+                session: self.id,
+                ticket: ticket.0,
+                scene: scene.clone(),
+                frame_bytes,
+                sent_at: self.now,
+            };
+            self.tx
+                .send(ToCloud::Frame(encode_frame(&req)))
+                .expect("cloud server alive");
+            self.pending.insert(
+                ticket.0,
+                PendingUpload {
+                    entered_at,
+                    sent_at: self.now,
+                    breakdown,
+                    local_dets: dets,
+                    gts,
+                },
+            );
+        } else {
+            self.resolve(ticket.0, decision, breakdown, dets, &gts, self.now, false);
+        }
+        ticket
+    }
+
+    /// Blocks until the given frame is resolved and returns its result.
+    ///
+    /// Returns `None` for tickets this session never issued or whose result
+    /// was already taken. Polling a pending ticket flushes the cloud
+    /// scheduler so queued partial batches make progress. Answers the cloud
+    /// delivered before shutting down are still absorbed after
+    /// [`CloudServer::shutdown`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame can no longer be resolved because the cloud
+    /// server shut down before answering it.
+    pub fn poll(&mut self, ticket: FrameTicket) -> Option<FrameResult> {
+        if let Some(done) = self.done.remove(&ticket.0) {
+            return Some(done);
+        }
+        if !self.pending.contains_key(&ticket.0) {
+            return None;
+        }
+        // A dead worker has already flushed everything it will ever answer
+        // into our response channel, so a failed Flush is not yet fatal —
+        // keep absorbing buffered answers.
+        let _ = self.tx.send(ToCloud::Flush);
+        while self.pending.contains_key(&ticket.0) {
+            match self.rx.recv() {
+                Ok(bytes) => self.absorb_response(&bytes),
+                Err(_) => panic!(
+                    "cloud server shut down with {} of this session's frames unresolved",
+                    self.pending.len()
+                ),
+            }
+        }
+        self.done.remove(&ticket.0)
+    }
+
+    /// Resolves every outstanding frame and snapshots the session report.
+    ///
+    /// The session stays usable afterwards — `drain` is "flush plus
+    /// report", not a close. Per-frame results not yet taken with
+    /// [`poll`](Self::poll) are discarded here (their metrics are already
+    /// folded into the report), so a long-lived session that only ever
+    /// submits and periodically drains holds bounded memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outstanding frames can no longer be resolved because the
+    /// cloud server shut down before answering them.
+    pub fn drain(&mut self) -> SessionReport {
+        if !self.pending.is_empty() {
+            // As in `poll`: a dead worker already flushed its answers.
+            let _ = self.tx.send(ToCloud::Flush);
+            while !self.pending.is_empty() {
+                match self.rx.recv() {
+                    Ok(bytes) => self.absorb_response(&bytes),
+                    Err(_) => panic!(
+                        "cloud server shut down with {} of this session's frames unresolved",
+                        self.pending.len()
+                    ),
+                }
+            }
+        }
+        self.done.clear();
+        SessionReport {
+            session: self.id,
+            frames: self.frames,
+            uploads: self.uploads,
+            map_pct: self.map.evaluate().map_percent(),
+            detected: self.counter.total_detected(),
+            total_gt: self.counter.total_gt(),
+            total_time_s: self.now,
+            upload_ratio: if self.frames == 0 {
+                0.0
+            } else {
+                self.uploads as f64 / self.frames as f64
+            },
+            latency: self.latency.clone(),
+            uplink_bytes: self.uplink_bytes,
+            deadline_misses: self.deadline_misses,
+        }
+    }
+
+    /// Applies one cloud answer: downlink timing, deadline check, metrics.
+    fn absorb_response(&mut self, bytes: &bytes::Bytes) {
+        let resp: SubmitResponse = decode_frame(bytes).expect("cloud sends well-formed frames");
+        let p = self
+            .pending
+            .remove(&resp.ticket)
+            .expect("cloud answers match pending frames");
+        let mut breakdown = p.breakdown;
+        let downlink_s = self
+            .cfg
+            .link
+            .transfer_time(result_size_bytes(resp.dets.len()), &mut self.rng);
+        let answer_at = resp.sent_at + downlink_s;
+        let missed = self
+            .cfg
+            .deadline_s
+            .map(|d| answer_at - p.entered_at > d)
+            .unwrap_or(false);
+        let (final_dets, completed_at) = if missed {
+            // The edge gives up waiting and serves the local result; the
+            // upload bandwidth is already spent.
+            self.deadline_misses += 1;
+            let deadline = self.cfg.deadline_s.expect("checked above");
+            let waited = (p.entered_at + deadline - p.sent_at).max(0.0);
+            breakdown.uplink_s = waited;
+            (p.local_dets, p.sent_at + waited)
+        } else {
+            breakdown.uplink_s = resp.uplink_s;
+            breakdown.cloud_infer_s =
+                resp.infer_s + (resp.sent_at - p.sent_at - resp.uplink_s - resp.infer_s).max(0.0);
+            breakdown.downlink_s = downlink_s;
+            (resp.dets, answer_at)
+        };
+        self.now = self.now.max(completed_at);
+        self.resolve(
+            resp.ticket,
+            Decision::Upload,
+            breakdown,
+            final_dets,
+            &p.gts,
+            completed_at,
+            missed,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn resolve(
+        &mut self,
+        ticket: u64,
+        decision: Decision,
+        breakdown: LatencyBreakdown,
+        dets: ImageDetections,
+        gts: &[GroundTruth],
+        completed_at: f64,
+        missed_deadline: bool,
+    ) {
+        self.latency.add(breakdown);
+        self.map.add_image(&dets, gts);
+        self.counter
+            .add(count_detected(&dets, gts, &self.cfg.counting));
+        self.done.insert(
+            ticket,
+            FrameResult {
+                ticket: FrameTicket(ticket),
+                decision,
+                dets,
+                breakdown,
+                completed_at,
+                missed_deadline,
+            },
+        );
+    }
+}
+
+impl Drop for EdgeSession<'_> {
+    fn drop(&mut self) {
+        // Best-effort: the cloud may already be gone.
+        let _ = self.tx.send(ToCloud::Deregister { session: self.id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DifficultCaseDiscriminator, Policy, Thresholds};
+    use datagen::{Dataset, DatasetProfile, SplitId};
+    use modelzoo::{ModelKind, SimDetector};
+
+    fn fixture() -> (Dataset, SimDetector, Arc<dyn Detector + Send + Sync>) {
+        let data = Dataset::generate("t", &DatasetProfile::helmet(), 30, 9);
+        let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+        let big: Arc<dyn Detector + Send + Sync> =
+            Arc::new(SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2));
+        (data, small, big)
+    }
+
+    fn disc() -> DifficultCaseDiscriminator {
+        DifficultCaseDiscriminator::new(Thresholds {
+            conf: 0.21,
+            count: 4,
+            area: 0.03,
+        })
+    }
+
+    fn small_session() -> SessionConfig {
+        SessionConfig {
+            frame_size: (96, 96),
+            ..SessionConfig::new(2)
+        }
+    }
+
+    #[test]
+    fn single_session_round_trips_every_frame() {
+        let (data, small, big) = fixture();
+        let mut cloud = CloudServer::spawn(CloudConfig::default(), big);
+        let mut session = cloud.connect(small_session(), &small, Box::new(disc()));
+        let mut tickets = Vec::new();
+        for scene in data.iter() {
+            tickets.push(session.submit(scene));
+        }
+        for t in tickets {
+            let r = session.poll(t).expect("every ticket resolves");
+            assert!(r.completed_at > 0.0);
+            assert!(session.poll(t).is_none(), "results are taken once");
+        }
+        let report = session.drain();
+        assert_eq!(report.frames, 30);
+        assert!(report.total_time_s > 0.0);
+        drop(session);
+        let stats = cloud.shutdown();
+        assert_eq!(stats.served, report.uploads);
+    }
+
+    #[test]
+    fn multi_session_is_deterministic() {
+        let run = || {
+            let (data, small, big) = fixture();
+            let mut cloud = CloudServer::spawn(CloudConfig::default(), big);
+            let links = [
+                LinkModel::wlan(),
+                LinkModel::fast_wifi(),
+                LinkModel::cellular(),
+            ];
+            let mut sessions: Vec<EdgeSession<'_>> = links
+                .iter()
+                .enumerate()
+                .map(|(i, link)| {
+                    cloud.connect(
+                        SessionConfig {
+                            link: link.clone(),
+                            seed: 0x5417 + i as u64,
+                            ..small_session()
+                        },
+                        &small,
+                        Box::new(disc()),
+                    )
+                })
+                .collect();
+            for scene in data.iter() {
+                for s in sessions.iter_mut() {
+                    let t = s.submit(scene);
+                    let _ = s.poll(t);
+                }
+            }
+            let reports: Vec<SessionReport> = sessions.iter_mut().map(|s| s.drain()).collect();
+            drop(sessions);
+            (reports, cloud.shutdown())
+        };
+        let (a, sa) = run();
+        let (b, sb) = run();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert_eq!(sa.sessions, 3);
+    }
+
+    #[test]
+    fn batching_preserves_decisions_and_bounds_time() {
+        let (data, small, big) = fixture();
+        let run = |max_batch: usize| {
+            let mut cloud = CloudServer::spawn(
+                CloudConfig {
+                    max_batch,
+                    ..CloudConfig::default()
+                },
+                Arc::clone(&big),
+            );
+            let mut a = cloud.connect(small_session(), &small, Box::new(disc()));
+            let mut b = cloud.connect(small_session(), &small, Box::new(Policy::CloudOnly));
+            for scene in data.iter() {
+                a.submit(scene);
+                b.submit(scene);
+            }
+            let (ra, rb) = (a.drain(), b.drain());
+            drop((a, b));
+            (ra, rb, cloud.shutdown())
+        };
+        let (a1, b1, s1) = run(1);
+        let (a4, b4, s4) = run(4);
+        // Routing decisions are batch-independent.
+        assert_eq!(a1.uploads, a4.uploads);
+        assert_eq!(b1.uploads, b4.uploads);
+        assert_eq!(b1.uploads, 30);
+        assert_eq!(s1.served, s4.served);
+        // Batching fuses work into fewer, cheaper server passes.
+        assert!(s4.batches < s1.batches);
+        assert!(s4.busy_s < s1.busy_s);
+        // Quality is unchanged: same models, same routed frames.
+        assert_eq!(a1.detected, a4.detected);
+        assert_eq!(b1.map_pct, b4.map_pct);
+    }
+
+    #[test]
+    fn deadline_falls_back_locally_in_sessions() {
+        let (data, small, big) = fixture();
+        let mut cloud = CloudServer::spawn(CloudConfig::default(), big);
+        let mut session = cloud.connect(
+            SessionConfig {
+                deadline_s: Some(0.15),
+                ..small_session()
+            },
+            &small,
+            Box::new(disc()),
+        );
+        let mut missed = 0usize;
+        for scene in data.iter() {
+            let t = session.submit(scene);
+            let r = session.poll(t).expect("resolves");
+            if r.missed_deadline {
+                missed += 1;
+            }
+        }
+        let report = session.drain();
+        assert_eq!(report.deadline_misses, missed);
+        if report.uploads > 0 {
+            assert!(missed > 0, "WLAN cannot meet 150 ms");
+        }
+    }
+
+    #[test]
+    fn poll_after_shutdown_absorbs_buffered_answers() {
+        let (data, small, big) = fixture();
+        let mut cloud = CloudServer::spawn(CloudConfig::default(), big);
+        let mut session = cloud.connect(small_session(), &small, Box::new(Policy::CloudOnly));
+        let tickets: Vec<FrameTicket> = data.iter().take(5).map(|s| session.submit(s)).collect();
+        // The worker flushes every queued frame into the session's response
+        // channel before exiting; polling afterwards must still resolve.
+        let stats = cloud.shutdown();
+        assert_eq!(stats.served, 5);
+        for t in tickets {
+            let r = session.poll(t).expect("buffered answer resolves");
+            assert_eq!(r.decision, Decision::Upload);
+        }
+        let report = session.drain();
+        assert_eq!(report.uploads, 5);
+    }
+
+    #[test]
+    fn poll_unknown_ticket_is_none() {
+        let (_, small, big) = fixture();
+        let mut cloud = CloudServer::spawn(CloudConfig::default(), big);
+        let mut session = cloud.connect(small_session(), &small, Box::new(disc()));
+        assert!(session.poll(FrameTicket(99)).is_none());
+        drop(session);
+        cloud.shutdown();
+    }
+}

@@ -1,4 +1,17 @@
-//! Offload policies: ours plus every baseline the paper compares against.
+//! Offload policies: the extensible [`OffloadPolicy`] trait, the concrete
+//! [`Policy`] catalogue, and the streaming quantile adapter.
+//!
+//! Two ways to decide:
+//!
+//! * **Streaming** — [`OffloadPolicy::decide`] sees one frame at a time in
+//!   arrival order. This is what [`crate::EdgeSession`] consumes; implement
+//!   the trait to plug a custom strategy into the runtime without touching
+//!   this crate.
+//! * **Batch** — [`Policy::decide_all`] sees the whole test set at once and
+//!   reproduces the paper's protocol (quantile baselines sort the entire
+//!   set and upload the worst fraction).
+//!
+//! The catalogue:
 //!
 //! * [`Policy::DifficultCase`] — the paper's discriminator (Sec. V).
 //! * [`Policy::CloudOnly`] / [`Policy::EdgeOnly`] — the two extremes.
@@ -45,6 +58,124 @@ pub struct PolicyInput<'a> {
     pub label: Option<CaseKind>,
     /// Number of classes in the taxonomy (top-1 baseline normalisation).
     pub num_classes: usize,
+}
+
+/// A per-frame offload strategy, decided in arrival order.
+///
+/// This is the extension point of the framework: the streaming runtime
+/// ([`crate::EdgeSession`]) routes every frame through a
+/// `Box<dyn OffloadPolicy>`, so downstream users can implement the trait for
+/// their own types and plug them in without touching this crate. The
+/// receiver is `&mut self` so stateful strategies (running quantiles,
+/// token buckets, learned controllers) fit the same object-safe interface.
+///
+/// [`Policy`] implements the trait for every variant whose semantics are
+/// well-defined one frame at a time; the batch-protocol quantile baselines
+/// get a faithful streaming counterpart in [`QuantileStream`].
+///
+/// # Examples
+///
+/// ```
+/// use smallbig_core::{Decision, OffloadPolicy, PolicyInput};
+///
+/// /// Upload whenever the small model saw nothing at all.
+/// struct UploadOnEmpty;
+///
+/// impl OffloadPolicy for UploadOnEmpty {
+///     fn decide(&mut self, input: &PolicyInput<'_>) -> Decision {
+///         if input.small_dets.is_empty() {
+///             Decision::Upload
+///         } else {
+///             Decision::Local
+///         }
+///     }
+/// }
+/// ```
+pub trait OffloadPolicy: Send {
+    /// Decides one frame, given everything the edge knows about it.
+    fn decide(&mut self, input: &PolicyInput<'_>) -> Decision;
+
+    /// Human-readable strategy name for reports.
+    fn name(&self) -> String {
+        "custom".to_string()
+    }
+}
+
+impl OffloadPolicy for DifficultCaseDiscriminator {
+    fn decide(&mut self, input: &PolicyInput<'_>) -> Decision {
+        match self.classify(input.small_dets) {
+            CaseKind::Difficult => Decision::Upload,
+            CaseKind::Easy => Decision::Local,
+        }
+    }
+
+    fn name(&self) -> String {
+        let t = self.thresholds();
+        format!(
+            "difficult-case (conf {:.2}, count {}, area {:.2})",
+            t.conf, t.count, t.area
+        )
+    }
+}
+
+/// Streaming [`OffloadPolicy`] for [`Policy`].
+///
+/// Per-image variants (`DifficultCase`, `CloudOnly`, `EdgeOnly`, `Oracle`)
+/// decide exactly as [`Policy::decide_all`] does. `Random` derives its coin
+/// flip from a per-scene hash of `(seed, scene.id)` so the stream is
+/// deterministic and order-independent; it converges on `upload_fraction`
+/// but does not reproduce `decide_all`'s exact batch shuffle.
+///
+/// # Panics
+///
+/// The quantile variants (`BlurQuantile`, `Top1Quantile`,
+/// `DifficultyQuantile`) are defined by the paper as whole-test-set sorts
+/// and have no exact per-frame meaning; calling `decide` on them panics
+/// with a pointer to [`Policy::into_stream`], which converts them into the
+/// online-quantile approximation instead.
+impl OffloadPolicy for Policy {
+    fn decide(&mut self, input: &PolicyInput<'_>) -> Decision {
+        match self {
+            Policy::DifficultCase(disc) => disc.decide(input),
+            Policy::CloudOnly => Decision::Upload,
+            Policy::EdgeOnly => Decision::Local,
+            Policy::Random {
+                upload_fraction,
+                seed,
+            } => {
+                assert!((0.0..=1.0).contains(upload_fraction), "fraction in [0, 1]");
+                if scene_hash_unit(*seed, input.scene.id) < *upload_fraction {
+                    Decision::Upload
+                } else {
+                    Decision::Local
+                }
+            }
+            Policy::Oracle => match input.label.expect("oracle policy requires labelled inputs") {
+                CaseKind::Difficult => Decision::Upload,
+                CaseKind::Easy => Decision::Local,
+            },
+            Policy::BlurQuantile { .. }
+            | Policy::Top1Quantile { .. }
+            | Policy::DifficultyQuantile { .. } => panic!(
+                "{} is a batch-protocol policy with no exact streaming form; \
+                 use Policy::into_stream() for the online-quantile version",
+                Policy::name(self)
+            ),
+        }
+    }
+
+    fn name(&self) -> String {
+        Policy::name(self)
+    }
+}
+
+/// SplitMix64-style hash of `(seed, id)` mapped to `[0, 1)`.
+fn scene_hash_unit(seed: u64, id: u64) -> f64 {
+    let mut z = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// An offload policy.
@@ -102,16 +233,22 @@ impl Policy {
             }
             Policy::CloudOnly => "cloud-only".to_string(),
             Policy::EdgeOnly => "edge-only".to_string(),
-            Policy::Random { upload_fraction, .. } => {
+            Policy::Random {
+                upload_fraction, ..
+            } => {
                 format!("random {:.0}%", upload_fraction * 100.0)
             }
-            Policy::BlurQuantile { upload_fraction, .. } => {
+            Policy::BlurQuantile {
+                upload_fraction, ..
+            } => {
                 format!("blurred {:.0}% (Brenner)", upload_fraction * 100.0)
             }
             Policy::Top1Quantile { upload_fraction } => {
                 format!("top-1 confidence {:.0}%", upload_fraction * 100.0)
             }
-            Policy::DifficultyQuantile { upload_fraction, .. } => {
+            Policy::DifficultyQuantile {
+                upload_fraction, ..
+            } => {
                 format!("difficulty-ranked {:.0}%", upload_fraction * 100.0)
             }
             Policy::Oracle => "oracle".to_string(),
@@ -139,7 +276,10 @@ impl Policy {
                 .collect(),
             Policy::CloudOnly => vec![Decision::Upload; inputs.len()],
             Policy::EdgeOnly => vec![Decision::Local; inputs.len()],
-            Policy::Random { upload_fraction, seed } => {
+            Policy::Random {
+                upload_fraction,
+                seed,
+            } => {
                 assert!((0.0..=1.0).contains(upload_fraction), "fraction in [0, 1]");
                 let mut order: Vec<usize> = (0..inputs.len()).collect();
                 let mut rng = StdRng::seed_from_u64(*seed);
@@ -151,13 +291,15 @@ impl Policy {
                 }
                 out
             }
-            Policy::BlurQuantile { upload_fraction, render_size } => {
+            Policy::BlurQuantile {
+                upload_fraction,
+                render_size,
+            } => {
                 assert!((0.0..=1.0).contains(upload_fraction), "fraction in [0, 1]");
                 let scores: Vec<f64> = inputs
                     .iter()
                     .map(|ctx| {
-                        let frame =
-                            render(&ctx.scene.render_spec(render_size.0, render_size.1));
+                        let frame = render(&ctx.scene.render_spec(render_size.0, render_size.1));
                         brenner_gradient(&frame)
                     })
                     .collect();
@@ -172,14 +314,16 @@ impl Policy {
                     .collect();
                 upload_lowest(&scores, *upload_fraction)
             }
-            Policy::DifficultyQuantile { upload_fraction, t_conf } => {
+            Policy::DifficultyQuantile {
+                upload_fraction,
+                t_conf,
+            } => {
                 assert!((0.0..=1.0).contains(upload_fraction), "fraction in [0, 1]");
                 let scores: Vec<f64> = inputs
                     .iter()
                     .map(|ctx| {
                         let f = crate::SemanticFeatures::extract(ctx.small_dets, *t_conf);
-                        let uncertain =
-                            f.estimated_count.saturating_sub(f.predicted_count) as f64;
+                        let uncertain = f.estimated_count.saturating_sub(f.predicted_count) as f64;
                         let min_area = f.estimated_min_area.unwrap_or(1.0);
                         // Higher = more difficult; negate for upload_lowest.
                         -(uncertain * 1e6 + f.estimated_count as f64 * 1e3 + (1.0 - min_area))
@@ -189,14 +333,147 @@ impl Policy {
             }
             Policy::Oracle => inputs
                 .iter()
-                .map(|ctx| {
-                    match ctx.label.expect("oracle policy requires labelled inputs") {
+                .map(
+                    |ctx| match ctx.label.expect("oracle policy requires labelled inputs") {
                         CaseKind::Difficult => Decision::Upload,
                         CaseKind::Easy => Decision::Local,
-                    }
-                })
+                    },
+                )
                 .collect(),
         }
+    }
+}
+
+impl Policy {
+    /// Converts the policy into a boxed streaming [`OffloadPolicy`].
+    ///
+    /// Per-image variants stream as themselves. The quantile baselines
+    /// become a [`QuantileStream`] that ranks each frame against every
+    /// score seen so far — the online analogue of the paper's
+    /// sort-the-whole-test-set protocol.
+    pub fn into_stream(self) -> Box<dyn OffloadPolicy> {
+        match self {
+            Policy::BlurQuantile {
+                upload_fraction,
+                render_size,
+            } => Box::new(QuantileStream::new(
+                ScoreKind::Blur { render_size },
+                upload_fraction,
+            )),
+            Policy::Top1Quantile { upload_fraction } => {
+                Box::new(QuantileStream::new(ScoreKind::Top1, upload_fraction))
+            }
+            Policy::DifficultyQuantile {
+                upload_fraction,
+                t_conf,
+            } => Box::new(QuantileStream::new(
+                ScoreKind::Difficulty { t_conf },
+                upload_fraction,
+            )),
+            other => Box::new(other),
+        }
+    }
+}
+
+/// How a [`QuantileStream`] scores a frame (lower = more worth uploading).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScoreKind {
+    /// Brenner gradient of the rendered frame (blurry frames score low).
+    Blur {
+        /// Resolution at which frames are rendered for scoring.
+        render_size: (usize, usize),
+    },
+    /// Mean per-class top-1 confidence of the small model's output.
+    Top1,
+    /// Negated discriminator difficulty features (difficult frames score low).
+    Difficulty {
+        /// Noise-filter confidence threshold for feature extraction.
+        t_conf: f64,
+    },
+}
+
+/// Online-quantile adapter turning a batch quantile baseline into a
+/// streaming [`OffloadPolicy`].
+///
+/// Each frame is scored, inserted into the sorted history, and uploaded iff
+/// its rank falls within the lowest `upload_fraction` of all scores seen so
+/// far (rounded — with one score seen, the first frame uploads iff
+/// `upload_fraction >= 0.5`). Early frames decide against little history;
+/// as the stream grows, the decision converges on the batch quantile.
+/// Insertion is `O(n)` per frame, which is fine at simulation scale.
+///
+/// # Examples
+///
+/// ```
+/// use smallbig_core::{OffloadPolicy, Policy};
+///
+/// let mut policy = Policy::Top1Quantile { upload_fraction: 0.5 }.into_stream();
+/// assert!(policy.name().contains("streaming"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantileStream {
+    kind: ScoreKind,
+    upload_fraction: f64,
+    sorted_scores: Vec<f64>,
+}
+
+impl QuantileStream {
+    /// Creates a streaming quantile policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upload_fraction` is outside `[0, 1]`.
+    pub fn new(kind: ScoreKind, upload_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&upload_fraction), "fraction in [0, 1]");
+        QuantileStream {
+            kind,
+            upload_fraction,
+            sorted_scores: Vec::new(),
+        }
+    }
+
+    /// Number of frames scored so far.
+    pub fn frames_seen(&self) -> usize {
+        self.sorted_scores.len()
+    }
+
+    fn score(&self, input: &PolicyInput<'_>) -> f64 {
+        match self.kind {
+            ScoreKind::Blur { render_size } => {
+                let frame = render(&input.scene.render_spec(render_size.0, render_size.1));
+                brenner_gradient(&frame)
+            }
+            ScoreKind::Top1 => input.small_dets.mean_top1_score(input.num_classes),
+            ScoreKind::Difficulty { t_conf } => {
+                let f = crate::SemanticFeatures::extract(input.small_dets, t_conf);
+                let uncertain = f.estimated_count.saturating_sub(f.predicted_count) as f64;
+                let min_area = f.estimated_min_area.unwrap_or(1.0);
+                -(uncertain * 1e6 + f.estimated_count as f64 * 1e3 + (1.0 - min_area))
+            }
+        }
+    }
+}
+
+impl OffloadPolicy for QuantileStream {
+    fn decide(&mut self, input: &PolicyInput<'_>) -> Decision {
+        let score = self.score(input);
+        let rank = self.sorted_scores.partition_point(|s| *s < score);
+        self.sorted_scores.insert(rank, score);
+        let k = quantile_count(self.sorted_scores.len(), self.upload_fraction);
+        if rank < k {
+            Decision::Upload
+        } else {
+            Decision::Local
+        }
+    }
+
+    fn name(&self) -> String {
+        let what = match self.kind {
+            ScoreKind::Blur { .. } => "blurred",
+            ScoreKind::Top1 => "top-1 confidence",
+            ScoreKind::Difficulty { .. } => "difficulty-ranked",
+        };
+        format!("streaming {what} {:.0}%", self.upload_fraction * 100.0)
     }
 }
 
@@ -222,9 +499,7 @@ mod tests {
     use datagen::DatasetProfile;
     use modelzoo::{Detector, ModelKind, SimDetector};
 
-    fn inputs_fixture(
-        n: u64,
-    ) -> (Vec<Scene>, Vec<ImageDetections>) {
+    fn inputs_fixture(n: u64) -> (Vec<Scene>, Vec<ImageDetections>) {
         let profile = DatasetProfile::voc();
         let scenes: Vec<Scene> = (0..n).map(|id| Scene::sample(&profile, 21, id)).collect();
         let small = SimDetector::new(ModelKind::VggLiteSsd, datagen::SplitId::Voc07, 20);
@@ -232,10 +507,7 @@ mod tests {
         (scenes, dets)
     }
 
-    fn make_inputs<'a>(
-        scenes: &'a [Scene],
-        dets: &'a [ImageDetections],
-    ) -> Vec<PolicyInput<'a>> {
+    fn make_inputs<'a>(scenes: &'a [Scene], dets: &'a [ImageDetections]) -> Vec<PolicyInput<'a>> {
         scenes
             .iter()
             .zip(dets)
@@ -270,12 +542,18 @@ mod tests {
     fn random_hits_requested_fraction_and_is_deterministic() {
         let (scenes, dets) = inputs_fixture(100);
         let inputs = make_inputs(&scenes, &dets);
-        let p = Policy::Random { upload_fraction: 0.5, seed: 3 };
+        let p = Policy::Random {
+            upload_fraction: 0.5,
+            seed: 3,
+        };
         let a = p.decide_all(&inputs);
         let b = p.decide_all(&inputs);
         assert_eq!(a, b);
         assert_eq!(a.iter().filter(|d| d.is_upload()).count(), 50);
-        let p2 = Policy::Random { upload_fraction: 0.5, seed: 4 };
+        let p2 = Policy::Random {
+            upload_fraction: 0.5,
+            seed: 4,
+        };
         assert_ne!(p2.decide_all(&inputs), a);
     }
 
@@ -284,11 +562,21 @@ mod tests {
         let (scenes, dets) = inputs_fixture(40);
         let inputs = make_inputs(&scenes, &dets);
         for p in [
-            Policy::BlurQuantile { upload_fraction: 0.5, render_size: (64, 48) },
-            Policy::Top1Quantile { upload_fraction: 0.5 },
+            Policy::BlurQuantile {
+                upload_fraction: 0.5,
+                render_size: (64, 48),
+            },
+            Policy::Top1Quantile {
+                upload_fraction: 0.5,
+            },
         ] {
             let d = p.decide_all(&inputs);
-            assert_eq!(d.iter().filter(|x| x.is_upload()).count(), 20, "{}", p.name());
+            assert_eq!(
+                d.iter().filter(|x| x.is_upload()).count(),
+                20,
+                "{}",
+                p.name()
+            );
         }
     }
 
@@ -296,7 +584,10 @@ mod tests {
     fn blur_uploads_blurriest() {
         let (scenes, dets) = inputs_fixture(60);
         let inputs = make_inputs(&scenes, &dets);
-        let p = Policy::BlurQuantile { upload_fraction: 0.5, render_size: (64, 48) };
+        let p = Policy::BlurQuantile {
+            upload_fraction: 0.5,
+            render_size: (64, 48),
+        };
         let decisions = p.decide_all(&inputs);
         let blur_of = |i: usize| scenes[i].camera_blur;
         let uploaded: Vec<f64> = decisions
@@ -336,16 +627,22 @@ mod tests {
         let p = Policy::DifficultCase(disc.clone());
         let decisions = p.decide_all(&inputs);
         for (ctx, dec) in inputs.iter().zip(&decisions) {
-            assert_eq!(disc.classify(ctx.small_dets).is_difficult(), dec.is_upload());
+            assert_eq!(
+                disc.classify(ctx.small_dets).is_difficult(),
+                dec.is_upload()
+            );
         }
     }
 
     #[test]
     fn names_are_informative() {
         assert!(Policy::CloudOnly.name().contains("cloud"));
-        assert!(Policy::Random { upload_fraction: 0.5, seed: 0 }
-            .name()
-            .contains("50"));
+        assert!(Policy::Random {
+            upload_fraction: 0.5,
+            seed: 0
+        }
+        .name()
+        .contains("50"));
         assert!(Policy::DifficultCase(DifficultCaseDiscriminator::default())
             .name()
             .contains("0.31"));

@@ -138,9 +138,7 @@ impl SmallBigSystemBuilder {
 
     /// Calibrates the three thresholds on a training dataset (Sec. V-D).
     pub fn calibrated_on(mut self, train: &Dataset) -> Self {
-        let nc = self
-            .num_classes
-            .unwrap_or_else(|| train.taxonomy().len());
+        let nc = self.num_classes.unwrap_or_else(|| train.taxonomy().len());
         let small = SimDetector::new(self.small_kind, self.split, nc);
         let big = SimDetector::new(self.big_kind, self.split, nc);
         let (cal, _) = calibrate(train, &small, &big);
@@ -225,7 +223,11 @@ mod tests {
         let system = SmallBigSystem::builder(SplitId::Voc07)
             .small_model(ModelKind::YoloMobileNetV1)
             .big_model(ModelKind::YoloV4)
-            .thresholds(Thresholds { conf: 0.16, count: 3, area: 0.05 })
+            .thresholds(Thresholds {
+                conf: 0.16,
+                count: 3,
+                area: 0.05,
+            })
             .build();
         assert!(system.big().flops() > system.small().flops() * 5);
     }

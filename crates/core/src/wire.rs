@@ -16,8 +16,17 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 pub enum WireError {
     /// The buffer is shorter than its length prefix promises.
     Truncated,
-    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    /// The length prefix exceeds the decoder's limit ([`MAX_FRAME_BYTES`]
+    /// by default) — a corrupt or hostile prefix must not drive allocation.
     Oversized(usize),
+    /// The buffer is longer than its length prefix promises. A well-formed
+    /// peer never pads frames; trailing bytes mean framing has de-synced.
+    TrailingBytes {
+        /// Payload length the prefix promised.
+        expected: usize,
+        /// Bytes actually present after the prefix.
+        actual: usize,
+    },
     /// The payload was not valid JSON for the target type.
     Malformed(serde_json::Error),
 }
@@ -27,6 +36,10 @@ impl fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "frame is truncated"),
             WireError::Oversized(n) => write!(f, "frame length {n} exceeds limit"),
+            WireError::TrailingBytes { expected, actual } => write!(
+                f,
+                "frame has {actual} payload bytes but its prefix promises {expected}"
+            ),
             WireError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
         }
     }
@@ -56,31 +69,76 @@ impl std::error::Error for WireError {
 /// # Panics
 ///
 /// Panics if the value cannot be serialized (never happens for the message
-/// types in this crate).
+/// types in this crate), or if the payload exceeds [`MAX_FRAME_BYTES`] —
+/// a frame this encoder produces is always one its decoder accepts.
 pub fn encode_frame<T: Serialize>(value: &T) -> Bytes {
     let payload = serde_json::to_vec(value).expect("message types serialize infallibly");
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "frame payload of {} bytes exceeds MAX_FRAME_BYTES",
+        payload.len()
+    );
     let mut buf = BytesMut::with_capacity(4 + payload.len());
     buf.put_u32_le(payload.len() as u32);
     buf.put_slice(&payload);
     buf.freeze()
 }
 
-/// Decodes a length-prefixed JSON frame.
+/// Decodes a length-prefixed JSON frame under the default
+/// [`MAX_FRAME_BYTES`] limit.
 ///
 /// # Errors
 ///
-/// Returns [`WireError`] on truncation, oversized prefixes, or JSON errors.
+/// Returns [`WireError`] on truncation, oversized prefixes, trailing
+/// garbage, or JSON errors.
 pub fn decode_frame<T: DeserializeOwned>(frame: &Bytes) -> Result<T, WireError> {
+    decode_frame_with_limit(frame, MAX_FRAME_BYTES)
+}
+
+/// Decodes a length-prefixed JSON frame, rejecting payloads whose length
+/// prefix exceeds `max_payload_bytes`.
+///
+/// The limit is enforced *before* the payload is touched, so a corrupt or
+/// hostile prefix cannot drive allocation, and a frame must contain exactly
+/// `4 + len` bytes — anything shorter is [`WireError::Truncated`], anything
+/// longer [`WireError::TrailingBytes`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, oversized prefixes, trailing
+/// garbage, or JSON errors.
+///
+/// # Examples
+///
+/// ```
+/// use smallbig_core::wire::{decode_frame_with_limit, encode_frame, WireError};
+///
+/// let frame = encode_frame(&vec![0u8; 64]);
+/// assert!(matches!(
+///     decode_frame_with_limit::<Vec<u8>>(&frame, 16),
+///     Err(WireError::Oversized(_))
+/// ));
+/// ```
+pub fn decode_frame_with_limit<T: DeserializeOwned>(
+    frame: &Bytes,
+    max_payload_bytes: usize,
+) -> Result<T, WireError> {
     let mut buf = frame.clone();
     if buf.remaining() < 4 {
         return Err(WireError::Truncated);
     }
     let len = buf.get_u32_le() as usize;
-    if len > MAX_FRAME_BYTES {
+    if len > max_payload_bytes {
         return Err(WireError::Oversized(len));
     }
     if buf.remaining() < len {
         return Err(WireError::Truncated);
+    }
+    if buf.remaining() > len {
+        return Err(WireError::TrailingBytes {
+            expected: len,
+            actual: buf.remaining(),
+        });
     }
     serde_json::from_slice(&buf.chunk()[..len]).map_err(WireError::Malformed)
 }
@@ -143,5 +201,57 @@ mod tests {
         let err = decode_frame::<Vec<u8>>(&buf.freeze()).unwrap_err();
         assert!(matches!(err, WireError::Malformed(_)));
         assert!(format!("{err}").contains("malformed"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(2);
+        buf.put_slice(b"[]xxxx");
+        let err = decode_frame::<Vec<u8>>(&buf.freeze()).unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::TrailingBytes {
+                expected: 2,
+                actual: 6
+            }
+        ));
+        assert!(format!("{err}").contains("promises"));
+    }
+
+    #[test]
+    fn custom_limit_is_enforced_before_payload_parse() {
+        let frame = encode_frame(&vec![7u8; 1000]);
+        assert!(decode_frame::<Vec<u8>>(&frame).is_ok());
+        let err = decode_frame_with_limit::<Vec<u8>>(&frame, 100).unwrap_err();
+        match err {
+            WireError::Oversized(n) => assert!(n > 100),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_just_over_limit_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le((MAX_FRAME_BYTES + 1) as u32);
+        buf.put_slice(b"x");
+        assert!(matches!(
+            decode_frame::<Vec<u8>>(&buf.freeze()),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn empty_payload_frame_round_trips() {
+        let frame = encode_frame(&Vec::<u8>::new());
+        let back: Vec<u8> = decode_frame(&frame).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_FRAME_BYTES")]
+    fn encode_rejects_oversized_payload() {
+        // 17 MiB of bytes serializes past the 16 MiB frame cap.
+        let _ = encode_frame(&vec![200u8; 17 * 1024 * 1024]);
     }
 }

@@ -7,15 +7,21 @@ use smallbig_core::{
 };
 
 fn arb_detection() -> impl Strategy<Value = Detection> {
-    (0u16..20, 0.01f64..1.0, 0.0f64..0.8, 0.0f64..0.8, 0.05f64..0.2, 0.05f64..0.2).prop_map(
-        |(c, s, x, y, w, h)| {
+    (
+        0u16..20,
+        0.01f64..1.0,
+        0.0f64..0.8,
+        0.0f64..0.8,
+        0.05f64..0.2,
+        0.05f64..0.2,
+    )
+        .prop_map(|(c, s, x, y, w, h)| {
             Detection::new(
                 ClassId(c),
                 s,
                 BBox::new(x, y, (x + w).min(1.0), (y + h).min(1.0)).unwrap(),
             )
-        },
-    )
+        })
 }
 
 fn arb_dets(max: usize) -> impl Strategy<Value = ImageDetections> {
@@ -23,8 +29,11 @@ fn arb_dets(max: usize) -> impl Strategy<Value = ImageDetections> {
 }
 
 fn arb_thresholds() -> impl Strategy<Value = Thresholds> {
-    (0.05f64..0.5, 1usize..6, 0.0f64..0.6)
-        .prop_map(|(conf, count, area)| Thresholds { conf, count, area })
+    (0.05f64..0.5, 1usize..6, 0.0f64..0.6).prop_map(|(conf, count, area)| Thresholds {
+        conf,
+        count,
+        area,
+    })
 }
 
 proptest! {
@@ -127,5 +136,98 @@ proptest! {
         let verdict = disc.classify_true_features(n, area);
         let expect = n > th.count || area.map(|a| a < th.area).unwrap_or(false);
         prop_assert_eq!(verdict.is_difficult(), expect);
+    }
+}
+
+/// Builds a scene whose id is `id` (the streaming Random policy hashes it).
+fn scene_with_id(id: u64) -> datagen::Scene {
+    datagen::Scene::sample(&datagen::DatasetProfile::voc(), 77, id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `Policy as OffloadPolicy` must agree with `Policy::decide_all` for
+    /// every variant whose semantics are defined one frame at a time.
+    #[test]
+    fn streaming_policy_matches_batch_decisions(
+        n in 2usize..30,
+        conf in 0.05f64..0.5,
+        count in 1usize..5,
+        area in 0.0f64..0.3,
+    ) {
+        use smallbig_core::{Decision, OffloadPolicy, Policy, PolicyInput};
+
+        let scenes: Vec<datagen::Scene> = (0..n as u64).map(scene_with_id).collect();
+        let small = modelzoo::SimDetector::new(
+            modelzoo::ModelKind::VggLiteSsd,
+            datagen::SplitId::Voc07,
+            20,
+        );
+        let dets: Vec<ImageDetections> =
+            scenes.iter().map(|s| modelzoo::Detector::detect(&small, s)).collect();
+        let inputs: Vec<PolicyInput<'_>> = scenes
+            .iter()
+            .zip(&dets)
+            .map(|(scene, small_dets)| PolicyInput {
+                scene,
+                small_dets,
+                label: Some(if scene.num_objects() > 2 {
+                    CaseKind::Difficult
+                } else {
+                    CaseKind::Easy
+                }),
+                num_classes: 20,
+            })
+            .collect();
+
+        let disc = DifficultCaseDiscriminator::new(Thresholds { conf, count, area });
+        for policy in [
+            Policy::DifficultCase(disc),
+            Policy::CloudOnly,
+            Policy::EdgeOnly,
+            Policy::Oracle,
+        ] {
+            let batch = policy.decide_all(&inputs);
+            let mut streaming = policy.clone();
+            let stream: Vec<Decision> =
+                inputs.iter().map(|ctx| streaming.decide(ctx)).collect();
+            prop_assert_eq!(&stream, &batch, "{}", Policy::name(&policy));
+        }
+    }
+
+    /// The streaming Random policy is deterministic, order-independent per
+    /// scene, and converges on the requested fraction.
+    #[test]
+    fn streaming_random_is_per_scene_deterministic(
+        seed in any::<u64>(),
+        fraction in 0.2f64..0.8,
+    ) {
+        use smallbig_core::{OffloadPolicy, Policy, PolicyInput};
+
+        let scenes: Vec<datagen::Scene> = (0..400u64).map(scene_with_id).collect();
+        let small = modelzoo::SimDetector::new(
+            modelzoo::ModelKind::VggLiteSsd,
+            datagen::SplitId::Voc07,
+            20,
+        );
+        let dets: Vec<ImageDetections> =
+            scenes.iter().map(|s| modelzoo::Detector::detect(&small, s)).collect();
+        let mut p1 = Policy::Random { upload_fraction: fraction, seed };
+        let mut p2 = p1.clone();
+        let mut uploads = 0usize;
+        for (scene, small_dets) in scenes.iter().zip(&dets) {
+            let ctx = PolicyInput { scene, small_dets, label: None, num_classes: 20 };
+            let a = p1.decide(&ctx);
+            prop_assert_eq!(a, p2.decide(&ctx));
+            if a.is_upload() {
+                uploads += 1;
+            }
+        }
+        let observed = uploads as f64 / scenes.len() as f64;
+        prop_assert!(
+            (observed - fraction).abs() < 0.15,
+            "requested {fraction:.2}, observed {observed:.2}"
+        );
     }
 }

@@ -42,7 +42,11 @@ impl Dataset {
 
     /// Builds a dataset from pre-sampled scenes (used by split composition).
     pub fn from_scenes(name: &str, taxonomy: Taxonomy, scenes: Vec<Scene>) -> Self {
-        Dataset { name: name.to_string(), taxonomy, scenes }
+        Dataset {
+            name: name.to_string(),
+            taxonomy,
+            scenes,
+        }
     }
 
     /// Dataset name.
@@ -119,7 +123,11 @@ impl Dataset {
             s.id += offset;
             s
         }));
-        Dataset { name: name.to_string(), taxonomy: self.taxonomy.clone(), scenes }
+        Dataset {
+            name: name.to_string(),
+            taxonomy: self.taxonomy.clone(),
+            scenes,
+        }
     }
 }
 

@@ -174,7 +174,11 @@ impl DatasetProfile {
                 max: 0.95,
                 crowd_shrink: 0.50, // crowded scenes have smaller objects
             },
-            difficulty: DifficultyModel { alpha: 1.4, beta: 5.0, base: 0.0 },
+            difficulty: DifficultyModel {
+                alpha: 1.4,
+                beta: 5.0,
+                base: 0.0,
+            },
             camera: CameraModel {
                 mean_blur: 0.35,
                 max_blur: 2.5,
@@ -210,7 +214,11 @@ impl DatasetProfile {
                 max: 0.90,
                 crowd_shrink: 0.50,
             },
-            difficulty: DifficultyModel { alpha: 2.0, beta: 3.4, base: 0.18 },
+            difficulty: DifficultyModel {
+                alpha: 2.0,
+                beta: 3.4,
+                base: 0.18,
+            },
             camera: CameraModel {
                 mean_blur: 0.4,
                 max_blur: 2.5,
@@ -240,7 +248,11 @@ impl DatasetProfile {
                 max: 0.6,
                 crowd_shrink: 0.45,
             },
-            difficulty: DifficultyModel { alpha: 1.8, beta: 4.2, base: 0.04 },
+            difficulty: DifficultyModel {
+                alpha: 1.8,
+                beta: 4.2,
+                base: 0.04,
+            },
             camera: CameraModel {
                 mean_blur: 0.8,
                 max_blur: 4.0,
@@ -292,7 +304,9 @@ impl Scene {
     /// assert_eq!(a, b);
     /// ```
     pub fn sample(profile: &DatasetProfile, seed: u64, id: u64) -> Scene {
-        let scene_seed = seed ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0x1234_5678);
+        let scene_seed = seed
+            ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(0x1234_5678);
         let mut rng = StdRng::seed_from_u64(scene_seed);
         let n = profile.count.sample(&mut rng);
         let mut objects = Vec::with_capacity(n);
@@ -317,7 +331,14 @@ impl Scene {
             });
         }
         let (camera_blur, noise_std, illumination) = profile.camera.sample(&mut rng);
-        Scene { id, objects, camera_blur, noise_std, illumination, seed: scene_seed }
+        Scene {
+            id,
+            objects,
+            camera_blur,
+            noise_std,
+            illumination,
+            seed: scene_seed,
+        }
     }
 }
 
@@ -327,7 +348,12 @@ mod tests {
 
     #[test]
     fn count_model_respects_bounds() {
-        let m = CountModel { p_crowd: 0.5, lambda_sparse: 1.0, lambda_crowd: 30.0, max_objects: 10 };
+        let m = CountModel {
+            p_crowd: 0.5,
+            lambda_sparse: 1.0,
+            lambda_crowd: 30.0,
+            max_objects: 10,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..200 {
             let n = m.sample(&mut rng);
@@ -337,7 +363,13 @@ mod tests {
 
     #[test]
     fn area_model_clamps() {
-        let m = AreaModel { ln_mu: -2.0, ln_sigma: 2.0, min: 0.01, max: 0.5, crowd_shrink: 0.5 };
+        let m = AreaModel {
+            ln_mu: -2.0,
+            ln_sigma: 2.0,
+            min: 0.01,
+            max: 0.5,
+            crowd_shrink: 0.5,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for n in [1usize, 5, 20] {
             for _ in 0..100 {
@@ -349,7 +381,13 @@ mod tests {
 
     #[test]
     fn crowding_shrinks_areas_on_average() {
-        let m = AreaModel { ln_mu: -2.0, ln_sigma: 0.8, min: 1e-4, max: 0.9, crowd_shrink: 0.6 };
+        let m = AreaModel {
+            ln_mu: -2.0,
+            ln_sigma: 0.8,
+            min: 1e-4,
+            max: 0.9,
+            crowd_shrink: 0.6,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let mean = |n: usize, rng: &mut StdRng| -> f64 {
             (0..400).map(|_| m.sample(rng, n)).sum::<f64>() / 400.0
@@ -361,7 +399,11 @@ mod tests {
 
     #[test]
     fn difficulty_in_unit_interval() {
-        let m = DifficultyModel { alpha: 2.0, beta: 3.0, base: 0.2 };
+        let m = DifficultyModel {
+            alpha: 2.0,
+            beta: 3.0,
+            base: 0.2,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..200 {
             let d = m.sample(&mut rng);

@@ -183,7 +183,9 @@ impl Split {
                     scaled(sizes::VOC12_PP_TRAIN, scale),
                     seeds::VOC12_TRAINVAL,
                 );
-                let train = t07.concat(&t07test, "voc07-all").concat(&t12, "voc0712pp-train");
+                let train = t07
+                    .concat(&t07test, "voc07-all")
+                    .concat(&t12, "voc0712pp-train");
                 Split {
                     id,
                     train,

@@ -110,8 +110,9 @@ impl VideoSequence {
                 }
                 // New arrivals.
                 let arrivals = if profile.entry_rate > 0.0 {
-                    Poisson::new(profile.entry_rate).expect("positive rate").sample(&mut rng)
-                        as usize
+                    Poisson::new(profile.entry_rate)
+                        .expect("positive rate")
+                        .sample(&mut rng) as usize
                 } else {
                     0
                 };
@@ -191,12 +192,7 @@ impl VideoSequence {
 }
 
 /// A fresh object entering the field of view.
-fn sample_entrant(
-    base: &DatasetProfile,
-    rng: &mut StdRng,
-    frame: u64,
-    k: usize,
-) -> SceneObject {
+fn sample_entrant(base: &DatasetProfile, rng: &mut StdRng, frame: u64, k: usize) -> SceneObject {
     let class = base.sample_class(rng);
     let area = base.area.sample(rng, 2);
     let aspect = 0.7 + rng.gen::<f64>() * 0.6;

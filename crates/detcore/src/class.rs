@@ -128,7 +128,10 @@ impl Taxonomy {
         for c in &classes {
             assert!(seen.insert(c.clone()), "duplicate class name: {c}");
         }
-        Taxonomy { name: name.into(), classes }
+        Taxonomy {
+            name: name.into(),
+            classes,
+        }
     }
 
     /// The 20-class PASCAL VOC taxonomy.
@@ -138,12 +141,18 @@ impl Taxonomy {
 
     /// The paper's 18-class COCO subset.
     pub fn coco18() -> Self {
-        Taxonomy::new("coco18", COCO18_NAMES.iter().map(|s| s.to_string()).collect())
+        Taxonomy::new(
+            "coco18",
+            COCO18_NAMES.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     /// The Sedna HELMET taxonomy.
     pub fn helmet() -> Self {
-        Taxonomy::new("helmet", HELMET_NAMES.iter().map(|s| s.to_string()).collect())
+        Taxonomy::new(
+            "helmet",
+            HELMET_NAMES.iter().map(|s| s.to_string()).collect(),
+        )
     }
 
     /// Taxonomy name (e.g. `"voc20"`).

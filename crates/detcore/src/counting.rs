@@ -20,7 +20,10 @@ pub struct CountingConfig {
 
 impl Default for CountingConfig {
     fn default() -> Self {
-        CountingConfig { score_threshold: 0.5, iou_threshold: 0.5 }
+        CountingConfig {
+            score_threshold: 0.5,
+            iou_threshold: 0.5,
+        }
     }
 }
 
@@ -105,7 +108,11 @@ pub fn count_detected(
             }
         }
     }
-    ImageCount { num_gt, detected, false_positives }
+    ImageCount {
+        num_gt,
+        detected,
+        false_positives,
+    }
 }
 
 /// Accumulates [`ImageCount`]s over a dataset.
@@ -248,8 +255,16 @@ mod tests {
     #[test]
     fn dataset_counter_accumulates() {
         let mut counter = DatasetCounter::new();
-        counter.add(ImageCount { num_gt: 2, detected: 2, false_positives: 0 });
-        counter.add(ImageCount { num_gt: 3, detected: 1, false_positives: 2 });
+        counter.add(ImageCount {
+            num_gt: 2,
+            detected: 2,
+            false_positives: 0,
+        });
+        counter.add(ImageCount {
+            num_gt: 3,
+            detected: 1,
+            false_positives: 2,
+        });
         assert_eq!(counter.num_images(), 2);
         assert_eq!(counter.total_gt(), 5);
         assert_eq!(counter.total_detected(), 3);
@@ -262,8 +277,16 @@ mod tests {
     fn counter_extend() {
         let mut counter = DatasetCounter::new();
         counter.extend(vec![
-            ImageCount { num_gt: 1, detected: 1, false_positives: 0 },
-            ImageCount { num_gt: 1, detected: 0, false_positives: 0 },
+            ImageCount {
+                num_gt: 1,
+                detected: 1,
+                false_positives: 0,
+            },
+            ImageCount {
+                num_gt: 1,
+                detected: 0,
+                false_positives: 0,
+            },
         ]);
         assert_eq!(counter.total_detected(), 1);
     }

@@ -80,12 +80,20 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// Creates a normal (non-difficult) annotation.
     pub fn new(class: ClassId, bbox: BBox) -> Self {
-        GroundTruth { class, bbox, difficult: false }
+        GroundTruth {
+            class,
+            bbox,
+            difficult: false,
+        }
     }
 
     /// Creates an annotation flagged as VOC-"difficult" (excluded from AP).
     pub fn new_difficult(class: ClassId, bbox: BBox) -> Self {
-        GroundTruth { class, bbox, difficult: true }
+        GroundTruth {
+            class,
+            bbox,
+            difficult: true,
+        }
     }
 
     /// Annotated class.
@@ -226,7 +234,9 @@ impl ImageDetections {
 
 impl FromIterator<Detection> for ImageDetections {
     fn from_iter<T: IntoIterator<Item = Detection>>(iter: T) -> Self {
-        ImageDetections { dets: iter.into_iter().collect() }
+        ImageDetections {
+            dets: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -294,8 +304,8 @@ mod tests {
     #[test]
     fn min_area_above_picks_smallest() {
         let dets = ImageDetections::from_vec(vec![
-            det(0, 0.9, 0.0, 0.0, 0.5, 0.5),   // area 0.25
-            det(1, 0.7, 0.0, 0.0, 0.1, 0.1),   // area 0.01
+            det(0, 0.9, 0.0, 0.0, 0.5, 0.5),    // area 0.25
+            det(1, 0.7, 0.0, 0.0, 0.1, 0.1),    // area 0.01
             det(2, 0.05, 0.0, 0.0, 0.01, 0.01), // filtered out
         ]);
         let a = dets.min_area_above(0.5).unwrap();
@@ -316,8 +326,7 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut dets: ImageDetections =
-            vec![det(0, 0.5, 0.0, 0.0, 0.5, 0.5)].into_iter().collect();
+        let mut dets: ImageDetections = vec![det(0, 0.5, 0.0, 0.0, 0.5, 0.5)].into_iter().collect();
         dets.extend(vec![det(1, 0.6, 0.0, 0.0, 0.2, 0.2)]);
         assert_eq!(dets.len(), 2);
         let back: Vec<Detection> = dets.clone().into_iter().collect();

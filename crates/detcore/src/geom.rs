@@ -64,7 +64,12 @@ impl BBox {
         if x_min > x_max || y_min > y_max {
             return Err(BBoxError::Inverted);
         }
-        Ok(BBox { x_min, y_min, x_max, y_max })
+        Ok(BBox {
+            x_min,
+            y_min,
+            x_max,
+            y_max,
+        })
     }
 
     /// Creates a box from two arbitrary corners, swapping them as needed.
@@ -97,7 +102,12 @@ impl BBox {
 
     /// The unit box covering the whole image.
     pub const fn unit() -> Self {
-        BBox { x_min: 0.0, y_min: 0.0, x_max: 1.0, y_max: 1.0 }
+        BBox {
+            x_min: 0.0,
+            y_min: 0.0,
+            x_max: 1.0,
+            y_max: 1.0,
+        }
     }
 
     /// Left edge.
@@ -157,7 +167,12 @@ impl BBox {
         let x_max = self.x_max.min(other.x_max);
         let y_max = self.y_max.min(other.y_max);
         if x_min <= x_max && y_min <= y_max {
-            Some(BBox { x_min, y_min, x_max, y_max })
+            Some(BBox {
+                x_min,
+                y_min,
+                x_max,
+                y_max,
+            })
         } else {
             None
         }
@@ -278,7 +293,10 @@ mod tests {
 
     #[test]
     fn new_rejects_non_finite() {
-        assert_eq!(BBox::new(f64::NAN, 0.0, 1.0, 1.0), Err(BBoxError::NonFinite));
+        assert_eq!(
+            BBox::new(f64::NAN, 0.0, 1.0, 1.0),
+            Err(BBoxError::NonFinite)
+        );
         assert_eq!(
             BBox::new(0.0, 0.0, f64::INFINITY, 1.0),
             Err(BBoxError::NonFinite)

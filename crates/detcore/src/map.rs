@@ -185,8 +185,16 @@ impl MapEvaluator {
                 fp += 1;
             }
             let precision = tp as f64 / (tp + fp) as f64;
-            let recall = if num_gt == 0 { 0.0 } else { tp as f64 / num_gt as f64 };
-            points.push(PrPoint { precision, recall, score });
+            let recall = if num_gt == 0 {
+                0.0
+            } else {
+                tp as f64 / num_gt as f64
+            };
+            points.push(PrPoint {
+                precision,
+                recall,
+                score,
+            });
         }
         points
     }
@@ -210,7 +218,11 @@ impl MapEvaluator {
         let mut counted = 0usize;
         for c in 0..self.records.len() {
             let id = ClassId(c as u16);
-            let ap = if self.gt_counts[c] > 0 { self.class_ap(id) } else { 0.0 };
+            let ap = if self.gt_counts[c] > 0 {
+                self.class_ap(id)
+            } else {
+                0.0
+            };
             if self.gt_counts[c] > 0 {
                 sum += ap;
                 counted += 1;
@@ -222,7 +234,11 @@ impl MapEvaluator {
                 num_dets: self.records[c].len(),
             });
         }
-        let map = if counted == 0 { 0.0 } else { sum / counted as f64 };
+        let map = if counted == 0 {
+            0.0
+        } else {
+            sum / counted as f64
+        };
         MapReport { per_class, map }
     }
 }

@@ -121,7 +121,11 @@ pub fn match_greedy(dets: &[Detection], gts: &[GroundTruth], iou_threshold: f64)
         .map(|(gi, _)| gi)
         .collect();
 
-    ImageMatch { outcomes, num_gt, missed_gt }
+    ImageMatch {
+        outcomes,
+        num_gt,
+        missed_gt,
+    }
 }
 
 #[cfg(test)]
@@ -139,7 +143,11 @@ mod tests {
 
     #[test]
     fn perfect_match() {
-        let m = match_greedy(&[det(0.9, 0.0, 0.0, 0.5, 0.5)], &[gt(0.0, 0.0, 0.5, 0.5)], 0.5);
+        let m = match_greedy(
+            &[det(0.9, 0.0, 0.0, 0.5, 0.5)],
+            &[gt(0.0, 0.0, 0.5, 0.5)],
+            0.5,
+        );
         assert!(m.outcomes[0].is_tp());
         assert_eq!(m.num_gt, 1);
         assert!(m.missed_gt.is_empty());
@@ -147,10 +155,7 @@ mod tests {
 
     #[test]
     fn duplicate_detection_is_fp() {
-        let dets = vec![
-            det(0.9, 0.0, 0.0, 0.5, 0.5),
-            det(0.8, 0.01, 0.0, 0.5, 0.5),
-        ];
+        let dets = vec![det(0.9, 0.0, 0.0, 0.5, 0.5), det(0.8, 0.01, 0.0, 0.5, 0.5)];
         let m = match_greedy(&dets, &[gt(0.0, 0.0, 0.5, 0.5)], 0.5);
         assert!(m.outcomes[0].is_tp());
         assert!(m.outcomes[1].is_fp());
@@ -158,18 +163,22 @@ mod tests {
 
     #[test]
     fn higher_score_claims_first_even_if_listed_later() {
-        let dets = vec![
-            det(0.5, 0.0, 0.0, 0.5, 0.5),
-            det(0.95, 0.0, 0.0, 0.5, 0.5),
-        ];
+        let dets = vec![det(0.5, 0.0, 0.0, 0.5, 0.5), det(0.95, 0.0, 0.0, 0.5, 0.5)];
         let m = match_greedy(&dets, &[gt(0.0, 0.0, 0.5, 0.5)], 0.5);
-        assert!(m.outcomes[1].is_tp(), "the 0.95 detection claims the object");
+        assert!(
+            m.outcomes[1].is_tp(),
+            "the 0.95 detection claims the object"
+        );
         assert!(m.outcomes[0].is_fp());
     }
 
     #[test]
     fn low_iou_is_fp_and_object_missed() {
-        let m = match_greedy(&[det(0.9, 0.6, 0.6, 1.0, 1.0)], &[gt(0.0, 0.0, 0.3, 0.3)], 0.5);
+        let m = match_greedy(
+            &[det(0.9, 0.6, 0.6, 1.0, 1.0)],
+            &[gt(0.0, 0.0, 0.3, 0.3)],
+            0.5,
+        );
         assert!(m.outcomes[0].is_fp());
         assert_eq!(m.missed_gt, vec![0]);
     }

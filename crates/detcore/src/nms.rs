@@ -41,7 +41,10 @@ impl NmsConfig {
             (0.0..=1.0).contains(&iou_threshold),
             "iou threshold must be in [0, 1]"
         );
-        NmsConfig { iou_threshold, ..Default::default() }
+        NmsConfig {
+            iou_threshold,
+            ..Default::default()
+        }
     }
 }
 
@@ -118,9 +121,7 @@ pub fn soft_nms(dets: &ImageDetections, config: &NmsConfig, sigma: f64) -> Image
             let (best_idx, _) = pool
                 .iter()
                 .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    a.score().partial_cmp(&b.score()).expect("finite scores")
-                })
+                .max_by(|(_, a), (_, b)| a.score().partial_cmp(&b.score()).expect("finite scores"))
                 .expect("pool is non-empty");
             let best = pool.swap_remove(best_idx);
             // Decay remaining scores.
@@ -203,7 +204,10 @@ mod tests {
             let x = i as f64 * 0.1;
             v.push(det(0, 0.9 - i as f64 * 0.01, x, 0.0, x + 0.05, 0.05));
         }
-        let cfg = NmsConfig { max_per_class: 3, ..Default::default() };
+        let cfg = NmsConfig {
+            max_per_class: 3,
+            ..Default::default()
+        };
         let kept = nms(&ImageDetections::from_vec(v), &cfg);
         assert_eq!(kept.len(), 3);
     }
@@ -239,7 +243,10 @@ mod tests {
             det(0, 0.9, 0.0, 0.0, 0.5, 0.5),
             det(0, 0.8, 0.1, 0.1, 0.6, 0.6), // overlapping but distinct
         ]);
-        let cfg = NmsConfig { score_floor: 0.01, ..Default::default() };
+        let cfg = NmsConfig {
+            score_floor: 0.01,
+            ..Default::default()
+        };
         let kept = soft_nms(&dets, &cfg, 0.5);
         assert_eq!(kept.len(), 2);
         // the second box's score must have decayed
@@ -253,7 +260,10 @@ mod tests {
             det(0, 0.9, 0.0, 0.0, 0.5, 0.5),
             det(0, 0.02, 0.0, 0.0, 0.5, 0.5), // heavy overlap, low score
         ]);
-        let cfg = NmsConfig { score_floor: 0.019, ..Default::default() };
+        let cfg = NmsConfig {
+            score_floor: 0.019,
+            ..Default::default()
+        };
         let kept = soft_nms(&dets, &cfg, 0.1);
         assert_eq!(kept.len(), 1);
     }

@@ -12,8 +12,7 @@ fn arb_bbox() -> impl Strategy<Value = BBox> {
 }
 
 fn arb_detection(max_class: u16) -> impl Strategy<Value = Detection> {
-    (0..max_class, 0.0f64..=1.0, arb_bbox())
-        .prop_map(|(c, s, b)| Detection::new(ClassId(c), s, b))
+    (0..max_class, 0.0f64..=1.0, arb_bbox()).prop_map(|(c, s, b)| Detection::new(ClassId(c), s, b))
 }
 
 fn arb_gt(max_class: u16) -> impl Strategy<Value = GroundTruth> {

@@ -6,11 +6,12 @@ use crate::table::{f2, Table};
 use crate::Report;
 use datagen::SplitId;
 use imaging::{encoded_size_bytes, render};
-use modelzoo::{ModelKind, PartitionAnalysis};
+use modelzoo::{Detector, ModelKind, PartitionAnalysis};
 use smallbig_core::{
-    run_system, DifficultCaseDiscriminator, DiscriminatorConfig, Policy, RuntimeConfig,
-    RuntimeMode,
+    run_system, CloudConfig, CloudServer, DifficultCaseDiscriminator, DiscriminatorConfig, Policy,
+    RuntimeConfig, RuntimeMode, SessionConfig,
 };
+use std::sync::Arc;
 
 /// The intro's motivation: partitioned execution of an object detector ships
 /// more bytes than the image itself at almost every split point.
@@ -18,7 +19,12 @@ pub fn motivation(cfg: &ExpConfig) -> Report {
     let net = modelzoo::ssd300_vgg16(20);
     let analysis = PartitionAnalysis::of(&net);
     // A representative encoded frame.
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Voc07,
+        cfg,
+    );
     let scene = &run.split.test.scenes()[0];
     let image_bytes = encoded_size_bytes(&render(&scene.render_spec(300, 300))) as u64;
 
@@ -65,21 +71,38 @@ pub fn motivation(cfg: &ExpConfig) -> Report {
 
 /// Ablation: which parts of the discriminator matter (Sec. V-C's three steps).
 pub fn ablation_features(cfg: &ExpConfig) -> Report {
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc0712, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Voc0712,
+        cfg,
+    );
     let th = run.calibration.thresholds;
     let variants: [(&str, DiscriminatorConfig); 4] = [
-        ("full (count + area + shortcut)", DiscriminatorConfig::default()),
+        (
+            "full (count + area + shortcut)",
+            DiscriminatorConfig::default(),
+        ),
         (
             "count only",
-            DiscriminatorConfig { use_area: false, ..Default::default() },
+            DiscriminatorConfig {
+                use_area: false,
+                ..Default::default()
+            },
         ),
         (
             "area only",
-            DiscriminatorConfig { use_count: false, ..Default::default() },
+            DiscriminatorConfig {
+                use_count: false,
+                ..Default::default()
+            },
         ),
         (
             "no all-detected shortcut",
-            DiscriminatorConfig { use_all_detected_shortcut: false, ..Default::default() },
+            DiscriminatorConfig {
+                use_all_detected_shortcut: false,
+                ..Default::default()
+            },
         ),
     ];
     let mut t = Table::new(vec![
@@ -119,7 +142,12 @@ pub fn ablation_features(cfg: &ExpConfig) -> Report {
 
 /// Ablation: sensitivity to the noise-filter confidence threshold.
 pub fn ablation_tconf(cfg: &ExpConfig) -> Report {
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc0712, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Voc0712,
+        cfg,
+    );
     let th = run.calibration.thresholds;
     let mut t = Table::new(vec![
         "t_conf".into(),
@@ -134,7 +162,11 @@ pub fn ablation_tconf(cfg: &ExpConfig) -> Report {
             ModelKind::SsdVgg16,
             &Policy::DifficultCase(disc),
         );
-        t.add_row(vec![f2(conf), f2(out.e2e_map_pct), f2(out.upload_ratio * 100.0)]);
+        t.add_row(vec![
+            f2(conf),
+            f2(out.e2e_map_pct),
+            f2(out.upload_ratio * 100.0),
+        ]);
     }
     Report::new(
         "ablation-tconf",
@@ -149,7 +181,12 @@ pub fn ablation_tconf(cfg: &ExpConfig) -> Report {
 
 /// Ablation: Table XI under different network links.
 pub fn ablation_links(cfg: &ExpConfig) -> Report {
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Helmet, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Helmet,
+        cfg,
+    );
     let (small, big) = run.detectors(ModelKind::VggLiteSsd, ModelKind::SsdVgg16);
     let disc = run.discriminator();
     let links = [
@@ -164,10 +201,27 @@ pub fn ablation_links(cfg: &ExpConfig) -> Report {
         "ours saves(%)".into(),
     ]);
     for (name, link) in links {
-        let rt = RuntimeConfig { link, frame_size: (300, 300), ..Default::default() };
-        let ours = run_system(&run.split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);
-        let cloud =
-            run_system(&run.split.test, &small, &big, &disc, RuntimeMode::CloudOnly, &rt);
+        let rt = RuntimeConfig {
+            link,
+            frame_size: (300, 300),
+            ..Default::default()
+        };
+        let ours = run_system(
+            &run.split.test,
+            &small,
+            &big,
+            &disc,
+            RuntimeMode::SmallBig,
+            &rt,
+        );
+        let cloud = run_system(
+            &run.split.test,
+            &small,
+            &big,
+            &disc,
+            RuntimeMode::CloudOnly,
+            &rt,
+        );
         t.add_row(vec![
             name.into(),
             f2(ours.total_time_s),
@@ -188,7 +242,12 @@ pub fn ablation_links(cfg: &ExpConfig) -> Report {
 /// the end-to-end system recovers it.
 pub fn perclass(cfg: &ExpConfig) -> Report {
     use detcore::{ApProtocol, ClassId, MapEvaluator, Taxonomy};
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Voc07,
+        cfg,
+    );
     let (small, big) = run.detectors(ModelKind::VggLiteSsd, ModelKind::SsdVgg16);
     let disc = run.discriminator();
     let taxonomy = Taxonomy::voc20();
@@ -200,7 +259,11 @@ pub fn perclass(cfg: &ExpConfig) -> Report {
         let gts = scene.ground_truths();
         let s = modelzoo::Detector::detect(&small, scene);
         let b = modelzoo::Detector::detect(&big, scene);
-        let final_dets = if disc.classify(&s).is_difficult() { &b } else { &s };
+        let final_dets = if disc.classify(&s).is_difficult() {
+            &b
+        } else {
+            &s
+        };
         e2e_ev.add_image(final_dets, &gts);
         small_ev.add_image(&s, &gts);
         big_ev.add_image(&b, &gts);
@@ -223,7 +286,11 @@ pub fn perclass(cfg: &ExpConfig) -> Report {
             er.per_class[c as usize].ap * 100.0,
         );
         let gap = b - s;
-        let recovered = if gap.abs() < 1e-9 { 100.0 } else { (e - s) / gap * 100.0 };
+        let recovered = if gap.abs() < 1e-9 {
+            100.0
+        } else {
+            (e - s) / gap * 100.0
+        };
         t.add_row(vec![
             taxonomy.name(id).to_string(),
             format!("{}", sr.per_class[c as usize].num_gt),
@@ -281,12 +348,19 @@ pub fn compress(_cfg: &ExpConfig) -> Report {
         "Extension: automatic small-model compression under an edge budget (Sec. VII)",
         t,
     )
-    .with_note("bisection over the MobileNet width multiplier; 12 MB recovers the paper's small model 2")
+    .with_note(
+        "bisection over the MobileNet width multiplier; 12 MB recovers the paper's small model 2",
+    )
 }
 
 /// Extension ablation: per-image latency deadlines with local fallback.
 pub fn ablation_deadline(cfg: &ExpConfig) -> Report {
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Helmet, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Helmet,
+        cfg,
+    );
     let (small, big) = run.detectors(ModelKind::VggLiteSsd, ModelKind::SsdVgg16);
     let disc = run.discriminator();
     let mut t = Table::new(vec![
@@ -302,9 +376,18 @@ pub fn ablation_deadline(cfg: &ExpConfig) -> Report {
             deadline_s: deadline,
             ..Default::default()
         };
-        let r = run_system(&run.split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);
+        let r = run_system(
+            &run.split.test,
+            &small,
+            &big,
+            &disc,
+            RuntimeMode::SmallBig,
+            &rt,
+        );
         t.add_row(vec![
-            deadline.map(|d| format!("{d:.1} s")).unwrap_or_else(|| "none".into()),
+            deadline
+                .map(|d| format!("{d:.1} s"))
+                .unwrap_or_else(|| "none".into()),
             f2(r.map_pct),
             format!("{}", r.detected),
             format!("{}", r.deadline_misses),
@@ -317,6 +400,116 @@ pub fn ablation_deadline(cfg: &ExpConfig) -> Report {
         t,
     )
     .with_note("tight deadlines trade detection quality for bounded per-frame latency")
+}
+
+/// Extension: multi-edge serving — N edge sessions with heterogeneous links
+/// and policies sharing one batched cloud server, a scenario the paper's
+/// single-edge deployment (and our legacy `run_system`) cannot express.
+pub fn multiedge(cfg: &ExpConfig) -> Report {
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Helmet,
+        cfg,
+    );
+    let (small, big) = run.detectors(ModelKind::VggLiteSsd, ModelKind::SsdVgg16);
+    let disc = run.discriminator();
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(big);
+
+    let mut cloud = CloudServer::spawn(
+        CloudConfig {
+            max_batch: 4,
+            ..CloudConfig::default()
+        },
+        big,
+    );
+    let base = SessionConfig {
+        frame_size: (cfg.render_size.0.max(96), cfg.render_size.1.max(96)),
+        ..SessionConfig::new(run.num_classes)
+    };
+    let specs: [(
+        &str,
+        simnet::LinkModel,
+        Box<dyn smallbig_core::OffloadPolicy>,
+    ); 4] = [
+        (
+            "fast-wifi + discriminator",
+            simnet::LinkModel::fast_wifi(),
+            Box::new(disc.clone()),
+        ),
+        (
+            "wlan + discriminator",
+            simnet::LinkModel::wlan(),
+            Box::new(disc.clone()),
+        ),
+        (
+            "cellular + random 30%",
+            simnet::LinkModel::cellular(),
+            Box::new(Policy::Random {
+                upload_fraction: 0.3,
+                seed: 7,
+            }),
+        ),
+        (
+            "wlan + cloud-only",
+            simnet::LinkModel::wlan(),
+            Box::new(Policy::CloudOnly),
+        ),
+    ];
+    let mut names = Vec::new();
+    let mut sessions = Vec::new();
+    for (i, (name, link, policy)) in specs.into_iter().enumerate() {
+        names.push(name);
+        sessions.push(cloud.connect(
+            SessionConfig {
+                link,
+                seed: 1 + i as u64,
+                ..base.clone()
+            },
+            &small,
+            policy,
+        ));
+    }
+    // Skewed traffic: session k sees every (k+1)-th frame of the stream.
+    for (i, scene) in run.split.test.iter().enumerate() {
+        for (k, session) in sessions.iter_mut().enumerate() {
+            if i % (k + 1) == 0 {
+                session.submit(scene);
+            }
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "edge session".into(),
+        "frames".into(),
+        "upload(%)".into(),
+        "mAP(%)".into(),
+        "total(s)".into(),
+        "mean latency(ms)".into(),
+    ]);
+    for (name, session) in names.iter().zip(sessions.iter_mut()) {
+        let r = session.drain();
+        t.add_row(vec![
+            (*name).into(),
+            r.frames.to_string(),
+            f2(r.upload_ratio * 100.0),
+            f2(r.map_pct),
+            f2(r.total_time_s),
+            f2(r.latency.mean_s() * 1000.0),
+        ]);
+    }
+    drop(sessions);
+    let stats = cloud.shutdown();
+    Report::new(
+        "multiedge",
+        "Extension: heterogeneous multi-edge serving against one batched cloud",
+        t,
+    )
+    .with_note(format!(
+        "cloud served {} frames in {} batches (max batch 4), busy {:.2}s",
+        stats.served, stats.batches, stats.busy_s
+    ))
+    .with_note("sessions share one FIFO scheduler; links and policies differ per edge")
 }
 
 #[cfg(test)]

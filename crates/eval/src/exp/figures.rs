@@ -5,14 +5,17 @@ use crate::table::{f2, Table};
 use crate::Report;
 use datagen::SplitId;
 use modelzoo::ModelKind;
-use smallbig_core::{
-    BinaryStats, DifficultCaseDiscriminator, Policy, Thresholds,
-};
+use smallbig_core::{BinaryStats, DifficultCaseDiscriminator, Policy, Thresholds};
 
 /// Figure 4: distribution of easy/difficult cases over the two semantic
 /// features (object count × minimum area ratio), as a 2-D difficulty grid.
 pub fn fig4(cfg: &ExpConfig) -> Report {
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc0712, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Voc0712,
+        cfg,
+    );
     // Bin the labelled training examples like the scatter plot.
     let count_bins = [1usize, 2, 3, 4, 6, 9, 100];
     let area_bins = [0.0f64, 0.02, 0.05, 0.1, 0.2, 0.31, 0.5, 1.01];
@@ -31,10 +34,7 @@ pub fn fig4(cfg: &ExpConfig) -> Report {
         for w in area_bins.windows(2) {
             let in_bin = run.train_examples.iter().filter(|e| {
                 let a = e.true_min_area.unwrap_or(1.0);
-                e.true_count > prev_count
-                    && e.true_count <= cmax
-                    && a >= w[0]
-                    && a < w[1]
+                e.true_count > prev_count && e.true_count <= cmax && a >= w[0] && a < w[1]
             });
             let (mut difficult, mut total) = (0usize, 0usize);
             for e in in_bin {
@@ -64,7 +64,12 @@ pub fn fig4(cfg: &ExpConfig) -> Report {
 /// Figure 7: discriminator metrics when fixing the count threshold at 2 and
 /// sweeping the minimum-area threshold (ground-truth features, train set).
 pub fn fig7(cfg: &ExpConfig) -> Report {
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc0712, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Voc0712,
+        cfg,
+    );
     let mut t = Table::new(vec![
         "area threshold".into(),
         "accuracy(%)".into(),
@@ -75,7 +80,11 @@ pub fn fig7(cfg: &ExpConfig) -> Report {
     let mut best: Option<(f64, f64)> = None;
     for step in 1..=19 {
         let area = step as f64 * 0.05;
-        let disc = DifficultCaseDiscriminator::new(Thresholds { conf: 0.2, count: 2, area });
+        let disc = DifficultCaseDiscriminator::new(Thresholds {
+            conf: 0.2,
+            count: 2,
+            area,
+        });
         let stats = BinaryStats::from_pairs(run.train_examples.iter().map(|e| {
             (
                 disc.classify_true_features(e.true_count, e.true_min_area),
@@ -106,19 +115,35 @@ pub fn fig7(cfg: &ExpConfig) -> Report {
 }
 
 fn upload_sweep(cfg: &ExpConfig, detected: bool) -> Table {
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc0712, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Voc0712,
+        cfg,
+    );
     let t_conf = run.calibration.thresholds.conf;
     let mut t = Table::new(vec![
         "upload ratio(%)".into(),
-        if detected { "detected objects".into() } else { "end-to-end mAP(%)".into() },
-        if detected { "% of cloud-only".into() } else { "% of cloud-only mAP".into() },
+        if detected {
+            "detected objects".into()
+        } else {
+            "end-to-end mAP(%)".into()
+        },
+        if detected {
+            "% of cloud-only".into()
+        } else {
+            "% of cloud-only mAP".into()
+        },
     ]);
     for step in 0..=10 {
         let q = step as f64 / 10.0;
         let out = run.evaluate_policy(
             ModelKind::VggLiteSsd,
             ModelKind::SsdVgg16,
-            &Policy::DifficultyQuantile { upload_fraction: q, t_conf },
+            &Policy::DifficultyQuantile {
+                upload_fraction: q,
+                t_conf,
+            },
         );
         if detected {
             t.add_row(vec![

@@ -1,7 +1,7 @@
 //! Reproductions of the paper's Tables I–XVII.
 
-use crate::paper;
 use crate::pairs::{pair_run, ExpConfig};
+use crate::paper;
 use crate::table::{f2, with_paper, Table};
 use crate::Report;
 use datagen::SplitId;
@@ -37,8 +37,7 @@ fn map_table(
             with_paper(o.upload_ratio * 100.0, p.upload),
         ]);
     }
-    let paper_avg =
-        paper_rows.iter().map(|r| r.upload).sum::<f64>() / paper_rows.len() as f64;
+    let paper_avg = paper_rows.iter().map(|r| r.upload).sum::<f64>() / paper_rows.len() as f64;
     t.add_row(vec![
         "Average".into(),
         "-".into(),
@@ -78,8 +77,7 @@ fn det_table(
             with_paper(o.e2e_detected_vs_big_pct(), p.e2e_vs_big),
         ]);
     }
-    let paper_avg =
-        paper_rows.iter().map(|r| r.e2e_vs_big).sum::<f64>() / paper_rows.len() as f64;
+    let paper_avg = paper_rows.iter().map(|r| r.e2e_vs_big).sum::<f64>() / paper_rows.len() as f64;
     t.add_row(vec![
         "Average".into(),
         "-".into(),
@@ -93,7 +91,12 @@ fn det_table(
 
 /// Table I: discriminator accuracy/F1/precision/recall, train vs test.
 pub fn table1(cfg: &ExpConfig) -> Report {
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc0712, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Voc0712,
+        cfg,
+    );
     let mut t = Table::new(vec![
         "".into(),
         "Accuracy(%)".into(),
@@ -152,9 +155,7 @@ pub fn table2(_cfg: &ExpConfig) -> Report {
         "Pruned(%)".into(),
         "FLOPs(Billion)".into(),
     ]);
-    for ((name, net), (pname, psize, ppruned, pflops)) in
-        nets.iter().zip(paper::table2::ROWS)
-    {
+    for ((name, net), (pname, psize, ppruned, pflops)) in nets.iter().zip(paper::table2::ROWS) {
         assert_eq!(*name, pname);
         let pruned = if *name == "SSD" {
             "-".to_string()
@@ -284,13 +285,29 @@ pub fn table10(cfg: &ExpConfig) -> Report {
 
 /// Table XI: HELMET under real-world edge-cloud collaboration.
 pub fn table11(cfg: &ExpConfig) -> Report {
-    let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Helmet, cfg);
+    let run = pair_run(
+        ModelKind::VggLiteSsd,
+        ModelKind::SsdVgg16,
+        SplitId::Helmet,
+        cfg,
+    );
     let (small, big) = run.detectors(ModelKind::VggLiteSsd, ModelKind::SsdVgg16);
     let disc = run.discriminator();
-    let rt_cfg = RuntimeConfig { frame_size: (300, 300), ..Default::default() };
+    let rt_cfg = RuntimeConfig {
+        frame_size: (300, 300),
+        ..Default::default()
+    };
     let rows = [
-        ("Edge-only", RuntimeMode::EdgeOnly, paper::table11::EDGE_ONLY),
-        ("Cloud-only", RuntimeMode::CloudOnly, paper::table11::CLOUD_ONLY),
+        (
+            "Edge-only",
+            RuntimeMode::EdgeOnly,
+            paper::table11::EDGE_ONLY,
+        ),
+        (
+            "Cloud-only",
+            RuntimeMode::CloudOnly,
+            paper::table11::CLOUD_ONLY,
+        ),
         ("Our method", RuntimeMode::SmallBig, paper::table11::OURS),
     ];
     let mut t = Table::new(vec![
@@ -381,7 +398,10 @@ pub fn table12(cfg: &ExpConfig) -> Report {
     baseline_map_table(
         "table12",
         "Table XII: mAP of the method randomly uploading images to the cloud",
-        |run| Policy::Random { upload_fraction: run.ours.upload_ratio, seed: 0xabc },
+        |run| Policy::Random {
+            upload_fraction: run.ours.upload_ratio,
+            seed: 0xabc,
+        },
         &paper::baselines::RANDOM_MAP,
         cfg,
     )
@@ -393,7 +413,10 @@ pub fn table13(cfg: &ExpConfig) -> Report {
     baseline_det_table(
         "table13",
         "Table XIII: detected objects of the method randomly uploading images",
-        |run| Policy::Random { upload_fraction: run.ours.upload_ratio, seed: 0xabc },
+        |run| Policy::Random {
+            upload_fraction: run.ours.upload_ratio,
+            seed: 0xabc,
+        },
         &paper::baselines::RANDOM_DETS,
         cfg,
     )
@@ -435,7 +458,9 @@ pub fn table16(cfg: &ExpConfig) -> Report {
     baseline_map_table(
         "table16",
         "Table XVI: mAP of the method uploading images by top-1 confidence score",
-        |run| Policy::Top1Quantile { upload_fraction: run.ours.upload_ratio },
+        |run| Policy::Top1Quantile {
+            upload_fraction: run.ours.upload_ratio,
+        },
         &paper::baselines::TOP1_MAP,
         cfg,
     )
@@ -447,7 +472,9 @@ pub fn table17(cfg: &ExpConfig) -> Report {
     baseline_det_table(
         "table17",
         "Table XVII: detected objects of the method uploading by top-1 confidence",
-        |run| Policy::Top1Quantile { upload_fraction: run.ours.upload_ratio },
+        |run| Policy::Top1Quantile {
+            upload_fraction: run.ours.upload_ratio,
+        },
         &paper::baselines::TOP1_DETS,
         cfg,
     )

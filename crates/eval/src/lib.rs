@@ -29,8 +29,8 @@ mod exp {
     pub mod figures;
     pub mod tables;
 }
-pub mod paper;
 mod pairs;
+pub mod paper;
 mod table;
 
 pub use pairs::{pair_run, ExpConfig, PairRun, SSD_SMALLS};
@@ -54,7 +54,12 @@ pub struct Report {
 impl Report {
     /// Creates a report.
     pub fn new(id: &str, title: &str, table: Table) -> Self {
-        Report { id: id.to_string(), title: title.to_string(), table, notes: Vec::new() }
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            table,
+            notes: Vec::new(),
+        }
     }
 
     /// Appends a note line.
@@ -76,7 +81,7 @@ impl fmt::Display for Report {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 28] = [
+pub const ALL_EXPERIMENTS: [&str; 29] = [
     "motivation",
     "table1",
     "table2",
@@ -105,6 +110,7 @@ pub const ALL_EXPERIMENTS: [&str; 28] = [
     "ablation-deadline",
     "compress",
     "perclass",
+    "multiedge",
 ];
 
 /// Runs one experiment by id (or `"all"`).
@@ -150,6 +156,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Result<Vec<Report>, String> 
         "ablation-deadline" => extras::ablation_deadline(cfg),
         "compress" => extras::compress(cfg),
         "perclass" => extras::perclass(cfg),
+        "multiedge" => extras::multiedge(cfg),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(vec![report])

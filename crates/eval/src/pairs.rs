@@ -25,14 +25,20 @@ pub struct ExpConfig {
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { scale: 1.0, render_size: (128, 96) }
+        ExpConfig {
+            scale: 1.0,
+            render_size: (128, 96),
+        }
     }
 }
 
 impl ExpConfig {
     /// A reduced-scale config for quick runs and tests.
     pub fn quick() -> Self {
-        ExpConfig { scale: 0.02, render_size: (64, 48) }
+        ExpConfig {
+            scale: 0.02,
+            render_size: (64, 48),
+        }
     }
 }
 
@@ -77,7 +83,13 @@ impl PairRun {
         policy: &Policy,
     ) -> EvalOutcome {
         let (small, big) = self.detectors(small_kind, big_kind);
-        evaluate(&self.split.test, &small, &big, policy, &EvalConfig::default())
+        evaluate(
+            &self.split.test,
+            &small,
+            &big,
+            policy,
+            &EvalConfig::default(),
+        )
     }
 }
 
@@ -106,8 +118,7 @@ pub fn pair_run(
     let big = SimDetector::new(big_kind, split_id, num_classes);
     let (calibration, train_examples) = calibrate(&split.train, &small, &big);
     let disc = DifficultCaseDiscriminator::new(calibration.thresholds);
-    let test_stats =
-        smallbig_core::discriminator_test_stats(&split.test, &small, &big, &disc);
+    let test_stats = smallbig_core::discriminator_test_stats(&split.test, &small, &big, &disc);
     let ours = evaluate(
         &split.test,
         &small,
@@ -142,15 +153,30 @@ mod tests {
     #[test]
     fn cache_returns_same_arc() {
         let cfg = ExpConfig::quick();
-        let a = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, &cfg);
-        let b = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, &cfg);
+        let a = pair_run(
+            ModelKind::VggLiteSsd,
+            ModelKind::SsdVgg16,
+            SplitId::Voc07,
+            &cfg,
+        );
+        let b = pair_run(
+            ModelKind::VggLiteSsd,
+            ModelKind::SsdVgg16,
+            SplitId::Voc07,
+            &cfg,
+        );
         assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
     fn pair_run_is_complete() {
         let cfg = ExpConfig::quick();
-        let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, &cfg);
+        let run = pair_run(
+            ModelKind::VggLiteSsd,
+            ModelKind::SsdVgg16,
+            SplitId::Voc07,
+            &cfg,
+        );
         assert!(!run.train_examples.is_empty());
         assert!(run.ours.num_images > 0);
         assert!(run.calibration.thresholds.conf > 0.0);
@@ -160,7 +186,12 @@ mod tests {
     #[test]
     fn evaluate_policy_reuses_split() {
         let cfg = ExpConfig::quick();
-        let run = pair_run(ModelKind::VggLiteSsd, ModelKind::SsdVgg16, SplitId::Voc07, &cfg);
+        let run = pair_run(
+            ModelKind::VggLiteSsd,
+            ModelKind::SsdVgg16,
+            SplitId::Voc07,
+            &cfg,
+        );
         let cloud = run.evaluate_policy(
             ModelKind::VggLiteSsd,
             ModelKind::SsdVgg16,

@@ -59,17 +59,65 @@ pub mod small1 {
     use super::{DetRow, MapRow};
     /// Table III.
     pub const MAP: [MapRow; 4] = [
-        MapRow { split: "07", big: 70.76, small: 41.28, e2e: 62.68, upload: 51.47 },
-        MapRow { split: "07+12", big: 77.41, small: 51.34, e2e: 71.61, upload: 51.23 },
-        MapRow { split: "07++12", big: 72.31, small: 49.02, e2e: 66.42, upload: 50.76 },
-        MapRow { split: "COCO", big: 42.18, small: 27.78, e2e: 38.76, upload: 52.09 },
+        MapRow {
+            split: "07",
+            big: 70.76,
+            small: 41.28,
+            e2e: 62.68,
+            upload: 51.47,
+        },
+        MapRow {
+            split: "07+12",
+            big: 77.41,
+            small: 51.34,
+            e2e: 71.61,
+            upload: 51.23,
+        },
+        MapRow {
+            split: "07++12",
+            big: 72.31,
+            small: 49.02,
+            e2e: 66.42,
+            upload: 50.76,
+        },
+        MapRow {
+            split: "COCO",
+            big: 42.18,
+            small: 27.78,
+            e2e: 38.76,
+            upload: 52.09,
+        },
     ];
     /// Table IV.
     pub const DETS: [DetRow; 4] = [
-        DetRow { split: "07", big: 9055, small: 4759, e2e: 8325, e2e_vs_big: 93.00 },
-        DetRow { split: "07+12", big: 9628, small: 5511, e2e: 9100, e2e_vs_big: 94.51 },
-        DetRow { split: "07++12", big: 8434, small: 5202, e2e: 7852, e2e_vs_big: 95.07 },
-        DetRow { split: "COCO", big: 7996, small: 4353, e2e: 7424, e2e_vs_big: 92.84 },
+        DetRow {
+            split: "07",
+            big: 9055,
+            small: 4759,
+            e2e: 8325,
+            e2e_vs_big: 93.00,
+        },
+        DetRow {
+            split: "07+12",
+            big: 9628,
+            small: 5511,
+            e2e: 9100,
+            e2e_vs_big: 94.51,
+        },
+        DetRow {
+            split: "07++12",
+            big: 8434,
+            small: 5202,
+            e2e: 7852,
+            e2e_vs_big: 95.07,
+        },
+        DetRow {
+            split: "COCO",
+            big: 7996,
+            small: 4353,
+            e2e: 7424,
+            e2e_vs_big: 92.84,
+        },
     ];
 }
 
@@ -78,17 +126,65 @@ pub mod small2 {
     use super::{DetRow, MapRow};
     /// Table V (as printed; see EXPERIMENTS.md on the V/VII caption swap).
     pub const MAP: [MapRow; 4] = [
-        MapRow { split: "07", big: 70.76, small: 49.62, e2e: 64.00, upload: 52.16 },
-        MapRow { split: "07+12", big: 77.41, small: 56.24, e2e: 71.38, upload: 51.97 },
-        MapRow { split: "07++12", big: 72.31, small: 56.01, e2e: 67.80, upload: 51.69 },
-        MapRow { split: "COCO", big: 42.18, small: 32.66, e2e: 41.46, upload: 50.65 },
+        MapRow {
+            split: "07",
+            big: 70.76,
+            small: 49.62,
+            e2e: 64.00,
+            upload: 52.16,
+        },
+        MapRow {
+            split: "07+12",
+            big: 77.41,
+            small: 56.24,
+            e2e: 71.38,
+            upload: 51.97,
+        },
+        MapRow {
+            split: "07++12",
+            big: 72.31,
+            small: 56.01,
+            e2e: 67.80,
+            upload: 51.69,
+        },
+        MapRow {
+            split: "COCO",
+            big: 42.18,
+            small: 32.66,
+            e2e: 41.46,
+            upload: 50.65,
+        },
     ];
     /// Table VI.
     pub const DETS: [DetRow; 4] = [
-        DetRow { split: "07", big: 9055, small: 6264, e2e: 8810, e2e_vs_big: 97.29 },
-        DetRow { split: "07+12", big: 9628, small: 6486, e2e: 9320, e2e_vs_big: 96.80 },
-        DetRow { split: "07++12", big: 8434, small: 6393, e2e: 8323, e2e_vs_big: 98.68 },
-        DetRow { split: "COCO", big: 7996, small: 6257, e2e: 7884, e2e_vs_big: 98.60 },
+        DetRow {
+            split: "07",
+            big: 9055,
+            small: 6264,
+            e2e: 8810,
+            e2e_vs_big: 97.29,
+        },
+        DetRow {
+            split: "07+12",
+            big: 9628,
+            small: 6486,
+            e2e: 9320,
+            e2e_vs_big: 96.80,
+        },
+        DetRow {
+            split: "07++12",
+            big: 8434,
+            small: 6393,
+            e2e: 8323,
+            e2e_vs_big: 98.68,
+        },
+        DetRow {
+            split: "COCO",
+            big: 7996,
+            small: 6257,
+            e2e: 7884,
+            e2e_vs_big: 98.60,
+        },
     ];
 }
 
@@ -97,17 +193,65 @@ pub mod small3 {
     use super::{DetRow, MapRow};
     /// Table VII.
     pub const MAP: [MapRow; 4] = [
-        MapRow { split: "07", big: 70.76, small: 42.00, e2e: 64.29, upload: 51.99 },
-        MapRow { split: "07+12", big: 77.41, small: 48.47, e2e: 72.24, upload: 51.85 },
-        MapRow { split: "07++12", big: 72.31, small: 44.84, e2e: 66.42, upload: 51.99 },
-        MapRow { split: "COCO", big: 42.18, small: 26.85, e2e: 38.50, upload: 48.96 },
+        MapRow {
+            split: "07",
+            big: 70.76,
+            small: 42.00,
+            e2e: 64.29,
+            upload: 51.99,
+        },
+        MapRow {
+            split: "07+12",
+            big: 77.41,
+            small: 48.47,
+            e2e: 72.24,
+            upload: 51.85,
+        },
+        MapRow {
+            split: "07++12",
+            big: 72.31,
+            small: 44.84,
+            e2e: 66.42,
+            upload: 51.99,
+        },
+        MapRow {
+            split: "COCO",
+            big: 42.18,
+            small: 26.85,
+            e2e: 38.50,
+            upload: 48.96,
+        },
     ];
     /// Table VIII.
     pub const DETS: [DetRow; 4] = [
-        DetRow { split: "07", big: 9055, small: 4889, e2e: 8647, e2e_vs_big: 95.49 },
-        DetRow { split: "07+12", big: 9628, small: 5242, e2e: 9079, e2e_vs_big: 94.29 },
-        DetRow { split: "07++12", big: 8434, small: 4645, e2e: 8101, e2e_vs_big: 96.05 },
-        DetRow { split: "COCO", big: 7996, small: 6388, e2e: 7917, e2e_vs_big: 99.01 },
+        DetRow {
+            split: "07",
+            big: 9055,
+            small: 4889,
+            e2e: 8647,
+            e2e_vs_big: 95.49,
+        },
+        DetRow {
+            split: "07+12",
+            big: 9628,
+            small: 5242,
+            e2e: 9079,
+            e2e_vs_big: 94.29,
+        },
+        DetRow {
+            split: "07++12",
+            big: 8434,
+            small: 4645,
+            e2e: 8101,
+            e2e_vs_big: 96.05,
+        },
+        DetRow {
+            split: "COCO",
+            big: 7996,
+            small: 6388,
+            e2e: 7917,
+            e2e_vs_big: 99.01,
+        },
     ];
 }
 
@@ -116,13 +260,37 @@ pub mod yolo {
     use super::{DetRow, MapRow};
     /// Table IX (paper prints small before big for this table).
     pub const MAP: [MapRow; 2] = [
-        MapRow { split: "07", big: 83.48, small: 73.64, e2e: 79.52, upload: 20.90 },
-        MapRow { split: "07+12", big: 90.02, small: 79.72, e2e: 85.78, upload: 21.32 },
+        MapRow {
+            split: "07",
+            big: 83.48,
+            small: 73.64,
+            e2e: 79.52,
+            upload: 20.90,
+        },
+        MapRow {
+            split: "07+12",
+            big: 90.02,
+            small: 79.72,
+            e2e: 85.78,
+            upload: 21.32,
+        },
     ];
     /// Table X.
     pub const DETS: [DetRow; 2] = [
-        DetRow { split: "07", big: 11098, small: 10509, e2e: 10985, e2e_vs_big: 98.98 },
-        DetRow { split: "07+12", big: 11574, small: 10478, e2e: 11360, e2e_vs_big: 98.15 },
+        DetRow {
+            split: "07",
+            big: 11098,
+            small: 10509,
+            e2e: 10985,
+            e2e_vs_big: 98.98,
+        },
+        DetRow {
+            split: "07+12",
+            big: 11574,
+            small: 10478,
+            e2e: 11360,
+            e2e_vs_big: 98.15,
+        },
     ];
 }
 

@@ -30,7 +30,10 @@ impl Table {
     /// Panics if `headers` is empty.
     pub fn new(headers: Vec<String>) -> Self {
         assert!(!headers.is_empty(), "table needs at least one column");
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row.

@@ -43,7 +43,11 @@ impl GrayImage {
     /// Panics if either dimension is zero.
     pub fn filled(width: usize, height: usize, value: u8) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        GrayImage { width, height, pixels: vec![value; width * height] }
+        GrayImage {
+            width,
+            height,
+            pixels: vec![value; width * height],
+        }
     }
 
     /// Creates an image from raw row-major pixels.
@@ -54,7 +58,11 @@ impl GrayImage {
     pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
         assert_eq!(pixels.len(), width * height, "pixel buffer size mismatch");
-        GrayImage { width, height, pixels }
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Image width in pixels.

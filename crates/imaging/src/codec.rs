@@ -98,7 +98,7 @@ mod tests {
     fn entropy_bounded_by_8_bits() {
         let frame = render(&RenderSpec::empty(64, 64, 17));
         let e = residual_entropy_bits(&frame);
-        assert!(e >= 0.0 && e <= 8.0);
+        assert!((0.0..=8.0).contains(&e));
     }
 
     #[test]

@@ -26,7 +26,13 @@ pub fn gaussian_kernel(sigma: f64) -> Vec<f64> {
     kernel
 }
 
-fn convolve_1d(src: &[f64], width: usize, height: usize, kernel: &[f64], horizontal: bool) -> Vec<f64> {
+fn convolve_1d(
+    src: &[f64],
+    width: usize,
+    height: usize,
+    kernel: &[f64],
+    horizontal: bool,
+) -> Vec<f64> {
     let radius = (kernel.len() / 2) as i64;
     let mut out = vec![0.0; src.len()];
     for y in 0..height as i64 {
@@ -34,7 +40,11 @@ fn convolve_1d(src: &[f64], width: usize, height: usize, kernel: &[f64], horizon
             let mut acc = 0.0;
             for (ki, &k) in kernel.iter().enumerate() {
                 let off = ki as i64 - radius;
-                let (sx, sy) = if horizontal { (x + off, y) } else { (x, y + off) };
+                let (sx, sy) = if horizontal {
+                    (x + off, y)
+                } else {
+                    (x, y + off)
+                };
                 // clamp-to-edge boundary
                 let sx = sx.clamp(0, width as i64 - 1);
                 let sy = sy.clamp(0, height as i64 - 1);
@@ -66,7 +76,10 @@ fn convolve_1d(src: &[f64], width: usize, height: usize, kernel: &[f64], horizon
 ///
 /// Panics if `sigma` is negative or not finite.
 pub fn gaussian_blur(img: &GrayImage, sigma: f64) -> GrayImage {
-    assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "sigma must be non-negative"
+    );
     if sigma == 0.0 {
         return img.clone();
     }
@@ -78,7 +91,9 @@ pub fn gaussian_blur(img: &GrayImage, sigma: f64) -> GrayImage {
     GrayImage::from_pixels(
         w,
         h,
-        out.into_iter().map(|v| v.round().clamp(0.0, 255.0) as u8).collect(),
+        out.into_iter()
+            .map(|v| v.round().clamp(0.0, 255.0) as u8)
+            .collect(),
     )
 }
 
@@ -87,8 +102,15 @@ pub fn gaussian_blur(img: &GrayImage, sigma: f64) -> GrayImage {
 /// # Panics
 ///
 /// Panics if `std_dev` is negative or not finite.
-pub fn add_gaussian_noise<R: Rng + ?Sized>(img: &GrayImage, std_dev: f64, rng: &mut R) -> GrayImage {
-    assert!(std_dev.is_finite() && std_dev >= 0.0, "std_dev must be non-negative");
+pub fn add_gaussian_noise<R: Rng + ?Sized>(
+    img: &GrayImage,
+    std_dev: f64,
+    rng: &mut R,
+) -> GrayImage {
+    assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "std_dev must be non-negative"
+    );
     if std_dev == 0.0 {
         return img.clone();
     }

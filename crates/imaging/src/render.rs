@@ -74,7 +74,9 @@ fn mix(mut z: u64) -> u64 {
 /// Hash-based value noise in `[0, 255]` for lattice cell `(cx, cy)`.
 #[inline]
 fn lattice_value(seed: u64, cx: i64, cy: i64) -> f64 {
-    let h = mix(seed ^ (cx as u64).wrapping_mul(0x517c_c1b7_2722_0a95) ^ (cy as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    let h = mix(seed
+        ^ (cx as u64).wrapping_mul(0x517c_c1b7_2722_0a95)
+        ^ (cy as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
     (h & 0xff) as f64
 }
 
@@ -118,7 +120,10 @@ fn value_noise(seed: u64, x: usize, y: usize, cell: usize) -> f64 {
 ///
 /// Panics if the spec has a zero dimension.
 pub fn render(spec: &RenderSpec) -> GrayImage {
-    assert!(spec.width > 0 && spec.height > 0, "frame dimensions must be positive");
+    assert!(
+        spec.width > 0 && spec.height > 0,
+        "frame dimensions must be positive"
+    );
     let mut img = GrayImage::new(spec.width, spec.height);
     // Background: two octaves of value noise around mid-grey.
     for y in 0..spec.height {
@@ -138,10 +143,8 @@ pub fn render(spec: &RenderSpec) -> GrayImage {
         let border = (((x1 - x0).min(y1 - y0)) / 8).max(1);
         for y in y0..y1 {
             for x in x0..x1 {
-                let on_border = x < x0 + border
-                    || x >= x1 - border
-                    || y < y0 + border
-                    || y >= y1 - border;
+                let on_border =
+                    x < x0 + border || x >= x1 - border || y < y0 + border || y >= y1 - border;
                 let tex = value_noise(obj.texture_seed, x - x0, y - y0, 4);
                 let base = obj.base_intensity as f64;
                 let v = if on_border {

@@ -95,7 +95,15 @@ mod tests {
         let mut img = GrayImage::new(w, h);
         for y in 0..h {
             for x in 0..w {
-                img.set(x, y, if (x / period) % 2 == 0 { 0 } else { 255 });
+                img.set(
+                    x,
+                    y,
+                    if (x / period).is_multiple_of(2) {
+                        0
+                    } else {
+                        255
+                    },
+                );
             }
         }
         img

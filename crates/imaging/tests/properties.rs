@@ -12,7 +12,9 @@ fn arb_image() -> impl Strategy<Value = GrayImage> {
         let mut pixels = Vec::with_capacity(w * h);
         let mut s = seed | 1;
         for _ in 0..w * h {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             pixels.push((s >> 33) as u8);
         }
         GrayImage::from_pixels(w, h, pixels)

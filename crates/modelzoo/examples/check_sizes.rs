@@ -1,6 +1,10 @@
 fn main() {
     let big = modelzoo::ssd300_vgg16(20);
-    println!("SSD300:   {:>7.2} MB  {:>6.2} GFLOPs", big.size_mb(), big.gflops());
+    println!(
+        "SSD300:   {:>7.2} MB  {:>6.2} GFLOPs",
+        big.size_mb(),
+        big.gflops()
+    );
     for (name, net) in [
         ("VGG-Lite", modelzoo::vgg_lite_ssd(20)),
         ("MNv1-SSD", modelzoo::mobilenet_v1_ssd_paper(20)),
@@ -8,7 +12,9 @@ fn main() {
     ] {
         println!(
             "{name}: {:>7.2} MB  {:>6.2} GFLOPs  pruned {:>5.2}%",
-            net.size_mb(), net.gflops(), net.pruned_percent_vs(&big)
+            net.size_mb(),
+            net.gflops(),
+            net.pruned_percent_vs(&big)
         );
     }
 }

@@ -46,7 +46,9 @@ pub fn small_model_feature_maps() -> Vec<FeatureMapSpec> {
 
 /// Total number of default boxes across maps.
 pub fn num_default_boxes(maps: &[FeatureMapSpec]) -> usize {
-    maps.iter().map(|m| m.size * m.size * m.boxes_per_cell).sum()
+    maps.iter()
+        .map(|m| m.size * m.size * m.boxes_per_cell)
+        .sum()
 }
 
 /// Generates the actual default boxes for a feature-map set.
@@ -138,7 +140,11 @@ mod tests {
         let boxes = default_boxes(&maps);
         // mean area of the 38x38 map's boxes vs the 1x1 map's boxes
         let first: f64 = boxes[..5776].iter().map(|b| b.area()).sum::<f64>() / 5776.0;
-        let last: f64 = boxes[boxes.len() - 4..].iter().map(|b| b.area()).sum::<f64>() / 4.0;
+        let last: f64 = boxes[boxes.len() - 4..]
+            .iter()
+            .map(|b| b.area())
+            .sum::<f64>()
+            / 4.0;
         assert!(
             first < last / 10.0,
             "38x38 boxes analyse small objects: {first} vs {last}"

@@ -33,7 +33,10 @@ pub struct EdgeBudget {
 impl EdgeBudget {
     /// A size-only budget.
     pub fn size_mb(max_size_mb: f64) -> Self {
-        EdgeBudget { max_size_mb, max_gflops: None }
+        EdgeBudget {
+            max_size_mb,
+            max_gflops: None,
+        }
     }
 
     fn admits(&self, net: &Network) -> bool {
@@ -92,7 +95,10 @@ pub fn compress_to_budget(
     }
     // If even the widest fits, take it.
     if budget.admits(&build(base, num_classes, hi)) {
-        return Some(Compressed { alpha: hi, network: build(base, num_classes, hi) });
+        return Some(Compressed {
+            alpha: hi,
+            network: build(base, num_classes, hi),
+        });
     }
     for _ in 0..24 {
         let mid = (lo + hi) / 2.0;
@@ -102,7 +108,10 @@ pub fn compress_to_budget(
             hi = mid;
         }
     }
-    Some(Compressed { alpha: lo, network: build(base, num_classes, lo) })
+    Some(Compressed {
+        alpha: lo,
+        network: build(base, num_classes, lo),
+    })
 }
 
 #[cfg(test)]
@@ -111,8 +120,8 @@ mod tests {
 
     #[test]
     fn recovers_paper_small_model_2() {
-        let c = compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(12.05))
-            .unwrap();
+        let c =
+            compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(12.05)).unwrap();
         assert!(c.network.size_mb() <= 12.05);
         // the paper configuration uses alpha 0.85 at ~12 MB
         assert!((0.7..=1.0).contains(&c.alpha), "alpha {}", c.alpha);
@@ -120,8 +129,8 @@ mod tests {
 
     #[test]
     fn recovers_paper_small_model_3() {
-        let c = compress_to_budget(CompressBase::MobileNetV2, 20, EdgeBudget::size_mb(7.1))
-            .unwrap();
+        let c =
+            compress_to_budget(CompressBase::MobileNetV2, 20, EdgeBudget::size_mb(7.1)).unwrap();
         assert!(c.network.size_mb() <= 7.1);
         assert!((0.75..=1.05).contains(&c.alpha), "alpha {}", c.alpha);
     }
@@ -135,19 +144,22 @@ mod tests {
 
     #[test]
     fn generous_budget_takes_widest() {
-        let c = compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(500.0))
-            .unwrap();
+        let c =
+            compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(500.0)).unwrap();
         assert!((c.alpha - 1.5).abs() < 1e-9);
     }
 
     #[test]
     fn flops_constraint_binds() {
-        let size_only = compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(30.0))
-            .unwrap();
+        let size_only =
+            compress_to_budget(CompressBase::MobileNetV1, 20, EdgeBudget::size_mb(30.0)).unwrap();
         let tight = compress_to_budget(
             CompressBase::MobileNetV1,
             20,
-            EdgeBudget { max_size_mb: 30.0, max_gflops: Some(1.0) },
+            EdgeBudget {
+                max_size_mb: 30.0,
+                max_gflops: Some(1.0),
+            },
         )
         .unwrap();
         assert!(tight.alpha < size_only.alpha);
@@ -156,10 +168,10 @@ mod tests {
 
     #[test]
     fn result_is_monotone_in_budget() {
-        let small = compress_to_budget(CompressBase::MobileNetV2, 20, EdgeBudget::size_mb(4.0))
-            .unwrap();
-        let large = compress_to_budget(CompressBase::MobileNetV2, 20, EdgeBudget::size_mb(9.0))
-            .unwrap();
+        let small =
+            compress_to_budget(CompressBase::MobileNetV2, 20, EdgeBudget::size_mb(4.0)).unwrap();
+        let large =
+            compress_to_budget(CompressBase::MobileNetV2, 20, EdgeBudget::size_mb(9.0)).unwrap();
         assert!(small.alpha <= large.alpha);
         assert!(small.network.size_mb() <= large.network.size_mb());
     }

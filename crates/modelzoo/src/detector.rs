@@ -140,7 +140,9 @@ impl SimDetector {
 
     /// The shared per-object detection draw (common random number).
     fn object_draw(scene: &Scene, index: usize) -> f64 {
-        unit(mix(scene.seed ^ (index as u64 + 1).wrapping_mul(0xd6e8_feb8_6659_fd93)))
+        unit(mix(
+            scene.seed ^ (index as u64 + 1).wrapping_mul(0xd6e8_feb8_6659_fd93)
+        ))
     }
 }
 
@@ -184,7 +186,11 @@ impl Detector for SimDetector {
                 // Missed. Real SSD-style heads almost always leave a
                 // low-score box near a missed object (the paper's dog at
                 // 0.2507); only deeply invisible objects stay silent.
-                let emit_prob = if p > 0.02 { cap.sub_box_prob } else { cap.sub_box_prob * 0.3 };
+                let emit_prob = if p > 0.02 {
+                    cap.sub_box_prob
+                } else {
+                    cap.sub_box_prob * 0.3
+                };
                 if rng.gen::<f64>() < emit_prob {
                     let score = rng.gen_range(0.16..0.48);
                     let jitter = Normal::new(0.0, cap.loc_jitter * 2.0).expect("valid normal");

@@ -60,7 +60,11 @@ impl Layer {
     /// Output shape for the given input.
     pub fn output_shape(&self, input: TensorShape) -> TensorShape {
         match *self {
-            Layer::Conv2d { out_channels, stride, .. } => TensorShape::new(
+            Layer::Conv2d {
+                out_channels,
+                stride,
+                ..
+            } => TensorShape::new(
                 out_channels,
                 div_ceil(input.h, stride),
                 div_ceil(input.w, stride),
@@ -73,7 +77,10 @@ impl Layer {
             Layer::PointwiseConv { out_channels } => {
                 TensorShape::new(out_channels, input.h, input.w)
             }
-            Layer::Conv2dValid { out_channels, kernel } => {
+            Layer::Conv2dValid {
+                out_channels,
+                kernel,
+            } => {
                 assert!(
                     input.h >= kernel && input.w >= kernel,
                     "valid conv kernel exceeds input"
@@ -93,16 +100,17 @@ impl Layer {
     /// Learnable parameter count (weights + biases).
     pub fn params(&self, input: TensorShape) -> u64 {
         match *self {
-            Layer::Conv2d { out_channels, kernel, .. } => {
-                (kernel * kernel * input.c * out_channels + out_channels) as u64
-            }
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                ..
+            } => (kernel * kernel * input.c * out_channels + out_channels) as u64,
             Layer::DepthwiseConv { kernel, .. } => (kernel * kernel * input.c + input.c) as u64,
-            Layer::PointwiseConv { out_channels } => {
-                (input.c * out_channels + out_channels) as u64
-            }
-            Layer::Conv2dValid { out_channels, kernel } => {
-                (kernel * kernel * input.c * out_channels + out_channels) as u64
-            }
+            Layer::PointwiseConv { out_channels } => (input.c * out_channels + out_channels) as u64,
+            Layer::Conv2dValid {
+                out_channels,
+                kernel,
+            } => (kernel * kernel * input.c * out_channels + out_channels) as u64,
             Layer::MaxPool { .. } | Layer::GlobalAvgPool => 0,
             Layer::Dense { out_features } => {
                 (input.elements() as usize * out_features + out_features) as u64
@@ -114,8 +122,14 @@ impl Layer {
     pub fn flops(&self, input: TensorShape) -> u64 {
         let out = self.output_shape(input);
         match *self {
-            Layer::Conv2d { out_channels, kernel, .. } => {
-                2 * (kernel * kernel * input.c) as u64 * out_channels as u64 * (out.h * out.w) as u64
+            Layer::Conv2d {
+                out_channels,
+                kernel,
+                ..
+            } => {
+                2 * (kernel * kernel * input.c) as u64
+                    * out_channels as u64
+                    * (out.h * out.w) as u64
             }
             Layer::DepthwiseConv { kernel, .. } => {
                 2 * (kernel * kernel) as u64 * input.c as u64 * (out.h * out.w) as u64
@@ -123,12 +137,15 @@ impl Layer {
             Layer::PointwiseConv { out_channels } => {
                 2 * input.c as u64 * out_channels as u64 * (out.h * out.w) as u64
             }
-            Layer::Conv2dValid { out_channels, kernel } => {
-                2 * (kernel * kernel * input.c) as u64 * out_channels as u64 * (out.h * out.w) as u64
+            Layer::Conv2dValid {
+                out_channels,
+                kernel,
+            } => {
+                2 * (kernel * kernel * input.c) as u64
+                    * out_channels as u64
+                    * (out.h * out.w) as u64
             }
-            Layer::MaxPool { kernel, .. } => {
-                (kernel * kernel) as u64 * out.elements()
-            }
+            Layer::MaxPool { kernel, .. } => (kernel * kernel) as u64 * out.elements(),
             Layer::GlobalAvgPool => input.elements(),
             Layer::Dense { out_features } => 2 * input.elements() * out_features as u64,
         }
@@ -136,7 +153,7 @@ impl Layer {
 }
 
 fn div_ceil(a: usize, b: usize) -> usize {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 #[cfg(test)]
@@ -146,7 +163,11 @@ mod tests {
     #[test]
     fn conv_shape_and_flops() {
         let input = TensorShape::new(3, 300, 300);
-        let conv = Layer::Conv2d { out_channels: 64, kernel: 3, stride: 1 };
+        let conv = Layer::Conv2d {
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+        };
         let out = conv.output_shape(input);
         assert_eq!(out, TensorShape::new(64, 300, 300));
         assert_eq!(conv.params(input), (9 * 3 * 64 + 64) as u64);
@@ -156,7 +177,11 @@ mod tests {
     #[test]
     fn strided_conv_halves_spatial() {
         let input = TensorShape::new(64, 150, 150);
-        let conv = Layer::Conv2d { out_channels: 128, kernel: 3, stride: 2 };
+        let conv = Layer::Conv2d {
+            out_channels: 128,
+            kernel: 3,
+            stride: 2,
+        };
         assert_eq!(conv.output_shape(input), TensorShape::new(128, 75, 75));
     }
 
@@ -164,7 +189,10 @@ mod tests {
     fn ceil_mode_pooling() {
         // SSD's conv4_3 -> pool4: 75 -> 38 with ceil mode
         let input = TensorShape::new(512, 75, 75);
-        let pool = Layer::MaxPool { kernel: 2, stride: 2 };
+        let pool = Layer::MaxPool {
+            kernel: 2,
+            stride: 2,
+        };
         assert_eq!(pool.output_shape(input), TensorShape::new(512, 38, 38));
         assert_eq!(pool.params(input), 0);
     }
@@ -172,8 +200,15 @@ mod tests {
     #[test]
     fn depthwise_separable_cheaper_than_full() {
         let input = TensorShape::new(128, 38, 38);
-        let full = Layer::Conv2d { out_channels: 128, kernel: 3, stride: 1 };
-        let dw = Layer::DepthwiseConv { kernel: 3, stride: 1 };
+        let full = Layer::Conv2d {
+            out_channels: 128,
+            kernel: 3,
+            stride: 1,
+        };
+        let dw = Layer::DepthwiseConv {
+            kernel: 3,
+            stride: 1,
+        };
         let pw = Layer::PointwiseConv { out_channels: 128 };
         let dw_out = dw.output_shape(input);
         let separable = dw.flops(input) + pw.flops(dw_out);
@@ -183,7 +218,10 @@ mod tests {
     #[test]
     fn valid_conv_shrinks_spatial() {
         // SSD conv10_2: 5x5 -> 3x3, conv11_2: 3x3 -> 1x1
-        let c = Layer::Conv2dValid { out_channels: 256, kernel: 3 };
+        let c = Layer::Conv2dValid {
+            out_channels: 256,
+            kernel: 3,
+        };
         let five = TensorShape::new(128, 5, 5);
         assert_eq!(c.output_shape(five), TensorShape::new(256, 3, 3));
         let three = TensorShape::new(128, 3, 3);

@@ -41,8 +41,7 @@ mod tensor;
 mod yolo;
 
 pub use anchors::{
-    default_boxes, num_default_boxes, small_model_feature_maps, ssd300_feature_maps,
-    FeatureMapSpec,
+    default_boxes, num_default_boxes, small_model_feature_maps, ssd300_feature_maps, FeatureMapSpec,
 };
 pub use capability::{Capability, ModelKind};
 pub use compress::{compress_to_budget, CompressBase, Compressed, EdgeBudget};

@@ -15,7 +15,10 @@ fn scaled(channels: usize, alpha: f64) -> usize {
 
 /// Pushes a depthwise-separable block (3×3 depthwise + 1×1 pointwise).
 fn dw_block(net: &mut Network, name: &str, out_channels: usize, stride: usize) -> TensorShape {
-    net.push(&format!("{name}_dw"), Layer::DepthwiseConv { kernel: 3, stride });
+    net.push(
+        &format!("{name}_dw"),
+        Layer::DepthwiseConv { kernel: 3, stride },
+    );
     net.push(&format!("{name}_pw"), Layer::PointwiseConv { out_channels })
 }
 
@@ -28,7 +31,14 @@ pub fn mobilenet_v1_ssd(num_classes: usize, alpha: f64) -> Network {
     let mut net = Network::new("mobilenet-v1-ssd", TensorShape::new(3, 300, 300));
     let s = |c: usize| scaled(c, alpha);
 
-    net.push("conv1", Layer::Conv2d { out_channels: s(32), kernel: 3, stride: 2 }); // 150
+    net.push(
+        "conv1",
+        Layer::Conv2d {
+            out_channels: s(32),
+            kernel: 3,
+            stride: 2,
+        },
+    ); // 150
     dw_block(&mut net, "block2", s(64), 1); // 150
     dw_block(&mut net, "block3", s(128), 2); // 75
     dw_block(&mut net, "block4", s(128), 1);
@@ -44,11 +54,30 @@ pub fn mobilenet_v1_ssd(num_classes: usize, alpha: f64) -> Network {
 
     // SSD-style extra feature layers (reduced widths as in small model 1).
     net.push("extra1_1", Layer::PointwiseConv { out_channels: 128 });
-    let map5 = net.push("extra1_2", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 });
+    let map5 = net.push(
+        "extra1_2",
+        Layer::Conv2d {
+            out_channels: 256,
+            kernel: 3,
+            stride: 2,
+        },
+    );
     net.push("extra2_1", Layer::PointwiseConv { out_channels: 64 });
-    let map3 = net.push("extra2_2", Layer::Conv2dValid { out_channels: 128, kernel: 3 });
+    let map3 = net.push(
+        "extra2_2",
+        Layer::Conv2dValid {
+            out_channels: 128,
+            kernel: 3,
+        },
+    );
     net.push("extra3_1", Layer::PointwiseConv { out_channels: 64 });
-    let map1 = net.push("extra3_2", Layer::Conv2dValid { out_channels: 128, kernel: 3 });
+    let map1 = net.push(
+        "extra3_2",
+        Layer::Conv2dValid {
+            out_channels: 128,
+            kernel: 3,
+        },
+    );
 
     attach_sdlite_heads(
         &mut net,
@@ -81,11 +110,19 @@ fn inverted_residual(
     if expansion != 1 {
         net.push(
             &format!("{name}_expand"),
-            Layer::PointwiseConv { out_channels: in_c * expansion },
+            Layer::PointwiseConv {
+                out_channels: in_c * expansion,
+            },
         );
     }
-    net.push(&format!("{name}_dw"), Layer::DepthwiseConv { kernel: 3, stride });
-    net.push(&format!("{name}_project"), Layer::PointwiseConv { out_channels })
+    net.push(
+        &format!("{name}_dw"),
+        Layer::DepthwiseConv { kernel: 3, stride },
+    );
+    net.push(
+        &format!("{name}_project"),
+        Layer::PointwiseConv { out_channels },
+    )
 }
 
 /// Small model 3: MobileNetV2 base network + SSD extras, no 38×38 map.
@@ -94,7 +131,14 @@ pub fn mobilenet_v2_ssd(num_classes: usize, alpha: f64) -> Network {
     let mut net = Network::new("mobilenet-v2-ssd", TensorShape::new(3, 300, 300));
     let s = |c: usize| scaled(c, alpha);
 
-    net.push("conv1", Layer::Conv2d { out_channels: s(32), kernel: 3, stride: 2 }); // 150
+    net.push(
+        "conv1",
+        Layer::Conv2d {
+            out_channels: s(32),
+            kernel: 3,
+            stride: 2,
+        },
+    ); // 150
     inverted_residual(&mut net, "b1", s(16), 1, 1); // 150
     inverted_residual(&mut net, "b2", s(24), 6, 2); // 75
     inverted_residual(&mut net, "b3", s(24), 6, 1);
@@ -111,14 +155,38 @@ pub fn mobilenet_v2_ssd(num_classes: usize, alpha: f64) -> Network {
     inverted_residual(&mut net, "b14", s(160), 6, 2); // 10
     inverted_residual(&mut net, "b15", s(160), 6, 1);
     inverted_residual(&mut net, "b16", s(320), 6, 1);
-    let map10 = net.push("conv_last", Layer::PointwiseConv { out_channels: s(640) }); // 10
+    let map10 = net.push(
+        "conv_last",
+        Layer::PointwiseConv {
+            out_channels: s(640),
+        },
+    ); // 10
 
     net.push("extra1_1", Layer::PointwiseConv { out_channels: 96 });
-    let map5 = net.push("extra1_2", Layer::Conv2d { out_channels: 192, kernel: 3, stride: 2 });
+    let map5 = net.push(
+        "extra1_2",
+        Layer::Conv2d {
+            out_channels: 192,
+            kernel: 3,
+            stride: 2,
+        },
+    );
     net.push("extra2_1", Layer::PointwiseConv { out_channels: 48 });
-    let map3 = net.push("extra2_2", Layer::Conv2dValid { out_channels: 96, kernel: 3 });
+    let map3 = net.push(
+        "extra2_2",
+        Layer::Conv2dValid {
+            out_channels: 96,
+            kernel: 3,
+        },
+    );
     net.push("extra3_1", Layer::PointwiseConv { out_channels: 48 });
-    let map1 = net.push("extra3_2", Layer::Conv2dValid { out_channels: 96, kernel: 3 });
+    let map1 = net.push(
+        "extra3_2",
+        Layer::Conv2dValid {
+            out_channels: 96,
+            kernel: 3,
+        },
+    );
 
     attach_sdlite_heads(
         &mut net,
@@ -149,8 +217,18 @@ mod tests {
         let s1 = crate::vgg_lite_ssd(20);
         let s2 = mobilenet_v1_ssd_paper(20);
         let s3 = mobilenet_v2_ssd_paper(20);
-        assert!(s2.size_mb() < s1.size_mb(), "{} < {}", s2.size_mb(), s1.size_mb());
-        assert!(s3.size_mb() < s2.size_mb(), "{} < {}", s3.size_mb(), s2.size_mb());
+        assert!(
+            s2.size_mb() < s1.size_mb(),
+            "{} < {}",
+            s2.size_mb(),
+            s1.size_mb()
+        );
+        assert!(
+            s3.size_mb() < s2.size_mb(),
+            "{} < {}",
+            s3.size_mb(),
+            s2.size_mb()
+        );
     }
 
     #[test]

@@ -47,7 +47,12 @@ pub struct Network {
 impl Network {
     /// Creates an empty network with the given input shape.
     pub fn new(name: &str, input: TensorShape) -> Self {
-        Network { name: name.to_string(), input, trunk: Vec::new(), aux: Vec::new() }
+        Network {
+            name: name.to_string(),
+            input,
+            trunk: Vec::new(),
+            aux: Vec::new(),
+        }
     }
 
     /// Network name.
@@ -178,9 +183,29 @@ mod tests {
 
     fn tiny() -> Network {
         let mut net = Network::new("tiny", TensorShape::new(3, 32, 32));
-        net.push("conv1", Layer::Conv2d { out_channels: 8, kernel: 3, stride: 1 });
-        net.push("pool1", Layer::MaxPool { kernel: 2, stride: 2 });
-        net.push("conv2", Layer::Conv2d { out_channels: 16, kernel: 3, stride: 1 });
+        net.push(
+            "conv1",
+            Layer::Conv2d {
+                out_channels: 8,
+                kernel: 3,
+                stride: 1,
+            },
+        );
+        net.push(
+            "pool1",
+            Layer::MaxPool {
+                kernel: 2,
+                stride: 2,
+            },
+        );
+        net.push(
+            "conv2",
+            Layer::Conv2d {
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+            },
+        );
         net
     }
 
@@ -205,7 +230,15 @@ mod tests {
         let mut net = tiny();
         let before = net.total_params();
         let shape = net.shape_of("conv2").unwrap();
-        net.push_aux("head", Layer::Conv2d { out_channels: 4, kernel: 3, stride: 1 }, shape);
+        net.push_aux(
+            "head",
+            Layer::Conv2d {
+                out_channels: 4,
+                kernel: 3,
+                stride: 1,
+            },
+            shape,
+        );
         assert!(net.total_params() > before);
         // trunk output unchanged by aux
         assert_eq!(net.output_shape(), TensorShape::new(16, 16, 16));
@@ -215,7 +248,14 @@ mod tests {
     fn pruned_percent() {
         let big = tiny();
         let mut small = Network::new("small", TensorShape::new(3, 32, 32));
-        small.push("conv1", Layer::Conv2d { out_channels: 2, kernel: 3, stride: 1 });
+        small.push(
+            "conv1",
+            Layer::Conv2d {
+                out_channels: 2,
+                kernel: 3,
+                stride: 1,
+            },
+        );
         let pruned = small.pruned_percent_vs(&big);
         assert!(pruned > 0.0 && pruned < 100.0);
     }

@@ -54,7 +54,10 @@ impl PartitionAnalysis {
                 }
             })
             .collect();
-        PartitionAnalysis { network: net.name().to_string(), splits }
+        PartitionAnalysis {
+            network: net.name().to_string(),
+            splits,
+        }
     }
 
     /// The smallest transfer among split points whose device share of FLOPs
@@ -125,7 +128,12 @@ mod tests {
     fn full_budget_finds_global_min() {
         let analysis = PartitionAnalysis::of(&ssd300_vgg16(20));
         let sp = analysis.min_transfer_within_budget(1.0).unwrap();
-        let global_min = analysis.splits.iter().map(|s| s.transfer_bytes).min().unwrap();
+        let global_min = analysis
+            .splits
+            .iter()
+            .map(|s| s.transfer_bytes)
+            .min()
+            .unwrap();
         assert_eq!(sp.transfer_bytes, global_min);
     }
 }

@@ -14,7 +14,11 @@ pub(crate) fn attach_ssd_heads(
     num_classes: usize,
 ) {
     for (name, shape, boxes) in maps {
-        let loc = Layer::Conv2d { out_channels: boxes * 4, kernel: 3, stride: 1 };
+        let loc = Layer::Conv2d {
+            out_channels: boxes * 4,
+            kernel: 3,
+            stride: 1,
+        };
         let conf = Layer::Conv2d {
             out_channels: boxes * (num_classes + 1),
             kernel: 3,
@@ -35,17 +39,24 @@ pub(crate) fn attach_sdlite_heads(
     for (name, shape, boxes) in maps {
         net.push_aux(
             &format!("{name}_dw"),
-            Layer::DepthwiseConv { kernel: 3, stride: 1 },
+            Layer::DepthwiseConv {
+                kernel: 3,
+                stride: 1,
+            },
             *shape,
         );
         net.push_aux(
             &format!("{name}_loc"),
-            Layer::PointwiseConv { out_channels: boxes * 4 },
+            Layer::PointwiseConv {
+                out_channels: boxes * 4,
+            },
             *shape,
         );
         net.push_aux(
             &format!("{name}_conf"),
-            Layer::PointwiseConv { out_channels: boxes * (num_classes + 1) },
+            Layer::PointwiseConv {
+                out_channels: boxes * (num_classes + 1),
+            },
             *shape,
         );
     }
@@ -68,8 +79,15 @@ pub(crate) fn attach_sdlite_heads(
 /// ```
 pub fn ssd300_vgg16(num_classes: usize) -> Network {
     let mut net = Network::new("ssd300-vgg16", TensorShape::new(3, 300, 300));
-    let c = |o: usize| Layer::Conv2d { out_channels: o, kernel: 3, stride: 1 };
-    let pool = Layer::MaxPool { kernel: 2, stride: 2 };
+    let c = |o: usize| Layer::Conv2d {
+        out_channels: o,
+        kernel: 3,
+        stride: 1,
+    };
+    let pool = Layer::MaxPool {
+        kernel: 2,
+        stride: 2,
+    };
 
     net.push("conv1_1", c(64));
     net.push("conv1_2", c(64));
@@ -88,17 +106,49 @@ pub fn ssd300_vgg16(num_classes: usize) -> Network {
     net.push("conv5_1", c(512));
     net.push("conv5_2", c(512));
     net.push("conv5_3", c(512));
-    net.push("pool5", Layer::MaxPool { kernel: 3, stride: 1 }); // 19
+    net.push(
+        "pool5",
+        Layer::MaxPool {
+            kernel: 3,
+            stride: 1,
+        },
+    ); // 19
     net.push("conv6", c(1024)); // dilated fc6
     let map19 = net.push("conv7", Layer::PointwiseConv { out_channels: 1024 }); // detection map 2
     net.push("conv8_1", Layer::PointwiseConv { out_channels: 256 });
-    let map10 = net.push("conv8_2", Layer::Conv2d { out_channels: 512, kernel: 3, stride: 2 });
+    let map10 = net.push(
+        "conv8_2",
+        Layer::Conv2d {
+            out_channels: 512,
+            kernel: 3,
+            stride: 2,
+        },
+    );
     net.push("conv9_1", Layer::PointwiseConv { out_channels: 128 });
-    let map5 = net.push("conv9_2", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 });
+    let map5 = net.push(
+        "conv9_2",
+        Layer::Conv2d {
+            out_channels: 256,
+            kernel: 3,
+            stride: 2,
+        },
+    );
     net.push("conv10_1", Layer::PointwiseConv { out_channels: 128 });
-    let map3 = net.push("conv10_2", Layer::Conv2dValid { out_channels: 256, kernel: 3 });
+    let map3 = net.push(
+        "conv10_2",
+        Layer::Conv2dValid {
+            out_channels: 256,
+            kernel: 3,
+        },
+    );
     net.push("conv11_1", Layer::PointwiseConv { out_channels: 128 });
-    let map1 = net.push("conv11_2", Layer::Conv2dValid { out_channels: 256, kernel: 3 });
+    let map1 = net.push(
+        "conv11_2",
+        Layer::Conv2dValid {
+            out_channels: 256,
+            kernel: 3,
+        },
+    );
 
     attach_ssd_heads(
         &mut net,
@@ -136,25 +186,99 @@ pub fn vgg_lite_ssd(num_classes: usize) -> Network {
     let mut net = Network::new("vgg-lite-ssd", TensorShape::new(3, 300, 300));
 
     // VGG-Lite: one conv per scale, strided (Fig. 3's "-s2" blocks).
-    net.push("conv1", Layer::Conv2d { out_channels: 64, kernel: 3, stride: 1 }); // 300
-    net.push("pool1", Layer::MaxPool { kernel: 2, stride: 2 }); // 150
-    net.push("conv2", Layer::Conv2d { out_channels: 128, kernel: 3, stride: 2 }); // 75
-    net.push("conv3", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 }); // 38
-    net.push("conv4", Layer::Conv2d { out_channels: 160, kernel: 3, stride: 1 }); // 38
-    net.push("conv5", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 }); // 19
-    // Conv6&7 adjust the scale of the feature layers (Fig. 3).
-    net.push("conv6", Layer::Conv2d { out_channels: 512, kernel: 3, stride: 1 }); // 19
+    net.push(
+        "conv1",
+        Layer::Conv2d {
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+        },
+    ); // 300
+    net.push(
+        "pool1",
+        Layer::MaxPool {
+            kernel: 2,
+            stride: 2,
+        },
+    ); // 150
+    net.push(
+        "conv2",
+        Layer::Conv2d {
+            out_channels: 128,
+            kernel: 3,
+            stride: 2,
+        },
+    ); // 75
+    net.push(
+        "conv3",
+        Layer::Conv2d {
+            out_channels: 256,
+            kernel: 3,
+            stride: 2,
+        },
+    ); // 38
+    net.push(
+        "conv4",
+        Layer::Conv2d {
+            out_channels: 160,
+            kernel: 3,
+            stride: 1,
+        },
+    ); // 38
+    net.push(
+        "conv5",
+        Layer::Conv2d {
+            out_channels: 256,
+            kernel: 3,
+            stride: 2,
+        },
+    ); // 19
+       // Conv6&7 adjust the scale of the feature layers (Fig. 3).
+    net.push(
+        "conv6",
+        Layer::Conv2d {
+            out_channels: 512,
+            kernel: 3,
+            stride: 1,
+        },
+    ); // 19
     let map19 = net.push("conv7", Layer::PointwiseConv { out_channels: 768 }); // 19
 
     // Extra feature layers, reduced-width versions of SSD's conv8–conv11.
     net.push("conv8_1", Layer::PointwiseConv { out_channels: 128 });
-    let map10 = net.push("conv8_2", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 2 });
+    let map10 = net.push(
+        "conv8_2",
+        Layer::Conv2d {
+            out_channels: 256,
+            kernel: 3,
+            stride: 2,
+        },
+    );
     net.push("conv9_1", Layer::PointwiseConv { out_channels: 64 });
-    let map5 = net.push("conv9_2", Layer::Conv2d { out_channels: 128, kernel: 3, stride: 2 });
+    let map5 = net.push(
+        "conv9_2",
+        Layer::Conv2d {
+            out_channels: 128,
+            kernel: 3,
+            stride: 2,
+        },
+    );
     net.push("conv10_1", Layer::PointwiseConv { out_channels: 64 });
-    let map3 = net.push("conv10_2", Layer::Conv2dValid { out_channels: 128, kernel: 3 });
+    let map3 = net.push(
+        "conv10_2",
+        Layer::Conv2dValid {
+            out_channels: 128,
+            kernel: 3,
+        },
+    );
     net.push("conv11_1", Layer::PointwiseConv { out_channels: 64 });
-    let map1 = net.push("conv11_2", Layer::Conv2dValid { out_channels: 128, kernel: 3 });
+    let map1 = net.push(
+        "conv11_2",
+        Layer::Conv2dValid {
+            out_channels: 128,
+            kernel: 3,
+        },
+    );
 
     // Heads on five maps only — the 38×38 map is gone.
     attach_ssd_heads(

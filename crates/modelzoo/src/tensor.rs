@@ -21,7 +21,10 @@ impl TensorShape {
     ///
     /// Panics if any dimension is zero.
     pub fn new(c: usize, h: usize, w: usize) -> Self {
-        assert!(c > 0 && h > 0 && w > 0, "tensor dimensions must be positive");
+        assert!(
+            c > 0 && h > 0 && w > 0,
+            "tensor dimensions must be positive"
+        );
         TensorShape { c, h, w }
     }
 

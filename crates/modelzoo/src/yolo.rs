@@ -11,14 +11,27 @@ use crate::{Layer, Network, TensorShape};
 /// Pushes one CSP stage: a strided downsampling conv followed by `n`
 /// residual units (modelled as 1×1 reduce + 3×3 expand at half width).
 fn csp_stage(net: &mut Network, name: &str, out_channels: usize, n: usize) -> TensorShape {
-    let mut shape =
-        net.push(&format!("{name}_down"), Layer::Conv2d { out_channels, kernel: 3, stride: 2 });
+    let mut shape = net.push(
+        &format!("{name}_down"),
+        Layer::Conv2d {
+            out_channels,
+            kernel: 3,
+            stride: 2,
+        },
+    );
     let half = out_channels / 2;
     for i in 0..n {
-        net.push(&format!("{name}_r{i}_1"), Layer::PointwiseConv { out_channels: half });
+        net.push(
+            &format!("{name}_r{i}_1"),
+            Layer::PointwiseConv { out_channels: half },
+        );
         shape = net.push(
             &format!("{name}_r{i}_2"),
-            Layer::Conv2d { out_channels, kernel: 3, stride: 1 },
+            Layer::Conv2d {
+                out_channels,
+                kernel: 3,
+                stride: 1,
+            },
         );
     }
     shape
@@ -40,7 +53,14 @@ fn csp_stage(net: &mut Network, name: &str, out_channels: usize, n: usize) -> Te
 /// ```
 pub fn yolov4(num_classes: usize) -> Network {
     let mut net = Network::new("yolov4", TensorShape::new(3, 416, 416));
-    net.push("stem", Layer::Conv2d { out_channels: 32, kernel: 3, stride: 1 }); // 416
+    net.push(
+        "stem",
+        Layer::Conv2d {
+            out_channels: 32,
+            kernel: 3,
+            stride: 1,
+        },
+    ); // 416
     csp_stage(&mut net, "csp1", 64, 1); // 208
     csp_stage(&mut net, "csp2", 128, 2); // 104
     let map52 = csp_stage(&mut net, "csp3", 256, 8); // 52
@@ -49,17 +69,67 @@ pub fn yolov4(num_classes: usize) -> Network {
 
     // SPP + PAN neck, approximated by 1×1/3×3 conv pairs at each scale.
     net.push_aux("spp_1", Layer::PointwiseConv { out_channels: 512 }, map13);
-    net.push_aux("spp_2", Layer::Conv2d { out_channels: 1024, kernel: 3, stride: 1 }, TensorShape::new(512, 13, 13));
-    net.push_aux("pan_26_1", Layer::PointwiseConv { out_channels: 256 }, map26);
-    net.push_aux("pan_26_2", Layer::Conv2d { out_channels: 512, kernel: 3, stride: 1 }, TensorShape::new(256, 26, 26));
-    net.push_aux("pan_52_1", Layer::PointwiseConv { out_channels: 128 }, map52);
-    net.push_aux("pan_52_2", Layer::Conv2d { out_channels: 256, kernel: 3, stride: 1 }, TensorShape::new(128, 52, 52));
+    net.push_aux(
+        "spp_2",
+        Layer::Conv2d {
+            out_channels: 1024,
+            kernel: 3,
+            stride: 1,
+        },
+        TensorShape::new(512, 13, 13),
+    );
+    net.push_aux(
+        "pan_26_1",
+        Layer::PointwiseConv { out_channels: 256 },
+        map26,
+    );
+    net.push_aux(
+        "pan_26_2",
+        Layer::Conv2d {
+            out_channels: 512,
+            kernel: 3,
+            stride: 1,
+        },
+        TensorShape::new(256, 26, 26),
+    );
+    net.push_aux(
+        "pan_52_1",
+        Layer::PointwiseConv { out_channels: 128 },
+        map52,
+    );
+    net.push_aux(
+        "pan_52_2",
+        Layer::Conv2d {
+            out_channels: 256,
+            kernel: 3,
+            stride: 1,
+        },
+        TensorShape::new(128, 52, 52),
+    );
 
     // Three YOLO heads: 3 anchors × (5 + classes) channels each.
     let out_c = 3 * (5 + num_classes);
-    net.push_aux("head52", Layer::PointwiseConv { out_channels: out_c }, TensorShape::new(256, 52, 52));
-    net.push_aux("head26", Layer::PointwiseConv { out_channels: out_c }, TensorShape::new(512, 26, 26));
-    net.push_aux("head13", Layer::PointwiseConv { out_channels: out_c }, TensorShape::new(1024, 13, 13));
+    net.push_aux(
+        "head52",
+        Layer::PointwiseConv {
+            out_channels: out_c,
+        },
+        TensorShape::new(256, 52, 52),
+    );
+    net.push_aux(
+        "head26",
+        Layer::PointwiseConv {
+            out_channels: out_c,
+        },
+        TensorShape::new(512, 26, 26),
+    );
+    net.push_aux(
+        "head13",
+        Layer::PointwiseConv {
+            out_channels: out_c,
+        },
+        TensorShape::new(1024, 13, 13),
+    );
     net
 }
 
@@ -68,7 +138,14 @@ pub fn yolov4(num_classes: usize) -> Network {
 pub fn yolo_mobilenet_small(num_classes: usize) -> Network {
     let mut net = Network::new("yolo-mnv1-small", TensorShape::new(3, 416, 416));
     let s = |c: usize| ((c as f64 * 0.75 / 8.0).round() as usize * 8).max(8);
-    net.push("conv1", Layer::Conv2d { out_channels: s(32), kernel: 3, stride: 2 }); // 208
+    net.push(
+        "conv1",
+        Layer::Conv2d {
+            out_channels: s(32),
+            kernel: 3,
+            stride: 2,
+        },
+    ); // 208
     let blocks: [(usize, usize); 13] = [
         (64, 1),
         (128, 2),
@@ -87,8 +164,19 @@ pub fn yolo_mobilenet_small(num_classes: usize) -> Network {
     let mut map26 = net.output_shape();
     let mut shape = net.output_shape();
     for (i, (c, stride)) in blocks.iter().enumerate() {
-        net.push(&format!("b{i}_dw"), Layer::DepthwiseConv { kernel: 3, stride: *stride });
-        shape = net.push(&format!("b{i}_pw"), Layer::PointwiseConv { out_channels: s(*c) });
+        net.push(
+            &format!("b{i}_dw"),
+            Layer::DepthwiseConv {
+                kernel: 3,
+                stride: *stride,
+            },
+        );
+        shape = net.push(
+            &format!("b{i}_pw"),
+            Layer::PointwiseConv {
+                out_channels: s(*c),
+            },
+        );
         if shape.h == 26 {
             map26 = shape;
         }
@@ -96,7 +184,11 @@ pub fn yolo_mobilenet_small(num_classes: usize) -> Network {
     let map13 = shape;
     // Two-scale SSDLite-style heads; the 52×52 (large) map is dropped,
     // mirroring the paper's small-model recipe.
-    attach_sdlite_heads(&mut net, &[("b10", map26, 6), ("b12", map13, 6)], num_classes);
+    attach_sdlite_heads(
+        &mut net,
+        &[("b10", map26, 6), ("b12", map13, 6)],
+        num_classes,
+    );
     net
 }
 
@@ -108,7 +200,11 @@ mod tests {
     fn yolov4_is_heavyweight() {
         let net = yolov4(20);
         // Real YOLOv4 ≈ 64 M params ≈ 245 MB; accept a generous band.
-        assert!(net.size_mb() > 150.0 && net.size_mb() < 320.0, "{}", net.size_mb());
+        assert!(
+            net.size_mb() > 150.0 && net.size_mb() < 320.0,
+            "{}",
+            net.size_mb()
+        );
         assert!(net.gflops() > 40.0, "{}", net.gflops());
     }
 
@@ -131,7 +227,11 @@ mod tests {
     #[test]
     fn head_channels_follow_yolo_convention() {
         let net = yolov4(20);
-        let head = net.aux_layers().iter().find(|l| l.name == "head13").unwrap();
+        let head = net
+            .aux_layers()
+            .iter()
+            .find(|l| l.name == "head13")
+            .unwrap();
         assert_eq!(head.output.c, 3 * 25);
     }
 }

@@ -84,8 +84,21 @@ proptest! {
 #[test]
 fn network_display_reports_every_layer() {
     let mut net = Network::new("t", TensorShape::new(3, 16, 16));
-    net.push("a", Layer::Conv2d { out_channels: 4, kernel: 3, stride: 1 });
-    net.push("b", Layer::MaxPool { kernel: 2, stride: 2 });
+    net.push(
+        "a",
+        Layer::Conv2d {
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+        },
+    );
+    net.push(
+        "b",
+        Layer::MaxPool {
+            kernel: 2,
+            stride: 2,
+        },
+    );
     let s = net.to_string();
     assert!(s.contains("a") && s.contains("b") && s.contains("total:"));
 }

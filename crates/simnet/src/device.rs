@@ -36,7 +36,11 @@ impl DeviceModel {
     pub fn new(name: &str, effective_flops: f64, overhead_s: f64) -> Self {
         assert!(effective_flops > 0.0, "throughput must be positive");
         assert!(overhead_s >= 0.0, "overhead must be non-negative");
-        DeviceModel { name: name.to_string(), effective_flops, overhead_s }
+        DeviceModel {
+            name: name.to_string(),
+            effective_flops,
+            overhead_s,
+        }
     }
 
     /// The paper's edge device: NVIDIA Jetson Nano.
@@ -68,6 +72,22 @@ impl DeviceModel {
     /// Time for one forward pass of a `flops`-sized model, in seconds.
     pub fn inference_time(&self, flops: u64) -> f64 {
         self.overhead_s + flops as f64 / self.effective_flops
+    }
+
+    /// Time for one *batched* forward pass over `n` frames, in seconds.
+    ///
+    /// Batching pays the launch overhead once and improves sustained
+    /// throughput as kernels saturate the device: per-frame compute shrinks
+    /// toward 75 % of the unbatched cost for large batches. `n = 1` is
+    /// exactly [`DeviceModel::inference_time`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn batch_inference_time(&self, flops: u64, n: usize) -> f64 {
+        assert!(n > 0, "batch needs at least one frame");
+        let n_f = n as f64;
+        self.overhead_s + (n_f * flops as f64 / self.effective_flops) * (0.75 + 0.25 / n_f)
     }
 }
 
@@ -104,5 +124,26 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_throughput() {
         let _ = DeviceModel::new("bad", 0.0, 0.0);
+    }
+
+    #[test]
+    fn batch_of_one_is_exactly_single_inference() {
+        let d = DeviceModel::gpu_server();
+        let flops = 62_760_000_000;
+        assert_eq!(d.batch_inference_time(flops, 1), d.inference_time(flops));
+    }
+
+    #[test]
+    fn batching_beats_sequential_but_not_free() {
+        let d = DeviceModel::gpu_server();
+        let flops = 62_760_000_000;
+        for n in [2usize, 4, 16] {
+            let batched = d.batch_inference_time(flops, n);
+            let sequential = d.inference_time(flops) * n as f64;
+            assert!(batched < sequential, "batch {n} should amortize");
+            // Still more than one pass and more than pure 75 % throughput.
+            assert!(batched > d.inference_time(flops));
+            assert!(batched > 0.75 * (sequential - d.overhead_s * n as f64));
+        }
     }
 }

@@ -112,7 +112,11 @@ mod tests {
     use super::*;
 
     fn edge_only(t: f64) -> LatencyBreakdown {
-        LatencyBreakdown { edge_infer_s: t, discriminator_s: 0.001, ..Default::default() }
+        LatencyBreakdown {
+            edge_infer_s: t,
+            discriminator_s: 0.001,
+            ..Default::default()
+        }
     }
 
     fn cloud(t_up: f64, t_infer: f64) -> LatencyBreakdown {

@@ -41,11 +41,20 @@ impl LinkModel {
     ///
     /// Panics if bandwidth/RTT are non-positive, jitter is negative, or the
     /// loss probability is outside `[0, 1)`.
-    pub fn new(name: &str, bandwidth_bps: f64, rtt_s: f64, jitter_sigma: f64, loss_prob: f64) -> Self {
+    pub fn new(
+        name: &str,
+        bandwidth_bps: f64,
+        rtt_s: f64,
+        jitter_sigma: f64,
+        loss_prob: f64,
+    ) -> Self {
         assert!(bandwidth_bps > 0.0, "bandwidth must be positive");
         assert!(rtt_s >= 0.0, "rtt must be non-negative");
         assert!(jitter_sigma >= 0.0, "jitter must be non-negative");
-        assert!((0.0..1.0).contains(&loss_prob), "loss probability in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&loss_prob),
+            "loss probability in [0, 1)"
+        );
         LinkModel {
             name: name.to_string(),
             bandwidth_bps,
@@ -141,7 +150,10 @@ mod tests {
         let l = LinkModel::wlan();
         let mut r1 = StdRng::seed_from_u64(5);
         let mut r2 = StdRng::seed_from_u64(5);
-        assert_eq!(l.transfer_time(60_000, &mut r1), l.transfer_time(60_000, &mut r2));
+        assert_eq!(
+            l.transfer_time(60_000, &mut r1),
+            l.transfer_time(60_000, &mut r2)
+        );
     }
 
     #[test]
@@ -159,9 +171,13 @@ mod tests {
         let lossless = LinkModel::new("a", 1e6, 0.02, 0.0, 0.0);
         let lossy = LinkModel::new("b", 1e6, 0.02, 0.0, 0.5);
         let mut rng = StdRng::seed_from_u64(9);
-        let t0: f64 = (0..300).map(|_| lossless.transfer_time(50_000, &mut rng)).sum();
+        let t0: f64 = (0..300)
+            .map(|_| lossless.transfer_time(50_000, &mut rng))
+            .sum();
         let mut rng = StdRng::seed_from_u64(9);
-        let t1: f64 = (0..300).map(|_| lossy.transfer_time(50_000, &mut rng)).sum();
+        let t1: f64 = (0..300)
+            .map(|_| lossy.transfer_time(50_000, &mut rng))
+            .sum();
         assert!(t1 > t0 * 1.3);
     }
 
@@ -175,8 +191,10 @@ mod tests {
     fn wlan_uploads_frame_in_under_a_second_typically() {
         let l = LinkModel::wlan();
         let mut rng = StdRng::seed_from_u64(11);
-        let mean: f64 =
-            (0..300).map(|_| l.transfer_time(60_000, &mut rng)).sum::<f64>() / 300.0;
+        let mean: f64 = (0..300)
+            .map(|_| l.transfer_time(60_000, &mut rng))
+            .sum::<f64>()
+            / 300.0;
         assert!((0.2..1.2).contains(&mean), "mean wlan frame upload {mean}");
     }
 }

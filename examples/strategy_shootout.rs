@@ -28,8 +28,14 @@ fn main() {
 
     let contenders: Vec<Policy> = vec![
         Policy::DifficultCase(disc),
-        Policy::Random { upload_fraction: q, seed: 0xbeef },
-        Policy::BlurQuantile { upload_fraction: q, render_size: (128, 96) },
+        Policy::Random {
+            upload_fraction: q,
+            seed: 0xbeef,
+        },
+        Policy::BlurQuantile {
+            upload_fraction: q,
+            render_size: (128, 96),
+        },
         Policy::Top1Quantile { upload_fraction: q },
         Policy::Oracle,
         Policy::EdgeOnly,

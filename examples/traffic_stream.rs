@@ -30,12 +30,8 @@ fn main() {
     let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Coco18, nc);
 
     // Calibrate on a static training set from the same content distribution.
-    let train = smallbig::datagen::Dataset::generate(
-        "roadside-train",
-        &video_profile.base,
-        800,
-        0xfeed,
-    );
+    let train =
+        smallbig::datagen::Dataset::generate("roadside-train", &video_profile.base, 800, 0xfeed);
     let (cal, _) = calibrate(&train, &small, &big);
     let disc = DifficultCaseDiscriminator::new(cal.thresholds);
 

@@ -15,8 +15,19 @@
 //! | [`datagen`] | synthetic VOC / COCO-18 / HELMET datasets at published sizes |
 //! | [`modelzoo`] | SSD/MobileNet/YOLO architectures (FLOPs, params, anchors) and the behavioural detector simulator |
 //! | [`simnet`] | Jetson-Nano / GPU-server devices and WLAN link models |
-//! | [`core`] | the discriminator, calibration, offload policies, batch evaluator and the live threaded runtime |
+//! | [`core`] | the discriminator, calibration, trait-based offload policies, batch evaluator and the streaming multi-edge runtime |
 //! | [`eval`] | experiment harness regenerating every paper table and figure |
+//!
+//! Two runtimes live in [`core`]:
+//!
+//! * the **batch** path ([`core::evaluate`], [`core::run_system`]) mirrors
+//!   the paper's one-edge, whole-dataset measurement protocol, and
+//! * the **streaming** path ([`core::CloudServer`] / [`core::EdgeSession`])
+//!   serves many concurrent edges — each with its own link model, virtual
+//!   clock and [`core::OffloadPolicy`] — against one cloud worker that
+//!   batches big-model inference across sessions. `run_system` is a thin
+//!   wrapper over a single session and reproduces its historical reports
+//!   bit for bit.
 //!
 //! # Quickstart
 //!
@@ -46,6 +57,32 @@
 //!     outcome.upload_ratio * 100.0
 //! );
 //! ```
+//!
+//! # Streaming quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use smallbig::prelude::*;
+//!
+//! let data = Dataset::generate("demo", &DatasetProfile::helmet(), 8, 1);
+//! let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+//! let big: Arc<dyn Detector + Send + Sync> =
+//!     Arc::new(SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2));
+//!
+//! let mut cloud = CloudServer::spawn(CloudConfig::default(), big);
+//! let mut edge = cloud.connect(
+//!     SessionConfig { frame_size: (96, 96), ..SessionConfig::new(2) },
+//!     &small,
+//!     Box::new(DifficultCaseDiscriminator::default()),
+//! );
+//! for scene in data.iter() {
+//!     let ticket = edge.submit(scene);
+//!     let result = edge.poll(ticket).expect("frame resolves");
+//!     assert!(result.completed_at >= 0.0);
+//! }
+//! let report = edge.drain();
+//! assert_eq!(report.frames, 8);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,14 +99,14 @@ pub use smallbig_core as core;
 pub mod prelude {
     pub use datagen::{Dataset, DatasetProfile, Scene, Split, SplitId};
     pub use detcore::{
-        ApProtocol, BBox, ClassId, Detection, GroundTruth, ImageDetections, MapEvaluator,
-        Taxonomy,
+        ApProtocol, BBox, ClassId, Detection, GroundTruth, ImageDetections, MapEvaluator, Taxonomy,
     };
     pub use modelzoo::{Capability, Detector, ModelKind, SimDetector};
     pub use simnet::{DeviceModel, LinkModel};
     pub use smallbig_core::{
-        calibrate, evaluate, run_system, CaseKind, DifficultCaseDiscriminator, EvalConfig,
-        Policy, RuntimeConfig, RuntimeMode, Thresholds,
+        calibrate, evaluate, evaluate_streaming, run_system, CaseKind, CloudConfig, CloudServer,
+        DifficultCaseDiscriminator, EdgeSession, EvalConfig, OffloadPolicy, Policy, RuntimeConfig,
+        RuntimeMode, SessionConfig, SessionReport, Thresholds,
     };
 }
 

@@ -46,8 +46,15 @@ fn runtime_is_deterministic_across_thread_schedules() {
     let split = Split::load_scaled(SplitId::Helmet, 0.03);
     let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
     let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2);
-    let disc = DifficultCaseDiscriminator::new(Thresholds { conf: 0.2, count: 3, area: 0.05 });
-    let rt = RuntimeConfig { frame_size: (64, 64), ..Default::default() };
+    let disc = DifficultCaseDiscriminator::new(Thresholds {
+        conf: 0.2,
+        count: 3,
+        area: 0.05,
+    });
+    let rt = RuntimeConfig {
+        frame_size: (64, 64),
+        ..Default::default()
+    };
     let first = run_system(&split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);
     for _ in 0..4 {
         let again = run_system(&split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);

@@ -81,8 +81,14 @@ fn our_method_beats_every_baseline_at_matched_ratio() {
     );
     let q = ours.upload_ratio;
     for baseline in [
-        Policy::Random { upload_fraction: q, seed: 7 },
-        Policy::BlurQuantile { upload_fraction: q, render_size: (64, 48) },
+        Policy::Random {
+            upload_fraction: q,
+            seed: 7,
+        },
+        Policy::BlurQuantile {
+            upload_fraction: q,
+            render_size: (64, 48),
+        },
         Policy::Top1Quantile { upload_fraction: q },
     ] {
         let base = evaluate(&split.test, &small, &big, &baseline, &cfg);
@@ -148,7 +154,10 @@ fn runtime_agrees_with_batch_evaluator() {
     let (cal, _) = calibrate(&split.train, &small, &big);
     let disc = DifficultCaseDiscriminator::new(cal.thresholds);
 
-    let rt = RuntimeConfig { frame_size: (96, 96), ..Default::default() };
+    let rt = RuntimeConfig {
+        frame_size: (96, 96),
+        ..Default::default()
+    };
     let live = run_system(&split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);
     let batch = evaluate(
         &split.test,
@@ -172,7 +181,14 @@ fn table_xi_time_ordering_holds() {
     let rt = RuntimeConfig::default(); // paper-realistic 300x300 frames
     let edge = run_system(&split.test, &small, &big, &disc, RuntimeMode::EdgeOnly, &rt);
     let ours = run_system(&split.test, &small, &big, &disc, RuntimeMode::SmallBig, &rt);
-    let cloud = run_system(&split.test, &small, &big, &disc, RuntimeMode::CloudOnly, &rt);
+    let cloud = run_system(
+        &split.test,
+        &small,
+        &big,
+        &disc,
+        RuntimeMode::CloudOnly,
+        &rt,
+    );
     assert!(edge.total_time_s < ours.total_time_s);
     assert!(ours.total_time_s < cloud.total_time_s);
     assert!(edge.map_pct <= ours.map_pct);

@@ -6,8 +6,8 @@ use smallbig::eval::{run_experiment, ExpConfig};
 fn every_table_and_figure_regenerates() {
     let cfg = ExpConfig::quick();
     for id in smallbig::eval::ALL_EXPERIMENTS {
-        let reports = run_experiment(id, &cfg)
-            .unwrap_or_else(|e| panic!("experiment {id} failed: {e}"));
+        let reports =
+            run_experiment(id, &cfg).unwrap_or_else(|e| panic!("experiment {id} failed: {e}"));
         assert_eq!(reports.len(), 1, "{id}");
         let text = reports[0].to_string();
         assert!(text.contains("## "), "{id} renders a title");

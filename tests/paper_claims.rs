@@ -1,9 +1,7 @@
 //! The paper's specific numeric claims, checked as executable assertions
 //! (with tolerance for the reduced test scale).
 
-use smallbig::modelzoo::{
-    self, num_default_boxes, small_model_feature_maps, ssd300_feature_maps,
-};
+use smallbig::modelzoo::{self, num_default_boxes, small_model_feature_maps, ssd300_feature_maps};
 use smallbig::prelude::*;
 
 #[test]
@@ -63,12 +61,10 @@ fn fig4_structure_difficult_cases_cluster() {
     let rate = |pred: &dyn Fn(&smallbig::core::LabeledExample) -> bool| -> f64 {
         let matching: Vec<_> = examples.iter().filter(|e| pred(e)).collect();
         assert!(!matching.is_empty());
-        matching.iter().filter(|e| e.label.is_difficult()).count() as f64
-            / matching.len() as f64
+        matching.iter().filter(|e| e.label.is_difficult()).count() as f64 / matching.len() as f64
     };
     let crowded = rate(&|e| e.true_count >= 5);
-    let sparse_large =
-        rate(&|e| e.true_count <= 2 && e.true_min_area.unwrap_or(0.0) >= 0.31);
+    let sparse_large = rate(&|e| e.true_count <= 2 && e.true_min_area.unwrap_or(0.0) >= 0.31);
     assert!(
         crowded > 0.85,
         "crowded images should almost all be difficult: {crowded}"

@@ -10,7 +10,11 @@ fn video_verdicts_are_temporally_coherent() {
     assert!(video.mean_persistence() > 0.8);
 
     let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
-    let disc = DifficultCaseDiscriminator::new(Thresholds { conf: 0.2, count: 2, area: 0.15 });
+    let disc = DifficultCaseDiscriminator::new(Thresholds {
+        conf: 0.2,
+        count: 2,
+        area: 0.15,
+    });
 
     let verdicts: Vec<CaseKind> = video
         .frames()
@@ -59,10 +63,15 @@ fn static_dataset_has_no_temporal_structure() {
         .scenes()
         .windows(2)
         .filter(|w| {
-            w[0].objects
-                .iter()
-                .any(|o| w[1].objects.iter().any(|p| p.texture_seed == o.texture_seed))
+            w[0].objects.iter().any(|o| {
+                w[1].objects
+                    .iter()
+                    .any(|p| p.texture_seed == o.texture_seed)
+            })
         })
         .count();
-    assert_eq!(shared, 0, "independent scenes never share object identities");
+    assert_eq!(
+        shared, 0,
+        "independent scenes never share object identities"
+    );
 }

@@ -1,0 +1,244 @@
+//! Minimal vendored shim of the `bytes` crate covering the surface the
+//! workspace uses: cheaply-cloneable immutable byte buffers ([`Bytes`]), a
+//! growable builder ([`BytesMut`]) and the little-endian cursor methods of
+//! the [`Buf`]/[`BufMut`] traits.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable, immutable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+    /// Cursor for the `Buf` impl (offset from `start`).
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Length of the (remaining) view.
+    pub fn len(&self) -> usize {
+        self.end - self.start - self.pos
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a sub-slice view sharing the same allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let base = self.start + self.pos;
+        let len = self.len();
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(lo <= hi && hi <= len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: base + lo,
+            end: base + hi,
+            pos: 0,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start + self.pos..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+            pos: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read-cursor operations over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread portion as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads a little-endian `u32` and advances.
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow");
+        let b: [u8; 4] = self.chunk()[..4].try_into().expect("4 bytes");
+        self.advance(4);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads one byte and advances.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "buffer underflow");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.pos += cnt;
+    }
+}
+
+/// Write operations appending to a byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u32() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32_le(0xdead_beef);
+        b.put_slice(b"xy");
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.len(), 6);
+        assert_eq!(frozen.get_u32_le(), 0xdead_beef);
+        assert_eq!(frozen.chunk(), b"xy");
+    }
+
+    #[test]
+    fn slices_share_and_index() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        assert_eq!(&b[..2], &[1, 2]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal vendored shim of `criterion`: enough harness to run the
+//! workspace's benches and print per-benchmark timings. No statistics,
+//! plots, or baselines — each benchmark is timed over a fixed measurement
+//! window and reported as mean time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness handle passed to `criterion_group!` targets.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            budget: self.measure_for,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.total / bencher.iters as u32
+        };
+        println!(
+            "bench {name:<40} {:>12.3} ns/iter ({} iters)",
+            per_iter.as_nanos() as f64,
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call.
+        black_box(routine());
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

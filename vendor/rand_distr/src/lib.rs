@@ -1,0 +1,233 @@
+//! Minimal vendored shim of `rand_distr`: the [`Distribution`] trait plus
+//! the four distributions the workspace samples ([`Normal`], [`LogNormal`],
+//! [`Beta`], [`Poisson`]), implemented with textbook algorithms
+//! (Box–Muller, Marsaglia–Tsang, Knuth) over the vendored `rand` shim.
+
+#![forbid(unsafe_code)]
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// A distribution sampling values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation error for every distribution in this shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Draws a standard normal via Box–Muller (first component only, so one
+/// sample consumes exactly two uniforms — keeps streams deterministic).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution; `std_dev` must be finite and `>= 0`.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, ParamError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(ParamError("std_dev must be finite and non-negative"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(Normal(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with the given underlying normal parameters.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Beta(α, β) distribution on `(0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates a beta distribution; both shape parameters must be positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, ParamError> {
+        if !(alpha > 0.0 && alpha.is_finite() && beta > 0.0 && beta.is_finite()) {
+            return Err(ParamError("beta shapes must be positive and finite"));
+        }
+        Ok(Beta { alpha, beta })
+    }
+}
+
+/// Gamma(shape, 1) via Marsaglia–Tsang, with the α < 1 boost.
+fn gamma_draw<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_draw(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+impl Distribution<f64> for Beta {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = gamma_draw(self.alpha, rng);
+        let y = gamma_draw(self.beta, rng);
+        x / (x + y)
+    }
+}
+
+/// Poisson(λ) distribution; samples are returned as `f64` like upstream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution; `lambda` must be positive.
+    pub fn new(lambda: f64) -> Result<Self, ParamError> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(ParamError("lambda must be positive and finite"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth's product-of-uniforms method.
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.gen();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.gen::<f64>();
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation with continuity correction for large λ.
+            let draw = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            draw.round().max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let m = mean_of(&xs);
+        let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_exp_of_normal() {
+        let d = LogNormal::new(0.0, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let expected = (0.25f64 * 0.25 / 2.0).exp(); // E = exp(σ²/2)
+        assert!((mean_of(&xs) - expected).abs() < 0.02);
+    }
+
+    #[test]
+    fn beta_mean_matches() {
+        let d = Beta::new(2.0, 6.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        assert!((mean_of(&xs) - 0.25).abs() < 0.01); // α/(α+β)
+    }
+
+    #[test]
+    fn beta_small_shapes() {
+        let d = Beta::new(0.5, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        assert!((mean_of(&xs) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for lambda in [0.5, 4.0, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let xs: Vec<f64> = (0..30_000).map(|_| d.sample(&mut rng)).collect();
+            assert!(xs.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+            let m = mean_of(&xs);
+            assert!(
+                (m - lambda).abs() < lambda.sqrt() * 0.1 + 0.05,
+                "λ {lambda} mean {m}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+    }
+}

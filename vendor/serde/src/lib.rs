@@ -1,0 +1,396 @@
+//! Minimal vendored shim of `serde`.
+//!
+//! Unlike upstream's visitor architecture, this shim converts through an
+//! owned data model ([`Value`]): [`Serialize`] renders a value *into* a
+//! [`Value`] tree and [`Deserialize`] rebuilds a value *from* one. The
+//! `serde_json` shim then maps [`Value`] to and from JSON text. Integers are
+//! carried as `u64`/`i64` (never through `f64`), so `u64` seeds round-trip
+//! exactly — the simulation's determinism depends on this.
+//!
+//! The derive macros come from the vendored `serde_derive` and support
+//! non-generic structs (named, tuple, unit) and enums with serde's
+//! externally-tagged representation.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned data model both traits convert through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (exact).
+    U64(u64),
+    /// Negative integer (exact).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object map, when this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, when this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Error produced when rebuilding a value from the data model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// Type-mismatch helper.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError::custom(format!("expected {what}, found {}", got.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization helpers mirroring upstream's `serde::de` module.
+pub mod de {
+    /// Upstream marks owned-deserializable types with this alias; here every
+    /// [`Deserialize`](crate::Deserialize) type qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+// ---- impls for primitives ----
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match *v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    _ => return Err(DeError::expected("unsigned integer", v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match *v {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| DeError::custom(format!("integer {n} out of range")))?,
+                    _ => return Err(DeError::expected("integer", v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            _ => Err(DeError::expected("number", v)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {n}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("array", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected}, found array of {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<K: Serialize + fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        let v: Option<f64> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_value(&Value::F64(2.5)).unwrap(),
+            Some(2.5)
+        );
+    }
+
+    #[test]
+    fn u64_is_exact() {
+        let big: u64 = u64::MAX - 3;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (1usize, 2.5f64);
+        let v = t.to_value();
+        assert_eq!(<(usize, f64)>::from_value(&v).unwrap(), t);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a = [0.1f64, 0.2, 0.3, 0.4, 0.5];
+        let v = a.to_value();
+        assert_eq!(<[f64; 5]>::from_value(&v).unwrap(), a);
+        assert!(<[f64; 4]>::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_reports_kinds() {
+        let err = bool::from_value(&Value::U64(1)).unwrap_err();
+        assert!(err.to_string().contains("expected bool"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable
+//! offline, so this crate parses the item's `TokenStream` directly. It
+//! supports exactly what the workspace needs:
+//!
+//! * non-generic structs — named fields, tuple structs (newtypes serialize
+//!   transparently, wider tuples as arrays) and unit structs,
+//! * non-generic enums in serde's externally-tagged representation
+//!   (`"Variant"` for unit variants, `{"Variant": …}` for data variants).
+//!
+//! Generics and `#[serde(...)]` attributes are rejected with a compile error
+//! rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim's `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the shim's `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated code parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+// ---- item model ----
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                body: Body::Struct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                body: Body::Tuple(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                body: Body::Unit,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                body: Body::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Skips leading outer attributes (`#[...]`) and a visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => *i += 1,
+                    other => return Err(format!("malformed attribute: {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Parses `field: Type, ...`, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) => match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => {
+                    angle_depth += 1;
+                    *i += 1;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    *i += 1;
+                }
+                _ => *i += 1,
+            },
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Counts tuple-struct fields: top-level commas + 1 (angle-bracket aware).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0usize;
+    let mut count = 0usize;
+    while i < tokens.len() {
+        // Skip attrs/vis then one type.
+        let _ = skip_attrs_and_vis(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantFields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                return Err(format!(
+                    "serde shim derive does not support explicit discriminants (variant `{name}`)"
+                ));
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---- codegen ----
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut s = String::from("let mut map = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "map.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(map)");
+            s
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut map = ::std::collections::BTreeMap::new();\n\
+                             map.insert({vname:?}.to_string(), {inner});\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inner = String::from(
+                            "let mut fields_map = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fields_map.insert({f:?}.to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\
+                             let mut map = ::std::collections::BTreeMap::new();\n\
+                             map.insert({vname:?}.to_string(), ::serde::Value::Object(fields_map));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            binds = fields.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut s = format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object for struct {name}\", v))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                     obj.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                     .map_err(|e| ::serde::DeError::custom(\
+                     format!(\"field `{f}` of {name}: {{e}}\")))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Body::Tuple(n) => {
+            let mut s = format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array for tuple struct {name}\", v))?;\n\
+                 if items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected {n} fields for {name}, found {{}}\", items.len())));\n}}\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::from_value(&items[{i}])?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantFields::Tuple(1) => data_arms.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner).map_err(|e| \
+                         ::serde::DeError::custom(format!(\
+                         \"variant `{vname}` of {name}: {{e}}\")))?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let mut arm = format!(
+                            "{vname:?} => {{\n\
+                             let items = inner.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array for variant {vname}\", inner))?;\n\
+                             if items.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"expected {n} fields for {name}::{vname}, found {{}}\", \
+                             items.len())));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vname}(\n"
+                        );
+                        for i in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::from_value(&items[{i}])?,\n"
+                            ));
+                        }
+                        arm.push_str("))\n}\n");
+                        data_arms.push_str(&arm);
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut arm = format!(
+                            "{vname:?} => {{\n\
+                             let obj = inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object for variant {vname}\", inner))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 obj.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                                 .map_err(|e| ::serde::DeError::custom(format!(\
+                                 \"field `{f}` of {name}::{vname}: {{e}}\")))?,\n"
+                            ));
+                        }
+                        arm.push_str("})\n}\n");
+                        data_arms.push_str(&arm);
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                 let (tag, inner) = map.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"string or single-key object for enum {name}\", other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
