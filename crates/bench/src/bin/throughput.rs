@@ -1,0 +1,936 @@
+//! Throughput harness: measures kernel ns/op and end-to-end eval harness
+//! frames/sec against the pre-refactor reference implementations, and
+//! writes the perf-trajectory JSON (`BENCH_PR2.json` at the repo root).
+//!
+//! ```bash
+//! cargo run --release -p bench --bin throughput              # full run
+//! cargo run --release -p bench --bin throughput -- --quick   # CI smoke
+//! cargo run --release -p bench --bin throughput -- --out /tmp/b.json
+//! ```
+//!
+//! Methodology (see PERFORMANCE.md): every timing is the **minimum** over
+//! several repeats after a warmup pass — the minimum is the least noisy
+//! statistic on shared machines — and every before/after pair is verified
+//! to produce identical results in-process before it is timed, so a kernel
+//! that drifts from its reference fails the run instead of reporting a
+//! meaningless speedup.
+
+use datagen::{Dataset, DatasetProfile, SplitId};
+use detcore::{
+    count_detected_with, nms, nms_into, soft_nms, soft_nms_into, ApProtocol, BBox, ClassId,
+    CountScratch, CountingConfig, Detection, GroundTruth, ImageDetections, MapEvaluator,
+    MatchScratch, NmsConfig, NmsScratch,
+};
+use modelzoo::{Detector, ModelKind, SimDetector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use smallbig_core::{
+    calibrate, detect_all, discriminator_stats_on, evaluate, evaluate_detections,
+    DifficultCaseDiscriminator, EvalConfig, Policy, Thresholds,
+};
+use std::time::{Duration, Instant};
+
+/// The pre-refactor implementations, transcribed from the seed so the
+/// "before" numbers are measured in the same binary under the same
+/// conditions as the "after" numbers.
+mod reference {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn group_by_class(dets: &ImageDetections, floor: f64) -> BTreeMap<ClassId, Vec<Detection>> {
+        let mut groups: BTreeMap<ClassId, Vec<Detection>> = BTreeMap::new();
+        for d in dets.iter().filter(|d| d.score() >= floor) {
+            groups.entry(d.class()).or_default().push(*d);
+        }
+        for group in groups.values_mut() {
+            group.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+        }
+        groups
+    }
+
+    pub fn nms(dets: &ImageDetections, config: &NmsConfig) -> ImageDetections {
+        let groups = group_by_class(dets, config.score_floor);
+        let mut kept: Vec<Detection> = Vec::new();
+        for (_, group) in groups {
+            let mut class_kept: Vec<Detection> = Vec::new();
+            for d in group {
+                if class_kept.len() >= config.max_per_class {
+                    break;
+                }
+                let suppressed = class_kept
+                    .iter()
+                    .any(|k| k.bbox().iou(&d.bbox()) > config.iou_threshold);
+                if !suppressed {
+                    class_kept.push(d);
+                }
+            }
+            kept.extend(class_kept);
+        }
+        kept.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+        ImageDetections::from_vec(kept)
+    }
+
+    pub fn soft_nms(dets: &ImageDetections, config: &NmsConfig, sigma: f64) -> ImageDetections {
+        assert!(sigma > 0.0, "soft-nms sigma must be positive");
+        let groups = group_by_class(dets, config.score_floor);
+        let mut kept: Vec<Detection> = Vec::new();
+        for (_, group) in groups {
+            let mut pool = group;
+            let mut class_kept: Vec<Detection> = Vec::new();
+            while !pool.is_empty() && class_kept.len() < config.max_per_class {
+                let (best_idx, _) = pool
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        a.score().partial_cmp(&b.score()).expect("finite scores")
+                    })
+                    .expect("pool is non-empty");
+                let best = pool.swap_remove(best_idx);
+                pool = pool
+                    .into_iter()
+                    .filter_map(|d| {
+                        let iou = best.bbox().iou(&d.bbox());
+                        let decayed = d.score() * (-iou * iou / sigma).exp();
+                        if decayed >= config.score_floor {
+                            Some(d.with_score(decayed))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                class_kept.push(best);
+            }
+            kept.extend(class_kept);
+        }
+        kept.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+        ImageDetections::from_vec(kept)
+    }
+
+    pub fn match_greedy(
+        dets: &[Detection],
+        gts: &[GroundTruth],
+        iou_threshold: f64,
+    ) -> detcore::ImageMatch {
+        let mut order: Vec<usize> = (0..dets.len()).collect();
+        order.sort_by(|&a, &b| {
+            dets[b]
+                .score()
+                .partial_cmp(&dets[a].score())
+                .expect("finite scores")
+        });
+        let mut claimed = vec![false; gts.len()];
+        let mut outcomes = vec![detcore::MatchOutcome::FalsePositive; dets.len()];
+        for &di in &order {
+            let det = &dets[di];
+            let mut best: Option<(usize, f64)> = None;
+            for (gi, gt) in gts.iter().enumerate() {
+                let iou = det.bbox().iou(&gt.bbox());
+                if iou >= iou_threshold {
+                    match best {
+                        Some((_, biou)) if biou >= iou => {}
+                        _ => best = Some((gi, iou)),
+                    }
+                }
+            }
+            outcomes[di] = match best {
+                Some((gi, iou)) => {
+                    if gts[gi].is_difficult() {
+                        detcore::MatchOutcome::IgnoredDifficult
+                    } else if !claimed[gi] {
+                        claimed[gi] = true;
+                        detcore::MatchOutcome::TruePositive { gt_index: gi, iou }
+                    } else {
+                        detcore::MatchOutcome::FalsePositive
+                    }
+                }
+                None => detcore::MatchOutcome::FalsePositive,
+            };
+        }
+        let num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
+        let missed_gt = gts
+            .iter()
+            .enumerate()
+            .filter(|(gi, gt)| !gt.is_difficult() && !claimed[*gi])
+            .map(|(gi, _)| gi)
+            .collect();
+        detcore::ImageMatch {
+            outcomes,
+            num_gt,
+            missed_gt,
+        }
+    }
+
+    /// The seed's `MapEvaluator` (per-image `Vec<Vec<_>>` grouping, clone +
+    /// re-sort per `pr_curve`).
+    pub struct MapEvaluator {
+        iou_threshold: f64,
+        records: Vec<Vec<(f64, bool)>>,
+        gt_counts: Vec<usize>,
+    }
+
+    impl MapEvaluator {
+        pub fn new(num_classes: usize) -> Self {
+            MapEvaluator {
+                iou_threshold: 0.5,
+                records: vec![Vec::new(); num_classes],
+                gt_counts: vec![0; num_classes],
+            }
+        }
+
+        pub fn add_image(&mut self, dets: &ImageDetections, gts: &[GroundTruth]) {
+            let n = self.records.len();
+            let mut dets_by_class: Vec<Vec<Detection>> = vec![Vec::new(); n];
+            for d in dets.iter() {
+                if d.class().index() < n {
+                    dets_by_class[d.class().index()].push(*d);
+                }
+            }
+            let mut gts_by_class: Vec<Vec<GroundTruth>> = vec![Vec::new(); n];
+            for g in gts {
+                if g.class().index() < n {
+                    gts_by_class[g.class().index()].push(*g);
+                }
+            }
+            for c in 0..n {
+                let class_dets = &dets_by_class[c];
+                let class_gts = &gts_by_class[c];
+                self.gt_counts[c] += class_gts.iter().filter(|g| !g.is_difficult()).count();
+                if class_dets.is_empty() {
+                    continue;
+                }
+                let m = match_greedy(class_dets, class_gts, self.iou_threshold);
+                for (d, outcome) in class_dets.iter().zip(&m.outcomes) {
+                    match outcome {
+                        detcore::MatchOutcome::TruePositive { .. } => {
+                            self.records[c].push((d.score(), true));
+                        }
+                        detcore::MatchOutcome::FalsePositive => {
+                            self.records[c].push((d.score(), false));
+                        }
+                        detcore::MatchOutcome::IgnoredDifficult => {}
+                    }
+                }
+            }
+        }
+
+        fn class_ap(&self, c: usize) -> f64 {
+            let num_gt = self.gt_counts[c];
+            let mut recs = self.records[c].clone();
+            recs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+            let mut tp = 0usize;
+            let mut fp = 0usize;
+            let mut points: Vec<(f64, f64)> = Vec::with_capacity(recs.len());
+            for (_, is_tp) in recs {
+                if is_tp {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                let precision = tp as f64 / (tp + fp) as f64;
+                let recall = if num_gt == 0 {
+                    0.0
+                } else {
+                    tp as f64 / num_gt as f64
+                };
+                points.push((recall, precision));
+            }
+            let mut ap = 0.0;
+            for i in 0..=10 {
+                let r = i as f64 / 10.0;
+                let p_max = points
+                    .iter()
+                    .filter(|p| p.0 >= r - 1e-12)
+                    .map(|p| p.1)
+                    .fold(0.0, f64::max);
+                ap += p_max;
+            }
+            ap / 11.0
+        }
+
+        pub fn map(&self) -> f64 {
+            let mut sum = 0.0;
+            let mut counted = 0usize;
+            for c in 0..self.records.len() {
+                if self.gt_counts[c] > 0 {
+                    sum += self.class_ap(c);
+                    counted += 1;
+                }
+            }
+            if counted == 0 {
+                0.0
+            } else {
+                sum / counted as f64
+            }
+        }
+    }
+
+    pub fn count_detected(
+        dets: &ImageDetections,
+        gts: &[GroundTruth],
+        config: &CountingConfig,
+    ) -> detcore::ImageCount {
+        let num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
+        let mut classes: std::collections::BTreeSet<u16> = std::collections::BTreeSet::new();
+        for d in dets.iter() {
+            classes.insert(d.class().0);
+        }
+        for g in gts {
+            classes.insert(g.class().0);
+        }
+        let mut detected = 0usize;
+        let mut false_positives = 0usize;
+        for c in classes {
+            let class_dets: Vec<Detection> = dets
+                .iter()
+                .copied()
+                .filter(|d| d.class().0 == c && d.score() >= config.score_threshold)
+                .collect();
+            let class_gts: Vec<GroundTruth> =
+                gts.iter().copied().filter(|g| g.class().0 == c).collect();
+            if class_dets.is_empty() {
+                continue;
+            }
+            let m = match_greedy(&class_dets, &class_gts, config.iou_threshold);
+            for o in &m.outcomes {
+                if o.is_tp() {
+                    detected += 1;
+                } else if o.is_fp() {
+                    false_positives += 1;
+                }
+            }
+        }
+        detcore::ImageCount {
+            num_gt,
+            detected,
+            false_positives,
+        }
+    }
+
+    /// The seed's experiment-driver flow: confidence-threshold scan
+    /// (detects the train set), difficulty labelling (detects the train set
+    /// again, both models), discriminator test stats (detects the test
+    /// set), then [`evaluate_e2e`] (detects the test set again) — exactly
+    /// the redundant passes `pair_run` used to make.
+    pub fn pair_flow(
+        train: &Dataset,
+        test: &Dataset,
+        small: &SimDetector,
+        big: &SimDetector,
+        counting: &CountingConfig,
+    ) -> ((f64, usize, f64), smallbig_core::BinaryStats, Thresholds) {
+        use smallbig_core::{BinaryStats, LabeledExample, SemanticFeatures, PREDICTION_THRESHOLD};
+
+        // The seed's naive 186-cell grid scan (re-classifies every example
+        // per cell); the optimized library version reads cells off prefix
+        // sums.
+        fn calibrate_count_area(examples: &[LabeledExample]) -> (usize, f64, BinaryStats) {
+            let mut best: Option<(usize, f64, BinaryStats)> = None;
+            for count in 1..=6usize {
+                let mut area = 0.01;
+                while area <= 0.61 {
+                    let disc = DifficultCaseDiscriminator::new(Thresholds {
+                        conf: 0.2,
+                        count,
+                        area,
+                    });
+                    let stats = BinaryStats::from_pairs(examples.iter().map(|e| {
+                        (
+                            disc.classify_true_features(e.true_count, e.true_min_area),
+                            e.label,
+                        )
+                    }));
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, b)) => stats.accuracy > b.accuracy,
+                    };
+                    if better {
+                        best = Some((count, area, stats));
+                    }
+                    area += 0.02;
+                }
+            }
+            best.expect("grid is non-empty")
+        }
+
+        let label_one = |scene: &datagen::Scene, t_conf: f64| {
+            let small_dets = small.detect(scene);
+            let big_dets = big.detect(scene);
+            let label = if big_dets.count_above(PREDICTION_THRESHOLD)
+                > small_dets.count_above(PREDICTION_THRESHOLD)
+            {
+                smallbig_core::CaseKind::Difficult
+            } else {
+                smallbig_core::CaseKind::Easy
+            };
+            LabeledExample {
+                scene_id: scene.id,
+                true_count: scene.num_objects(),
+                true_min_area: scene.min_area_ratio(),
+                features: SemanticFeatures::extract(&small_dets, t_conf),
+                label,
+            }
+        };
+
+        // Confidence threshold: small model over the train set.
+        let per_image: Vec<(Vec<f64>, usize)> = train
+            .iter()
+            .map(|scene| {
+                let dets = small.detect(scene);
+                let mut scores: Vec<f64> = dets.iter().map(|d| d.score()).collect();
+                scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+                (scores, scene.num_objects())
+            })
+            .collect();
+        let mut best = (0.20, u64::MAX);
+        let mut t = 0.05;
+        while t <= 0.451 {
+            let mut loss = 0u64;
+            for (scores, n_true) in &per_image {
+                let idx = scores.partition_point(|&s| s < t);
+                loss += (scores.len() - idx).abs_diff(*n_true) as u64;
+            }
+            if loss < best.1 {
+                best = (t, loss);
+            }
+            t += 0.01;
+        }
+        let conf = best.0;
+
+        // Difficulty labels: both models over the train set (again).
+        let examples: Vec<LabeledExample> =
+            train.iter().map(|scene| label_one(scene, conf)).collect();
+        let (count, area, _train_stats) = calibrate_count_area(&examples);
+        let thresholds = Thresholds { conf, count, area };
+        let disc = DifficultCaseDiscriminator::new(thresholds);
+
+        // Test-set stats: both models over the test set.
+        let stats = BinaryStats::from_pairs(test.iter().map(|scene| {
+            let ex = label_one(scene, conf);
+            (disc.classify_features(&ex.features), ex.label)
+        }));
+
+        // Evaluation: both models over the test set (again).
+        let outcome = evaluate_e2e(test, small, big, &Policy::DifficultCase(disc), counting);
+        (outcome, stats, thresholds)
+    }
+
+    /// The seed's batch `evaluate` (sequential detect loops, three full
+    /// mAP/count accumulations) over the reference kernels above.
+    pub fn evaluate_e2e(
+        test: &Dataset,
+        small: &SimDetector,
+        big: &SimDetector,
+        policy: &Policy,
+        counting: &CountingConfig,
+    ) -> (f64, usize, f64) {
+        use smallbig_core::{CaseKind, PolicyInput, PREDICTION_THRESHOLD};
+        let num_classes = test.taxonomy().len();
+        let small_results: Vec<ImageDetections> = test.iter().map(|s| small.detect(s)).collect();
+        let big_results: Vec<ImageDetections> = test.iter().map(|s| big.detect(s)).collect();
+        let labels: Vec<CaseKind> = small_results
+            .iter()
+            .zip(&big_results)
+            .map(|(s, b)| {
+                if b.count_above(PREDICTION_THRESHOLD) > s.count_above(PREDICTION_THRESHOLD) {
+                    CaseKind::Difficult
+                } else {
+                    CaseKind::Easy
+                }
+            })
+            .collect();
+        let inputs: Vec<PolicyInput<'_>> = test
+            .iter()
+            .zip(&small_results)
+            .zip(&labels)
+            .map(|((scene, small_dets), label)| PolicyInput {
+                scene,
+                small_dets,
+                label: Some(*label),
+                num_classes,
+            })
+            .collect();
+        let decisions = policy.decide_all(&inputs);
+
+        let mut small_map = MapEvaluator::new(num_classes);
+        let mut big_map = MapEvaluator::new(num_classes);
+        let mut e2e_map = MapEvaluator::new(num_classes);
+        let mut e2e_detected = 0usize;
+        let mut uploads = 0usize;
+        for (((scene, small_dets), big_dets), decision) in test
+            .iter()
+            .zip(&small_results)
+            .zip(&big_results)
+            .zip(&decisions)
+        {
+            let gts = scene.ground_truths();
+            small_map.add_image(small_dets, &gts);
+            big_map.add_image(big_dets, &gts);
+            let _ = count_detected(small_dets, &gts, counting);
+            let _ = count_detected(big_dets, &gts, counting);
+            let final_dets = if decision.is_upload() {
+                uploads += 1;
+                big_dets
+            } else {
+                small_dets
+            };
+            e2e_map.add_image(final_dets, &gts);
+            e2e_detected += count_detected(final_dets, &gts, counting).detected;
+        }
+        let _ = small_map.map();
+        let _ = big_map.map();
+        (
+            e2e_map.map() * 100.0,
+            e2e_detected,
+            uploads as f64 / test.len() as f64,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+fn random_detections(n: usize, seed: u64) -> ImageDetections {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x0: f64 = rng.gen_range(0.0..0.8);
+            let y0: f64 = rng.gen_range(0.0..0.8);
+            Detection::new(
+                ClassId(rng.gen_range(0..20)),
+                rng.gen_range(0.01..1.0),
+                BBox::new(
+                    x0,
+                    y0,
+                    x0 + rng.gen_range(0.05..0.2),
+                    y0 + rng.gen_range(0.05..0.2),
+                )
+                .unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Generic result sink so the optimizer cannot discard benchmarked work.
+fn sink<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Minimum wall-clock per variant over `repeats` rounds, with the variants
+/// **interleaved** within every round (after one warmup pass each).
+///
+/// Background load on shared hosts drifts over seconds; timing all of
+/// "before" and then all of "after" would let that drift masquerade as a
+/// speedup (or hide one). Interleaving makes every round sample the same
+/// load profile for each variant, and the per-variant minimum then discards
+/// the noisy rounds.
+fn best_of_each(repeats: usize, variants: &mut [&mut dyn FnMut()]) -> Vec<Duration> {
+    for f in variants.iter_mut() {
+        f();
+    }
+    let mut best = vec![Duration::MAX; variants.len()];
+    for _ in 0..repeats {
+        for (f, best) in variants.iter_mut().zip(best.iter_mut()) {
+            let t = Instant::now();
+            f();
+            *best = (*best).min(t.elapsed());
+        }
+    }
+    best
+}
+
+#[derive(Debug, Serialize)]
+struct KernelRow {
+    before_ns_per_op: f64,
+    after_ns_per_op: f64,
+    /// The `*_into` / scratch form where one exists (reused buffers).
+    after_scratch_ns_per_op: Option<f64>,
+    speedup: f64,
+}
+
+impl KernelRow {
+    fn new(before: Duration, after: Duration, scratch: Option<Duration>, ops: u64) -> Self {
+        let per = |d: Duration| d.as_nanos() as f64 / ops as f64;
+        let best_after = scratch.map(|s| s.min(after)).unwrap_or(after);
+        KernelRow {
+            before_ns_per_op: per(before),
+            after_ns_per_op: per(after),
+            after_scratch_ns_per_op: scratch.map(per),
+            speedup: per(before) / per(best_after),
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct HarnessRow {
+    images: usize,
+    before_fps: f64,
+    after_fps_single_worker: f64,
+    after_fps_parallel: f64,
+    /// Single-core speedup: data-oriented kernels only, no thread help.
+    speedup_single_worker: f64,
+    /// Speedup with the parallel fan-out enabled (equals the single-worker
+    /// number on a 1-CPU host).
+    speedup_parallel: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Harness {
+    /// `evaluate()` alone: one policy over a test set (detect + metrics).
+    evaluate_only: HarnessRow,
+    /// The experiment-driver flow behind every table: calibrate on a train
+    /// set, discriminator test stats, policy evaluation. The "before" runs
+    /// the seed's redundant detection passes; the "after" detects each
+    /// (model, scene) once and shares the results.
+    experiment_driver: HarnessRow,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    pr: u32,
+    title: String,
+    command: String,
+    quick: bool,
+    host_parallelism: usize,
+    kernels: Kernels,
+    harness: Harness,
+}
+
+#[derive(Debug, Serialize)]
+struct Kernels {
+    nms_200_boxes: KernelRow,
+    soft_nms_200_boxes: KernelRow,
+    match_greedy_40x10: KernelRow,
+    map_accumulate_per_image: KernelRow,
+    count_detected_per_image: KernelRow,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!("usage: throughput [--quick] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Min-over-repeats converges with more repeats; the full run spends
+    // the extra passes to keep the committed numbers stable on shared
+    // hosts.
+    let (repeats, kernel_iters, images) = if quick { (2, 50, 100) } else { (9, 1000, 2000) };
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "# throughput bench — quick={quick}, repeats={repeats}, images={images}, cpus={host_parallelism}"
+    );
+
+    // ---- Kernel fixtures --------------------------------------------------
+    let dets200 = random_detections(200, 1);
+    let nms_cfg = NmsConfig::default();
+    let single_class: Vec<Detection> = random_detections(40, 2)
+        .into_iter()
+        .map(|d| Detection::new(ClassId(0), d.score(), d.bbox()))
+        .collect();
+    let single_gts: Vec<GroundTruth> = random_detections(10, 3)
+        .iter()
+        .map(|d| GroundTruth::new(ClassId(0), d.bbox()))
+        .collect();
+    let dataset = Dataset::generate("bench-e2e", &DatasetProfile::voc(), images, 17);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+    let big_results: Vec<ImageDetections> = dataset.iter().map(|s| big.detect(s)).collect();
+    let gts: Vec<Vec<GroundTruth>> = dataset.iter().map(|s| s.ground_truths()).collect();
+    let counting = CountingConfig::default();
+    let policy = Policy::DifficultCase(DifficultCaseDiscriminator::new(Thresholds::paper()));
+
+    // ---- Self-check: before/after must agree before timing ---------------
+    assert_eq!(reference::nms(&dets200, &nms_cfg), nms(&dets200, &nms_cfg));
+    assert_eq!(
+        reference::soft_nms(&dets200, &nms_cfg, 0.5),
+        soft_nms(&dets200, &nms_cfg, 0.5)
+    );
+    assert_eq!(
+        reference::match_greedy(&single_class, &single_gts, 0.5),
+        detcore::match_greedy(&single_class, &single_gts, 0.5)
+    );
+    {
+        let mut reference_map = reference::MapEvaluator::new(20);
+        let mut new_map = MapEvaluator::new(20, ApProtocol::Voc07ElevenPoint);
+        for (d, g) in big_results.iter().zip(&gts) {
+            reference_map.add_image(d, g);
+            new_map.add_image(d, g);
+        }
+        assert_eq!(
+            reference_map.map().to_bits(),
+            new_map.evaluate().map.to_bits()
+        );
+        let mut cs = CountScratch::new();
+        for (d, g) in big_results.iter().zip(&gts) {
+            assert_eq!(
+                reference::count_detected(d, g, &counting),
+                count_detected_with(d, g, &counting, &mut cs)
+            );
+        }
+    }
+    let reference_outcome = reference::evaluate_e2e(&dataset, &small, &big, &policy, &counting);
+    let cfg = EvalConfig::default();
+    let outcome = evaluate(&dataset, &small, &big, &policy, &cfg);
+    assert_eq!(reference_outcome.0.to_bits(), outcome.e2e_map_pct.to_bits());
+    assert_eq!(reference_outcome.1, outcome.e2e_detected);
+    assert_eq!(
+        reference_outcome.2.to_bits(),
+        outcome.upload_ratio.to_bits()
+    );
+    eprintln!("# self-check passed: reference and optimized paths agree bit-for-bit");
+
+    // ---- Kernels ----------------------------------------------------------
+    let mut nms_scratch = NmsScratch::new();
+    let mut nms_out = ImageDetections::new();
+    let nms_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                for _ in 0..kernel_iters {
+                    sink(reference::nms(&dets200, &nms_cfg));
+                }
+            },
+            &mut || {
+                for _ in 0..kernel_iters {
+                    sink(nms(&dets200, &nms_cfg));
+                }
+            },
+            &mut || {
+                for _ in 0..kernel_iters {
+                    nms_into(&dets200, &nms_cfg, &mut nms_scratch, &mut nms_out);
+                    sink(&nms_out);
+                }
+            },
+        ],
+    );
+    let nms_row = KernelRow::new(nms_times[0], nms_times[1], Some(nms_times[2]), kernel_iters);
+    eprintln!("nms_200_boxes: {nms_row:?}");
+
+    let soft_iters = kernel_iters / 2 + 1;
+    let mut soft_scratch = NmsScratch::new();
+    let mut soft_out = ImageDetections::new();
+    let soft_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                for _ in 0..soft_iters {
+                    sink(reference::soft_nms(&dets200, &nms_cfg, 0.5));
+                }
+            },
+            &mut || {
+                for _ in 0..soft_iters {
+                    sink(soft_nms(&dets200, &nms_cfg, 0.5));
+                }
+            },
+            &mut || {
+                for _ in 0..soft_iters {
+                    soft_nms_into(&dets200, &nms_cfg, 0.5, &mut soft_scratch, &mut soft_out);
+                    sink(&soft_out);
+                }
+            },
+        ],
+    );
+    let soft_row = KernelRow::new(
+        soft_times[0],
+        soft_times[1],
+        Some(soft_times[2]),
+        soft_iters,
+    );
+    eprintln!("soft_nms_200_boxes: {soft_row:?}");
+
+    let match_iters = kernel_iters * 20;
+    let mut match_scratch = MatchScratch::new();
+    let mut match_out = detcore::ImageMatch::default();
+    let match_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                for _ in 0..match_iters {
+                    sink(reference::match_greedy(&single_class, &single_gts, 0.5));
+                }
+            },
+            &mut || {
+                for _ in 0..match_iters {
+                    detcore::match_greedy_into(
+                        &single_class,
+                        &single_gts,
+                        0.5,
+                        &mut match_scratch,
+                        &mut match_out,
+                    );
+                    sink(&match_out);
+                }
+            },
+        ],
+    );
+    let match_row = KernelRow::new(match_times[0], match_times[1], None, match_iters);
+    eprintln!("match_greedy_40x10: {match_row:?}");
+
+    let map_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                let mut ev = reference::MapEvaluator::new(20);
+                for (d, g) in big_results.iter().zip(&gts) {
+                    ev.add_image(d, g);
+                }
+                sink(ev.map());
+            },
+            &mut || {
+                let mut ev = MapEvaluator::new(20, ApProtocol::Voc07ElevenPoint);
+                for (d, g) in big_results.iter().zip(&gts) {
+                    ev.add_image(d, g);
+                }
+                sink(ev.evaluate().map);
+            },
+        ],
+    );
+    let map_row = KernelRow::new(map_times[0], map_times[1], None, images as u64);
+    eprintln!("map_accumulate_per_image: {map_row:?}");
+
+    let mut count_scratch = CountScratch::new();
+    let count_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                for (d, g) in big_results.iter().zip(&gts) {
+                    sink(reference::count_detected(d, g, &counting));
+                }
+            },
+            &mut || {
+                for (d, g) in big_results.iter().zip(&gts) {
+                    sink(count_detected_with(d, g, &counting, &mut count_scratch));
+                }
+            },
+        ],
+    );
+    let count_row = KernelRow::new(count_times[0], count_times[1], None, images as u64);
+    eprintln!("count_detected_per_image: {count_row:?}");
+
+    // ---- End-to-end harness: evaluate() alone ----------------------------
+    // The single-worker variant pins the harness to its sequential path via
+    // the env var; toggling happens on the main thread while no harness
+    // threads are alive.
+    let e2e_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                sink(reference::evaluate_e2e(
+                    &dataset, &small, &big, &policy, &counting,
+                ));
+            },
+            &mut || {
+                std::env::set_var("SMALLBIG_HARNESS_WORKERS", "1");
+                sink(evaluate(&dataset, &small, &big, &policy, &cfg));
+                std::env::remove_var("SMALLBIG_HARNESS_WORKERS");
+            },
+            &mut || {
+                sink(evaluate(&dataset, &small, &big, &policy, &cfg));
+            },
+        ],
+    );
+    let fps = |n: usize, d: Duration| n as f64 / d.as_secs_f64();
+    let evaluate_only = HarnessRow {
+        images,
+        before_fps: fps(images, e2e_times[0]),
+        after_fps_single_worker: fps(images, e2e_times[1]),
+        after_fps_parallel: fps(images, e2e_times[2]),
+        speedup_single_worker: e2e_times[0].as_secs_f64() / e2e_times[1].as_secs_f64(),
+        speedup_parallel: e2e_times[0].as_secs_f64() / e2e_times[2].as_secs_f64(),
+    };
+    eprintln!("harness/evaluate_only: {evaluate_only:?}");
+
+    // ---- End-to-end harness: the experiment-driver flow -------------------
+    let train = Dataset::generate("bench-train", &DatasetProfile::voc(), images, 41);
+    let driver_after = || {
+        let (cal, _examples) = calibrate(&train, &small, &big);
+        let disc = DifficultCaseDiscriminator::new(cal.thresholds);
+        let test_dets = detect_all(&dataset, &small, &big);
+        let stats = discriminator_stats_on(&dataset, &test_dets, &disc);
+        let outcome = evaluate_detections(&dataset, &test_dets, &Policy::DifficultCase(disc), &cfg);
+        (outcome, stats, cal.thresholds)
+    };
+
+    // Self-check: the shared-detection driver reproduces the redundant
+    // reference flow exactly.
+    let (ref_outcome, ref_stats, ref_thresholds) =
+        reference::pair_flow(&train, &dataset, &small, &big, &counting);
+    let (new_outcome, new_stats, new_thresholds) = driver_after();
+    assert_eq!(ref_thresholds, new_thresholds);
+    assert_eq!(ref_stats, new_stats);
+    assert_eq!(ref_outcome.0.to_bits(), new_outcome.e2e_map_pct.to_bits());
+    assert_eq!(ref_outcome.1, new_outcome.e2e_detected);
+    assert_eq!(ref_outcome.2.to_bits(), new_outcome.upload_ratio.to_bits());
+    eprintln!("# driver self-check passed: shared-detection flow is bit-identical");
+
+    let driver_images = 2 * images; // train + test
+    let driver_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                sink(reference::pair_flow(
+                    &train, &dataset, &small, &big, &counting,
+                ));
+            },
+            &mut || {
+                std::env::set_var("SMALLBIG_HARNESS_WORKERS", "1");
+                sink(driver_after());
+                std::env::remove_var("SMALLBIG_HARNESS_WORKERS");
+            },
+            &mut || {
+                sink(driver_after());
+            },
+        ],
+    );
+    let experiment_driver = HarnessRow {
+        images: driver_images,
+        before_fps: fps(driver_images, driver_times[0]),
+        after_fps_single_worker: fps(driver_images, driver_times[1]),
+        after_fps_parallel: fps(driver_images, driver_times[2]),
+        speedup_single_worker: driver_times[0].as_secs_f64() / driver_times[1].as_secs_f64(),
+        speedup_parallel: driver_times[0].as_secs_f64() / driver_times[2].as_secs_f64(),
+    };
+    eprintln!("harness/experiment_driver: {experiment_driver:?}");
+    let harness = Harness {
+        evaluate_only,
+        experiment_driver,
+    };
+
+    let report = Report {
+        pr: 2,
+        title: "Data-oriented detection kernels + parallel evaluation harness".to_string(),
+        command: "cargo run --release -p bench --bin throughput".to_string(),
+        quick,
+        host_parallelism,
+        kernels: Kernels {
+            nms_200_boxes: nms_row,
+            soft_nms_200_boxes: soft_row,
+            match_greedy_40x10: match_row,
+            map_accumulate_per_image: map_row,
+            count_detected_per_image: count_row,
+        },
+        harness,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write bench report");
+    eprintln!("# wrote {out_path}");
+}

@@ -88,78 +88,190 @@ pub struct Calibration {
 /// # Panics
 ///
 /// Panics if the dataset is empty.
-pub fn calibrate_conf_threshold(dataset: &Dataset, small: &dyn Detector) -> (f64, u64) {
+pub fn calibrate_conf_threshold(dataset: &Dataset, small: &(dyn Detector + Sync)) -> (f64, u64) {
     assert!(!dataset.is_empty(), "cannot calibrate on an empty dataset");
-    // Collect per-image (sorted scores, true count) once.
-    let per_image: Vec<(Vec<f64>, usize)> = dataset
-        .iter()
-        .map(|scene| {
-            let dets = small.detect(scene);
-            let mut scores: Vec<f64> = dets.iter().map(|d| d.score()).collect();
-            scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
-            (scores, scene.num_objects())
-        })
-        .collect();
-    let mut best = (0.20, u64::MAX);
-    let mut t = 0.05;
-    while t <= 0.451 {
-        let mut loss = 0u64;
-        for (scores, n_true) in &per_image {
-            // count of scores >= t via binary search on the sorted vec
-            let idx = scores.partition_point(|&s| s < t);
-            let n_est = scores.len() - idx;
-            loss += n_est.abs_diff(*n_true) as u64;
+    // Fan the detection work out across the harness workers (dataset order).
+    let scenes = dataset.scenes();
+    let dets: Vec<detcore::ImageDetections> =
+        crate::par::ordered_map(scenes.len(), |i| small.detect(&scenes[i]));
+    conf_threshold_from(score_profiles(
+        dets.iter().zip(scenes.iter().map(|s| s.num_objects())),
+    ))
+}
+
+/// Flat (structure-of-arrays) per-image score profiles: every image's
+/// scores sorted ascending in one buffer, with offsets and true counts.
+struct ScoreProfiles {
+    scores: Vec<f64>,
+    /// `num_images + 1` offsets into `scores`.
+    offsets: Vec<u32>,
+    true_counts: Vec<u32>,
+}
+
+fn score_profiles<'a>(
+    images: impl Iterator<Item = (&'a detcore::ImageDetections, usize)>,
+) -> ScoreProfiles {
+    let mut profiles = ScoreProfiles {
+        scores: Vec::new(),
+        offsets: vec![0],
+        true_counts: Vec::new(),
+    };
+    for (dets, n_true) in images {
+        let start = profiles.scores.len();
+        profiles.scores.extend(dets.iter().map(|d| d.score()));
+        profiles.scores[start..].sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        profiles.offsets.push(profiles.scores.len() as u32);
+        profiles.true_counts.push(n_true as u32);
+    }
+    profiles
+}
+
+/// Eq. 1's threshold scan.
+///
+/// The seed scanned thresholds in the outer loop with one binary search per
+/// (threshold, image) pair; this sweeps each image's ascending scores once
+/// against the ascending threshold grid with a moving pointer. Per-image
+/// loss terms are integers, so accumulating per image instead of per
+/// threshold produces the same 41 loss sums exactly, and the
+/// strictly-smaller selection over the same threshold order picks the same
+/// `(threshold, loss)`.
+fn conf_threshold_from(profiles: ScoreProfiles) -> (f64, u64) {
+    let thresholds: Vec<f64> = {
+        let mut v = Vec::new();
+        let mut t = 0.05;
+        while t <= 0.451 {
+            v.push(t);
+            t += 0.01;
         }
+        v
+    };
+    let mut losses = vec![0u64; thresholds.len()];
+    for img in 0..profiles.true_counts.len() {
+        let scores =
+            &profiles.scores[profiles.offsets[img] as usize..profiles.offsets[img + 1] as usize];
+        let n_true = profiles.true_counts[img] as usize;
+        // `idx` tracks `partition_point(|s| s < t)` as `t` ascends.
+        let mut idx = 0usize;
+        for (ti, &t) in thresholds.iter().enumerate() {
+            while idx < scores.len() && scores[idx] < t {
+                idx += 1;
+            }
+            let n_est = scores.len() - idx;
+            losses[ti] += n_est.abs_diff(n_true) as u64;
+        }
+    }
+    let mut best = (0.20, u64::MAX);
+    for (&t, &loss) in thresholds.iter().zip(&losses) {
         if loss < best.1 {
             best = (t, loss);
         }
-        t += 0.01;
     }
     best
 }
 
 /// Grid-searches the count and area thresholds on ground-truth features,
 /// maximising accuracy against the difficulty labels (Sec. V-D).
+///
+/// The naive grid re-classifies every example for all `6 × 31` cells; this
+/// version visits the same cells in the same order but, for each count
+/// threshold, sorts the not-count-difficult examples by minimum area once
+/// and reads every area cell's confusion counts off prefix sums. The
+/// winning cell and its [`BinaryStats`] are identical to the naive scan
+/// (the accuracy of each cell is the same integer-count division, and the
+/// strictly-greater tie-break is evaluated in the same cell order); the
+/// naive implementation stays in the tests as the oracle.
 pub fn calibrate_count_area(examples: &[LabeledExample]) -> (usize, f64, BinaryStats) {
     assert!(!examples.is_empty(), "cannot calibrate on zero examples");
-    let mut best: Option<(usize, f64, BinaryStats)> = None;
+    let total = examples.len();
+    let positives = examples.iter().filter(|e| e.label.is_difficult()).count();
+
+    // `classify_true_features` treats a missing minimum area as
+    // never-difficult-by-area; +inf encodes that (no finite threshold
+    // exceeds it).
+    let mut best: Option<(usize, f64, f64)> = None; // (count, area, accuracy)
+    let mut rest: Vec<(f64, bool)> = Vec::with_capacity(total);
     for count in 1..=6usize {
+        // Examples with more objects than the threshold are predicted
+        // difficult regardless of area.
+        let mut count_tp = 0usize;
+        let mut count_fp = 0usize;
+        rest.clear();
+        for e in examples {
+            if e.true_count > count {
+                if e.label.is_difficult() {
+                    count_tp += 1;
+                } else {
+                    count_fp += 1;
+                }
+            } else {
+                let area = e.true_min_area.unwrap_or(f64::INFINITY);
+                rest.push((area, e.label.is_difficult()));
+            }
+        }
+        rest.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite or inf areas"));
+        // prefix_pos[i] = difficult labels among the i smallest-area rest.
+        let mut prefix_pos = Vec::with_capacity(rest.len() + 1);
+        prefix_pos.push(0usize);
+        for (_, difficult) in &rest {
+            prefix_pos.push(prefix_pos.last().unwrap() + usize::from(*difficult));
+        }
+
         let mut area = 0.01;
         while area <= 0.61 {
-            let disc = DifficultCaseDiscriminator::new(Thresholds {
-                conf: 0.2, // irrelevant for true-feature classification
-                count,
-                area,
-            });
-            let stats = BinaryStats::from_pairs(examples.iter().map(|e| {
-                (
-                    disc.classify_true_features(e.true_count, e.true_min_area),
-                    e.label,
-                )
-            }));
+            // Among `rest`, predicted difficult iff min_area < threshold.
+            let below = rest.partition_point(|&(a, _)| a < area);
+            let tp = count_tp + prefix_pos[below];
+            let fp = count_fp + (below - prefix_pos[below]);
+            let fn_ = positives - tp;
+            let tn = total - tp - fp - fn_;
+            let accuracy = (tp + tn) as f64 / total as f64;
             let better = match &best {
                 None => true,
-                Some((_, _, b)) => stats.accuracy > b.accuracy,
+                Some((_, _, b)) => accuracy > *b,
             };
             if better {
-                best = Some((count, area, stats));
+                best = Some((count, area, accuracy));
             }
             area += 0.02;
         }
     }
-    let (c, a, s) = best.expect("grid is non-empty");
-    (c, a, s)
+    let (count, area, _) = best.expect("grid is non-empty");
+    // Full stats for the winning cell only (identical to what the naive
+    // scan stored when it visited that cell).
+    let disc = DifficultCaseDiscriminator::new(Thresholds {
+        conf: 0.2, // irrelevant for true-feature classification
+        count,
+        area,
+    });
+    let stats = BinaryStats::from_pairs(examples.iter().map(|e| {
+        (
+            disc.classify_true_features(e.true_count, e.true_min_area),
+            e.label,
+        )
+    }));
+    (count, area, stats)
 }
 
 /// Runs the complete calibration: confidence threshold by regression, then
 /// count/area thresholds by grid search over labelled training data.
 pub fn calibrate(
     train: &Dataset,
-    small: &dyn Detector,
-    big: &dyn Detector,
+    small: &(dyn Detector + Sync),
+    big: &(dyn Detector + Sync),
 ) -> (Calibration, Vec<LabeledExample>) {
-    let (conf, counting_loss) = calibrate_conf_threshold(train, small);
-    let examples = crate::label_dataset(train, small, big, conf);
+    assert!(!train.is_empty(), "cannot calibrate on an empty dataset");
+    // One (parallel) detection pass over the training set feeds both the
+    // confidence-threshold scan and the difficulty labelling; the detectors
+    // are deterministic, so results equal the two-pass form exactly.
+    let results = crate::detect_all(train, small, big);
+    let scenes = train.scenes();
+    let (conf, counting_loss) = conf_threshold_from(score_profiles(
+        scenes
+            .iter()
+            .zip(&results)
+            .map(|(scene, (small_dets, _))| (small_dets, scene.num_objects())),
+    ));
+    let examples = crate::label_dataset_with(train, &results, conf);
     let (count, area, train_stats) = calibrate_count_area(&examples);
     (
         Calibration {
@@ -182,6 +294,61 @@ mod tests {
         let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
         let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
         (ds, small, big)
+    }
+
+    /// The naive 186-cell grid scan (the pre-refactor implementation),
+    /// kept as the oracle for the prefix-sum version.
+    fn naive_count_area(examples: &[LabeledExample]) -> (usize, f64, BinaryStats) {
+        let mut best: Option<(usize, f64, BinaryStats)> = None;
+        for count in 1..=6usize {
+            let mut area = 0.01;
+            while area <= 0.61 {
+                let disc = DifficultCaseDiscriminator::new(Thresholds {
+                    conf: 0.2,
+                    count,
+                    area,
+                });
+                let stats = BinaryStats::from_pairs(examples.iter().map(|e| {
+                    (
+                        disc.classify_true_features(e.true_count, e.true_min_area),
+                        e.label,
+                    )
+                }));
+                let better = match &best {
+                    None => true,
+                    Some((_, _, b)) => stats.accuracy > b.accuracy,
+                };
+                if better {
+                    best = Some((count, area, stats));
+                }
+                area += 0.02;
+            }
+        }
+        best.expect("grid is non-empty")
+    }
+
+    #[test]
+    fn count_area_grid_matches_naive_oracle() {
+        let (ds, small, big) = setup();
+        let examples = crate::label_dataset(&ds, &small, &big, 0.2);
+        let (count, area, stats) = calibrate_count_area(&examples);
+        let (count_ref, area_ref, stats_ref) = naive_count_area(&examples);
+        assert_eq!(count, count_ref);
+        assert_eq!(area.to_bits(), area_ref.to_bits());
+        assert_eq!(stats, stats_ref);
+
+        // Edge shapes: missing min areas and all-one-label sets.
+        let degenerate: Vec<LabeledExample> = examples
+            .iter()
+            .map(|e| LabeledExample {
+                true_min_area: None,
+                ..*e
+            })
+            .collect();
+        let fast = calibrate_count_area(&degenerate);
+        let naive = naive_count_area(&degenerate);
+        assert_eq!((fast.0, fast.1.to_bits()), (naive.0, naive.1.to_bits()));
+        assert_eq!(fast.2, naive.2);
     }
 
     #[test]

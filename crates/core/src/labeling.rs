@@ -47,8 +47,17 @@ pub fn label_scene(
     big: &dyn Detector,
     t_conf: f64,
 ) -> LabeledExample {
-    let small_dets = small.detect(scene);
-    let big_dets = big.detect(scene);
+    label_scene_with(scene, &small.detect(scene), &big.detect(scene), t_conf)
+}
+
+/// [`label_scene`] over detections both models already produced for this
+/// scene (detectors are deterministic, so the label is identical).
+pub fn label_scene_with(
+    scene: &Scene,
+    small_dets: &detcore::ImageDetections,
+    big_dets: &detcore::ImageDetections,
+    t_conf: f64,
+) -> LabeledExample {
     let n_small = small_dets.count_above(PREDICTION_THRESHOLD);
     let n_big = big_dets.count_above(PREDICTION_THRESHOLD);
     let label = if n_big > n_small {
@@ -60,21 +69,46 @@ pub fn label_scene(
         scene_id: scene.id,
         true_count: scene.num_objects(),
         true_min_area: scene.min_area_ratio(),
-        features: SemanticFeatures::extract(&small_dets, t_conf),
+        features: SemanticFeatures::extract(small_dets, t_conf),
         label,
     }
 }
 
 /// Labels every scene of a dataset.
+///
+/// Labelling is per-scene pure, so the detection work fans out across the
+/// harness workers (see [`crate::par`]) and merges back in dataset order —
+/// the result is identical to the sequential loop.
 pub fn label_dataset(
     dataset: &Dataset,
-    small: &dyn Detector,
-    big: &dyn Detector,
+    small: &(dyn Detector + Sync),
+    big: &(dyn Detector + Sync),
     t_conf: f64,
 ) -> Vec<LabeledExample> {
-    dataset
+    label_dataset_with(dataset, &crate::detect_all(dataset, small, big), t_conf)
+}
+
+/// [`label_dataset`] over detections precomputed with
+/// [`crate::detect_all`].
+///
+/// # Panics
+///
+/// Panics if `results` does not line up with the dataset.
+pub fn label_dataset_with(
+    dataset: &Dataset,
+    results: &[(detcore::ImageDetections, detcore::ImageDetections)],
+    t_conf: f64,
+) -> Vec<LabeledExample> {
+    let scenes = dataset.scenes();
+    assert_eq!(
+        scenes.len(),
+        results.len(),
+        "one detection pair per scene required"
+    );
+    scenes
         .iter()
-        .map(|scene| label_scene(scene, small, big, t_conf))
+        .zip(results)
+        .map(|(scene, (s, b))| label_scene_with(scene, s, b, t_conf))
         .collect()
 }
 

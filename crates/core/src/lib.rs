@@ -36,7 +36,11 @@
 //! * [`run_system`] — the legacy one-edge batch entry point, now a thin
 //!   wrapper over a single-session [`CloudServer`] (bit-identical reports),
 //! * [`wire`] — the length-prefixed frame format actually shipped between
-//!   the edge and cloud threads.
+//!   the edge and cloud threads,
+//! * [`par`] — the deterministic fan-out the harness uses: pure per-image
+//!   work spreads over worker threads and merges back in order, so every
+//!   report stays bit-identical to a sequential run (`CloudConfig::workers`
+//!   gives the cloud server the same property for big-model inference).
 //!
 //! # Batch example (the paper's protocol)
 //!
@@ -114,6 +118,7 @@ mod calibrate;
 mod discriminator;
 mod features;
 mod labeling;
+pub mod par;
 mod persist;
 mod pipeline;
 mod runtime;
@@ -129,9 +134,13 @@ pub use calibrate::{
 };
 pub use discriminator::{CaseKind, DifficultCaseDiscriminator, DiscriminatorConfig, Thresholds};
 pub use features::{SemanticFeatures, PREDICTION_THRESHOLD};
-pub use labeling::{difficult_fraction, label_dataset, label_scene, LabeledExample};
+pub use labeling::{
+    difficult_fraction, label_dataset, label_dataset_with, label_scene, label_scene_with,
+    LabeledExample,
+};
 pub use pipeline::{
-    discriminator_test_stats, evaluate, evaluate_streaming, EvalConfig, EvalOutcome,
+    detect_all, discriminator_stats_on, discriminator_test_stats, evaluate, evaluate_detections,
+    evaluate_streaming, EvalConfig, EvalOutcome,
 };
 pub use runtime::{run_system, RuntimeConfig, RuntimeMode, RuntimeReport};
 pub use server::{

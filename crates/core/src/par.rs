@@ -1,0 +1,148 @@
+//! Deterministic parallel fan-out for the evaluation harness.
+//!
+//! The harness's hot loops (running both detectors over a test set,
+//! labelling a training set, regenerating independent experiments) are maps
+//! of a pure function over an index range. [`ordered_map`] runs such maps
+//! over a [`std::thread::scope`] worker pool fed by the vendored crossbeam
+//! channels and merges results back **in index order**, so output is
+//! bit-identical to the sequential loop no matter how many workers run or
+//! how they interleave — parallelism changes wall-clock time only.
+
+use crossbeam::channel;
+
+/// Number of harness worker threads for `jobs` independent jobs.
+///
+/// Defaults to [`std::thread::available_parallelism`], capped by the job
+/// count. The `SMALLBIG_HARNESS_WORKERS` environment variable overrides the
+/// default (values `0` or unparsable fall back to it); `1` forces the exact
+/// sequential code path, which the throughput bench uses to measure
+/// parallel speedup.
+pub fn harness_workers(jobs: usize) -> usize {
+    harness_workers_from(
+        std::env::var("SMALLBIG_HARNESS_WORKERS").ok().as_deref(),
+        jobs,
+    )
+}
+
+/// [`harness_workers`] with the environment override supplied by the caller
+/// (kept pure so it can be tested without mutating process-global state).
+fn harness_workers_from(env_override: Option<&str>, jobs: usize) -> usize {
+    let configured = env_override
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    configured.min(jobs).max(1)
+}
+
+/// Applies `f` to every index in `0..jobs` and returns the outputs in index
+/// order.
+///
+/// With more than one worker (see [`harness_workers`]) the indices fan out
+/// over scoped threads; `f` must therefore be pure for the merged output to
+/// be deterministic — which every harness job (deterministic detectors,
+/// pure labelling) is. With one worker this is exactly a sequential loop,
+/// with no threads spawned and no channel traffic.
+///
+/// # Examples
+///
+/// ```
+/// use smallbig_core::par::ordered_map;
+///
+/// let squares = ordered_map(5, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn ordered_map<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    ordered_map_with(harness_workers(jobs), jobs, f)
+}
+
+/// [`ordered_map`] with an explicit worker count.
+fn ordered_map_with<T, F>(workers: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    for i in 0..jobs {
+        job_tx.send(i).expect("receiver alive");
+    }
+    drop(job_tx);
+
+    let (done_tx, done_rx) = channel::unbounded::<(usize, T)>();
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(jobs, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok(i) = job_rx.recv() {
+                    if done_tx.send((i, f(i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        while let Ok((i, value)) = done_rx.recv() {
+            results[i] = Some(value);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every job completes"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_map_is_in_index_order() {
+        let out = ordered_map(100, |i| i as u64 * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn ordered_map_handles_empty_and_single() {
+        assert_eq!(ordered_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(ordered_map(1, |i| i + 7), vec![7]);
+    }
+
+    // Worker-count selection and the worker-count invariance of the output
+    // are tested through the pure internals — mutating the process-global
+    // environment from a test would race with concurrently running tests
+    // that read it.
+
+    #[test]
+    fn output_stable_under_any_worker_count() {
+        let sequential: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for workers in [1, 2, 5] {
+            assert_eq!(ordered_map_with(workers, 37, |i| i * i), sequential);
+        }
+    }
+
+    #[test]
+    fn worker_count_override_and_job_cap() {
+        assert_eq!(harness_workers_from(Some("8"), 3), 3);
+        assert_eq!(harness_workers_from(Some("8"), 100), 8);
+        assert_eq!(harness_workers_from(Some("1"), 100), 1);
+        // Zero or garbage falls back to the host default (at least 1).
+        assert!(harness_workers_from(Some("0"), 100) >= 1);
+        assert!(harness_workers_from(Some("lots"), 100) >= 1);
+        assert!(harness_workers_from(None, 100) >= 1);
+    }
+}

@@ -3,10 +3,12 @@
 //! Computes everything the paper's tables report: per-model mAP, end-to-end
 //! mAP under a policy, detected-object totals, and the upload ratio.
 
-use crate::{label_scene, CaseKind, Policy, PolicyInput, PREDICTION_THRESHOLD};
+use crate::par::ordered_map;
+use crate::{CaseKind, Policy, PolicyInput, PREDICTION_THRESHOLD};
 use datagen::Dataset;
 use detcore::{
-    count_detected, ApProtocol, CountingConfig, DatasetCounter, ImageDetections, MapEvaluator,
+    count_detected_with, ApProtocol, CountScratch, CountingConfig, DatasetCounter,
+    ImageContribution, ImageDetections, MapEvaluator,
 };
 use modelzoo::Detector;
 use serde::{Deserialize, Serialize};
@@ -82,6 +84,10 @@ impl EvalOutcome {
 /// identical whether computed in the cloud or here, since detectors are
 /// deterministic).
 ///
+/// The detection pass fans out across images (see [`crate::par`]); results
+/// merge back in dataset order and all metric accumulation stays
+/// sequential, so the outcome is bit-identical to a single-threaded run.
+///
 /// # Examples
 ///
 /// ```
@@ -98,22 +104,56 @@ impl EvalOutcome {
 /// ```
 pub fn evaluate(
     test: &Dataset,
-    small: &dyn Detector,
-    big: &dyn Detector,
+    small: &(dyn Detector + Sync),
+    big: &(dyn Detector + Sync),
+    policy: &Policy,
+    config: &EvalConfig,
+) -> EvalOutcome {
+    evaluate_detections(test, &detect_all(test, small, big), policy, config)
+}
+
+/// Runs both models over every scene of a dataset, fanning images out
+/// across the harness workers (see [`crate::par`]) and returning
+/// `(small, big)` detection pairs in dataset order.
+///
+/// Detectors are deterministic, so callers that need the same detections
+/// more than once — [`evaluate_detections`] under several policies,
+/// [`discriminator_stats_on`] next to an evaluation — detect once and
+/// share the result instead of re-running the models.
+pub fn detect_all(
+    test: &Dataset,
+    small: &(dyn Detector + Sync),
+    big: &(dyn Detector + Sync),
+) -> Vec<(ImageDetections, ImageDetections)> {
+    let scenes = test.scenes();
+    ordered_map(scenes.len(), |i| {
+        (small.detect(&scenes[i]), big.detect(&scenes[i]))
+    })
+}
+
+/// [`evaluate`] over detections precomputed with [`detect_all`].
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `results` does not line up with it.
+pub fn evaluate_detections(
+    test: &Dataset,
+    results: &[(ImageDetections, ImageDetections)],
     policy: &Policy,
     config: &EvalConfig,
 ) -> EvalOutcome {
     assert!(!test.is_empty(), "cannot evaluate an empty dataset");
     let num_classes = test.taxonomy().len();
-
-    // Run both models over the test set once.
-    let small_results: Vec<ImageDetections> = test.iter().map(|s| small.detect(s)).collect();
-    let big_results: Vec<ImageDetections> = test.iter().map(|s| big.detect(s)).collect();
+    let scenes = test.scenes();
+    assert_eq!(
+        scenes.len(),
+        results.len(),
+        "one detection pair per scene required"
+    );
 
     // Labels for the oracle policy (cheap: counts are already available).
-    let labels: Vec<CaseKind> = small_results
+    let labels: Vec<CaseKind> = results
         .iter()
-        .zip(&big_results)
         .map(|(s, b)| {
             if b.count_above(PREDICTION_THRESHOLD) > s.count_above(PREDICTION_THRESHOLD) {
                 CaseKind::Difficult
@@ -123,11 +163,11 @@ pub fn evaluate(
         })
         .collect();
 
-    let inputs: Vec<PolicyInput<'_>> = test
+    let inputs: Vec<PolicyInput<'_>> = scenes
         .iter()
-        .zip(&small_results)
+        .zip(results)
         .zip(&labels)
-        .map(|((scene, small_dets), label)| PolicyInput {
+        .map(|((scene, (small_dets, _)), label)| PolicyInput {
             scene,
             small_dets,
             label: Some(*label),
@@ -142,27 +182,30 @@ pub fn evaluate(
     let mut small_count = DatasetCounter::new();
     let mut big_count = DatasetCounter::new();
     let mut e2e_count = DatasetCounter::new();
+    let mut count_scratch = CountScratch::new();
+    let mut small_contrib = ImageContribution::new();
+    let mut big_contrib = ImageContribution::new();
     let mut uploads = 0usize;
 
-    for (((scene, small_dets), big_dets), decision) in test
-        .iter()
-        .zip(&small_results)
-        .zip(&big_results)
-        .zip(&decisions)
-    {
+    for ((scene, (small_dets, big_dets)), decision) in scenes.iter().zip(results).zip(&decisions) {
         let gts = scene.ground_truths();
-        small_map.add_image(small_dets, &gts);
-        big_map.add_image(big_dets, &gts);
-        small_count.add(count_detected(small_dets, &gts, &config.counting));
-        big_count.add(count_detected(big_dets, &gts, &config.counting));
-        let final_dets = if decision.is_upload() {
+        // Matching is deterministic, so the end-to-end evaluators replay
+        // whichever per-model result the decision routes to instead of
+        // matching / counting the routed image a third time.
+        small_map.add_image_recording(small_dets, &gts, &mut small_contrib);
+        big_map.add_image_recording(big_dets, &gts, &mut big_contrib);
+        let small_c = count_detected_with(small_dets, &gts, &config.counting, &mut count_scratch);
+        let big_c = count_detected_with(big_dets, &gts, &config.counting, &mut count_scratch);
+        small_count.add(small_c);
+        big_count.add(big_c);
+        if decision.is_upload() {
             uploads += 1;
-            big_dets
+            e2e_map.replay_contribution(&big_map, &big_contrib);
+            e2e_count.add(big_c);
         } else {
-            small_dets
-        };
-        e2e_map.add_image(final_dets, &gts);
-        e2e_count.add(count_detected(final_dets, &gts, &config.counting));
+            e2e_map.replay_contribution(&small_map, &small_contrib);
+            e2e_count.add(small_c);
+        }
     }
 
     EvalOutcome {
@@ -204,13 +247,19 @@ pub fn evaluate(
 /// ```
 pub fn evaluate_streaming(
     test: &Dataset,
-    small: &dyn Detector,
-    big: &dyn Detector,
+    small: &(dyn Detector + Sync),
+    big: &(dyn Detector + Sync),
     policy: &mut dyn crate::OffloadPolicy,
     config: &EvalConfig,
 ) -> EvalOutcome {
     assert!(!test.is_empty(), "cannot evaluate an empty dataset");
     let num_classes = test.taxonomy().len();
+    let scenes = test.scenes();
+
+    // Detectors are deterministic, so the per-frame detection work can fan
+    // out ahead of the strictly-sequential policy loop below without
+    // changing a single decision.
+    let results = detect_all(test, small, big);
 
     let mut small_map = MapEvaluator::new(num_classes, config.ap_protocol);
     let mut big_map = MapEvaluator::new(num_classes, config.ap_protocol);
@@ -218,12 +267,13 @@ pub fn evaluate_streaming(
     let mut small_count = DatasetCounter::new();
     let mut big_count = DatasetCounter::new();
     let mut e2e_count = DatasetCounter::new();
+    let mut count_scratch = CountScratch::new();
+    let mut small_contrib = ImageContribution::new();
+    let mut big_contrib = ImageContribution::new();
     let mut uploads = 0usize;
 
-    for scene in test.iter() {
+    for (scene, (small_dets, big_dets)) in scenes.iter().zip(&results) {
         let gts = scene.ground_truths();
-        let small_dets = small.detect(scene);
-        let big_dets = big.detect(scene);
         // Same label rule as the batch path (both models already ran here),
         // so Policy::Oracle works identically in streaming form.
         let label = if big_dets.count_above(PREDICTION_THRESHOLD)
@@ -235,22 +285,24 @@ pub fn evaluate_streaming(
         };
         let decision = policy.decide(&PolicyInput {
             scene,
-            small_dets: &small_dets,
+            small_dets,
             label: Some(label),
             num_classes,
         });
-        small_map.add_image(&small_dets, &gts);
-        big_map.add_image(&big_dets, &gts);
-        small_count.add(count_detected(&small_dets, &gts, &config.counting));
-        big_count.add(count_detected(&big_dets, &gts, &config.counting));
-        let final_dets = if decision.is_upload() {
+        small_map.add_image_recording(small_dets, &gts, &mut small_contrib);
+        big_map.add_image_recording(big_dets, &gts, &mut big_contrib);
+        let small_c = count_detected_with(small_dets, &gts, &config.counting, &mut count_scratch);
+        let big_c = count_detected_with(big_dets, &gts, &config.counting, &mut count_scratch);
+        small_count.add(small_c);
+        big_count.add(big_c);
+        if decision.is_upload() {
             uploads += 1;
-            &big_dets
+            e2e_map.replay_contribution(&big_map, &big_contrib);
+            e2e_count.add(big_c);
         } else {
-            &small_dets
-        };
-        e2e_map.add_image(final_dets, &gts);
-        e2e_count.add(count_detected(final_dets, &gts, &config.counting));
+            e2e_map.replay_contribution(&small_map, &small_contrib);
+            e2e_count.add(small_c);
+        }
     }
 
     EvalOutcome {
@@ -270,18 +322,36 @@ pub fn evaluate_streaming(
 /// (used for the paper's Table I test row).
 pub fn discriminator_test_stats(
     test: &Dataset,
-    small: &dyn Detector,
-    big: &dyn Detector,
+    small: &(dyn Detector + Sync),
+    big: &(dyn Detector + Sync),
     disc: &crate::DifficultCaseDiscriminator,
 ) -> crate::BinaryStats {
+    discriminator_stats_on(test, &detect_all(test, small, big), disc)
+}
+
+/// [`discriminator_test_stats`] over detections precomputed with
+/// [`detect_all`] — the experiment driver shares one detection pass between
+/// this and [`evaluate_detections`].
+///
+/// # Panics
+///
+/// Panics if `results` does not line up with the dataset.
+pub fn discriminator_stats_on(
+    test: &Dataset,
+    results: &[(ImageDetections, ImageDetections)],
+    disc: &crate::DifficultCaseDiscriminator,
+) -> crate::BinaryStats {
+    let scenes = test.scenes();
+    assert_eq!(
+        scenes.len(),
+        results.len(),
+        "one detection pair per scene required"
+    );
     let t_conf = disc.thresholds().conf;
-    let pairs: Vec<(CaseKind, CaseKind)> = test
-        .iter()
-        .map(|scene| {
-            let ex = label_scene(scene, small, big, t_conf);
-            (disc.classify_features(&ex.features), ex.label)
-        })
-        .collect();
+    let pairs = scenes.iter().zip(results).map(|(scene, (s, b))| {
+        let ex = crate::label_scene_with(scene, s, b, t_conf);
+        (disc.classify_features(&ex.features), ex.label)
+    });
     crate::BinaryStats::from_pairs(pairs)
 }
 

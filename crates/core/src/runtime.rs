@@ -142,6 +142,7 @@ pub fn run_system(
         device: config.cloud.clone(),
         seed: config.seed,
         max_batch: 1,
+        workers: 1,
     };
     let session_cfg = SessionConfig {
         edge: config.edge.clone(),

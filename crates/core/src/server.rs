@@ -54,12 +54,12 @@
 //! ```
 
 use crate::strategies::{Decision, OffloadPolicy, PolicyInput};
-use crate::wire::{decode_frame, encode_frame};
+use crate::wire::{decode_frame, encode_frame, encode_frame_into};
 use crossbeam::channel::{self, Receiver, Sender};
 use datagen::Scene;
 use detcore::{
-    count_detected, ApProtocol, CountingConfig, DatasetCounter, GroundTruth, ImageDetections,
-    MapEvaluator,
+    count_detected_with, ApProtocol, CountScratch, CountingConfig, DatasetCounter, GroundTruth,
+    ImageDetections, MapEvaluator,
 };
 use imaging::{encoded_size_bytes, render, result_size_bytes};
 use modelzoo::Detector;
@@ -94,6 +94,14 @@ pub struct CloudConfig {
     /// paper's one-at-a-time serving; larger values let the FIFO scheduler
     /// batch requests that queue up across sessions.
     pub max_batch: usize,
+    /// Big-model inference threads. `1` (the default) runs inference inline
+    /// on the scheduler thread; larger values fan each batch's frames out
+    /// over a pool of worker threads. Detectors are deterministic and
+    /// results are merged back in queue order before any response is sent,
+    /// so reports are **bit-identical for every worker count** — the pool
+    /// changes wall-clock speed only, never virtual-time semantics
+    /// (guarded by the `worker_pool_reports_bit_identical` test).
+    pub workers: usize,
 }
 
 impl Default for CloudConfig {
@@ -102,6 +110,7 @@ impl Default for CloudConfig {
             device: DeviceModel::gpu_server(),
             seed: 0x5417,
             max_batch: 1,
+            workers: 1,
         }
     }
 }
@@ -218,11 +227,15 @@ pub struct CloudStats {
 }
 
 /// The wire message for one uploaded frame (edge → cloud).
+///
+/// The scene itself is *not* serialized: it travels alongside the header as
+/// an [`Arc<Scene>`], so a submit shares the scene instead of cloning and
+/// JSON-round-tripping it. Link timing is driven by `frame_bytes` (the
+/// rendered camera frame), which is unaffected.
 #[derive(Debug, Serialize, Deserialize)]
 struct SubmitRequest {
     session: u64,
     ticket: u64,
-    scene: Scene,
     /// Size of the encoded camera frame being uploaded (drives the link).
     frame_bytes: usize,
     /// Virtual send timestamp at the edge.
@@ -242,15 +255,16 @@ struct SubmitResponse {
     uplink_s: f64,
 }
 
-/// Control-plane messages into the cloud worker. Frame payloads stay
-/// wire-encoded ([`SubmitRequest`] bytes) so upload sizes are real.
+/// Control-plane messages into the cloud worker. Frame headers stay
+/// wire-encoded ([`SubmitRequest`] bytes); the scene rides along as a
+/// shared [`Arc`] so submitting never deep-copies it.
 pub(crate) enum ToCloud {
     Register {
         session: u64,
         link: LinkModel,
         resp_tx: Sender<bytes::Bytes>,
     },
-    Frame(bytes::Bytes),
+    Frame(bytes::Bytes, Arc<Scene>),
     Flush,
     Deregister {
         session: u64,
@@ -261,8 +275,61 @@ pub(crate) enum ToCloud {
 /// A frame waiting cloud-side for its batch.
 struct QueuedFrame {
     req: SubmitRequest,
+    scene: Arc<Scene>,
     uplink_s: f64,
     arrival: f64,
+}
+
+/// Handles to the big-model inference pool (present when
+/// [`CloudConfig::workers`] `> 1`).
+///
+/// Workers catch panics from `detect` and ship the payload back, so a
+/// panicking user [`Detector`] unwinds the scheduler (and then the whole
+/// server thread) instead of deadlocking a counted receive loop.
+struct DetectPool {
+    job_tx: Sender<(usize, Arc<Scene>)>,
+    done_rx: Receiver<(usize, std::thread::Result<ImageDetections>)>,
+}
+
+/// Runs big-model inference for one batch, returning results *in queue
+/// order* regardless of which worker finished first. Detectors are
+/// deterministic, so the merged output — and therefore every response and
+/// report downstream — is identical for any worker count.
+fn detect_batch(
+    queue: &[QueuedFrame],
+    big: &(dyn Detector + Sync),
+    pool: Option<&DetectPool>,
+    out: &mut Vec<Option<ImageDetections>>,
+) {
+    out.clear();
+    out.resize(queue.len(), None);
+    match pool {
+        None => {
+            for (i, q) in queue.iter().enumerate() {
+                out[i] = Some(big.detect(&q.scene));
+            }
+        }
+        Some(pool) => {
+            for (i, q) in queue.iter().enumerate() {
+                pool.job_tx
+                    .send((i, Arc::clone(&q.scene)))
+                    .expect("inference workers outlive the scheduler");
+            }
+            for _ in 0..queue.len() {
+                let (i, result) = pool
+                    .done_rx
+                    .recv()
+                    .expect("inference workers outlive the scheduler");
+                match result {
+                    Ok(dets) => out[i] = Some(dets),
+                    // Re-raise the worker's panic here so the server thread
+                    // fails loudly instead of waiting for a result that
+                    // will never arrive.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        }
+    }
 }
 
 /// The cloud worker: FIFO over the control channel, batching big-model
@@ -271,17 +338,60 @@ struct QueuedFrame {
 /// Determinism: everything the worker does is a pure function of the
 /// message order on `rx` (uplink jitter is drawn per frame in arrival
 /// order). Drive all sessions from one thread and the whole run is
-/// reproducible; the wall-clock speed of this thread never matters.
+/// reproducible; the wall-clock speed of this thread never matters. With
+/// `workers > 1` only the *detect* calls fan out (see [`detect_batch`]);
+/// scheduling, timing and response order stay on this thread.
 pub(crate) fn cloud_loop(
     rx: &Receiver<ToCloud>,
     big: &(dyn Detector + Sync),
     config: &CloudConfig,
+) -> CloudStats {
+    assert!(config.workers >= 1, "workers must be at least 1");
+    if config.workers == 1 {
+        return cloud_scheduler(rx, big, config, None);
+    }
+    std::thread::scope(|scope| {
+        let (job_tx, job_rx) = channel::unbounded::<(usize, Arc<Scene>)>();
+        let (done_tx, done_rx) =
+            channel::unbounded::<(usize, std::thread::Result<ImageDetections>)>();
+        for _ in 0..config.workers {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok((i, scene)) = job_rx.recv() {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        big.detect(&scene)
+                    }));
+                    let failed = result.is_err();
+                    if done_tx.send((i, result)).is_err() || failed {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(job_rx);
+        drop(done_tx);
+        let pool = DetectPool { job_tx, done_rx };
+        // `pool` (and its job sender) drops when this closure returns,
+        // disconnecting the workers so the scope can join them.
+        cloud_scheduler(rx, big, config, Some(&pool))
+    })
+}
+
+/// The scheduler half of [`cloud_loop`]; inference goes through
+/// [`detect_batch`] (inline or pooled).
+fn cloud_scheduler(
+    rx: &Receiver<ToCloud>,
+    big: &(dyn Detector + Sync),
+    config: &CloudConfig,
+    pool: Option<&DetectPool>,
 ) -> CloudStats {
     assert!(config.max_batch >= 1, "max_batch must be at least 1");
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xc10d);
     let mut server_free_at = 0.0f64;
     let mut sessions: HashMap<u64, (LinkModel, Sender<bytes::Bytes>)> = HashMap::new();
     let mut queue: Vec<QueuedFrame> = Vec::new();
+    let mut dets_scratch: Vec<Option<ImageDetections>> = Vec::new();
     let mut stats = CloudStats {
         served: 0,
         batches: 0,
@@ -290,6 +400,7 @@ pub(crate) fn cloud_loop(
     };
 
     let process_batch = |queue: &mut Vec<QueuedFrame>,
+                         dets_scratch: &mut Vec<Option<ImageDetections>>,
                          sessions: &HashMap<u64, (LinkModel, Sender<bytes::Bytes>)>,
                          server_free_at: &mut f64,
                          stats: &mut CloudStats| {
@@ -304,8 +415,9 @@ pub(crate) fn cloud_loop(
         stats.batches += 1;
         stats.busy_s += batch_s;
         let per_frame_infer = batch_s / n as f64;
-        for q in queue.drain(..) {
-            let dets = big.detect(&q.req.scene);
+        detect_batch(queue, big, pool, dets_scratch);
+        for (q, dets) in queue.drain(..).zip(dets_scratch.iter_mut()) {
+            let dets = dets.take().expect("detect_batch fills every slot");
             stats.served += 1;
             let resp = SubmitResponse {
                 ticket: q.req.ticket,
@@ -331,7 +443,7 @@ pub(crate) fn cloud_loop(
                 stats.sessions += 1;
                 sessions.insert(session, (link, resp_tx));
             }
-            ToCloud::Frame(frame) => {
+            ToCloud::Frame(frame, scene) => {
                 let req: SubmitRequest =
                     decode_frame(&frame).expect("edge sends well-formed frames");
                 let link = &sessions
@@ -342,26 +454,51 @@ pub(crate) fn cloud_loop(
                 let arrival = req.sent_at + uplink_s;
                 queue.push(QueuedFrame {
                     req,
+                    scene,
                     uplink_s,
                     arrival,
                 });
                 if queue.len() >= config.max_batch {
-                    process_batch(&mut queue, &sessions, &mut server_free_at, &mut stats);
+                    process_batch(
+                        &mut queue,
+                        &mut dets_scratch,
+                        &sessions,
+                        &mut server_free_at,
+                        &mut stats,
+                    );
                 }
             }
             ToCloud::Flush => {
-                process_batch(&mut queue, &sessions, &mut server_free_at, &mut stats);
+                process_batch(
+                    &mut queue,
+                    &mut dets_scratch,
+                    &sessions,
+                    &mut server_free_at,
+                    &mut stats,
+                );
             }
             ToCloud::Deregister { session } => {
                 // Resolve anything queued (possibly other sessions' frames —
                 // cheaper than per-session bookkeeping, and deterministic).
-                process_batch(&mut queue, &sessions, &mut server_free_at, &mut stats);
+                process_batch(
+                    &mut queue,
+                    &mut dets_scratch,
+                    &sessions,
+                    &mut server_free_at,
+                    &mut stats,
+                );
                 sessions.remove(&session);
             }
             ToCloud::Shutdown => break,
         }
     }
-    process_batch(&mut queue, &sessions, &mut server_free_at, &mut stats);
+    process_batch(
+        &mut queue,
+        &mut dets_scratch,
+        &sessions,
+        &mut server_free_at,
+        &mut stats,
+    );
     stats
 }
 
@@ -447,6 +584,11 @@ pub struct EdgeSession<'a> {
     next_ticket: u64,
     pending: HashMap<u64, PendingUpload>,
     done: HashMap<u64, FrameResult>,
+    /// Reused per-session wire-encoding buffer (one allocation per session,
+    /// not per uploaded frame).
+    encode_buf: Vec<u8>,
+    /// Reused counting-metric scratch.
+    count_scratch: CountScratch,
 }
 
 impl<'a> EdgeSession<'a> {
@@ -485,6 +627,8 @@ impl<'a> EdgeSession<'a> {
             next_ticket: 0,
             pending: HashMap::new(),
             done: HashMap::new(),
+            encode_buf: Vec::new(),
+            count_scratch: CountScratch::new(),
         }
     }
 
@@ -513,7 +657,24 @@ impl<'a> EdgeSession<'a> {
     /// Easy cases resolve immediately; difficult cases are rendered,
     /// serialized and queued to the cloud, and resolve on a later
     /// [`poll`](Self::poll) or [`drain`](Self::drain).
+    ///
+    /// An uploaded scene is cloned once into an [`Arc`]; callers that
+    /// already hold scenes behind an `Arc` can avoid even that with
+    /// [`submit_shared`](Self::submit_shared).
     pub fn submit(&mut self, scene: &Scene) -> FrameTicket {
+        self.submit_inner(scene, None)
+    }
+
+    /// [`submit`](Self::submit) for a scene already behind an [`Arc`]:
+    /// uploads share the existing allocation instead of cloning the scene.
+    ///
+    /// Identical to `submit(&scene)` in every observable way (decisions,
+    /// timing, reports).
+    pub fn submit_shared(&mut self, scene: &Arc<Scene>) -> FrameTicket {
+        self.submit_inner(scene, Some(scene))
+    }
+
+    fn submit_inner(&mut self, scene: &Scene, shared: Option<&Arc<Scene>>) -> FrameTicket {
         let ticket = FrameTicket(self.next_ticket);
         self.next_ticket += 1;
         self.frames += 1;
@@ -549,12 +710,19 @@ impl<'a> EdgeSession<'a> {
             let req = SubmitRequest {
                 session: self.id,
                 ticket: ticket.0,
-                scene: scene.clone(),
                 frame_bytes,
                 sent_at: self.now,
             };
+            let scene_arc = match shared {
+                Some(arc) => Arc::clone(arc),
+                None => Arc::new(scene.clone()),
+            };
+            encode_frame_into(&mut self.encode_buf, &req);
             self.tx
-                .send(ToCloud::Frame(encode_frame(&req)))
+                .send(ToCloud::Frame(
+                    bytes::Bytes::copy_from_slice(&self.encode_buf),
+                    scene_arc,
+                ))
                 .expect("cloud server alive");
             self.pending.insert(
                 ticket.0,
@@ -711,8 +879,12 @@ impl<'a> EdgeSession<'a> {
     ) {
         self.latency.add(breakdown);
         self.map.add_image(&dets, gts);
-        self.counter
-            .add(count_detected(&dets, gts, &self.cfg.counting));
+        self.counter.add(count_detected_with(
+            &dets,
+            gts,
+            &self.cfg.counting,
+            &mut self.count_scratch,
+        ));
         self.done.insert(
             ticket,
             FrameResult {
@@ -907,6 +1079,105 @@ mod tests {
         }
         let report = session.drain();
         assert_eq!(report.uploads, 5);
+    }
+
+    #[test]
+    fn worker_pool_reports_bit_identical() {
+        // A multi-threaded inference pool must change wall-clock speed only:
+        // session reports and cloud stats are compared bit-for-bit against
+        // the single-worker run, across batching modes.
+        let run = |workers: usize, max_batch: usize| {
+            let (data, small, big) = fixture();
+            let mut cloud = CloudServer::spawn(
+                CloudConfig {
+                    workers,
+                    max_batch,
+                    ..CloudConfig::default()
+                },
+                big,
+            );
+            let mut a = cloud.connect(small_session(), &small, Box::new(disc()));
+            let mut b = cloud.connect(small_session(), &small, Box::new(Policy::CloudOnly));
+            for scene in data.iter() {
+                a.submit(scene);
+                b.submit(scene);
+            }
+            let (ra, rb) = (a.drain(), b.drain());
+            drop((a, b));
+            (ra, rb, cloud.shutdown())
+        };
+        for max_batch in [1, 4] {
+            let baseline = run(1, max_batch);
+            for workers in [2, 4] {
+                assert_eq!(run(workers, max_batch), baseline, "workers = {workers}");
+            }
+        }
+    }
+
+    /// A detector whose `detect` panics — stands in for a buggy user
+    /// implementation behind the public [`Detector`] trait.
+    struct PanickyDetector(SimDetector);
+
+    impl Detector for PanickyDetector {
+        fn name(&self) -> &str {
+            "panicky"
+        }
+        fn detect(&self, _scene: &datagen::Scene) -> ImageDetections {
+            panic!("panicky detector always fails");
+        }
+        fn flops(&self) -> u64 {
+            self.0.flops()
+        }
+        fn model_size_bytes(&self) -> u64 {
+            self.0.model_size_bytes()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cloud")]
+    fn panicking_pooled_worker_fails_loudly_instead_of_deadlocking() {
+        let (data, small, _) = fixture();
+        let big: Arc<dyn Detector + Send + Sync> = Arc::new(PanickyDetector(SimDetector::new(
+            ModelKind::SsdVgg16,
+            SplitId::Helmet,
+            2,
+        )));
+        let mut cloud = CloudServer::spawn(
+            CloudConfig {
+                workers: 2,
+                ..CloudConfig::default()
+            },
+            big,
+        );
+        let mut session = cloud.connect(small_session(), &small, Box::new(Policy::CloudOnly));
+        // The worker's panic is forwarded to the scheduler, which unwinds;
+        // the session then fails its poll (or a later submit) instead of
+        // blocking forever on a result that cannot arrive.
+        let tickets: Vec<FrameTicket> = data.iter().take(3).map(|s| session.submit(s)).collect();
+        for t in tickets {
+            let _ = session.poll(t);
+        }
+    }
+
+    #[test]
+    fn submit_shared_matches_submit() {
+        let (data, small, big) = fixture();
+        let run = |shared: bool| {
+            let mut cloud = CloudServer::spawn(CloudConfig::default(), Arc::clone(&big));
+            let mut session = cloud.connect(small_session(), &small, Box::new(disc()));
+            for scene in data.iter() {
+                if shared {
+                    let arc = Arc::new(scene.clone());
+                    session.submit_shared(&arc);
+                } else {
+                    session.submit(scene);
+                }
+            }
+            let report = session.drain();
+            drop(session);
+            (report, cloud.shutdown())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

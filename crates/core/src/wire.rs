@@ -4,7 +4,7 @@
 //! the edge and cloud threads, so payload sizes — and therefore simulated
 //! transfer times — come from actual encoded messages, not guesses.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes};
 use serde::{de::DeserializeOwned, Serialize};
 use std::fmt;
 
@@ -72,16 +72,53 @@ impl std::error::Error for WireError {
 /// types in this crate), or if the payload exceeds [`MAX_FRAME_BYTES`] —
 /// a frame this encoder produces is always one its decoder accepts.
 pub fn encode_frame<T: Serialize>(value: &T) -> Bytes {
-    let payload = serde_json::to_vec(value).expect("message types serialize infallibly");
-    assert!(
-        payload.len() <= MAX_FRAME_BYTES,
-        "frame payload of {} bytes exceeds MAX_FRAME_BYTES",
-        payload.len()
-    );
-    let mut buf = BytesMut::with_capacity(4 + payload.len());
-    buf.put_u32_le(payload.len() as u32);
-    buf.put_slice(&payload);
-    buf.freeze()
+    let mut buf = Vec::new();
+    encode_frame_into(&mut buf, value);
+    Bytes::from(buf)
+}
+
+/// Encodes a message as a length-prefixed JSON frame into a reusable buffer.
+///
+/// `buf` is cleared and refilled; reusing one buffer per session (as
+/// [`crate::EdgeSession`] does for its upload headers) means frame encoding
+/// stops allocating once the buffer reaches the session's largest message.
+/// [`encode_frame`] is a thin wrapper over this.
+///
+/// # Examples
+///
+/// ```
+/// use smallbig_core::wire::{decode_frame, encode_frame_into};
+///
+/// let mut buf = Vec::new();
+/// encode_frame_into(&mut buf, &vec![1u32, 2, 3]);
+/// let round_trip: Vec<u32> = decode_frame(&bytes::Bytes::copy_from_slice(&buf)).unwrap();
+/// assert_eq!(round_trip, vec![1, 2, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the value cannot be serialized (never happens for the message
+/// types in this crate), or if the payload exceeds [`MAX_FRAME_BYTES`] —
+/// a frame this encoder produces is always one its decoder accepts.
+pub fn encode_frame_into<T: Serialize>(buf: &mut Vec<u8>, value: &T) {
+    use std::cell::RefCell;
+    thread_local! {
+        static JSON_SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+    }
+    JSON_SCRATCH.with(|scratch| {
+        let mut payload = scratch.borrow_mut();
+        serde_json::to_string_into(&mut payload, value)
+            .expect("message types serialize infallibly");
+        assert!(
+            payload.len() <= MAX_FRAME_BYTES,
+            "frame payload of {} bytes exceeds MAX_FRAME_BYTES",
+            payload.len()
+        );
+        buf.clear();
+        buf.reserve(4 + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(payload.as_bytes());
+    });
 }
 
 /// Decodes a length-prefixed JSON frame under the default
@@ -146,6 +183,7 @@ pub fn decode_frame_with_limit<T: DeserializeOwned>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::{BufMut, BytesMut};
     use detcore::{BBox, ClassId, Detection, ImageDetections};
 
     #[test]
@@ -253,5 +291,29 @@ mod tests {
     fn encode_rejects_oversized_payload() {
         // 17 MiB of bytes serializes past the 16 MiB frame cap.
         let _ = encode_frame(&vec![200u8; 17 * 1024 * 1024]);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_wrapper() {
+        let mut buf = Vec::new();
+        encode_frame_into(&mut buf, &vec![1u32, 2, 3]);
+        let first_cap = buf.capacity();
+        let wrapper = encode_frame(&vec![1u32, 2, 3]);
+        assert_eq!(&buf[..], &wrapper[..]);
+        // A smaller message clears and refills without reallocating.
+        encode_frame_into(&mut buf, &vec![9u32]);
+        assert_eq!(buf.capacity(), first_cap);
+        let back: Vec<u32> = decode_frame(&Bytes::copy_from_slice(&buf)).unwrap();
+        assert_eq!(back, vec![9]);
+    }
+
+    #[test]
+    fn encode_into_overwrites_previous_content() {
+        let mut buf = vec![0xFFu8; 64];
+        encode_frame_into(&mut buf, &"fresh".to_string());
+        let s: String = decode_frame(&Bytes::copy_from_slice(&buf)).unwrap();
+        assert_eq!(s, "fresh");
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        assert_eq!(buf.len(), 4 + len);
     }
 }

@@ -5,8 +5,10 @@
 //! its score clears 0.5 and it matches an unclaimed ground truth of the same
 //! class at IoU ≥ 0.5 (Tables IV, VI, VIII, X, XI, XIII, XV, XVII).
 
-use crate::{match_greedy, Detection, GroundTruth, ImageDetections};
+use crate::matching::{match_greedy_into, ImageMatch, MatchScratch};
+use crate::{Detection, GroundTruth, ImageDetections};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Thresholds for object counting.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,36 +79,102 @@ pub fn count_detected(
     gts: &[GroundTruth],
     config: &CountingConfig,
 ) -> ImageCount {
+    thread_local! {
+        static WRAPPER_SCRATCH: RefCell<CountScratch> = RefCell::new(CountScratch::new());
+    }
+    WRAPPER_SCRATCH.with(|s| count_detected_with(dets, gts, config, &mut s.borrow_mut()))
+}
+
+/// Reusable working storage for [`count_detected_with`].
+#[derive(Debug, Default, Clone)]
+pub struct CountScratch {
+    /// Above-threshold detection indices, stably sorted by class.
+    det_idx: Vec<u32>,
+    /// Above-threshold detections gathered contiguously by class.
+    dets_buf: Vec<Detection>,
+    /// Ground-truth indices, stably sorted by class.
+    gt_idx: Vec<u32>,
+    /// Ground truths gathered contiguously by class.
+    gts_buf: Vec<GroundTruth>,
+    match_scratch: MatchScratch,
+    match_out: ImageMatch,
+}
+
+impl CountScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`count_detected`] over caller-provided scratch buffers.
+///
+/// With a warmed-up `scratch` the call allocates nothing. Produces exactly
+/// the same result as [`count_detected`].
+pub fn count_detected_with(
+    dets: &ImageDetections,
+    gts: &[GroundTruth],
+    config: &CountingConfig,
+    scratch: &mut CountScratch,
+) -> ImageCount {
     let num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
-    // Group by class.
-    let mut classes: std::collections::BTreeSet<u16> = std::collections::BTreeSet::new();
-    for d in dets.iter() {
-        classes.insert(d.class().0);
-    }
-    for g in gts {
-        classes.insert(g.class().0);
-    }
+    let all = dets.as_slice();
+
+    // One stable sort by class gathers the above-threshold detections into
+    // class-contiguous runs (ascending class, like the old BTreeSet walk;
+    // classes without a qualifying detection contribute nothing either way).
+    scratch.det_idx.clear();
+    scratch.det_idx.extend(
+        all.iter()
+            .enumerate()
+            .filter(|(_, d)| d.score() >= config.score_threshold)
+            .map(|(i, _)| i as u32),
+    );
+    scratch.det_idx.sort_by_key(|&i| all[i as usize].class());
+    scratch.dets_buf.clear();
+    scratch
+        .dets_buf
+        .extend(scratch.det_idx.iter().map(|&i| all[i as usize]));
+
+    scratch.gt_idx.clear();
+    scratch.gt_idx.extend(0..gts.len() as u32);
+    scratch.gt_idx.sort_by_key(|&i| gts[i as usize].class());
+    scratch.gts_buf.clear();
+    scratch
+        .gts_buf
+        .extend(scratch.gt_idx.iter().map(|&i| gts[i as usize]));
+
     let mut detected = 0usize;
     let mut false_positives = 0usize;
-    for c in classes {
-        let class_dets: Vec<Detection> = dets
-            .iter()
-            .copied()
-            .filter(|d| d.class().0 == c && d.score() >= config.score_threshold)
-            .collect();
-        let class_gts: Vec<GroundTruth> =
-            gts.iter().copied().filter(|g| g.class().0 == c).collect();
-        if class_dets.is_empty() {
-            continue;
+    let (mut di, mut gi) = (0usize, 0usize);
+    while di < scratch.dets_buf.len() {
+        let class = scratch.dets_buf[di].class();
+        let mut de = di + 1;
+        while de < scratch.dets_buf.len() && scratch.dets_buf[de].class() == class {
+            de += 1;
         }
-        let m = match_greedy(&class_dets, &class_gts, config.iou_threshold);
-        for o in &m.outcomes {
+        while gi < scratch.gts_buf.len() && scratch.gts_buf[gi].class() < class {
+            gi += 1;
+        }
+        let gs = gi;
+        while gi < scratch.gts_buf.len() && scratch.gts_buf[gi].class() == class {
+            gi += 1;
+        }
+        match_greedy_into(
+            &scratch.dets_buf[di..de],
+            &scratch.gts_buf[gs..gi],
+            config.iou_threshold,
+            &mut scratch.match_scratch,
+            &mut scratch.match_out,
+        );
+        for o in &scratch.match_out.outcomes {
             if o.is_tp() {
                 detected += 1;
             } else if o.is_fp() {
                 false_positives += 1;
             }
         }
+        di = de;
     }
     ImageCount {
         num_gt,

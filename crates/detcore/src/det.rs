@@ -116,6 +116,26 @@ impl GroundTruth {
     }
 }
 
+/// Sort key mapping a detection score to an integer whose ordering equals
+/// the score's `partial_cmp` ordering.
+///
+/// Scores are guaranteed finite and in `[0, 1]` by [`Detection::new`]; for
+/// non-negative finite floats `to_bits` is strictly monotone, except that
+/// `-0.0` and `+0.0` compare equal but have different bit patterns — both
+/// are therefore mapped to `0`. Sorting (stably) by this key yields exactly
+/// the permutation of a stable `partial_cmp` sort, while comparing integers
+/// instead of calling a float-comparator closure. Used by the hot NMS /
+/// matching / mAP sorts; wrap in [`std::cmp::Reverse`] for descending
+/// order.
+#[inline]
+pub(crate) fn score_sort_key(score: f64) -> u64 {
+    if score == 0.0 {
+        0
+    } else {
+        score.to_bits()
+    }
+}
+
 /// All predictions a detector produced for one image.
 ///
 /// # Examples
@@ -145,14 +165,36 @@ impl ImageDetections {
         ImageDetections { dets }
     }
 
+    /// Creates an empty result set with room for `capacity` detections
+    /// (detectors that know their rough output size avoid regrowth).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ImageDetections {
+            dets: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Adds one detection.
     pub fn push(&mut self, det: Detection) {
         self.dets.push(det);
     }
 
+    /// Removes every detection, keeping the allocated capacity.
+    ///
+    /// The `*_into` kernels ([`crate::nms_into`], [`crate::soft_nms_into`])
+    /// refill a cleared container so per-frame output allocation is paid
+    /// only once per reused buffer.
+    pub fn clear(&mut self) {
+        self.dets.clear();
+    }
+
     /// All detections, unordered.
     pub fn as_slice(&self) -> &[Detection] {
         &self.dets
+    }
+
+    /// Mutable access to the detections (used by kernels that sort in place).
+    pub fn as_mut_slice(&mut self) -> &mut [Detection] {
+        &mut self.dets
     }
 
     /// Number of raw detections (no threshold applied).

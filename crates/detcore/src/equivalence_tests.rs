@@ -1,0 +1,202 @@
+//! Property tests proving the data-oriented kernels are result-identical to
+//! the pre-refactor reference implementations (kept under `#[cfg(test)]` in
+//! their home modules as oracles).
+//!
+//! Every comparison is exact (`assert_eq!`, and `to_bits` where a bare f64
+//! is produced): the SoA rewrites are required to be *bit*-identical, not
+//! merely close, because downstream reports are compared bit-for-bit in
+//! `tests/api_equivalence.rs`.
+
+use crate::{
+    count_detected, count_detected_with, map, match_greedy, match_greedy_into, matching, nms,
+    nms_into, soft_nms, soft_nms_into, ApProtocol, BBox, ClassId, CountScratch, CountingConfig,
+    Detection, GroundTruth, ImageDetections, ImageMatch, MapEvaluator, MatchScratch, NmsConfig,
+    NmsScratch,
+};
+use proptest::prelude::*;
+
+fn arb_bbox() -> impl Strategy<Value = BBox> {
+    (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)
+        .prop_map(|(x0, y0, x1, y1)| BBox::from_corners(x0, y0, x1, y1))
+}
+
+/// Scores snapped to a coarse grid so ties (the stable-sort edge case) are
+/// common instead of measure-zero.
+fn arb_score() -> impl Strategy<Value = f64> {
+    (0u32..=20).prop_map(|s| s as f64 / 20.0)
+}
+
+fn arb_detection(max_class: u16) -> impl Strategy<Value = Detection> {
+    (0..max_class, arb_score(), arb_bbox()).prop_map(|(c, s, b)| Detection::new(ClassId(c), s, b))
+}
+
+fn arb_gt(max_class: u16) -> impl Strategy<Value = GroundTruth> {
+    (0..max_class, arb_bbox(), any::<bool>()).prop_map(|(c, b, d)| {
+        if d {
+            GroundTruth::new_difficult(ClassId(c), b)
+        } else {
+            GroundTruth::new(ClassId(c), b)
+        }
+    })
+}
+
+fn arb_image(max_class: u16) -> impl Strategy<Value = ImageDetections> {
+    prop::collection::vec(arb_detection(max_class), 0..40).prop_map(ImageDetections::from_vec)
+}
+
+fn arb_nms_config() -> impl Strategy<Value = NmsConfig> {
+    (
+        0.0f64..=1.0,
+        0.0f64..0.5,
+        prop::sample::select(vec![2usize, 5, 200]),
+    )
+        .prop_map(|(iou, floor, max_per_class)| NmsConfig {
+            iou_threshold: iou,
+            score_floor: floor,
+            max_per_class,
+        })
+}
+
+proptest! {
+    #[test]
+    fn nms_matches_reference(dets in arb_image(4), cfg in arb_nms_config()) {
+        let expected = crate::nms::reference::nms(&dets, &cfg);
+        prop_assert_eq!(nms(&dets, &cfg), expected.clone());
+        let mut scratch = NmsScratch::new();
+        let mut out = ImageDetections::new();
+        // Twice through the same scratch: reuse must not change results.
+        for _ in 0..2 {
+            nms_into(&dets, &cfg, &mut scratch, &mut out);
+            prop_assert_eq!(out.clone(), expected.clone());
+        }
+    }
+
+    #[test]
+    fn soft_nms_matches_reference(
+        dets in arb_image(4),
+        cfg in arb_nms_config(),
+        sigma in 0.05f64..2.0,
+    ) {
+        let expected = crate::nms::reference::soft_nms(&dets, &cfg, sigma);
+        prop_assert_eq!(soft_nms(&dets, &cfg, sigma), expected.clone());
+        let mut scratch = NmsScratch::new();
+        let mut out = ImageDetections::new();
+        for _ in 0..2 {
+            soft_nms_into(&dets, &cfg, sigma, &mut scratch, &mut out);
+            prop_assert_eq!(out.clone(), expected.clone());
+        }
+    }
+
+    #[test]
+    fn match_greedy_matches_reference(
+        dets in prop::collection::vec((arb_score(), arb_bbox()), 0..25),
+        gts in prop::collection::vec((arb_bbox(), any::<bool>()), 0..12),
+        iou in 0.0f64..=1.0,
+    ) {
+        // Single-class inputs, as the matching contract requires.
+        let dets: Vec<Detection> = dets
+            .into_iter()
+            .map(|(s, b)| Detection::new(ClassId(0), s, b))
+            .collect();
+        let gts: Vec<GroundTruth> = gts
+            .into_iter()
+            .map(|(b, d)| {
+                if d {
+                    GroundTruth::new_difficult(ClassId(0), b)
+                } else {
+                    GroundTruth::new(ClassId(0), b)
+                }
+            })
+            .collect();
+        let expected = matching::reference::match_greedy(&dets, &gts, iou);
+        prop_assert_eq!(match_greedy(&dets, &gts, iou), expected.clone());
+        let mut scratch = MatchScratch::new();
+        let mut out = ImageMatch::default();
+        for _ in 0..2 {
+            match_greedy_into(&dets, &gts, iou, &mut scratch, &mut out);
+            prop_assert_eq!(out.clone(), expected.clone());
+        }
+    }
+
+    #[test]
+    fn map_evaluator_matches_reference(
+        images in prop::collection::vec(
+            (arb_image(3), prop::collection::vec(arb_gt(3), 0..8)),
+            1..6,
+        ),
+        protocol in prop::sample::select(vec![ApProtocol::Voc07ElevenPoint, ApProtocol::AllPoint]),
+    ) {
+        let mut ours = MapEvaluator::new(3, protocol);
+        let mut oracle = map::reference::MapEvaluator::with_iou(3, protocol, 0.5);
+        for (dets, gts) in &images {
+            ours.add_image(dets, gts);
+            oracle.add_image(dets, gts);
+        }
+        for c in 0..3u16 {
+            prop_assert_eq!(ours.pr_curve(ClassId(c)), oracle.pr_curve(ClassId(c)));
+            prop_assert_eq!(
+                ours.class_ap(ClassId(c)).to_bits(),
+                oracle.class_ap(ClassId(c)).to_bits()
+            );
+        }
+        prop_assert_eq!(ours.evaluate(), oracle.evaluate());
+    }
+
+    #[test]
+    fn count_detected_matches_reference(
+        dets in arb_image(4),
+        gts in prop::collection::vec(arb_gt(4), 0..10),
+    ) {
+        let cfg = CountingConfig::default();
+        let expected = reference_count_detected(&dets, &gts, &cfg);
+        prop_assert_eq!(count_detected(&dets, &gts, &cfg), expected);
+        let mut scratch = CountScratch::new();
+        for _ in 0..2 {
+            prop_assert_eq!(count_detected_with(&dets, &gts, &cfg, &mut scratch), expected);
+        }
+    }
+}
+
+/// The pre-refactor `count_detected` (BTreeSet + per-class Vec collects),
+/// kept verbatim over the oracle matcher.
+fn reference_count_detected(
+    dets: &ImageDetections,
+    gts: &[GroundTruth],
+    config: &CountingConfig,
+) -> crate::ImageCount {
+    let num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
+    let mut classes: std::collections::BTreeSet<u16> = std::collections::BTreeSet::new();
+    for d in dets.iter() {
+        classes.insert(d.class().0);
+    }
+    for g in gts {
+        classes.insert(g.class().0);
+    }
+    let mut detected = 0usize;
+    let mut false_positives = 0usize;
+    for c in classes {
+        let class_dets: Vec<Detection> = dets
+            .iter()
+            .copied()
+            .filter(|d| d.class().0 == c && d.score() >= config.score_threshold)
+            .collect();
+        let class_gts: Vec<GroundTruth> =
+            gts.iter().copied().filter(|g| g.class().0 == c).collect();
+        if class_dets.is_empty() {
+            continue;
+        }
+        let m = matching::reference::match_greedy(&class_dets, &class_gts, config.iou_threshold);
+        for o in &m.outcomes {
+            if o.is_tp() {
+                detected += 1;
+            } else if o.is_fp() {
+                false_positives += 1;
+            }
+        }
+    }
+    crate::ImageCount {
+        num_gt,
+        detected,
+        false_positives,
+    }
+}

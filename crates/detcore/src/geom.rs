@@ -189,8 +189,20 @@ impl BBox {
     ///
     /// Defined as `0` when both boxes are degenerate (union area zero).
     pub fn iou(&self, other: &BBox) -> f64 {
+        self.iou_with_areas(self.area(), other, other.area())
+    }
+
+    /// [`BBox::iou`] with both box areas supplied by the caller.
+    ///
+    /// The hot detection kernels ([`crate::nms`], [`crate::match_greedy`],
+    /// [`crate::MapEvaluator`]) compare each box against many others; they
+    /// precompute areas once per box and pass them here instead of
+    /// recomputing `width * height` per pair. Bit-identical to [`BBox::iou`]
+    /// when `self_area`/`other_area` equal the boxes' [`BBox::area`].
+    #[inline]
+    pub fn iou_with_areas(&self, self_area: f64, other: &BBox, other_area: f64) -> f64 {
         let inter = self.intersection_area(other);
-        let union = self.area() + other.area() - inter;
+        let union = self_area + other_area - inter;
         if union <= 0.0 {
             0.0
         } else {
@@ -325,6 +337,23 @@ mod tests {
     fn iou_identical_is_one() {
         let b = BBox::new(0.1, 0.1, 0.6, 0.6).unwrap();
         assert!((b.iou(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_with_areas_is_bit_identical() {
+        let boxes = [
+            BBox::new(0.0, 0.0, 0.5, 0.5).unwrap(),
+            BBox::new(0.25, 0.25, 0.75, 0.75).unwrap(),
+            BBox::new(0.3, 0.3, 0.3, 0.3).unwrap(), // degenerate
+            BBox::new(0.9, 0.9, 1.0, 1.0).unwrap(), // disjoint from first
+        ];
+        for a in &boxes {
+            for b in &boxes {
+                let reference = a.iou(b);
+                let fast = a.iou_with_areas(a.area(), b, b.area());
+                assert_eq!(reference.to_bits(), fast.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   the HELMET dataset,
 //! * [`Detection`] / [`GroundTruth`] / [`ImageDetections`] — prediction and
 //!   annotation containers,
-//! * [`nms`] / [`soft_nms`] — non-maximum suppression,
-//! * [`match_greedy`] — VOC-protocol detection↔object matching,
+//! * [`nms`] / [`soft_nms`] — non-maximum suppression (with
+//!   [`nms_into`]/[`soft_nms_into`] scratch-buffer forms for per-frame use),
+//! * [`match_greedy`] — VOC-protocol detection↔object matching
+//!   ([`match_greedy_into`] for the allocation-free form),
 //! * [`MapEvaluator`] — PASCAL-VOC mAP (11-point and all-point),
 //! * [`count_detected`] / [`DatasetCounter`] — the paper's
 //!   "number of detected objects" metric.
@@ -40,15 +42,19 @@
 mod class;
 mod counting;
 mod det;
+#[cfg(test)]
+mod equivalence_tests;
 mod geom;
 mod map;
 mod matching;
 mod nms;
 
 pub use class::{ClassId, Taxonomy, COCO18_NAMES, HELMET_NAMES, VOC20_NAMES};
-pub use counting::{count_detected, CountingConfig, DatasetCounter, ImageCount};
+pub use counting::{
+    count_detected, count_detected_with, CountScratch, CountingConfig, DatasetCounter, ImageCount,
+};
 pub use det::{Detection, GroundTruth, ImageDetections};
 pub use geom::{BBox, BBoxError};
-pub use map::{ApProtocol, ClassAp, MapEvaluator, MapReport, PrPoint};
-pub use matching::{match_greedy, ImageMatch, MatchOutcome};
-pub use nms::{nms, soft_nms, NmsConfig};
+pub use map::{ApProtocol, ClassAp, ImageContribution, MapEvaluator, MapReport, PrPoint};
+pub use matching::{match_greedy, match_greedy_into, ImageMatch, MatchOutcome, MatchScratch};
+pub use nms::{nms, nms_into, soft_nms, soft_nms_into, NmsConfig, NmsScratch};

@@ -8,6 +8,7 @@
 
 use crate::{Detection, GroundTruth};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Outcome of matching one detection.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,7 +40,7 @@ impl MatchOutcome {
 }
 
 /// Result of matching all detections of one image for one class.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ImageMatch {
     /// One outcome per detection, in the same (descending-score) order as the
     /// input detections.
@@ -49,6 +50,33 @@ pub struct ImageMatch {
     pub num_gt: usize,
     /// Indices of ground-truth objects that were never claimed (missed).
     pub missed_gt: Vec<usize>,
+}
+
+/// Reusable working storage for [`match_greedy_into`].
+///
+/// Holds the score-sorted visit order, the per-ground-truth claim flags and
+/// precomputed box areas, so repeated matching (the mAP and counting hot
+/// loops run it once per class per image) performs no allocation after
+/// warmup.
+#[derive(Debug, Default, Clone)]
+pub struct MatchScratch {
+    /// Detection indices in descending-score visit order.
+    order: Vec<u32>,
+    /// Per-ground-truth "already claimed" flags.
+    claimed: Vec<bool>,
+    /// Precomputed ground-truth box areas.
+    gt_areas: Vec<f64>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static WRAPPER_SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::new());
 }
 
 /// Matches same-class detections against ground truths greedily by score.
@@ -69,28 +97,50 @@ pub struct ImageMatch {
 /// assert!(m.missed_gt.is_empty());
 /// ```
 pub fn match_greedy(dets: &[Detection], gts: &[GroundTruth], iou_threshold: f64) -> ImageMatch {
+    let mut out = ImageMatch::default();
+    WRAPPER_SCRATCH
+        .with(|s| match_greedy_into(dets, gts, iou_threshold, &mut s.borrow_mut(), &mut out));
+    out
+}
+
+/// [`match_greedy`] over caller-provided scratch and output buffers.
+///
+/// `out` is cleared and refilled; with a warmed-up `scratch` and `out` the
+/// call allocates nothing. Produces exactly the same result as
+/// [`match_greedy`].
+pub fn match_greedy_into(
+    dets: &[Detection],
+    gts: &[GroundTruth],
+    iou_threshold: f64,
+    scratch: &mut MatchScratch,
+    out: &mut ImageMatch,
+) {
     assert!(
         (0.0..=1.0).contains(&iou_threshold),
         "iou threshold must be in [0, 1]"
     );
-    let mut order: Vec<usize> = (0..dets.len()).collect();
-    order.sort_by(|&a, &b| {
-        dets[b]
-            .score()
-            .partial_cmp(&dets[a].score())
-            .expect("finite scores")
-    });
 
-    let mut claimed = vec![false; gts.len()];
-    let mut outcomes = vec![MatchOutcome::FalsePositive; dets.len()];
+    // Fast path: no ground truths — every detection is a plain false
+    // positive regardless of score order.
+    if gts.is_empty() {
+        out.outcomes.clear();
+        out.outcomes.resize(dets.len(), MatchOutcome::FalsePositive);
+        out.num_gt = 0;
+        out.missed_gt.clear();
+        return;
+    }
 
-    for &di in &order {
-        let det = &dets[di];
-        // Find best-IoU ground truth (claimed or not, difficult or not).
+    // Fast path: a single detection needs no ordering or claim flags; the
+    // best-overlap scan below is the general path's verbatim inner loop.
+    if dets.len() == 1 {
+        let det = &dets[0];
+        let det_area = det.bbox().area();
         let mut best: Option<(usize, f64)> = None;
         for (gi, gt) in gts.iter().enumerate() {
             debug_assert_eq!(gt.class(), det.class(), "matching requires one class");
-            let iou = det.bbox().iou(&gt.bbox());
+            let iou = det
+                .bbox()
+                .iou_with_areas(det_area, &gt.bbox(), gt.bbox().area());
             if iou >= iou_threshold {
                 match best {
                     Some((_, biou)) if biou >= iou => {}
@@ -98,12 +148,69 @@ pub fn match_greedy(dets: &[Detection], gts: &[GroundTruth], iou_threshold: f64)
                 }
             }
         }
-        outcomes[di] = match best {
+        let mut claimed_gi = None;
+        out.outcomes.clear();
+        out.outcomes.push(match best {
             Some((gi, iou)) => {
                 if gts[gi].is_difficult() {
                     MatchOutcome::IgnoredDifficult
-                } else if !claimed[gi] {
-                    claimed[gi] = true;
+                } else {
+                    claimed_gi = Some(gi);
+                    MatchOutcome::TruePositive { gt_index: gi, iou }
+                }
+            }
+            None => MatchOutcome::FalsePositive,
+        });
+        out.num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
+        out.missed_gt.clear();
+        out.missed_gt.extend(
+            gts.iter()
+                .enumerate()
+                .filter(|(gi, gt)| !gt.is_difficult() && claimed_gi != Some(*gi))
+                .map(|(gi, _)| gi),
+        );
+        return;
+    }
+
+    scratch.order.clear();
+    scratch.order.extend(0..dets.len() as u32);
+    // Stable integer-key sort: same permutation as a descending
+    // `partial_cmp` sort on the scores.
+    scratch
+        .order
+        .sort_by_key(|&i| std::cmp::Reverse(crate::det::score_sort_key(dets[i as usize].score())));
+
+    scratch.claimed.clear();
+    scratch.claimed.resize(gts.len(), false);
+    scratch.gt_areas.clear();
+    scratch.gt_areas.extend(gts.iter().map(|g| g.bbox().area()));
+
+    out.outcomes.clear();
+    out.outcomes.resize(dets.len(), MatchOutcome::FalsePositive);
+
+    for &di in &scratch.order {
+        let det = &dets[di as usize];
+        let det_area = det.bbox().area();
+        // Find best-IoU ground truth (claimed or not, difficult or not).
+        let mut best: Option<(usize, f64)> = None;
+        for (gi, gt) in gts.iter().enumerate() {
+            debug_assert_eq!(gt.class(), det.class(), "matching requires one class");
+            let iou = det
+                .bbox()
+                .iou_with_areas(det_area, &gt.bbox(), scratch.gt_areas[gi]);
+            if iou >= iou_threshold {
+                match best {
+                    Some((_, biou)) if biou >= iou => {}
+                    _ => best = Some((gi, iou)),
+                }
+            }
+        }
+        out.outcomes[di as usize] = match best {
+            Some((gi, iou)) => {
+                if gts[gi].is_difficult() {
+                    MatchOutcome::IgnoredDifficult
+                } else if !scratch.claimed[gi] {
+                    scratch.claimed[gi] = true;
                     MatchOutcome::TruePositive { gt_index: gi, iou }
                 } else {
                     MatchOutcome::FalsePositive
@@ -113,18 +220,80 @@ pub fn match_greedy(dets: &[Detection], gts: &[GroundTruth], iou_threshold: f64)
         };
     }
 
-    let num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
-    let missed_gt = gts
-        .iter()
-        .enumerate()
-        .filter(|(gi, gt)| !gt.is_difficult() && !claimed[*gi])
-        .map(|(gi, _)| gi)
-        .collect();
+    out.num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
+    out.missed_gt.clear();
+    out.missed_gt.extend(
+        gts.iter()
+            .enumerate()
+            .filter(|(gi, gt)| !gt.is_difficult() && !scratch.claimed[*gi])
+            .map(|(gi, _)| gi),
+    );
+}
 
-    ImageMatch {
-        outcomes,
-        num_gt,
-        missed_gt,
+#[cfg(test)]
+pub(crate) mod reference {
+    //! The pre-refactor allocating implementation, kept verbatim as the
+    //! oracle the scratch kernel is checked against.
+
+    use super::{ImageMatch, MatchOutcome};
+    use crate::{Detection, GroundTruth};
+
+    pub fn match_greedy(dets: &[Detection], gts: &[GroundTruth], iou_threshold: f64) -> ImageMatch {
+        assert!(
+            (0.0..=1.0).contains(&iou_threshold),
+            "iou threshold must be in [0, 1]"
+        );
+        let mut order: Vec<usize> = (0..dets.len()).collect();
+        order.sort_by(|&a, &b| {
+            dets[b]
+                .score()
+                .partial_cmp(&dets[a].score())
+                .expect("finite scores")
+        });
+
+        let mut claimed = vec![false; gts.len()];
+        let mut outcomes = vec![MatchOutcome::FalsePositive; dets.len()];
+
+        for &di in &order {
+            let det = &dets[di];
+            let mut best: Option<(usize, f64)> = None;
+            for (gi, gt) in gts.iter().enumerate() {
+                let iou = det.bbox().iou(&gt.bbox());
+                if iou >= iou_threshold {
+                    match best {
+                        Some((_, biou)) if biou >= iou => {}
+                        _ => best = Some((gi, iou)),
+                    }
+                }
+            }
+            outcomes[di] = match best {
+                Some((gi, iou)) => {
+                    if gts[gi].is_difficult() {
+                        MatchOutcome::IgnoredDifficult
+                    } else if !claimed[gi] {
+                        claimed[gi] = true;
+                        MatchOutcome::TruePositive { gt_index: gi, iou }
+                    } else {
+                        MatchOutcome::FalsePositive
+                    }
+                }
+                None => MatchOutcome::FalsePositive,
+            };
+        }
+
+        let num_gt = gts.iter().filter(|g| !g.is_difficult()).count();
+        let missed_gt = gts
+            .iter()
+            .enumerate()
+            .filter(|(gi, gt)| !gt.is_difficult() && !claimed[*gi])
+            .map(|(gi, _)| gi)
+            .collect();
+
+        ImageMatch {
+            outcomes,
+            num_gt,
+            missed_gt,
+        }
     }
 }
 
@@ -217,5 +386,27 @@ mod tests {
         assert!(m.outcomes.is_empty());
         assert_eq!(m.num_gt, 2);
         assert_eq!(m.missed_gt.len(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_reference() {
+        let dets = vec![
+            det(0.9, 0.0, 0.0, 0.5, 0.5),
+            det(0.9, 0.01, 0.0, 0.5, 0.5), // tied score exercises stable sort
+            det(0.3, 0.6, 0.6, 0.9, 0.9),
+        ];
+        let gts = vec![
+            gt(0.0, 0.0, 0.5, 0.5),
+            GroundTruth::new_difficult(ClassId(0), BBox::new(0.6, 0.6, 0.9, 0.9).unwrap()),
+        ];
+        let mut scratch = MatchScratch::new();
+        let mut out = ImageMatch::default();
+        for _ in 0..3 {
+            match_greedy_into(&dets, &gts, 0.5, &mut scratch, &mut out);
+            assert_eq!(out, reference::match_greedy(&dets, &gts, 0.5));
+            // Different shapes between calls must not leak stale state.
+            match_greedy_into(&dets[..1], &gts[..1], 0.5, &mut scratch, &mut out);
+            assert_eq!(out, reference::match_greedy(&dets[..1], &gts[..1], 0.5));
+        }
     }
 }

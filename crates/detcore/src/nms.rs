@@ -4,9 +4,22 @@
 //! locally-best subset. Both classic ("hard") NMS and Gaussian Soft-NMS are
 //! provided; both operate per class, as in the SSD/YOLO post-processing the
 //! paper's models use.
+//!
+//! # Data-oriented kernels
+//!
+//! The edge pipeline runs NMS on every frame, so the kernels are written in
+//! index-sorted form over reusable scratch buffers: one stable sort by
+//! `(class, -score)` replaces the per-call `BTreeMap<ClassId, Vec<_>>`
+//! grouping, box areas are computed once per candidate, and all working
+//! storage lives in an [`NmsScratch`] that callers (or the thread-local used
+//! by the [`nms`]/[`soft_nms`] wrappers) reuse across frames. After warmup a
+//! [`nms_into`] call performs no allocation. Results are bit-identical to
+//! the original grouped implementation, which the tests keep as an oracle.
 
-use crate::{ClassId, Detection, ImageDetections};
-use std::collections::BTreeMap;
+use crate::det::score_sort_key;
+use crate::ImageDetections;
+use std::cell::RefCell;
+use std::cmp::Reverse;
 
 /// Parameters for [`nms`] and [`soft_nms`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,15 +61,55 @@ impl NmsConfig {
     }
 }
 
-fn group_by_class(dets: &ImageDetections, floor: f64) -> BTreeMap<ClassId, Vec<Detection>> {
-    let mut groups: BTreeMap<ClassId, Vec<Detection>> = BTreeMap::new();
-    for d in dets.iter().filter(|d| d.score() >= floor) {
-        groups.entry(d.class()).or_default().push(*d);
+/// Reusable working storage for [`nms_into`] and [`soft_nms_into`].
+///
+/// Holds the index-sort order, precomputed candidate box areas and the
+/// per-class working set. Reusing one scratch across frames means the
+/// kernels stop allocating once the buffers have grown to the workload's
+/// high-water mark.
+#[derive(Debug, Default, Clone)]
+pub struct NmsScratch {
+    /// Candidate detection indices, sorted by `(class asc, score desc)`.
+    order: Vec<u32>,
+    /// Precomputed `bbox().area()` per detection index.
+    areas: Vec<f64>,
+    /// Kept candidate indices for the class currently being processed.
+    kept: Vec<u32>,
+    /// Soft-NMS working pool: `(current score, detection index)`.
+    pool: Vec<(f64, u32)>,
+}
+
+impl NmsScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
     }
-    for group in groups.values_mut() {
-        group.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+}
+
+thread_local! {
+    static WRAPPER_SCRATCH: RefCell<NmsScratch> = RefCell::new(NmsScratch::new());
+}
+
+/// Fills `scratch.order` with candidate indices sorted by
+/// `(class asc, score desc)` — stable, so ties keep input order — and
+/// `scratch.areas` with each candidate's box area.
+fn prepare_candidates(dets: &ImageDetections, floor: f64, scratch: &mut NmsScratch) {
+    let all = dets.as_slice();
+    scratch.order.clear();
+    scratch.areas.clear();
+    scratch.areas.resize(all.len(), 0.0);
+    for (i, d) in all.iter().enumerate() {
+        if d.score() >= floor {
+            scratch.order.push(i as u32);
+            scratch.areas[i] = d.bbox().area();
+        }
     }
-    groups
+    // Stable integer-key sort: same permutation as comparing class
+    // ascending then score descending with `partial_cmp`.
+    scratch.order.sort_by_key(|&i| {
+        let d = &all[i as usize];
+        (d.class(), Reverse(score_sort_key(d.score())))
+    });
 }
 
 /// Classic greedy per-class non-maximum suppression.
@@ -80,25 +133,76 @@ fn group_by_class(dets: &ImageDetections, floor: f64) -> BTreeMap<ClassId, Vec<D
 /// assert_eq!(kept.len(), 1); // near-duplicate suppressed
 /// ```
 pub fn nms(dets: &ImageDetections, config: &NmsConfig) -> ImageDetections {
-    let groups = group_by_class(dets, config.score_floor);
-    let mut kept: Vec<Detection> = Vec::new();
-    for (_, group) in groups {
-        let mut class_kept: Vec<Detection> = Vec::new();
-        for d in group {
-            if class_kept.len() >= config.max_per_class {
+    let mut out = ImageDetections::new();
+    WRAPPER_SCRATCH.with(|s| nms_into(dets, config, &mut s.borrow_mut(), &mut out));
+    out
+}
+
+/// [`nms`] over caller-provided scratch and output buffers.
+///
+/// `out` is cleared and refilled; with a warmed-up `scratch` and `out` the
+/// call allocates nothing. Produces exactly the same result as [`nms`].
+///
+/// # Examples
+///
+/// ```
+/// use detcore::{nms, nms_into, BBox, ClassId, Detection, ImageDetections,
+///               NmsConfig, NmsScratch};
+///
+/// let dets = ImageDetections::from_vec(vec![
+///     Detection::new(ClassId(0), 0.9, BBox::new(0.0, 0.0, 0.5, 0.5).unwrap()),
+///     Detection::new(ClassId(0), 0.8, BBox::new(0.01, 0.01, 0.5, 0.5).unwrap()),
+/// ]);
+/// let cfg = NmsConfig::default();
+/// let mut scratch = NmsScratch::new();
+/// let mut out = ImageDetections::new();
+/// nms_into(&dets, &cfg, &mut scratch, &mut out);
+/// assert_eq!(out, nms(&dets, &cfg));
+/// ```
+pub fn nms_into(
+    dets: &ImageDetections,
+    config: &NmsConfig,
+    scratch: &mut NmsScratch,
+    out: &mut ImageDetections,
+) {
+    prepare_candidates(dets, config.score_floor, scratch);
+    let all = dets.as_slice();
+    out.clear();
+
+    let mut pos = 0usize;
+    while pos < scratch.order.len() {
+        let class = all[scratch.order[pos] as usize].class();
+        let mut run_end = pos + 1;
+        while run_end < scratch.order.len() && all[scratch.order[run_end] as usize].class() == class
+        {
+            run_end += 1;
+        }
+
+        scratch.kept.clear();
+        for &ci in &scratch.order[pos..run_end] {
+            if scratch.kept.len() >= config.max_per_class {
                 break;
             }
-            let suppressed = class_kept
-                .iter()
-                .any(|k| k.bbox().iou(&d.bbox()) > config.iou_threshold);
+            let d = &all[ci as usize];
+            let d_area = scratch.areas[ci as usize];
+            let suppressed = scratch.kept.iter().any(|&ki| {
+                let k = &all[ki as usize];
+                k.bbox()
+                    .iou_with_areas(scratch.areas[ki as usize], &d.bbox(), d_area)
+                    > config.iou_threshold
+            });
             if !suppressed {
-                class_kept.push(d);
+                scratch.kept.push(ci);
             }
         }
-        kept.extend(class_kept);
+        for &ki in &scratch.kept {
+            out.push(all[ki as usize]);
+        }
+        pos = run_end;
     }
-    kept.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
-    ImageDetections::from_vec(kept)
+
+    out.as_mut_slice()
+        .sort_by_key(|d| Reverse(score_sort_key(d.score())));
 }
 
 /// Gaussian Soft-NMS (Bodla et al.): instead of removing overlapping boxes,
@@ -110,45 +214,171 @@ pub fn nms(dets: &ImageDetections, config: &NmsConfig) -> ImageDetections {
 ///
 /// Panics if `sigma <= 0`.
 pub fn soft_nms(dets: &ImageDetections, config: &NmsConfig, sigma: f64) -> ImageDetections {
+    let mut out = ImageDetections::new();
+    WRAPPER_SCRATCH.with(|s| soft_nms_into(dets, config, sigma, &mut s.borrow_mut(), &mut out));
+    out
+}
+
+/// [`soft_nms`] over caller-provided scratch and output buffers.
+///
+/// `out` is cleared and refilled; with a warmed-up `scratch` and `out` the
+/// call allocates nothing. Produces exactly the same result as [`soft_nms`].
+///
+/// # Panics
+///
+/// Panics if `sigma <= 0`.
+pub fn soft_nms_into(
+    dets: &ImageDetections,
+    config: &NmsConfig,
+    sigma: f64,
+    scratch: &mut NmsScratch,
+    out: &mut ImageDetections,
+) {
     assert!(sigma > 0.0, "soft-nms sigma must be positive");
-    let groups = group_by_class(dets, config.score_floor);
-    let mut kept: Vec<Detection> = Vec::new();
-    for (_, group) in groups {
-        let mut pool = group;
-        let mut class_kept: Vec<Detection> = Vec::new();
-        while !pool.is_empty() && class_kept.len() < config.max_per_class {
-            // Select current max-score detection.
-            let (best_idx, _) = pool
-                .iter()
-                .enumerate()
-                .max_by(|(_, a), (_, b)| a.score().partial_cmp(&b.score()).expect("finite scores"))
-                .expect("pool is non-empty");
-            let best = pool.swap_remove(best_idx);
-            // Decay remaining scores.
-            pool = pool
-                .into_iter()
-                .filter_map(|d| {
-                    let iou = best.bbox().iou(&d.bbox());
-                    let decayed = d.score() * (-iou * iou / sigma).exp();
-                    if decayed >= config.score_floor {
-                        Some(d.with_score(decayed))
-                    } else {
-                        None
-                    }
-                })
-                .collect();
-            class_kept.push(best);
+    prepare_candidates(dets, config.score_floor, scratch);
+    let all = dets.as_slice();
+    out.clear();
+
+    let mut pos = 0usize;
+    while pos < scratch.order.len() {
+        let class = all[scratch.order[pos] as usize].class();
+        let mut run_end = pos + 1;
+        while run_end < scratch.order.len() && all[scratch.order[run_end] as usize].class() == class
+        {
+            run_end += 1;
         }
-        kept.extend(class_kept);
+
+        scratch.pool.clear();
+        scratch.pool.extend(
+            scratch.order[pos..run_end]
+                .iter()
+                .map(|&i| (all[i as usize].score(), i)),
+        );
+
+        let mut class_kept = 0usize;
+        while !scratch.pool.is_empty() && class_kept < config.max_per_class {
+            // Select the current max-score entry. `Iterator::max_by` returns
+            // the *last* maximal element, so `>=` keeps that tie-break.
+            let mut best_i = 0usize;
+            for j in 1..scratch.pool.len() {
+                if scratch.pool[j].0 >= scratch.pool[best_i].0 {
+                    best_i = j;
+                }
+            }
+            let (best_score, best_idx) = scratch.pool.swap_remove(best_i);
+            let best_bbox = all[best_idx as usize].bbox();
+            let best_area = scratch.areas[best_idx as usize];
+            // Decay remaining scores in place, dropping sub-floor entries
+            // while preserving pool order.
+            let areas = &scratch.areas;
+            scratch.pool.retain_mut(|(score, i)| {
+                let iou = best_bbox.iou_with_areas(
+                    best_area,
+                    &all[*i as usize].bbox(),
+                    areas[*i as usize],
+                );
+                let decayed = *score * (-iou * iou / sigma).exp();
+                if decayed >= config.score_floor {
+                    *score = decayed;
+                    true
+                } else {
+                    false
+                }
+            });
+            out.push(all[best_idx as usize].with_score(best_score));
+            class_kept += 1;
+        }
+        pos = run_end;
     }
-    kept.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
-    ImageDetections::from_vec(kept)
+
+    out.as_mut_slice()
+        .sort_by_key(|d| Reverse(score_sort_key(d.score())));
+}
+
+#[cfg(test)]
+pub(crate) mod reference {
+    //! The pre-refactor grouped implementation, kept verbatim as the oracle
+    //! the SoA kernels are checked against (see also `tests/equivalence.rs`).
+
+    use crate::{ClassId, Detection, ImageDetections};
+    use std::collections::BTreeMap;
+
+    use super::NmsConfig;
+
+    fn group_by_class(dets: &ImageDetections, floor: f64) -> BTreeMap<ClassId, Vec<Detection>> {
+        let mut groups: BTreeMap<ClassId, Vec<Detection>> = BTreeMap::new();
+        for d in dets.iter().filter(|d| d.score() >= floor) {
+            groups.entry(d.class()).or_default().push(*d);
+        }
+        for group in groups.values_mut() {
+            group.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+        }
+        groups
+    }
+
+    pub fn nms(dets: &ImageDetections, config: &NmsConfig) -> ImageDetections {
+        let groups = group_by_class(dets, config.score_floor);
+        let mut kept: Vec<Detection> = Vec::new();
+        for (_, group) in groups {
+            let mut class_kept: Vec<Detection> = Vec::new();
+            for d in group {
+                if class_kept.len() >= config.max_per_class {
+                    break;
+                }
+                let suppressed = class_kept
+                    .iter()
+                    .any(|k| k.bbox().iou(&d.bbox()) > config.iou_threshold);
+                if !suppressed {
+                    class_kept.push(d);
+                }
+            }
+            kept.extend(class_kept);
+        }
+        kept.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+        ImageDetections::from_vec(kept)
+    }
+
+    pub fn soft_nms(dets: &ImageDetections, config: &NmsConfig, sigma: f64) -> ImageDetections {
+        assert!(sigma > 0.0, "soft-nms sigma must be positive");
+        let groups = group_by_class(dets, config.score_floor);
+        let mut kept: Vec<Detection> = Vec::new();
+        for (_, group) in groups {
+            let mut pool = group;
+            let mut class_kept: Vec<Detection> = Vec::new();
+            while !pool.is_empty() && class_kept.len() < config.max_per_class {
+                let (best_idx, _) = pool
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        a.score().partial_cmp(&b.score()).expect("finite scores")
+                    })
+                    .expect("pool is non-empty");
+                let best = pool.swap_remove(best_idx);
+                pool = pool
+                    .into_iter()
+                    .filter_map(|d| {
+                        let iou = best.bbox().iou(&d.bbox());
+                        let decayed = d.score() * (-iou * iou / sigma).exp();
+                        if decayed >= config.score_floor {
+                            Some(d.with_score(decayed))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                class_kept.push(best);
+            }
+            kept.extend(class_kept);
+        }
+        kept.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+        ImageDetections::from_vec(kept)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::BBox;
+    use crate::{BBox, ClassId, Detection};
 
     fn det(class: u16, score: f64, x0: f64, y0: f64, x1: f64, y1: f64) -> Detection {
         Detection::new(ClassId(class), score, BBox::new(x0, y0, x1, y1).unwrap())
@@ -273,5 +503,53 @@ mod tests {
     fn soft_nms_rejects_bad_sigma() {
         let dets = ImageDetections::new();
         let _ = soft_nms(&dets, &NmsConfig::default(), 0.0);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let dets = ImageDetections::from_vec(vec![
+            det(0, 0.9, 0.0, 0.0, 0.5, 0.5),
+            det(0, 0.8, 0.02, 0.0, 0.5, 0.5),
+            det(1, 0.7, 0.6, 0.6, 0.9, 0.9),
+        ]);
+        let cfg = NmsConfig::default();
+        let mut scratch = NmsScratch::new();
+        let mut out = ImageDetections::new();
+        for _ in 0..3 {
+            nms_into(&dets, &cfg, &mut scratch, &mut out);
+            assert_eq!(out, nms(&dets, &cfg));
+            soft_nms_into(&dets, &cfg, 0.5, &mut scratch, &mut out);
+            assert_eq!(out, soft_nms(&dets, &cfg, 0.5));
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_adversarial_ties() {
+        // Equal scores within and across classes exercise every stable-sort
+        // tie-break the reference implementation relies on.
+        let dets = ImageDetections::from_vec(vec![
+            det(1, 0.5, 0.0, 0.0, 0.2, 0.2),
+            det(0, 0.5, 0.0, 0.0, 0.2, 0.2),
+            det(1, 0.5, 0.5, 0.5, 0.7, 0.7),
+            det(0, 0.5, 0.01, 0.0, 0.2, 0.2),
+            det(0, 0.7, 0.4, 0.4, 0.6, 0.6),
+            det(1, 0.5, 0.51, 0.5, 0.7, 0.7),
+        ]);
+        for cfg in [
+            NmsConfig::default(),
+            NmsConfig {
+                max_per_class: 1,
+                ..Default::default()
+            },
+            NmsConfig::with_iou(0.0),
+        ] {
+            assert_eq!(nms(&dets, &cfg), reference::nms(&dets, &cfg));
+            for sigma in [0.1, 0.5, 2.0] {
+                assert_eq!(
+                    soft_nms(&dets, &cfg, sigma),
+                    reference::soft_nms(&dets, &cfg, sigma)
+                );
+            }
+        }
     }
 }

@@ -115,6 +115,11 @@ pub const ALL_EXPERIMENTS: [&str; 29] = [
 
 /// Runs one experiment by id (or `"all"`).
 ///
+/// `"all"` fans the experiments out across the harness workers (see
+/// [`smallbig_core::par`]); each experiment is deterministic and reports
+/// merge back in presentation order, so the output equals the sequential
+/// run. Experiments share the process-wide pair-run cache either way.
+///
 /// # Errors
 ///
 /// Returns the unknown id as `Err` so the CLI can report it.
@@ -122,9 +127,12 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Result<Vec<Report>, String> 
     use exp::{extras, figures, tables};
     let report = match id {
         "all" => {
+            let results = smallbig_core::par::ordered_map(ALL_EXPERIMENTS.len(), |i| {
+                run_experiment(ALL_EXPERIMENTS[i], cfg)
+            });
             let mut out = Vec::new();
-            for id in ALL_EXPERIMENTS {
-                out.extend(run_experiment(id, cfg)?);
+            for result in results {
+                out.extend(result?);
             }
             return Ok(out);
         }

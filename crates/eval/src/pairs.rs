@@ -5,11 +5,12 @@
 //! memoised on `(small, big, split, scale)`.
 
 use datagen::{Split, SplitId};
+use detcore::ImageDetections;
 use modelzoo::{ModelKind, SimDetector};
 use parking_lot::Mutex;
 use smallbig_core::{
-    calibrate, evaluate, BinaryStats, Calibration, DifficultCaseDiscriminator, EvalConfig,
-    EvalOutcome, LabeledExample, Policy,
+    calibrate, detect_all, discriminator_stats_on, evaluate, evaluate_detections, BinaryStats,
+    Calibration, DifficultCaseDiscriminator, EvalConfig, EvalOutcome, LabeledExample, Policy,
 };
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -59,6 +60,13 @@ pub struct PairRun {
     pub split: Arc<Split>,
     /// Number of classes.
     pub num_classes: usize,
+    /// The model pair this run was computed for.
+    small_kind: ModelKind,
+    big_kind: ModelKind,
+    /// Both models' test-set detections (dataset order). Detectors are
+    /// deterministic, so baseline policies evaluated on the same pair reuse
+    /// these instead of re-running the models per table.
+    test_detections: Arc<Vec<(ImageDetections, ImageDetections)>>,
 }
 
 impl PairRun {
@@ -76,12 +84,24 @@ impl PairRun {
     }
 
     /// Evaluates a different policy on the same split/pair.
+    ///
+    /// When `(small_kind, big_kind)` is the pair this run was computed for
+    /// (the common case — tables sweep policies, not models), the cached
+    /// test-set detections are reused; the result is identical either way.
     pub fn evaluate_policy(
         &self,
         small_kind: ModelKind,
         big_kind: ModelKind,
         policy: &Policy,
     ) -> EvalOutcome {
+        if small_kind == self.small_kind && big_kind == self.big_kind {
+            return evaluate_detections(
+                &self.split.test,
+                &self.test_detections,
+                policy,
+                &EvalConfig::default(),
+            );
+        }
         let (small, big) = self.detectors(small_kind, big_kind);
         evaluate(
             &self.split.test,
@@ -95,8 +115,13 @@ impl PairRun {
 
 type CacheKey = (ModelKind, ModelKind, SplitId, u64);
 
-fn cache() -> &'static Mutex<HashMap<CacheKey, Arc<PairRun>>> {
-    static CACHE: OnceLock<Mutex<HashMap<CacheKey, Arc<PairRun>>>> = OnceLock::new();
+/// Per-key slot: concurrent callers for the same key block on one
+/// computation instead of redoing it (experiments now run in parallel, so
+/// a cold cache would otherwise stampede on the shared pairs).
+type CacheSlot = Arc<OnceLock<Arc<PairRun>>>;
+
+fn cache() -> &'static Mutex<HashMap<CacheKey, CacheSlot>> {
+    static CACHE: OnceLock<Mutex<HashMap<CacheKey, CacheSlot>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -109,24 +134,37 @@ pub fn pair_run(
     cfg: &ExpConfig,
 ) -> Arc<PairRun> {
     let key = (small_kind, big_kind, split_id, cfg.scale.to_bits());
-    if let Some(hit) = cache().lock().get(&key) {
-        return Arc::clone(hit);
-    }
+    // The map lock is held only to fetch the key's slot; the expensive
+    // computation runs under the slot's OnceLock, which serialises callers
+    // of the same key without blocking other keys.
+    let slot = Arc::clone(cache().lock().entry(key).or_default());
+    Arc::clone(slot.get_or_init(|| compute_pair_run(small_kind, big_kind, split_id, cfg)))
+}
+
+fn compute_pair_run(
+    small_kind: ModelKind,
+    big_kind: ModelKind,
+    split_id: SplitId,
+    cfg: &ExpConfig,
+) -> Arc<PairRun> {
     let split = Arc::new(Split::load_scaled(split_id, cfg.scale));
     let num_classes = split.test.taxonomy().len();
     let small = SimDetector::new(small_kind, split_id, num_classes);
     let big = SimDetector::new(big_kind, split_id, num_classes);
     let (calibration, train_examples) = calibrate(&split.train, &small, &big);
     let disc = DifficultCaseDiscriminator::new(calibration.thresholds);
-    let test_stats = smallbig_core::discriminator_test_stats(&split.test, &small, &big, &disc);
-    let ours = evaluate(
+    // One detection pass over the test set serves the discriminator stats,
+    // our policy's outcome, and (via the cache on PairRun) every baseline
+    // policy a table evaluates later.
+    let test_detections = Arc::new(detect_all(&split.test, &small, &big));
+    let test_stats = discriminator_stats_on(&split.test, &test_detections, &disc);
+    let ours = evaluate_detections(
         &split.test,
-        &small,
-        &big,
+        &test_detections,
         &Policy::DifficultCase(disc),
         &EvalConfig::default(),
     );
-    let run = Arc::new(PairRun {
+    Arc::new(PairRun {
         split_id,
         calibration,
         train_examples,
@@ -134,9 +172,10 @@ pub fn pair_run(
         ours,
         split,
         num_classes,
-    });
-    cache().lock().insert(key, Arc::clone(&run));
-    run
+        small_kind,
+        big_kind,
+        test_detections,
+    })
 }
 
 /// The paper's three SSD small models in table order.

@@ -154,7 +154,9 @@ impl Detector for SimDetector {
     fn detect(&self, scene: &Scene) -> ImageDetections {
         let cap = &self.capability;
         let mut rng = StdRng::seed_from_u64(mix(scene.seed ^ self.kind.seed_tag()));
-        let mut out = ImageDetections::new();
+        // One box per object plus a few false positives is the typical
+        // output size; reserving it keeps the hot loop reallocation-free.
+        let mut out = ImageDetections::with_capacity(scene.num_objects() + 4);
         let n = scene.num_objects();
 
         for (i, obj) in scene.objects.iter().enumerate() {

@@ -60,6 +60,16 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
     to_string(value).map(String::into_bytes)
 }
 
+/// Serializes a value into a reusable `String` buffer.
+///
+/// The buffer is cleared first; its capacity is kept, so a caller encoding
+/// many messages through one buffer amortises the output allocation
+/// (upstream's `to_writer` serves this role).
+pub fn to_string_into<T: Serialize + ?Sized>(out: &mut String, value: &T) -> Result<(), Error> {
+    out.clear();
+    write_value(out, &value.to_value(), None, 0)
+}
+
 fn write_value(
     out: &mut String,
     v: &Value,
