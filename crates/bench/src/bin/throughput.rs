@@ -1,11 +1,15 @@
 //! Throughput harness: measures kernel ns/op and end-to-end eval harness
 //! frames/sec against the pre-refactor reference implementations, and
-//! writes the perf-trajectory JSON (`BENCH_PR2.json` at the repo root).
+//! writes the perf-trajectory JSON (`BENCH_PR<N>.json` at the repo root).
 //!
 //! ```bash
-//! cargo run --release -p bench --bin throughput              # full run
-//! cargo run --release -p bench --bin throughput -- --quick   # CI smoke
-//! cargo run --release -p bench --bin throughput -- --out /tmp/b.json
+//! # Full run; writes target/throughput.json so the committed baseline is
+//! # never overwritten by accident:
+//! cargo run --release -p bench --bin throughput
+//! # CI smoke:
+//! cargo run --release -p bench --bin throughput -- --quick
+//! # Regenerate a committed baseline, explicitly:
+//! cargo run --release -p bench --bin throughput -- --json-out BENCH_PR3.json
 //! ```
 //!
 //! Methodology (see PERFORMANCE.md): every timing is the **minimum** over
@@ -15,7 +19,7 @@
 //! that drifts from its reference fails the run instead of reporting a
 //! meaningless speedup.
 
-use datagen::{Dataset, DatasetProfile, SplitId};
+use datagen::{Dataset, DatasetProfile, Scene, SplitId};
 use detcore::{
     count_detected_with, nms, nms_into, soft_nms, soft_nms_into, ApProtocol, BBox, ClassId,
     CountScratch, CountingConfig, Detection, GroundTruth, ImageDetections, MapEvaluator,
@@ -26,7 +30,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use smallbig_core::{
-    calibrate, detect_all, discriminator_stats_on, evaluate, evaluate_detections,
+    calibrate, detect_all, discriminator_stats_on, evaluate, evaluate_detections, wire,
     DifficultCaseDiscriminator, EvalConfig, Policy, Thresholds,
 };
 use std::time::{Duration, Instant};
@@ -36,7 +40,310 @@ use std::time::{Duration, Instant};
 /// conditions as the "after" numbers.
 mod reference {
     use super::*;
+    use rand_distr::{Distribution, Normal};
     use std::collections::BTreeMap;
+
+    /// splitmix64 mixer (transcribed from the detector module).
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn unit(h: u64) -> f64 {
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The seed's standard normal (Box–Muller, first component only) —
+    /// unchanged in the library, transcribed so the seed Beta below is
+    /// self-contained.
+    fn standard_normal<R: rand::RngCore + ?Sized>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// The seed's `Gamma(shape, 1)` via Marsaglia–Tsang: `d` and `c` are
+    /// recomputed on **every draw** (the library now caches them per
+    /// distribution construction).
+    fn seed_gamma_draw<R: rand::RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        if shape < 1.0 {
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            return seed_gamma_draw(shape + 1.0, rng) * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
+        }
+    }
+
+    /// The seed's `Beta`: validation-only construction, per-draw gamma
+    /// constant recomputation.
+    struct SeedBeta {
+        alpha: f64,
+        beta: f64,
+    }
+
+    impl SeedBeta {
+        fn new(alpha: f64, beta: f64) -> Self {
+            assert!(alpha > 0.0 && beta > 0.0, "beta shapes must be positive");
+            SeedBeta { alpha, beta }
+        }
+
+        fn sample<R: rand::RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            let x = seed_gamma_draw(self.alpha, rng);
+            let y = seed_gamma_draw(self.beta, rng);
+            x / (x + y)
+        }
+    }
+
+    /// The seed's `poisson_draw`: re-exponentiates the rate on every call.
+    fn poisson_draw(u: f64, rate: f64) -> usize {
+        if rate <= 0.0 {
+            return 0;
+        }
+        let mut k = 0usize;
+        let mut acc = (-rate).exp();
+        let mut cum = acc;
+        while u > cum && k < 8 {
+            k += 1;
+            acc *= rate / k as f64;
+            cum += acc;
+        }
+        k
+    }
+
+    /// The seed/PR 2-era `SimDetector`: per-object `Beta::new`/`Normal::new`
+    /// constructions, a full `p_detect` (two `ln`s and the clutter `exp`) per
+    /// object, and a fresh output allocation per call. The PR 3 sampler
+    /// cache must reproduce it bit-for-bit — the harness asserts that over
+    /// the whole dataset for every `ModelKind` before timing.
+    pub struct SeedDetector {
+        kind: ModelKind,
+        capability: modelzoo::Capability,
+        num_classes: usize,
+        flops: u64,
+        size_bytes: u64,
+    }
+
+    impl SeedDetector {
+        pub fn new(kind: ModelKind, split: SplitId, num_classes: usize) -> Self {
+            let net = kind.network(num_classes);
+            SeedDetector {
+                kind,
+                capability: modelzoo::Capability::profile(kind, split),
+                num_classes,
+                flops: net.total_flops(),
+                size_bytes: net.total_params() * 4,
+            }
+        }
+
+        fn object_draw(scene: &Scene, index: usize) -> f64 {
+            unit(mix(
+                scene.seed ^ (index as u64 + 1).wrapping_mul(0xd6e8_feb8_6659_fd93)
+            ))
+        }
+    }
+
+    impl Detector for SeedDetector {
+        fn name(&self) -> &'static str {
+            self.kind.label()
+        }
+
+        fn detect(&self, scene: &Scene) -> ImageDetections {
+            let cap = &self.capability;
+            let mut rng = StdRng::seed_from_u64(mix(scene.seed ^ self.kind.seed_tag()));
+            let mut out = ImageDetections::with_capacity(scene.num_objects() + 4);
+            let n = scene.num_objects();
+
+            for (i, obj) in scene.objects.iter().enumerate() {
+                let p = cap.p_detect(obj.area_ratio(), n, obj.difficulty, scene.camera_blur);
+                let u = Self::object_draw(scene, i);
+                if u < p {
+                    let beta = SeedBeta::new(cap.score_conc, 1.6);
+                    let score = 0.5 + 0.5 * beta.sample(&mut rng);
+                    let jitter = Normal::new(0.0, cap.loc_jitter).expect("valid normal");
+                    let w = obj.bbox.width();
+                    let h = obj.bbox.height();
+                    let bbox = BBox::from_corners(
+                        obj.bbox.x_min() + jitter.sample(&mut rng) * w,
+                        obj.bbox.y_min() + jitter.sample(&mut rng) * h,
+                        obj.bbox.x_max() + jitter.sample(&mut rng) * w,
+                        obj.bbox.y_max() + jitter.sample(&mut rng) * h,
+                    )
+                    .clamp_unit();
+                    let class = if rng.gen::<f64>() < cap.misclass_prob {
+                        ClassId(rng.gen_range(0..self.num_classes) as u16)
+                    } else {
+                        obj.class
+                    };
+                    if !bbox.is_empty() {
+                        out.push(Detection::new(class, score.min(0.9999), bbox));
+                    }
+                } else {
+                    let emit_prob = if p > 0.02 {
+                        cap.sub_box_prob
+                    } else {
+                        cap.sub_box_prob * 0.3
+                    };
+                    if rng.gen::<f64>() < emit_prob {
+                        let score = rng.gen_range(0.16..0.48);
+                        let jitter = Normal::new(0.0, cap.loc_jitter * 2.0).expect("valid normal");
+                        let w = obj.bbox.width();
+                        let h = obj.bbox.height();
+                        let bbox = BBox::from_corners(
+                            obj.bbox.x_min() + jitter.sample(&mut rng) * w,
+                            obj.bbox.y_min() + jitter.sample(&mut rng) * h,
+                            obj.bbox.x_max() + jitter.sample(&mut rng) * w,
+                            obj.bbox.y_max() + jitter.sample(&mut rng) * h,
+                        )
+                        .clamp_unit();
+                        if !bbox.is_empty() {
+                            out.push(Detection::new(obj.class, score, bbox));
+                        }
+                    }
+                }
+            }
+
+            let fp_draw = unit(mix(scene.seed ^ 0xfa15_e905));
+            let n_fps = poisson_draw(fp_draw, cap.fp_rate);
+            for _ in 0..n_fps {
+                let beta = SeedBeta::new(2.0, 4.0);
+                let score = 0.5 + 0.45 * beta.sample(&mut rng);
+                let bbox = if !scene.objects.is_empty() && rng.gen::<f64>() < 0.7 {
+                    let obj = &scene.objects[rng.gen_range(0..scene.objects.len())];
+                    let (cx, cy) = obj.bbox.center();
+                    let w = obj.bbox.width() * rng.gen_range(0.5..1.6);
+                    let h = obj.bbox.height() * rng.gen_range(0.5..1.6);
+                    BBox::from_center(
+                        cx + rng.gen_range(-0.5..0.5) * w,
+                        cy + rng.gen_range(-0.5..0.5) * h,
+                        w,
+                        h,
+                    )
+                    .clamp_unit()
+                } else {
+                    BBox::from_center(
+                        rng.gen_range(0.15..0.85),
+                        rng.gen_range(0.15..0.85),
+                        rng.gen_range(0.05..0.4),
+                        rng.gen_range(0.05..0.4),
+                    )
+                    .clamp_unit()
+                };
+                let class = ClassId(rng.gen_range(0..self.num_classes) as u16);
+                if !bbox.is_empty() {
+                    out.push(Detection::new(class, score, bbox));
+                }
+            }
+
+            let noise_boxes = poisson_draw(rng.gen(), cap.noise_rate);
+            for _ in 0..noise_boxes {
+                let score = 0.02 + 0.33 * rng.gen::<f64>().powf(1.5);
+                let cx = rng.gen_range(0.1..0.9);
+                let cy = rng.gen_range(0.1..0.9);
+                let w = rng.gen_range(0.03..0.35);
+                let h = rng.gen_range(0.03..0.35);
+                let bbox = BBox::from_center(cx, cy, w, h).clamp_unit();
+                let class = ClassId(rng.gen_range(0..self.num_classes) as u16);
+                out.push(Detection::new(class, score, bbox));
+            }
+            out
+        }
+
+        fn flops(&self) -> u64 {
+            self.flops
+        }
+
+        fn model_size_bytes(&self) -> u64 {
+            self.size_bytes
+        }
+    }
+
+    /// The seed serializer: render a full `serde::Value` tree, then walk it
+    /// to text with one `to_string` allocation per number (transcribed from
+    /// `vendor/serde_json`'s pre-streaming `to_string`), framed with the
+    /// same length prefix as `wire::encode_frame_into`.
+    pub fn encode_frame_into<T: serde::Serialize>(
+        buf: &mut Vec<u8>,
+        payload: &mut String,
+        value: &T,
+    ) {
+        payload.clear();
+        write_value(payload, &value.to_value());
+        buf.clear();
+        buf.reserve(4 + payload.len());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(payload.as_bytes());
+    }
+
+    fn write_value(out: &mut String, v: &serde::Value) {
+        use serde::Value;
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::U64(n) => out.push_str(&n.to_string()),
+            Value::I64(n) => out.push_str(&n.to_string()),
+            Value::F64(x) => {
+                assert!(x.is_finite(), "frame payloads are finite");
+                out.push_str(&x.to_string());
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_value(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, item)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    write_value(out, item);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
 
     fn group_by_class(dets: &ImageDetections, floor: f64) -> BTreeMap<ClassId, Vec<Detection>> {
         let mut groups: BTreeMap<ClassId, Vec<Detection>> = BTreeMap::new();
@@ -315,8 +622,8 @@ mod reference {
     pub fn pair_flow(
         train: &Dataset,
         test: &Dataset,
-        small: &SimDetector,
-        big: &SimDetector,
+        small: &SeedDetector,
+        big: &SeedDetector,
         counting: &CountingConfig,
     ) -> ((f64, usize, f64), smallbig_core::BinaryStats, Thresholds) {
         use smallbig_core::{BinaryStats, LabeledExample, SemanticFeatures, PREDICTION_THRESHOLD};
@@ -419,8 +726,8 @@ mod reference {
     /// mAP/count accumulations) over the reference kernels above.
     pub fn evaluate_e2e(
         test: &Dataset,
-        small: &SimDetector,
-        big: &SimDetector,
+        small: &SeedDetector,
+        big: &SeedDetector,
         policy: &Policy,
         counting: &CountingConfig,
     ) -> (f64, usize, f64) {
@@ -592,6 +899,7 @@ struct Report {
     quick: bool,
     host_parallelism: usize,
     kernels: Kernels,
+    serializer: Serializer,
     harness: Harness,
 }
 
@@ -602,23 +910,40 @@ struct Kernels {
     match_greedy_40x10: KernelRow,
     map_accumulate_per_image: KernelRow,
     count_detected_per_image: KernelRow,
+    /// Both models over one scene: seed detector (per-object distribution
+    /// constructions, per-call `p_detect` invariants, fresh output) vs the
+    /// PR 3 sampler-cache fast path; the scratch column reuses one
+    /// `detect_into` buffer per model across the dataset.
+    detect_per_image: KernelRow,
+}
+
+#[derive(Debug, Serialize)]
+struct Serializer {
+    /// One length-prefixed wire frame per image of big-model detections:
+    /// serialize-via-`Value`-tree (seed) vs the streaming serializer, both
+    /// into reused buffers; the scratch column is `encode_frame_into`
+    /// (streaming **and** reusing the frame buffer — the session path).
+    encode_frame: KernelRow,
 }
 
 fn main() {
     let mut quick = false;
-    let mut out_path = "BENCH_PR2.json".to_string();
+    // The default lands in target/ so a casual regeneration can never
+    // clobber a committed BENCH_PR<N>.json baseline; committing a new
+    // baseline is an explicit `--json-out BENCH_PR<N>.json`.
+    let mut out_path = "target/throughput.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--out" => {
+            "--json-out" | "--out" => {
                 out_path = args.next().unwrap_or_else(|| {
-                    eprintln!("--out needs a path");
+                    eprintln!("{arg} needs a path");
                     std::process::exit(2);
                 })
             }
             "--help" | "-h" => {
-                println!("usage: throughput [--quick] [--out PATH]");
+                println!("usage: throughput [--quick] [--json-out PATH]");
                 return;
             }
             other => {
@@ -653,12 +978,43 @@ fn main() {
     let dataset = Dataset::generate("bench-e2e", &DatasetProfile::voc(), images, 17);
     let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
     let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+    let seed_small = reference::SeedDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20);
+    let seed_big = reference::SeedDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
     let big_results: Vec<ImageDetections> = dataset.iter().map(|s| big.detect(s)).collect();
     let gts: Vec<Vec<GroundTruth>> = dataset.iter().map(|s| s.ground_truths()).collect();
     let counting = CountingConfig::default();
     let policy = Policy::DifficultCase(DifficultCaseDiscriminator::new(Thresholds::paper()));
 
     // ---- Self-check: before/after must agree before timing ---------------
+    // Detector fast path: the sampler cache must reproduce the seed detector
+    // bit-for-bit, for every model kind, including through a dirty reused
+    // `detect_into` buffer.
+    {
+        let mut reused = ImageDetections::new();
+        for kind in ModelKind::ALL {
+            let lib = SimDetector::new(kind, SplitId::Voc07, 20);
+            let seed = reference::SeedDetector::new(kind, SplitId::Voc07, 20);
+            for scene in dataset.iter().take(if quick { 50 } else { 400 }) {
+                let fast = lib.detect(scene);
+                assert_eq!(fast, seed.detect(scene), "detector drift for {kind:?}");
+                lib.detect_into(scene, &mut reused);
+                assert_eq!(fast, reused, "detect_into drift for {kind:?}");
+            }
+        }
+    }
+    // Streaming serializer: every answer frame must match the Value-tree
+    // reference byte-for-byte.
+    {
+        let mut ref_buf = Vec::new();
+        let mut ref_payload = String::new();
+        let mut new_buf = Vec::new();
+        for dets in &big_results {
+            reference::encode_frame_into(&mut ref_buf, &mut ref_payload, dets);
+            wire::encode_frame_into(&mut new_buf, dets);
+            assert_eq!(ref_buf, new_buf, "serializer drift on a detections frame");
+        }
+    }
+    eprintln!("# self-check passed: detector fast path and streaming serializer are bit-identical");
     assert_eq!(reference::nms(&dets200, &nms_cfg), nms(&dets200, &nms_cfg));
     assert_eq!(
         reference::soft_nms(&dets200, &nms_cfg, 0.5),
@@ -687,7 +1043,8 @@ fn main() {
             );
         }
     }
-    let reference_outcome = reference::evaluate_e2e(&dataset, &small, &big, &policy, &counting);
+    let reference_outcome =
+        reference::evaluate_e2e(&dataset, &seed_small, &seed_big, &policy, &counting);
     let cfg = EvalConfig::default();
     let outcome = evaluate(&dataset, &small, &big, &policy, &cfg);
     assert_eq!(reference_outcome.0.to_bits(), outcome.e2e_map_pct.to_bits());
@@ -826,6 +1183,79 @@ fn main() {
     let count_row = KernelRow::new(count_times[0], count_times[1], None, images as u64);
     eprintln!("count_detected_per_image: {count_row:?}");
 
+    // ---- Detector: both models over every scene ---------------------------
+    // This is the ~60 % of `evaluate()` the ROADMAP named. The scratch
+    // variant reuses one output buffer per model, which is what a streaming
+    // session (results consumed per frame) gets to do.
+    let mut small_scratch = ImageDetections::new();
+    let mut big_scratch = ImageDetections::new();
+    let detect_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                for scene in dataset.iter() {
+                    sink(seed_small.detect(scene));
+                    sink(seed_big.detect(scene));
+                }
+            },
+            &mut || {
+                for scene in dataset.iter() {
+                    sink(small.detect(scene));
+                    sink(big.detect(scene));
+                }
+            },
+            &mut || {
+                for scene in dataset.iter() {
+                    small.detect_into(scene, &mut small_scratch);
+                    sink(&small_scratch);
+                    big.detect_into(scene, &mut big_scratch);
+                    sink(&big_scratch);
+                }
+            },
+        ],
+    );
+    let detect_row = KernelRow::new(
+        detect_times[0],
+        detect_times[1],
+        Some(detect_times[2]),
+        images as u64,
+    );
+    eprintln!("detect_per_image: {detect_row:?}");
+
+    // ---- Serializer: one detections wire frame per image -------------------
+    let mut ref_frame_buf = Vec::new();
+    let mut ref_payload = String::new();
+    let mut frame_buf = Vec::new();
+    let encode_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                for dets in &big_results {
+                    reference::encode_frame_into(&mut ref_frame_buf, &mut ref_payload, dets);
+                    sink(&ref_frame_buf);
+                }
+            },
+            &mut || {
+                for dets in &big_results {
+                    sink(wire::encode_frame(dets));
+                }
+            },
+            &mut || {
+                for dets in &big_results {
+                    wire::encode_frame_into(&mut frame_buf, dets);
+                    sink(&frame_buf);
+                }
+            },
+        ],
+    );
+    let encode_row = KernelRow::new(
+        encode_times[0],
+        encode_times[1],
+        Some(encode_times[2]),
+        images as u64,
+    );
+    eprintln!("serializer/encode_frame: {encode_row:?}");
+
     // ---- End-to-end harness: evaluate() alone ----------------------------
     // The single-worker variant pins the harness to its sequential path via
     // the env var; toggling happens on the main thread while no harness
@@ -835,7 +1265,11 @@ fn main() {
         &mut [
             &mut || {
                 sink(reference::evaluate_e2e(
-                    &dataset, &small, &big, &policy, &counting,
+                    &dataset,
+                    &seed_small,
+                    &seed_big,
+                    &policy,
+                    &counting,
                 ));
             },
             &mut || {
@@ -873,7 +1307,7 @@ fn main() {
     // Self-check: the shared-detection driver reproduces the redundant
     // reference flow exactly.
     let (ref_outcome, ref_stats, ref_thresholds) =
-        reference::pair_flow(&train, &dataset, &small, &big, &counting);
+        reference::pair_flow(&train, &dataset, &seed_small, &seed_big, &counting);
     let (new_outcome, new_stats, new_thresholds) = driver_after();
     assert_eq!(ref_thresholds, new_thresholds);
     assert_eq!(ref_stats, new_stats);
@@ -888,7 +1322,11 @@ fn main() {
         &mut [
             &mut || {
                 sink(reference::pair_flow(
-                    &train, &dataset, &small, &big, &counting,
+                    &train,
+                    &dataset,
+                    &seed_small,
+                    &seed_big,
+                    &counting,
                 ));
             },
             &mut || {
@@ -916,9 +1354,10 @@ fn main() {
     };
 
     let report = Report {
-        pr: 2,
-        title: "Data-oriented detection kernels + parallel evaluation harness".to_string(),
-        command: "cargo run --release -p bench --bin throughput".to_string(),
+        pr: 3,
+        title: "Zero-allocation detector fast path + streaming JSON serializer".to_string(),
+        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR3.json"
+            .to_string(),
         quick,
         host_parallelism,
         kernels: Kernels {
@@ -927,10 +1366,22 @@ fn main() {
             match_greedy_40x10: match_row,
             map_accumulate_per_image: map_row,
             count_detected_per_image: count_row,
+            detect_per_image: detect_row,
+        },
+        serializer: Serializer {
+            encode_frame: encode_row,
         },
         harness,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    // The default path nests under target/, which may not exist relative to
+    // the cwd (e.g. when the binary runs outside the workspace root) — a
+    // missing parent must not discard a minute of measurements.
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create bench report directory");
+        }
+    }
     std::fs::write(&out_path, json + "\n").expect("write bench report");
     eprintln!("# wrote {out_path}");
 }

@@ -120,6 +120,14 @@ pub fn evaluate(
 /// more than once — [`evaluate_detections`] under several policies,
 /// [`discriminator_stats_on`] next to an evaluation — detect once and
 /// share the result instead of re-running the models.
+///
+/// Each image's results are retained, so one output buffer per
+/// (model, image) is inherent and plain [`Detector::detect`] is the right
+/// call here — for [`modelzoo::SimDetector`] it is a thin wrapper over the
+/// allocation-free `detect_into` fast path, so the detection loop itself
+/// performs no allocation beyond that one retained buffer. Streaming
+/// consumers that *can* reuse a buffer across frames call
+/// [`Detector::detect_into`] directly.
 pub fn detect_all(
     test: &Dataset,
     small: &(dyn Detector + Sync),

@@ -585,7 +585,9 @@ pub struct EdgeSession<'a> {
     pending: HashMap<u64, PendingUpload>,
     done: HashMap<u64, FrameResult>,
     /// Reused per-session wire-encoding buffer (one allocation per session,
-    /// not per uploaded frame).
+    /// not per uploaded frame). Encoding streams JSON directly into the
+    /// frame scratch (no intermediate `Value` tree), so a warm session's
+    /// upload headers serialize without allocating.
     encode_buf: Vec<u8>,
     /// Reused counting-metric scratch.
     count_scratch: CountScratch,
@@ -1119,7 +1121,7 @@ mod tests {
     struct PanickyDetector(SimDetector);
 
     impl Detector for PanickyDetector {
-        fn name(&self) -> &str {
+        fn name(&self) -> &'static str {
             "panicky"
         }
         fn detect(&self, _scene: &datagen::Scene) -> ImageDetections {

@@ -67,9 +67,36 @@ pub struct AreaModel {
 impl AreaModel {
     /// Samples an area ratio for an object in an image with `n` objects.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> f64 {
-        let d = LogNormal::new(self.ln_mu, self.ln_sigma).expect("valid log-normal");
-        let raw = d.sample(rng) * (n as f64).powf(-self.crowd_shrink);
-        raw.clamp(self.min, self.max)
+        self.sampler(n).sample(rng)
+    }
+
+    /// Hoists the per-scene invariants (the log-normal and the crowding
+    /// factor `n^-crowd_shrink`) so a scene's object loop builds them once.
+    /// Draw-for-draw identical to calling [`sample`](Self::sample) per
+    /// object: construction consumes no RNG state.
+    pub fn sampler(&self, n: usize) -> AreaSampler {
+        AreaSampler {
+            dist: LogNormal::new(self.ln_mu, self.ln_sigma).expect("valid log-normal"),
+            crowd: (n as f64).powf(-self.crowd_shrink),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Per-scene area sampler built by [`AreaModel::sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct AreaSampler {
+    dist: LogNormal,
+    crowd: f64,
+    min: f64,
+    max: f64,
+}
+
+impl AreaSampler {
+    /// Samples one object's area ratio.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.dist.sample(rng) * self.crowd).clamp(self.min, self.max)
     }
 }
 
@@ -87,8 +114,30 @@ pub struct DifficultyModel {
 impl DifficultyModel {
     /// Samples a difficulty in `[0, 1]`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let d = Beta::new(self.alpha, self.beta).expect("valid beta");
-        (self.base + d.sample(rng)).clamp(0.0, 1.0)
+        self.sampler().sample(rng)
+    }
+
+    /// Hoists the beta construction so a scene's object loop builds it once
+    /// (draw-for-draw identical to per-object [`sample`](Self::sample)).
+    pub fn sampler(&self) -> DifficultySampler {
+        DifficultySampler {
+            dist: Beta::new(self.alpha, self.beta).expect("valid beta"),
+            base: self.base,
+        }
+    }
+}
+
+/// Reusable difficulty sampler built by [`DifficultyModel::sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct DifficultySampler {
+    dist: Beta,
+    base: f64,
+}
+
+impl DifficultySampler {
+    /// Samples one object's difficulty in `[0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.base + self.dist.sample(rng)).clamp(0.0, 1.0)
     }
 }
 
@@ -309,10 +358,14 @@ impl Scene {
                 .wrapping_add(0x1234_5678);
         let mut rng = StdRng::seed_from_u64(scene_seed);
         let n = profile.count.sample(&mut rng);
+        // Per-scene invariants hoisted out of the object loop (construction
+        // consumes no RNG state, so the draws are unchanged).
+        let area_sampler = profile.area.sampler(n);
+        let difficulty_sampler = profile.difficulty.sampler();
         let mut objects = Vec::with_capacity(n);
         for k in 0..n {
             let class = profile.sample_class(&mut rng);
-            let area = profile.area.sample(&mut rng, n);
+            let area = area_sampler.sample(&mut rng);
             let aspect_base = class_aspect(class, &profile.taxonomy);
             let aspect = aspect_base * (rng.gen::<f64>() * 0.6 + 0.7); // ±30 % jitter
             let mut w = (area * aspect).sqrt();
@@ -322,7 +375,7 @@ impl Scene {
             let cx = rng.gen_range(w / 2.0..=1.0 - w / 2.0);
             let cy = rng.gen_range(h / 2.0..=1.0 - h / 2.0);
             let bbox = BBox::from_center(cx, cy, w, h).clamp_unit();
-            let difficulty = profile.difficulty.sample(&mut rng);
+            let difficulty = difficulty_sampler.sample(&mut rng);
             objects.push(SceneObject {
                 class,
                 bbox,

@@ -178,6 +178,12 @@ impl ImageDetections {
         self.dets.push(det);
     }
 
+    /// Reserves room for at least `additional` more detections (detectors
+    /// that know their rough output size avoid regrowth mid-frame).
+    pub fn reserve(&mut self, additional: usize) {
+        self.dets.reserve(additional);
+    }
+
     /// Removes every detection, keeping the allocated capacity.
     ///
     /// The `*_into` kernels ([`crate::nms_into`], [`crate::soft_nms_into`])

@@ -255,10 +255,14 @@ pub fn perclass(cfg: &ExpConfig) -> Report {
     let mut small_ev = MapEvaluator::new(20, ApProtocol::Voc07ElevenPoint);
     let mut big_ev = MapEvaluator::new(20, ApProtocol::Voc07ElevenPoint);
     let mut e2e_ev = MapEvaluator::new(20, ApProtocol::Voc07ElevenPoint);
+    // Detections are consumed per frame, so two reused buffers carry the
+    // whole scan through the detector's allocation-free `detect_into` path.
+    let mut s = detcore::ImageDetections::new();
+    let mut b = detcore::ImageDetections::new();
     for scene in run.split.test.iter() {
         let gts = scene.ground_truths();
-        let s = modelzoo::Detector::detect(&small, scene);
-        let b = modelzoo::Detector::detect(&big, scene);
+        modelzoo::Detector::detect_into(&small, scene, &mut s);
+        modelzoo::Detector::detect_into(&big, scene, &mut b);
         let final_dets = if disc.classify(&s).is_difficult() {
             &b
         } else {

@@ -139,6 +139,39 @@ impl Capability {
         (self.quality * area_term * clutter_term * difficulty_term * blur_term).clamp(0.0, 1.0)
     }
 
+    /// [`p_detect`](Self::p_detect) with its loop invariants precomputed.
+    ///
+    /// `area_floor_ln` must equal `self.area_floor.ln()` (constant per
+    /// capability) and `clutter_term` must equal
+    /// `(-clutter_lambda * max(0, n_objects - clutter_onset)).exp()`
+    /// (constant per scene). The detector's sampler cache hoists both out of
+    /// its per-object loop; every arithmetic step and its order match
+    /// `p_detect`, so for matching invariants the result is bit-identical —
+    /// `p_detect_cached_matches_p_detect` pins this.
+    #[inline]
+    pub fn p_detect_cached(
+        &self,
+        area: f64,
+        area_floor_ln: f64,
+        clutter_term: f64,
+        difficulty: f64,
+        blur: f64,
+    ) -> f64 {
+        assert!(area > 0.0, "area ratio must be positive");
+        let area_term = sigmoid((area.ln() - area_floor_ln) / self.area_slope);
+        let difficulty_term = (1.0 - self.difficulty_sens * difficulty).max(0.0);
+        let blur_term = (1.0 - self.blur_sens * blur).max(0.0);
+        (self.quality * area_term * clutter_term * difficulty_term * blur_term).clamp(0.0, 1.0)
+    }
+
+    /// The per-scene clutter survival factor `p_detect` applies to every
+    /// object of an `n_objects`-object image.
+    #[inline]
+    pub fn clutter_term(&self, n_objects: usize) -> f64 {
+        let excess = n_objects.saturating_sub(self.clutter_onset) as f64;
+        (-self.clutter_lambda * excess).exp()
+    }
+
     /// The calibrated capability of `kind` when trained/evaluated on `split`.
     ///
     /// Bigger training sets (07+12) raise quality; COCO's distribution is
@@ -329,6 +362,37 @@ mod tests {
                         for blur in [0.0, 2.0, 6.0] {
                             let p = c.p_detect(area, n, d, blur);
                             assert!((0.0..=1.0).contains(&p));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_detect_cached_matches_p_detect() {
+        for kind in ModelKind::ALL {
+            for split in [
+                SplitId::Voc07,
+                SplitId::Voc0712,
+                SplitId::Voc0712pp,
+                SplitId::Coco18,
+                SplitId::Helmet,
+            ] {
+                let c = Capability::profile(kind, split);
+                let floor_ln = c.area_floor.ln();
+                for area in [1e-4, 0.008, 0.2, 0.93] {
+                    for n in [1usize, 3, 12, 40] {
+                        let clutter = c.clutter_term(n);
+                        for d in [0.0, 0.3, 1.0] {
+                            for blur in [0.0, 1.5, 4.0] {
+                                assert_eq!(
+                                    c.p_detect(area, n, d, blur).to_bits(),
+                                    c.p_detect_cached(area, floor_ln, clutter, d, blur)
+                                        .to_bits(),
+                                    "{kind:?}/{split:?} area={area} n={n} d={d} blur={blur}"
+                                );
+                            }
                         }
                     }
                 }

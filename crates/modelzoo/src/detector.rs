@@ -27,11 +27,26 @@ use rand_distr::{Beta, Distribution, Normal};
 ///
 /// Implementors must be deterministic: the same scene yields the same output.
 pub trait Detector {
-    /// Detector name (for reports).
-    fn name(&self) -> &str;
+    /// Detector name (for reports). Names are static model labels, so no
+    /// per-call (or per-construction) allocation is involved.
+    fn name(&self) -> &'static str;
 
     /// Runs detection, returning the post-processing (post-NMS) output.
     fn detect(&self, scene: &Scene) -> ImageDetections;
+
+    /// [`detect`](Self::detect) into a caller-owned buffer: `out` is cleared
+    /// and refilled, keeping its capacity, so a caller that reuses one
+    /// buffer across frames (mirroring `detcore`'s `nms_into`) pays the
+    /// output allocation once per buffer instead of once per frame.
+    ///
+    /// The default clears `out` and copies [`detect`](Self::detect)'s result
+    /// into it — contract-honouring but still one temporary allocation per
+    /// call; implementations with a zero-allocation fast path (like
+    /// [`SimDetector`]) override it to fill `out` directly.
+    fn detect_into(&self, scene: &Scene, out: &mut ImageDetections) {
+        out.clear();
+        out.extend(self.detect(scene));
+    }
 
     /// FLOPs for one forward pass (used by the latency model).
     fn flops(&self) -> u64;
@@ -55,13 +70,16 @@ fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
-/// Inverse-CDF Poisson draw from a uniform (rates here are small; capped at 8).
-fn poisson_draw(u: f64, rate: f64) -> usize {
+/// Inverse-CDF Poisson draw from a uniform (rates here are small; capped at
+/// 8). `neg_rate_exp` must equal `(-rate).exp()`: the base is a per-rate
+/// invariant the [`SamplerCache`] computes once per detector, so repeated
+/// draws for the same rate don't re-exponentiate.
+fn poisson_draw(u: f64, rate: f64, neg_rate_exp: f64) -> usize {
     if rate <= 0.0 {
         return 0;
     }
     let mut k = 0usize;
-    let mut acc = (-rate).exp();
+    let mut acc = neg_rate_exp;
     let mut cum = acc;
     while u > cum && k < 8 {
         k += 1;
@@ -69,6 +87,51 @@ fn poisson_draw(u: f64, rate: f64) -> usize {
         cum += acc;
     }
     k
+}
+
+/// Per-detector sampling invariants, computed once at construction.
+///
+/// `SimDetector::detect` used to rebuild its `Beta`/`Normal` distributions
+/// per object and re-derive `area_floor.ln()` and the `exp(-rate)` Poisson
+/// bases per call; none of those depend on the scene. Hoisting them changes
+/// no draw — distribution construction consumes no RNG state, and every
+/// cached value is the exact expression the loop used to evaluate — so the
+/// output stays bit-identical (`detect_matches_seed_reference` pins this
+/// against a transcription of the pre-cache implementation).
+#[derive(Debug, Clone)]
+struct SamplerCache {
+    /// `mix` input component: the model's stable seed tag.
+    seed_tag: u64,
+    /// `capability.area_floor.ln()` for `p_detect_cached`.
+    area_floor_ln: f64,
+    /// `exp(-fp_rate)`: Poisson base for confident false positives.
+    fp_base: f64,
+    /// `exp(-noise_rate)`: Poisson base for spurious noise boxes.
+    noise_base: f64,
+    /// Score distribution for detected objects: `Beta(score_conc, 1.6)`.
+    hit_score: Beta,
+    /// Localisation jitter for detected objects: `Normal(0, loc_jitter)`.
+    hit_jitter: Normal,
+    /// Localisation jitter for sub-threshold boxes near missed objects:
+    /// `Normal(0, 2 · loc_jitter)`.
+    miss_jitter: Normal,
+    /// Score distribution for confident false positives: `Beta(2, 4)`.
+    fp_score: Beta,
+}
+
+impl SamplerCache {
+    fn new(kind: ModelKind, cap: &Capability) -> Self {
+        SamplerCache {
+            seed_tag: kind.seed_tag(),
+            area_floor_ln: cap.area_floor.ln(),
+            fp_base: (-cap.fp_rate).exp(),
+            noise_base: (-cap.noise_rate).exp(),
+            hit_score: Beta::new(cap.score_conc, 1.6).expect("valid beta"),
+            hit_jitter: Normal::new(0.0, cap.loc_jitter).expect("valid normal"),
+            miss_jitter: Normal::new(0.0, cap.loc_jitter * 2.0).expect("valid normal"),
+            fp_score: Beta::new(2.0, 4.0).expect("valid beta"),
+        }
+    }
 }
 
 /// A simulated, deterministic object detector.
@@ -92,7 +155,7 @@ pub struct SimDetector {
     num_classes: usize,
     flops: u64,
     size_bytes: u64,
-    name: String,
+    cache: SamplerCache,
 }
 
 impl SimDetector {
@@ -115,11 +178,11 @@ impl SimDetector {
         let net = kind.network(num_classes);
         SimDetector {
             kind,
-            capability,
             num_classes,
             flops: net.total_flops(),
             size_bytes: net.total_params() * 4,
-            name: kind.label().to_string(),
+            cache: SamplerCache::new(kind, &capability),
+            capability,
         }
     }
 
@@ -147,26 +210,50 @@ impl SimDetector {
 }
 
 impl Detector for SimDetector {
-    fn name(&self) -> &str {
-        &self.name
+    fn name(&self) -> &'static str {
+        self.kind.label()
     }
 
+    /// Thin wrapper over [`detect_into`](Detector::detect_into) (mirroring
+    /// `detcore`'s `nms` over `nms_into`): allocates one fresh output and
+    /// fills it through the zero-allocation fast path.
     fn detect(&self, scene: &Scene) -> ImageDetections {
+        let mut out = ImageDetections::new();
+        self.detect_into(scene, &mut out);
+        out
+    }
+
+    /// The hot path: every per-detector invariant (distributions, log/exp
+    /// bases, seed tag) comes from the [`SamplerCache`], the per-scene
+    /// clutter factor is computed once ahead of the object loop, and the
+    /// output buffer is caller-owned — after warmup a `detect_into` call
+    /// performs no allocation at all. Draw sequence and arithmetic are
+    /// bit-identical to the pre-cache implementation (kept below as the
+    /// `seed_reference` test oracle).
+    fn detect_into(&self, scene: &Scene, out: &mut ImageDetections) {
         let cap = &self.capability;
-        let mut rng = StdRng::seed_from_u64(mix(scene.seed ^ self.kind.seed_tag()));
+        let cache = &self.cache;
+        let mut rng = StdRng::seed_from_u64(mix(scene.seed ^ cache.seed_tag));
         // One box per object plus a few false positives is the typical
         // output size; reserving it keeps the hot loop reallocation-free.
-        let mut out = ImageDetections::with_capacity(scene.num_objects() + 4);
+        out.clear();
         let n = scene.num_objects();
+        out.reserve(n + 4);
+        let clutter_term = cap.clutter_term(n);
 
         for (i, obj) in scene.objects.iter().enumerate() {
-            let p = cap.p_detect(obj.area_ratio(), n, obj.difficulty, scene.camera_blur);
+            let p = cap.p_detect_cached(
+                obj.area_ratio(),
+                cache.area_floor_ln,
+                clutter_term,
+                obj.difficulty,
+                scene.camera_blur,
+            );
             let u = Self::object_draw(scene, i);
             if u < p {
                 // Detected: high score, well-localised box, usually right class.
-                let beta = Beta::new(cap.score_conc, 1.6).expect("valid beta");
-                let score = 0.5 + 0.5 * beta.sample(&mut rng);
-                let jitter = Normal::new(0.0, cap.loc_jitter).expect("valid normal");
+                let score = 0.5 + 0.5 * cache.hit_score.sample(&mut rng);
+                let jitter = &cache.hit_jitter;
                 let w = obj.bbox.width();
                 let h = obj.bbox.height();
                 let bbox = BBox::from_corners(
@@ -195,7 +282,7 @@ impl Detector for SimDetector {
                 };
                 if rng.gen::<f64>() < emit_prob {
                     let score = rng.gen_range(0.16..0.48);
-                    let jitter = Normal::new(0.0, cap.loc_jitter * 2.0).expect("valid normal");
+                    let jitter = &cache.miss_jitter;
                     let w = obj.bbox.width();
                     let h = obj.bbox.height();
                     let bbox = BBox::from_corners(
@@ -219,10 +306,9 @@ impl Detector for SimDetector {
         // labels (count differences) reflect real detection gaps, not
         // independent FP noise.
         let fp_draw = unit(mix(scene.seed ^ 0xfa15_e905));
-        let n_fps = poisson_draw(fp_draw, cap.fp_rate);
+        let n_fps = poisson_draw(fp_draw, cap.fp_rate, cache.fp_base);
         for _ in 0..n_fps {
-            let beta = Beta::new(2.0, 4.0).expect("valid beta");
-            let score = 0.5 + 0.45 * beta.sample(&mut rng);
+            let score = 0.5 + 0.45 * cache.fp_score.sample(&mut rng);
             // Anchor near a real object when one exists (duplicate-style FP),
             // otherwise free-floating.
             let bbox = if !scene.objects.is_empty() && rng.gen::<f64>() < 0.7 {
@@ -253,7 +339,7 @@ impl Detector for SimDetector {
         }
 
         // Spurious noise boxes: low scores, random class and geometry.
-        let noise_boxes = poisson_draw(rng.gen(), cap.noise_rate);
+        let noise_boxes = poisson_draw(rng.gen(), cap.noise_rate, cache.noise_base);
         for _ in 0..noise_boxes {
             let score = 0.02 + 0.33 * rng.gen::<f64>().powf(1.5);
             let cx = rng.gen_range(0.1..0.9);
@@ -264,7 +350,6 @@ impl Detector for SimDetector {
             let class = ClassId(rng.gen_range(0..self.num_classes) as u16);
             out.push(Detection::new(class, score, bbox));
         }
-        out
     }
 
     fn flops(&self) -> u64 {
@@ -276,11 +361,137 @@ impl Detector for SimDetector {
     }
 }
 
+/// Transcription of the pre-cache (seed) `SimDetector::detect`, kept as the
+/// bit-identity oracle for the sampler-cache fast path: per-object
+/// `Beta::new`/`Normal::new` constructions, per-call `p_detect`, and a
+/// `poisson_draw` that re-exponentiates its rate every call.
+#[cfg(test)]
+mod seed_reference {
+    use super::*;
+
+    fn poisson_draw(u: f64, rate: f64) -> usize {
+        if rate <= 0.0 {
+            return 0;
+        }
+        let mut k = 0usize;
+        let mut acc = (-rate).exp();
+        let mut cum = acc;
+        while u > cum && k < 8 {
+            k += 1;
+            acc *= rate / k as f64;
+            cum += acc;
+        }
+        k
+    }
+
+    pub fn detect(det: &SimDetector, scene: &Scene) -> ImageDetections {
+        let cap = &det.capability;
+        let mut rng = StdRng::seed_from_u64(mix(scene.seed ^ det.kind.seed_tag()));
+        let mut out = ImageDetections::with_capacity(scene.num_objects() + 4);
+        let n = scene.num_objects();
+
+        for (i, obj) in scene.objects.iter().enumerate() {
+            let p = cap.p_detect(obj.area_ratio(), n, obj.difficulty, scene.camera_blur);
+            let u = SimDetector::object_draw(scene, i);
+            if u < p {
+                let beta = Beta::new(cap.score_conc, 1.6).expect("valid beta");
+                let score = 0.5 + 0.5 * beta.sample(&mut rng);
+                let jitter = Normal::new(0.0, cap.loc_jitter).expect("valid normal");
+                let w = obj.bbox.width();
+                let h = obj.bbox.height();
+                let bbox = BBox::from_corners(
+                    obj.bbox.x_min() + jitter.sample(&mut rng) * w,
+                    obj.bbox.y_min() + jitter.sample(&mut rng) * h,
+                    obj.bbox.x_max() + jitter.sample(&mut rng) * w,
+                    obj.bbox.y_max() + jitter.sample(&mut rng) * h,
+                )
+                .clamp_unit();
+                let class = if rng.gen::<f64>() < cap.misclass_prob {
+                    ClassId(rng.gen_range(0..det.num_classes) as u16)
+                } else {
+                    obj.class
+                };
+                if !bbox.is_empty() {
+                    out.push(Detection::new(class, score.min(0.9999), bbox));
+                }
+            } else {
+                let emit_prob = if p > 0.02 {
+                    cap.sub_box_prob
+                } else {
+                    cap.sub_box_prob * 0.3
+                };
+                if rng.gen::<f64>() < emit_prob {
+                    let score = rng.gen_range(0.16..0.48);
+                    let jitter = Normal::new(0.0, cap.loc_jitter * 2.0).expect("valid normal");
+                    let w = obj.bbox.width();
+                    let h = obj.bbox.height();
+                    let bbox = BBox::from_corners(
+                        obj.bbox.x_min() + jitter.sample(&mut rng) * w,
+                        obj.bbox.y_min() + jitter.sample(&mut rng) * h,
+                        obj.bbox.x_max() + jitter.sample(&mut rng) * w,
+                        obj.bbox.y_max() + jitter.sample(&mut rng) * h,
+                    )
+                    .clamp_unit();
+                    if !bbox.is_empty() {
+                        out.push(Detection::new(obj.class, score, bbox));
+                    }
+                }
+            }
+        }
+
+        let fp_draw = unit(mix(scene.seed ^ 0xfa15_e905));
+        let n_fps = poisson_draw(fp_draw, cap.fp_rate);
+        for _ in 0..n_fps {
+            let beta = Beta::new(2.0, 4.0).expect("valid beta");
+            let score = 0.5 + 0.45 * beta.sample(&mut rng);
+            let bbox = if !scene.objects.is_empty() && rng.gen::<f64>() < 0.7 {
+                let obj = &scene.objects[rng.gen_range(0..scene.objects.len())];
+                let (cx, cy) = obj.bbox.center();
+                let w = obj.bbox.width() * rng.gen_range(0.5..1.6);
+                let h = obj.bbox.height() * rng.gen_range(0.5..1.6);
+                BBox::from_center(
+                    cx + rng.gen_range(-0.5..0.5) * w,
+                    cy + rng.gen_range(-0.5..0.5) * h,
+                    w,
+                    h,
+                )
+                .clamp_unit()
+            } else {
+                BBox::from_center(
+                    rng.gen_range(0.15..0.85),
+                    rng.gen_range(0.15..0.85),
+                    rng.gen_range(0.05..0.4),
+                    rng.gen_range(0.05..0.4),
+                )
+                .clamp_unit()
+            };
+            let class = ClassId(rng.gen_range(0..det.num_classes) as u16);
+            if !bbox.is_empty() {
+                out.push(Detection::new(class, score, bbox));
+            }
+        }
+
+        let noise_boxes = poisson_draw(rng.gen(), cap.noise_rate);
+        for _ in 0..noise_boxes {
+            let score = 0.02 + 0.33 * rng.gen::<f64>().powf(1.5);
+            let cx = rng.gen_range(0.1..0.9);
+            let cy = rng.gen_range(0.1..0.9);
+            let w = rng.gen_range(0.03..0.35);
+            let h = rng.gen_range(0.03..0.35);
+            let bbox = BBox::from_center(cx, cy, w, h).clamp_unit();
+            let class = ClassId(rng.gen_range(0..det.num_classes) as u16);
+            out.push(Detection::new(class, score, bbox));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use datagen::DatasetProfile;
     use detcore::{count_detected, CountingConfig};
+    use proptest::prelude::*;
 
     fn scenes(n: u64) -> Vec<Scene> {
         let p = DatasetProfile::voc();
@@ -375,5 +586,95 @@ mod tests {
         let a = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20).detect(s);
         let b = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Voc07, 20).detect(s);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn detect_into_reuses_capacity() {
+        let det = SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20);
+        let all = scenes(20);
+        let mut out = ImageDetections::new();
+        // Warm the buffer to the workload's high-water mark…
+        for s in &all {
+            det.detect_into(s, &mut out);
+        }
+        let ptr = out.as_slice().as_ptr();
+        // …after which refills reuse the same backing buffer.
+        for s in &all {
+            det.detect_into(s, &mut out);
+            assert_eq!(out.as_slice().as_ptr(), ptr, "refill must not reallocate");
+        }
+    }
+
+    #[test]
+    fn default_detect_into_clears_and_keeps_capacity() {
+        // A Detector that does NOT override detect_into gets the
+        // contract-honouring default: clear + refill, capacity kept.
+        struct Wrapper(SimDetector);
+        impl Detector for Wrapper {
+            fn name(&self) -> &'static str {
+                "wrapper"
+            }
+            fn detect(&self, scene: &Scene) -> ImageDetections {
+                self.0.detect(scene)
+            }
+            fn flops(&self) -> u64 {
+                self.0.flops()
+            }
+            fn model_size_bytes(&self) -> u64 {
+                self.0.model_size_bytes()
+            }
+        }
+        let det = Wrapper(SimDetector::new(ModelKind::SsdVgg16, SplitId::Voc07, 20));
+        let all = scenes(10);
+        let mut out = ImageDetections::new();
+        for s in &all {
+            det.detect_into(s, &mut out);
+        }
+        let ptr = out.as_slice().as_ptr();
+        for s in &all {
+            det.detect_into(s, &mut out);
+            assert_eq!(out, det.detect(s), "default must clear before refilling");
+            assert_eq!(out.as_slice().as_ptr(), ptr, "warm buffer must be reused");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The sampler-cache fast path (`detect_into`) and its `detect`
+        /// wrapper are bit-identical to the transcribed seed implementation
+        /// across every `ModelKind` × `SplitId` capability profile.
+        #[test]
+        fn detect_matches_seed_reference(
+            kind_idx in 0usize..6,
+            split in prop::sample::select(vec![
+                SplitId::Voc07,
+                SplitId::Voc0712,
+                SplitId::Voc0712pp,
+                SplitId::Coco18,
+                SplitId::Helmet,
+            ]),
+            profile_idx in 0usize..3,
+            seed in 0u64..1_000,
+            id in 0u64..1_000,
+        ) {
+            let kind = ModelKind::ALL[kind_idx];
+            let profile = match profile_idx {
+                0 => DatasetProfile::voc(),
+                1 => DatasetProfile::coco18(),
+                _ => DatasetProfile::helmet(),
+            };
+            let num_classes = profile.taxonomy.len();
+            let det = SimDetector::new(kind, split, num_classes);
+            let scene = Scene::sample(&profile, seed, id);
+
+            let reference = seed_reference::detect(&det, &scene);
+            prop_assert_eq!(&det.detect(&scene), &reference);
+
+            // A dirty reused buffer produces the same output.
+            let mut reused = det.detect(&Scene::sample(&profile, seed ^ 0xabcd, id));
+            det.detect_into(&scene, &mut reused);
+            prop_assert_eq!(&reused, &reference);
+        }
     }
 }

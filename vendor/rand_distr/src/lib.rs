@@ -81,8 +81,8 @@ impl Distribution<f64> for LogNormal {
 /// Beta(α, β) distribution on `(0, 1)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Beta {
-    alpha: f64,
-    beta: f64,
+    alpha: GammaParams,
+    beta: GammaParams,
 }
 
 impl Beta {
@@ -91,36 +91,77 @@ impl Beta {
         if !(alpha > 0.0 && alpha.is_finite() && beta > 0.0 && beta.is_finite()) {
             return Err(ParamError("beta shapes must be positive and finite"));
         }
-        Ok(Beta { alpha, beta })
+        Ok(Beta {
+            alpha: GammaParams::new(alpha),
+            beta: GammaParams::new(beta),
+        })
     }
 }
 
-/// Gamma(shape, 1) via Marsaglia–Tsang, with the α < 1 boost.
-fn gamma_draw<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
-    if shape < 1.0 {
-        // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        return gamma_draw(shape + 1.0, rng) * u.powf(1.0 / shape);
-    }
-    let d = shape - 1.0 / 3.0;
-    let c = 1.0 / (9.0 * d).sqrt();
-    loop {
-        let x = standard_normal(rng);
-        let v = (1.0 + c * x).powi(3);
-        if v <= 0.0 {
-            continue;
+/// Precomputed Marsaglia–Tsang constants for one Gamma(shape, 1) sampler.
+///
+/// `d`, `c` and the boost exponent depend only on the shape, so a
+/// distribution constructed once and sampled many times (the detector fast
+/// path) pays the `sqrt`/division once instead of per draw. The draw
+/// sequence and every produced bit are identical to recomputing them per
+/// call: the fields hold exactly the values the per-call expressions
+/// produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GammaParams {
+    /// `1/shape` when `shape < 1` (the boost exponent), else `None`.
+    boost: Option<f64>,
+    /// `eff_shape - 1/3`, where `eff_shape` is `shape + 1` under the boost.
+    d: f64,
+    /// `1 / sqrt(9 d)`.
+    c: f64,
+}
+
+impl GammaParams {
+    fn new(shape: f64) -> Self {
+        let (boost, eff_shape) = if shape < 1.0 {
+            (Some(1.0 / shape), shape + 1.0)
+        } else {
+            (None, shape)
+        };
+        let d = eff_shape - 1.0 / 3.0;
+        GammaParams {
+            boost,
+            d,
+            c: 1.0 / (9.0 * d).sqrt(),
         }
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
-            return d * v;
+    }
+
+    /// Gamma(shape, 1) via Marsaglia–Tsang, with the α < 1 boost.
+    fn draw<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if let Some(inv_shape) = self.boost {
+            // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a). The uniform is drawn
+            // first, exactly like the pre-cache recursive implementation.
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            return self.draw_core(rng) * u.powf(inv_shape);
+        }
+        self.draw_core(rng)
+    }
+
+    fn draw_core<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let (d, c) = (self.d, self.c);
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v;
+            }
         }
     }
 }
 
 impl Distribution<f64> for Beta {
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
-        let x = gamma_draw(self.alpha, rng);
-        let y = gamma_draw(self.beta, rng);
+        let x = self.alpha.draw(rng);
+        let y = self.beta.draw(rng);
         x / (x + y)
     }
 }
@@ -129,6 +170,11 @@ impl Distribution<f64> for Beta {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Poisson {
     lambda: f64,
+    /// Knuth's limit `exp(-λ)`, hoisted out of `sample` (bit-identical: the
+    /// constructor evaluates the very expression `sample` used to).
+    neg_lambda_exp: f64,
+    /// `sqrt(λ)` for the large-λ normal approximation.
+    sqrt_lambda: f64,
 }
 
 impl Poisson {
@@ -137,7 +183,11 @@ impl Poisson {
         if !(lambda > 0.0 && lambda.is_finite()) {
             return Err(ParamError("lambda must be positive and finite"));
         }
-        Ok(Poisson { lambda })
+        Ok(Poisson {
+            lambda,
+            neg_lambda_exp: (-lambda).exp(),
+            sqrt_lambda: lambda.sqrt(),
+        })
     }
 }
 
@@ -145,7 +195,7 @@ impl Distribution<f64> for Poisson {
     fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         if self.lambda < 30.0 {
             // Knuth's product-of-uniforms method.
-            let limit = (-self.lambda).exp();
+            let limit = self.neg_lambda_exp;
             let mut product: f64 = rng.gen();
             let mut count = 0u64;
             while product > limit {
@@ -155,7 +205,7 @@ impl Distribution<f64> for Poisson {
             count as f64
         } else {
             // Normal approximation with continuity correction for large λ.
-            let draw = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            let draw = self.lambda + self.sqrt_lambda * standard_normal(rng);
             draw.round().max(0.0)
         }
     }

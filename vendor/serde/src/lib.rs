@@ -106,10 +106,223 @@ impl fmt::Display for DeError {
 
 impl std::error::Error for DeError {}
 
+/// Error produced when rendering a value as JSON text (today: only
+/// non-finite floats, which RFC 8259 cannot represent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerError {
+    msg: String,
+}
+
+impl SerError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        SerError {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+/// Streaming compact-JSON sink for [`Serialize::write_json`].
+///
+/// Appends JSON text directly to a caller-owned `String`, so serializing a
+/// value builds **no intermediate [`Value`] tree** — no `BTreeMap` nodes, no
+/// key clones, no per-number `to_string` allocations. Separator discipline
+/// is the caller's: composite writers emit their own `,` between items
+/// (generated derive code knows each field's position statically).
+///
+/// Upstream serde separates the data model from the text format; this shim
+/// exists solely to feed the vendored `serde_json`, so the writer lives here
+/// where both the derive output and the manual `Serialize` impls can reach
+/// it. `serde_json` keeps its original tree serializer as the equivalence
+/// oracle: every override of [`Serialize::write_json`] must produce exactly
+/// the bytes the [`Value`]-tree path produces (object keys in the
+/// `BTreeMap`'s sorted order included), and proptest suites in `serde_json`
+/// hold the two byte-for-byte equal.
+pub struct JsonWriter<'a> {
+    out: &'a mut String,
+}
+
+impl<'a> JsonWriter<'a> {
+    /// Creates a writer appending to `out` (the buffer is not cleared).
+    pub fn new(out: &'a mut String) -> Self {
+        JsonWriter { out }
+    }
+
+    /// Writes `null`.
+    pub fn write_null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    /// Writes `true` or `false`.
+    pub fn write_bool(&mut self, b: bool) {
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// Writes an unsigned integer (stack-buffer formatter, no allocation).
+    pub fn write_u64(&mut self, mut n: u64) {
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (n % 10) as u8;
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        self.out
+            .push_str(std::str::from_utf8(&buf[i..]).expect("digits are ASCII"));
+    }
+
+    /// Writes a signed integer (identical text to `n.to_string()`).
+    pub fn write_i64(&mut self, n: i64) {
+        if n < 0 {
+            self.out.push('-');
+        }
+        self.write_u64(n.unsigned_abs());
+    }
+
+    /// Writes a finite float in Rust's shortest round-trip form, straight
+    /// into the output buffer (no intermediate `String`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-finite values, which JSON cannot represent.
+    pub fn write_f64(&mut self, x: f64) -> Result<(), SerError> {
+        if !x.is_finite() {
+            return Err(SerError::custom("JSON cannot represent non-finite numbers"));
+        }
+        use fmt::Write;
+        write!(self.out, "{x}").expect("writing to a String never fails");
+        Ok(())
+    }
+
+    /// Writes a string literal with RFC 8259 escaping.
+    pub fn write_str(&mut self, s: &str) {
+        let out = &mut *self.out;
+        out.push('"');
+        let bytes = s.as_bytes();
+        let mut start = 0usize;
+        for (i, &b) in bytes.iter().enumerate() {
+            // Escapes only ever trigger on ASCII bytes, so the slices below
+            // always cut at char boundaries; multi-byte UTF-8 passes through.
+            let named: &str = match b {
+                b'"' => "\\\"",
+                b'\\' => "\\\\",
+                b'\n' => "\\n",
+                b'\r' => "\\r",
+                b'\t' => "\\t",
+                b if b < 0x20 => "",
+                _ => continue,
+            };
+            out.push_str(&s[start..i]);
+            if named.is_empty() {
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.push_str("\\u00");
+                out.push(HEX[(b >> 4) as usize] as char);
+                out.push(HEX[(b & 0xf) as usize] as char);
+            } else {
+                out.push_str(named);
+            }
+            start = i + 1;
+        }
+        out.push_str(&s[start..]);
+        out.push('"');
+    }
+
+    /// Opens an object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+    }
+
+    /// Closes an object.
+    pub fn end_object(&mut self) {
+        self.out.push('}');
+    }
+
+    /// Opens an array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+    }
+
+    /// Closes an array.
+    pub fn end_array(&mut self) {
+        self.out.push(']');
+    }
+
+    /// Writes the `,` separator between items.
+    pub fn comma(&mut self) {
+        self.out.push(',');
+    }
+
+    /// Writes an escaped object key followed by `:`.
+    pub fn key(&mut self, k: &str) {
+        self.write_str(k);
+        self.out.push(':');
+    }
+
+    /// Streams a [`Value`] tree (compact). This is the default
+    /// [`Serialize::write_json`] path for types without a direct override.
+    pub fn write_value(&mut self, v: &Value) -> Result<(), SerError> {
+        match v {
+            Value::Null => self.write_null(),
+            Value::Bool(b) => self.write_bool(*b),
+            Value::U64(n) => self.write_u64(*n),
+            Value::I64(n) => self.write_i64(*n),
+            Value::F64(x) => self.write_f64(*x)?,
+            Value::String(s) => self.write_str(s),
+            Value::Array(items) => {
+                self.begin_array();
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.comma();
+                    }
+                    self.write_value(item)?;
+                }
+                self.end_array();
+            }
+            Value::Object(map) => {
+                self.begin_object();
+                for (i, (k, item)) in map.iter().enumerate() {
+                    if i > 0 {
+                        self.comma();
+                    }
+                    self.key(k);
+                    self.write_value(item)?;
+                }
+                self.end_object();
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Types renderable into the [`Value`] data model.
 pub trait Serialize {
     /// Renders `self` as a [`Value`] tree.
     fn to_value(&self) -> Value;
+
+    /// Streams `self` as compact JSON text into `w` without building a
+    /// [`Value`] tree.
+    ///
+    /// The default renders through [`to_value`](Self::to_value); primitives,
+    /// std containers and the derive macro override it with direct streaming
+    /// code. Every override must emit **exactly** the bytes the default
+    /// emits — same escaping, same number text, object keys in sorted
+    /// (`BTreeMap`) order — so the two paths stay interchangeable; the
+    /// vendored `serde_json` pins them byte-for-byte against its original
+    /// tree serializer.
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        w.write_value(&self.to_value())
+    }
 }
 
 /// Types rebuildable from the [`Value`] data model.
@@ -134,6 +347,10 @@ macro_rules! impl_serde_uint {
             fn to_value(&self) -> Value {
                 Value::U64(*self as u64)
             }
+            fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+                w.write_u64(*self as u64);
+                Ok(())
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, DeError> {
@@ -157,6 +374,11 @@ macro_rules! impl_serde_int {
                 let n = *self as i64;
                 if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
             }
+            fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+                // Same text whether the tree path routed through U64 or I64.
+                w.write_i64(*self as i64);
+                Ok(())
+            }
         }
         impl Deserialize for $t {
             fn from_value(v: &Value) -> Result<Self, DeError> {
@@ -178,6 +400,9 @@ impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)
     }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        w.write_f64(*self)
+    }
 }
 
 impl Deserialize for f64 {
@@ -195,6 +420,9 @@ impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::F64(*self as f64)
     }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        w.write_f64(*self as f64)
+    }
 }
 
 impl Deserialize for f32 {
@@ -206,6 +434,10 @@ impl Deserialize for f32 {
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
+    }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        w.write_bool(*self);
+        Ok(())
     }
 }
 
@@ -222,6 +454,10 @@ impl Serialize for String {
     fn to_value(&self) -> Value {
         Value::String(self.clone())
     }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        w.write_str(self);
+        Ok(())
+    }
 }
 
 impl Deserialize for String {
@@ -237,17 +473,42 @@ impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::String(self.to_string())
     }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        w.write_str(self);
+        Ok(())
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
     }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        (**self).write_json(w)
+    }
+}
+
+fn write_json_seq<'t, T: Serialize + 't>(
+    items: impl Iterator<Item = &'t T>,
+    w: &mut JsonWriter<'_>,
+) -> Result<(), SerError> {
+    w.begin_array();
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            w.comma();
+        }
+        item.write_json(w)?;
+    }
+    w.end_array();
+    Ok(())
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        write_json_seq(self.iter(), w)
     }
 }
 
@@ -264,11 +525,17 @@ impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        write_json_seq(self.iter(), w)
+    }
 }
 
 impl<T: Serialize, const N: usize> Serialize for [T; N] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        write_json_seq(self.iter(), w)
     }
 }
 
@@ -288,6 +555,15 @@ impl<T: Serialize> Serialize for Option<T> {
             None => Value::Null,
         }
     }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        match self {
+            Some(x) => x.write_json(w),
+            None => {
+                w.write_null();
+                Ok(())
+            }
+        }
+    }
 }
 
 impl<T: Deserialize> Deserialize for Option<T> {
@@ -304,6 +580,17 @@ macro_rules! impl_serde_tuple {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_value(&self) -> Value {
                 Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+            fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+                w.begin_array();
+                $(
+                    if $idx > 0 {
+                        w.comma();
+                    }
+                    self.$idx.write_json(w)?;
+                )+
+                w.end_array();
+                Ok(())
             }
         }
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
@@ -329,6 +616,10 @@ impl_serde_tuple! {
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
 }
 
+// Deliberately no `write_json` override: `Value::Object` re-sorts the
+// stringified keys (`BTreeMap<u32, _>` keys 2 and 10 order as "10" < "2"),
+// so streaming in `K`-order could diverge from the tree path. Maps are not
+// on the wire hot path; the default keeps the byte-identity guarantee.
 impl<K: Serialize + fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
         Value::Object(
@@ -342,6 +633,9 @@ impl<K: Serialize + fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+    fn write_json(&self, w: &mut JsonWriter<'_>) -> Result<(), SerError> {
+        w.write_value(self)
     }
 }
 

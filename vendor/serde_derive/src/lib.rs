@@ -277,6 +277,7 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
 
 fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
+    let stream_body = gen_write_json(item);
     let body = match &item.body {
         Body::Struct(fields) => {
             let mut s = String::from("let mut map = ::std::collections::BTreeMap::new();\n");
@@ -347,8 +348,93 @@ fn gen_serialize(item: &Item) -> String {
     };
     format!(
         "impl ::serde::Serialize for {name} {{\n\
-         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         fn write_json(&self, w: &mut ::serde::JsonWriter<'_>) \
+         -> ::std::result::Result<(), ::serde::SerError> {{\n{stream_body}\n}}\n}}\n"
     )
+}
+
+/// Streaming `write_json` codegen: emits JSON text directly, with **fields
+/// in sorted name order** so the bytes match `to_value`'s `BTreeMap`-backed
+/// object exactly (the shim's byte-identity contract).
+fn gen_write_json(item: &Item) -> String {
+    let name = &item.name;
+
+    // `{"a":…,"b":…}` over borrowed field expressions, sorted by name.
+    fn object_fields(fields: &[String], access: impl Fn(&str) -> String) -> String {
+        let mut sorted: Vec<&String> = fields.iter().collect();
+        sorted.sort();
+        let mut s = String::from("w.begin_object();\n");
+        for (i, f) in sorted.iter().enumerate() {
+            if i > 0 {
+                s.push_str("w.comma();\n");
+            }
+            s.push_str(&format!(
+                "w.key({f:?});\n::serde::Serialize::write_json({}, w)?;\n",
+                access(f)
+            ));
+        }
+        s.push_str("w.end_object();\n");
+        s
+    }
+
+    fn array_items(exprs: &[String]) -> String {
+        let mut s = String::from("w.begin_array();\n");
+        for (i, e) in exprs.iter().enumerate() {
+            if i > 0 {
+                s.push_str("w.comma();\n");
+            }
+            s.push_str(&format!("::serde::Serialize::write_json({e}, w)?;\n"));
+        }
+        s.push_str("w.end_array();\n");
+        s
+    }
+
+    let body = match &item.body {
+        Body::Struct(fields) => object_fields(fields, |f| format!("&self.{f}")),
+        Body::Tuple(1) => "::serde::Serialize::write_json(&self.0, w)?;\n".to_string(),
+        Body::Tuple(n) => {
+            let exprs: Vec<String> = (0..*n).map(|i| format!("&self.{i}")).collect();
+            array_items(&exprs)
+        }
+        Body::Unit => "w.write_null();\n".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {{ w.write_str({vname:?}); }}\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::write_json(f0, w)?;\n".to_string()
+                        } else {
+                            array_items(&binders)
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             w.begin_object();\nw.key({vname:?});\n{inner}\
+                             w.end_object();\n}}\n",
+                            binds = binders.join(", "),
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let inner = object_fields(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             w.begin_object();\nw.key({vname:?});\n{inner}\
+                             w.end_object();\n}}\n",
+                            binds = fields.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!("{body}::std::result::Result::Ok(())")
 }
 
 fn gen_deserialize(item: &Item) -> String {

@@ -4,10 +4,19 @@
 //! Integers are emitted and parsed as exact `u64`/`i64` (never routed
 //! through `f64`), so 64-bit seeds survive a wire round-trip bit-for-bit.
 //! Floats are written in Rust's shortest round-trip form.
+//!
+//! **Serialization streams.** [`to_string`]/[`to_string_into`]/[`to_vec`]
+//! render through [`serde::Serialize::write_json`], which appends JSON text
+//! directly to the output buffer — no intermediate [`Value`] tree, no
+//! `BTreeMap` nodes or key clones, and numbers go through a non-allocating
+//! formatter instead of one `to_string` per number. The original
+//! serialize-via-`Value` implementation stays in this crate: it still backs
+//! [`to_string_pretty`] and, under `#[cfg(test)]`, serves as the oracle the
+//! proptest suite pins the streaming output against byte-for-byte.
 
 #![forbid(unsafe_code)]
 
-use serde::{de::DeserializeOwned, Serialize, Value};
+use serde::{de::DeserializeOwned, JsonWriter, Serialize, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -39,35 +48,56 @@ impl From<serde::DeError> for Error {
     }
 }
 
+impl From<serde::SerError> for Error {
+    fn from(e: serde::SerError) -> Self {
+        Error::new(e)
+    }
+}
+
 // ---- serialization ----
 
-/// Serializes a value to a JSON string.
+/// Serializes a value to a JSON string (streaming — no `Value` tree).
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0)?;
+    value.write_json(&mut JsonWriter::new(&mut out))?;
     Ok(out)
 }
 
 /// Serializes a value to an indented JSON string.
+///
+/// Pretty output is for humans (persisted calibrations, bench reports), not
+/// the wire hot path, so it still renders through the [`Value`] tree.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0)?;
     Ok(out)
 }
 
-/// Serializes a value to JSON bytes.
+/// Serializes a value to JSON bytes (streaming — no `Value` tree).
 pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
     to_string(value).map(String::into_bytes)
 }
 
-/// Serializes a value into a reusable `String` buffer.
+/// Serializes a value into a reusable `String` buffer (streaming — no
+/// `Value` tree).
 ///
 /// The buffer is cleared first; its capacity is kept, so a caller encoding
 /// many messages through one buffer amortises the output allocation
-/// (upstream's `to_writer` serves this role).
+/// (upstream's `to_writer` serves this role). `wire::encode_frame_into` and
+/// the per-session encode buffers ride this path.
 pub fn to_string_into<T: Serialize + ?Sized>(out: &mut String, value: &T) -> Result<(), Error> {
     out.clear();
-    write_value(out, &value.to_value(), None, 0)
+    value.write_json(&mut JsonWriter::new(out))?;
+    Ok(())
+}
+
+/// The original serialize-via-[`Value`]-tree `to_string`, kept as the
+/// byte-identity oracle for the streaming path.
+#[cfg(test)]
+fn to_string_via_value<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
 }
 
 fn write_value(
@@ -447,5 +477,273 @@ mod tests {
         let pretty = to_string_pretty(&v).unwrap();
         assert!(pretty.contains('\n'));
         assert_eq!(from_str::<Vec<Vec<u32>>>(&pretty).unwrap(), v);
+    }
+}
+
+/// Byte-identity suite: the streaming serializer against the original
+/// serialize-via-`Value` implementation ([`to_string_via_value`]), which
+/// stays in this crate as the oracle.
+#[cfg(test)]
+mod stream_equivalence_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn assert_stream_matches_oracle<T: Serialize + ?Sized + std::fmt::Debug>(value: &T) {
+        let stream = to_string(value);
+        let oracle = to_string_via_value(value);
+        match (stream, oracle) {
+            (Ok(s), Ok(o)) => assert_eq!(s, o, "streaming vs Value-tree for {value:?}"),
+            (Err(_), Err(_)) => {}
+            (s, o) => panic!("paths disagree on fallibility for {value:?}: {s:?} vs {o:?}"),
+        }
+    }
+
+    /// Random string mixing plain ASCII, every escape class, control
+    /// characters and multi-byte UTF-8.
+    fn arb_string(rng: &mut StdRng) -> String {
+        const POOL: &[&str] = &[
+            "a", "Z", "0", " ", "\"", "\\", "\n", "\r", "\t", "\u{1}", "\u{b}", "\u{1f}", "/", "é",
+            "日", "🦀", "\u{7f}", "-", "{", "}", "[", "]", ":", ",",
+        ];
+        let len = rng.gen_range(0..12);
+        (0..len)
+            .map(|_| POOL[rng.gen_range(0..POOL.len())])
+            .collect()
+    }
+
+    fn arb_f64(rng: &mut StdRng) -> f64 {
+        match rng.gen_range(0..8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::MIN_POSITIVE,
+            3 => f64::MAX,
+            4 => -1.0 / 3.0,
+            5 => 2.5e-18,
+            6 => rng.gen::<f64>() * 1e6 - 5e5,
+            _ => rng.gen::<f64>(),
+        }
+    }
+
+    /// Recursive random `Value`, biased toward the tricky spots: integer
+    /// extremes, float edge cases, escape-heavy strings, empty and nested
+    /// containers.
+    fn arb_value(rng: &mut StdRng, depth: usize) -> Value {
+        let pick = if depth == 0 {
+            rng.gen_range(0..6) // leaves only
+        } else {
+            rng.gen_range(0..8)
+        };
+        match pick {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen()),
+            2 => Value::U64(match rng.gen_range(0..3) {
+                0 => u64::MAX,
+                1 => rng.gen_range(0..100),
+                _ => rng.gen(),
+            }),
+            3 => Value::I64(match rng.gen_range(0..3) {
+                0 => i64::MIN,
+                1 => -(rng.gen_range(1..100i64)),
+                _ => -(rng.gen::<i64>().unsigned_abs().max(1) as i64).saturating_abs(),
+            }),
+            4 => Value::F64(arb_f64(rng)),
+            5 => Value::String(arb_string(rng)),
+            6 => {
+                let n = rng.gen_range(0..5);
+                Value::Array((0..n).map(|_| arb_value(rng, depth - 1)).collect())
+            }
+            _ => {
+                let n = rng.gen_range(0..5);
+                Value::Object(
+                    (0..n)
+                        .map(|_| (arb_string(rng), arb_value(rng, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Arbitrary `Value` trees serialize to exactly the oracle's bytes,
+        /// and the result (when valid JSON) parses back to the same tree.
+        #[test]
+        fn streaming_matches_value_tree_oracle(seed in proptest::prelude::any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = arb_value(&mut rng, 4);
+            let stream = to_string(&v);
+            let oracle = to_string_via_value(&v);
+            match (stream, oracle) {
+                (Ok(s), Ok(o)) => {
+                    prop_assert_eq!(&s, &o);
+                    // Parsing may legitimately re-type a number (`0.0` emits
+                    // as `0` and `-0.0` as `-0`, which parse back as
+                    // integers), so instead of tree equality the check is
+                    // that one parse/serialize pass reaches a fixpoint.
+                    let s2 = to_string(&from_str::<Value>(&s).unwrap()).unwrap();
+                    let s3 = to_string(&from_str::<Value>(&s2).unwrap()).unwrap();
+                    prop_assert_eq!(&s3, &s2);
+                }
+                (Err(_), Err(_)) => {} // non-finite float somewhere in the tree
+                (s, o) => prop_assert!(false, "paths disagree: {:?} vs {:?}", s, o),
+            }
+        }
+
+        /// Scalar floats: both paths agree byte-for-byte (or both reject
+        /// non-finite values).
+        #[test]
+        fn f64_scalars_match(seed in proptest::prelude::any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            assert_stream_matches_oracle(&arb_f64(&mut rng));
+        }
+
+        /// Escape-heavy strings match byte-for-byte.
+        #[test]
+        fn strings_match(seed in proptest::prelude::any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            assert_stream_matches_oracle(&arb_string(&mut rng));
+        }
+    }
+
+    #[test]
+    fn integer_extremes_round_trip_exactly() {
+        for n in [0u64, 1, u64::MAX - 1, u64::MAX] {
+            assert_stream_matches_oracle(&n);
+            assert_eq!(from_str::<u64>(&to_string(&n).unwrap()).unwrap(), n);
+        }
+        for n in [i64::MIN, i64::MIN + 1, -1, 0, i64::MAX] {
+            assert_stream_matches_oracle(&n);
+            assert_eq!(from_str::<i64>(&to_string(&n).unwrap()).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_error_on_both_paths() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(to_string(&x).is_err());
+            assert!(to_string_via_value(&x).is_err());
+            // …including when buried inside a container.
+            assert!(to_string(&vec![1.0, x]).is_err());
+            assert!(to_string_into(&mut String::new(), &Some(x)).is_err());
+        }
+    }
+
+    #[test]
+    fn all_control_characters_escape_identically() {
+        let s: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        assert_stream_matches_oracle(&s);
+        assert_eq!(from_str::<String>(&to_string(&s).unwrap()).unwrap(), s);
+    }
+
+    #[test]
+    fn deep_nesting_matches() {
+        let mut v = Value::U64(7);
+        for i in 0..200 {
+            v = if i % 2 == 0 {
+                Value::Array(vec![v])
+            } else {
+                let mut m = BTreeMap::new();
+                m.insert("k".to_string(), v);
+                Value::Object(m)
+            };
+        }
+        assert_stream_matches_oracle(&v);
+    }
+
+    #[test]
+    fn to_string_into_streams_and_reuses_buffer() {
+        let mut buf = String::from("stale");
+        to_string_into(&mut buf, &vec![1u32, 2, 3]).unwrap();
+        assert_eq!(buf, "[1,2,3]");
+        let cap = buf.capacity();
+        to_string_into(&mut buf, &9u32).unwrap();
+        assert_eq!(buf, "9");
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    // ---- derive coverage: streaming codegen vs the tree path ----
+
+    use serde::{Deserialize, Serialize};
+
+    /// Declaration order deliberately unsorted: the tree path stores fields
+    /// in a `BTreeMap`, so the streaming codegen must emit sorted keys.
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Unsorted {
+        zeta: f64,
+        alpha: u64,
+        mid: Option<String>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u64);
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Pair(i32, String);
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct UnitMarker;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Mixed {
+        Plain,
+        One(f64),
+        Wide(u8, u8),
+        Named { y: i64, x: Vec<bool> },
+    }
+
+    #[test]
+    fn derived_struct_emits_sorted_keys() {
+        let v = Unsorted {
+            zeta: 0.5,
+            alpha: u64::MAX,
+            mid: Some("a\"b".to_string()),
+        };
+        let json = to_string(&v).unwrap();
+        assert_eq!(
+            json,
+            "{\"alpha\":18446744073709551615,\"mid\":\"a\\\"b\",\"zeta\":0.5}"
+        );
+        assert_stream_matches_oracle(&v);
+        assert_eq!(from_str::<Unsorted>(&json).unwrap(), v);
+        let none = Unsorted {
+            zeta: -1.25,
+            alpha: 0,
+            mid: None,
+        };
+        assert_stream_matches_oracle(&none);
+    }
+
+    #[test]
+    fn derived_tuple_and_unit_structs_match() {
+        assert_stream_matches_oracle(&Newtype(42));
+        assert_stream_matches_oracle(&Pair(-3, "x\ty".to_string()));
+        assert_stream_matches_oracle(&UnitMarker);
+        assert_eq!(to_string(&Newtype(42)).unwrap(), "42");
+        assert_eq!(to_string(&UnitMarker).unwrap(), "null");
+    }
+
+    #[test]
+    fn derived_enum_variants_match() {
+        for v in [
+            Mixed::Plain,
+            Mixed::One(2.5e-8),
+            Mixed::Wide(1, 255),
+            Mixed::Named {
+                y: -9,
+                x: vec![true, false],
+            },
+        ] {
+            assert_stream_matches_oracle(&v);
+            let json = to_string(&v).unwrap();
+            assert_eq!(from_str::<Mixed>(&json).unwrap(), v);
+        }
+        // Named variant fields are sorted too ("x" before "y").
+        assert_eq!(
+            to_string(&Mixed::Named { y: 1, x: vec![] }).unwrap(),
+            "{\"Named\":{\"x\":[],\"y\":1}}"
+        );
     }
 }
