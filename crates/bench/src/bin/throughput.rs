@@ -755,6 +755,7 @@ mod reference {
                 small_dets,
                 label: Some(*label),
                 num_classes,
+                link: None,
             })
             .collect();
         let decisions = policy.decide_all(&inputs);
@@ -892,6 +893,32 @@ struct Harness {
 }
 
 #[derive(Debug, Serialize)]
+struct SessionRow {
+    images: usize,
+    /// Frames/sec of the zero-trace (static link) fast path — the number
+    /// this section exists to watch: adding the dynamic-network layer must
+    /// not tax sessions that don't use it.
+    static_fps: f64,
+    /// Frames/sec with a constant identity trace (full trace machinery,
+    /// identity schedule).
+    constant_trace_fps: f64,
+    /// Frames/sec under a bursty-loss trace (retransmissions in play).
+    bursty_trace_fps: f64,
+    /// `static_fps / constant_trace_fps` (equivalently constant-trace
+    /// wall-clock over static wall-clock): the cost of the trace machinery
+    /// itself at identity. ≈1.0 expected; **above** 1.0 means the traced
+    /// path got slower than the zero-trace fast path.
+    static_over_constant: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Sessions {
+    /// `run_system` end-to-end: one blocking edge session against one cloud
+    /// worker, with and without a link trace.
+    runtime_session: SessionRow,
+}
+
+#[derive(Debug, Serialize)]
 struct Report {
     pr: u32,
     title: String,
@@ -901,6 +928,7 @@ struct Report {
     kernels: Kernels,
     serializer: Serializer,
     harness: Harness,
+    sessions: Sessions,
 }
 
 #[derive(Debug, Serialize)]
@@ -1353,10 +1381,86 @@ fn main() {
         experiment_driver,
     };
 
+    // ---- Session layer: static fast path vs traced links -------------------
+    // The degraded-network layer must be pay-for-what-you-use: a session
+    // without a trace takes the zero-trace fast path, and this section
+    // watches its throughput across PRs. The traced columns exercise the
+    // dynamic layer end-to-end (constant identity + bursty retransmission).
+    let session_images = if quick { 60 } else { 200 };
+    let session_data = Dataset::generate(
+        "bench-session",
+        &DatasetProfile::helmet(),
+        session_images,
+        17,
+    );
+    let session_small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+    let session_big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2);
+    let session_disc = DifficultCaseDiscriminator::new(Thresholds {
+        conf: 0.21,
+        count: 4,
+        area: 0.03,
+    });
+    let session_run = |trace: Option<simnet::LinkTrace>| {
+        smallbig_core::run_system(
+            &session_data,
+            &session_small,
+            &session_big,
+            &session_disc,
+            smallbig_core::RuntimeMode::SmallBig,
+            &smallbig_core::RuntimeConfig {
+                frame_size: (96, 96),
+                link_trace: trace,
+                ..Default::default()
+            },
+        )
+    };
+    let bursty_trace = || Some(simnet::LinkTrace::bursty(11, 60.0, 3.0, 1.5, 0.9));
+    // Self-check before timing: the static path replays bit-identically,
+    // a constant identity trace preserves routing/quality exactly, and the
+    // traced run is itself deterministic.
+    {
+        let static_a = session_run(None);
+        let static_b = session_run(None);
+        assert_eq!(
+            static_a, static_b,
+            "static session run must be deterministic"
+        );
+        let constant = session_run(Some(simnet::LinkTrace::constant()));
+        assert_eq!(static_a.upload_ratio, constant.upload_ratio);
+        assert_eq!(static_a.uplink_bytes, constant.uplink_bytes);
+        assert_eq!(static_a.detected, constant.detected);
+        assert_eq!(static_a.map_pct, constant.map_pct);
+        assert_eq!(session_run(bursty_trace()), session_run(bursty_trace()));
+    }
+    eprintln!("# session self-check passed: zero-trace fast path and traces are deterministic");
+    let session_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                sink(session_run(None));
+            },
+            &mut || {
+                sink(session_run(Some(simnet::LinkTrace::constant())));
+            },
+            &mut || {
+                sink(session_run(bursty_trace()));
+            },
+        ],
+    );
+    let runtime_session = SessionRow {
+        images: session_images,
+        static_fps: fps(session_images, session_times[0]),
+        constant_trace_fps: fps(session_images, session_times[1]),
+        bursty_trace_fps: fps(session_images, session_times[2]),
+        static_over_constant: session_times[1].as_secs_f64() / session_times[0].as_secs_f64(),
+    };
+    eprintln!("sessions/runtime_session: {runtime_session:?}");
+    let sessions = Sessions { runtime_session };
+
     let report = Report {
-        pr: 3,
-        title: "Zero-allocation detector fast path + streaming JSON serializer".to_string(),
-        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR3.json"
+        pr: 4,
+        title: "Deterministic degraded-network simulation (traces, faults, fallback)".to_string(),
+        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR4.json"
             .to_string(),
         quick,
         host_parallelism,
@@ -1372,6 +1476,7 @@ fn main() {
             encode_frame: encode_row,
         },
         harness,
+        sessions,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     // The default path nests under target/, which may not exist relative to

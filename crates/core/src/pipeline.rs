@@ -180,6 +180,7 @@ pub fn evaluate_detections(
             small_dets,
             label: Some(*label),
             num_classes,
+            link: None,
         })
         .collect();
     let decisions = policy.decide_all(&inputs);
@@ -193,10 +194,11 @@ pub fn evaluate_detections(
     let mut count_scratch = CountScratch::new();
     let mut small_contrib = ImageContribution::new();
     let mut big_contrib = ImageContribution::new();
+    let mut gts = Vec::new();
     let mut uploads = 0usize;
 
     for ((scene, (small_dets, big_dets)), decision) in scenes.iter().zip(results).zip(&decisions) {
-        let gts = scene.ground_truths();
+        scene.ground_truths_into(&mut gts);
         // Matching is deterministic, so the end-to-end evaluators replay
         // whichever per-model result the decision routes to instead of
         // matching / counting the routed image a third time.
@@ -278,10 +280,11 @@ pub fn evaluate_streaming(
     let mut count_scratch = CountScratch::new();
     let mut small_contrib = ImageContribution::new();
     let mut big_contrib = ImageContribution::new();
+    let mut gts = Vec::new();
     let mut uploads = 0usize;
 
     for (scene, (small_dets, big_dets)) in scenes.iter().zip(&results) {
-        let gts = scene.ground_truths();
+        scene.ground_truths_into(&mut gts);
         // Same label rule as the batch path (both models already ran here),
         // so Policy::Oracle works identically in streaming form.
         let label = if big_dets.count_above(PREDICTION_THRESHOLD)
@@ -296,6 +299,7 @@ pub fn evaluate_streaming(
             small_dets,
             label: Some(label),
             num_classes,
+            link: None,
         });
         small_map.add_image_recording(small_dets, &gts, &mut small_contrib);
         big_map.add_image_recording(big_dets, &gts, &mut big_contrib);

@@ -22,7 +22,7 @@ use detcore::ApProtocol;
 use detcore::CountingConfig;
 use modelzoo::Detector;
 use serde::{Deserialize, Serialize};
-use simnet::{DeviceModel, LatencyStats, LinkModel};
+use simnet::{DeviceModel, FaultPlan, LatencyStats, LinkModel, LinkTrace, RetryConfig};
 use std::thread;
 
 /// Routing mode for the runtime.
@@ -60,6 +60,15 @@ pub struct RuntimeConfig {
     /// the edge falls back to the small model's local result (the upload
     /// bandwidth is still spent). `None` = wait indefinitely.
     pub deadline_s: Option<f64>,
+    /// Dynamic schedule overlaying [`link`](Self::link) (outages, ramps,
+    /// bursty loss — see [`simnet::LinkTrace`]). `None` (the default) is the
+    /// static fast path, bit-identical to the historical behaviour.
+    pub link_trace: Option<LinkTrace>,
+    /// Scheduled cloud stalls and session drop windows (the single session
+    /// `run_system` drives has id 0). Empty by default.
+    pub faults: FaultPlan,
+    /// Backoff schedule for traced retransmissions.
+    pub retry: RetryConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +83,9 @@ impl Default for RuntimeConfig {
             ap_protocol: ApProtocol::Voc07ElevenPoint,
             counting: CountingConfig::default(),
             deadline_s: None,
+            link_trace: None,
+            faults: FaultPlan::new(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -98,6 +110,9 @@ pub struct RuntimeReport {
     pub uplink_bytes: u64,
     /// Uploads whose cloud answer missed the deadline (local fallback used).
     pub deadline_misses: usize,
+    /// Frames routed to the cloud that the (traced) link could not deliver;
+    /// the edge served its local answer. Always zero on a static link.
+    pub link_fallbacks: usize,
 }
 
 /// Runs the live system over a dataset and reports Table XI-style metrics.
@@ -143,6 +158,7 @@ pub fn run_system(
         seed: config.seed,
         max_batch: 1,
         workers: 1,
+        faults: config.faults.clone(),
     };
     let session_cfg = SessionConfig {
         edge: config.edge.clone(),
@@ -159,6 +175,9 @@ pub fn run_system(
             RuntimeMode::CloudOnly => EdgePipeline::Bypass,
         },
         num_classes,
+        link_trace: config.link_trace.clone(),
+        drop_windows: config.faults.drops_for(0),
+        retry: config.retry,
     };
     let policy: Box<dyn OffloadPolicy + '_> = match mode {
         RuntimeMode::SmallBig => Box::new(discriminator.clone()),
@@ -197,6 +216,7 @@ pub fn run_system(
         latency: report.latency,
         uplink_bytes: report.uplink_bytes,
         deadline_misses: report.deadline_misses,
+        link_fallbacks: report.link_fallbacks,
     }
 }
 

@@ -22,6 +22,23 @@
 //! entry point [`crate::run_system`] is a thin wrapper over one
 //! single-session server and reproduces its historical reports exactly.
 //!
+//! # Degraded networks
+//!
+//! A session may overlay its link with a [`simnet::LinkTrace`]
+//! ([`SessionConfig::link_trace`]) and the deployment may schedule faults
+//! ([`CloudConfig::faults`] for cloud stalls, [`SessionConfig::drop_windows`]
+//! for per-session blackouts). On a traced link the *edge* drives every
+//! transfer against its virtual clock: a failed attempt (outage, drop
+//! window, or a loss draw) retransmits with exponential backoff
+//! ([`SessionConfig::retry`]), the time lost is accounted in
+//! [`LatencyBreakdown::retransmit_s`], and a submission that can no longer
+//! meet its deadline — or exhausts its retries — falls back to the edge-only
+//! answer without ever reaching the cloud ([`SessionReport::link_fallbacks`]).
+//! Policies can adapt: [`PolicyInput::link`] carries the observed link state
+//! at each frame's arrival. Static links (`link_trace: None`) take the
+//! historical zero-trace fast path and stay bit-identical to the seed
+//! implementation (pinned by `tests/api_equivalence.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -66,7 +83,10 @@ use modelzoo::Detector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use simnet::{DeviceModel, LatencyBreakdown, LatencyStats, LinkModel};
+use simnet::{
+    DeviceModel, FaultPlan, LatencyBreakdown, LatencyStats, LinkAttempt, LinkModel, LinkTrace,
+    RetryConfig, TimeWindow,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -102,6 +122,12 @@ pub struct CloudConfig {
     /// changes wall-clock speed only, never virtual-time semantics
     /// (guarded by the `worker_pool_reports_bit_identical` test).
     pub workers: usize,
+    /// Scheduled faults. The cloud side consumes the *stall* windows: a
+    /// batch that would start inside one is deferred to the window's end.
+    /// Sessions consume their drop windows via
+    /// [`SessionConfig::drop_windows`] (see [`FaultPlan::drops_for`]). An
+    /// empty plan (the default) changes nothing.
+    pub faults: FaultPlan,
 }
 
 impl Default for CloudConfig {
@@ -111,6 +137,7 @@ impl Default for CloudConfig {
             seed: 0x5417,
             max_batch: 1,
             workers: 1,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -142,6 +169,19 @@ pub struct SessionConfig {
     pub pipeline: EdgePipeline,
     /// Number of classes in the workload's taxonomy.
     pub num_classes: usize,
+    /// Dynamic schedule overlaying [`link`](Self::link). `None` (the
+    /// default) is the static fast path — bit-identical to the historical
+    /// behaviour. `Some` moves transfer timing to the edge: attempts are
+    /// driven against the session's virtual clock and retransmit with
+    /// backoff when the trace loses them.
+    pub link_trace: Option<LinkTrace>,
+    /// Scheduled blackouts for *this* session (usually
+    /// [`FaultPlan::drops_for`] of the deployment's plan): any traced
+    /// attempt inside a window is lost deterministically. Ignored on a
+    /// static link.
+    pub drop_windows: Vec<TimeWindow>,
+    /// Backoff schedule for traced retransmissions.
+    pub retry: RetryConfig,
 }
 
 impl SessionConfig {
@@ -159,6 +199,9 @@ impl SessionConfig {
             deadline_s: None,
             pipeline: EdgePipeline::Full,
             num_classes,
+            link_trace: None,
+            drop_windows: Vec::new(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -182,6 +225,9 @@ pub struct FrameResult {
     pub completed_at: f64,
     /// Whether the cloud answer missed the deadline (local fallback served).
     pub missed_deadline: bool,
+    /// Whether the traced link gave up (outage/drops exhausted the retries)
+    /// and the local answer was served without a completed round trip.
+    pub link_fallback: bool,
 }
 
 /// Everything one session measured (the per-edge analogue of
@@ -211,6 +257,11 @@ pub struct SessionReport {
     pub uplink_bytes: u64,
     /// Uploads whose cloud answer missed the deadline.
     pub deadline_misses: usize,
+    /// Frames the policy routed to the cloud but the traced link could not
+    /// deliver (outage/drop retries exhausted, or the deadline made even
+    /// the uplink hopeless): the edge served its local answer instead.
+    /// Always zero on a static link.
+    pub link_fallbacks: usize,
 }
 
 /// What the cloud worker measured over its lifetime.
@@ -240,6 +291,11 @@ struct SubmitRequest {
     frame_bytes: usize,
     /// Virtual send timestamp at the edge.
     sent_at: f64,
+    /// Uplink transfer time, when the edge drove the transfer itself
+    /// (traced links). `None` on static links: the cloud draws the uplink
+    /// from its own RNG stream in arrival order, exactly as the seed
+    /// implementation did.
+    uplink_s: Option<f64>,
 }
 
 /// The wire message for one answer (cloud → edge).
@@ -409,7 +465,11 @@ fn cloud_scheduler(
         }
         let n = queue.len();
         let latest_arrival = queue.iter().map(|q| q.arrival).fold(f64::MIN, f64::max);
-        let start = server_free_at.max(latest_arrival);
+        // A scheduled stall defers the batch to the window's end; an empty
+        // fault plan leaves the start untouched (the bit-identical path).
+        let start = config
+            .faults
+            .next_available(server_free_at.max(latest_arrival));
         let batch_s = config.device.batch_inference_time(big.flops(), n);
         *server_free_at = start + batch_s;
         stats.batches += 1;
@@ -450,7 +510,13 @@ fn cloud_scheduler(
                     .get(&req.session)
                     .expect("frames only arrive from registered sessions")
                     .0;
-                let uplink_s = link.transfer_time(req.frame_bytes, &mut rng);
+                // Traced sessions time their own uplink on the edge; static
+                // sessions keep the historical cloud-side draw (and only
+                // they consume this RNG stream, so mixing session kinds
+                // never perturbs a static session's jitter).
+                let uplink_s = req
+                    .uplink_s
+                    .unwrap_or_else(|| link.transfer_time(req.frame_bytes, &mut rng));
                 let arrival = req.sent_at + uplink_s;
                 queue.push(QueuedFrame {
                     req,
@@ -579,6 +645,7 @@ pub struct EdgeSession<'a> {
     latency: LatencyStats,
     uplink_bytes: u64,
     deadline_misses: usize,
+    link_fallbacks: usize,
     uploads: usize,
     frames: usize,
     next_ticket: u64,
@@ -591,6 +658,93 @@ pub struct EdgeSession<'a> {
     encode_buf: Vec<u8>,
     /// Reused counting-metric scratch.
     count_scratch: CountScratch,
+    /// Reused per-frame ground-truth buffer: local frames borrow it for
+    /// metric accumulation (zero allocation when warm); uploads clone it
+    /// into their [`PendingUpload`], which costs what the old per-frame
+    /// `ground_truths()` allocation did.
+    gts_scratch: Vec<GroundTruth>,
+}
+
+/// How a traced transfer ended after retransmissions.
+enum TransferOutcome {
+    /// The payload got through: the successful attempt started at `at`
+    /// (after `waited_s` of backoff since the first try) and took
+    /// `duration_s` on the wire.
+    Sent {
+        at: f64,
+        duration_s: f64,
+        waited_s: f64,
+    },
+    /// The edge gave up at virtual time `at` and serves its local answer.
+    /// `missed_deadline` distinguishes a deadline-driven abort from
+    /// exhausted retries.
+    GaveUp { at: f64, missed_deadline: bool },
+}
+
+/// Drives one payload through a traced link against the session's virtual
+/// clock: attempts at `start_at`, retransmitting with exponential backoff
+/// while the trace (or a drop window) loses them. Gives up when the retry
+/// budget runs out, or — with a deadline — as soon as even the transfer
+/// alone could no longer meet it (in which case no bytes ever leave the
+/// edge, so a total outage involves the cloud not at all).
+#[allow(clippy::too_many_arguments)]
+fn traced_transfer(
+    trace: &LinkTrace,
+    link: &LinkModel,
+    drop_windows: &[TimeWindow],
+    retry: &RetryConfig,
+    deadline_s: Option<f64>,
+    bytes: usize,
+    start_at: f64,
+    entered_at: f64,
+    rng: &mut StdRng,
+) -> TransferOutcome {
+    let mut t = start_at;
+    let mut attempt: u32 = 0;
+    loop {
+        let blocked = drop_windows.iter().any(|w| w.contains(t));
+        let result = if blocked {
+            // A drop window blackholes the attempt deterministically —
+            // like an outage, no randomness is drawn.
+            LinkAttempt::Outage
+        } else {
+            trace.attempt_at(link, bytes, t, rng)
+        };
+        if let LinkAttempt::Sent(duration_s) = result {
+            if let Some(deadline) = deadline_s {
+                if t + duration_s - entered_at > deadline {
+                    // Even the transfer alone misses the deadline: give up
+                    // at the deadline without transmitting.
+                    return TransferOutcome::GaveUp {
+                        at: (entered_at + deadline).max(start_at),
+                        missed_deadline: true,
+                    };
+                }
+            }
+            return TransferOutcome::Sent {
+                at: t,
+                duration_s,
+                waited_s: t - start_at,
+            };
+        }
+        attempt += 1;
+        if attempt > retry.max_retries {
+            return TransferOutcome::GaveUp {
+                at: t,
+                missed_deadline: false,
+            };
+        }
+        let next = t + retry.backoff_s(attempt);
+        if let Some(deadline) = deadline_s {
+            if next - entered_at > deadline {
+                return TransferOutcome::GaveUp {
+                    at: (entered_at + deadline).max(t),
+                    missed_deadline: true,
+                };
+            }
+        }
+        t = next;
+    }
 }
 
 impl<'a> EdgeSession<'a> {
@@ -624,6 +778,7 @@ impl<'a> EdgeSession<'a> {
             latency: LatencyStats::new(),
             uplink_bytes: 0,
             deadline_misses: 0,
+            link_fallbacks: 0,
             uploads: 0,
             frames: 0,
             next_ticket: 0,
@@ -631,6 +786,7 @@ impl<'a> EdgeSession<'a> {
             done: HashMap::new(),
             encode_buf: Vec::new(),
             count_scratch: CountScratch::new(),
+            gts_scratch: Vec::new(),
         }
     }
 
@@ -681,7 +837,8 @@ impl<'a> EdgeSession<'a> {
         self.next_ticket += 1;
         self.frames += 1;
 
-        let gts = scene.ground_truths();
+        let mut gts = std::mem::take(&mut self.gts_scratch);
+        scene.ground_truths_into(&mut gts);
         let mut breakdown = LatencyBreakdown::default();
         let dets = self.small.detect(scene);
         match self.cfg.pipeline {
@@ -694,11 +851,16 @@ impl<'a> EdgeSession<'a> {
             }
             EdgePipeline::Bypass => {}
         }
+        let link_state = match &self.cfg.link_trace {
+            Some(trace) => trace.state_of(&self.cfg.link, self.now),
+            None => self.cfg.link.state(),
+        };
         let decision = self.policy.decide(&PolicyInput {
             scene,
             small_dets: &dets,
             label: None,
             num_classes: self.cfg.num_classes,
+            link: Some(link_state),
         });
 
         self.now += breakdown.edge_infer_s + breakdown.discriminator_s;
@@ -707,38 +869,97 @@ impl<'a> EdgeSession<'a> {
             let entered_at = self.now - breakdown.edge_infer_s - breakdown.discriminator_s;
             let frame = render(&scene.render_spec(self.cfg.frame_size.0, self.cfg.frame_size.1));
             let frame_bytes = encoded_size_bytes(&frame);
-            self.uplink_bytes += frame_bytes as u64;
-            self.uploads += 1;
-            let req = SubmitRequest {
-                session: self.id,
-                ticket: ticket.0,
-                frame_bytes,
-                sent_at: self.now,
-            };
-            let scene_arc = match shared {
-                Some(arc) => Arc::clone(arc),
-                None => Arc::new(scene.clone()),
-            };
-            encode_frame_into(&mut self.encode_buf, &req);
-            self.tx
-                .send(ToCloud::Frame(
-                    bytes::Bytes::copy_from_slice(&self.encode_buf),
-                    scene_arc,
-                ))
-                .expect("cloud server alive");
-            self.pending.insert(
-                ticket.0,
-                PendingUpload {
+            // Traced links drive the uplink from the edge (retransmitting
+            // against the virtual clock); static links let the cloud draw
+            // the transfer in arrival order, exactly as the seed did.
+            let uplink = match &self.cfg.link_trace {
+                None => None,
+                Some(trace) => Some(traced_transfer(
+                    trace,
+                    &self.cfg.link,
+                    &self.cfg.drop_windows,
+                    &self.cfg.retry,
+                    self.cfg.deadline_s,
+                    frame_bytes,
+                    self.now,
                     entered_at,
-                    sent_at: self.now,
+                    &mut self.rng,
+                )),
+            };
+            if let Some(TransferOutcome::GaveUp {
+                at,
+                missed_deadline,
+            }) = uplink
+            {
+                // The frame never reaches the cloud: serve the local answer
+                // once the edge stops retrying.
+                breakdown.retransmit_s = (at - self.now).max(0.0);
+                self.link_fallbacks += 1;
+                if missed_deadline {
+                    self.deadline_misses += 1;
+                }
+                self.now = self.now.max(at);
+                let completed_at = self.now;
+                self.resolve(
+                    ticket.0,
+                    decision,
                     breakdown,
-                    local_dets: dets,
-                    gts,
-                },
-            );
+                    dets,
+                    &gts,
+                    completed_at,
+                    missed_deadline,
+                    true,
+                );
+            } else {
+                let (sent_at, uplink_s) = match uplink {
+                    None => (self.now, None),
+                    Some(TransferOutcome::Sent {
+                        at,
+                        duration_s,
+                        waited_s,
+                    }) => {
+                        breakdown.retransmit_s = waited_s;
+                        (at, Some(duration_s))
+                    }
+                    Some(TransferOutcome::GaveUp { .. }) => unreachable!("handled above"),
+                };
+                self.uplink_bytes += frame_bytes as u64;
+                self.uploads += 1;
+                let req = SubmitRequest {
+                    session: self.id,
+                    ticket: ticket.0,
+                    frame_bytes,
+                    sent_at,
+                    uplink_s,
+                };
+                let scene_arc = match shared {
+                    Some(arc) => Arc::clone(arc),
+                    None => Arc::new(scene.clone()),
+                };
+                encode_frame_into(&mut self.encode_buf, &req);
+                self.tx
+                    .send(ToCloud::Frame(
+                        bytes::Bytes::copy_from_slice(&self.encode_buf),
+                        scene_arc,
+                    ))
+                    .expect("cloud server alive");
+                self.pending.insert(
+                    ticket.0,
+                    PendingUpload {
+                        entered_at,
+                        sent_at,
+                        breakdown,
+                        local_dets: dets,
+                        gts: gts.clone(),
+                    },
+                );
+            }
         } else {
-            self.resolve(ticket.0, decision, breakdown, dets, &gts, self.now, false);
+            self.resolve(
+                ticket.0, decision, breakdown, dets, &gts, self.now, false, false,
+            );
         }
+        self.gts_scratch = gts;
         ticket
     }
 
@@ -820,6 +1041,7 @@ impl<'a> EdgeSession<'a> {
             latency: self.latency.clone(),
             uplink_bytes: self.uplink_bytes,
             deadline_misses: self.deadline_misses,
+            link_fallbacks: self.link_fallbacks,
         }
     }
 
@@ -831,30 +1053,92 @@ impl<'a> EdgeSession<'a> {
             .remove(&resp.ticket)
             .expect("cloud answers match pending frames");
         let mut breakdown = p.breakdown;
-        let downlink_s = self
-            .cfg
-            .link
-            .transfer_time(result_size_bytes(resp.dets.len()), &mut self.rng);
-        let answer_at = resp.sent_at + downlink_s;
-        let missed = self
-            .cfg
-            .deadline_s
-            .map(|d| answer_at - p.entered_at > d)
-            .unwrap_or(false);
-        let (final_dets, completed_at) = if missed {
-            // The edge gives up waiting and serves the local result; the
-            // upload bandwidth is already spent.
-            self.deadline_misses += 1;
-            let deadline = self.cfg.deadline_s.expect("checked above");
-            let waited = (p.entered_at + deadline - p.sent_at).max(0.0);
-            breakdown.uplink_s = waited;
-            (p.local_dets, p.sent_at + waited)
-        } else {
-            breakdown.uplink_s = resp.uplink_s;
-            breakdown.cloud_infer_s =
-                resp.infer_s + (resp.sent_at - p.sent_at - resp.uplink_s - resp.infer_s).max(0.0);
-            breakdown.downlink_s = downlink_s;
-            (resp.dets, answer_at)
+        // Traced links drive the downlink like the uplink: attempts from
+        // the server's send time, retransmitting with backoff. A downlink
+        // that gives up serves the local answer (`link_fallback`) — the
+        // cloud's work is spent either way.
+        let downlink = match &self.cfg.link_trace {
+            None => {
+                let d = self
+                    .cfg
+                    .link
+                    .transfer_time(result_size_bytes(resp.dets.len()), &mut self.rng);
+                Some((d, resp.sent_at + d))
+            }
+            Some(trace) => match traced_transfer(
+                trace,
+                &self.cfg.link,
+                &self.cfg.drop_windows,
+                &self.cfg.retry,
+                self.cfg.deadline_s,
+                result_size_bytes(resp.dets.len()),
+                resp.sent_at,
+                p.entered_at,
+                &mut self.rng,
+            ) {
+                TransferOutcome::Sent {
+                    at,
+                    duration_s,
+                    waited_s,
+                } => {
+                    breakdown.retransmit_s += waited_s;
+                    Some((duration_s, at + duration_s))
+                }
+                TransferOutcome::GaveUp {
+                    at,
+                    missed_deadline,
+                } => {
+                    if !missed_deadline {
+                        // Retries exhausted without a deadline: account the
+                        // round trip the edge did wait for, serve local.
+                        self.link_fallbacks += 1;
+                        breakdown.uplink_s = resp.uplink_s;
+                        breakdown.cloud_infer_s = resp.infer_s
+                            + (resp.sent_at - p.sent_at - resp.uplink_s - resp.infer_s).max(0.0);
+                        breakdown.retransmit_s += (at - resp.sent_at).max(0.0);
+                        let completed_at = at.max(p.sent_at);
+                        self.now = self.now.max(completed_at);
+                        self.resolve(
+                            resp.ticket,
+                            Decision::Upload,
+                            breakdown,
+                            p.local_dets,
+                            &p.gts,
+                            completed_at,
+                            false,
+                            true,
+                        );
+                        return;
+                    }
+                    // Deadline-driven give-up: fall through to the shared
+                    // missed-deadline accounting below.
+                    None
+                }
+            },
+        };
+        let (missed, final_dets, completed_at) = match downlink {
+            Some((downlink_s, answer_at))
+                if !self
+                    .cfg
+                    .deadline_s
+                    .map(|d| answer_at - p.entered_at > d)
+                    .unwrap_or(false) =>
+            {
+                breakdown.uplink_s = resp.uplink_s;
+                breakdown.cloud_infer_s = resp.infer_s
+                    + (resp.sent_at - p.sent_at - resp.uplink_s - resp.infer_s).max(0.0);
+                breakdown.downlink_s = downlink_s;
+                (false, resp.dets, answer_at)
+            }
+            _ => {
+                // The edge gives up waiting and serves the local result; the
+                // upload bandwidth is already spent.
+                self.deadline_misses += 1;
+                let deadline = self.cfg.deadline_s.expect("missed implies a deadline");
+                let waited = (p.entered_at + deadline - p.sent_at).max(0.0);
+                breakdown.uplink_s = waited;
+                (true, p.local_dets, p.sent_at + waited)
+            }
         };
         self.now = self.now.max(completed_at);
         self.resolve(
@@ -865,6 +1149,7 @@ impl<'a> EdgeSession<'a> {
             &p.gts,
             completed_at,
             missed,
+            false,
         );
     }
 
@@ -878,6 +1163,7 @@ impl<'a> EdgeSession<'a> {
         gts: &[GroundTruth],
         completed_at: f64,
         missed_deadline: bool,
+        link_fallback: bool,
     ) {
         self.latency.add(breakdown);
         self.map.add_image(&dets, gts);
@@ -896,6 +1182,7 @@ impl<'a> EdgeSession<'a> {
                 breakdown,
                 completed_at,
                 missed_deadline,
+                link_fallback,
             },
         );
     }

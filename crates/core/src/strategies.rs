@@ -58,6 +58,13 @@ pub struct PolicyInput<'a> {
     pub label: Option<CaseKind>,
     /// Number of classes in the taxonomy (top-1 baseline normalisation).
     pub num_classes: usize,
+    /// The edge↔cloud link's observed state when the frame arrived
+    /// (effective bandwidth/RTT/loss under the session's [`simnet::LinkTrace`],
+    /// or the static link's nominal point). `None` in batch evaluation,
+    /// where no link semantics exist. Lets adaptive policies keep frames
+    /// local through outages or congestion — see
+    /// [`simnet::LinkState::nominal_transfer_time`].
+    pub link: Option<simnet::LinkState>,
 }
 
 /// A per-frame offload strategy, decided in arrival order.
@@ -520,6 +527,7 @@ mod tests {
                     CaseKind::Easy
                 }),
                 num_classes: 20,
+                link: None,
             })
             .collect()
     }

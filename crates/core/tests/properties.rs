@@ -178,6 +178,7 @@ proptest! {
                     CaseKind::Easy
                 }),
                 num_classes: 20,
+                link: None,
             })
             .collect();
 
@@ -217,7 +218,7 @@ proptest! {
         let mut p2 = p1.clone();
         let mut uploads = 0usize;
         for (scene, small_dets) in scenes.iter().zip(&dets) {
-            let ctx = PolicyInput { scene, small_dets, label: None, num_classes: 20 };
+            let ctx = PolicyInput { scene, small_dets, label: None, num_classes: 20, link: None };
             let a = p1.decide(&ctx);
             prop_assert_eq!(a, p2.decide(&ctx));
             if a.is_upload() {

@@ -63,10 +63,21 @@ pub struct Scene {
 impl Scene {
     /// The scene's objects as detcore ground truths.
     pub fn ground_truths(&self) -> Vec<GroundTruth> {
-        self.objects
-            .iter()
-            .map(|o| GroundTruth::new(o.class, o.bbox))
-            .collect()
+        let mut out = Vec::with_capacity(self.objects.len());
+        self.ground_truths_into(&mut out);
+        out
+    }
+
+    /// [`ground_truths`](Self::ground_truths) into a reused buffer: clears
+    /// `out` and refills it. Evaluation loops that visit one scene at a
+    /// time keep a single buffer warm instead of allocating per image.
+    pub fn ground_truths_into(&self, out: &mut Vec<GroundTruth>) {
+        out.clear();
+        out.extend(
+            self.objects
+                .iter()
+                .map(|o| GroundTruth::new(o.class, o.bbox)),
+        );
     }
 
     /// Number of annotated objects — the first semantic feature the paper's

@@ -72,4 +72,22 @@ proptest! {
             prop_assert_eq!(&orig.objects, &cat.objects);
         }
     }
+
+    /// The buffer-reusing `ground_truths_into` clears its destination and
+    /// reproduces `ground_truths` exactly — even through a dirty buffer
+    /// carried across scenes, which is how the eval loops use it.
+    #[test]
+    fn ground_truths_into_matches_allocation(n in 1usize..30, seed in any::<u64>()) {
+        for profile in profiles() {
+            let ds = Dataset::generate("gt", &profile, n, seed);
+            let mut reused = Vec::new();
+            for scene in ds.iter() {
+                // `reused` still holds the previous scene's truths here;
+                // the refill must fully replace them.
+                scene.ground_truths_into(&mut reused);
+                prop_assert_eq!(&reused, &scene.ground_truths());
+                prop_assert_eq!(reused.len(), scene.num_objects());
+            }
+        }
+    }
 }

@@ -81,7 +81,7 @@ impl fmt::Display for Report {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 29] = [
+pub const ALL_EXPERIMENTS: [&str; 30] = [
     "motivation",
     "table1",
     "table2",
@@ -111,6 +111,7 @@ pub const ALL_EXPERIMENTS: [&str; 29] = [
     "compress",
     "perclass",
     "multiedge",
+    "degraded",
 ];
 
 /// Runs one experiment by id (or `"all"`).
@@ -165,6 +166,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Result<Vec<Report>, String> 
         "compress" => extras::compress(cfg),
         "perclass" => extras::perclass(cfg),
         "multiedge" => extras::multiedge(cfg),
+        "degraded" => extras::degraded(cfg),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(vec![report])

@@ -16,6 +16,10 @@ pub struct LatencyBreakdown {
     pub cloud_infer_s: f64,
     /// Result download back to the edge (zero for easy cases).
     pub downlink_s: f64,
+    /// Virtual time lost to failed traced transmissions — backoff waits
+    /// before a successful retransmit, or until the edge gave up and fell
+    /// back to its local answer. Always zero on a static (zero-trace) link.
+    pub retransmit_s: f64,
 }
 
 impl LatencyBreakdown {
@@ -26,6 +30,7 @@ impl LatencyBreakdown {
             + self.uplink_s
             + self.cloud_infer_s
             + self.downlink_s
+            + self.retransmit_s
     }
 
     /// Whether the image involved the cloud at all.
@@ -41,6 +46,7 @@ impl AddAssign for LatencyBreakdown {
         self.uplink_s += rhs.uplink_s;
         self.cloud_infer_s += rhs.cloud_infer_s;
         self.downlink_s += rhs.downlink_s;
+        self.retransmit_s += rhs.retransmit_s;
     }
 }
 
@@ -126,6 +132,7 @@ mod tests {
             uplink_s: t_up,
             cloud_infer_s: t_infer,
             downlink_s: 0.03,
+            retransmit_s: 0.0,
         }
     }
 

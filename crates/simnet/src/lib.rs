@@ -7,20 +7,54 @@
 //!   (Jetson Nano edge device, RTX3060 cloud server),
 //! * [`LinkModel`] — bandwidth/RTT/jitter/loss transfer times
 //!   (the paper's shared WLAN plus faster/slower ablation links),
+//! * [`LinkTrace`] — piecewise bandwidth/RTT/loss schedules over virtual
+//!   time that turn a static link dynamic: step outages
+//!   ([`LinkTrace::step_outage`], [`LinkTrace::total_outage`]), diurnal
+//!   capacity ramps ([`LinkTrace::diurnal_ramp`]), Gilbert–Elliott bursty
+//!   loss ([`LinkTrace::bursty`]) and seeded random walks
+//!   ([`LinkTrace::random_walk`]),
+//! * [`FaultPlan`] — scheduled cloud-server stalls and per-session drop
+//!   windows; [`RetryConfig`] — the exponential backoff traced
+//!   retransmissions use; [`LinkState`] — what an adaptive offload policy
+//!   observes,
 //! * [`LatencyBreakdown`] / [`LatencyStats`] — where each image's end-to-end
-//!   time went.
+//!   time went (including time lost to retransmissions).
+//!
+//! # Scenario catalogue
+//!
+//! | scenario | constructor | models |
+//! |---|---|---|
+//! | constant | [`LinkTrace::constant`] | the static link (bit-identical) |
+//! | step outage | [`LinkTrace::step_outage`] | a dead link window; retransmits back off until it ends |
+//! | total outage | [`LinkTrace::total_outage`] | a cut cable; every upload falls back to the edge |
+//! | diurnal ramp | [`LinkTrace::diurnal_ramp`] | tidal shared-medium capacity |
+//! | bursty loss | [`LinkTrace::bursty`] | Gilbert–Elliott good/bad cellular loss |
+//! | random walk | [`LinkTrace::random_walk`] | slow capacity drift |
+//!
+//! # Determinism contract
+//!
+//! All time is *virtual*. Stochastic trace constructors expand their whole
+//! schedule at construction from their own seeded RNG stream; per-transfer
+//! draws consume the caller's RNG in a documented order; outage attempts
+//! draw nothing. Two runs with the same seeds replay bit-identically, and a
+//! constant identity trace reproduces the static [`LinkModel`] draws
+//! bit-for-bit (pinned by this crate's property suite).
 //!
 //! # Example
 //!
 //! ```
 //! use rand::{rngs::StdRng, SeedableRng};
-//! use simnet::{DeviceModel, LinkModel};
+//! use simnet::{DeviceModel, LinkModel, LinkTrace};
 //!
 //! let nano = DeviceModel::jetson_nano();
 //! let wlan = LinkModel::wlan();
+//! let trace = LinkTrace::step_outage(30.0, 10.0);
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let edge = nano.inference_time(5_430_000_000);
-//! let upload = wlan.transfer_time(60_000, &mut rng);
+//! let upload = trace
+//!     .transfer_time_at(&wlan, 60_000, 0.0, &mut rng)
+//!     .expect("link healthy at t=0");
+//! assert!(trace.transfer_time_at(&wlan, 60_000, 35.0, &mut rng).is_none());
 //! println!("edge {edge:.3}s + upload {upload:.3}s");
 //! ```
 
@@ -30,7 +64,11 @@
 mod device;
 mod latency;
 mod link;
+mod trace;
 
 pub use device::DeviceModel;
 pub use latency::{LatencyBreakdown, LatencyStats};
 pub use link::LinkModel;
+pub use trace::{
+    FaultPlan, LinkAttempt, LinkState, LinkTrace, RetryConfig, TimeWindow, TraceSegment,
+};

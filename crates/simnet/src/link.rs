@@ -1,5 +1,6 @@
 //! Network-link models: how long a payload takes to cross the edge↔cloud hop.
 
+use crate::trace::LinkState;
 use rand::Rng;
 use rand_distr::{Distribution, LogNormal};
 use serde::{Deserialize, Serialize};
@@ -97,30 +98,67 @@ impl LinkModel {
         self.rtt_s
     }
 
+    /// Probability a transfer must be retransmitted.
+    pub fn loss_prob(&self) -> f64 {
+        self.loss_prob
+    }
+
+    /// The link's nominal operating point as an observable [`LinkState`]
+    /// (what an adaptive offload policy sees for a static link).
+    pub fn state(&self) -> LinkState {
+        LinkState {
+            bandwidth_bps: self.bandwidth_bps,
+            rtt_s: self.rtt_s,
+            loss_prob: self.loss_prob,
+        }
+    }
+
     /// Deterministic (jitter-free, loss-free) transfer time for a payload.
     pub fn nominal_transfer_time(&self, bytes: usize) -> f64 {
         self.rtt_s + bytes as f64 * 8.0 / self.bandwidth_bps
     }
 
-    /// Stochastic transfer time for a payload, including jitter and
-    /// retransmissions. Deterministic given the RNG state.
-    pub fn transfer_time<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> f64 {
-        let base = self.nominal_transfer_time(bytes);
-        let jitter = if self.jitter_sigma > 0.0 {
+    /// One log-normal jitter multiplier (1.0 when the link is jitter-free).
+    pub(crate) fn jitter_draw<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.jitter_sigma > 0.0 {
             LogNormal::new(0.0, self.jitter_sigma)
                 .expect("validated sigma")
                 .sample(rng)
         } else {
             1.0
-        };
-        let mut total = base * jitter;
+        }
+    }
+
+    /// [`transfer_time`](Self::transfer_time) with the link's bandwidth/RTT
+    /// scaled and the loss probability overridden — the shared core of the
+    /// static path and [`crate::LinkTrace::transfer_time_at`]. At identity
+    /// scales and the link's own loss this is *bit-identical* to the static
+    /// path (multiplying by 1.0 is exact in IEEE-754), which is what lets a
+    /// constant trace reproduce a static link's draws.
+    pub(crate) fn transfer_time_scaled<R: Rng + ?Sized>(
+        &self,
+        bytes: usize,
+        bandwidth_scale: f64,
+        rtt_scale: f64,
+        loss_prob: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let rtt = self.rtt_s * rtt_scale;
+        let base = rtt + bytes as f64 * 8.0 / (self.bandwidth_bps * bandwidth_scale);
+        let mut total = base * self.jitter_draw(rng);
         // Geometric retransmissions.
         let mut guard = 0;
-        while rng.gen::<f64>() < self.loss_prob && guard < 8 {
-            total += self.rtt_s + base;
+        while rng.gen::<f64>() < loss_prob && guard < 8 {
+            total += rtt + base;
             guard += 1;
         }
         total
+    }
+
+    /// Stochastic transfer time for a payload, including jitter and
+    /// retransmissions. Deterministic given the RNG state.
+    pub fn transfer_time<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> f64 {
+        self.transfer_time_scaled(bytes, 1.0, 1.0, self.loss_prob, rng)
     }
 }
 

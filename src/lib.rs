@@ -14,7 +14,7 @@
 //! | [`imaging`] | raster frames, blur/noise, Brenner sharpness, byte-size model |
 //! | [`datagen`] | synthetic VOC / COCO-18 / HELMET datasets at published sizes |
 //! | [`modelzoo`] | SSD/MobileNet/YOLO architectures (FLOPs, params, anchors) and the behavioural detector simulator |
-//! | [`simnet`] | Jetson-Nano / GPU-server devices and WLAN link models |
+//! | [`simnet`] | Jetson-Nano / GPU-server devices, WLAN link models, dynamic link traces and fault plans |
 //! | [`core`] | the discriminator, calibration, trait-based offload policies, batch evaluator and the streaming multi-edge runtime |
 //! | [`eval`] | experiment harness regenerating every paper table and figure |
 //!
@@ -28,6 +28,14 @@
 //!   batches big-model inference across sessions. `run_system` is a thin
 //!   wrapper over a single session and reproduces its historical reports
 //!   bit for bit.
+//!
+//! Networks need not be static: overlay any link with a
+//! [`simnet::LinkTrace`] (outages, diurnal ramps, Gilbert–Elliott bursty
+//! loss, seeded random walks) and schedule faults with a
+//! [`simnet::FaultPlan`]; traced sessions retransmit with backoff against
+//! their virtual clocks and fall back to the edge-only answer when the
+//! link cannot deliver (see `examples/degraded_network.rs` and the
+//! `degraded` experiment).
 //!
 //! # Quickstart
 //!
@@ -102,7 +110,7 @@ pub mod prelude {
         ApProtocol, BBox, ClassId, Detection, GroundTruth, ImageDetections, MapEvaluator, Taxonomy,
     };
     pub use modelzoo::{Capability, Detector, ModelKind, SimDetector};
-    pub use simnet::{DeviceModel, LinkModel};
+    pub use simnet::{DeviceModel, FaultPlan, LinkModel, LinkState, LinkTrace};
     pub use smallbig_core::{
         calibrate, evaluate, evaluate_streaming, run_system, CaseKind, CloudConfig, CloudServer,
         DifficultCaseDiscriminator, EdgeSession, EvalConfig, OffloadPolicy, Policy, RuntimeConfig,

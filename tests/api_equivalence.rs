@@ -283,6 +283,7 @@ fn run_system_equals_manual_single_session() {
             seed: config.seed,
             max_batch: 1,
             workers: 1,
+            ..CloudConfig::default()
         },
         big_arc,
     );
