@@ -31,7 +31,8 @@ use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use smallbig_core::{
     calibrate, detect_all, discriminator_stats_on, evaluate, evaluate_detections, wire,
-    DifficultCaseDiscriminator, EvalConfig, Policy, Thresholds,
+    DifficultCaseDiscriminator, EvalConfig, FifoBatcher, Policy, QueuedFrame, Scheduler,
+    Thresholds,
 };
 use std::time::{Duration, Instant};
 
@@ -756,6 +757,7 @@ mod reference {
                 label: Some(*label),
                 num_classes,
                 link: None,
+                cloud_queue: None,
             })
             .collect();
         let decisions = policy.decide_all(&inputs);
@@ -793,6 +795,91 @@ mod reference {
             uploads as f64 / test.len() as f64,
         )
     }
+}
+
+/// The pre-refactor inline batching loop (PR 1–4's `cloud_scheduler`
+/// queue logic, transcribed): arrivals append to a `Vec`; when the queue
+/// reaches `max_batch` the whole queue drains as one batch; periodic
+/// flushes drain whatever is queued. Returns a `(batches, checksum)`
+/// fingerprint of the exact service order, folded frame by frame, so the
+/// trait-based `FifoBatcher` can be asserted identical before timing.
+fn inline_fifo_drive(pool: &[QueuedFrame], max_batch: usize, flush_every: usize) -> (usize, u64) {
+    let mut queue: Vec<QueuedFrame> = Vec::new();
+    let mut batches = 0usize;
+    let mut checksum = 0u64;
+    let serve = |queue: &mut Vec<QueuedFrame>, batches: &mut usize, checksum: &mut u64| {
+        if queue.is_empty() {
+            return;
+        }
+        for q in queue.drain(..) {
+            *checksum = checksum.wrapping_mul(31).wrapping_add(q.ticket());
+        }
+        *checksum = checksum.rotate_left(7); // batch boundary marker
+        *batches += 1;
+    };
+    for (i, frame) in pool.iter().enumerate() {
+        queue.push(frame.clone());
+        if queue.len() >= max_batch {
+            serve(&mut queue, &mut batches, &mut checksum);
+        }
+        if (i + 1) % flush_every == 0 {
+            serve(&mut queue, &mut batches, &mut checksum);
+        }
+    }
+    serve(&mut queue, &mut batches, &mut checksum);
+    (batches, checksum)
+}
+
+/// The same drive through the object-safe `Scheduler` seam, exactly as
+/// the cloud worker runs it (push → dispatch while ready; flush drains).
+fn trait_fifo_drive(
+    sched: &mut dyn Scheduler,
+    batch_scratch: &mut Vec<QueuedFrame>,
+    pool: &[QueuedFrame],
+    max_batch: usize,
+    flush_every: usize,
+) -> (usize, u64) {
+    let mut batches = 0usize;
+    let mut checksum = 0u64;
+    // Mirrors `dispatch_ready` / `drain_all` in the cloud worker: the
+    // ready check gates eager dispatch, flushes drain until empty, and an
+    // empty take stops the round.
+    let serve =
+        |batch_scratch: &mut Vec<QueuedFrame>, batches: &mut usize, checksum: &mut u64| -> bool {
+            if batch_scratch.is_empty() {
+                return false;
+            }
+            for q in batch_scratch.drain(..) {
+                *checksum = checksum.wrapping_mul(31).wrapping_add(q.ticket());
+            }
+            *checksum = checksum.rotate_left(7);
+            *batches += 1;
+            true
+        };
+    for (i, frame) in pool.iter().enumerate() {
+        sched.push(frame.clone());
+        while sched.ready(max_batch) {
+            sched.take_batch(max_batch, batch_scratch);
+            if !serve(batch_scratch, &mut batches, &mut checksum) {
+                break;
+            }
+        }
+        if (i + 1) % flush_every == 0 {
+            while !sched.is_empty() {
+                sched.take_batch(max_batch, batch_scratch);
+                if !serve(batch_scratch, &mut batches, &mut checksum) {
+                    break;
+                }
+            }
+        }
+    }
+    while !sched.is_empty() {
+        sched.take_batch(max_batch, batch_scratch);
+        if !serve(batch_scratch, &mut batches, &mut checksum) {
+            break;
+        }
+    }
+    (batches, checksum)
 }
 
 // ---------------------------------------------------------------------------
@@ -927,6 +1014,7 @@ struct Report {
     host_parallelism: usize,
     kernels: Kernels,
     serializer: Serializer,
+    scheduler: SchedulerBench,
     harness: Harness,
     sessions: Sessions,
 }
@@ -952,6 +1040,28 @@ struct Serializer {
     /// into reused buffers; the scratch column is `encode_frame_into`
     /// (streaming **and** reusing the frame buffer — the session path).
     encode_frame: KernelRow,
+}
+
+#[derive(Debug, Serialize)]
+struct SchedulerRow {
+    frames: usize,
+    max_batch: usize,
+    /// The pre-refactor inline `Vec` batching loop, transcribed.
+    inline_ns_per_frame: f64,
+    /// The same drive through the object-safe `Scheduler` seam
+    /// (`FifoBatcher` behind a `Box<dyn Scheduler>`).
+    fifo_trait_ns_per_frame: f64,
+    /// trait / inline — the cost of the control-plane seam. ≈1.0
+    /// expected; the service order itself is asserted identical (batch
+    /// partition checksum) before any timing happens.
+    overhead_ratio: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SchedulerBench {
+    /// Push/dispatch/flush cycle over synthetic queued frames: the
+    /// `Scheduler`-trait FIFO vs the inline loop it replaced.
+    fifo_vs_inline: SchedulerRow,
 }
 
 fn main() {
@@ -1284,6 +1394,70 @@ fn main() {
     );
     eprintln!("serializer/encode_frame: {encode_row:?}");
 
+    // ---- Scheduler seam: FIFO trait vs the inline loop it replaced --------
+    // The control plane must be pay-for-what-you-use: routing every frame
+    // through `Box<dyn Scheduler>` instead of the hard-coded Vec loop may
+    // not tax the cloud worker. Self-check first: both drives must form
+    // the same batches in the same order (checksummed) — a semantic drift
+    // would make the timing meaningless.
+    let sched_frames = if quick { 2_000 } else { 50_000 };
+    let sched_max_batch = 4;
+    let sched_flush_every = 37;
+    let sched_pool: Vec<QueuedFrame> = (0..sched_frames as u64)
+        .map(|i| QueuedFrame::synthetic(i % 7, i, i as f64 * 1e-3, 0.0, None))
+        .collect();
+    {
+        let mut fifo = FifoBatcher::new();
+        let mut scratch = Vec::new();
+        let inline = inline_fifo_drive(&sched_pool, sched_max_batch, sched_flush_every);
+        let traited = trait_fifo_drive(
+            &mut fifo,
+            &mut scratch,
+            &sched_pool,
+            sched_max_batch,
+            sched_flush_every,
+        );
+        assert_eq!(
+            inline, traited,
+            "FifoBatcher must form the inline loop's exact batches"
+        );
+    }
+    eprintln!("# scheduler self-check passed: FIFO trait and inline loop form identical batches");
+    let mut sched_fifo = FifoBatcher::new();
+    let mut sched_scratch = Vec::new();
+    let sched_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                sink(inline_fifo_drive(
+                    &sched_pool,
+                    sched_max_batch,
+                    sched_flush_every,
+                ));
+            },
+            &mut || {
+                sink(trait_fifo_drive(
+                    &mut sched_fifo,
+                    &mut sched_scratch,
+                    &sched_pool,
+                    sched_max_batch,
+                    sched_flush_every,
+                ));
+            },
+        ],
+    );
+    let per_frame = |d: Duration| d.as_nanos() as f64 / sched_frames as f64;
+    let scheduler = SchedulerBench {
+        fifo_vs_inline: SchedulerRow {
+            frames: sched_frames,
+            max_batch: sched_max_batch,
+            inline_ns_per_frame: per_frame(sched_times[0]),
+            fifo_trait_ns_per_frame: per_frame(sched_times[1]),
+            overhead_ratio: per_frame(sched_times[1]) / per_frame(sched_times[0]),
+        },
+    };
+    eprintln!("scheduler/fifo_vs_inline: {:?}", scheduler.fifo_vs_inline);
+
     // ---- End-to-end harness: evaluate() alone ----------------------------
     // The single-worker variant pins the harness to its sequential path via
     // the env var; toggling happens on the main thread while no harness
@@ -1458,9 +1632,10 @@ fn main() {
     let sessions = Sessions { runtime_session };
 
     let report = Report {
-        pr: 4,
-        title: "Deterministic degraded-network simulation (traces, faults, fallback)".to_string(),
-        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR4.json"
+        pr: 5,
+        title: "Pluggable cloud scheduling control plane (Scheduler trait, admission, autoscaling)"
+            .to_string(),
+        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR5.json"
             .to_string(),
         quick,
         host_parallelism,
@@ -1475,6 +1650,7 @@ fn main() {
         serializer: Serializer {
             encode_frame: encode_row,
         },
+        scheduler,
         harness,
         sessions,
     };

@@ -28,7 +28,11 @@
 //! ## The streaming runtime
 //!
 //! * [`CloudServer`] — a cloud worker serving any number of edges, with a
-//!   FIFO scheduler that batches big-model inference across sessions,
+//!   pluggable [`Scheduler`] that batches big-model inference across
+//!   sessions ([`FifoBatcher`] by default — bit-identical to the
+//!   historical inline loop; [`DeadlineAware`] and [`DifficultyPriority`]
+//!   reorder batches; [`CloudConfig::queue_limit`] adds admission control
+//!   and [`CloudConfig::autoscale`] a deterministic autoscaler),
 //! * [`EdgeSession`] — one edge device: own virtual clock, own
 //!   [`simnet::LinkModel`], own RNG stream, own policy;
 //!   [`EdgeSession::submit`] / [`EdgeSession::poll`] /
@@ -122,6 +126,7 @@ pub mod par;
 mod persist;
 mod pipeline;
 mod runtime;
+mod scheduler;
 mod server;
 mod strategies;
 mod system;
@@ -143,6 +148,10 @@ pub use pipeline::{
     evaluate_streaming, EvalConfig, EvalOutcome,
 };
 pub use runtime::{run_system, RuntimeConfig, RuntimeMode, RuntimeReport};
+pub use scheduler::{
+    AutoscaleConfig, DeadlineAware, DifficultyPriority, FifoBatcher, QueuedFrame, Scheduler,
+    SchedulerConfig,
+};
 pub use server::{
     CloudConfig, CloudServer, CloudStats, EdgePipeline, EdgeSession, FrameResult, FrameTicket,
     SessionConfig, SessionReport,

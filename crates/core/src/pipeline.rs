@@ -181,6 +181,7 @@ pub fn evaluate_detections(
             label: Some(*label),
             num_classes,
             link: None,
+            cloud_queue: None,
         })
         .collect();
     let decisions = policy.decide_all(&inputs);
@@ -300,6 +301,7 @@ pub fn evaluate_streaming(
             label: Some(label),
             num_classes,
             link: None,
+            cloud_queue: None,
         });
         small_map.add_image_recording(small_dets, &gts, &mut small_contrib);
         big_map.add_image_recording(big_dets, &gts, &mut big_contrib);

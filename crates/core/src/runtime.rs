@@ -13,6 +13,7 @@
 //! identical to the pre-session-layer implementation (guarded by
 //! `tests/api_equivalence.rs`).
 
+use crate::scheduler::{AutoscaleConfig, SchedulerConfig};
 use crate::server::{cloud_loop, CloudConfig, EdgePipeline, SessionConfig};
 use crate::strategies::OffloadPolicy;
 use crate::{DifficultCaseDiscriminator, Policy};
@@ -69,6 +70,25 @@ pub struct RuntimeConfig {
     pub faults: FaultPlan,
     /// Backoff schedule for traced retransmissions.
     pub retry: RetryConfig,
+    /// Cloud-side batch scheduler (see the *Scheduling control plane*
+    /// section of [`crate::CloudServer`]'s module docs). The default
+    /// ([`SchedulerConfig::Fifo`]) is bit-identical to the historical
+    /// behaviour; the blocking one-frame-at-a-time drive of `run_system`
+    /// means priority schedulers mostly matter for the streaming API.
+    pub scheduler: SchedulerConfig,
+    /// Admission control: cloud queue depth (queued frames plus virtual
+    /// backlog, see [`crate::CloudConfig::queue_limit`]) beyond which
+    /// uploads are refused and served edge-only
+    /// ([`RuntimeReport::admission_fallbacks`]). Note that `run_system`
+    /// drives its one session strictly poll-per-frame, so the cloud never
+    /// falls behind it and only `Some(0)` can bind here; the streaming
+    /// API is where admission control earns its keep. `None` (the
+    /// default) admits everything and changes nothing.
+    pub queue_limit: Option<usize>,
+    /// Deterministic autoscaling of the cloud's wall-clock inference pool.
+    /// `None` (the default) keeps the fixed pool; reports are
+    /// bit-identical either way.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -86,6 +106,9 @@ impl Default for RuntimeConfig {
             link_trace: None,
             faults: FaultPlan::new(),
             retry: RetryConfig::default(),
+            scheduler: SchedulerConfig::Fifo,
+            queue_limit: None,
+            autoscale: None,
         }
     }
 }
@@ -113,6 +136,10 @@ pub struct RuntimeReport {
     /// Frames routed to the cloud that the (traced) link could not deliver;
     /// the edge served its local answer. Always zero on a static link.
     pub link_fallbacks: usize,
+    /// Frames the cloud refused at admission
+    /// ([`RuntimeConfig::queue_limit`]); the edge served its local answer
+    /// and spent no uplink. Always zero without a queue limit.
+    pub admission_fallbacks: usize,
 }
 
 /// Runs the live system over a dataset and reports Table XI-style metrics.
@@ -151,6 +178,10 @@ pub fn run_system(
     config: &RuntimeConfig,
 ) -> RuntimeReport {
     assert!(!test.is_empty(), "cannot run over an empty dataset");
+    if let Some(autoscale) = &config.autoscale {
+        // Fail on the caller's thread, as CloudServer::spawn does.
+        autoscale.assert_valid();
+    }
     let num_classes = test.taxonomy().len();
 
     let cloud_cfg = CloudConfig {
@@ -159,6 +190,9 @@ pub fn run_system(
         max_batch: 1,
         workers: 1,
         faults: config.faults.clone(),
+        scheduler: config.scheduler,
+        queue_limit: config.queue_limit,
+        autoscale: config.autoscale,
     };
     let session_cfg = SessionConfig {
         edge: config.edge.clone(),
@@ -188,10 +222,17 @@ pub fn run_system(
     let (tx, rx) = channel::unbounded();
     let (report, stats) = thread::scope(|scope| {
         // ---- Cloud worker thread (same loop CloudServer::spawn runs) ----
-        let cloud = scope.spawn(|| cloud_loop(&rx, big, &cloud_cfg));
+        let cloud = scope.spawn(|| cloud_loop(&rx, big, &cloud_cfg, cloud_cfg.scheduler.build()));
 
         // ---- Edge device (this thread): one blocking session ----
-        let mut session = crate::EdgeSession::attach(0, session_cfg, small, policy, tx.clone());
+        let mut session = crate::EdgeSession::attach(
+            0,
+            session_cfg,
+            small,
+            policy,
+            tx.clone(),
+            cloud_cfg.queue_limit.is_some(),
+        );
         drop(tx);
         for scene in test.iter() {
             let ticket = session.submit(scene);
@@ -217,6 +258,7 @@ pub fn run_system(
         uplink_bytes: report.uplink_bytes,
         deadline_misses: report.deadline_misses,
         link_fallbacks: report.link_fallbacks,
+        admission_fallbacks: report.admission_fallbacks,
     }
 }
 

@@ -39,6 +39,43 @@
 //! historical zero-trace fast path and stay bit-identical to the seed
 //! implementation (pinned by `tests/api_equivalence.rs`).
 //!
+//! # Scheduling control plane
+//!
+//! The cloud side is no longer a hard-coded FIFO loop: batch formation is
+//! delegated to an object-safe [`Scheduler`](crate::Scheduler) — the
+//! control-plane mirror of the data plane's
+//! [`OffloadPolicy`](crate::OffloadPolicy). [`CloudConfig::scheduler`]
+//! names one of the shipped schedulers ([`FifoBatcher`](crate::FifoBatcher)
+//! stays **bit-identical** to the historical inline loop;
+//! [`DeadlineAware`](crate::DeadlineAware) forms batches
+//! earliest-deadline-first; [`DifficultyPriority`](crate::DifficultyPriority)
+//! serves the hardest cases first, ordered by the score the offload policy
+//! stamps on each uploaded frame via
+//! [`OffloadPolicy::difficulty`](crate::OffloadPolicy::difficulty)), and
+//! [`CloudServer::spawn_with`] accepts any custom boxed implementation.
+//!
+//! Two more control-plane knobs ride on the same seam:
+//!
+//! * **Admission control** — [`CloudConfig::queue_limit`] bounds the cloud
+//!   queue. Before spending any uplink, a session asks the cloud (a
+//!   zero-virtual-cost probe on the control channel); a frame refused
+//!   admission is served from the edge-only answer without rendering,
+//!   encoding or transmitting anything
+//!   ([`SessionReport::admission_fallbacks`]), reusing the fallback
+//!   plumbing the degraded-network layer introduced.
+//! * **Autoscaling** — [`CloudConfig::autoscale`] grows and shrinks the
+//!   *wall-clock* inference pool deterministically from the queue depth at
+//!   each batch formation and from [`FaultPlan`] stall windows on the
+//!   virtual clock. Scaling never touches virtual time, and batch results
+//!   merge in queue order, so reports are bit-identical for any scaling
+//!   trajectory ([`CloudStats::peak_workers`] records what the pool did).
+//!
+//! Sessions observe the control plane: every admission probe and every
+//! cloud answer carries the current queue depth, surfaced to policies as
+//! [`PolicyInput::cloud_queue`] so adaptive strategies can back off when
+//! the cloud is saturated (see `examples/degraded_network.rs` and
+//! `examples/cloud_scheduling.rs`).
+//!
 //! # Example
 //!
 //! ```
@@ -70,6 +107,7 @@
 //! assert_eq!(stats.served, report.uploads);
 //! ```
 
+use crate::scheduler::{AutoscaleConfig, Autoscaler, QueuedFrame, Scheduler, SchedulerConfig};
 use crate::strategies::{Decision, OffloadPolicy, PolicyInput};
 use crate::wire::{decode_frame, encode_frame, encode_frame_into};
 use crossbeam::channel::{self, Receiver, Sender};
@@ -87,6 +125,7 @@ use simnet::{
     DeviceModel, FaultPlan, LatencyBreakdown, LatencyStats, LinkAttempt, LinkModel, LinkTrace,
     RetryConfig, TimeWindow,
 };
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -128,6 +167,29 @@ pub struct CloudConfig {
     /// [`SessionConfig::drop_windows`] (see [`FaultPlan::drops_for`]). An
     /// empty plan (the default) changes nothing.
     pub faults: FaultPlan,
+    /// Which [`Scheduler`] forms big-model batches. The default
+    /// ([`SchedulerConfig::Fifo`]) is bit-identical to the historical
+    /// inline loop; see the module docs' *Scheduling control plane*
+    /// section, or pass a custom implementation to
+    /// [`CloudServer::spawn_with`].
+    pub scheduler: SchedulerConfig,
+    /// Admission control: the deepest the cloud queue may grow. With
+    /// `Some(n)`, a session probes the cloud before spending any uplink
+    /// and serves its frame edge-only when `n` or more frames' worth of
+    /// work already waits ([`SessionReport::admission_fallbacks`]). The
+    /// measured depth is the frames not yet in a batch *plus* the server's
+    /// virtual backlog relative to the probing session, in single-frame
+    /// inference units — so the limit binds on real congestion even though
+    /// an eager scheduler keeps the unformed batch below `max_batch`. A
+    /// strictly poll-per-frame edge never builds a backlog and is never
+    /// refused. `None` (the default) admits everything and changes
+    /// nothing — not even RNG draws.
+    pub queue_limit: Option<usize>,
+    /// Deterministic autoscaling of the wall-clock inference pool within
+    /// `[min_workers, workers]`. `None` (the default) keeps the fixed
+    /// pool. Reports are bit-identical either way (scaling never touches
+    /// virtual time); [`CloudStats::peak_workers`] records the trajectory.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl Default for CloudConfig {
@@ -138,6 +200,9 @@ impl Default for CloudConfig {
             max_batch: 1,
             workers: 1,
             faults: FaultPlan::new(),
+            scheduler: SchedulerConfig::Fifo,
+            queue_limit: None,
+            autoscale: None,
         }
     }
 }
@@ -228,6 +293,10 @@ pub struct FrameResult {
     /// Whether the traced link gave up (outage/drops exhausted the retries)
     /// and the local answer was served without a completed round trip.
     pub link_fallback: bool,
+    /// Whether the cloud refused the frame at admission
+    /// ([`CloudConfig::queue_limit`]) and the local answer was served
+    /// without any uplink being spent.
+    pub admission_fallback: bool,
 }
 
 /// Everything one session measured (the per-edge analogue of
@@ -262,6 +331,10 @@ pub struct SessionReport {
     /// the uplink hopeless): the edge served its local answer instead.
     /// Always zero on a static link.
     pub link_fallbacks: usize,
+    /// Frames the policy routed to the cloud but the cloud refused at
+    /// admission ([`CloudConfig::queue_limit`]): the edge served its local
+    /// answer and spent no uplink. Always zero without a queue limit.
+    pub admission_fallbacks: usize,
 }
 
 /// What the cloud worker measured over its lifetime.
@@ -275,6 +348,15 @@ pub struct CloudStats {
     pub busy_s: f64,
     /// Sessions that registered over the server's lifetime.
     pub sessions: usize,
+    /// Frames refused at admission ([`CloudConfig::queue_limit`]).
+    pub admission_rejects: usize,
+    /// Highest number of active inference workers the autoscaler engaged
+    /// (`0` when autoscaling is disabled — the pool then stays at
+    /// [`CloudConfig::workers`]).
+    pub peak_workers: usize,
+    /// Autoscaler resizing events over the server's lifetime (`0` when
+    /// autoscaling is disabled).
+    pub scale_changes: usize,
 }
 
 /// The wire message for one uploaded frame (edge → cloud).
@@ -283,19 +365,27 @@ pub struct CloudStats {
 /// an [`Arc<Scene>`], so a submit shares the scene instead of cloning and
 /// JSON-round-tripping it. Link timing is driven by `frame_bytes` (the
 /// rendered camera frame), which is unaffected.
-#[derive(Debug, Serialize, Deserialize)]
-struct SubmitRequest {
-    session: u64,
-    ticket: u64,
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SubmitRequest {
+    pub(crate) session: u64,
+    pub(crate) ticket: u64,
     /// Size of the encoded camera frame being uploaded (drives the link).
-    frame_bytes: usize,
+    pub(crate) frame_bytes: usize,
     /// Virtual send timestamp at the edge.
-    sent_at: f64,
+    pub(crate) sent_at: f64,
     /// Uplink transfer time, when the edge drove the transfer itself
     /// (traced links). `None` on static links: the cloud draws the uplink
     /// from its own RNG stream in arrival order, exactly as the seed
     /// implementation did.
-    uplink_s: Option<f64>,
+    pub(crate) uplink_s: Option<f64>,
+    /// Difficulty score the offload policy assigned to the frame
+    /// ([`OffloadPolicy::difficulty`]; `0` for unscored frames). Priority
+    /// schedulers order by it; the header bytes don't drive the link
+    /// (`frame_bytes` does), so carrying it is timing-free.
+    pub(crate) difficulty: f64,
+    /// Absolute virtual deadline of the frame (`entered_at + deadline_s`)
+    /// when the session has one; deadline-aware schedulers order by it.
+    pub(crate) deadline_at: Option<f64>,
 }
 
 /// The wire message for one answer (cloud → edge).
@@ -309,6 +399,17 @@ struct SubmitResponse {
     infer_s: f64,
     /// Uplink transfer time the request experienced.
     uplink_s: f64,
+    /// Cloud queue depth when this answer's batch formed (the batch itself
+    /// plus everything still waiting) — the congestion this frame actually
+    /// experienced, surfaced to policies as [`PolicyInput::cloud_queue`].
+    queue_depth: usize,
+}
+
+/// Control-plane reply to an admission probe (cloud → edge, in-process —
+/// probes are zero-virtual-cost and never serialized).
+pub(crate) struct ProbeReply {
+    pub(crate) admitted: bool,
+    pub(crate) queue_depth: usize,
 }
 
 /// Control-plane messages into the cloud worker. Frame headers stay
@@ -319,21 +420,23 @@ pub(crate) enum ToCloud {
         session: u64,
         link: LinkModel,
         resp_tx: Sender<bytes::Bytes>,
+        probe_tx: Sender<ProbeReply>,
     },
     Frame(bytes::Bytes, Arc<Scene>),
+    /// Ask whether the cloud would admit one more frame right now
+    /// ([`CloudConfig::queue_limit`]); answered on the probing session's
+    /// probe channel. `now` is the probing session's virtual clock, so the
+    /// cloud can count its own virtual backlog — not just the unformed
+    /// batch — against the limit.
+    Probe {
+        session: u64,
+        now: f64,
+    },
     Flush,
     Deregister {
         session: u64,
     },
     Shutdown,
-}
-
-/// A frame waiting cloud-side for its batch.
-struct QueuedFrame {
-    req: SubmitRequest,
-    scene: Arc<Scene>,
-    uplink_s: f64,
-    arrival: f64,
 }
 
 /// Handles to the big-model inference pool (present when
@@ -351,10 +454,16 @@ struct DetectPool {
 /// order* regardless of which worker finished first. Detectors are
 /// deterministic, so the merged output — and therefore every response and
 /// report downstream — is identical for any worker count.
+///
+/// `active_workers` bounds how many jobs are in flight at once (the
+/// autoscaler's wall-clock knob; `usize::MAX` keeps the historical
+/// send-everything dispatch). The indexed merge makes the bound invisible
+/// to results.
 fn detect_batch(
     queue: &[QueuedFrame],
     big: &(dyn Detector + Sync),
     pool: Option<&DetectPool>,
+    active_workers: usize,
     out: &mut Vec<Option<ImageDetections>>,
 ) {
     out.clear();
@@ -366,12 +475,15 @@ fn detect_batch(
             }
         }
         Some(pool) => {
-            for (i, q) in queue.iter().enumerate() {
+            let n = queue.len();
+            let window = active_workers.max(1).min(n);
+            let mut next = window;
+            for (i, q) in queue.iter().take(window).enumerate() {
                 pool.job_tx
                     .send((i, Arc::clone(&q.scene)))
                     .expect("inference workers outlive the scheduler");
             }
-            for _ in 0..queue.len() {
+            for _ in 0..n {
                 let (i, result) = pool
                     .done_rx
                     .recv()
@@ -383,28 +495,43 @@ fn detect_batch(
                     // will never arrive.
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
+                if next < n {
+                    pool.job_tx
+                        .send((next, Arc::clone(&queue[next].scene)))
+                        .expect("inference workers outlive the scheduler");
+                    next += 1;
+                }
             }
         }
     }
 }
 
-/// The cloud worker: FIFO over the control channel, batching big-model
-/// inference across sessions.
+/// Per-session handles the cloud worker keeps.
+struct SessionHandles {
+    link: LinkModel,
+    resp_tx: Sender<bytes::Bytes>,
+    probe_tx: Sender<ProbeReply>,
+}
+
+/// The cloud worker: FIFO over the control channel, delegating batch
+/// formation to the configured [`Scheduler`].
 ///
 /// Determinism: everything the worker does is a pure function of the
 /// message order on `rx` (uplink jitter is drawn per frame in arrival
-/// order). Drive all sessions from one thread and the whole run is
-/// reproducible; the wall-clock speed of this thread never matters. With
-/// `workers > 1` only the *detect* calls fan out (see [`detect_batch`]);
-/// scheduling, timing and response order stay on this thread.
+/// order, and schedulers never draw randomness). Drive all sessions from
+/// one thread and the whole run is reproducible; the wall-clock speed of
+/// this thread never matters. With `workers > 1` only the *detect* calls
+/// fan out (see [`detect_batch`]); scheduling, timing and response order
+/// stay on this thread.
 pub(crate) fn cloud_loop(
     rx: &Receiver<ToCloud>,
     big: &(dyn Detector + Sync),
     config: &CloudConfig,
+    sched: Box<dyn Scheduler>,
 ) -> CloudStats {
     assert!(config.workers >= 1, "workers must be at least 1");
     if config.workers == 1 {
-        return cloud_scheduler(rx, big, config, None);
+        return cloud_scheduler(rx, big, config, sched, None);
     }
     std::thread::scope(|scope| {
         let (job_tx, job_rx) = channel::unbounded::<(usize, Arc<Scene>)>();
@@ -430,67 +557,137 @@ pub(crate) fn cloud_loop(
         let pool = DetectPool { job_tx, done_rx };
         // `pool` (and its job sender) drops when this closure returns,
         // disconnecting the workers so the scope can join them.
-        cloud_scheduler(rx, big, config, Some(&pool))
+        cloud_scheduler(rx, big, config, sched, Some(&pool))
     })
 }
 
-/// The scheduler half of [`cloud_loop`]; inference goes through
+/// The control-plane half of [`cloud_loop`]: admission, batch formation
+/// via the [`Scheduler`], autoscaling, and timing. Inference goes through
 /// [`detect_batch`] (inline or pooled).
+struct CloudWorker<'a> {
+    big: &'a (dyn Detector + Sync),
+    config: &'a CloudConfig,
+    pool: Option<&'a DetectPool>,
+    sched: Box<dyn Scheduler>,
+    sessions: HashMap<u64, SessionHandles>,
+    server_free_at: f64,
+    next_seq: u64,
+    batch: Vec<QueuedFrame>,
+    dets_scratch: Vec<Option<ImageDetections>>,
+    autoscaler: Option<Autoscaler>,
+    stats: CloudStats,
+}
+
+impl CloudWorker<'_> {
+    /// Forms and serves one batch (a no-op on an empty queue). Returns the
+    /// number of frames served.
+    fn process_one_batch(&mut self) -> usize {
+        self.sched
+            .take_batch(self.config.max_batch, &mut self.batch);
+        if self.batch.is_empty() {
+            return 0;
+        }
+        let n = self.batch.len();
+        let latest_arrival = self
+            .batch
+            .iter()
+            .map(|q| q.arrival)
+            .fold(f64::MIN, f64::max);
+        // A scheduled stall defers the batch to the window's end; an empty
+        // fault plan leaves the start untouched (the bit-identical path).
+        let formed_at = self.server_free_at.max(latest_arrival);
+        let start = self.config.faults.next_available(formed_at);
+        // Autoscaling observes virtual-time state only (queue depth at
+        // formation, stall windows) and feeds the wall-clock dispatch
+        // width — results merge in queue order, so any trajectory yields
+        // bit-identical reports.
+        let active_workers = match &mut self.autoscaler {
+            None => usize::MAX,
+            Some(a) => a.observe(
+                n + self.sched.len(),
+                self.config.faults.is_stalled(formed_at),
+            ),
+        };
+        let batch_s = self.config.device.batch_inference_time(self.big.flops(), n);
+        self.server_free_at = start + batch_s;
+        self.stats.batches += 1;
+        self.stats.busy_s += batch_s;
+        let per_frame_infer = batch_s / n as f64;
+        detect_batch(
+            &self.batch,
+            self.big,
+            self.pool,
+            active_workers,
+            &mut self.dets_scratch,
+        );
+        // Depth *at formation*: what this batch's frames actually queued
+        // behind (a post-batch depth would read 0 after every flush and
+        // tell adaptive policies nothing).
+        let queue_depth = n + self.sched.len();
+        for (q, dets) in self.batch.drain(..).zip(self.dets_scratch.iter_mut()) {
+            let dets = dets.take().expect("detect_batch fills every slot");
+            self.stats.served += 1;
+            let resp = SubmitResponse {
+                ticket: q.req.ticket,
+                dets,
+                sent_at: self.server_free_at,
+                infer_s: per_frame_infer,
+                uplink_s: q.uplink_s,
+                queue_depth,
+            };
+            if let Some(handles) = self.sessions.get(&q.req.session) {
+                // A session that hung up just loses its reply.
+                let _ = handles.resp_tx.send(encode_frame(&resp));
+            }
+        }
+        n
+    }
+
+    /// Dispatches as long as the scheduler reports a batch is due. The
+    /// progress guard means a scheduler that says "ready" but yields no
+    /// frames stops the round instead of spinning the worker.
+    fn dispatch_ready(&mut self) {
+        while self.sched.ready(self.config.max_batch) && self.process_one_batch() > 0 {}
+    }
+
+    /// Serves everything queued (flush/deregister/shutdown), one batch at
+    /// a time, in the scheduler's service order.
+    fn drain_all(&mut self) {
+        while !self.sched.is_empty() && self.process_one_batch() > 0 {}
+    }
+}
+
 fn cloud_scheduler(
     rx: &Receiver<ToCloud>,
     big: &(dyn Detector + Sync),
     config: &CloudConfig,
+    sched: Box<dyn Scheduler>,
     pool: Option<&DetectPool>,
 ) -> CloudStats {
     assert!(config.max_batch >= 1, "max_batch must be at least 1");
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0xc10d);
-    let mut server_free_at = 0.0f64;
-    let mut sessions: HashMap<u64, (LinkModel, Sender<bytes::Bytes>)> = HashMap::new();
-    let mut queue: Vec<QueuedFrame> = Vec::new();
-    let mut dets_scratch: Vec<Option<ImageDetections>> = Vec::new();
-    let mut stats = CloudStats {
-        served: 0,
-        batches: 0,
-        busy_s: 0.0,
-        sessions: 0,
-    };
-
-    let process_batch = |queue: &mut Vec<QueuedFrame>,
-                         dets_scratch: &mut Vec<Option<ImageDetections>>,
-                         sessions: &HashMap<u64, (LinkModel, Sender<bytes::Bytes>)>,
-                         server_free_at: &mut f64,
-                         stats: &mut CloudStats| {
-        if queue.is_empty() {
-            return;
-        }
-        let n = queue.len();
-        let latest_arrival = queue.iter().map(|q| q.arrival).fold(f64::MIN, f64::max);
-        // A scheduled stall defers the batch to the window's end; an empty
-        // fault plan leaves the start untouched (the bit-identical path).
-        let start = config
-            .faults
-            .next_available(server_free_at.max(latest_arrival));
-        let batch_s = config.device.batch_inference_time(big.flops(), n);
-        *server_free_at = start + batch_s;
-        stats.batches += 1;
-        stats.busy_s += batch_s;
-        let per_frame_infer = batch_s / n as f64;
-        detect_batch(queue, big, pool, dets_scratch);
-        for (q, dets) in queue.drain(..).zip(dets_scratch.iter_mut()) {
-            let dets = dets.take().expect("detect_batch fills every slot");
-            stats.served += 1;
-            let resp = SubmitResponse {
-                ticket: q.req.ticket,
-                dets,
-                sent_at: *server_free_at,
-                infer_s: per_frame_infer,
-                uplink_s: q.uplink_s,
-            };
-            if let Some((_, resp_tx)) = sessions.get(&q.req.session) {
-                // A session that hung up just loses its reply.
-                let _ = resp_tx.send(encode_frame(&resp));
-            }
-        }
+    let mut w = CloudWorker {
+        big,
+        config,
+        pool,
+        sched,
+        sessions: HashMap::new(),
+        server_free_at: 0.0,
+        next_seq: 0,
+        batch: Vec::new(),
+        dets_scratch: Vec::new(),
+        autoscaler: config
+            .autoscale
+            .map(|cfg| Autoscaler::new(cfg, config.workers)),
+        stats: CloudStats {
+            served: 0,
+            batches: 0,
+            busy_s: 0.0,
+            sessions: 0,
+            admission_rejects: 0,
+            peak_workers: 0,
+            scale_changes: 0,
+        },
     };
 
     while let Ok(msg) = rx.recv() {
@@ -499,17 +696,26 @@ fn cloud_scheduler(
                 session,
                 link,
                 resp_tx,
+                probe_tx,
             } => {
-                stats.sessions += 1;
-                sessions.insert(session, (link, resp_tx));
+                w.stats.sessions += 1;
+                w.sessions.insert(
+                    session,
+                    SessionHandles {
+                        link,
+                        resp_tx,
+                        probe_tx,
+                    },
+                );
             }
             ToCloud::Frame(frame, scene) => {
                 let req: SubmitRequest =
                     decode_frame(&frame).expect("edge sends well-formed frames");
-                let link = &sessions
+                let link = &w
+                    .sessions
                     .get(&req.session)
                     .expect("frames only arrive from registered sessions")
-                    .0;
+                    .link;
                 // Traced sessions time their own uplink on the edge; static
                 // sessions keep the historical cloud-side draw (and only
                 // they consume this RNG stream, so mixing session kinds
@@ -518,54 +724,62 @@ fn cloud_scheduler(
                     .uplink_s
                     .unwrap_or_else(|| link.transfer_time(req.frame_bytes, &mut rng));
                 let arrival = req.sent_at + uplink_s;
-                queue.push(QueuedFrame {
+                let seq = w.next_seq;
+                w.next_seq += 1;
+                w.sched.push(QueuedFrame {
                     req,
                     scene,
                     uplink_s,
                     arrival,
+                    seq,
                 });
-                if queue.len() >= config.max_batch {
-                    process_batch(
-                        &mut queue,
-                        &mut dets_scratch,
-                        &sessions,
-                        &mut server_free_at,
-                        &mut stats,
-                    );
+                w.dispatch_ready();
+            }
+            ToCloud::Probe { session, now } => {
+                // Effective depth = frames not yet in a batch, plus the
+                // server's virtual backlog relative to the probing session
+                // expressed in single-frame inference units. Without the
+                // backlog term an eagerly-dispatching scheduler (FIFO
+                // drains at `max_batch`) would cap the observable depth at
+                // `max_batch - 1` and any larger limit could never bind,
+                // even with the server minutes behind in virtual time.
+                let infer_s = w.config.device.inference_time(big.flops());
+                let backlog = if infer_s > 0.0 {
+                    ((w.server_free_at - now).max(0.0) / infer_s) as usize
+                } else {
+                    0
+                };
+                let queue_depth = w.sched.len() + backlog;
+                let admitted = w.config.queue_limit.is_none_or(|n| queue_depth < n);
+                if !admitted {
+                    w.stats.admission_rejects += 1;
+                }
+                if let Some(handles) = w.sessions.get(&session) {
+                    // A session that hung up just loses its reply.
+                    let _ = handles.probe_tx.send(ProbeReply {
+                        admitted,
+                        queue_depth,
+                    });
                 }
             }
             ToCloud::Flush => {
-                process_batch(
-                    &mut queue,
-                    &mut dets_scratch,
-                    &sessions,
-                    &mut server_free_at,
-                    &mut stats,
-                );
+                w.drain_all();
             }
             ToCloud::Deregister { session } => {
                 // Resolve anything queued (possibly other sessions' frames —
                 // cheaper than per-session bookkeeping, and deterministic).
-                process_batch(
-                    &mut queue,
-                    &mut dets_scratch,
-                    &sessions,
-                    &mut server_free_at,
-                    &mut stats,
-                );
-                sessions.remove(&session);
+                w.drain_all();
+                w.sessions.remove(&session);
             }
             ToCloud::Shutdown => break,
         }
     }
-    process_batch(
-        &mut queue,
-        &mut dets_scratch,
-        &sessions,
-        &mut server_free_at,
-        &mut stats,
-    );
-    stats
+    w.drain_all();
+    if let Some(a) = &w.autoscaler {
+        w.stats.peak_workers = a.peak;
+        w.stats.scale_changes = a.changes;
+    }
+    w.stats
 }
 
 /// Handle to a running cloud worker accepting any number of edge sessions.
@@ -573,17 +787,40 @@ pub struct CloudServer {
     tx: Sender<ToCloud>,
     handle: JoinHandle<CloudStats>,
     next_session: u64,
+    /// Whether sessions must probe for admission before uploading
+    /// ([`CloudConfig::queue_limit`]).
+    admission: bool,
 }
 
 impl CloudServer {
-    /// Spawns the cloud worker thread.
+    /// Spawns the cloud worker thread with the scheduler named by
+    /// [`CloudConfig::scheduler`].
     pub fn spawn(config: CloudConfig, big: Arc<dyn Detector + Send + Sync>) -> CloudServer {
+        let sched = config.scheduler.build();
+        CloudServer::spawn_with(config, big, sched)
+    }
+
+    /// Spawns the cloud worker thread with a custom [`Scheduler`] — the
+    /// control-plane extension point ([`CloudConfig::scheduler`] is
+    /// ignored in favour of `scheduler`).
+    pub fn spawn_with(
+        config: CloudConfig,
+        big: Arc<dyn Detector + Send + Sync>,
+        scheduler: Box<dyn Scheduler>,
+    ) -> CloudServer {
+        // Validate here, on the caller's thread: a bad autoscale config
+        // must fail at spawn, not kill the worker at its first batch.
+        if let Some(autoscale) = &config.autoscale {
+            autoscale.assert_valid();
+        }
+        let admission = config.queue_limit.is_some();
         let (tx, rx) = channel::unbounded();
-        let handle = std::thread::spawn(move || cloud_loop(&rx, &*big, &config));
+        let handle = std::thread::spawn(move || cloud_loop(&rx, &*big, &config, scheduler));
         CloudServer {
             tx,
             handle,
             next_session: 0,
+            admission,
         }
     }
 
@@ -605,7 +842,7 @@ impl CloudServer {
     ) -> EdgeSession<'a> {
         let id = self.next_session;
         self.next_session += 1;
-        EdgeSession::attach(id, config, small, policy, self.tx.clone())
+        EdgeSession::attach(id, config, small, policy, self.tx.clone(), self.admission)
     }
 
     /// Stops the worker after resolving every queued frame and returns its
@@ -638,6 +875,14 @@ pub struct EdgeSession<'a> {
     policy: Box<dyn OffloadPolicy + 'a>,
     tx: Sender<ToCloud>,
     rx: Receiver<bytes::Bytes>,
+    probe_rx: Receiver<ProbeReply>,
+    /// Whether the cloud enforces a queue limit: uploads then probe for
+    /// admission before spending the uplink. `false` sends no probes at
+    /// all — the bit-identical path.
+    admission: bool,
+    /// Cloud queue depth last observed (from probes and answer headers);
+    /// surfaced to the policy as [`PolicyInput::cloud_queue`].
+    last_cloud_queue: Option<usize>,
     rng: StdRng,
     now: f64,
     map: MapEvaluator,
@@ -646,6 +891,7 @@ pub struct EdgeSession<'a> {
     uplink_bytes: u64,
     deadline_misses: usize,
     link_fallbacks: usize,
+    admission_fallbacks: usize,
     uploads: usize,
     frames: usize,
     next_ticket: u64,
@@ -754,12 +1000,15 @@ impl<'a> EdgeSession<'a> {
         small: &'a (dyn Detector + Sync),
         policy: Box<dyn OffloadPolicy + 'a>,
         tx: Sender<ToCloud>,
+        admission: bool,
     ) -> EdgeSession<'a> {
         let (resp_tx, resp_rx) = channel::unbounded();
+        let (probe_tx, probe_rx) = channel::unbounded();
         tx.send(ToCloud::Register {
             session: id,
             link: cfg.link.clone(),
             resp_tx,
+            probe_tx,
         })
         .expect("cloud server alive");
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0xed6e);
@@ -771,6 +1020,9 @@ impl<'a> EdgeSession<'a> {
             policy,
             tx,
             rx: resp_rx,
+            probe_rx,
+            admission,
+            last_cloud_queue: None,
             rng,
             now: 0.0,
             map,
@@ -779,6 +1031,7 @@ impl<'a> EdgeSession<'a> {
             uplink_bytes: 0,
             deadline_misses: 0,
             link_fallbacks: 0,
+            admission_fallbacks: 0,
             uploads: 0,
             frames: 0,
             next_ticket: 0,
@@ -805,9 +1058,17 @@ impl<'a> EdgeSession<'a> {
         self.pending.len()
     }
 
-    /// The offload policy's name (for reports).
-    pub fn policy_name(&self) -> String {
+    /// The offload policy's name (for reports). Borrowed for policies with
+    /// static names; no allocation per call in that case.
+    pub fn policy_name(&self) -> Cow<'static, str> {
         self.policy.name()
+    }
+
+    /// Cloud queue depth this session last observed (from admission probes
+    /// and answer headers), or `None` before any cloud interaction. The
+    /// same signal policies receive as [`PolicyInput::cloud_queue`].
+    pub fn observed_cloud_queue(&self) -> Option<usize> {
+        self.last_cloud_queue
     }
 
     /// Pushes one frame through the edge pipeline.
@@ -855,18 +1116,55 @@ impl<'a> EdgeSession<'a> {
             Some(trace) => trace.state_of(&self.cfg.link, self.now),
             None => self.cfg.link.state(),
         };
-        let decision = self.policy.decide(&PolicyInput {
+        let input = PolicyInput {
             scene,
             small_dets: &dets,
             label: None,
             num_classes: self.cfg.num_classes,
             link: Some(link_state),
-        });
+            cloud_queue: self.last_cloud_queue,
+        };
+        let decision = self.policy.decide(&input);
+        // The difficulty score rides the wire header for priority
+        // schedulers; non-finite scores are clamped out so scheduling keys
+        // stay totally ordered.
+        let difficulty = if decision.is_upload() {
+            let d = self.policy.difficulty(&input).unwrap_or(0.0);
+            if d.is_finite() {
+                d
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
 
         self.now += breakdown.edge_infer_s + breakdown.discriminator_s;
 
         if decision.is_upload() {
             let entered_at = self.now - breakdown.edge_infer_s - breakdown.discriminator_s;
+            // Admission control: when the cloud bounds its queue, ask before
+            // rendering or spending any uplink. The probe is control-plane
+            // only — zero virtual cost, no RNG — and without a queue limit
+            // no probe is ever sent (the bit-identical path).
+            if self.admission {
+                self.tx
+                    .send(ToCloud::Probe {
+                        session: self.id,
+                        now: self.now,
+                    })
+                    .expect("cloud server alive");
+                let reply = self.probe_rx.recv().expect("cloud server alive");
+                self.last_cloud_queue = Some(reply.queue_depth);
+                if !reply.admitted {
+                    self.admission_fallbacks += 1;
+                    self.resolve(
+                        ticket.0, decision, breakdown, dets, &gts, self.now, false, false, true,
+                    );
+                    self.gts_scratch = gts;
+                    return ticket;
+                }
+            }
             let frame = render(&scene.render_spec(self.cfg.frame_size.0, self.cfg.frame_size.1));
             let frame_bytes = encoded_size_bytes(&frame);
             // Traced links drive the uplink from the edge (retransmitting
@@ -909,6 +1207,7 @@ impl<'a> EdgeSession<'a> {
                     completed_at,
                     missed_deadline,
                     true,
+                    false,
                 );
             } else {
                 let (sent_at, uplink_s) = match uplink {
@@ -931,6 +1230,8 @@ impl<'a> EdgeSession<'a> {
                     frame_bytes,
                     sent_at,
                     uplink_s,
+                    difficulty,
+                    deadline_at: self.cfg.deadline_s.map(|d| entered_at + d),
                 };
                 let scene_arc = match shared {
                     Some(arc) => Arc::clone(arc),
@@ -956,7 +1257,7 @@ impl<'a> EdgeSession<'a> {
             }
         } else {
             self.resolve(
-                ticket.0, decision, breakdown, dets, &gts, self.now, false, false,
+                ticket.0, decision, breakdown, dets, &gts, self.now, false, false, false,
             );
         }
         self.gts_scratch = gts;
@@ -1042,12 +1343,14 @@ impl<'a> EdgeSession<'a> {
             uplink_bytes: self.uplink_bytes,
             deadline_misses: self.deadline_misses,
             link_fallbacks: self.link_fallbacks,
+            admission_fallbacks: self.admission_fallbacks,
         }
     }
 
     /// Applies one cloud answer: downlink timing, deadline check, metrics.
     fn absorb_response(&mut self, bytes: &bytes::Bytes) {
         let resp: SubmitResponse = decode_frame(bytes).expect("cloud sends well-formed frames");
+        self.last_cloud_queue = Some(resp.queue_depth);
         let p = self
             .pending
             .remove(&resp.ticket)
@@ -1107,6 +1410,7 @@ impl<'a> EdgeSession<'a> {
                             completed_at,
                             false,
                             true,
+                            false,
                         );
                         return;
                     }
@@ -1150,6 +1454,7 @@ impl<'a> EdgeSession<'a> {
             completed_at,
             missed,
             false,
+            false,
         );
     }
 
@@ -1164,6 +1469,7 @@ impl<'a> EdgeSession<'a> {
         completed_at: f64,
         missed_deadline: bool,
         link_fallback: bool,
+        admission_fallback: bool,
     ) {
         self.latency.add(breakdown);
         self.map.add_image(&dets, gts);
@@ -1183,6 +1489,7 @@ impl<'a> EdgeSession<'a> {
                 completed_at,
                 missed_deadline,
                 link_fallback,
+                admission_fallback,
             },
         );
     }

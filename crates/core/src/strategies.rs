@@ -30,6 +30,7 @@ use imaging::{brenner_gradient, render};
 use rand::rngs::StdRng;
 use rand::{seq::SliceRandom, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Per-image routing decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,6 +66,14 @@ pub struct PolicyInput<'a> {
     /// local through outages or congestion — see
     /// [`simnet::LinkState::nominal_transfer_time`].
     pub link: Option<simnet::LinkState>,
+    /// Cloud queue depth the session last observed — admission probes
+    /// report the instantaneous depth, answer headers the depth at their
+    /// batch's formation (the congestion that answer actually queued
+    /// behind); see the *Scheduling control plane* section of
+    /// [`crate::CloudServer`]'s module docs. `None` before any cloud
+    /// interaction and in batch evaluation. Lets adaptive policies back
+    /// off when the cloud itself — not the link — is the bottleneck.
+    pub cloud_queue: Option<usize>,
 }
 
 /// A per-frame offload strategy, decided in arrival order.
@@ -102,10 +111,35 @@ pub trait OffloadPolicy: Send {
     /// Decides one frame, given everything the edge knows about it.
     fn decide(&mut self, input: &PolicyInput<'_>) -> Decision;
 
-    /// Human-readable strategy name for reports.
-    fn name(&self) -> String {
-        "custom".to_string()
+    /// Human-readable strategy name for reports. Return
+    /// [`Cow::Borrowed`] for fixed names (no per-call allocation) and
+    /// [`Cow::Owned`] when the name embeds parameters.
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("custom")
     }
+
+    /// Optional difficulty score for the frame (higher = harder), asked
+    /// right after [`decide`](Self::decide) returned
+    /// [`Decision::Upload`]. The score rides the upload's wire header so
+    /// cloud-side priority schedulers
+    /// ([`DifficultyPriority`](crate::DifficultyPriority)) can serve the
+    /// hardest cases first. The default (`None`) stamps `0` — FIFO among
+    /// unscored frames. Must not draw randomness or the run stops
+    /// replaying.
+    fn difficulty(&mut self, _input: &PolicyInput<'_>) -> Option<f64> {
+        None
+    }
+}
+
+/// The discriminator's scalar difficulty score (higher = harder): count
+/// mismatch dominates, then estimated count, then small minimum area —
+/// the ranking behind [`Policy::DifficultyQuantile`] and the score
+/// uploaded frames carry for [`DifficultyPriority`](crate::DifficultyPriority).
+fn semantic_difficulty(dets: &ImageDetections, t_conf: f64) -> f64 {
+    let f = crate::SemanticFeatures::extract(dets, t_conf);
+    let uncertain = f.estimated_count.saturating_sub(f.predicted_count) as f64;
+    let min_area = f.estimated_min_area.unwrap_or(1.0);
+    uncertain * 1e6 + f.estimated_count as f64 * 1e3 + (1.0 - min_area)
 }
 
 impl OffloadPolicy for DifficultCaseDiscriminator {
@@ -116,12 +150,19 @@ impl OffloadPolicy for DifficultCaseDiscriminator {
         }
     }
 
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         let t = self.thresholds();
-        format!(
+        Cow::Owned(format!(
             "difficult-case (conf {:.2}, count {}, area {:.2})",
             t.conf, t.count, t.area
-        )
+        ))
+    }
+
+    fn difficulty(&mut self, input: &PolicyInput<'_>) -> Option<f64> {
+        Some(semantic_difficulty(
+            input.small_dets,
+            self.thresholds().conf,
+        ))
     }
 }
 
@@ -171,8 +212,20 @@ impl OffloadPolicy for Policy {
         }
     }
 
-    fn name(&self) -> String {
-        Policy::name(self)
+    fn name(&self) -> Cow<'static, str> {
+        match self {
+            Policy::CloudOnly => Cow::Borrowed("cloud-only"),
+            Policy::EdgeOnly => Cow::Borrowed("edge-only"),
+            Policy::Oracle => Cow::Borrowed("oracle"),
+            other => Cow::Owned(Policy::name(other)),
+        }
+    }
+
+    fn difficulty(&mut self, input: &PolicyInput<'_>) -> Option<f64> {
+        match self {
+            Policy::DifficultCase(disc) => disc.difficulty(input),
+            _ => None,
+        }
     }
 }
 
@@ -328,13 +381,8 @@ impl Policy {
                 assert!((0.0..=1.0).contains(upload_fraction), "fraction in [0, 1]");
                 let scores: Vec<f64> = inputs
                     .iter()
-                    .map(|ctx| {
-                        let f = crate::SemanticFeatures::extract(ctx.small_dets, *t_conf);
-                        let uncertain = f.estimated_count.saturating_sub(f.predicted_count) as f64;
-                        let min_area = f.estimated_min_area.unwrap_or(1.0);
-                        // Higher = more difficult; negate for upload_lowest.
-                        -(uncertain * 1e6 + f.estimated_count as f64 * 1e3 + (1.0 - min_area))
-                    })
+                    // Higher = more difficult; negate for upload_lowest.
+                    .map(|ctx| -semantic_difficulty(ctx.small_dets, *t_conf))
                     .collect();
                 upload_lowest(&scores, *upload_fraction)
             }
@@ -422,6 +470,10 @@ pub struct QuantileStream {
     kind: ScoreKind,
     upload_fraction: f64,
     sorted_scores: Vec<f64>,
+    /// Score of the most recently decided frame. `difficulty` is asked
+    /// right after `decide` on the same frame, and blur scoring re-renders
+    /// the whole frame — so it reuses this instead of recomputing.
+    last_score: Option<f64>,
 }
 
 impl QuantileStream {
@@ -436,6 +488,7 @@ impl QuantileStream {
             kind,
             upload_fraction,
             sorted_scores: Vec::new(),
+            last_score: None,
         }
     }
 
@@ -451,12 +504,7 @@ impl QuantileStream {
                 brenner_gradient(&frame)
             }
             ScoreKind::Top1 => input.small_dets.mean_top1_score(input.num_classes),
-            ScoreKind::Difficulty { t_conf } => {
-                let f = crate::SemanticFeatures::extract(input.small_dets, t_conf);
-                let uncertain = f.estimated_count.saturating_sub(f.predicted_count) as f64;
-                let min_area = f.estimated_min_area.unwrap_or(1.0);
-                -(uncertain * 1e6 + f.estimated_count as f64 * 1e3 + (1.0 - min_area))
-            }
+            ScoreKind::Difficulty { t_conf } => -semantic_difficulty(input.small_dets, t_conf),
         }
     }
 }
@@ -464,6 +512,7 @@ impl QuantileStream {
 impl OffloadPolicy for QuantileStream {
     fn decide(&mut self, input: &PolicyInput<'_>) -> Decision {
         let score = self.score(input);
+        self.last_score = Some(score);
         let rank = self.sorted_scores.partition_point(|s| *s < score);
         self.sorted_scores.insert(rank, score);
         let k = quantile_count(self.sorted_scores.len(), self.upload_fraction);
@@ -474,13 +523,24 @@ impl OffloadPolicy for QuantileStream {
         }
     }
 
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         let what = match self.kind {
             ScoreKind::Blur { .. } => "blurred",
             ScoreKind::Top1 => "top-1 confidence",
             ScoreKind::Difficulty { .. } => "difficulty-ranked",
         };
-        format!("streaming {what} {:.0}%", self.upload_fraction * 100.0)
+        Cow::Owned(format!(
+            "streaming {what} {:.0}%",
+            self.upload_fraction * 100.0
+        ))
+    }
+
+    fn difficulty(&mut self, input: &PolicyInput<'_>) -> Option<f64> {
+        // A quantile stream scores frames with "lower = more worth
+        // uploading"; negated, that is a difficulty (higher = harder).
+        // `decide` just scored this frame, so reuse its score rather than
+        // re-render (blur) or re-extract features.
+        Some(-self.last_score.unwrap_or_else(|| self.score(input)))
     }
 }
 
@@ -528,6 +588,7 @@ mod tests {
                 }),
                 num_classes: 20,
                 link: None,
+                cloud_queue: None,
             })
             .collect()
     }

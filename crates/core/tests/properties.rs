@@ -179,6 +179,7 @@ proptest! {
                 }),
                 num_classes: 20,
                 link: None,
+                cloud_queue: None,
             })
             .collect();
 
@@ -218,7 +219,9 @@ proptest! {
         let mut p2 = p1.clone();
         let mut uploads = 0usize;
         for (scene, small_dets) in scenes.iter().zip(&dets) {
-            let ctx = PolicyInput { scene, small_dets, label: None, num_classes: 20, link: None };
+            let ctx = PolicyInput {
+                scene, small_dets, label: None, num_classes: 20, link: None, cloud_queue: None,
+            };
             let a = p1.decide(&ctx);
             prop_assert_eq!(a, p2.decide(&ctx));
             if a.is_upload() {

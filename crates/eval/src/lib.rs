@@ -81,7 +81,7 @@ impl fmt::Display for Report {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 30] = [
+pub const ALL_EXPERIMENTS: [&str; 31] = [
     "motivation",
     "table1",
     "table2",
@@ -112,6 +112,7 @@ pub const ALL_EXPERIMENTS: [&str; 30] = [
     "perclass",
     "multiedge",
     "degraded",
+    "scheduling",
 ];
 
 /// Runs one experiment by id (or `"all"`).
@@ -167,6 +168,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Result<Vec<Report>, String> 
         "perclass" => extras::perclass(cfg),
         "multiedge" => extras::multiedge(cfg),
         "degraded" => extras::degraded(cfg),
+        "scheduling" => extras::scheduling(cfg),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(vec![report])

@@ -13,22 +13,33 @@
 //! ```
 
 use smallbig::core::{
-    run_system, Decision, OffloadPolicy, Policy, PolicyInput, RuntimeConfig, RuntimeMode,
-    Thresholds,
+    run_system, CloudConfig, CloudServer, Decision, OffloadPolicy, Policy, PolicyInput,
+    RuntimeConfig, RuntimeMode, SessionConfig, Thresholds,
 };
 use smallbig::prelude::*;
 use smallbig::simnet::LinkTrace;
+use std::borrow::Cow;
+use std::sync::Arc;
 
-/// Upload difficult cases *only while the link can deliver them quickly*:
-/// the discriminator proposes, the observed link state disposes. This is
+/// Upload difficult cases *only while the infrastructure can pay for
+/// them*: the discriminator proposes, the observed state disposes. This is
 /// the adaptive-policy extension point — `PolicyInput::link` carries the
-/// effective bandwidth/RTT/loss under the session's trace at each frame.
+/// effective bandwidth/RTT/loss under the session's trace at each frame,
+/// and `PolicyInput::cloud_queue` the cloud queue depth the session last
+/// observed (admission probes and answer headers both report it).
 struct LinkAwareDiscriminator {
     disc: DifficultCaseDiscriminator,
     /// Keep frames local when even a nominal upload would exceed this.
     transfer_budget_s: f64,
     /// Typical encoded-frame size used for the estimate.
     frame_bytes: usize,
+    /// Keep frames local while more than this many frames wait cloud-side
+    /// (`None` ignores the queue signal).
+    queue_budget: Option<usize>,
+    /// Consecutive frames shed on the queue signal (the signal refreshes
+    /// only when the session talks to the cloud, so a bounded shed streak
+    /// keeps one stale deep-queue reading from locking us out forever).
+    shed_streak: usize,
 }
 
 impl OffloadPolicy for LinkAwareDiscriminator {
@@ -38,17 +49,31 @@ impl OffloadPolicy for LinkAwareDiscriminator {
                 return Decision::Local; // congested or dark: don't even try
             }
         }
+        if let (Some(budget), Some(depth)) = (self.queue_budget, input.cloud_queue) {
+            if depth > budget && self.shed_streak < 8 {
+                self.shed_streak += 1;
+                return Decision::Local; // the cloud itself is the bottleneck
+            }
+            // Either the queue recovered or we shed long enough that the
+            // reading is stale — let the discriminator route this frame
+            // (an upload re-probes and refreshes the observation).
+            self.shed_streak = 0;
+        }
         match self.disc.classify(input.small_dets) {
             k if k.is_difficult() => Decision::Upload,
             _ => Decision::Local,
         }
     }
 
-    fn name(&self) -> String {
-        format!(
-            "link-aware discriminator (budget {:.1}s)",
-            self.transfer_budget_s
-        )
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!(
+            "link-aware discriminator (budget {:.1}s{})",
+            self.transfer_budget_s,
+            match self.queue_budget {
+                Some(q) => format!(", queue ≤ {q}"),
+                None => String::new(),
+            }
+        ))
     }
 }
 
@@ -106,8 +131,6 @@ fn main() {
     // The adaptive policy in a streaming session: compare the plain
     // discriminator against the link-aware one on the outage trace. Each
     // policy gets its own cloud so the virtual clocks line up.
-    use smallbig::core::{CloudServer, SessionConfig};
-    use std::sync::Arc;
     let session_cfg = SessionConfig {
         frame_size: (96, 96),
         link_trace: Some(LinkTrace::step_outage(10.0, 30.0)),
@@ -121,6 +144,8 @@ fn main() {
                 disc: disc.clone(),
                 transfer_budget_s: 2.0,
                 frame_bytes: 3_000,
+                queue_budget: None,
+                shed_streak: 0,
             }),
         ),
         ("cloud-only", Box::new(Policy::CloudOnly)),
@@ -145,6 +170,76 @@ fn main() {
             r.total_time_s,
         );
         drop(session);
+        cloud.shutdown();
+    }
+
+    // Sometimes the *cloud*, not the link, is the bottleneck. A background
+    // edge floods the shared cloud in unpolled bursts; admission control
+    // (`CloudConfig::queue_limit`) makes every upload probe the cloud
+    // first, so our session continuously observes the queue depth — the
+    // `PolicyInput::cloud_queue` signal — and the queue-aware variant
+    // sheds offloads while the backlog is deep instead of queueing its
+    // frames (and its latency) behind it.
+    println!("\ncloud saturation (bursty background edge, admission probes on):");
+    for (name, queue_budget) in [("plain discriminator", None), ("queue-aware", Some(3))] {
+        let big_arc: Arc<dyn Detector + Send + Sync> =
+            Arc::new(SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2));
+        // The generous queue limit never refuses anyone here — it exists
+        // so every upload probes the cloud and the session keeps observing
+        // the (backlog-inclusive) queue depth. Shedding is the *policy's*
+        // call, from that signal.
+        let mut cloud = CloudServer::spawn(
+            CloudConfig {
+                max_batch: 24,
+                queue_limit: Some(100_000),
+                ..Default::default()
+            },
+            big_arc,
+        );
+        let mut background = cloud.connect(
+            SessionConfig {
+                frame_size: (96, 96),
+                seed: 0x7e57,
+                ..SessionConfig::new(2)
+            },
+            &small,
+            Box::new(Policy::CloudOnly),
+        );
+        let mut session = cloud.connect(
+            SessionConfig {
+                frame_size: (96, 96),
+                ..SessionConfig::new(2)
+            },
+            &small,
+            Box::new(LinkAwareDiscriminator {
+                disc: disc.clone(),
+                transfer_budget_s: 2.0,
+                frame_bytes: 3_000,
+                queue_budget,
+                shed_streak: 0,
+            }),
+        );
+        // Four unpolled background frames pile up cloud-side per one of
+        // ours; our poll flushes the whole backlog through the batch
+        // pipeline, so uploaded frames wait behind it.
+        for round in data.scenes().chunks(5) {
+            let (scene, burst) = round.split_first().expect("chunks are non-empty");
+            for bg_scene in burst {
+                background.submit(bg_scene);
+            }
+            let ticket = session.submit(scene);
+            let _ = session.poll(ticket);
+        }
+        let r = session.drain();
+        println!(
+            "  {name:<22} upload {:>5.1}%  mAP {:>6.2}%  mean latency {:>7.1}ms  last observed queue {:?}",
+            r.upload_ratio * 100.0,
+            r.map_pct,
+            r.latency.mean_s() * 1000.0,
+            session.observed_cloud_queue(),
+        );
+        background.drain();
+        drop((session, background));
         cloud.shutdown();
     }
 }

@@ -29,6 +29,16 @@
 //!   wrapper over a single session and reproduces its historical reports
 //!   bit for bit.
 //!
+//! The cloud side has a pluggable *scheduling control plane*
+//! ([`core::Scheduler`]): FIFO batching (the bit-identical default),
+//! earliest-deadline-first and difficulty-priority batch formation,
+//! admission control ([`core::CloudConfig::queue_limit`]) that sheds
+//! over-limit frames to the edge before any uplink is spent, and a
+//! deterministic autoscaler ([`core::CloudConfig::autoscale`]) that sizes
+//! the wall-clock inference pool from queue depth and fault-plan stall
+//! windows without moving a single virtual timestamp (see
+//! `examples/cloud_scheduling.rs` and the `scheduling` experiment).
+//!
 //! Networks need not be static: overlay any link with a
 //! [`simnet::LinkTrace`] (outages, diurnal ramps, Gilbert–Elliott bursty
 //! loss, seeded random walks) and schedule faults with a
@@ -112,9 +122,10 @@ pub mod prelude {
     pub use modelzoo::{Capability, Detector, ModelKind, SimDetector};
     pub use simnet::{DeviceModel, FaultPlan, LinkModel, LinkState, LinkTrace};
     pub use smallbig_core::{
-        calibrate, evaluate, evaluate_streaming, run_system, CaseKind, CloudConfig, CloudServer,
-        DifficultCaseDiscriminator, EdgeSession, EvalConfig, OffloadPolicy, Policy, RuntimeConfig,
-        RuntimeMode, SessionConfig, SessionReport, Thresholds,
+        calibrate, evaluate, evaluate_streaming, run_system, AutoscaleConfig, CaseKind,
+        CloudConfig, CloudServer, DifficultCaseDiscriminator, EdgeSession, EvalConfig,
+        OffloadPolicy, Policy, RuntimeConfig, RuntimeMode, Scheduler, SchedulerConfig,
+        SessionConfig, SessionReport, Thresholds,
     };
 }
 
