@@ -30,10 +30,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use smallbig_core::{
-    calibrate, detect_all, discriminator_stats_on, evaluate, evaluate_detections, wire,
+    calibrate, detect_all, discriminator_stats_on, evaluate, evaluate_detections, transport, wire,
     DifficultCaseDiscriminator, EvalConfig, FifoBatcher, Policy, QueuedFrame, Scheduler,
     Thresholds,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The pre-refactor implementations, transcribed from the seed so the
@@ -1006,6 +1007,32 @@ struct Sessions {
 }
 
 #[derive(Debug, Serialize)]
+struct TransportRow {
+    frames: usize,
+    /// Mean length-prefixed wire size of one encoded scene frame — the
+    /// dominant payload a cloud-only session ships per image.
+    scene_frame_bytes_avg: f64,
+    /// The historical in-process channel path (`CloudServer::connect`).
+    channel_fps: f64,
+    /// The same session bridged over the in-memory transport
+    /// (`RemoteCloud` + `serve`), handshake and frame codec included.
+    memory_transport_fps: f64,
+    /// The same session over real loopback TCP.
+    tcp_loopback_fps: f64,
+    /// channel time / memory-transport time (≤ 1.0 means the transport
+    /// bridge costs throughput; reports are asserted bit-identical first).
+    memory_over_channel: f64,
+    /// channel time / loopback-TCP time.
+    tcp_over_channel: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct TransportBench {
+    /// One cloud-only edge session end to end on each substrate.
+    remote_session: TransportRow,
+}
+
+#[derive(Debug, Serialize)]
 struct Report {
     pr: u32,
     title: String,
@@ -1017,6 +1044,7 @@ struct Report {
     scheduler: SchedulerBench,
     harness: Harness,
     sessions: Sessions,
+    transport: TransportBench,
 }
 
 #[derive(Debug, Serialize)]
@@ -1631,11 +1659,155 @@ fn main() {
     eprintln!("sessions/runtime_session: {runtime_session:?}");
     let sessions = Sessions { runtime_session };
 
+    // ---- Transport layer: channel vs in-memory vs loopback TCP ------------
+    // One cloud-only session (every frame crosses the wire) end to end on
+    // each substrate. The three reports are asserted bit-identical before
+    // anything is timed: the transports must change throughput only.
+    let transport_images = if quick { 40 } else { 150 };
+    let transport_data = Dataset::generate(
+        "bench-transport",
+        &DatasetProfile::helmet(),
+        transport_images,
+        23,
+    );
+    let transport_small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+    let transport_big = || -> Arc<dyn Detector + Send + Sync> {
+        Arc::new(SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2))
+    };
+    let transport_cfg = || smallbig_core::SessionConfig {
+        frame_size: (96, 96),
+        ..smallbig_core::SessionConfig::new(2)
+    };
+    let drive = |sess: &mut smallbig_core::EdgeSession<'_>| {
+        for scene in transport_data.iter() {
+            let ticket = sess.submit(scene);
+            sess.poll(ticket).expect("frame resolves");
+        }
+        sess.drain()
+    };
+    let channel_run = || {
+        let mut cloud = smallbig_core::CloudServer::spawn(
+            smallbig_core::CloudConfig::default(),
+            transport_big(),
+        );
+        let mut sess = cloud.connect(
+            transport_cfg(),
+            &transport_small,
+            Box::new(Policy::CloudOnly),
+        );
+        let report = drive(&mut sess);
+        drop(sess);
+        cloud.shutdown();
+        report
+    };
+    let serve_one = |listener: &mut dyn transport::Listener| {
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let cfg = smallbig_core::CloudConfig::default();
+        let big = transport_big();
+        let opts = transport::ServeOptions {
+            expect_sessions: Some(1),
+            ..transport::ServeOptions::default()
+        };
+        transport::serve(listener, &cfg, &big, &opts, &stop)
+    };
+    let memory_run = || {
+        let (mut listener, connector) = transport::memory_listener();
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || serve_one(&mut listener));
+            let remote = transport::RemoteCloud::connect(
+                Box::new(connector.connect().expect("listener alive")),
+                0,
+                transport::ConnectOptions::default(),
+            )
+            .expect("in-memory handshake");
+            let mut sess = remote.attach(
+                transport_cfg(),
+                &transport_small,
+                Box::new(Policy::CloudOnly),
+            );
+            let report = drive(&mut sess);
+            drop(sess);
+            remote.close();
+            server.join().expect("serve thread");
+            report
+        })
+    };
+    let tcp_run = || {
+        let mut listener = transport::TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = transport::Listener::local_addr(&listener);
+        std::thread::scope(|scope| {
+            let server = scope.spawn(move || serve_one(&mut listener));
+            let remote =
+                transport::RemoteCloud::connect_tcp(&addr, 0, &simnet::RetryConfig::default())
+                    .expect("loopback handshake");
+            let mut sess = remote.attach(
+                transport_cfg(),
+                &transport_small,
+                Box::new(Policy::CloudOnly),
+            );
+            let report = drive(&mut sess);
+            drop(sess);
+            remote.close();
+            server.join().expect("serve thread");
+            report
+        })
+    };
+    {
+        let want = channel_run();
+        assert_eq!(
+            memory_run(),
+            want,
+            "in-memory transport session drifted from the channel path"
+        );
+        assert_eq!(
+            tcp_run(),
+            want,
+            "loopback-TCP session drifted from the channel path"
+        );
+    }
+    eprintln!(
+        "# transport self-check passed: channel, in-memory and TCP sessions are bit-identical"
+    );
+    let mut frame_buf = Vec::new();
+    let scene_frame_bytes_avg = transport_data
+        .iter()
+        .map(|s| {
+            wire::encode_frame_into(&mut frame_buf, s);
+            frame_buf.len()
+        })
+        .sum::<usize>() as f64
+        / transport_images as f64;
+    let transport_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                sink(channel_run());
+            },
+            &mut || {
+                sink(memory_run());
+            },
+            &mut || {
+                sink(tcp_run());
+            },
+        ],
+    );
+    let remote_session = TransportRow {
+        frames: transport_images,
+        scene_frame_bytes_avg,
+        channel_fps: fps(transport_images, transport_times[0]),
+        memory_transport_fps: fps(transport_images, transport_times[1]),
+        tcp_loopback_fps: fps(transport_images, transport_times[2]),
+        memory_over_channel: transport_times[0].as_secs_f64() / transport_times[1].as_secs_f64(),
+        tcp_over_channel: transport_times[0].as_secs_f64() / transport_times[2].as_secs_f64(),
+    };
+    eprintln!("transport/remote_session: {remote_session:?}");
+    let transport_bench = TransportBench { remote_session };
+
     let report = Report {
-        pr: 5,
-        title: "Pluggable cloud scheduling control plane (Scheduler trait, admission, autoscaling)"
+        pr: 6,
+        title: "Real distributed deployment: transport abstraction, node binaries, orchestration"
             .to_string(),
-        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR5.json"
+        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR6.json"
             .to_string(),
         quick,
         host_parallelism,
@@ -1653,6 +1825,7 @@ fn main() {
         scheduler,
         harness,
         sessions,
+        transport: transport_bench,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     // The default path nests under target/, which may not exist relative to

@@ -40,7 +40,14 @@
 //! * [`run_system`] — the legacy one-edge batch entry point, now a thin
 //!   wrapper over a single-session [`CloudServer`] (bit-identical reports),
 //! * [`wire`] — the length-prefixed frame format actually shipped between
-//!   the edge and cloud threads,
+//!   the edge and cloud threads ([`wire::FrameReader`] reassembles it
+//!   incrementally from arbitrary byte chunks),
+//! * [`transport`] — the same session protocol over a real byte stream:
+//!   object-safe [`Transport`](transport::Transport) /
+//!   [`Listener`](transport::Listener) seams, a versioned handshake,
+//!   in-memory and TCP implementations, [`transport::serve`] on the cloud
+//!   side and [`transport::RemoteCloud`] on the edge side — sessions over
+//!   loopback TCP stay bit-identical to the in-process channel path,
 //! * [`par`] — the deterministic fan-out the harness uses: pure per-image
 //!   work spreads over worker threads and merges back in order, so every
 //!   report stays bit-identical to a sequential run (`CloudConfig::workers`
@@ -130,6 +137,7 @@ mod scheduler;
 mod server;
 mod strategies;
 mod system;
+pub mod transport;
 pub mod wire;
 
 pub use persist::PersistError;

@@ -412,7 +412,7 @@ impl Scheduler for DifficultyPriority {
 /// custom boxed [`Scheduler`] instead).
 ///
 /// [`CloudServer::spawn_with`]: crate::CloudServer::spawn_with
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum SchedulerConfig {
     /// Arrival order, dispatch at `max_batch` ([`FifoBatcher`]) — the
     /// bit-identical default.
@@ -468,7 +468,7 @@ impl SchedulerConfig {
 ///
 /// Scaling affects wall-clock dispatch width only — never virtual time —
 /// so session reports are bit-identical for any trajectory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct AutoscaleConfig {
     /// Queued frames each active worker is expected to absorb; the pool
     /// grows one worker per this many waiting frames.

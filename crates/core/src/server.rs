@@ -76,6 +76,25 @@
 //! the cloud is saturated (see `examples/degraded_network.rs` and
 //! `examples/cloud_scheduling.rs`).
 //!
+//! # Distributed deployment
+//!
+//! Everything above runs edge and cloud in one process, wired by channels.
+//! The [`crate::transport`] module lifts the *same* session protocol onto a
+//! real byte stream: [`transport::serve`](crate::transport::serve) accepts
+//! connections on any [`Listener`](crate::transport::Listener) and runs one
+//! cloud worker per registered session, while
+//! [`RemoteCloud`](crate::transport::RemoteCloud) dials the cloud (with a
+//! versioned handshake and reconnect-with-backoff) and hands back an
+//! ordinary [`EdgeSession`] via
+//! [`RemoteCloud::attach`](crate::transport::RemoteCloud::attach) — the
+//! submit/poll/drain surface is identical, and because every session
+//! already lives on its own virtual clock, a fleet of real OS processes
+//! over loopback TCP produces **bit-identical** [`SessionReport`]s to the
+//! in-process path (pinned by `tests/transport.rs`). The `cloud-node` and
+//! `edge-node` binaries in the umbrella crate package this as runnable
+//! processes, and `smallbig-orchestrate` launches and scrapes a whole
+//! fleet (see `smallbig::distributed`).
+//!
 //! # Example
 //!
 //! ```
@@ -338,7 +357,7 @@ pub struct SessionReport {
 }
 
 /// What the cloud worker measured over its lifetime.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CloudStats {
     /// Frames served by the big model.
     pub served: usize,
@@ -390,8 +409,8 @@ pub(crate) struct SubmitRequest {
 
 /// The wire message for one answer (cloud → edge).
 #[derive(Debug, Serialize, Deserialize)]
-struct SubmitResponse {
-    ticket: u64,
+pub(crate) struct SubmitResponse {
+    pub(crate) ticket: u64,
     dets: ImageDetections,
     /// Virtual timestamp at which the reply left the server.
     sent_at: f64,

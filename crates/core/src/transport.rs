@@ -1,0 +1,1734 @@
+//! Process-separated deployment: wire transports, handshake, and the
+//! cloud-node / edge-node halves of a real distributed system.
+//!
+//! The streaming runtime ([`crate::CloudServer`] / [`crate::EdgeSession`])
+//! runs edge and cloud in one process behind channels. This module carries
+//! the *same* session layer over a real connection:
+//!
+//! * [`Transport`] / [`Listener`] — object-safe connection traits. Two
+//!   implementations ship: an in-memory duplex ([`memory_listener`],
+//!   [`memory_pair`]) for deterministic tests, and length-framed TCP over
+//!   `std::net` ([`TcpTransport`], [`TcpWireListener`]) for real
+//!   deployments.
+//! * A versioned handshake — the edge opens with [`Hello`] (magic +
+//!   [`PROTOCOL_VERSION`] + its session id), the cloud answers [`Welcome`]
+//!   or [`Refused`]; failures surface as typed [`HandshakeError`]s. A
+//!   hostile `Hello` cannot drive allocation: the cloud decodes it with
+//!   [`crate::wire::decode_frame_with_limit`] under [`MAX_HELLO_BYTES`].
+//! * [`RemoteCloud`] — the edge-side bridge. It speaks the session layer's
+//!   own channel protocol, so [`RemoteCloud::attach`] returns a completely
+//!   ordinary [`EdgeSession`]: the session code path is byte-for-byte the
+//!   in-process one, which is what makes transport reports bit-identical
+//!   to the channel path by construction.
+//! * [`serve`] / [`serve_connection`] — the cloud side. **Each accepted
+//!   connection gets its own dedicated cloud worker** (shared-nothing
+//!   sharding): a session's results are then a pure function of its own
+//!   frame stream, so a multi-process fleet is bit-identical to the same
+//!   sessions run in-process — regardless of how the OS interleaves the
+//!   processes. Per-worker [`CloudStats`] merge into a [`NodeStats`].
+//! * Reconnect-with-backoff riding [`simnet::RetryConfig`]: give
+//!   [`ConnectOptions::dialer`] a redial closure and a dropped connection
+//!   is re-established with wall-clock backoff, the session re-registered
+//!   and every unanswered frame replayed. Exhausted retries poison the
+//!   connection so a waiting session fails loudly instead of hanging.
+//!
+//! ## Wire layout
+//!
+//! Every transport frame's payload is `[1 tag byte][standard wire frame]`,
+//! where the inner frame is [`crate::wire`]'s length-prefixed JSON. Answers
+//! travel as the cloud worker's already-encoded response frames, forwarded
+//! opaquely — the edge decodes exactly the bytes the worker produced.
+
+use crate::server::{cloud_loop, ProbeReply, SubmitRequest, SubmitResponse, ToCloud};
+use crate::wire::{self, FrameReader, WireError};
+use crate::{CloudConfig, CloudStats, EdgeSession, OffloadPolicy, SessionConfig};
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use datagen::Scene;
+use modelzoo::Detector;
+use serde::{Deserialize, Serialize};
+use simnet::{LinkModel, RetryConfig};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Version of the edge↔cloud wire protocol spoken by this build.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Maximum accepted [`Hello`] payload. A handshake message is tiny; this
+/// bound lets the cloud reject an oversized (hostile) hello before its
+/// payload is ever parsed.
+pub const MAX_HELLO_BYTES: usize = 4096;
+
+/// Magic number opening every [`Hello`] (`"SMBG"`).
+pub const HELLO_MAGIC: u32 = 0x534d_4247;
+
+/// How often the edge's inbound pump wakes to check connection liveness.
+const IN_PUMP_TICK: Duration = Duration::from_millis(500);
+
+mod tag {
+    pub const HELLO: u8 = 1;
+    pub const WELCOME: u8 = 2;
+    pub const REFUSED: u8 = 3;
+    pub const REGISTER: u8 = 4;
+    pub const SUBMIT: u8 = 5;
+    pub const PROBE: u8 = 6;
+    pub const PROBE_REPLY: u8 = 7;
+    pub const FLUSH: u8 = 8;
+    pub const DEREGISTER: u8 = 9;
+    pub const ANSWER: u8 = 10;
+    pub const BYE: u8 = 11;
+}
+
+// ---------------------------------------------------------------------------
+// Handshake messages
+// ---------------------------------------------------------------------------
+
+/// The first message on every connection (edge → cloud).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hello {
+    /// Must be [`HELLO_MAGIC`].
+    pub magic: u32,
+    /// Protocol version the edge speaks ([`PROTOCOL_VERSION`]).
+    pub protocol: u16,
+    /// Session id the edge proposes for itself — chosen by the deployment
+    /// so reports are comparable across runs and transports.
+    pub session: u64,
+}
+
+/// The cloud's acceptance reply to a [`Hello`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Welcome {
+    /// Protocol version the cloud speaks (echoes the hello's on success).
+    pub protocol: u16,
+    /// Session id echoed back.
+    pub session: u64,
+    /// Whether this cloud runs admission control
+    /// ([`CloudConfig::queue_limit`]) — the edge must probe before
+    /// uploading when set.
+    pub admission: bool,
+}
+
+/// Why a cloud refused a [`Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefuseReason {
+    /// Protocol version mismatch.
+    Version,
+    /// The hello's magic number was wrong (not a smallbig peer).
+    BadMagic,
+    /// The hello exceeded [`MAX_HELLO_BYTES`].
+    OversizedHello,
+    /// The hello did not decode as a [`Hello`] frame.
+    MalformedHello,
+}
+
+/// The cloud's rejection reply to a [`Hello`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Refused {
+    /// Protocol version the cloud speaks.
+    pub server_protocol: u16,
+    /// Machine-readable rejection reason.
+    pub reason: RefuseReason,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// A handshake that did not produce a [`Welcome`].
+#[derive(Debug)]
+pub enum HandshakeError {
+    /// The two peers speak different protocol versions.
+    VersionMismatch {
+        /// Version the cloud speaks.
+        server: u16,
+        /// Version this edge offered.
+        client: u16,
+    },
+    /// The cloud refused the hello for a non-version reason.
+    Refused {
+        /// Machine-readable rejection reason.
+        reason: RefuseReason,
+        /// Human-readable detail from the cloud.
+        detail: String,
+    },
+    /// No reply arrived within the handshake timeout.
+    Timeout,
+    /// The connection closed before any reply.
+    Closed,
+    /// The peer replied with something that is not a handshake message.
+    Protocol(String),
+    /// The connection failed at the I/O layer.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HandshakeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HandshakeError::VersionMismatch { server, client } => {
+                write!(
+                    f,
+                    "protocol version mismatch: server v{server}, client v{client}"
+                )
+            }
+            HandshakeError::Refused { reason, detail } => {
+                write!(f, "cloud refused handshake ({reason:?}): {detail}")
+            }
+            HandshakeError::Timeout => write!(f, "handshake timed out"),
+            HandshakeError::Closed => write!(f, "connection closed during handshake"),
+            HandshakeError::Protocol(d) => write!(f, "handshake protocol error: {d}"),
+            HandshakeError::Io(e) => write!(f, "handshake I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HandshakeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HandshakeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Data-plane messages (private: the session layer never sees them)
+// ---------------------------------------------------------------------------
+
+#[derive(Serialize, Deserialize)]
+struct WireRegister {
+    session: u64,
+    link: LinkModel,
+}
+
+#[derive(Serialize, Deserialize)]
+struct WireSubmit {
+    header: SubmitRequest,
+    scene: Scene,
+}
+
+#[derive(Serialize, Deserialize)]
+struct WireProbe {
+    session: u64,
+    now: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct WireProbeReply {
+    admitted: bool,
+    queue_depth: usize,
+}
+
+#[derive(Serialize, Deserialize)]
+struct WireDeregister {
+    session: u64,
+}
+
+fn msg<T: Serialize>(t: u8, body: &T) -> Vec<u8> {
+    let inner = wire::encode_frame(body);
+    let mut payload = Vec::with_capacity(1 + inner.len());
+    payload.push(t);
+    payload.extend_from_slice(&inner);
+    payload
+}
+
+fn msg_bare(t: u8) -> Vec<u8> {
+    vec![t]
+}
+
+fn split_msg(payload: &Bytes) -> Option<(u8, Bytes)> {
+    if payload.is_empty() {
+        return None;
+    }
+    Some((payload[0], payload.slice(1..)))
+}
+
+// ---------------------------------------------------------------------------
+// Transport traits
+// ---------------------------------------------------------------------------
+
+/// The sending half of a split [`Transport`]: ships one opaque payload as
+/// one frame.
+pub trait FrameTx: Send {
+    /// Sends one frame; the peer's [`FrameRx::recv`] yields exactly
+    /// `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] when the connection is gone.
+    fn send(&mut self, payload: &[u8]) -> io::Result<()>;
+}
+
+/// The receiving half of a split [`Transport`].
+pub trait FrameRx: Send {
+    /// Blocks for the next frame; `Ok(None)` is a clean end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] on connection failure or framing
+    /// corruption.
+    fn recv(&mut self) -> io::Result<Option<Bytes>>;
+
+    /// Like [`FrameRx::recv`] but gives up after `timeout` with an error of
+    /// kind [`io::ErrorKind::TimedOut`]. Partially received frames stay
+    /// buffered for the next call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] of kind [`io::ErrorKind::TimedOut`] on
+    /// expiry, or any other kind on connection failure.
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Bytes>>;
+}
+
+/// One bidirectional connection carrying opaque frames.
+///
+/// Object safe: the cloud accepts `Box<dyn Transport>` and never knows
+/// whether frames cross a socket or a channel.
+pub trait Transport: Send {
+    /// Splits the connection into independently owned halves, so sending
+    /// and receiving can run on different threads.
+    fn split(self: Box<Self>) -> (Box<dyn FrameTx>, Box<dyn FrameRx>);
+
+    /// Human-readable peer name, for diagnostics.
+    fn peer(&self) -> String;
+}
+
+/// Accepts inbound [`Transport`] connections (the cloud side).
+pub trait Listener: Send {
+    /// Blocks for the next inbound connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] when the listener can no longer accept.
+    fn accept(&mut self) -> io::Result<Box<dyn Transport>>;
+
+    /// The address peers dial, as a string (for TCP, `ip:port` with the
+    /// real bound port).
+    fn local_addr(&self) -> String;
+
+    /// A handle that unblocks a pending [`Listener::accept`] by delivering
+    /// a throwaway connection — how [`serve`] is shut down.
+    fn waker(&self) -> Box<dyn Fn() + Send + Sync>;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory transport
+// ---------------------------------------------------------------------------
+
+/// One end of an in-memory duplex connection (see [`memory_pair`] and
+/// [`memory_listener`]).
+pub struct MemoryTransport {
+    tx: Sender<Bytes>,
+    rx: Receiver<Bytes>,
+}
+
+/// Creates a connected pair of in-memory transports.
+pub fn memory_pair() -> (MemoryTransport, MemoryTransport) {
+    let (a_tx, b_rx) = channel::unbounded();
+    let (b_tx, a_rx) = channel::unbounded();
+    (
+        MemoryTransport { tx: a_tx, rx: a_rx },
+        MemoryTransport { tx: b_tx, rx: b_rx },
+    )
+}
+
+struct MemoryTx {
+    tx: Sender<Bytes>,
+}
+
+impl FrameTx for MemoryTx {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(Bytes::copy_from_slice(payload))
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped"))
+    }
+}
+
+struct MemoryRx {
+    rx: Receiver<Bytes>,
+}
+
+impl FrameRx for MemoryRx {
+    fn recv(&mut self) -> io::Result<Option<Bytes>> {
+        match self.rx.recv() {
+            Ok(b) => Ok(Some(b)),
+            Err(_) => Ok(None),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Bytes>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(b) => Ok(Some(b)),
+            Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "frame read timed out",
+            )),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+}
+
+impl Transport for MemoryTransport {
+    fn split(self: Box<Self>) -> (Box<dyn FrameTx>, Box<dyn FrameRx>) {
+        let this = *self;
+        (
+            Box::new(MemoryTx { tx: this.tx }),
+            Box::new(MemoryRx { rx: this.rx }),
+        )
+    }
+
+    fn peer(&self) -> String {
+        "memory".to_string()
+    }
+}
+
+/// The accepting side of an in-memory "network" (see [`memory_listener`]).
+pub struct MemoryWireListener {
+    rx: Receiver<MemoryTransport>,
+    tx: Sender<MemoryTransport>,
+}
+
+/// Dials new connections into a [`MemoryWireListener`]; clone one per edge.
+#[derive(Clone)]
+pub struct MemoryConnector {
+    tx: Sender<MemoryTransport>,
+}
+
+impl MemoryConnector {
+    /// Opens a new in-memory connection to the listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::ConnectionRefused`] when the listener is
+    /// gone.
+    pub fn connect(&self) -> io::Result<MemoryTransport> {
+        let (local, remote) = memory_pair();
+        self.tx
+            .send(remote)
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "listener dropped"))?;
+        Ok(local)
+    }
+}
+
+/// Creates an in-memory listener and a connector that dials it.
+pub fn memory_listener() -> (MemoryWireListener, MemoryConnector) {
+    let (tx, rx) = channel::unbounded();
+    (
+        MemoryWireListener { rx, tx: tx.clone() },
+        MemoryConnector { tx },
+    )
+}
+
+impl Listener for MemoryWireListener {
+    fn accept(&mut self) -> io::Result<Box<dyn Transport>> {
+        match self.rx.recv() {
+            Ok(t) => Ok(Box::new(t)),
+            Err(_) => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "all connectors dropped",
+            )),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        "memory".to_string()
+    }
+
+    fn waker(&self) -> Box<dyn Fn() + Send + Sync> {
+        let tx = self.tx.clone();
+        Box::new(move || {
+            // Deliver a connection whose far end is already gone: a handler
+            // that sees it reads immediate EOF and exits silently, and the
+            // serve loop re-checks its stop flag.
+            let (local, remote) = memory_pair();
+            drop(local);
+            let _ = tx.send(remote);
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+/// A length-framed TCP connection (4-byte little-endian length prefix per
+/// frame, decoded incrementally by [`FrameReader`]).
+pub struct TcpTransport {
+    stream: TcpStream,
+    peer: String,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` (e.g. `"127.0.0.1:4820"`), with `TCP_NODELAY`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn dial(addr: &str) -> io::Result<TcpTransport> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream,
+            peer: addr.to_string(),
+        })
+    }
+
+    /// Like [`TcpTransport::dial`], retrying with `retry`'s wall-clock
+    /// backoff schedule (up to `max_retries` redials after the initial
+    /// attempt) — lets an edge-node start before its cloud-node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the final connect error once the schedule is exhausted.
+    pub fn dial_with_backoff(addr: &str, retry: &RetryConfig) -> io::Result<TcpTransport> {
+        let mut last = None;
+        for attempt in 0..=retry.max_retries {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_secs_f64(retry.backoff_s(attempt)));
+            }
+            match TcpTransport::dial(addr) {
+                Ok(t) => return Ok(t),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| io::Error::other("no dial attempts configured")))
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<TcpTransport> {
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "tcp-peer".to_string());
+        Ok(TcpTransport { stream, peer })
+    }
+}
+
+struct TcpTx {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameTx for TcpTx {
+    fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.buf.clear();
+        self.buf.reserve(4 + payload.len());
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.stream.write_all(&self.buf)
+    }
+}
+
+struct TcpRx {
+    stream: TcpStream,
+    reader: FrameReader,
+    chunk: Vec<u8>,
+}
+
+impl TcpRx {
+    fn pull(&mut self) -> io::Result<Option<Bytes>> {
+        loop {
+            if let Some(p) = self
+                .reader
+                .next_frame()
+                .map_err(|e: WireError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+            {
+                return Ok(Some(p));
+            }
+            let n = self.stream.read(&mut self.chunk)?;
+            if n == 0 {
+                return if self.reader.pending_bytes() == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            self.reader.feed(&self.chunk[..n]);
+        }
+    }
+}
+
+impl FrameRx for TcpRx {
+    fn recv(&mut self) -> io::Result<Option<Bytes>> {
+        self.pull()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Bytes>> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        let res = self.pull();
+        let _ = self.stream.set_read_timeout(None);
+        match res {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "frame read timed out",
+                ))
+            }
+            other => other,
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn split(self: Box<Self>) -> (Box<dyn FrameTx>, Box<dyn FrameRx>) {
+        let this = *self;
+        let read_half = this
+            .stream
+            .try_clone()
+            .expect("cloning a TCP stream handle never fails on supported platforms");
+        (
+            Box::new(TcpTx {
+                stream: this.stream,
+                buf: Vec::new(),
+            }),
+            Box::new(TcpRx {
+                stream: read_half,
+                reader: FrameReader::new(),
+                chunk: vec![0u8; 64 * 1024],
+            }),
+        )
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// A TCP [`Listener`] bound to a local address.
+pub struct TcpWireListener {
+    inner: TcpListener,
+    addr: String,
+}
+
+impl TcpWireListener {
+    /// Binds to `addr`; pass port `0` to let the OS choose (read the real
+    /// port back from [`Listener::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn bind(addr: &str) -> io::Result<TcpWireListener> {
+        let inner = TcpListener::bind(addr)?;
+        let addr = inner.local_addr()?.to_string();
+        Ok(TcpWireListener { inner, addr })
+    }
+}
+
+impl Listener for TcpWireListener {
+    fn accept(&mut self) -> io::Result<Box<dyn Transport>> {
+        let (stream, _) = self.inner.accept()?;
+        Ok(Box::new(TcpTransport::from_stream(stream)?))
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+
+    fn waker(&self) -> Box<dyn Fn() + Send + Sync> {
+        let addr = self.addr.clone();
+        Box::new(move || {
+            // A throwaway connection that closes before sending anything:
+            // the hello timeout (or immediate EOF) disposes of it silently.
+            let _ = TcpStream::connect(&addr);
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client handshake
+// ---------------------------------------------------------------------------
+
+/// Runs the client half of the handshake on a split transport: sends
+/// `hello`, awaits [`Welcome`] or [`Refused`].
+///
+/// [`RemoteCloud::connect`] calls this internally; it is public so tests
+/// and custom deployments can drive the handshake directly (e.g. with a
+/// non-standard protocol version).
+///
+/// # Errors
+///
+/// Returns a typed [`HandshakeError`]; version rejections surface as
+/// [`HandshakeError::VersionMismatch`].
+pub fn client_handshake(
+    tx: &mut dyn FrameTx,
+    rx: &mut dyn FrameRx,
+    hello: &Hello,
+    timeout: Duration,
+) -> Result<Welcome, HandshakeError> {
+    tx.send(&msg(tag::HELLO, hello))
+        .map_err(HandshakeError::Io)?;
+    let frame = match rx.recv_timeout(timeout) {
+        Ok(Some(f)) => f,
+        Ok(None) => return Err(HandshakeError::Closed),
+        Err(e) if e.kind() == io::ErrorKind::TimedOut => return Err(HandshakeError::Timeout),
+        Err(e) => return Err(HandshakeError::Io(e)),
+    };
+    let Some((t, inner)) = split_msg(&frame) else {
+        return Err(HandshakeError::Protocol("empty reply to hello".to_string()));
+    };
+    match t {
+        tag::WELCOME => {
+            let w: Welcome =
+                wire::decode_frame(&inner).map_err(|e| HandshakeError::Protocol(e.to_string()))?;
+            if w.protocol != hello.protocol {
+                return Err(HandshakeError::VersionMismatch {
+                    server: w.protocol,
+                    client: hello.protocol,
+                });
+            }
+            Ok(w)
+        }
+        tag::REFUSED => {
+            let r: Refused =
+                wire::decode_frame(&inner).map_err(|e| HandshakeError::Protocol(e.to_string()))?;
+            match r.reason {
+                RefuseReason::Version => Err(HandshakeError::VersionMismatch {
+                    server: r.server_protocol,
+                    client: hello.protocol,
+                }),
+                reason => Err(HandshakeError::Refused {
+                    reason,
+                    detail: r.detail,
+                }),
+            }
+        }
+        other => Err(HandshakeError::Protocol(format!(
+            "unexpected reply tag {other}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge side: RemoteCloud
+// ---------------------------------------------------------------------------
+
+/// A redial closure for mid-run reconnection (see
+/// [`ConnectOptions::dialer`]).
+pub type Dialer = Box<dyn FnMut() -> io::Result<Box<dyn Transport>> + Send>;
+
+/// Options for [`RemoteCloud::connect`].
+pub struct ConnectOptions {
+    /// How long to wait for the cloud's handshake reply (default 5 s).
+    pub handshake_timeout: Duration,
+    /// Wall-clock backoff schedule for mid-run reconnects.
+    pub retry: RetryConfig,
+    /// Redial closure. `None` (the default) disables mid-run reconnection:
+    /// the first connection failure poisons the link and a waiting session
+    /// fails loudly. With `Some`, a dropped connection is redialed with
+    /// [`ConnectOptions::retry`]'s backoff, the handshake re-run, the
+    /// session re-registered and unanswered frames replayed.
+    pub dialer: Option<Dialer>,
+}
+
+impl Default for ConnectOptions {
+    fn default() -> Self {
+        ConnectOptions {
+            handshake_timeout: Duration::from_secs(5),
+            retry: RetryConfig::default(),
+            dialer: None,
+        }
+    }
+}
+
+enum Pending {
+    Submit { ticket: u64, payload: Vec<u8> },
+    Probe { payload: Vec<u8> },
+}
+
+impl Pending {
+    fn payload(&self) -> &[u8] {
+        match self {
+            Pending::Submit { payload, .. } | Pending::Probe { payload } => payload,
+        }
+    }
+}
+
+struct ConnState {
+    generation: u64,
+    dialer: Option<Dialer>,
+    retry: RetryConfig,
+    hello: Hello,
+    handshake_timeout: Duration,
+    /// Encoded REGISTER payload, replayed on every reconnect.
+    register: Option<Vec<u8>>,
+    /// Unanswered submits/probes in send order, replayed on reconnect.
+    pending: VecDeque<Pending>,
+    fresh_tx: Option<Box<dyn FrameTx>>,
+    fresh_rx: Option<Box<dyn FrameRx>>,
+    resp_tx: Option<Sender<Bytes>>,
+    probe_tx: Option<Sender<ProbeReply>>,
+    dead: bool,
+}
+
+struct ConnShared {
+    state: Mutex<ConnState>,
+}
+
+impl ConnShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ConnState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn generation(&self) -> u64 {
+        self.lock().generation
+    }
+
+    fn is_dead(&self) -> bool {
+        self.lock().dead
+    }
+
+    fn mark_dead(&self) {
+        self.lock().dead = true;
+    }
+
+    fn clear_session_handles(&self) {
+        let mut st = self.lock();
+        st.resp_tx = None;
+        st.probe_tx = None;
+    }
+
+    fn set_register(
+        &self,
+        payload: Vec<u8>,
+        resp_tx: Sender<Bytes>,
+        probe_tx: Sender<ProbeReply>,
+    ) -> u64 {
+        let mut st = self.lock();
+        st.register = Some(payload);
+        st.resp_tx = Some(resp_tx);
+        st.probe_tx = Some(probe_tx);
+        st.generation
+    }
+
+    fn push_pending(&self, p: Pending) -> u64 {
+        let mut st = self.lock();
+        st.pending.push_back(p);
+        st.generation
+    }
+
+    /// Removes the pending submit with `ticket`. Returns whether it was
+    /// present (a duplicate replayed answer is dropped) and the session's
+    /// response channel.
+    fn take_submit(&self, ticket: u64) -> (bool, Option<Sender<Bytes>>) {
+        let mut st = self.lock();
+        let idx = st
+            .pending
+            .iter()
+            .position(|p| matches!(p, Pending::Submit { ticket: t, .. } if *t == ticket));
+        if let Some(i) = idx {
+            st.pending.remove(i);
+        }
+        (idx.is_some(), st.resp_tx.clone())
+    }
+
+    fn take_probe(&self) -> (bool, Option<Sender<ProbeReply>>) {
+        let mut st = self.lock();
+        let idx = st
+            .pending
+            .iter()
+            .position(|p| matches!(p, Pending::Probe { .. }));
+        if let Some(i) = idx {
+            st.pending.remove(i);
+        }
+        (idx.is_some(), st.probe_tx.clone())
+    }
+
+    fn reacquire_tx(&self, seen: u64) -> Option<(Box<dyn FrameTx>, u64)> {
+        let mut st = self.lock();
+        loop {
+            if st.dead {
+                return None;
+            }
+            if st.generation > seen {
+                if let Some(t) = st.fresh_tx.take() {
+                    return Some((t, st.generation));
+                }
+            }
+            if !reconnect_locked(&mut st) {
+                return None;
+            }
+        }
+    }
+
+    fn reacquire_rx(&self, seen: u64) -> Option<(Box<dyn FrameRx>, u64)> {
+        let mut st = self.lock();
+        loop {
+            if st.dead {
+                return None;
+            }
+            if st.generation > seen {
+                if let Some(r) = st.fresh_rx.take() {
+                    return Some((r, st.generation));
+                }
+            }
+            if !reconnect_locked(&mut st) {
+                return None;
+            }
+        }
+    }
+}
+
+/// Redials, re-handshakes, re-registers and replays pending frames, with
+/// wall-clock backoff. Runs under the connection lock: the other pump
+/// blocks in its own reacquire until the outcome is decided. On success
+/// both fresh halves are stored and the generation advances; on exhausted
+/// retries the connection is poisoned.
+fn reconnect_locked(st: &mut ConnState) -> bool {
+    if st.dialer.is_none() {
+        st.dead = true;
+        return false;
+    }
+    let retry = st.retry;
+    let hello = st.hello.clone();
+    let hs_timeout = st.handshake_timeout;
+    for attempt in 0..=retry.max_retries {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_secs_f64(retry.backoff_s(attempt)));
+        }
+        let dialed = st.dialer.as_mut().expect("checked above")();
+        let Ok(t) = dialed else { continue };
+        let (mut ntx, mut nrx) = t.split();
+        if client_handshake(&mut *ntx, &mut *nrx, &hello, hs_timeout).is_err() {
+            continue;
+        }
+        let mut ok = true;
+        if let Some(reg) = &st.register {
+            ok &= ntx.send(reg).is_ok();
+        }
+        let mut replayed_submit = false;
+        for p in &st.pending {
+            ok &= ntx.send(p.payload()).is_ok();
+            replayed_submit |= matches!(p, Pending::Submit { .. });
+        }
+        // The session's Flush went to the dead worker; re-issue it so the
+        // fresh worker dispatches the replayed frames.
+        if ok && replayed_submit {
+            ok &= ntx.send(&msg_bare(tag::FLUSH)).is_ok();
+        }
+        if !ok {
+            continue;
+        }
+        st.fresh_tx = Some(ntx);
+        st.fresh_rx = Some(nrx);
+        st.generation += 1;
+        return true;
+    }
+    st.dead = true;
+    false
+}
+
+/// Sends `payload`, transparently swapping to a reconnected link. For
+/// pending-tracked payloads (`push_gen` is `Some`), a generation newer than
+/// the push generation means a replay already delivered it.
+fn send_msg(
+    ftx: &mut Box<dyn FrameTx>,
+    local_gen: &mut u64,
+    payload: &[u8],
+    push_gen: Option<u64>,
+    shared: &ConnShared,
+) -> bool {
+    loop {
+        // If the inbound pump already reconnected, stop writing into the
+        // dead link (a buffered send could "succeed" and lose the frame).
+        if shared.generation() > *local_gen {
+            match shared.reacquire_tx(*local_gen) {
+                Some((t, g)) => {
+                    *ftx = t;
+                    *local_gen = g;
+                    if push_gen.is_some_and(|pg| g > pg) {
+                        return true;
+                    }
+                }
+                None => return false,
+            }
+        }
+        if ftx.send(payload).is_ok() {
+            return true;
+        }
+        match shared.reacquire_tx(*local_gen) {
+            Some((t, g)) => {
+                *ftx = t;
+                *local_gen = g;
+                if push_gen.is_some_and(|pg| g > pg) {
+                    return true;
+                }
+            }
+            None => return false,
+        }
+    }
+}
+
+fn out_pump(mut ftx: Box<dyn FrameTx>, rx: Receiver<ToCloud>, shared: Arc<ConnShared>) {
+    let mut local_gen = shared.generation();
+    while let Ok(item) = rx.recv() {
+        let (payload, push_gen) = match item {
+            ToCloud::Register {
+                session,
+                link,
+                resp_tx,
+                probe_tx,
+            } => {
+                let p = msg(tag::REGISTER, &WireRegister { session, link });
+                let g = shared.set_register(p.clone(), resp_tx, probe_tx);
+                (p, Some(g))
+            }
+            ToCloud::Frame(header, scene) => {
+                let Ok(req) = wire::decode_frame::<SubmitRequest>(&header) else {
+                    break;
+                };
+                let ticket = req.ticket;
+                let p = msg(
+                    tag::SUBMIT,
+                    &WireSubmit {
+                        header: req,
+                        scene: (*scene).clone(),
+                    },
+                );
+                let g = shared.push_pending(Pending::Submit {
+                    ticket,
+                    payload: p.clone(),
+                });
+                (p, Some(g))
+            }
+            ToCloud::Probe { session, now } => {
+                let p = msg(tag::PROBE, &WireProbe { session, now });
+                let g = shared.push_pending(Pending::Probe { payload: p.clone() });
+                (p, Some(g))
+            }
+            ToCloud::Flush => (msg_bare(tag::FLUSH), None),
+            ToCloud::Deregister { session } => {
+                (msg(tag::DEREGISTER, &WireDeregister { session }), None)
+            }
+            ToCloud::Shutdown => break,
+        };
+        if !send_msg(&mut ftx, &mut local_gen, &payload, push_gen, &shared) {
+            break;
+        }
+    }
+    // All senders gone (session and handle dropped) or the link is poisoned:
+    // close politely and stop the inbound pump. Mark dead BEFORE the `BYE`
+    // goes out: the server closes the socket once it reads the `BYE`, and
+    // the inbound pump must already see the dead flag when that EOF lands —
+    // otherwise it would treat the clean close as a mid-run drop and
+    // spuriously reconnect.
+    shared.mark_dead();
+    let _ = ftx.send(&msg_bare(tag::BYE));
+}
+
+fn handle_inbound(frame: &Bytes, shared: &ConnShared) -> bool {
+    let Some((t, inner)) = split_msg(frame) else {
+        return false;
+    };
+    match t {
+        tag::ANSWER => {
+            let Ok(resp) = wire::decode_frame::<SubmitResponse>(&inner) else {
+                return false;
+            };
+            let (known, tx) = shared.take_submit(resp.ticket);
+            if known {
+                if let Some(tx) = tx {
+                    return tx.send(inner).is_ok();
+                }
+            }
+            true
+        }
+        tag::PROBE_REPLY => {
+            let Ok(r) = wire::decode_frame::<WireProbeReply>(&inner) else {
+                return false;
+            };
+            let (known, tx) = shared.take_probe();
+            if known {
+                if let Some(tx) = tx {
+                    return tx
+                        .send(ProbeReply {
+                            admitted: r.admitted,
+                            queue_depth: r.queue_depth,
+                        })
+                        .is_ok();
+                }
+            }
+            true
+        }
+        _ => true,
+    }
+}
+
+fn in_pump(mut frx: Box<dyn FrameRx>, shared: Arc<ConnShared>) {
+    let mut local_gen = shared.generation();
+    loop {
+        match frx.recv_timeout(IN_PUMP_TICK) {
+            Ok(Some(frame)) => {
+                if !handle_inbound(&frame, &shared) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+                if shared.is_dead() {
+                    break;
+                }
+                if shared.generation() > local_gen {
+                    match shared.reacquire_rx(local_gen) {
+                        Some((r, g)) => {
+                            frx = r;
+                            local_gen = g;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            Ok(None) | Err(_) => match shared.reacquire_rx(local_gen) {
+                Some((r, g)) => {
+                    frx = r;
+                    local_gen = g;
+                }
+                None => break,
+            },
+        }
+    }
+    // Poison: a session still waiting on an answer must fail loudly (its
+    // response channel disconnects) instead of hanging forever.
+    shared.clear_session_handles();
+    shared.mark_dead();
+}
+
+/// The edge side of a transport connection: bridges a real [`EdgeSession`]
+/// onto a [`Transport`].
+///
+/// The bridge translates the session layer's channel messages to wire
+/// frames on a pump thread and routes answers back, so a session attached
+/// here runs byte-for-byte the in-process code path — reports over any
+/// transport are bit-identical to the channel path.
+///
+/// Drop (or [`drain`](EdgeSession::drain) and drop) every attached session
+/// before calling [`RemoteCloud::close`].
+pub struct RemoteCloud {
+    tx: Option<Sender<ToCloud>>,
+    admission: bool,
+    session: u64,
+    out_handle: Option<JoinHandle<()>>,
+    in_handle: Option<JoinHandle<()>>,
+}
+
+impl RemoteCloud {
+    /// Performs the handshake on `transport` and starts the bridge pumps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`HandshakeError`] when the cloud refuses or the
+    /// connection fails before a welcome.
+    pub fn connect(
+        transport: Box<dyn Transport>,
+        session: u64,
+        opts: ConnectOptions,
+    ) -> Result<RemoteCloud, HandshakeError> {
+        let (mut ftx, mut frx) = transport.split();
+        let hello = Hello {
+            magic: HELLO_MAGIC,
+            protocol: PROTOCOL_VERSION,
+            session,
+        };
+        let welcome = client_handshake(&mut *ftx, &mut *frx, &hello, opts.handshake_timeout)?;
+        let shared = Arc::new(ConnShared {
+            state: Mutex::new(ConnState {
+                generation: 0,
+                dialer: opts.dialer,
+                retry: opts.retry,
+                hello,
+                handshake_timeout: opts.handshake_timeout,
+                register: None,
+                pending: VecDeque::new(),
+                fresh_tx: None,
+                fresh_rx: None,
+                resp_tx: None,
+                probe_tx: None,
+                dead: false,
+            }),
+        });
+        let (tx, rx) = channel::unbounded::<ToCloud>();
+        let sh_out = Arc::clone(&shared);
+        let out_handle = std::thread::spawn(move || out_pump(ftx, rx, sh_out));
+        let sh_in = Arc::clone(&shared);
+        let in_handle = std::thread::spawn(move || in_pump(frx, sh_in));
+        Ok(RemoteCloud {
+            tx: Some(tx),
+            admission: welcome.admission,
+            session,
+            out_handle: Some(out_handle),
+            in_handle: Some(in_handle),
+        })
+    }
+
+    /// Dials `addr` over TCP (with `retry` backoff for the initial
+    /// connect), handshakes, and installs a redial closure so mid-run
+    /// connection drops reconnect with the same schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HandshakeError::Io`] when no connection could be made, or
+    /// any other [`HandshakeError`] from the handshake itself.
+    pub fn connect_tcp(
+        addr: &str,
+        session: u64,
+        retry: &RetryConfig,
+    ) -> Result<RemoteCloud, HandshakeError> {
+        let t = TcpTransport::dial_with_backoff(addr, retry).map_err(HandshakeError::Io)?;
+        let redial_addr = addr.to_string();
+        let opts = ConnectOptions {
+            retry: *retry,
+            dialer: Some(Box::new(move || {
+                TcpTransport::dial(&redial_addr).map(|t| Box::new(t) as Box<dyn Transport>)
+            })),
+            ..ConnectOptions::default()
+        };
+        RemoteCloud::connect(Box::new(t), session, opts)
+    }
+
+    /// Attaches an [`EdgeSession`] over this connection — the transport
+    /// twin of [`crate::CloudServer::connect`], using the session id
+    /// negotiated in the handshake.
+    pub fn attach<'a>(
+        &self,
+        config: SessionConfig,
+        small: &'a (dyn Detector + Sync),
+        policy: Box<dyn OffloadPolicy + 'a>,
+    ) -> EdgeSession<'a> {
+        let tx = self
+            .tx
+            .clone()
+            .expect("RemoteCloud::attach called after close");
+        EdgeSession::attach(self.session, config, small, policy, tx, self.admission)
+    }
+
+    /// The session id negotiated in the handshake.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Whether the cloud requires admission probes
+    /// ([`CloudConfig::queue_limit`] set on the serving side).
+    pub fn admission(&self) -> bool {
+        self.admission
+    }
+
+    /// Closes the connection (sends `BYE`) and joins the pump threads.
+    /// All attached sessions must already be dropped.
+    pub fn close(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.tx = None;
+        if let Some(h) = self.out_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.in_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RemoteCloud {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cloud side: serve
+// ---------------------------------------------------------------------------
+
+/// Options for [`serve`] / [`serve_connection`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// How long a fresh connection may take to send its [`Hello`] before
+    /// the handler gives up (the half-open guard; default 5 s). The accept
+    /// loop is never involved: handshakes run on per-connection threads.
+    pub hello_timeout: Duration,
+    /// Stop serving (set the stop flag and wake the accept loop) once this
+    /// many registered connections have completed. `None` serves until the
+    /// caller stops it.
+    pub expect_sessions: Option<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            hello_timeout: Duration::from_secs(5),
+            expect_sessions: None,
+        }
+    }
+}
+
+/// What one connection handler observed (see [`serve_connection`]).
+#[derive(Debug, Default)]
+pub struct ConnOutcome {
+    /// The connection's dedicated cloud worker stats (`None` when the
+    /// handshake failed or the worker panicked).
+    pub stats: Option<CloudStats>,
+    /// Whether the peer registered a session.
+    pub registered: bool,
+    /// Whether the peer closed with a `BYE` (vs. vanishing mid-run).
+    pub clean: bool,
+    /// Whether the handshake was refused.
+    pub refused: bool,
+    /// Whether the peer never sent a hello within the timeout.
+    pub hello_timed_out: bool,
+}
+
+/// Aggregate stats for one cloud node: per-connection worker stats merged,
+/// plus connection accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Sum/max-merge of every connection worker's [`CloudStats`].
+    pub cloud: CloudStats,
+    /// Registered connections that completed (including aborted ones).
+    pub connections: usize,
+    /// Registered connections that vanished without a `BYE` (killed edge
+    /// processes, mid-run reconnects).
+    pub aborted: usize,
+    /// Handshakes refused (version mismatch, oversized/malformed hello).
+    pub refused: usize,
+    /// Connections that never sent a hello within the timeout (half-open).
+    pub hello_timeouts: usize,
+}
+
+impl NodeStats {
+    /// Folds one connection's outcome into the node totals.
+    pub fn absorb(&mut self, outcome: ConnOutcome) {
+        if outcome.registered {
+            self.connections += 1;
+            if !outcome.clean {
+                self.aborted += 1;
+            }
+        }
+        if outcome.refused {
+            self.refused += 1;
+        }
+        if outcome.hello_timed_out {
+            self.hello_timeouts += 1;
+        }
+        if let Some(s) = outcome.stats {
+            self.cloud.served += s.served;
+            self.cloud.batches += s.batches;
+            self.cloud.busy_s += s.busy_s;
+            self.cloud.sessions += s.sessions;
+            self.cloud.admission_rejects += s.admission_rejects;
+            self.cloud.peak_workers = self.cloud.peak_workers.max(s.peak_workers);
+            self.cloud.scale_changes += s.scale_changes;
+        }
+    }
+}
+
+fn send_locked(ftx: &Arc<Mutex<Box<dyn FrameTx>>>, payload: &[u8]) -> io::Result<()> {
+    ftx.lock().unwrap_or_else(|e| e.into_inner()).send(payload)
+}
+
+fn parse_hello(first: &Bytes) -> Result<Hello, Refused> {
+    let refuse = |reason, detail: String| Refused {
+        server_protocol: PROTOCOL_VERSION,
+        reason,
+        detail,
+    };
+    let Some((t, inner)) = split_msg(first) else {
+        return Err(refuse(
+            RefuseReason::MalformedHello,
+            "empty first frame".to_string(),
+        ));
+    };
+    if t != tag::HELLO {
+        return Err(refuse(
+            RefuseReason::MalformedHello,
+            format!("expected hello, got tag {t}"),
+        ));
+    }
+    match wire::decode_frame_with_limit::<Hello>(&inner, MAX_HELLO_BYTES) {
+        Err(WireError::Oversized(n)) => Err(refuse(
+            RefuseReason::OversizedHello,
+            format!("hello payload of {n} bytes exceeds {MAX_HELLO_BYTES}"),
+        )),
+        Err(e) => Err(refuse(RefuseReason::MalformedHello, e.to_string())),
+        Ok(h) if h.magic != HELLO_MAGIC => Err(refuse(
+            RefuseReason::BadMagic,
+            format!("bad magic {:#x}", h.magic),
+        )),
+        Ok(h) if h.protocol != PROTOCOL_VERSION => Err(refuse(
+            RefuseReason::Version,
+            format!(
+                "server speaks v{PROTOCOL_VERSION}, client offered v{}",
+                h.protocol
+            ),
+        )),
+        Ok(h) => Ok(h),
+    }
+}
+
+/// Serves one accepted connection to completion: handshake, then a
+/// dedicated cloud worker fed from the connection's frames.
+///
+/// The per-connection worker is what keeps a distributed fleet
+/// deterministic: the worker's state depends only on this connection's
+/// message order, never on how the OS interleaves other edges.
+pub fn serve_connection(
+    conn: Box<dyn Transport>,
+    config: &CloudConfig,
+    big: &Arc<dyn Detector + Send + Sync>,
+    opts: &ServeOptions,
+) -> ConnOutcome {
+    let mut outcome = ConnOutcome::default();
+    let (ftx, mut frx) = conn.split();
+    let ftx = Arc::new(Mutex::new(ftx));
+
+    let first = match frx.recv_timeout(opts.hello_timeout) {
+        Ok(Some(f)) => f,
+        Err(e) if e.kind() == io::ErrorKind::TimedOut => {
+            outcome.hello_timed_out = true;
+            return outcome;
+        }
+        Ok(None) | Err(_) => return outcome,
+    };
+    let hello = match parse_hello(&first) {
+        Ok(h) => h,
+        Err(refused) => {
+            let _ = send_locked(&ftx, &msg(tag::REFUSED, &refused));
+            outcome.refused = true;
+            return outcome;
+        }
+    };
+    let welcome = Welcome {
+        protocol: PROTOCOL_VERSION,
+        session: hello.session,
+        admission: config.queue_limit.is_some(),
+    };
+    if send_locked(&ftx, &msg(tag::WELCOME, &welcome)).is_err() {
+        return outcome;
+    }
+
+    if let Some(a) = &config.autoscale {
+        a.assert_valid();
+    }
+    let (ctx, crx) = channel::unbounded::<ToCloud>();
+    let cfg = config.clone();
+    let big2 = Arc::clone(big);
+    let sched = cfg.scheduler.build();
+    let worker = std::thread::spawn(move || cloud_loop(&crx, &*big2, &cfg, sched));
+
+    let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
+    let mut clean = false;
+    while let Ok(Some(frame)) = frx.recv() {
+        let Some((t, inner)) = split_msg(&frame) else {
+            break;
+        };
+        let ok = match t {
+            tag::REGISTER => match wire::decode_frame::<WireRegister>(&inner) {
+                Ok(r) => {
+                    outcome.registered = true;
+                    let (resp_tx, resp_rx) = channel::unbounded::<Bytes>();
+                    let (probe_tx, probe_rx) = channel::unbounded::<ProbeReply>();
+                    let sent = ctx
+                        .send(ToCloud::Register {
+                            session: r.session,
+                            link: r.link,
+                            resp_tx,
+                            probe_tx,
+                        })
+                        .is_ok();
+                    if sent {
+                        let ftx_a = Arc::clone(&ftx);
+                        forwarders.push(std::thread::spawn(move || {
+                            while let Ok(b) = resp_rx.recv() {
+                                let mut payload = Vec::with_capacity(1 + b.len());
+                                payload.push(tag::ANSWER);
+                                payload.extend_from_slice(&b);
+                                let _ = send_locked(&ftx_a, &payload);
+                            }
+                        }));
+                        let ftx_p = Arc::clone(&ftx);
+                        forwarders.push(std::thread::spawn(move || {
+                            while let Ok(r) = probe_rx.recv() {
+                                let reply = WireProbeReply {
+                                    admitted: r.admitted,
+                                    queue_depth: r.queue_depth,
+                                };
+                                let _ = send_locked(&ftx_p, &msg(tag::PROBE_REPLY, &reply));
+                            }
+                        }));
+                    }
+                    sent
+                }
+                Err(_) => false,
+            },
+            tag::SUBMIT => match wire::decode_frame::<WireSubmit>(&inner) {
+                Ok(s) => {
+                    let header = wire::encode_frame(&s.header);
+                    ctx.send(ToCloud::Frame(header, Arc::new(s.scene))).is_ok()
+                }
+                Err(_) => false,
+            },
+            tag::PROBE => match wire::decode_frame::<WireProbe>(&inner) {
+                Ok(p) => ctx
+                    .send(ToCloud::Probe {
+                        session: p.session,
+                        now: p.now,
+                    })
+                    .is_ok(),
+                Err(_) => false,
+            },
+            tag::FLUSH => ctx.send(ToCloud::Flush).is_ok(),
+            tag::DEREGISTER => match wire::decode_frame::<WireDeregister>(&inner) {
+                Ok(d) => ctx.send(ToCloud::Deregister { session: d.session }).is_ok(),
+                Err(_) => false,
+            },
+            tag::BYE => {
+                clean = true;
+                false
+            }
+            _ => false,
+        };
+        if !ok {
+            break;
+        }
+    }
+    outcome.clean = clean;
+    let _ = ctx.send(ToCloud::Shutdown);
+    drop(ctx);
+    if let Ok(stats) = worker.join() {
+        outcome.stats = Some(stats);
+    }
+    for f in forwarders {
+        let _ = f.join();
+    }
+    outcome
+}
+
+/// Runs a cloud node: accepts connections on `listener` and serves each on
+/// its own handler thread (see [`serve_connection`]) until `stop` is set
+/// (wake the accept loop with [`Listener::waker`]) or
+/// [`ServeOptions::expect_sessions`] connections completed.
+///
+/// Returns the node's merged [`NodeStats`] after every handler finished.
+pub fn serve(
+    listener: &mut dyn Listener,
+    config: &CloudConfig,
+    big: &Arc<dyn Detector + Send + Sync>,
+    opts: &ServeOptions,
+    stop: &AtomicBool,
+) -> NodeStats {
+    if let Some(a) = &config.autoscale {
+        a.assert_valid();
+    }
+    let waker = listener.waker();
+    let agg = Mutex::new(NodeStats::default());
+    let completed = AtomicUsize::new(0);
+    std::thread::scope(|scope| loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => break,
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let (agg, completed, waker) = (&agg, &completed, &waker);
+        scope.spawn(move || {
+            let outcome = serve_connection(conn, config, big, opts);
+            let counted = outcome.registered;
+            agg.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .absorb(outcome);
+            if counted {
+                let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
+                if opts.expect_sessions.is_some_and(|n| done >= n) {
+                    stop.store(true, Ordering::SeqCst);
+                    waker();
+                }
+            }
+        });
+    });
+    agg.into_inner().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_pair_round_trips_frames() {
+        let (a, b) = memory_pair();
+        let (mut atx, _arx) = Box::new(a).split();
+        let (_btx, mut brx) = Box::new(b).split();
+        atx.send(b"hello frame").unwrap();
+        let got = brx.recv().unwrap().unwrap();
+        assert_eq!(&got[..], b"hello frame");
+        drop(atx);
+        assert!(brx.recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn memory_recv_timeout_times_out() {
+        let (a, b) = memory_pair();
+        let (_atx, _arx) = Box::new(a).split();
+        let (_btx, mut brx) = Box::new(b).split();
+        let err = brx.recv_timeout(Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn tcp_loopback_round_trips_frames_across_splits() {
+        let mut listener = TcpWireListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr();
+        let server = std::thread::spawn(move || {
+            let conn = listener.accept().unwrap();
+            let (mut tx, mut rx) = conn.split();
+            while let Some(frame) = rx.recv().unwrap() {
+                tx.send(&frame).unwrap(); // echo
+            }
+        });
+        let client = Box::new(TcpTransport::dial(&addr).unwrap());
+        let (mut tx, mut rx) = client.split();
+        for size in [0usize, 1, 7, 4096, 100_000] {
+            let payload = vec![0xA5u8; size];
+            tx.send(&payload).unwrap();
+            let echoed = rx.recv().unwrap().unwrap();
+            assert_eq!(&echoed[..], &payload[..]);
+        }
+        drop(tx);
+        drop(rx);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_hello_is_refused_via_limit() {
+        // An inner frame whose payload bursts MAX_HELLO_BYTES.
+        let big = wire::encode_frame(&vec![7u8; 2 * MAX_HELLO_BYTES]);
+        let mut payload = Vec::with_capacity(1 + big.len());
+        payload.push(tag::HELLO);
+        payload.extend_from_slice(&big);
+        let refused = parse_hello(&Bytes::from(payload)).unwrap_err();
+        assert_eq!(refused.reason, RefuseReason::OversizedHello);
+    }
+
+    #[test]
+    fn bad_magic_and_bad_tag_are_refused() {
+        let wrong_magic = msg(
+            tag::HELLO,
+            &Hello {
+                magic: 0xdead_beef,
+                protocol: PROTOCOL_VERSION,
+                session: 0,
+            },
+        );
+        let refused = parse_hello(&Bytes::from(wrong_magic)).unwrap_err();
+        assert_eq!(refused.reason, RefuseReason::BadMagic);
+
+        let not_hello = msg(tag::SUBMIT, &7u32);
+        let refused = parse_hello(&Bytes::from(not_hello)).unwrap_err();
+        assert_eq!(refused.reason, RefuseReason::MalformedHello);
+    }
+
+    #[test]
+    fn memory_transport_session_is_bit_identical_to_channel_path() {
+        use crate::{CloudServer, DifficultCaseDiscriminator};
+        use datagen::{Dataset, DatasetProfile, SplitId};
+        use modelzoo::{ModelKind, SimDetector};
+
+        let data = Dataset::generate("conf", &DatasetProfile::helmet(), 12, 9);
+        let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+        let big: Arc<dyn Detector + Send + Sync> =
+            Arc::new(SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2));
+        let cfg = SessionConfig {
+            frame_size: (96, 96),
+            ..SessionConfig::new(2)
+        };
+
+        // Channel path: a fresh server and one session (id 0).
+        let mut cloud = CloudServer::spawn(CloudConfig::default(), Arc::clone(&big));
+        let mut sess = cloud.connect(
+            cfg.clone(),
+            &small,
+            Box::new(DifficultCaseDiscriminator::default()),
+        );
+        for scene in data.iter() {
+            let t = sess.submit(scene);
+            sess.poll(t).expect("frame resolves");
+        }
+        let want = sess.drain();
+        drop(sess);
+        let want_stats = cloud.shutdown();
+
+        // The same session over the in-memory transport.
+        let (mut listener, connector) = memory_listener();
+        let config = CloudConfig::default();
+        let big2 = Arc::clone(&big);
+        let server = std::thread::spawn(move || {
+            let opts = ServeOptions {
+                expect_sessions: Some(1),
+                ..ServeOptions::default()
+            };
+            let stop = AtomicBool::new(false);
+            serve(&mut listener, &config, &big2, &opts, &stop)
+        });
+        let remote = RemoteCloud::connect(
+            Box::new(connector.connect().unwrap()),
+            0,
+            ConnectOptions::default(),
+        )
+        .unwrap();
+        let mut sess = remote.attach(cfg, &small, Box::new(DifficultCaseDiscriminator::default()));
+        for scene in data.iter() {
+            let t = sess.submit(scene);
+            sess.poll(t).expect("frame resolves over transport");
+        }
+        let got = sess.drain();
+        drop(sess);
+        remote.close();
+        let stats = server.join().unwrap();
+
+        assert_eq!(got, want);
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.aborted, 0);
+        assert_eq!(stats.cloud.served, want_stats.served);
+    }
+
+    #[test]
+    fn version_mismatch_surfaces_as_typed_error() {
+        let (mut listener, connector) = memory_listener();
+        let server = std::thread::spawn(move || {
+            let conn = listener.accept().unwrap();
+            let (tx, mut rx) = conn.split();
+            let ftx = Arc::new(Mutex::new(tx));
+            let first = rx.recv().unwrap().unwrap();
+            let refused = parse_hello(&first).unwrap_err();
+            assert_eq!(refused.reason, RefuseReason::Version);
+            send_locked(&ftx, &msg(tag::REFUSED, &refused)).unwrap();
+        });
+        let conn: Box<dyn Transport> = Box::new(connector.connect().unwrap());
+        let (mut tx, mut rx) = conn.split();
+        let hello = Hello {
+            magic: HELLO_MAGIC,
+            protocol: 999,
+            session: 3,
+        };
+        let err = client_handshake(&mut *tx, &mut *rx, &hello, Duration::from_secs(5)).unwrap_err();
+        match err {
+            HandshakeError::VersionMismatch { server, client } => {
+                assert_eq!(server, PROTOCOL_VERSION);
+                assert_eq!(client, 999);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        server.join().unwrap();
+    }
+}

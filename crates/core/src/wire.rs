@@ -183,6 +183,101 @@ pub fn decode_frame_with_limit<T: DeserializeOwned>(
     serde_json::from_slice(&buf.chunk()[..len]).map_err(WireError::Malformed)
 }
 
+/// Incremental decoder for a byte stream of length-prefixed frames.
+///
+/// [`decode_frame`] assumes it is handed exactly one complete frame, which
+/// holds for in-process channels but not for sockets: a `read()` may return
+/// half a frame, three frames, or a frame boundary split anywhere — including
+/// mid-prefix. `FrameReader` buffers fed chunks and yields complete frame
+/// *payloads* (prefix stripped) as they become available:
+///
+/// ```
+/// use smallbig_core::wire::{encode_frame, FrameReader};
+///
+/// let frame = encode_frame(&vec![1u32, 2, 3]);
+/// let mut reader = FrameReader::new();
+/// let (a, b) = frame.split_at(3); // split inside the length prefix
+/// reader.feed(a);
+/// assert!(reader.next_frame().unwrap().is_none());
+/// reader.feed(b);
+/// let payload = reader.next_frame().unwrap().unwrap();
+/// assert_eq!(&payload[..], &frame[4..]);
+/// ```
+///
+/// A length prefix above the reader's limit yields
+/// [`WireError::Oversized`] *before* any payload is buffered past the
+/// prefix, so a corrupt or hostile prefix cannot drive allocation. Framing
+/// cannot resync after that: the caller must drop the connection.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+    limit: usize,
+}
+
+impl FrameReader {
+    /// A reader enforcing the default [`MAX_FRAME_BYTES`] payload limit.
+    pub fn new() -> Self {
+        Self::with_limit(MAX_FRAME_BYTES)
+    }
+
+    /// A reader rejecting payloads whose prefix exceeds `max_payload_bytes`.
+    pub fn with_limit(max_payload_bytes: usize) -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            start: 0,
+            limit: max_payload_bytes,
+        }
+    }
+
+    /// Appends raw bytes from the stream (typically one `read()`'s worth).
+    pub fn feed(&mut self, chunk: &[u8]) {
+        // Reclaim consumed space before growing, so steady-state streaming
+        // keeps one bounded buffer instead of creeping forward forever.
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Yields the next complete frame payload, `None` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Oversized`] when the buffered length prefix
+    /// exceeds the reader's limit. The stream is unrecoverable after that.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, WireError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let prefix: [u8; 4] = self.buf[self.start..self.start + 4].try_into().unwrap();
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > self.limit {
+            return Err(WireError::Oversized(len));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let payload = Bytes::copy_from_slice(&self.buf[self.start + 4..self.start + 4 + len]);
+        self.start += 4 + len;
+        Ok(Some(payload))
+    }
+
+    /// Bytes currently buffered but not yet yielded as a frame.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +403,70 @@ mod tests {
         assert_eq!(buf.capacity(), first_cap);
         let back: Vec<u32> = decode_frame(&Bytes::copy_from_slice(&buf)).unwrap();
         assert_eq!(back, vec![9]);
+    }
+
+    #[test]
+    fn frame_reader_yields_payloads_across_arbitrary_splits() {
+        let frames: Vec<Bytes> = (0..4)
+            .map(|i| encode_frame(&vec![i as u8; 10 + i * 7]))
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(|f| f.iter().copied()).collect();
+        // Feed the whole stream one byte at a time.
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            reader.feed(std::slice::from_ref(b));
+            while let Some(p) = reader.next_frame().unwrap() {
+                got.push(p);
+            }
+        }
+        assert_eq!(got.len(), frames.len());
+        for (p, f) in got.iter().zip(&frames) {
+            assert_eq!(&p[..], &f[4..]);
+        }
+        assert_eq!(reader.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_reader_yields_multiple_frames_from_one_chunk() {
+        let a = encode_frame(&"first".to_string());
+        let b = encode_frame(&"second".to_string());
+        let mut stream = a.to_vec();
+        stream.extend_from_slice(&b);
+        let mut reader = FrameReader::new();
+        reader.feed(&stream);
+        let s1: String = decode_frame_payload(&reader.next_frame().unwrap().unwrap()).unwrap();
+        let s2: String = decode_frame_payload(&reader.next_frame().unwrap().unwrap()).unwrap();
+        assert_eq!((s1.as_str(), s2.as_str()), ("first", "second"));
+        assert!(reader.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_reader_rejects_hostile_prefix_before_buffering_payload() {
+        let mut reader = FrameReader::with_limit(64);
+        let mut hostile = BytesMut::new();
+        hostile.put_u32_le(u32::MAX);
+        reader.feed(&hostile);
+        assert!(matches!(reader.next_frame(), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn frame_reader_compacts_consumed_space() {
+        let frame = encode_frame(&vec![1u8; 2048]);
+        let mut reader = FrameReader::new();
+        for _ in 0..64 {
+            reader.feed(&frame);
+            assert!(reader.next_frame().unwrap().is_some());
+        }
+        assert_eq!(reader.pending_bytes(), 0);
+        // The internal buffer must not have grown to hold all 64 frames.
+        assert!(reader.buf.len() < 3 * frame.len());
+    }
+
+    fn decode_frame_payload<T: serde::de::DeserializeOwned>(
+        payload: &Bytes,
+    ) -> Result<T, WireError> {
+        serde_json::from_slice(payload.chunk()).map_err(WireError::Malformed)
     }
 
     #[test]

@@ -235,3 +235,81 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Incremental frame reassembly (`wire::FrameReader`)
+// ---------------------------------------------------------------------------
+
+use smallbig_core::wire::{FrameReader, WireError};
+
+proptest! {
+    /// Any frame stream chopped at any byte boundaries reassembles into
+    /// exactly the original payloads, in order, with nothing left over.
+    #[test]
+    fn frame_reader_reassembles_any_chunking(
+        payloads in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..200), 1..6),
+        chunk_sizes in prop::collection::vec(1usize..23, 1..40),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            stream.extend_from_slice(p);
+        }
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        let (mut i, mut k) = (0, 0);
+        while i < stream.len() {
+            let n = chunk_sizes[k % chunk_sizes.len()].min(stream.len() - i);
+            k += 1;
+            reader.feed(&stream[i..i + n]);
+            i += n;
+            while let Some(frame) = reader.next_frame().unwrap() {
+                got.push(frame.to_vec());
+            }
+        }
+        prop_assert_eq!(got, payloads);
+        prop_assert_eq!(reader.pending_bytes(), 0);
+    }
+
+    /// A stream cut anywhere strictly before a frame's end never yields a
+    /// partial frame; completing the stream yields the exact payload.
+    #[test]
+    fn frame_reader_never_yields_a_partial_frame(
+        payload in prop::collection::vec(any::<u8>(), 1..300),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        stream.extend_from_slice(&payload);
+        let cut = ((stream.len() - 1) as f64 * cut_frac) as usize;
+        let mut reader = FrameReader::new();
+        reader.feed(&stream[..cut]);
+        prop_assert!(reader.next_frame().unwrap().is_none());
+        prop_assert_eq!(reader.pending_bytes(), cut);
+        reader.feed(&stream[cut..]);
+        let frame = reader.next_frame().unwrap().expect("frame complete");
+        prop_assert_eq!(&frame[..], &payload[..]);
+        prop_assert_eq!(reader.pending_bytes(), 0);
+    }
+
+    /// A hostile length prefix beyond the limit is rejected as soon as the
+    /// prefix is readable — before any payload byte is buffered — no
+    /// matter how the prefix bytes trickle in.
+    #[test]
+    fn frame_reader_rejects_hostile_prefix_under_any_chunking(
+        over in 1usize..10_000,
+        chunk in 1usize..5,
+    ) {
+        let limit = 1024;
+        let mut reader = FrameReader::with_limit(limit);
+        let prefix = ((limit + over) as u32).to_le_bytes();
+        for piece in prefix.chunks(chunk) {
+            reader.feed(piece);
+        }
+        match reader.next_frame() {
+            Err(WireError::Oversized(n)) => prop_assert_eq!(n, limit + over),
+            other => prop_assert!(false, "expected Oversized, got {other:?}"),
+        }
+    }
+}

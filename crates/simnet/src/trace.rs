@@ -32,6 +32,7 @@ use crate::link::LinkModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
 
 /// The observable state of a (possibly traced) link at one virtual instant:
 /// what an adaptive offload policy gets to see before deciding a frame.
@@ -440,7 +441,7 @@ pub enum LinkAttempt {
 /// `max_retries` retransmissions, so up to `max_retries + 1` transmission
 /// attempts in total. When the last retransmission also fails, the frame
 /// falls back to the edge-only answer.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RetryConfig {
     /// First backoff interval, seconds.
     pub base_s: f64,
@@ -479,7 +480,7 @@ impl RetryConfig {
 }
 
 /// A half-open window `[start_s, end_s)` of virtual time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TimeWindow {
     /// Window start, seconds.
     pub start_s: f64,

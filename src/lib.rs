@@ -15,8 +15,9 @@
 //! | [`datagen`] | synthetic VOC / COCO-18 / HELMET datasets at published sizes |
 //! | [`modelzoo`] | SSD/MobileNet/YOLO architectures (FLOPs, params, anchors) and the behavioural detector simulator |
 //! | [`simnet`] | Jetson-Nano / GPU-server devices, WLAN link models, dynamic link traces and fault plans |
-//! | [`core`] | the discriminator, calibration, trait-based offload policies, batch evaluator and the streaming multi-edge runtime |
+//! | [`core`] | the discriminator, calibration, trait-based offload policies, batch evaluator, the streaming multi-edge runtime and the wire transport |
 //! | [`eval`] | experiment harness regenerating every paper table and figure |
+//! | [`distributed`] | fleet specs, the `cloud-node` / `edge-node` binaries and the multi-process orchestration harness |
 //!
 //! Two runtimes live in [`core`]:
 //!
@@ -101,9 +102,40 @@
 //! let report = edge.drain();
 //! assert_eq!(report.frames, 8);
 //! ```
+//!
+//! # Distributed deployment
+//!
+//! The streaming runtime also speaks a real wire protocol
+//! ([`core::transport`]): the cloud worker serves sessions over TCP (or any
+//! custom [`core::transport::Transport`]), edges dial in with a versioned
+//! handshake and reconnect with backoff, and — because all simulation time
+//! is virtual — a fleet of separate OS processes produces **bit-identical**
+//! per-session reports to the in-process path. Three binaries package this:
+//!
+//! ```bash
+//! # Terminal 1 — the cloud node (prints "LISTENING <addr>"):
+//! cloud-node --listen 127.0.0.1:4810 --edges 2 --frames 8
+//!
+//! # Terminals 2 and 3 — one edge node each (they may start first; they
+//! # retry the dial with backoff until the cloud is up):
+//! edge-node --cloud 127.0.0.1:4810 --edge-index 0 --edges 2 --frames 8
+//! edge-node --cloud 127.0.0.1:4810 --edge-index 1 --edges 2 --frames 8
+//!
+//! # Or let the orchestrator spawn the whole fleet and merge the reports —
+//! # `--mode check` also runs the in-memory fleet and asserts the two are
+//! # bit-identical:
+//! smallbig-orchestrate --mode check --edges 3 --devices 1 --frames 6
+//! ```
+//!
+//! Every node takes the same fleet description (`--spec JSON`,
+//! `--spec-file PATH`, or individual flags — split, policy, link, trace,
+//! scheduler, admission, autoscaling); see [`distributed`] for the spec
+//! types, the in-memory reference runner and the process harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod distributed;
 
 pub use datagen;
 pub use detcore;

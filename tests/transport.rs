@@ -1,0 +1,617 @@
+//! Distributed-deployment conformance: real OS processes over loopback TCP
+//! must produce the same per-session reports as the in-memory transport
+//! and the historical in-process channel path, and the failure machinery
+//! (half-open connections, version skew, kills, reconnects) must degrade
+//! loudly and boundedly instead of hanging.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smallbig::core::transport::{
+    client_handshake, serve, serve_connection, HandshakeError, Hello, Listener, RemoteCloud,
+    ServeOptions, TcpTransport, TcpWireListener, Transport, HELLO_MAGIC,
+};
+use smallbig::core::{CloudServer, CloudStats, SessionReport};
+use smallbig::distributed::{
+    run_device_session, run_fleet_in_memory, run_fleet_processes, CloudSpec, EdgeSpec, FleetSpec,
+    LinkSpec, PolicySpec, TraceSpec, LINE_CONNECTED, LINE_REPORT, LINE_STATS,
+};
+use smallbig::modelzoo::Detector;
+use smallbig::simnet::RetryConfig;
+use smallbig_core::SchedulerConfig;
+
+const CLOUD_BIN: &str = env!("CARGO_BIN_EXE_cloud-node");
+const EDGE_BIN: &str = env!("CARGO_BIN_EXE_edge-node");
+
+fn quick_retry() -> RetryConfig {
+    RetryConfig {
+        base_s: 0.05,
+        multiplier: 1.5,
+        max_retries: 8,
+    }
+}
+
+fn small_fleet(edges: usize, frames: usize) -> FleetSpec {
+    FleetSpec {
+        edges,
+        devices_per_edge: 1,
+        frames_per_device: frames,
+        edge: EdgeSpec {
+            retry: quick_retry(),
+            ..EdgeSpec::default()
+        },
+        ..FleetSpec::default()
+    }
+}
+
+/// The acceptance bar: one cloud-node and three edge-node OS processes
+/// over loopback TCP produce merged per-session results bit-identical to
+/// the same workload over the in-memory transport in this process.
+#[test]
+fn process_fleet_matches_in_memory_fleet_bit_for_bit() {
+    let spec = small_fleet(3, 6);
+    let reference = run_fleet_in_memory(&spec);
+    let processes = run_fleet_processes(
+        &spec,
+        Path::new(CLOUD_BIN),
+        Path::new(EDGE_BIN),
+        Duration::from_secs(120),
+    )
+    .expect("process fleet completes");
+
+    assert_eq!(processes.sessions, reference.sessions);
+    assert_eq!(processes.frames, reference.frames);
+    assert_eq!(processes.uploads, reference.uploads);
+    assert_eq!(processes.uplink_bytes, reference.uplink_bytes);
+    assert_eq!(processes.cloud.connections, 3);
+    assert_eq!(processes.cloud.aborted, 0);
+    assert_eq!(processes.cloud.refused, 0);
+    assert_eq!(processes.cloud.cloud.sessions, 3);
+    let ids: Vec<u64> = processes.sessions.iter().map(|s| s.session).collect();
+    assert_eq!(ids, vec![0, 1, 2]);
+}
+
+/// Runs the single session of `spec` over real loopback TCP against a
+/// `serve` loop in this process.
+fn run_tcp_single(spec: &FleetSpec) -> (SessionReport, CloudStats) {
+    assert_eq!(spec.total_sessions(), 1);
+    let mut listener = TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr();
+    let cloud_cfg = spec.cloud.build();
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(spec.split.big_model());
+    let opts = ServeOptions {
+        expect_sessions: Some(1),
+        ..ServeOptions::default()
+    };
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let stop = AtomicBool::new(false);
+            serve(&mut listener, &cloud_cfg, &big, &opts, &stop)
+        });
+        let remote =
+            RemoteCloud::connect_tcp(&addr, 0, &spec.edge.retry).expect("loopback handshake");
+        let report = run_device_session(&remote, spec, 0);
+        remote.close();
+        let stats = server.join().expect("serve thread");
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.aborted, 0);
+        (report, stats.cloud)
+    })
+}
+
+/// The same session driven through the historical in-process channel path
+/// (`CloudServer::spawn` + `connect`) — the reference the transports must
+/// reproduce bit for bit.
+fn run_channel_single(spec: &FleetSpec) -> (SessionReport, CloudStats) {
+    assert_eq!(spec.total_sessions(), 1);
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(spec.split.big_model());
+    let mut cloud = CloudServer::spawn(spec.cloud.build(), big);
+    let small = spec.split.small_model();
+    let (_, policy) = spec.edge.policy.build();
+    let mut sess = cloud.connect(spec.session_config(0), &small, policy);
+    let data = spec.dataset(0);
+    for scene in data.iter() {
+        let ticket = sess.submit(scene);
+        sess.poll(ticket).expect("frame resolves");
+    }
+    let report = sess.drain();
+    drop(sess);
+    (report, cloud.shutdown())
+}
+
+/// Loopback TCP must match the channel path across the configuration
+/// surface: policies, deadlines, traced links, admission control and
+/// non-FIFO scheduling.
+#[test]
+fn tcp_sessions_match_channel_path_across_configs() {
+    let base = small_fleet(1, 10);
+    let variants: Vec<(&str, FleetSpec)> = vec![
+        ("discriminator", base.clone()),
+        (
+            "cloud-only",
+            FleetSpec {
+                edge: EdgeSpec {
+                    policy: PolicySpec::CloudOnly,
+                    ..base.edge.clone()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "edge-only",
+            FleetSpec {
+                edge: EdgeSpec {
+                    policy: PolicySpec::EdgeOnly,
+                    ..base.edge.clone()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "deadline",
+            FleetSpec {
+                edge: EdgeSpec {
+                    deadline_s: Some(0.12),
+                    ..base.edge.clone()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "bursty-trace",
+            FleetSpec {
+                edge: EdgeSpec {
+                    policy: PolicySpec::CloudOnly,
+                    link: LinkSpec::Cellular,
+                    trace: TraceSpec::Bursty { seed: 7 },
+                    ..base.edge.clone()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "admission",
+            FleetSpec {
+                cloud: CloudSpec {
+                    queue_limit: Some(2),
+                    ..base.cloud.clone()
+                },
+                edge: EdgeSpec {
+                    policy: PolicySpec::CloudOnly,
+                    ..base.edge.clone()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "deadline-scheduler",
+            FleetSpec {
+                cloud: CloudSpec {
+                    max_batch: 3,
+                    workers: 2,
+                    scheduler: SchedulerConfig::DeadlineAware { lookahead: 4 },
+                    ..base.cloud.clone()
+                },
+                edge: EdgeSpec {
+                    deadline_s: Some(0.2),
+                    ..base.edge.clone()
+                },
+                ..base.clone()
+            },
+        ),
+    ];
+    for (name, spec) in variants {
+        let (want, want_stats) = run_channel_single(&spec);
+        let (got, got_stats) = run_tcp_single(&spec);
+        assert_eq!(got, want, "variant `{name}` diverged from channel path");
+        assert_eq!(
+            got_stats.served, want_stats.served,
+            "variant `{name}` served a different frame count"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process soak: kill an edge mid-run, restart it, account for everything
+// ---------------------------------------------------------------------------
+
+struct LineChild {
+    child: Child,
+    lines: std::sync::mpsc::Receiver<String>,
+}
+
+fn spawn_lines(mut cmd: Command) -> LineChild {
+    let mut child = cmd
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn node binary");
+    let out = child.stdout.take().expect("stdout piped");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        for line in BufReader::new(out).lines().map_while(Result::ok) {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    LineChild { child, lines: rx }
+}
+
+impl LineChild {
+    fn expect_line_with(&self, prefix: &str, deadline: Instant) -> String {
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            match self.lines.recv_timeout(left) {
+                Ok(line) => {
+                    if let Some(rest) = line.strip_prefix(prefix) {
+                        return rest.to_string();
+                    }
+                }
+                Err(e) => panic!("no `{prefix}` line before deadline: {e}"),
+            }
+        }
+    }
+
+    fn wait_success(&mut self, deadline: Instant, name: &str) {
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                assert!(status.success(), "{name} exited with {status}");
+                return;
+            }
+            assert!(Instant::now() < deadline, "{name} hung past the deadline");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+impl Drop for LineChild {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Kill an edge-node mid-session and restart it: the cloud must record
+/// exactly one aborted connection, accept the replacement, and the
+/// surviving reports must be bit-identical to an undisturbed in-memory
+/// fleet — all inside a bounded deadline.
+#[test]
+fn killed_edge_restarts_and_fleet_accounts_for_every_frame() {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let spec = small_fleet(2, 30);
+    let reference = run_fleet_in_memory(&spec);
+    let spec_json = serde_json::to_string(&spec).expect("spec serializes");
+
+    // The cloud expects three registered connections: the doomed edge 0,
+    // edge 1, and the restarted edge 0.
+    let mut cloud = spawn_lines({
+        let mut c = Command::new(CLOUD_BIN);
+        c.args([
+            "--listen",
+            "127.0.0.1:0",
+            "--spec",
+            &spec_json,
+            "--expect-sessions",
+            "3",
+        ])
+        .stdin(Stdio::piped());
+        c
+    });
+    let addr = cloud.expect_line_with("LISTENING ", deadline);
+
+    let edge_cmd = |edge_index: &str| {
+        let mut c = Command::new(EDGE_BIN);
+        c.args([
+            "--cloud",
+            &addr,
+            "--edge-index",
+            edge_index,
+            "--spec",
+            &spec_json,
+        ]);
+        c
+    };
+
+    // Edge 0 gets a workload far too long to finish: we kill it mid-run.
+    // Only flags (no --spec) so --frames takes effect; everything else
+    // matches the spec's defaults.
+    let mut doomed = spawn_lines({
+        let mut c = Command::new(EDGE_BIN);
+        c.args([
+            "--cloud",
+            &addr,
+            "--edge-index",
+            "0",
+            "--edges",
+            "2",
+            "--frames",
+            "20000",
+        ]);
+        c
+    });
+    doomed.expect_line_with(LINE_CONNECTED, deadline);
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        doomed.child.try_wait().expect("try_wait").is_none(),
+        "doomed edge finished 20000 frames before the kill; raise the workload"
+    );
+    doomed.child.kill().expect("kill edge 0");
+    let _ = doomed.child.wait();
+
+    // Edge 1 runs the real workload to completion alongside the carnage.
+    let mut survivor = spawn_lines(edge_cmd("1"));
+    survivor.wait_success(deadline, "edge-node 1");
+    let survivor_report: SessionReport =
+        serde_json::from_str(&survivor.expect_line_with(LINE_REPORT, deadline))
+            .expect("survivor report parses");
+
+    // Restart edge 0 from scratch; the cloud must accept the reconnect.
+    let mut restarted = spawn_lines(edge_cmd("0"));
+    restarted.wait_success(deadline, "restarted edge-node 0");
+    let restarted_report: SessionReport =
+        serde_json::from_str(&restarted.expect_line_with(LINE_REPORT, deadline))
+            .expect("restarted report parses");
+
+    // The cloud stops on its own after the third registered connection.
+    cloud.wait_success(deadline, "cloud-node");
+    let stats: smallbig::core::transport::NodeStats =
+        serde_json::from_str(&cloud.expect_line_with(LINE_STATS, deadline))
+            .expect("cloud stats parse");
+
+    assert_eq!(stats.connections, 3);
+    assert_eq!(stats.aborted, 1, "exactly the killed edge must abort");
+    assert_eq!(stats.refused, 0);
+    assert_eq!(stats.hello_timeouts, 0);
+    assert_eq!(restarted_report, reference.sessions[0]);
+    assert_eq!(survivor_report, reference.sessions[1]);
+    assert_eq!(
+        restarted_report.frames + survivor_report.frames,
+        reference.frames,
+        "every frame of the undisturbed fleet is accounted for"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Mid-run reconnect through a cutting proxy
+// ---------------------------------------------------------------------------
+
+/// Forwards framed bytes client→server, severing both directions after
+/// `cut_after` transport frames; later connections pass untouched.
+fn cutting_proxy(backend: String, cut_after: usize) -> String {
+    let front = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let addr = front.local_addr().expect("proxy addr").to_string();
+    std::thread::spawn(move || {
+        let mut first = true;
+        for conn in front.incoming() {
+            let Ok(client) = conn else { break };
+            let Ok(server) = TcpStream::connect(&backend) else {
+                break;
+            };
+            let budget = if first { Some(cut_after) } else { None };
+            first = false;
+            let (c2s_c, c2s_s) = (
+                client.try_clone().expect("clone"),
+                server.try_clone().expect("clone"),
+            );
+            std::thread::spawn(move || copy_frames(c2s_c, c2s_s, budget));
+            std::thread::spawn(move || copy_frames(server, client, None));
+        }
+    });
+    addr
+}
+
+/// Copies length-prefixed transport frames from `from` to `to`; with a
+/// budget, severs both sockets once it is spent.
+fn copy_frames(mut from: TcpStream, mut to: TcpStream, mut budget: Option<usize>) {
+    loop {
+        let mut prefix = [0u8; 4];
+        if from.read_exact(&mut prefix).is_err() {
+            break;
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        let mut payload = vec![0u8; len];
+        if from.read_exact(&mut payload).is_err() {
+            break;
+        }
+        if to
+            .write_all(&prefix)
+            .and_then(|()| to.write_all(&payload))
+            .is_err()
+        {
+            break;
+        }
+        if let Some(left) = budget.as_mut() {
+            *left -= 1;
+            if *left == 0 {
+                let _ = from.shutdown(std::net::Shutdown::Both);
+                let _ = to.shutdown(std::net::Shutdown::Both);
+                break;
+            }
+        }
+    }
+}
+
+/// A connection cut mid-session must reconnect with the configured
+/// backoff, replay its registration and pending frames, and finish every
+/// frame — while the cloud books one aborted and one clean connection.
+#[test]
+fn mid_run_cut_reconnects_and_completes_every_frame() {
+    let spec = FleetSpec {
+        edge: EdgeSpec {
+            policy: PolicySpec::CloudOnly,
+            retry: quick_retry(),
+            ..EdgeSpec::default()
+        },
+        ..small_fleet(1, 12)
+    };
+    let mut listener = TcpWireListener::bind("127.0.0.1:0").expect("bind backend");
+    let backend = listener.local_addr();
+    // Frame 5 client→server is mid-stream: HELLO, REGISTER and the first
+    // SUBMITs pass, then the line goes dark.
+    let proxy = cutting_proxy(backend, 5);
+    let cloud_cfg = spec.cloud.build();
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(spec.split.big_model());
+    let opts = ServeOptions {
+        expect_sessions: Some(2),
+        ..ServeOptions::default()
+    };
+    let (report, stats) = std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let stop = AtomicBool::new(false);
+            serve(&mut listener, &cloud_cfg, &big, &opts, &stop)
+        });
+        let remote =
+            RemoteCloud::connect_tcp(&proxy, 0, &spec.edge.retry).expect("proxy handshake");
+        let report = run_device_session(&remote, &spec, 0);
+        remote.close();
+        (report, server.join().expect("serve thread"))
+    });
+    assert_eq!(report.frames, 12);
+    assert_eq!(report.uploads, 12, "cloud-only: every frame upstreams");
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.aborted, 1);
+    assert!(
+        stats.cloud.served >= 12,
+        "replays may re-serve, but never under-serve"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Handshake failure modes over real TCP
+// ---------------------------------------------------------------------------
+
+/// A half-open connection (TCP established, no Hello) must time out on its
+/// handler without stalling real sessions, and be booked as a hello
+/// timeout.
+#[test]
+fn half_open_connection_times_out_without_blocking_serving() {
+    let spec = small_fleet(1, 4);
+    let mut listener = TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr();
+    let cloud_cfg = spec.cloud.build();
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(spec.split.big_model());
+    let opts = ServeOptions {
+        hello_timeout: Duration::from_millis(100),
+        expect_sessions: Some(1),
+    };
+    let stats = std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let stop = AtomicBool::new(false);
+            serve(&mut listener, &cloud_cfg, &big, &opts, &stop)
+        });
+        // Establish TCP and go silent; hold the socket open throughout.
+        let half_open = TcpStream::connect(&addr).expect("raw connect");
+        let remote = RemoteCloud::connect_tcp(&addr, 0, &spec.edge.retry)
+            .expect("real session connects past the half-open peer");
+        let report = run_device_session(&remote, &spec, 0);
+        remote.close();
+        assert_eq!(report.frames, 4);
+        let stats = server.join().expect("serve thread");
+        drop(half_open);
+        stats
+    });
+    assert_eq!(stats.hello_timeouts, 1);
+    // Only registered connections count; the half-open one never was.
+    assert_eq!(stats.connections, 1);
+    assert_eq!(stats.aborted, 0);
+    assert_eq!(stats.cloud.sessions, 1);
+}
+
+/// A protocol-version mismatch must surface as the typed
+/// [`HandshakeError::VersionMismatch`] carrying both versions, and be
+/// booked as refused on the serving side.
+#[test]
+fn version_mismatch_over_tcp_is_a_typed_error() {
+    let spec = small_fleet(1, 1);
+    let mut listener = TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr();
+    let cloud_cfg = spec.cloud.build();
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(spec.split.big_model());
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().expect("accept");
+        serve_connection(conn, &cloud_cfg, &big, &ServeOptions::default())
+    });
+    let transport = TcpTransport::dial(&addr).expect("dial");
+    let (mut tx, mut rx) = (Box::new(transport) as Box<dyn Transport>).split();
+    let hello = Hello {
+        magic: HELLO_MAGIC,
+        protocol: 999,
+        session: 0,
+    };
+    let err = client_handshake(&mut *tx, &mut *rx, &hello, Duration::from_secs(5))
+        .expect_err("future protocol must be refused");
+    match err {
+        HandshakeError::VersionMismatch { server, client } => {
+            assert_eq!(server, 1);
+            assert_eq!(client, 999);
+        }
+        other => panic!("expected VersionMismatch, got {other}"),
+    }
+    let outcome = server.join().expect("handler thread");
+    assert!(outcome.refused);
+    assert!(!outcome.registered);
+}
+
+/// A silent server (TCP accepts, never answers the Hello) must produce a
+/// bounded [`HandshakeError::Timeout`] on the client, not a hang.
+#[test]
+fn silent_server_times_out_the_client_handshake() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind silent server");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+    let transport = TcpTransport::dial(&addr).expect("dial");
+    let (mut tx, mut rx) = (Box::new(transport) as Box<dyn Transport>).split();
+    let hello = Hello {
+        magic: HELLO_MAGIC,
+        protocol: 1,
+        session: 0,
+    };
+    let started = Instant::now();
+    let err = client_handshake(&mut *tx, &mut *rx, &hello, Duration::from_millis(200))
+        .expect_err("silence must time out");
+    assert!(matches!(err, HandshakeError::Timeout));
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "timeout must be bounded"
+    );
+    drop(hold.join());
+}
+
+/// `dial_with_backoff` must keep retrying while the listener is still
+/// coming up, and fail loudly (not hang) when nothing ever binds.
+#[test]
+fn dial_with_backoff_rides_out_a_late_listener() {
+    // Reserve a port, free it, and bind it again only after a delay.
+    let placeholder = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr = placeholder.local_addr().expect("addr").to_string();
+    drop(placeholder);
+    let late_addr = addr.clone();
+    let late = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(250));
+        let listener = TcpListener::bind(&late_addr).expect("late bind");
+        listener.accept().map(|(s, _)| s)
+    });
+    let transport = TcpTransport::dial_with_backoff(&addr, &quick_retry())
+        .expect("backoff outlasts the late bind");
+    drop(transport);
+    drop(late.join());
+
+    // And with nothing listening, retries exhaust into an error.
+    let empty = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let dead_addr = empty.local_addr().expect("addr").to_string();
+    drop(empty);
+    let result = TcpTransport::dial_with_backoff(
+        &dead_addr,
+        &RetryConfig {
+            base_s: 0.02,
+            multiplier: 1.5,
+            max_retries: 2,
+        },
+    );
+    assert!(result.is_err(), "nothing ever binds, so dialing must fail");
+}
