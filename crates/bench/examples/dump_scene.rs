@@ -1,0 +1,43 @@
+//! Byte-budget probe for one bench scene: where do the JSON and binary
+//! codec bytes go? (Analysis aid for the wire-size work; not a benchmark.)
+
+use datagen::{Dataset, DatasetProfile};
+use serde::Serialize;
+
+fn main() {
+    let data = Dataset::generate("bench-transport", &DatasetProfile::helmet(), 5, 23);
+    for scene in data.iter().take(2) {
+        let json = serde_json::to_string(scene).unwrap();
+        let bin = serde_json::to_vec_binary(scene).unwrap();
+        let mut seeded = Vec::new();
+        serde_json::to_vec_binary_into_with_dict(
+            &mut seeded,
+            scene,
+            smallbig_core::wire::BINARY_STATIC_KEYS,
+        )
+        .unwrap();
+        println!(
+            "json {} bytes, binary {} bytes, binary+static-dict {} bytes",
+            json.len(),
+            bin.len(),
+            seeded.len()
+        );
+        println!("{json}");
+        // Count floats in the tree.
+        let v = scene.to_value();
+        let (mut floats, mut strings, mut ints) = (0usize, 0usize, 0usize);
+        walk(&v, &mut floats, &mut strings, &mut ints);
+        println!("floats={floats} strings={strings} ints={ints}");
+    }
+}
+
+fn walk(v: &serde::Value, f: &mut usize, s: &mut usize, i: &mut usize) {
+    match v {
+        serde::Value::F64(_) => *f += 1,
+        serde::Value::String(_) => *s += 1,
+        serde::Value::U64(_) | serde::Value::I64(_) => *i += 1,
+        serde::Value::Array(items) => items.iter().for_each(|x| walk(x, f, s, i)),
+        serde::Value::Object(map) => map.values().for_each(|x| walk(x, f, s, i)),
+        _ => {}
+    }
+}

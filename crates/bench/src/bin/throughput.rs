@@ -1009,27 +1009,61 @@ struct Sessions {
 #[derive(Debug, Serialize)]
 struct TransportRow {
     frames: usize,
-    /// Mean length-prefixed wire size of one encoded scene frame — the
-    /// dominant payload a cloud-only session ships per image.
-    scene_frame_bytes_avg: f64,
+    /// Mean length-prefixed wire size of one scene frame — the dominant
+    /// payload a cloud-only session ships per image — encoded as JSON
+    /// (the protocol default; PR 6 reported this unlabeled as
+    /// `scene_frame_bytes_avg`).
+    scene_frame_bytes_avg_json: f64,
+    /// The same frames through the binary codec.
+    scene_frame_bytes_avg_binary: f64,
+    /// binary / JSON bytes per frame (the PR 7 target is ≤ 0.45).
+    binary_over_json_bytes: f64,
     /// The historical in-process channel path (`CloudServer::connect`).
     channel_fps: f64,
     /// The same session bridged over the in-memory transport
     /// (`RemoteCloud` + `serve`), handshake and frame codec included.
     memory_transport_fps: f64,
-    /// The same session over real loopback TCP.
+    /// The same session over real loopback TCP (JSON codec).
     tcp_loopback_fps: f64,
+    /// The same session over loopback TCP with the binary codec
+    /// negotiated in the handshake.
+    tcp_loopback_binary_fps: f64,
     /// channel time / memory-transport time (≤ 1.0 means the transport
     /// bridge costs throughput; reports are asserted bit-identical first).
     memory_over_channel: f64,
-    /// channel time / loopback-TCP time.
+    /// channel time / loopback-TCP time, JSON codec.
     tcp_over_channel: f64,
+    /// channel time / loopback-TCP time, binary codec.
+    tcp_binary_over_channel: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct MuxRow {
+    sessions: usize,
+    frames_per_session: usize,
+    /// All sessions driven over the historical in-process channel path.
+    channel_fps: f64,
+    /// One loopback-TCP connection **per session** (the pre-mux shape),
+    /// binary codec.
+    tcp_per_connection_fps: f64,
+    /// Every session multiplexed over **one** loopback-TCP connection,
+    /// binary codec, submits interleaved across sessions.
+    tcp_mux_fps: f64,
+    /// channel time / mux time (the PR 7 bar is ≥ 0.95).
+    mux_over_channel: f64,
+    /// per-connection time / mux time (> 1.0 means multiplexing beats
+    /// dialing one connection per device).
+    mux_over_per_connection: f64,
 }
 
 #[derive(Debug, Serialize)]
 struct TransportBench {
-    /// One cloud-only edge session end to end on each substrate.
+    /// One cloud-only edge session end to end on each substrate and codec.
     remote_session: TransportRow,
+    /// A device fleet's sessions over one multiplexed connection vs one
+    /// connection each vs the channel path — reports asserted
+    /// bit-identical across all three before timing.
+    mux_fleet: MuxRow,
 }
 
 #[derive(Debug, Serialize)]
@@ -1732,14 +1766,19 @@ fn main() {
             report
         })
     };
-    let tcp_run = || {
+    let tcp_run_as = |encoding: wire::Encoding| {
         let mut listener = transport::TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
         let addr = transport::Listener::local_addr(&listener);
         std::thread::scope(|scope| {
             let server = scope.spawn(move || serve_one(&mut listener));
-            let remote =
-                transport::RemoteCloud::connect_tcp(&addr, 0, &simnet::RetryConfig::default())
-                    .expect("loopback handshake");
+            let remote = transport::RemoteCloud::connect_tcp_with(
+                &addr,
+                0,
+                &simnet::RetryConfig::default(),
+                encoding,
+                false,
+            )
+            .expect("loopback handshake");
             let mut sess = remote.attach(
                 transport_cfg(),
                 &transport_small,
@@ -1760,23 +1799,32 @@ fn main() {
             "in-memory transport session drifted from the channel path"
         );
         assert_eq!(
-            tcp_run(),
+            tcp_run_as(wire::Encoding::Json),
             want,
             "loopback-TCP session drifted from the channel path"
         );
+        assert_eq!(
+            tcp_run_as(wire::Encoding::Binary),
+            want,
+            "binary-codec TCP session drifted from the channel path"
+        );
     }
     eprintln!(
-        "# transport self-check passed: channel, in-memory and TCP sessions are bit-identical"
+        "# transport self-check passed: channel, in-memory and TCP sessions (both codecs) are bit-identical"
     );
     let mut frame_buf = Vec::new();
-    let scene_frame_bytes_avg = transport_data
-        .iter()
-        .map(|s| {
-            wire::encode_frame_into(&mut frame_buf, s);
-            frame_buf.len()
-        })
-        .sum::<usize>() as f64
-        / transport_images as f64;
+    let frame_bytes_avg = |encoding: wire::Encoding, frame_buf: &mut Vec<u8>| {
+        transport_data
+            .iter()
+            .map(|s| {
+                wire::encode_frame_into_as(frame_buf, s, encoding);
+                frame_buf.len()
+            })
+            .sum::<usize>() as f64
+            / transport_images as f64
+    };
+    let scene_frame_bytes_avg_json = frame_bytes_avg(wire::Encoding::Json, &mut frame_buf);
+    let scene_frame_bytes_avg_binary = frame_bytes_avg(wire::Encoding::Binary, &mut frame_buf);
     let transport_times = best_of_each(
         repeats,
         &mut [
@@ -1787,27 +1835,217 @@ fn main() {
                 sink(memory_run());
             },
             &mut || {
-                sink(tcp_run());
+                sink(tcp_run_as(wire::Encoding::Json));
+            },
+            &mut || {
+                sink(tcp_run_as(wire::Encoding::Binary));
             },
         ],
     );
     let remote_session = TransportRow {
         frames: transport_images,
-        scene_frame_bytes_avg,
+        scene_frame_bytes_avg_json,
+        scene_frame_bytes_avg_binary,
+        binary_over_json_bytes: scene_frame_bytes_avg_binary / scene_frame_bytes_avg_json,
         channel_fps: fps(transport_images, transport_times[0]),
         memory_transport_fps: fps(transport_images, transport_times[1]),
         tcp_loopback_fps: fps(transport_images, transport_times[2]),
+        tcp_loopback_binary_fps: fps(transport_images, transport_times[3]),
         memory_over_channel: transport_times[0].as_secs_f64() / transport_times[1].as_secs_f64(),
         tcp_over_channel: transport_times[0].as_secs_f64() / transport_times[2].as_secs_f64(),
+        tcp_binary_over_channel: transport_times[0].as_secs_f64()
+            / transport_times[3].as_secs_f64(),
     };
     eprintln!("transport/remote_session: {remote_session:?}");
-    let transport_bench = TransportBench { remote_session };
+
+    // ---- Session multiplexing: a device fleet over one connection ----------
+    // N cloud-only sessions, each with its own deterministic dataset, driven
+    // three ways: the in-process channel path, one TCP connection per
+    // session, and all sessions multiplexed over a single TCP connection
+    // (binary codec, submits interleaved across sessions so their round
+    // trips overlap). All three must produce bit-identical report vectors
+    // before anything is timed.
+    let mux_sessions = if quick { 3 } else { 4 };
+    let mux_datasets: Vec<Dataset> = (0..mux_sessions)
+        .map(|s| {
+            Dataset::generate(
+                "bench-mux",
+                &DatasetProfile::helmet(),
+                transport_images,
+                29 + s as u64,
+            )
+        })
+        .collect();
+    let drive_data = |data: &Dataset, sess: &mut smallbig_core::EdgeSession<'_>| {
+        for scene in data.iter() {
+            let ticket = sess.submit(scene);
+            sess.poll(ticket).expect("frame resolves");
+        }
+        sess.drain()
+    };
+    let serve_fleet = |listener: &mut dyn transport::Listener, expect: usize| {
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let cfg = smallbig_core::CloudConfig::default();
+        let big = transport_big();
+        let opts = transport::ServeOptions {
+            expect_sessions: Some(expect),
+            ..transport::ServeOptions::default()
+        };
+        transport::serve(listener, &cfg, &big, &opts, &stop)
+    };
+    // One fresh server per session: the transport paths give every session
+    // its own cloud worker (fresh sim clock), so the channel reference must
+    // too — a shared server would carry queue state across sessions.
+    let mux_channel_run = || {
+        mux_datasets
+            .iter()
+            .enumerate()
+            .map(|(s, data)| {
+                let mut cloud = smallbig_core::CloudServer::spawn(
+                    smallbig_core::CloudConfig::default(),
+                    transport_big(),
+                );
+                let mut sess = cloud.connect_as(
+                    s as u64,
+                    transport_cfg(),
+                    &transport_small,
+                    Box::new(Policy::CloudOnly),
+                );
+                let report = drive_data(data, &mut sess);
+                drop(sess);
+                cloud.shutdown();
+                report
+            })
+            .collect::<Vec<_>>()
+    };
+    let mux_per_connection_run = || {
+        let mut listener = transport::TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = transport::Listener::local_addr(&listener);
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_fleet(&mut listener, mux_sessions));
+            let reports: Vec<_> = mux_datasets
+                .iter()
+                .enumerate()
+                .map(|(s, data)| {
+                    let remote = transport::RemoteCloud::connect_tcp_with(
+                        &addr,
+                        s as u64,
+                        &simnet::RetryConfig::default(),
+                        wire::Encoding::Binary,
+                        false,
+                    )
+                    .expect("loopback handshake");
+                    let mut sess = remote.attach(
+                        transport_cfg(),
+                        &transport_small,
+                        Box::new(Policy::CloudOnly),
+                    );
+                    let report = drive_data(data, &mut sess);
+                    drop(sess);
+                    remote.close();
+                    report
+                })
+                .collect();
+            server.join().expect("serve thread");
+            reports
+        })
+    };
+    let mux_run = || {
+        let mut listener = transport::TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = transport::Listener::local_addr(&listener);
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_fleet(&mut listener, mux_sessions));
+            let remote = transport::RemoteCloud::connect_tcp_with(
+                &addr,
+                0,
+                &simnet::RetryConfig::default(),
+                wire::Encoding::Binary,
+                true,
+            )
+            .expect("mux handshake");
+            let mut sessions: Vec<_> = (0..mux_sessions as u64)
+                .map(|s| {
+                    remote.attach_as(
+                        s,
+                        transport_cfg(),
+                        &transport_small,
+                        Box::new(Policy::CloudOnly),
+                    )
+                })
+                .collect();
+            // One frame in flight per session, submits batched before the
+            // polls — the deepest pipelining that stays bit-identical to
+            // the sequential paths: a session's virtual clock models an
+            // edge that waits for each answer, so per-session lockstep is
+            // part of the simulated semantics, not a driver choice.
+            for f in 0..transport_images {
+                let tickets: Vec<_> = sessions
+                    .iter_mut()
+                    .zip(&mux_datasets)
+                    .map(|(sess, data)| sess.submit(&data.scenes()[f]))
+                    .collect();
+                for (sess, ticket) in sessions.iter_mut().zip(tickets) {
+                    sess.poll(ticket).expect("frame resolves over mux");
+                }
+            }
+            let reports: Vec<_> = sessions.iter_mut().map(|s| s.drain()).collect();
+            drop(sessions);
+            remote.close();
+            server.join().expect("serve thread");
+            reports
+        })
+    };
+    {
+        let want = mux_channel_run();
+        assert_eq!(
+            mux_per_connection_run(),
+            want,
+            "per-connection TCP fleet drifted from the channel path"
+        );
+        assert_eq!(
+            mux_run(),
+            want,
+            "multiplexed fleet drifted from the channel path"
+        );
+    }
+    eprintln!(
+        "# mux self-check passed: channel, per-connection and multiplexed fleets are bit-identical"
+    );
+    let mux_frames_total = mux_sessions * transport_images;
+    let mux_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                sink(mux_channel_run());
+            },
+            &mut || {
+                sink(mux_per_connection_run());
+            },
+            &mut || {
+                sink(mux_run());
+            },
+        ],
+    );
+    let mux_fleet = MuxRow {
+        sessions: mux_sessions,
+        frames_per_session: transport_images,
+        channel_fps: fps(mux_frames_total, mux_times[0]),
+        tcp_per_connection_fps: fps(mux_frames_total, mux_times[1]),
+        tcp_mux_fps: fps(mux_frames_total, mux_times[2]),
+        mux_over_channel: mux_times[0].as_secs_f64() / mux_times[2].as_secs_f64(),
+        mux_over_per_connection: mux_times[1].as_secs_f64() / mux_times[2].as_secs_f64(),
+    };
+    eprintln!("transport/mux_fleet: {mux_fleet:?}");
+    let transport_bench = TransportBench {
+        remote_session,
+        mux_fleet,
+    };
 
     let report = Report {
-        pr: 6,
-        title: "Real distributed deployment: transport abstraction, node binaries, orchestration"
+        pr: 7,
+        title: "Fast wire: binary frame codec, session multiplexing, bounded backpressure"
             .to_string(),
-        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR6.json"
+        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR7.json"
             .to_string(),
         quick,
         host_parallelism,

@@ -128,7 +128,7 @@
 
 use crate::scheduler::{AutoscaleConfig, Autoscaler, QueuedFrame, Scheduler, SchedulerConfig};
 use crate::strategies::{Decision, OffloadPolicy, PolicyInput};
-use crate::wire::{decode_frame, encode_frame, encode_frame_into};
+use crate::wire::{decode_frame, encode_frame};
 use crossbeam::channel::{self, Receiver, Sender};
 use datagen::Scene;
 use detcore::{
@@ -431,17 +431,52 @@ pub(crate) struct ProbeReply {
     pub(crate) queue_depth: usize,
 }
 
-/// Control-plane messages into the cloud worker. Frame headers stay
-/// wire-encoded ([`SubmitRequest`] bytes); the scene rides along as a
-/// shared [`Arc`] so submitting never deep-copies it.
+/// Where a session's answers go: the in-process channel its
+/// [`EdgeSession`] polls, or a transport sink that writes the
+/// already-encoded frame straight onto the connection *from the worker
+/// thread* — no forwarder-thread hop, no extra context switch per answer.
+pub(crate) enum AnswerTx {
+    Chan(Sender<(u64, bytes::Bytes)>),
+    Sink(Box<dyn FnMut(u64, bytes::Bytes) -> bool + Send>),
+}
+
+impl AnswerTx {
+    pub(crate) fn send(&mut self, ticket: u64, frame: bytes::Bytes) -> bool {
+        match self {
+            AnswerTx::Chan(tx) => tx.send((ticket, frame)).is_ok(),
+            AnswerTx::Sink(f) => f(ticket, frame),
+        }
+    }
+}
+
+/// Probe-reply counterpart of [`AnswerTx`].
+pub(crate) enum ProbeTx {
+    Chan(Sender<ProbeReply>),
+    Sink(Box<dyn FnMut(ProbeReply) -> bool + Send>),
+}
+
+impl ProbeTx {
+    pub(crate) fn send(&mut self, reply: ProbeReply) -> bool {
+        match self {
+            ProbeTx::Chan(tx) => tx.send(reply).is_ok(),
+            ProbeTx::Sink(f) => f(reply),
+        }
+    }
+}
+
+/// Control-plane messages into the cloud worker. Frame headers travel as
+/// the typed [`SubmitRequest`] (each consumer encodes for its own wire if
+/// it has one); the scene rides along as a shared [`Arc`] so submitting
+/// never deep-copies it. Answers carry their ticket next to the encoded
+/// frame so transports can route them without re-parsing the payload.
 pub(crate) enum ToCloud {
     Register {
         session: u64,
         link: LinkModel,
-        resp_tx: Sender<bytes::Bytes>,
-        probe_tx: Sender<ProbeReply>,
+        resp_tx: AnswerTx,
+        probe_tx: ProbeTx,
     },
-    Frame(bytes::Bytes, Arc<Scene>),
+    Frame(SubmitRequest, Arc<Scene>),
     /// Ask whether the cloud would admit one more frame right now
     /// ([`CloudConfig::queue_limit`]); answered on the probing session's
     /// probe channel. `now` is the probing session's virtual clock, so the
@@ -451,7 +486,9 @@ pub(crate) enum ToCloud {
         session: u64,
         now: f64,
     },
-    Flush,
+    Flush {
+        session: u64,
+    },
     Deregister {
         session: u64,
     },
@@ -464,7 +501,7 @@ pub(crate) enum ToCloud {
 /// Workers catch panics from `detect` and ship the payload back, so a
 /// panicking user [`Detector`] unwinds the scheduler (and then the whole
 /// server thread) instead of deadlocking a counted receive loop.
-struct DetectPool {
+pub(crate) struct DetectPool {
     job_tx: Sender<(usize, Arc<Scene>)>,
     done_rx: Receiver<(usize, std::thread::Result<ImageDetections>)>,
 }
@@ -528,8 +565,8 @@ fn detect_batch(
 /// Per-session handles the cloud worker keeps.
 struct SessionHandles {
     link: LinkModel,
-    resp_tx: Sender<bytes::Bytes>,
-    probe_tx: Sender<ProbeReply>,
+    resp_tx: AnswerTx,
+    probe_tx: ProbeTx,
 }
 
 /// The cloud worker: FIFO over the control channel, delegating batch
@@ -654,9 +691,11 @@ impl CloudWorker<'_> {
                 uplink_s: q.uplink_s,
                 queue_depth,
             };
-            if let Some(handles) = self.sessions.get(&q.req.session) {
-                // A session that hung up just loses its reply.
-                let _ = handles.resp_tx.send(encode_frame(&resp));
+            if let Some(handles) = self.sessions.get_mut(&q.req.session) {
+                // A session that hung up just loses its reply. The ticket
+                // rides beside the encoded frame so transports can route
+                // the answer without parsing it.
+                let _ = handles.resp_tx.send(resp.ticket, encode_frame(&resp));
             }
         }
         n
@@ -683,33 +722,67 @@ fn cloud_scheduler(
     sched: Box<dyn Scheduler>,
     pool: Option<&DetectPool>,
 ) -> CloudStats {
-    assert!(config.max_batch >= 1, "max_batch must be at least 1");
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xc10d);
-    let mut w = CloudWorker {
-        big,
-        config,
-        pool,
-        sched,
-        sessions: HashMap::new(),
-        server_free_at: 0.0,
-        next_seq: 0,
-        batch: Vec::new(),
-        dets_scratch: Vec::new(),
-        autoscaler: config
-            .autoscale
-            .map(|cfg| Autoscaler::new(cfg, config.workers)),
-        stats: CloudStats {
-            served: 0,
-            batches: 0,
-            busy_s: 0.0,
-            sessions: 0,
-            admission_rejects: 0,
-            peak_workers: 0,
-            scale_changes: 0,
-        },
-    };
-
+    let mut m = CloudMachine::new(big, config, sched, pool);
     while let Ok(msg) = rx.recv() {
+        if !m.handle(msg) {
+            break;
+        }
+    }
+    m.finish()
+}
+
+/// One cloud worker as an inline state machine: feed it [`ToCloud`]
+/// messages in arrival order and it behaves exactly like [`cloud_loop`]
+/// draining a channel — same virtual clocks, same RNG stream, same
+/// responses, bit for bit. The transport layer runs one machine per
+/// session directly on a connection's reader thread (no worker thread, no
+/// queue, no context switch per frame); [`cloud_scheduler`] wraps one in
+/// a channel loop for the in-process path.
+pub(crate) struct CloudMachine<'a> {
+    w: CloudWorker<'a>,
+    rng: StdRng,
+}
+
+impl<'a> CloudMachine<'a> {
+    pub(crate) fn new(
+        big: &'a (dyn Detector + Sync),
+        config: &'a CloudConfig,
+        sched: Box<dyn Scheduler>,
+        pool: Option<&'a DetectPool>,
+    ) -> CloudMachine<'a> {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        CloudMachine {
+            w: CloudWorker {
+                big,
+                config,
+                pool,
+                sched,
+                sessions: HashMap::new(),
+                server_free_at: 0.0,
+                next_seq: 0,
+                batch: Vec::new(),
+                dets_scratch: Vec::new(),
+                autoscaler: config
+                    .autoscale
+                    .map(|cfg| Autoscaler::new(cfg, config.workers)),
+                stats: CloudStats {
+                    served: 0,
+                    batches: 0,
+                    busy_s: 0.0,
+                    sessions: 0,
+                    admission_rejects: 0,
+                    peak_workers: 0,
+                    scale_changes: 0,
+                },
+            },
+            rng: StdRng::seed_from_u64(config.seed ^ 0xc10d),
+        }
+    }
+
+    /// Processes one message; returns `false` once [`ToCloud::Shutdown`]
+    /// is seen (call [`CloudMachine::finish`] after).
+    pub(crate) fn handle(&mut self, msg: ToCloud) -> bool {
+        let w = &mut self.w;
         match msg {
             ToCloud::Register {
                 session,
@@ -727,9 +800,7 @@ fn cloud_scheduler(
                     },
                 );
             }
-            ToCloud::Frame(frame, scene) => {
-                let req: SubmitRequest =
-                    decode_frame(&frame).expect("edge sends well-formed frames");
+            ToCloud::Frame(req, scene) => {
                 let link = &w
                     .sessions
                     .get(&req.session)
@@ -741,7 +812,7 @@ fn cloud_scheduler(
                 // never perturbs a static session's jitter).
                 let uplink_s = req
                     .uplink_s
-                    .unwrap_or_else(|| link.transfer_time(req.frame_bytes, &mut rng));
+                    .unwrap_or_else(|| link.transfer_time(req.frame_bytes, &mut self.rng));
                 let arrival = req.sent_at + uplink_s;
                 let seq = w.next_seq;
                 w.next_seq += 1;
@@ -762,7 +833,7 @@ fn cloud_scheduler(
                 // drains at `max_batch`) would cap the observable depth at
                 // `max_batch - 1` and any larger limit could never bind,
                 // even with the server minutes behind in virtual time.
-                let infer_s = w.config.device.inference_time(big.flops());
+                let infer_s = w.config.device.inference_time(w.big.flops());
                 let backlog = if infer_s > 0.0 {
                     ((w.server_free_at - now).max(0.0) / infer_s) as usize
                 } else {
@@ -773,7 +844,7 @@ fn cloud_scheduler(
                 if !admitted {
                     w.stats.admission_rejects += 1;
                 }
-                if let Some(handles) = w.sessions.get(&session) {
+                if let Some(handles) = w.sessions.get_mut(&session) {
                     // A session that hung up just loses its reply.
                     let _ = handles.probe_tx.send(ProbeReply {
                         admitted,
@@ -781,7 +852,10 @@ fn cloud_scheduler(
                     });
                 }
             }
-            ToCloud::Flush => {
+            // The session id exists for the transport layer to route
+            // flushes on multiplexed connections; a worker owning one
+            // queue drains everything regardless of which session asked.
+            ToCloud::Flush { session: _ } => {
                 w.drain_all();
             }
             ToCloud::Deregister { session } => {
@@ -790,15 +864,20 @@ fn cloud_scheduler(
                 w.drain_all();
                 w.sessions.remove(&session);
             }
-            ToCloud::Shutdown => break,
+            ToCloud::Shutdown => return false,
         }
+        true
     }
-    w.drain_all();
-    if let Some(a) = &w.autoscaler {
-        w.stats.peak_workers = a.peak;
-        w.stats.scale_changes = a.changes;
+
+    /// Drains everything still queued and returns the worker's stats.
+    pub(crate) fn finish(mut self) -> CloudStats {
+        self.w.drain_all();
+        if let Some(a) = &self.w.autoscaler {
+            self.w.stats.peak_workers = a.peak;
+            self.w.stats.scale_changes = a.changes;
+        }
+        self.w.stats
     }
-    w.stats
 }
 
 /// Handle to a running cloud worker accepting any number of edge sessions.
@@ -861,7 +940,30 @@ impl CloudServer {
     ) -> EdgeSession<'a> {
         let id = self.next_session;
         self.next_session += 1;
-        EdgeSession::attach(id, config, small, policy, self.tx.clone(), self.admission)
+        self.connect_as(id, config, small, policy)
+    }
+
+    /// Like [`CloudServer::connect`] but with an explicit session id — the
+    /// channel-path twin of
+    /// [`RemoteCloud::attach_as`](crate::transport::RemoteCloud::attach_as),
+    /// so a reference run can mirror the ids a transport fleet uses. Does
+    /// not advance the auto-assigned counter; ids must be unique per
+    /// server.
+    pub fn connect_as<'a>(
+        &mut self,
+        session: u64,
+        config: SessionConfig,
+        small: &'a (dyn Detector + Sync),
+        policy: Box<dyn OffloadPolicy + 'a>,
+    ) -> EdgeSession<'a> {
+        EdgeSession::attach(
+            session,
+            config,
+            small,
+            policy,
+            self.tx.clone(),
+            self.admission,
+        )
     }
 
     /// Stops the worker after resolving every queued frame and returns its
@@ -893,7 +995,7 @@ pub struct EdgeSession<'a> {
     small: &'a (dyn Detector + Sync),
     policy: Box<dyn OffloadPolicy + 'a>,
     tx: Sender<ToCloud>,
-    rx: Receiver<bytes::Bytes>,
+    rx: Receiver<(u64, bytes::Bytes)>,
     probe_rx: Receiver<ProbeReply>,
     /// Whether the cloud enforces a queue limit: uploads then probe for
     /// admission before spending the uplink. `false` sends no probes at
@@ -916,11 +1018,6 @@ pub struct EdgeSession<'a> {
     next_ticket: u64,
     pending: HashMap<u64, PendingUpload>,
     done: HashMap<u64, FrameResult>,
-    /// Reused per-session wire-encoding buffer (one allocation per session,
-    /// not per uploaded frame). Encoding streams JSON directly into the
-    /// frame scratch (no intermediate `Value` tree), so a warm session's
-    /// upload headers serialize without allocating.
-    encode_buf: Vec<u8>,
     /// Reused counting-metric scratch.
     count_scratch: CountScratch,
     /// Reused per-frame ground-truth buffer: local frames borrow it for
@@ -1026,8 +1123,8 @@ impl<'a> EdgeSession<'a> {
         tx.send(ToCloud::Register {
             session: id,
             link: cfg.link.clone(),
-            resp_tx,
-            probe_tx,
+            resp_tx: AnswerTx::Chan(resp_tx),
+            probe_tx: ProbeTx::Chan(probe_tx),
         })
         .expect("cloud server alive");
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0xed6e);
@@ -1056,7 +1153,6 @@ impl<'a> EdgeSession<'a> {
             next_ticket: 0,
             pending: HashMap::new(),
             done: HashMap::new(),
-            encode_buf: Vec::new(),
             count_scratch: CountScratch::new(),
             gts_scratch: Vec::new(),
         }
@@ -1256,12 +1352,8 @@ impl<'a> EdgeSession<'a> {
                     Some(arc) => Arc::clone(arc),
                     None => Arc::new(scene.clone()),
                 };
-                encode_frame_into(&mut self.encode_buf, &req);
                 self.tx
-                    .send(ToCloud::Frame(
-                        bytes::Bytes::copy_from_slice(&self.encode_buf),
-                        scene_arc,
-                    ))
+                    .send(ToCloud::Frame(req, scene_arc))
                     .expect("cloud server alive");
                 self.pending.insert(
                     ticket.0,
@@ -1305,10 +1397,10 @@ impl<'a> EdgeSession<'a> {
         // A dead worker has already flushed everything it will ever answer
         // into our response channel, so a failed Flush is not yet fatal —
         // keep absorbing buffered answers.
-        let _ = self.tx.send(ToCloud::Flush);
+        let _ = self.tx.send(ToCloud::Flush { session: self.id });
         while self.pending.contains_key(&ticket.0) {
             match self.rx.recv() {
-                Ok(bytes) => self.absorb_response(&bytes),
+                Ok((_, bytes)) => self.absorb_response(&bytes),
                 Err(_) => panic!(
                     "cloud server shut down with {} of this session's frames unresolved",
                     self.pending.len()
@@ -1333,10 +1425,10 @@ impl<'a> EdgeSession<'a> {
     pub fn drain(&mut self) -> SessionReport {
         if !self.pending.is_empty() {
             // As in `poll`: a dead worker already flushed its answers.
-            let _ = self.tx.send(ToCloud::Flush);
+            let _ = self.tx.send(ToCloud::Flush { session: self.id });
             while !self.pending.is_empty() {
                 match self.rx.recv() {
-                    Ok(bytes) => self.absorb_response(&bytes),
+                    Ok((_, bytes)) => self.absorb_response(&bytes),
                     Err(_) => panic!(
                         "cloud server shut down with {} of this session's frames unresolved",
                         self.pending.len()

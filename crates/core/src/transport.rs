@@ -20,8 +20,8 @@
 //!   ordinary [`EdgeSession`]: the session code path is byte-for-byte the
 //!   in-process one, which is what makes transport reports bit-identical
 //!   to the channel path by construction.
-//! * [`serve`] / [`serve_connection`] — the cloud side. **Each accepted
-//!   connection gets its own dedicated cloud worker** (shared-nothing
+//! * [`serve`] / [`serve_connection`] — the cloud side. **Each registered
+//!   session gets its own dedicated cloud worker** (shared-nothing
 //!   sharding): a session's results are then a pure function of its own
 //!   frame stream, so a multi-process fleet is bit-identical to the same
 //!   sessions run in-process — regardless of how the OS interleaves the
@@ -32,15 +32,78 @@
 //!   and every unanswered frame replayed. Exhausted retries poison the
 //!   connection so a waiting session fails loudly instead of hanging.
 //!
+//! ## Encodings and negotiation
+//!
+//! Frame payloads come in two encodings (see [`wire::Encoding`]): compact
+//! JSON text — the protocol default — and a compact binary form that cuts
+//! detection frames to well under half the JSON byte size. The choice is
+//! per connection and negotiated in the handshake: the edge names its
+//! preferred encoding in [`Hello::encoding`], the cloud echoes the agreed
+//! choice in [`Welcome::encoding`], and an absent field on either side
+//! means JSON. Handshake messages themselves are **always JSON**, so the
+//! negotiation works against any protocol-version-1 peer:
+//!
+//! * old edge → new cloud: the hello carries no `encoding`, the cloud
+//!   serves JSON;
+//! * new edge → old cloud: the welcome carries no `encoding`, the edge
+//!   falls back to JSON;
+//! * an unparseable `encoding` is a typed failure, not a guess —
+//!   [`RefuseReason::Encoding`] from the cloud,
+//!   [`HandshakeError::Encoding`] at the edge.
+//!
+//! ## Session multiplexing
+//!
+//! A connection may carry **many sessions interleaved** (negotiated via
+//! [`Hello::mux`] / [`Welcome::mux`]): an edge node drives its whole
+//! device fleet over one TCP connection, and the cloud demuxes by session
+//! id to one dedicated worker per registered session — the same
+//! shared-nothing worker model as one-connection-per-session, so
+//! determinism is preserved: each worker still sees exactly its own
+//! session's frames in its own session's order. Answers on a multiplexed
+//! connection travel with an explicit session id prefix (tickets are
+//! per-session counters and would collide across sessions); non-mux
+//! connections keep the legacy tags so old peers interoperate.
+//!
 //! ## Wire layout
 //!
 //! Every transport frame's payload is `[1 tag byte][standard wire frame]`,
-//! where the inner frame is [`crate::wire`]'s length-prefixed JSON. Answers
-//! travel as the cloud worker's already-encoded response frames, forwarded
-//! opaquely — the edge decodes exactly the bytes the worker produced.
+//! where the inner frame is [`crate::wire`]'s length-prefixed encoding
+//! (JSON or binary per the negotiated [`wire::Encoding`]). On multiplexed
+//! connections, probe replies are
+//! `[1 tag byte][8-byte LE session id][standard wire frame]` and answers
+//! add the ticket:
+//! `[1 tag byte][8-byte LE session id][8-byte LE ticket][standard wire
+//! frame]` — routing lives entirely in the envelope, so the edge's shared
+//! inbound pump demuxes answers to their sessions without parsing
+//! payloads. Answers travel as the cloud worker's already-encoded response
+//! frames, forwarded opaquely — the edge decodes exactly the bytes the
+//! worker produced.
+//! Worker answers are always JSON regardless of the negotiated encoding:
+//! the uplink (scene submissions) is the byte budget this system
+//! economizes, and transcoding the downlink would burn cloud CPU without
+//! moving the metric.
+//!
+//! ## Backpressure
+//!
+//! Every queue between a session and a socket is **bounded**
+//! ([`FRAME_QUEUE_CAP`]): the session→pump channel, the in-memory
+//! transport's frame queues, and the cloud's per-session worker queues.
+//! Answers take no queue at all — the worker writes them straight onto
+//! the connection, so a blocked peer blocks the write (and with it the
+//! worker and its bounded inbound queue). A slow reader therefore stalls
+//! its writer — memory stays bounded end to end and the stall propagates
+//! as backpressure (socket buffer fills → pump blocks → session blocks)
+//! instead of an unbounded queue quietly absorbing the backlog.
+//!
+//! On the way out, the edge's send pump greedily drains its bounded queue
+//! and delivers each run of frames as **one** coalesced write
+//! ([`FrameTx::send_all`]) — a fleet's back-to-back submissions cost one
+//! syscall and wake the cloud's reader once.
 
-use crate::server::{cloud_loop, ProbeReply, SubmitRequest, SubmitResponse, ToCloud};
-use crate::wire::{self, FrameReader, WireError};
+use crate::server::{
+    cloud_loop, AnswerTx, CloudMachine, ProbeReply, ProbeTx, SubmitRequest, SubmitResponse, ToCloud,
+};
+use crate::wire::{self, Encoding, FrameReader, WireError};
 use crate::{CloudConfig, CloudStats, EdgeSession, OffloadPolicy, SessionConfig};
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
@@ -48,7 +111,7 @@ use datagen::Scene;
 use modelzoo::Detector;
 use serde::{Deserialize, Serialize};
 use simnet::{LinkModel, RetryConfig};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -70,6 +133,12 @@ pub const HELLO_MAGIC: u32 = 0x534d_4247;
 /// How often the edge's inbound pump wakes to check connection liveness.
 const IN_PUMP_TICK: Duration = Duration::from_millis(500);
 
+/// Capacity of every bounded frame queue on the transport path (the
+/// session→pump channel, in-memory transport queues, cloud worker
+/// queues). A queue at capacity blocks its producer — see the module
+/// docs' "Backpressure" section.
+pub const FRAME_QUEUE_CAP: usize = 64;
+
 mod tag {
     pub const HELLO: u8 = 1;
     pub const WELCOME: u8 = 2;
@@ -82,6 +151,12 @@ mod tag {
     pub const DEREGISTER: u8 = 9;
     pub const ANSWER: u8 = 10;
     pub const BYE: u8 = 11;
+    /// `[tag][8-byte LE session][inner frame]` — answers on multiplexed
+    /// connections, where per-session tickets would collide.
+    pub const ANSWER_MUX: u8 = 12;
+    /// `[tag][8-byte LE session][inner frame]` — probe replies on
+    /// multiplexed connections.
+    pub const PROBE_REPLY_MUX: u8 = 13;
 }
 
 // ---------------------------------------------------------------------------
@@ -89,6 +164,11 @@ mod tag {
 // ---------------------------------------------------------------------------
 
 /// The first message on every connection (edge → cloud).
+///
+/// The negotiation fields are `Option`s so the message stays
+/// version-tolerant in both directions: an old peer's hello decodes with
+/// them absent (meaning JSON, no mux), and an old cloud ignores them in a
+/// new edge's hello.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Hello {
     /// Must be [`HELLO_MAGIC`].
@@ -98,6 +178,12 @@ pub struct Hello {
     /// Session id the edge proposes for itself — chosen by the deployment
     /// so reports are comparable across runs and transports.
     pub session: u64,
+    /// Frame encoding the edge requests ([`wire::Encoding::name`]);
+    /// absent means JSON.
+    pub encoding: Option<String>,
+    /// Whether the edge wants to multiplex many sessions over this
+    /// connection; absent means no.
+    pub mux: Option<bool>,
 }
 
 /// The cloud's acceptance reply to a [`Hello`].
@@ -111,6 +197,11 @@ pub struct Welcome {
     /// ([`CloudConfig::queue_limit`]) — the edge must probe before
     /// uploading when set.
     pub admission: bool,
+    /// Frame encoding the cloud agreed to; absent (old cloud) means JSON.
+    pub encoding: Option<String>,
+    /// Whether the cloud agreed to multiplexing; absent (old cloud) means
+    /// no — the edge must fall back to one connection per session.
+    pub mux: Option<bool>,
 }
 
 /// Why a cloud refused a [`Hello`].
@@ -124,6 +215,8 @@ pub enum RefuseReason {
     OversizedHello,
     /// The hello did not decode as a [`Hello`] frame.
     MalformedHello,
+    /// The hello named an encoding this cloud does not recognize.
+    Encoding,
 }
 
 /// The cloud's rejection reply to a [`Hello`].
@@ -160,6 +253,13 @@ pub enum HandshakeError {
     Closed,
     /// The peer replied with something that is not a handshake message.
     Protocol(String),
+    /// Encoding negotiation failed: the welcome named an encoding this
+    /// edge does not recognize or did not offer (a corrupted or hostile
+    /// negotiation field, surfaced typed instead of guessed around).
+    Encoding {
+        /// What the welcome carried and why it was rejected.
+        detail: String,
+    },
     /// The connection failed at the I/O layer.
     Io(io::Error),
 }
@@ -179,6 +279,9 @@ impl std::fmt::Display for HandshakeError {
             HandshakeError::Timeout => write!(f, "handshake timed out"),
             HandshakeError::Closed => write!(f, "connection closed during handshake"),
             HandshakeError::Protocol(d) => write!(f, "handshake protocol error: {d}"),
+            HandshakeError::Encoding { detail } => {
+                write!(f, "encoding negotiation failed: {detail}")
+            }
             HandshakeError::Io(e) => write!(f, "handshake I/O error: {e}"),
         }
     }
@@ -209,6 +312,24 @@ struct WireSubmit {
     scene: Scene,
 }
 
+/// Borrowed twin of [`WireSubmit`] for the encode side: the outbound pump
+/// serializes straight from the session's `Arc<Scene>` without deep-copying
+/// it. Must render the exact `Value` tree [`WireSubmit`]'s derive renders
+/// (same keys, sorted order) so either peer decodes it as [`WireSubmit`].
+struct WireSubmitRef<'a> {
+    header: &'a SubmitRequest,
+    scene: &'a Scene,
+}
+
+impl Serialize for WireSubmitRef<'_> {
+    fn to_value(&self) -> serde::Value {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("header".to_string(), self.header.to_value());
+        m.insert("scene".to_string(), self.scene.to_value());
+        serde::Value::Object(m)
+    }
+}
+
 #[derive(Serialize, Deserialize)]
 struct WireProbe {
     session: u64,
@@ -226,8 +347,17 @@ struct WireDeregister {
     session: u64,
 }
 
-fn msg<T: Serialize>(t: u8, body: &T) -> Vec<u8> {
-    let inner = wire::encode_frame(body);
+/// Body of a session-routed `FLUSH` on multiplexed connections. Legacy
+/// (non-mux) connections send a body-less `FLUSH`, which old clouds expect
+/// and new clouds treat as "flush every session on this connection" — safe
+/// because a non-mux connection carries exactly one session.
+#[derive(Serialize, Deserialize)]
+struct WireFlush {
+    session: u64,
+}
+
+fn msg<T: Serialize>(t: u8, body: &T, encoding: Encoding) -> Vec<u8> {
+    let inner = wire::encode_frame_as(body, encoding);
     let mut payload = Vec::with_capacity(1 + inner.len());
     payload.push(t);
     payload.extend_from_slice(&inner);
@@ -238,11 +368,54 @@ fn msg_bare(t: u8) -> Vec<u8> {
     vec![t]
 }
 
+/// Builds a mux frame: `[tag][8-byte LE session][inner bytes]`.
+fn msg_mux(t: u8, session: u64, inner: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(9 + inner.len());
+    payload.push(t);
+    payload.extend_from_slice(&session.to_le_bytes());
+    payload.extend_from_slice(inner);
+    payload
+}
+
+/// Builds a mux answer frame:
+/// `[ANSWER_MUX][8-byte LE session][8-byte LE ticket][inner bytes]`. The
+/// ticket lives in the envelope so the edge's inbound pump routes the
+/// answer by (session, ticket) alone — the payload is parsed exactly once,
+/// by the session that owns it.
+fn msg_mux_answer(session: u64, ticket: u64, inner: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(17 + inner.len());
+    payload.push(tag::ANSWER_MUX);
+    payload.extend_from_slice(&session.to_le_bytes());
+    payload.extend_from_slice(&ticket.to_le_bytes());
+    payload.extend_from_slice(inner);
+    payload
+}
+
 fn split_msg(payload: &Bytes) -> Option<(u8, Bytes)> {
     if payload.is_empty() {
         return None;
     }
     Some((payload[0], payload.slice(1..)))
+}
+
+/// Splits a mux frame body into its session id prefix and inner bytes.
+fn split_mux(inner: &Bytes) -> Option<(u64, Bytes)> {
+    if inner.len() < 8 {
+        return None;
+    }
+    let session = u64::from_le_bytes(inner[..8].try_into().expect("8 bytes checked"));
+    Some((session, inner.slice(8..)))
+}
+
+/// Splits a mux answer body into (session, ticket, inner bytes) — the
+/// counterpart of [`msg_mux_answer`].
+fn split_mux_answer(inner: &Bytes) -> Option<(u64, u64, Bytes)> {
+    if inner.len() < 16 {
+        return None;
+    }
+    let session = u64::from_le_bytes(inner[..8].try_into().expect("8 bytes checked"));
+    let ticket = u64::from_le_bytes(inner[8..16].try_into().expect("8 bytes checked"));
+    Some((session, ticket, inner.slice(16..)))
 }
 
 // ---------------------------------------------------------------------------
@@ -255,10 +428,32 @@ pub trait FrameTx: Send {
     /// Sends one frame; the peer's [`FrameRx::recv`] yields exactly
     /// `payload`.
     ///
+    /// **Blocking semantics:** when the peer reads slowly, this call may
+    /// block until the transport's bounded buffering (the in-memory pair's
+    /// [`FRAME_QUEUE_CAP`] queue, a TCP socket's send buffer) has room —
+    /// that stall is the backpressure described in the module docs, not a
+    /// failure.
+    ///
     /// # Errors
     ///
     /// Returns an [`io::Error`] when the connection is gone.
     fn send(&mut self, payload: &[u8]) -> io::Result<()>;
+
+    /// Sends several frames back to back — behaviourally [`FrameTx::send`]
+    /// in a loop (the default). Transports that pay a syscall per send
+    /// (TCP) override this to issue **one** write for the whole run, which
+    /// also lets the peer's reader drain the run in a single wakeup.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] when the connection is gone; a prefix of
+    /// the frames may already have been delivered.
+    fn send_all(&mut self, payloads: &[&[u8]]) -> io::Result<()> {
+        for p in payloads {
+            self.send(p)?;
+        }
+        Ok(())
+    }
 }
 
 /// The receiving half of a split [`Transport`].
@@ -324,10 +519,12 @@ pub struct MemoryTransport {
     rx: Receiver<Bytes>,
 }
 
-/// Creates a connected pair of in-memory transports.
+/// Creates a connected pair of in-memory transports. Each direction
+/// buffers at most [`FRAME_QUEUE_CAP`] frames — like a TCP socket's send
+/// buffer, a full queue blocks the sender until the peer reads.
 pub fn memory_pair() -> (MemoryTransport, MemoryTransport) {
-    let (a_tx, b_rx) = channel::unbounded();
-    let (b_tx, a_rx) = channel::unbounded();
+    let (a_tx, b_rx) = channel::bounded(FRAME_QUEUE_CAP);
+    let (b_tx, a_rx) = channel::bounded(FRAME_QUEUE_CAP);
     (
         MemoryTransport { tx: a_tx, rx: a_rx },
         MemoryTransport { tx: b_tx, rx: b_rx },
@@ -520,12 +717,27 @@ impl FrameTx for TcpTx {
         self.buf.extend_from_slice(payload);
         self.stream.write_all(&self.buf)
     }
+
+    fn send_all(&mut self, payloads: &[&[u8]]) -> io::Result<()> {
+        self.buf.clear();
+        self.buf.reserve(payloads.iter().map(|p| 4 + p.len()).sum());
+        for p in payloads {
+            self.buf.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            self.buf.extend_from_slice(p);
+        }
+        self.stream.write_all(&self.buf)
+    }
 }
 
 struct TcpRx {
     stream: TcpStream,
     reader: FrameReader,
     chunk: Vec<u8>,
+    /// The read timeout currently configured on the socket. Steady-state
+    /// receive loops call [`FrameRx::recv_timeout`] with the same tick
+    /// every iteration; caching the value turns two `setsockopt` syscalls
+    /// per received frame into zero.
+    timeout: Option<Duration>,
 }
 
 impl TcpRx {
@@ -556,14 +768,27 @@ impl TcpRx {
 
 impl FrameRx for TcpRx {
     fn recv(&mut self) -> io::Result<Option<Bytes>> {
+        if self.timeout.is_some() {
+            self.stream.set_read_timeout(None)?;
+            self.timeout = None;
+        }
         self.pull()
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Bytes>> {
-        self.stream.set_read_timeout(Some(timeout))?;
-        let res = self.pull();
-        let _ = self.stream.set_read_timeout(None);
-        match res {
+        // A frame already buffered from an earlier read needs no syscall.
+        if let Some(p) = self
+            .reader
+            .next_frame()
+            .map_err(|e: WireError| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            return Ok(Some(p));
+        }
+        if self.timeout != Some(timeout) {
+            self.stream.set_read_timeout(Some(timeout))?;
+            self.timeout = Some(timeout);
+        }
+        match self.pull() {
             Err(e)
                 if matches!(
                     e.kind(),
@@ -596,6 +821,7 @@ impl Transport for TcpTransport {
                 stream: read_half,
                 reader: FrameReader::new(),
                 chunk: vec![0u8; 64 * 1024],
+                timeout: None,
             }),
         )
     }
@@ -666,7 +892,7 @@ pub fn client_handshake(
     hello: &Hello,
     timeout: Duration,
 ) -> Result<Welcome, HandshakeError> {
-    tx.send(&msg(tag::HELLO, hello))
+    tx.send(&msg(tag::HELLO, hello, Encoding::Json))
         .map_err(HandshakeError::Io)?;
     let frame = match rx.recv_timeout(timeout) {
         Ok(Some(f)) => f,
@@ -709,6 +935,41 @@ pub fn client_handshake(
     }
 }
 
+/// Resolves the frame encoding a completed handshake agreed on.
+///
+/// An absent [`Welcome::encoding`] is an old cloud: fall back to JSON
+/// regardless of what the hello asked for. A named encoding must be one
+/// this edge recognizes *and* either the one it requested or the JSON
+/// fallback — anything else is a corrupted or hostile negotiation field,
+/// surfaced as [`HandshakeError::Encoding`].
+fn negotiated_encoding(hello: &Hello, welcome: &Welcome) -> Result<Encoding, HandshakeError> {
+    let Some(name) = &welcome.encoding else {
+        return Ok(Encoding::Json);
+    };
+    let Some(enc) = Encoding::parse(name) else {
+        return Err(HandshakeError::Encoding {
+            detail: format!("welcome named unknown encoding {name:?}"),
+        });
+    };
+    let requested = hello
+        .encoding
+        .as_deref()
+        .and_then(Encoding::parse)
+        .unwrap_or_default();
+    if enc != requested && enc != Encoding::Json {
+        return Err(HandshakeError::Encoding {
+            detail: format!("welcome named encoding {name:?}, which this edge did not offer"),
+        });
+    }
+    Ok(enc)
+}
+
+/// Whether a completed handshake agreed to multiplex: both sides must have
+/// said yes (an old cloud's welcome has no `mux` field — no agreement).
+fn negotiated_mux(hello: &Hello, welcome: &Welcome) -> bool {
+    hello.mux == Some(true) && welcome.mux == Some(true)
+}
+
 // ---------------------------------------------------------------------------
 // Edge side: RemoteCloud
 // ---------------------------------------------------------------------------
@@ -726,9 +987,17 @@ pub struct ConnectOptions {
     /// Redial closure. `None` (the default) disables mid-run reconnection:
     /// the first connection failure poisons the link and a waiting session
     /// fails loudly. With `Some`, a dropped connection is redialed with
-    /// [`ConnectOptions::retry`]'s backoff, the handshake re-run, the
+    /// [`ConnectOptions::retry`]'s backoff, the handshake re-run, every
     /// session re-registered and unanswered frames replayed.
     pub dialer: Option<Dialer>,
+    /// Frame encoding to request in the handshake (default JSON). The
+    /// connection falls back to JSON against an old cloud whose welcome
+    /// names no encoding.
+    pub encoding: Encoding,
+    /// Whether to request session multiplexing (default `false`). When the
+    /// cloud confirms, [`RemoteCloud::attach_as`] drives many sessions over
+    /// this one connection.
+    pub mux: bool,
 }
 
 impl Default for ConnectOptions {
@@ -737,19 +1006,28 @@ impl Default for ConnectOptions {
             handshake_timeout: Duration::from_secs(5),
             retry: RetryConfig::default(),
             dialer: None,
+            encoding: Encoding::Json,
+            mux: false,
         }
     }
 }
 
 enum Pending {
-    Submit { ticket: u64, payload: Vec<u8> },
-    Probe { payload: Vec<u8> },
+    Submit {
+        session: u64,
+        ticket: u64,
+        payload: Vec<u8>,
+    },
+    Probe {
+        session: u64,
+        payload: Vec<u8>,
+    },
 }
 
 impl Pending {
     fn payload(&self) -> &[u8] {
         match self {
-            Pending::Submit { payload, .. } | Pending::Probe { payload } => payload,
+            Pending::Submit { payload, .. } | Pending::Probe { payload, .. } => payload,
         }
     }
 }
@@ -760,19 +1038,29 @@ struct ConnState {
     retry: RetryConfig,
     hello: Hello,
     handshake_timeout: Duration,
-    /// Encoded REGISTER payload, replayed on every reconnect.
-    register: Option<Vec<u8>>,
+    /// What the original handshake negotiated; a reconnect handshake must
+    /// land on the same outcome or the attempt is discarded (frames already
+    /// encoded one way must not land on a peer expecting another).
+    encoding: Encoding,
+    mux: bool,
+    /// Encoded REGISTER payloads by session id, replayed (in session-id
+    /// order) on every reconnect.
+    registers: BTreeMap<u64, Vec<u8>>,
     /// Unanswered submits/probes in send order, replayed on reconnect.
     pending: VecDeque<Pending>,
     fresh_tx: Option<Box<dyn FrameTx>>,
     fresh_rx: Option<Box<dyn FrameRx>>,
-    resp_tx: Option<Sender<Bytes>>,
-    probe_tx: Option<Sender<ProbeReply>>,
+    resp_tx: HashMap<u64, Sender<(u64, Bytes)>>,
+    probe_tx: HashMap<u64, Sender<ProbeReply>>,
     dead: bool,
 }
 
 struct ConnShared {
     state: Mutex<ConnState>,
+    /// Negotiated frame encoding — fixed at handshake, read lock-free.
+    encoding: Encoding,
+    /// Whether the handshake agreed to multiplex sessions.
+    mux: bool,
 }
 
 impl ConnShared {
@@ -794,20 +1082,21 @@ impl ConnShared {
 
     fn clear_session_handles(&self) {
         let mut st = self.lock();
-        st.resp_tx = None;
-        st.probe_tx = None;
+        st.resp_tx.clear();
+        st.probe_tx.clear();
     }
 
     fn set_register(
         &self,
+        session: u64,
         payload: Vec<u8>,
-        resp_tx: Sender<Bytes>,
+        resp_tx: Sender<(u64, Bytes)>,
         probe_tx: Sender<ProbeReply>,
     ) -> u64 {
         let mut st = self.lock();
-        st.register = Some(payload);
-        st.resp_tx = Some(resp_tx);
-        st.probe_tx = Some(probe_tx);
+        st.registers.insert(session, payload);
+        st.resp_tx.insert(session, resp_tx);
+        st.probe_tx.insert(session, probe_tx);
         st.generation
     }
 
@@ -817,31 +1106,52 @@ impl ConnShared {
         st.generation
     }
 
-    /// Removes the pending submit with `ticket`. Returns whether it was
-    /// present (a duplicate replayed answer is dropped) and the session's
-    /// response channel.
-    fn take_submit(&self, ticket: u64) -> (bool, Option<Sender<Bytes>>) {
+    /// Removes the pending submit matching `ticket` (and `session`, when
+    /// the answer carried a mux session hint — tickets are per-session
+    /// counters, so on multiplexed connections the hint disambiguates).
+    /// Returns whether it was present (a duplicate replayed answer is
+    /// dropped) and the owning session's response channel.
+    fn take_submit(
+        &self,
+        session: Option<u64>,
+        ticket: u64,
+    ) -> (bool, Option<Sender<(u64, Bytes)>>) {
         let mut st = self.lock();
-        let idx = st
-            .pending
-            .iter()
-            .position(|p| matches!(p, Pending::Submit { ticket: t, .. } if *t == ticket));
-        if let Some(i) = idx {
-            st.pending.remove(i);
+        let idx = st.pending.iter().position(|p| {
+            matches!(p, Pending::Submit { session: s, ticket: t, .. }
+                if *t == ticket && session.is_none_or(|hint| *s == hint))
+        });
+        match idx {
+            Some(i) => {
+                let Some(Pending::Submit { session: s, .. }) = st.pending.remove(i) else {
+                    unreachable!("position matched a Pending::Submit");
+                };
+                let tx = st.resp_tx.get(&s).cloned();
+                (true, tx)
+            }
+            None => (false, None),
         }
-        (idx.is_some(), st.resp_tx.clone())
     }
 
-    fn take_probe(&self) -> (bool, Option<Sender<ProbeReply>>) {
+    /// Like [`ConnShared::take_submit`], for probes: probes carry no ticket,
+    /// so the oldest pending probe (for the hinted session, when given) is
+    /// the one being answered.
+    fn take_probe(&self, session: Option<u64>) -> (bool, Option<Sender<ProbeReply>>) {
         let mut st = self.lock();
-        let idx = st
-            .pending
-            .iter()
-            .position(|p| matches!(p, Pending::Probe { .. }));
-        if let Some(i) = idx {
-            st.pending.remove(i);
+        let idx = st.pending.iter().position(|p| {
+            matches!(p, Pending::Probe { session: s, .. }
+                if session.is_none_or(|hint| *s == hint))
+        });
+        match idx {
+            Some(i) => {
+                let Some(Pending::Probe { session: s, .. }) = st.pending.remove(i) else {
+                    unreachable!("position matched a Pending::Probe");
+                };
+                let tx = st.probe_tx.get(&s).cloned();
+                (true, tx)
+            }
+            None => (false, None),
         }
-        (idx.is_some(), st.probe_tx.clone())
     }
 
     fn reacquire_tx(&self, seen: u64) -> Option<(Box<dyn FrameTx>, u64)> {
@@ -879,11 +1189,11 @@ impl ConnShared {
     }
 }
 
-/// Redials, re-handshakes, re-registers and replays pending frames, with
-/// wall-clock backoff. Runs under the connection lock: the other pump
-/// blocks in its own reacquire until the outcome is decided. On success
-/// both fresh halves are stored and the generation advances; on exhausted
-/// retries the connection is poisoned.
+/// Redials, re-handshakes, re-registers every session and replays pending
+/// frames, with wall-clock backoff. Runs under the connection lock: the
+/// other pump blocks in its own reacquire until the outcome is decided. On
+/// success both fresh halves are stored and the generation advances; on
+/// exhausted retries the connection is poisoned.
 fn reconnect_locked(st: &mut ConnState) -> bool {
     if st.dialer.is_none() {
         st.dead = true;
@@ -899,22 +1209,44 @@ fn reconnect_locked(st: &mut ConnState) -> bool {
         let dialed = st.dialer.as_mut().expect("checked above")();
         let Ok(t) = dialed else { continue };
         let (mut ntx, mut nrx) = t.split();
-        if client_handshake(&mut *ntx, &mut *nrx, &hello, hs_timeout).is_err() {
+        let Ok(welcome) = client_handshake(&mut *ntx, &mut *nrx, &hello, hs_timeout) else {
+            continue;
+        };
+        // The new peer must agree to exactly what the original handshake
+        // negotiated: pending frames are already encoded one way, and the
+        // sessions were attached under one mux regime.
+        match negotiated_encoding(&hello, &welcome) {
+            Ok(enc) if enc == st.encoding => {}
+            _ => continue,
+        }
+        if negotiated_mux(&hello, &welcome) != st.mux {
             continue;
         }
         let mut ok = true;
-        if let Some(reg) = &st.register {
+        for reg in st.registers.values() {
             ok &= ntx.send(reg).is_ok();
         }
-        let mut replayed_submit = false;
+        let mut replayed: BTreeSet<u64> = BTreeSet::new();
         for p in &st.pending {
             ok &= ntx.send(p.payload()).is_ok();
-            replayed_submit |= matches!(p, Pending::Submit { .. });
+            if let Pending::Submit { session, .. } = p {
+                replayed.insert(*session);
+            }
         }
-        // The session's Flush went to the dead worker; re-issue it so the
-        // fresh worker dispatches the replayed frames.
-        if ok && replayed_submit {
-            ok &= ntx.send(&msg_bare(tag::FLUSH)).is_ok();
+        // Each replayed session's Flush went to the dead worker; re-issue
+        // it so the fresh worker dispatches the replayed frames. On a mux
+        // connection the flush is session-routed; legacy peers get the
+        // body-less form they expect.
+        if ok && !replayed.is_empty() {
+            if st.mux {
+                for session in replayed {
+                    ok &= ntx
+                        .send(&msg(tag::FLUSH, &WireFlush { session }, st.encoding))
+                        .is_ok();
+                }
+            } else {
+                ok &= ntx.send(&msg_bare(tag::FLUSH)).is_ok();
+            }
         }
         if !ok {
             continue;
@@ -969,51 +1301,120 @@ fn send_msg(
     }
 }
 
+/// Delivers a run of already-encoded payloads. The fast path — link
+/// generation unchanged — is **one** [`FrameTx::send_all`] for the whole
+/// run; anything else (reconnect in flight, write failure) falls back to
+/// per-payload [`send_msg`], whose generation bookkeeping decides frame by
+/// frame what a replay already covered. A payload "lost" to a write that
+/// buffered into a dying link is re-delivered by the reconnect replay of
+/// the pending set, exactly as with sequential sends.
+fn flush_out_batch(
+    ftx: &mut Box<dyn FrameTx>,
+    local_gen: &mut u64,
+    batch: &[(Vec<u8>, Option<u64>)],
+    shared: &ConnShared,
+) -> bool {
+    if batch.is_empty() {
+        return true;
+    }
+    if shared.generation() == *local_gen {
+        let payloads: Vec<&[u8]> = batch.iter().map(|(p, _)| p.as_slice()).collect();
+        if ftx.send_all(&payloads).is_ok() {
+            return true;
+        }
+    }
+    for (p, g) in batch {
+        if !send_msg(ftx, local_gen, p, *g, shared) {
+            return false;
+        }
+    }
+    true
+}
+
 fn out_pump(mut ftx: Box<dyn FrameTx>, rx: Receiver<ToCloud>, shared: Arc<ConnShared>) {
+    let enc = shared.encoding;
     let mut local_gen = shared.generation();
-    while let Ok(item) = rx.recv() {
-        let (payload, push_gen) = match item {
-            ToCloud::Register {
-                session,
-                link,
-                resp_tx,
-                probe_tx,
-            } => {
-                let p = msg(tag::REGISTER, &WireRegister { session, link });
-                let g = shared.set_register(p.clone(), resp_tx, probe_tx);
-                (p, Some(g))
+    let mut batch: Vec<(Vec<u8>, Option<u64>)> = Vec::new();
+    'pump: loop {
+        let Ok(mut item) = rx.recv() else { break };
+        // Greedily drain whatever else the sessions already queued (a
+        // fleet submits its frames back to back): the run goes out as one
+        // coalesced write, so the peer's reader wakes once per run instead
+        // of once per frame. The channel is bounded, so the batch is too.
+        batch.clear();
+        loop {
+            let (payload, push_gen) = match item {
+                ToCloud::Register {
+                    session,
+                    link,
+                    resp_tx,
+                    probe_tx,
+                } => {
+                    // Sessions attach to a transport bridge with channel-backed
+                    // reply handles (the `Sink` variants are the cloud side's
+                    // direct-write path and never cross a client connection).
+                    let (AnswerTx::Chan(resp_tx), ProbeTx::Chan(probe_tx)) = (resp_tx, probe_tx)
+                    else {
+                        unreachable!("transport clients register with channel reply handles")
+                    };
+                    let p = msg(tag::REGISTER, &WireRegister { session, link }, enc);
+                    let g = shared.set_register(session, p.clone(), resp_tx, probe_tx);
+                    (p, Some(g))
+                }
+                ToCloud::Frame(req, scene) => {
+                    let session = req.session;
+                    let ticket = req.ticket;
+                    let p = msg(
+                        tag::SUBMIT,
+                        &WireSubmitRef {
+                            header: &req,
+                            scene: &scene,
+                        },
+                        enc,
+                    );
+                    let g = shared.push_pending(Pending::Submit {
+                        session,
+                        ticket,
+                        payload: p.clone(),
+                    });
+                    (p, Some(g))
+                }
+                ToCloud::Probe { session, now } => {
+                    let p = msg(tag::PROBE, &WireProbe { session, now }, enc);
+                    let g = shared.push_pending(Pending::Probe {
+                        session,
+                        payload: p.clone(),
+                    });
+                    (p, Some(g))
+                }
+                ToCloud::Flush { session } => {
+                    // Mux peers route the flush to one session's worker; legacy
+                    // peers expect (and old clouds only understand) the
+                    // body-less form, which flushes the connection's single
+                    // session.
+                    if shared.mux {
+                        (msg(tag::FLUSH, &WireFlush { session }, enc), None)
+                    } else {
+                        (msg_bare(tag::FLUSH), None)
+                    }
+                }
+                ToCloud::Deregister { session } => {
+                    (msg(tag::DEREGISTER, &WireDeregister { session }, enc), None)
+                }
+                ToCloud::Shutdown => {
+                    // Anything queued ahead of the shutdown still goes out.
+                    let _ = flush_out_batch(&mut ftx, &mut local_gen, &batch, &shared);
+                    break 'pump;
+                }
+            };
+            batch.push((payload, push_gen));
+            match rx.try_recv() {
+                Ok(next) => item = next,
+                Err(_) => break,
             }
-            ToCloud::Frame(header, scene) => {
-                let Ok(req) = wire::decode_frame::<SubmitRequest>(&header) else {
-                    break;
-                };
-                let ticket = req.ticket;
-                let p = msg(
-                    tag::SUBMIT,
-                    &WireSubmit {
-                        header: req,
-                        scene: (*scene).clone(),
-                    },
-                );
-                let g = shared.push_pending(Pending::Submit {
-                    ticket,
-                    payload: p.clone(),
-                });
-                (p, Some(g))
-            }
-            ToCloud::Probe { session, now } => {
-                let p = msg(tag::PROBE, &WireProbe { session, now });
-                let g = shared.push_pending(Pending::Probe { payload: p.clone() });
-                (p, Some(g))
-            }
-            ToCloud::Flush => (msg_bare(tag::FLUSH), None),
-            ToCloud::Deregister { session } => {
-                (msg(tag::DEREGISTER, &WireDeregister { session }), None)
-            }
-            ToCloud::Shutdown => break,
-        };
-        if !send_msg(&mut ftx, &mut local_gen, &payload, push_gen, &shared) {
-            break;
+        }
+        if !flush_out_batch(&mut ftx, &mut local_gen, &batch, &shared) {
+            break 'pump;
         }
     }
     // All senders gone (session and handle dropped) or the link is poisoned:
@@ -1026,40 +1427,71 @@ fn out_pump(mut ftx: Box<dyn FrameTx>, rx: Receiver<ToCloud>, shared: Arc<ConnSh
     let _ = ftx.send(&msg_bare(tag::BYE));
 }
 
+fn deliver_answer(session: Option<u64>, inner: Bytes, shared: &ConnShared) -> bool {
+    // Worker answers travel as the cloud worker's already-encoded JSON
+    // frames regardless of the negotiated encoding (see module docs). A
+    // legacy (non-mux) answer carries no envelope ticket, so routing it
+    // means parsing it here.
+    let Ok(resp) = wire::decode_frame::<SubmitResponse>(&inner) else {
+        return false;
+    };
+    let (known, tx) = shared.take_submit(session, resp.ticket);
+    if known {
+        if let Some(tx) = tx {
+            return tx.send((resp.ticket, inner)).is_ok();
+        }
+    }
+    true
+}
+
+/// Mux answers carry (session, ticket) in the envelope
+/// ([`msg_mux_answer`]), so the shared inbound pump routes them without
+/// touching the payload — the owning session performs the one and only
+/// parse. An envelope that names no pending frame is ignored, exactly like
+/// a stale legacy answer.
+fn deliver_answer_mux(session: u64, ticket: u64, inner: Bytes, shared: &ConnShared) -> bool {
+    let (known, tx) = shared.take_submit(Some(session), ticket);
+    if known {
+        if let Some(tx) = tx {
+            return tx.send((ticket, inner)).is_ok();
+        }
+    }
+    true
+}
+
+fn deliver_probe_reply(session: Option<u64>, inner: &Bytes, shared: &ConnShared) -> bool {
+    let Ok(r) = wire::decode_frame_as::<WireProbeReply>(inner, shared.encoding) else {
+        return false;
+    };
+    let (known, tx) = shared.take_probe(session);
+    if known {
+        if let Some(tx) = tx {
+            return tx
+                .send(ProbeReply {
+                    admitted: r.admitted,
+                    queue_depth: r.queue_depth,
+                })
+                .is_ok();
+        }
+    }
+    true
+}
+
 fn handle_inbound(frame: &Bytes, shared: &ConnShared) -> bool {
     let Some((t, inner)) = split_msg(frame) else {
         return false;
     };
     match t {
-        tag::ANSWER => {
-            let Ok(resp) = wire::decode_frame::<SubmitResponse>(&inner) else {
-                return false;
-            };
-            let (known, tx) = shared.take_submit(resp.ticket);
-            if known {
-                if let Some(tx) = tx {
-                    return tx.send(inner).is_ok();
-                }
-            }
-            true
-        }
-        tag::PROBE_REPLY => {
-            let Ok(r) = wire::decode_frame::<WireProbeReply>(&inner) else {
-                return false;
-            };
-            let (known, tx) = shared.take_probe();
-            if known {
-                if let Some(tx) = tx {
-                    return tx
-                        .send(ProbeReply {
-                            admitted: r.admitted,
-                            queue_depth: r.queue_depth,
-                        })
-                        .is_ok();
-                }
-            }
-            true
-        }
+        tag::ANSWER => deliver_answer(None, inner, shared),
+        tag::ANSWER_MUX => match split_mux_answer(&inner) {
+            Some((session, ticket, inner)) => deliver_answer_mux(session, ticket, inner, shared),
+            None => false,
+        },
+        tag::PROBE_REPLY => deliver_probe_reply(None, &inner, shared),
+        tag::PROBE_REPLY_MUX => match split_mux(&inner) {
+            Some((session, inner)) => deliver_probe_reply(Some(session), &inner, shared),
+            None => false,
+        },
         _ => true,
     }
 }
@@ -1116,6 +1548,8 @@ pub struct RemoteCloud {
     tx: Option<Sender<ToCloud>>,
     admission: bool,
     session: u64,
+    encoding: Encoding,
+    mux: bool,
     out_handle: Option<JoinHandle<()>>,
     in_handle: Option<JoinHandle<()>>,
 }
@@ -1123,10 +1557,16 @@ pub struct RemoteCloud {
 impl RemoteCloud {
     /// Performs the handshake on `transport` and starts the bridge pumps.
     ///
+    /// The hello carries [`ConnectOptions::encoding`] and
+    /// [`ConnectOptions::mux`]; what the cloud actually agreed to is
+    /// readable afterwards via [`RemoteCloud::encoding`] and
+    /// [`RemoteCloud::mux`] (an old cloud silently downgrades both).
+    ///
     /// # Errors
     ///
-    /// Returns the typed [`HandshakeError`] when the cloud refuses or the
-    /// connection fails before a welcome.
+    /// Returns the typed [`HandshakeError`] when the cloud refuses, the
+    /// encoding negotiation fails, or the connection fails before a
+    /// welcome.
     pub fn connect(
         transport: Box<dyn Transport>,
         session: u64,
@@ -1137,8 +1577,12 @@ impl RemoteCloud {
             magic: HELLO_MAGIC,
             protocol: PROTOCOL_VERSION,
             session,
+            encoding: Some(opts.encoding.name().to_string()),
+            mux: Some(opts.mux),
         };
         let welcome = client_handshake(&mut *ftx, &mut *frx, &hello, opts.handshake_timeout)?;
+        let encoding = negotiated_encoding(&hello, &welcome)?;
+        let mux = negotiated_mux(&hello, &welcome);
         let shared = Arc::new(ConnShared {
             state: Mutex::new(ConnState {
                 generation: 0,
@@ -1146,16 +1590,20 @@ impl RemoteCloud {
                 retry: opts.retry,
                 hello,
                 handshake_timeout: opts.handshake_timeout,
-                register: None,
+                encoding,
+                mux,
+                registers: BTreeMap::new(),
                 pending: VecDeque::new(),
                 fresh_tx: None,
                 fresh_rx: None,
-                resp_tx: None,
-                probe_tx: None,
+                resp_tx: HashMap::new(),
+                probe_tx: HashMap::new(),
                 dead: false,
             }),
+            encoding,
+            mux,
         });
-        let (tx, rx) = channel::unbounded::<ToCloud>();
+        let (tx, rx) = channel::bounded::<ToCloud>(FRAME_QUEUE_CAP);
         let sh_out = Arc::clone(&shared);
         let out_handle = std::thread::spawn(move || out_pump(ftx, rx, sh_out));
         let sh_in = Arc::clone(&shared);
@@ -1164,6 +1612,8 @@ impl RemoteCloud {
             tx: Some(tx),
             admission: welcome.admission,
             session,
+            encoding,
+            mux,
             out_handle: Some(out_handle),
             in_handle: Some(in_handle),
         })
@@ -1182,6 +1632,23 @@ impl RemoteCloud {
         session: u64,
         retry: &RetryConfig,
     ) -> Result<RemoteCloud, HandshakeError> {
+        RemoteCloud::connect_tcp_with(addr, session, retry, Encoding::Json, false)
+    }
+
+    /// Like [`RemoteCloud::connect_tcp`], additionally requesting a frame
+    /// `encoding` and (with `mux`) session multiplexing in the handshake.
+    ///
+    /// # Errors
+    ///
+    /// As [`RemoteCloud::connect_tcp`], plus [`HandshakeError::Encoding`]
+    /// when the cloud's answer to the encoding negotiation is invalid.
+    pub fn connect_tcp_with(
+        addr: &str,
+        session: u64,
+        retry: &RetryConfig,
+        encoding: Encoding,
+        mux: bool,
+    ) -> Result<RemoteCloud, HandshakeError> {
         let t = TcpTransport::dial_with_backoff(addr, retry).map_err(HandshakeError::Io)?;
         let redial_addr = addr.to_string();
         let opts = ConnectOptions {
@@ -1189,6 +1656,8 @@ impl RemoteCloud {
             dialer: Some(Box::new(move || {
                 TcpTransport::dial(&redial_addr).map(|t| Box::new(t) as Box<dyn Transport>)
             })),
+            encoding,
+            mux,
             ..ConnectOptions::default()
         };
         RemoteCloud::connect(Box::new(t), session, opts)
@@ -1203,11 +1672,26 @@ impl RemoteCloud {
         small: &'a (dyn Detector + Sync),
         policy: Box<dyn OffloadPolicy + 'a>,
     ) -> EdgeSession<'a> {
+        self.attach_as(self.session, config, small, policy)
+    }
+
+    /// Attaches an [`EdgeSession`] with an explicit session id — the
+    /// multiplexed form of [`RemoteCloud::attach`]: on a connection that
+    /// negotiated [`RemoteCloud::mux`], every device in a fleet attaches
+    /// its own session here and they all share this one connection. Session
+    /// ids must be unique per connection.
+    pub fn attach_as<'a>(
+        &self,
+        session: u64,
+        config: SessionConfig,
+        small: &'a (dyn Detector + Sync),
+        policy: Box<dyn OffloadPolicy + 'a>,
+    ) -> EdgeSession<'a> {
         let tx = self
             .tx
             .clone()
             .expect("RemoteCloud::attach called after close");
-        EdgeSession::attach(self.session, config, small, policy, tx, self.admission)
+        EdgeSession::attach(session, config, small, policy, tx, self.admission)
     }
 
     /// The session id negotiated in the handshake.
@@ -1219,6 +1703,19 @@ impl RemoteCloud {
     /// ([`CloudConfig::queue_limit`] set on the serving side).
     pub fn admission(&self) -> bool {
         self.admission
+    }
+
+    /// The frame encoding this connection negotiated (JSON when the cloud
+    /// predates the negotiation).
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Whether the cloud agreed to session multiplexing — only then may
+    /// multiple sessions ride this connection via
+    /// [`RemoteCloud::attach_as`].
+    pub fn mux(&self) -> bool {
+        self.mux
     }
 
     /// Closes the connection (sends `BYE`) and joins the pump threads.
@@ -1256,8 +1753,9 @@ pub struct ServeOptions {
     /// loop is never involved: handshakes run on per-connection threads.
     pub hello_timeout: Duration,
     /// Stop serving (set the stop flag and wake the accept loop) once this
-    /// many registered connections have completed. `None` serves until the
-    /// caller stops it.
+    /// many registered sessions have completed. A legacy connection counts
+    /// one session; a multiplexed connection counts every session it
+    /// registered. `None` serves until the caller stops it.
     pub expect_sessions: Option<usize>,
 }
 
@@ -1273,11 +1771,15 @@ impl Default for ServeOptions {
 /// What one connection handler observed (see [`serve_connection`]).
 #[derive(Debug, Default)]
 pub struct ConnOutcome {
-    /// The connection's dedicated cloud worker stats (`None` when the
-    /// handshake failed or the worker panicked).
+    /// The connection's cloud worker stats, merged across its per-session
+    /// workers (`None` when the handshake failed or a worker panicked
+    /// before registering).
     pub stats: Option<CloudStats>,
     /// Whether the peer registered a session.
     pub registered: bool,
+    /// How many distinct sessions the peer registered (1 on legacy
+    /// connections; possibly more on multiplexed ones).
+    pub sessions: usize,
     /// Whether the peer closed with a `BYE` (vs. vanishing mid-run).
     pub clean: bool,
     /// Whether the handshake was refused.
@@ -1303,6 +1805,18 @@ pub struct NodeStats {
     pub hello_timeouts: usize,
 }
 
+/// Sum/max-merges one worker's [`CloudStats`] into an aggregate (additive
+/// counters summed, high-water marks maxed).
+fn merge_cloud_stats(into: &mut CloudStats, s: &CloudStats) {
+    into.served += s.served;
+    into.batches += s.batches;
+    into.busy_s += s.busy_s;
+    into.sessions += s.sessions;
+    into.admission_rejects += s.admission_rejects;
+    into.peak_workers = into.peak_workers.max(s.peak_workers);
+    into.scale_changes += s.scale_changes;
+}
+
 impl NodeStats {
     /// Folds one connection's outcome into the node totals.
     pub fn absorb(&mut self, outcome: ConnOutcome) {
@@ -1319,13 +1833,7 @@ impl NodeStats {
             self.hello_timeouts += 1;
         }
         if let Some(s) = outcome.stats {
-            self.cloud.served += s.served;
-            self.cloud.batches += s.batches;
-            self.cloud.busy_s += s.busy_s;
-            self.cloud.sessions += s.sessions;
-            self.cloud.admission_rejects += s.admission_rejects;
-            self.cloud.peak_workers = self.cloud.peak_workers.max(s.peak_workers);
-            self.cloud.scale_changes += s.scale_changes;
+            merge_cloud_stats(&mut self.cloud, &s);
         }
     }
 }
@@ -1400,93 +1908,191 @@ pub fn serve_connection(
     let hello = match parse_hello(&first) {
         Ok(h) => h,
         Err(refused) => {
-            let _ = send_locked(&ftx, &msg(tag::REFUSED, &refused));
+            let _ = send_locked(&ftx, &msg(tag::REFUSED, &refused, Encoding::Json));
             outcome.refused = true;
             return outcome;
         }
     };
+    // Negotiate the frame encoding and mux mode (handshake itself is
+    // always JSON): absent fields are an old edge — JSON, no mux. An
+    // encoding this cloud does not recognize is a typed refusal, never a
+    // guess.
+    let encoding = match hello.encoding.as_deref() {
+        None => Encoding::Json,
+        Some(name) => match Encoding::parse(name) {
+            Some(e) => e,
+            None => {
+                let refused = Refused {
+                    server_protocol: PROTOCOL_VERSION,
+                    reason: RefuseReason::Encoding,
+                    detail: format!("unknown encoding {name:?}"),
+                };
+                let _ = send_locked(&ftx, &msg(tag::REFUSED, &refused, Encoding::Json));
+                outcome.refused = true;
+                return outcome;
+            }
+        },
+    };
+    let mux = hello.mux == Some(true);
     let welcome = Welcome {
         protocol: PROTOCOL_VERSION,
         session: hello.session,
         admission: config.queue_limit.is_some(),
+        encoding: Some(encoding.name().to_string()),
+        mux: Some(mux),
     };
-    if send_locked(&ftx, &msg(tag::WELCOME, &welcome)).is_err() {
+    if send_locked(&ftx, &msg(tag::WELCOME, &welcome, Encoding::Json)).is_err() {
         return outcome;
     }
 
     if let Some(a) = &config.autoscale {
         a.assert_valid();
     }
-    let (ctx, crx) = channel::unbounded::<ToCloud>();
-    let cfg = config.clone();
-    let big2 = Arc::clone(big);
-    let sched = cfg.scheduler.build();
-    let worker = std::thread::spawn(move || cloud_loop(&crx, &*big2, &cfg, sched));
 
-    let mut forwarders: Vec<JoinHandle<()>> = Vec::new();
+    // One dedicated cloud state machine per registered session, created
+    // lazily at its REGISTER — the shared-nothing sharding that keeps a
+    // fleet deterministic, whether sessions arrive on separate connections
+    // or multiplexed onto this one. With the default single-worker cloud
+    // the machine runs *inline on this reader thread*: every SUBMIT is
+    // handled (and its answer written) before the next frame is read, so
+    // a frame costs zero cross-thread handoffs. A multi-worker cloud
+    // needs real wall-clock detect parallelism, so it keeps the
+    // thread-per-session shape and pays the queue hop.
+    struct SessionWorker {
+        ctx: Sender<ToCloud>,
+        handle: JoinHandle<CloudStats>,
+    }
+    enum SessionExec<'a> {
+        Inline(Box<CloudMachine<'a>>),
+        Threaded(SessionWorker),
+    }
+    impl SessionExec<'_> {
+        // Never used for Shutdown: inline machines are finish()ed at
+        // connection teardown, threaded workers get Shutdown there too.
+        fn deliver(&mut self, msg: ToCloud) -> bool {
+            match self {
+                SessionExec::Inline(m) => m.handle(msg),
+                SessionExec::Threaded(w) => w.ctx.send(msg).is_ok(),
+            }
+        }
+    }
+    let inline = config.workers == 1;
+    let mut workers: HashMap<u64, SessionExec> = HashMap::new();
     let mut clean = false;
     while let Ok(Some(frame)) = frx.recv() {
         let Some((t, inner)) = split_msg(&frame) else {
             break;
         };
         let ok = match t {
-            tag::REGISTER => match wire::decode_frame::<WireRegister>(&inner) {
+            tag::REGISTER => match wire::decode_frame_as::<WireRegister>(&inner, encoding) {
                 Ok(r) => {
                     outcome.registered = true;
-                    let (resp_tx, resp_rx) = channel::unbounded::<Bytes>();
-                    let (probe_tx, probe_rx) = channel::unbounded::<ProbeReply>();
-                    let sent = ctx
-                        .send(ToCloud::Register {
-                            session: r.session,
-                            link: r.link,
-                            resp_tx,
-                            probe_tx,
-                        })
-                        .is_ok();
-                    if sent {
-                        let ftx_a = Arc::clone(&ftx);
-                        forwarders.push(std::thread::spawn(move || {
-                            while let Ok(b) = resp_rx.recv() {
-                                let mut payload = Vec::with_capacity(1 + b.len());
-                                payload.push(tag::ANSWER);
-                                payload.extend_from_slice(&b);
-                                let _ = send_locked(&ftx_a, &payload);
-                            }
-                        }));
-                        let ftx_p = Arc::clone(&ftx);
-                        forwarders.push(std::thread::spawn(move || {
-                            while let Ok(r) = probe_rx.recv() {
-                                let reply = WireProbeReply {
-                                    admitted: r.admitted,
-                                    queue_depth: r.queue_depth,
-                                };
-                                let _ = send_locked(&ftx_p, &msg(tag::PROBE_REPLY, &reply));
-                            }
-                        }));
-                    }
-                    sent
+                    let session = r.session;
+                    // A re-REGISTER for a live session (edge reconnect
+                    // replay) reuses its machine/worker; the Register
+                    // message swaps in the fresh reply handles.
+                    let worker = workers.entry(session).or_insert_with(|| {
+                        if inline {
+                            let sched = config.scheduler.build();
+                            SessionExec::Inline(Box::new(CloudMachine::new(
+                                &**big, config, sched, None,
+                            )))
+                        } else {
+                            let (ctx, crx) = channel::bounded::<ToCloud>(FRAME_QUEUE_CAP);
+                            let cfg = config.clone();
+                            let big2 = Arc::clone(big);
+                            let sched = cfg.scheduler.build();
+                            let handle =
+                                std::thread::spawn(move || cloud_loop(&crx, &*big2, &cfg, sched));
+                            SessionExec::Threaded(SessionWorker { ctx, handle })
+                        }
+                    });
+                    // Replies are written straight from the worker thread
+                    // (no forwarder-thread hop — on a busy host each hop is
+                    // a context switch per answer). The worker's answer
+                    // frame is forwarded opaquely (always JSON — see module
+                    // docs); mux connections prefix the session id AND the
+                    // ticket, so the edge routes the answer straight to its
+                    // session without parsing the payload on its (shared)
+                    // inbound pump. A blocked peer blocks the write — and
+                    // therefore the worker and its bounded queue — which is
+                    // exactly the backpressure cascade the channels gave.
+                    let ftx_a = Arc::clone(&ftx);
+                    let resp_tx = AnswerTx::Sink(Box::new(move |ticket, b: Bytes| {
+                        let payload = if mux {
+                            msg_mux_answer(session, ticket, &b)
+                        } else {
+                            let mut p = Vec::with_capacity(1 + b.len());
+                            p.push(tag::ANSWER);
+                            p.extend_from_slice(&b);
+                            p
+                        };
+                        send_locked(&ftx_a, &payload).is_ok()
+                    }));
+                    let ftx_p = Arc::clone(&ftx);
+                    let probe_tx = ProbeTx::Sink(Box::new(move |r: ProbeReply| {
+                        let reply = WireProbeReply {
+                            admitted: r.admitted,
+                            queue_depth: r.queue_depth,
+                        };
+                        let payload = if mux {
+                            let inner = wire::encode_frame_as(&reply, encoding);
+                            msg_mux(tag::PROBE_REPLY_MUX, session, &inner)
+                        } else {
+                            msg(tag::PROBE_REPLY, &reply, encoding)
+                        };
+                        send_locked(&ftx_p, &payload).is_ok()
+                    }));
+                    worker.deliver(ToCloud::Register {
+                        session,
+                        link: r.link,
+                        resp_tx,
+                        probe_tx,
+                    })
                 }
                 Err(_) => false,
             },
-            tag::SUBMIT => match wire::decode_frame::<WireSubmit>(&inner) {
-                Ok(s) => {
-                    let header = wire::encode_frame(&s.header);
-                    ctx.send(ToCloud::Frame(header, Arc::new(s.scene))).is_ok()
-                }
+            tag::SUBMIT => match wire::decode_frame_as::<WireSubmit>(&inner, encoding) {
+                Ok(s) => match workers.get_mut(&s.header.session) {
+                    Some(w) => w.deliver(ToCloud::Frame(s.header, Arc::new(s.scene))),
+                    None => false,
+                },
                 Err(_) => false,
             },
-            tag::PROBE => match wire::decode_frame::<WireProbe>(&inner) {
-                Ok(p) => ctx
-                    .send(ToCloud::Probe {
+            tag::PROBE => match wire::decode_frame_as::<WireProbe>(&inner, encoding) {
+                Ok(p) => match workers.get_mut(&p.session) {
+                    Some(w) => w.deliver(ToCloud::Probe {
                         session: p.session,
                         now: p.now,
-                    })
-                    .is_ok(),
+                    }),
+                    None => false,
+                },
                 Err(_) => false,
             },
-            tag::FLUSH => ctx.send(ToCloud::Flush).is_ok(),
-            tag::DEREGISTER => match wire::decode_frame::<WireDeregister>(&inner) {
-                Ok(d) => ctx.send(ToCloud::Deregister { session: d.session }).is_ok(),
+            tag::FLUSH => {
+                if inner.is_empty() {
+                    // Legacy body-less flush: flush every session on this
+                    // connection (a legacy connection carries exactly one).
+                    workers
+                        .iter_mut()
+                        .all(|(s, w)| w.deliver(ToCloud::Flush { session: *s }))
+                } else {
+                    match wire::decode_frame_as::<WireFlush>(&inner, encoding) {
+                        Ok(fl) => match workers.get_mut(&fl.session) {
+                            Some(w) => w.deliver(ToCloud::Flush {
+                                session: fl.session,
+                            }),
+                            None => false,
+                        },
+                        Err(_) => false,
+                    }
+                }
+            }
+            tag::DEREGISTER => match wire::decode_frame_as::<WireDeregister>(&inner, encoding) {
+                Ok(d) => match workers.get_mut(&d.session) {
+                    Some(w) => w.deliver(ToCloud::Deregister { session: d.session }),
+                    None => false,
+                },
                 Err(_) => false,
             },
             tag::BYE => {
@@ -1500,14 +2106,22 @@ pub fn serve_connection(
         }
     }
     outcome.clean = clean;
-    let _ = ctx.send(ToCloud::Shutdown);
-    drop(ctx);
-    if let Ok(stats) = worker.join() {
-        outcome.stats = Some(stats);
+    outcome.sessions = workers.len();
+    let mut merged: Option<CloudStats> = None;
+    for (_, w) in workers {
+        let stats = match w {
+            SessionExec::Inline(m) => Some(m.finish()),
+            SessionExec::Threaded(w) => {
+                let _ = w.ctx.send(ToCloud::Shutdown);
+                drop(w.ctx);
+                w.handle.join().ok()
+            }
+        };
+        if let Some(stats) = stats {
+            merge_cloud_stats(merged.get_or_insert_with(CloudStats::default), &stats);
+        }
     }
-    for f in forwarders {
-        let _ = f.join();
-    }
+    outcome.stats = merged;
     outcome
 }
 
@@ -1544,12 +2158,12 @@ pub fn serve(
         let (agg, completed, waker) = (&agg, &completed, &waker);
         scope.spawn(move || {
             let outcome = serve_connection(conn, config, big, opts);
-            let counted = outcome.registered;
+            let counted = outcome.sessions;
             agg.lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .absorb(outcome);
-            if counted {
-                let done = completed.fetch_add(1, Ordering::SeqCst) + 1;
+            if counted > 0 {
+                let done = completed.fetch_add(counted, Ordering::SeqCst) + counted;
                 if opts.expect_sessions.is_some_and(|n| done >= n) {
                     stop.store(true, Ordering::SeqCst);
                     waker();
@@ -1628,12 +2242,15 @@ mod tests {
                 magic: 0xdead_beef,
                 protocol: PROTOCOL_VERSION,
                 session: 0,
+                encoding: None,
+                mux: None,
             },
+            Encoding::Json,
         );
         let refused = parse_hello(&Bytes::from(wrong_magic)).unwrap_err();
         assert_eq!(refused.reason, RefuseReason::BadMagic);
 
-        let not_hello = msg(tag::SUBMIT, &7u32);
+        let not_hello = msg(tag::SUBMIT, &7u32, Encoding::Json);
         let refused = parse_hello(&Bytes::from(not_hello)).unwrap_err();
         assert_eq!(refused.reason, RefuseReason::MalformedHello);
     }
@@ -1703,6 +2320,65 @@ mod tests {
     }
 
     #[test]
+    fn encoding_negotiation_covers_fallback_and_corruption() {
+        let hello = |enc: Option<&str>, mux: Option<bool>| Hello {
+            magic: HELLO_MAGIC,
+            protocol: PROTOCOL_VERSION,
+            session: 0,
+            encoding: enc.map(str::to_string),
+            mux,
+        };
+        let welcome = |enc: Option<&str>, mux: Option<bool>| Welcome {
+            protocol: PROTOCOL_VERSION,
+            session: 0,
+            admission: false,
+            encoding: enc.map(str::to_string),
+            mux,
+        };
+
+        // Matching offers stick; an old cloud (no field) means JSON no
+        // matter what the edge asked for.
+        let h = hello(Some("binary"), None);
+        assert_eq!(
+            negotiated_encoding(&h, &welcome(Some("binary"), None)).unwrap(),
+            Encoding::Binary
+        );
+        assert_eq!(
+            negotiated_encoding(&h, &welcome(None, None)).unwrap(),
+            Encoding::Json
+        );
+        // A cloud may decline binary down to JSON, but never invent an
+        // encoding the edge did not offer, nor name an unknown one.
+        assert_eq!(
+            negotiated_encoding(&h, &welcome(Some("json"), None)).unwrap(),
+            Encoding::Json
+        );
+        let old_edge = hello(None, None);
+        assert!(matches!(
+            negotiated_encoding(&old_edge, &welcome(Some("binary"), None)),
+            Err(HandshakeError::Encoding { .. })
+        ));
+        assert!(matches!(
+            negotiated_encoding(&h, &welcome(Some("zstd"), None)),
+            Err(HandshakeError::Encoding { .. })
+        ));
+
+        // Mux needs both sides to say yes explicitly.
+        assert!(negotiated_mux(
+            &hello(None, Some(true)),
+            &welcome(None, Some(true))
+        ));
+        assert!(!negotiated_mux(
+            &hello(None, Some(true)),
+            &welcome(None, None)
+        ));
+        assert!(!negotiated_mux(
+            &hello(None, None),
+            &welcome(None, Some(true))
+        ));
+    }
+
+    #[test]
     fn version_mismatch_surfaces_as_typed_error() {
         let (mut listener, connector) = memory_listener();
         let server = std::thread::spawn(move || {
@@ -1712,7 +2388,7 @@ mod tests {
             let first = rx.recv().unwrap().unwrap();
             let refused = parse_hello(&first).unwrap_err();
             assert_eq!(refused.reason, RefuseReason::Version);
-            send_locked(&ftx, &msg(tag::REFUSED, &refused)).unwrap();
+            send_locked(&ftx, &msg(tag::REFUSED, &refused, Encoding::Json)).unwrap();
         });
         let conn: Box<dyn Transport> = Box::new(connector.connect().unwrap());
         let (mut tx, mut rx) = conn.split();
@@ -1720,6 +2396,8 @@ mod tests {
             magic: HELLO_MAGIC,
             protocol: 999,
             session: 3,
+            encoding: None,
+            mux: None,
         };
         let err = client_handshake(&mut *tx, &mut *rx, &hello, Duration::from_secs(5)).unwrap_err();
         match err {

@@ -1,11 +1,39 @@
-//! Wire format for edge↔cloud messages: length-prefixed JSON frames.
+//! Wire format for edge↔cloud messages: length-prefixed frames.
 //!
 //! The runtime (see [`crate::runtime`]) ships real serialized bytes between
 //! the edge and cloud threads, so payload sizes — and therefore simulated
 //! transfer times — come from actual encoded messages, not guesses.
+//!
+//! # Encodings and negotiation
+//!
+//! Every frame is a 4-byte little-endian length prefix followed by a
+//! payload in one of two encodings:
+//!
+//! - [`Encoding::Json`] — compact RFC 8259 text, the default and the only
+//!   encoding protocol-version-1 peers are required to understand. All
+//!   handshake messages (`Hello`/`Welcome`/`Refused`) are **always** JSON,
+//!   so peers can negotiate before agreeing on anything else.
+//! - [`Encoding::Binary`] — a compact self-describing binary form (tag
+//!   bytes, LEB128 varints, raw little-endian `f64`, per-message key
+//!   dictionary pre-seeded from the protocol's [`BINARY_STATIC_KEYS`]
+//!   table; see `serde_json::to_vec_binary_into_with_dict`). Well under
+//!   half the JSON byte size on detection workloads, which matters because
+//!   uplink bytes are the scarce resource this system economizes.
+//!
+//! Both encodings flow through the same hand-rolled `Serialize` /
+//! `Deserialize` derive machinery and carry the identical data model, so a
+//! message round-trips bit-identically through either. The framing layer
+//! ([`FrameReader`], the length prefix, [`MAX_FRAME_BYTES`]) is
+//! encoding-agnostic: payload bytes are opaque until decoded.
+//!
+//! Which encoding a connection uses is negotiated in the transport
+//! handshake (see [`crate::transport`]): the client names its preferred
+//! encoding in `Hello`, the server echoes the agreed choice in `Welcome`,
+//! and absent fields mean JSON — so old JSON-only peers interoperate with
+//! new binaries in both directions without version bumps.
 
 use bytes::{Buf, Bytes};
-use serde::{de::DeserializeOwned, Serialize};
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum accepted frame payload (16 MiB) — guards against corrupt lengths.
@@ -51,6 +79,96 @@ impl std::error::Error for WireError {
             WireError::Malformed(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+/// Payload encoding of a frame — see the module docs' "Encodings and
+/// negotiation" section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Encoding {
+    /// Compact JSON text (the protocol default; what absent negotiation
+    /// fields mean).
+    #[default]
+    Json,
+    /// Compact self-describing binary (`serde_json::to_vec_binary`),
+    /// with the key dictionary pre-seeded from [`BINARY_STATIC_KEYS`].
+    Binary,
+}
+
+/// Static key table of the `binary` encoding: the field names of every
+/// message that crosses the data plane (scenes, submit headers, answers,
+/// probes, link models), pre-interned so they cost one back-reference byte
+/// instead of their text even on first use — the dominant per-frame
+/// overhead once values are binary. The table is part of the `binary`
+/// format both peers negotiate: changing it (including reordering) is a
+/// protocol change and must bump the encoding name. Handshake frames are
+/// always JSON, so [`Hello`](crate::transport::Hello) /
+/// [`Welcome`](crate::transport::Welcome) field names don't belong here.
+pub const BINARY_STATIC_KEYS: &[&str] = &[
+    // WireSubmit envelope.
+    "header",
+    "scene",
+    // SubmitRequest / SubmitResponse headers.
+    "session",
+    "ticket",
+    "frame_bytes",
+    "sent_at",
+    "uplink_s",
+    "difficulty",
+    "deadline_at",
+    "infer_s",
+    "queue_depth",
+    "dets",
+    // Scene and its objects.
+    "id",
+    "objects",
+    "camera_blur",
+    "noise_std",
+    "illumination",
+    "seed",
+    "class",
+    "bbox",
+    "texture_seed",
+    "x_min",
+    "y_min",
+    "x_max",
+    "y_max",
+    // Detections.
+    "score",
+    // Register / probe control frames.
+    "link",
+    "name",
+    "bandwidth_bps",
+    "rtt_s",
+    "jitter_sigma",
+    "loss_prob",
+    "now",
+    "admitted",
+];
+
+impl Encoding {
+    /// The lowercase wire/CLI name (`"json"` / `"binary"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Json => "json",
+            Encoding::Binary => "binary",
+        }
+    }
+
+    /// Parses a wire/CLI name; `None` for anything unrecognized (the
+    /// handshake turns that into a typed error rather than guessing).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "json" => Some(Encoding::Json),
+            "binary" => Some(Encoding::Binary),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -122,6 +240,112 @@ pub fn encode_frame_into<T: Serialize>(buf: &mut Vec<u8>, value: &T) {
         buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         buf.extend_from_slice(payload.as_bytes());
     });
+}
+
+/// Encodes a message as a length-prefixed frame in the given [`Encoding`].
+///
+/// [`Encoding::Json`] produces exactly [`encode_frame`]'s bytes.
+///
+/// # Panics
+///
+/// Same contract as [`encode_frame`]: panics on unserializable values
+/// (non-finite floats) or payloads beyond [`MAX_FRAME_BYTES`].
+pub fn encode_frame_as<T: Serialize>(value: &T, encoding: Encoding) -> Bytes {
+    let mut buf = Vec::new();
+    encode_frame_into_as(&mut buf, value, encoding);
+    Bytes::from(buf)
+}
+
+/// Encodes a message as a length-prefixed frame in the given [`Encoding`],
+/// into a reusable buffer — the negotiated-encoding sibling of
+/// [`encode_frame_into`], with the same buffer-reuse and panic contract.
+pub fn encode_frame_into_as<T: Serialize>(buf: &mut Vec<u8>, value: &T, encoding: Encoding) {
+    match encoding {
+        Encoding::Json => encode_frame_into(buf, value),
+        Encoding::Binary => {
+            use std::cell::RefCell;
+            thread_local! {
+                static BIN_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+            }
+            BIN_SCRATCH.with(|scratch| {
+                let mut payload = scratch.borrow_mut();
+                serde_json::to_vec_binary_into_with_dict(&mut payload, value, BINARY_STATIC_KEYS)
+                    .expect("message types serialize infallibly");
+                assert!(
+                    payload.len() <= MAX_FRAME_BYTES,
+                    "frame payload of {} bytes exceeds MAX_FRAME_BYTES",
+                    payload.len()
+                );
+                buf.clear();
+                buf.reserve(4 + payload.len());
+                buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+                buf.extend_from_slice(&payload);
+            });
+        }
+    }
+}
+
+/// Decodes a length-prefixed frame in the given [`Encoding`] under the
+/// default [`MAX_FRAME_BYTES`] limit.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, oversized prefixes, trailing
+/// garbage, or payload decode errors — the identical error discipline in
+/// both encodings.
+pub fn decode_frame_as<T: DeserializeOwned>(
+    frame: &Bytes,
+    encoding: Encoding,
+) -> Result<T, WireError> {
+    decode_frame_with_limit_as(frame, MAX_FRAME_BYTES, encoding)
+}
+
+/// Decodes a length-prefixed frame in the given [`Encoding`], rejecting
+/// payloads whose length prefix exceeds `max_payload_bytes` — the
+/// negotiated-encoding sibling of [`decode_frame_with_limit`], enforcing
+/// the limit before the payload is touched in exactly the same way.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, oversized prefixes, trailing
+/// garbage, or payload decode errors.
+pub fn decode_frame_with_limit_as<T: DeserializeOwned>(
+    frame: &Bytes,
+    max_payload_bytes: usize,
+    encoding: Encoding,
+) -> Result<T, WireError> {
+    match encoding {
+        Encoding::Json => decode_frame_with_limit(frame, max_payload_bytes),
+        Encoding::Binary => {
+            let payload = frame_payload(frame, max_payload_bytes)?;
+            serde_json::from_slice_binary_with_dict(payload, BINARY_STATIC_KEYS)
+                .map_err(WireError::Malformed)
+        }
+    }
+}
+
+/// Shared prefix/limit/length validation for both encodings: returns the
+/// payload slice of a frame holding exactly `4 + len` bytes.
+fn frame_payload(frame: &Bytes, max_payload_bytes: usize) -> Result<&[u8], WireError> {
+    let buf = frame.chunk();
+    if buf.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes checked")) as usize;
+    if len > max_payload_bytes {
+        return Err(WireError::Oversized(len));
+    }
+    let payload = &buf[4..];
+    if payload.len() < len {
+        return Err(WireError::Truncated);
+    }
+    if payload.len() > len {
+        return Err(WireError::TrailingBytes {
+            expected: len,
+            actual: payload.len(),
+        });
+    }
+    Ok(payload)
 }
 
 /// Decodes a length-prefixed JSON frame under the default
@@ -477,5 +701,139 @@ mod tests {
         assert_eq!(s, "fresh");
         let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
         assert_eq!(buf.len(), 4 + len);
+    }
+
+    // ---- encoding selection ----
+
+    #[test]
+    fn encoding_names_round_trip() {
+        for enc in [Encoding::Json, Encoding::Binary] {
+            assert_eq!(Encoding::parse(enc.name()), Some(enc));
+            assert_eq!(format!("{enc}"), enc.name());
+        }
+        assert_eq!(Encoding::parse("msgpack"), None);
+        assert_eq!(Encoding::parse(""), None);
+        assert_eq!(Encoding::default(), Encoding::Json);
+    }
+
+    #[test]
+    fn json_encoding_as_matches_plain_encode() {
+        let dets = ImageDetections::from_vec(vec![Detection::new(
+            ClassId(3),
+            0.77,
+            BBox::new(0.1, 0.2, 0.5, 0.9).unwrap(),
+        )]);
+        assert_eq!(encode_frame_as(&dets, Encoding::Json), encode_frame(&dets));
+        let back: ImageDetections = decode_frame_as(&encode_frame(&dets), Encoding::Json).unwrap();
+        assert_eq!(back, dets);
+    }
+
+    #[test]
+    fn binary_encoding_round_trips_and_is_smaller() {
+        let dets = ImageDetections::from_vec(
+            (0..8)
+                .map(|i| {
+                    Detection::new(
+                        ClassId(i),
+                        0.5 + f64::from(i) / 100.0,
+                        BBox::new(0.1, 0.2, 0.5, 0.9).unwrap(),
+                    )
+                })
+                .collect(),
+        );
+        let json = encode_frame_as(&dets, Encoding::Json);
+        let binary = encode_frame_as(&dets, Encoding::Binary);
+        let back: ImageDetections = decode_frame_as(&binary, Encoding::Binary).unwrap();
+        assert_eq!(back, dets);
+        assert!(
+            binary.len() < json.len(),
+            "binary {} should beat JSON {}",
+            binary.len(),
+            json.len()
+        );
+        // Cross-decoding with the wrong encoding is an error, not garbage.
+        assert!(decode_frame_as::<ImageDetections>(&binary, Encoding::Json).is_err());
+    }
+
+    #[test]
+    fn binary_decode_keeps_frame_error_discipline() {
+        let frame = encode_frame_as(&vec![7u8; 1000], Encoding::Binary);
+        assert!(decode_frame_as::<Vec<u8>>(&frame, Encoding::Binary).is_ok());
+        assert!(matches!(
+            decode_frame_with_limit_as::<Vec<u8>>(&frame, 100, Encoding::Binary),
+            Err(WireError::Oversized(_))
+        ));
+        let cut = frame.slice(..frame.len() - 10);
+        assert!(matches!(
+            decode_frame_as::<Vec<u8>>(&cut, Encoding::Binary),
+            Err(WireError::Truncated)
+        ));
+        let mut padded = frame.to_vec();
+        padded.extend_from_slice(b"xx");
+        assert!(matches!(
+            decode_frame_as::<Vec<u8>>(&Bytes::from(padded), Encoding::Binary),
+            Err(WireError::TrailingBytes { .. })
+        ));
+        let mut garbage = BytesMut::new();
+        garbage.put_u32_le(3);
+        garbage.put_slice(&[0xfe, 0xfe, 0xfe]);
+        assert!(matches!(
+            decode_frame_as::<Vec<u8>>(&garbage.freeze(), Encoding::Binary),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn binary_encode_into_reuses_buffer_and_matches_wrapper() {
+        let mut buf = Vec::new();
+        encode_frame_into_as(&mut buf, &vec![1u32, 2, 3], Encoding::Binary);
+        let first_cap = buf.capacity();
+        let wrapper = encode_frame_as(&vec![1u32, 2, 3], Encoding::Binary);
+        assert_eq!(&buf[..], &wrapper[..]);
+        encode_frame_into_as(&mut buf, &vec![9u32], Encoding::Binary);
+        assert_eq!(buf.capacity(), first_cap);
+        let back: Vec<u32> =
+            decode_frame_as(&Bytes::copy_from_slice(&buf), Encoding::Binary).unwrap();
+        assert_eq!(back, vec![9]);
+    }
+
+    #[test]
+    fn frame_reader_handles_binary_frames_across_arbitrary_splits() {
+        // The framing layer is encoding-agnostic: byte-at-a-time feeding of
+        // a binary frame stream must reassemble every payload exactly,
+        // including payloads full of 0x00/0xff bytes that would be hostile
+        // if anything sniffed at content.
+        let frames: Vec<Bytes> = (0..4)
+            .map(|i| {
+                encode_frame_as(
+                    &ImageDetections::from_vec(vec![Detection::new(
+                        ClassId(i),
+                        0.25 + f64::from(i) / 10.0,
+                        BBox::new(0.0, 0.0, 1.0, 1.0).unwrap(),
+                    )]),
+                    Encoding::Binary,
+                )
+            })
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(|f| f.iter().copied()).collect();
+        for chunk_size in [1usize, 2, 3, 5, 7, 64] {
+            let mut reader = FrameReader::new();
+            let mut got = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                reader.feed(chunk);
+                while let Some(p) = reader.next_frame().unwrap() {
+                    got.push(p);
+                }
+            }
+            assert_eq!(got.len(), frames.len(), "chunk_size {chunk_size}");
+            for (p, f) in got.iter().zip(&frames) {
+                assert_eq!(&p[..], &f[4..], "chunk_size {chunk_size}");
+                let dets: ImageDetections =
+                    serde_json::from_slice_binary_with_dict(p, BINARY_STATIC_KEYS).unwrap();
+                let want: ImageDetections = decode_frame_as(f, Encoding::Binary).unwrap();
+                assert_eq!(dets, want);
+            }
+            assert_eq!(reader.pending_bytes(), 0);
+        }
     }
 }

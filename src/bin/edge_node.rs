@@ -2,17 +2,24 @@
 //!
 //! Dials the cloud node at `--cloud ADDR` (retrying with the spec's
 //! backoff schedule, so it may be launched before the cloud finishes
-//! binding), then drives its devices sequentially: device `d` of edge
-//! `--edge-index e` runs session `e * devices_per_edge + d`, streaming the
-//! same deterministic workload the in-memory runner would, and prints
+//! binding), then drives its devices: device `d` of edge `--edge-index e`
+//! runs session `e * devices_per_edge + d`, streaming the same
+//! deterministic workload the in-memory runner would, and prints
 //! `REPORT <json SessionReport>` per finished session.
+//!
+//! With `--mux true` the edge dials **one** connection and interleaves all
+//! of its devices' sessions over it; otherwise each device gets its own
+//! connection and runs to completion before the next starts. Either way
+//! the per-session reports are bit-identical. `--encoding binary` asks the
+//! cloud for the compact binary frame codec in the handshake.
 //!
 //! Configure with `--spec JSON` / `--spec-file PATH` or individual fleet
 //! flags (see `smallbig::distributed::fleet_spec_from_args`).
 
 use smallbig::core::transport::RemoteCloud;
 use smallbig::distributed::{
-    fleet_spec_from_args, run_device_session, CliArgs, LINE_CONNECTED, LINE_REPORT,
+    fleet_spec_from_args, run_device_session, run_edge_sessions_mux, CliArgs, LINE_CONNECTED,
+    LINE_REPORT,
 };
 
 fn die(msg: &str) -> ! {
@@ -40,15 +47,37 @@ fn main() {
         ));
     }
 
-    for d in 0..spec.devices_per_edge {
-        let session = spec.session_id(edge_index, d);
-        let remote = RemoteCloud::connect_tcp(cloud, session, &spec.edge.retry)
-            .unwrap_or_else(|e| die(&format!("session {session}: connect {cloud}: {e}")));
-        println!("{LINE_CONNECTED}{session}");
-        let report = run_device_session(&remote, &spec, session);
+    let encoding = spec.edge.wire_encoding();
+    if spec.edge.mux_enabled() {
+        // One connection for the whole edge; the handshake session id is
+        // the edge's first device (it only names the connection — every
+        // device's session is registered explicitly over the mux layer).
+        let session = spec.session_id(edge_index, 0);
+        let remote =
+            RemoteCloud::connect_tcp_with(cloud, session, &spec.edge.retry, encoding, true)
+                .unwrap_or_else(|e| die(&format!("edge {edge_index}: connect {cloud}: {e}")));
+        for d in 0..spec.devices_per_edge {
+            println!("{LINE_CONNECTED}{}", spec.session_id(edge_index, d));
+        }
+        let reports = run_edge_sessions_mux(&remote, &spec, edge_index);
         remote.close();
-        let json = serde_json::to_string(&report)
-            .unwrap_or_else(|e| die(&format!("session {session}: report: {e}")));
-        println!("{LINE_REPORT}{json}");
+        for report in reports {
+            let json = serde_json::to_string(&report)
+                .unwrap_or_else(|e| die(&format!("session {}: report: {e}", report.session)));
+            println!("{LINE_REPORT}{json}");
+        }
+    } else {
+        for d in 0..spec.devices_per_edge {
+            let session = spec.session_id(edge_index, d);
+            let remote =
+                RemoteCloud::connect_tcp_with(cloud, session, &spec.edge.retry, encoding, false)
+                    .unwrap_or_else(|e| die(&format!("session {session}: connect {cloud}: {e}")));
+            println!("{LINE_CONNECTED}{session}");
+            let report = run_device_session(&remote, &spec, session);
+            remote.close();
+            let json = serde_json::to_string(&report)
+                .unwrap_or_else(|e| die(&format!("session {session}: report: {e}")));
+            println!("{LINE_REPORT}{json}");
+        }
     }
 }

@@ -37,6 +37,7 @@ use simnet::{LinkModel, LinkTrace, RetryConfig};
 use smallbig_core::transport::{
     memory_listener, serve, ConnectOptions, NodeStats, RemoteCloud, ServeOptions, Transport,
 };
+use smallbig_core::wire::Encoding;
 use smallbig_core::{
     AutoscaleConfig, CloudConfig, DifficultCaseDiscriminator, EdgePipeline, OffloadPolicy, Policy,
     SchedulerConfig, SessionConfig, SessionReport,
@@ -284,6 +285,13 @@ pub struct EdgeSpec {
     /// Backoff schedule — used both for traced virtual-time retransmits
     /// and for real TCP reconnects in the process runner.
     pub retry: RetryConfig,
+    /// Frame encoding edges request in the handshake. `None` (and old
+    /// serialized specs, which lack the field) means JSON.
+    pub encoding: Option<Encoding>,
+    /// Whether each edge node multiplexes all its devices' sessions over
+    /// one connection instead of dialing per device. `None` (and old
+    /// specs) means no.
+    pub mux: Option<bool>,
 }
 
 impl Default for EdgeSpec {
@@ -296,7 +304,22 @@ impl Default for EdgeSpec {
             deadline_s: None,
             session_seed: 0xeed5,
             retry: RetryConfig::default(),
+            encoding: None,
+            mux: None,
         }
+    }
+}
+
+impl EdgeSpec {
+    /// The wire encoding this spec asks for (JSON when unset).
+    pub fn wire_encoding(&self) -> Encoding {
+        self.encoding.unwrap_or_default()
+    }
+
+    /// Whether this spec asks each edge node to multiplex its devices over
+    /// a single connection.
+    pub fn mux_enabled(&self) -> bool {
+        self.mux == Some(true)
     }
 }
 
@@ -395,6 +418,59 @@ pub fn run_device_session(remote: &RemoteCloud, spec: &FleetSpec, session: u64) 
     sess.drain()
 }
 
+/// Drives **all** of one edge node's device sessions interleaved over a
+/// single multiplexed connection (`remote` must have negotiated
+/// [`RemoteCloud::mux`]): every device attaches via
+/// [`RemoteCloud::attach_as`], then the driver round-robins one frame per
+/// device — all submits go out back to back before any poll, so the
+/// sessions' round trips overlap on the shared socket. Each session still
+/// experiences exactly the sequential driver's submit→poll order on its
+/// own stream — and the cloud demuxes to one worker per session — so the
+/// reports are bit-identical to [`run_device_session`] run per device over
+/// dedicated connections.
+///
+/// Returns the reports in device order (ascending session id).
+pub fn run_edge_sessions_mux(
+    remote: &RemoteCloud,
+    spec: &FleetSpec,
+    edge: usize,
+) -> Vec<SessionReport> {
+    assert!(
+        remote.mux(),
+        "run_edge_sessions_mux needs a mux-negotiated connection"
+    );
+    let small = spec.split.small_model();
+    let ids: Vec<u64> = (0..spec.devices_per_edge)
+        .map(|d| spec.session_id(edge, d))
+        .collect();
+    let datasets: Vec<Dataset> = ids.iter().map(|&s| spec.dataset(s)).collect();
+    let mut sessions = Vec::with_capacity(ids.len());
+    for &session in &ids {
+        let (_, policy) = spec.edge.policy.build();
+        sessions.push(remote.attach_as(session, spec.session_config(session), &small, policy));
+    }
+    // Submit the whole fleet's frame before polling any of it: the one
+    // connection carries every session's upload back to back, overlapping
+    // their round trips across sessions. Within a session the driver stays
+    // strictly lockstep (submit, then poll, then the next submit) — the
+    // session's virtual clock models an edge that waits for each answer,
+    // so a deeper per-session window would simulate a different device,
+    // not just drive this one faster. Lockstep per session is exactly what
+    // keeps the reports bit-identical to driving the devices one
+    // connection each.
+    for f in 0..spec.frames_per_device {
+        let tickets: Vec<_> = sessions
+            .iter_mut()
+            .zip(&datasets)
+            .map(|(sess, data)| sess.submit(&data.scenes()[f]))
+            .collect();
+        for (sess, ticket) in sessions.iter_mut().zip(tickets) {
+            sess.poll(ticket).expect("frame resolves over mux");
+        }
+    }
+    sessions.iter_mut().map(|s| s.drain()).collect()
+}
+
 // ---------------------------------------------------------------------------
 // Fleet report
 // ---------------------------------------------------------------------------
@@ -482,11 +558,18 @@ pub fn run_fleet_in_memory(spec: &FleetSpec) -> FleetReport {
                 for d in 0..spec.devices_per_edge {
                     let session = spec.session_id(e, d);
                     let dial = connector.clone();
+                    // The reference runner always dials one connection per
+                    // device (never mux), so it stays the fixed point the
+                    // multiplexed process runner is compared against. It
+                    // does honor the spec's encoding: reports are
+                    // codec-independent, and the conformance tests pin
+                    // that.
                     let conn_opts = ConnectOptions {
                         retry: spec.edge.retry,
                         dialer: Some(Box::new(move || {
                             dial.connect().map(|t| Box::new(t) as Box<dyn Transport>)
                         })),
+                        encoding: spec.edge.wire_encoding(),
                         ..ConnectOptions::default()
                     };
                     let transport = connector.connect().expect("listener alive");
@@ -772,7 +855,8 @@ impl CliArgs {
 /// (`--edges`, `--devices`, `--frames`, `--split`, `--policy`, `--link`,
 /// `--trace`, `--frame-px`, `--deadline-s`, `--scheduler`,
 /// `--queue-limit`, `--max-batch`, `--workers`, `--seed`,
-/// `--dataset-seed`) overlay [`FleetSpec::default`].
+/// `--dataset-seed`, `--encoding json|binary`, `--mux true|false`)
+/// overlay [`FleetSpec::default`].
 ///
 /// # Errors
 ///
@@ -816,6 +900,10 @@ pub fn fleet_spec_from_args(args: &CliArgs) -> Result<FleetSpec, String> {
             })?,
             session_seed: base.edge.session_seed,
             retry: base.edge.retry,
+            encoding: args.get_with("encoding", base.edge.encoding, |v| {
+                Encoding::parse(v).map(Some)
+            })?,
+            mux: args.get_with("mux", base.edge.mux, |v| v.parse().ok().map(Some))?,
         },
     })
 }

@@ -121,6 +121,13 @@
 //! edge-node --cloud 127.0.0.1:4810 --edge-index 0 --edges 2 --frames 8
 //! edge-node --cloud 127.0.0.1:4810 --edge-index 1 --edges 2 --frames 8
 //!
+//! # Same fleet on the compact binary frame codec (negotiated per
+//! # connection in the handshake; JSON-only peers keep working), with each
+//! # edge's devices multiplexed over ONE TCP connection instead of one
+//! # connection per device:
+//! edge-node --cloud 127.0.0.1:4810 --edge-index 0 --edges 2 --frames 8 \
+//!           --encoding binary --mux true
+//!
 //! # Or let the orchestrator spawn the whole fleet and merge the reports —
 //! # `--mode check` also runs the in-memory fleet and asserts the two are
 //! # bit-identical:
@@ -129,8 +136,10 @@
 //!
 //! Every node takes the same fleet description (`--spec JSON`,
 //! `--spec-file PATH`, or individual flags — split, policy, link, trace,
-//! scheduler, admission, autoscaling); see [`distributed`] for the spec
-//! types, the in-memory reference runner and the process harness.
+//! scheduler, admission, autoscaling, `--encoding json|binary`,
+//! `--mux true|false`); see [`distributed`] for the spec types, the
+//! in-memory reference runner and the process harness, and
+//! [`core::wire`] for the codecs and their negotiation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -8,14 +8,16 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use smallbig::core::transport::{
-    client_handshake, serve, serve_connection, HandshakeError, Hello, Listener, RemoteCloud,
-    ServeOptions, TcpTransport, TcpWireListener, Transport, HELLO_MAGIC,
+    client_handshake, memory_pair, serve, serve_connection, HandshakeError, Hello, Listener,
+    RemoteCloud, ServeOptions, TcpTransport, TcpWireListener, Transport, Welcome, FRAME_QUEUE_CAP,
+    HELLO_MAGIC,
 };
+use smallbig::core::wire::{encode_frame, Encoding};
 use smallbig::core::{CloudServer, CloudStats, SessionReport};
 use smallbig::distributed::{
     run_device_session, run_fleet_in_memory, run_fleet_processes, CloudSpec, EdgeSpec, FleetSpec,
@@ -77,8 +79,9 @@ fn process_fleet_matches_in_memory_fleet_bit_for_bit() {
 }
 
 /// Runs the single session of `spec` over real loopback TCP against a
-/// `serve` loop in this process.
-fn run_tcp_single(spec: &FleetSpec) -> (SessionReport, CloudStats) {
+/// `serve` loop in this process, requesting `encoding` in the handshake
+/// (and asserting the cloud granted exactly that).
+fn run_tcp_single_as(spec: &FleetSpec, encoding: Encoding) -> (SessionReport, CloudStats) {
     assert_eq!(spec.total_sessions(), 1);
     let mut listener = TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr();
@@ -93,8 +96,13 @@ fn run_tcp_single(spec: &FleetSpec) -> (SessionReport, CloudStats) {
             let stop = AtomicBool::new(false);
             serve(&mut listener, &cloud_cfg, &big, &opts, &stop)
         });
-        let remote =
-            RemoteCloud::connect_tcp(&addr, 0, &spec.edge.retry).expect("loopback handshake");
+        let remote = RemoteCloud::connect_tcp_with(&addr, 0, &spec.edge.retry, encoding, false)
+            .expect("loopback handshake");
+        assert_eq!(
+            remote.encoding(),
+            encoding,
+            "cloud must grant the encoding this edge offered"
+        );
         let report = run_device_session(&remote, spec, 0);
         remote.close();
         let stats = server.join().expect("serve thread");
@@ -102,6 +110,11 @@ fn run_tcp_single(spec: &FleetSpec) -> (SessionReport, CloudStats) {
         assert_eq!(stats.aborted, 0);
         (report, stats.cloud)
     })
+}
+
+/// [`run_tcp_single_as`] with the default JSON codec.
+fn run_tcp_single(spec: &FleetSpec) -> (SessionReport, CloudStats) {
+    run_tcp_single_as(spec, Encoding::Json)
 }
 
 /// The same session driven through the historical in-process channel path
@@ -542,6 +555,8 @@ fn version_mismatch_over_tcp_is_a_typed_error() {
         magic: HELLO_MAGIC,
         protocol: 999,
         session: 0,
+        encoding: None,
+        mux: None,
     };
     let err = client_handshake(&mut *tx, &mut *rx, &hello, Duration::from_secs(5))
         .expect_err("future protocol must be refused");
@@ -570,6 +585,8 @@ fn silent_server_times_out_the_client_handshake() {
         magic: HELLO_MAGIC,
         protocol: 1,
         session: 0,
+        encoding: None,
+        mux: None,
     };
     let started = Instant::now();
     let err = client_handshake(&mut *tx, &mut *rx, &hello, Duration::from_millis(200))
@@ -580,6 +597,368 @@ fn silent_server_times_out_the_client_handshake() {
         "timeout must be bounded"
     );
     drop(hold.join());
+}
+
+// ---------------------------------------------------------------------------
+// Encoding negotiation and the binary frame codec
+// ---------------------------------------------------------------------------
+
+/// The binary frame codec must be a pure wire optimization: sessions
+/// negotiated to binary produce reports bit-identical to the in-process
+/// channel path, across the policy surface.
+#[test]
+fn binary_codec_sessions_match_channel_path_bit_for_bit() {
+    let base = small_fleet(1, 10);
+    let variants: Vec<(&str, FleetSpec)> = vec![
+        ("discriminator", base.clone()),
+        (
+            "cloud-only",
+            FleetSpec {
+                edge: EdgeSpec {
+                    policy: PolicySpec::CloudOnly,
+                    ..base.edge.clone()
+                },
+                ..base.clone()
+            },
+        ),
+    ];
+    for (name, spec) in variants {
+        let (want, want_stats) = run_channel_single(&spec);
+        let (got, got_stats) = run_tcp_single_as(&spec, Encoding::Binary);
+        assert_eq!(got, want, "binary codec diverged on `{name}`");
+        assert_eq!(
+            got_stats.served, want_stats.served,
+            "binary codec served a different frame count on `{name}`"
+        );
+    }
+}
+
+/// A pre-negotiation peer (its Hello carries no `encoding`/`mux` fields)
+/// must still handshake: the cloud answers JSON and no mux.
+#[test]
+fn old_peer_hello_negotiates_json_and_no_mux() {
+    let spec = small_fleet(1, 1);
+    let mut listener = TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr();
+    let cloud_cfg = spec.cloud.build();
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(spec.split.big_model());
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().expect("accept");
+        serve_connection(conn, &cloud_cfg, &big, &ServeOptions::default())
+    });
+    let transport = TcpTransport::dial(&addr).expect("dial");
+    let (mut tx, mut rx) = (Box::new(transport) as Box<dyn Transport>).split();
+    let hello = Hello {
+        magic: HELLO_MAGIC,
+        protocol: 1,
+        session: 0,
+        encoding: None,
+        mux: None,
+    };
+    let welcome = client_handshake(&mut *tx, &mut *rx, &hello, Duration::from_secs(5))
+        .expect("an old peer must still handshake");
+    assert_eq!(
+        welcome.encoding.as_deref(),
+        Some("json"),
+        "cloud must fall back to JSON for a peer that offered nothing"
+    );
+    assert_eq!(welcome.mux, Some(false));
+    drop(tx);
+    drop(rx);
+    let outcome = server.join().expect("handler thread");
+    assert!(!outcome.refused);
+    assert!(!outcome.registered);
+}
+
+/// A welcome naming an encoding the edge never offered (corrupted or
+/// hostile negotiation field) must surface as the typed
+/// [`HandshakeError::Encoding`] — never be guessed around.
+#[test]
+fn corrupted_encoding_in_welcome_is_a_typed_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind hostile cloud");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let hostile = std::thread::spawn(move || {
+        let (mut sock, _) = listener.accept().expect("accept");
+        // Swallow the HELLO: one outer length prefix plus payload.
+        let mut prefix = [0u8; 4];
+        sock.read_exact(&mut prefix).expect("hello prefix");
+        let mut hello = vec![0u8; u32::from_le_bytes(prefix) as usize];
+        sock.read_exact(&mut hello).expect("hello payload");
+        // Reply WELCOME (tag 2) naming an encoding nobody offered.
+        let welcome = Welcome {
+            protocol: 1,
+            session: 0,
+            admission: false,
+            encoding: Some("zstd".to_string()),
+            mux: Some(false),
+        };
+        let mut payload = vec![2u8];
+        payload.extend_from_slice(&encode_frame(&welcome));
+        let len = u32::try_from(payload.len()).expect("small frame");
+        sock.write_all(&len.to_le_bytes()).expect("welcome prefix");
+        sock.write_all(&payload).expect("welcome payload");
+        sock
+    });
+    let Err(err) = RemoteCloud::connect_tcp_with(&addr, 0, &quick_retry(), Encoding::Binary, false)
+    else {
+        panic!("hostile negotiation must fail typed");
+    };
+    match err {
+        HandshakeError::Encoding { detail } => assert!(
+            detail.contains("zstd"),
+            "detail must name the bogus encoding: {detail}"
+        ),
+        other => panic!("expected HandshakeError::Encoding, got {other}"),
+    }
+    drop(hostile.join());
+}
+
+/// A mixed fleet — one edge on JSON, one on the binary codec, same cloud —
+/// must produce per-session reports bit-identical to the in-memory
+/// reference: the codec is invisible above the wire.
+#[test]
+fn mixed_encoding_fleet_matches_in_memory_reference() {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let spec = small_fleet(2, 6);
+    let reference = run_fleet_in_memory(&spec);
+    let spec_for = |encoding: Encoding| {
+        serde_json::to_string(&FleetSpec {
+            edge: EdgeSpec {
+                encoding: Some(encoding),
+                ..spec.edge.clone()
+            },
+            ..spec.clone()
+        })
+        .expect("spec serializes")
+    };
+
+    let mut cloud = spawn_lines({
+        let mut c = Command::new(CLOUD_BIN);
+        c.args([
+            "--listen",
+            "127.0.0.1:0",
+            "--spec",
+            &spec_for(Encoding::Json),
+            "--expect-sessions",
+            "2",
+        ])
+        .stdin(Stdio::piped());
+        c
+    });
+    let addr = cloud.expect_line_with("LISTENING ", deadline);
+
+    let mut edges = Vec::new();
+    for (edge_index, encoding) in [(0usize, Encoding::Json), (1, Encoding::Binary)] {
+        edges.push(spawn_lines({
+            let mut c = Command::new(EDGE_BIN);
+            c.args([
+                "--cloud",
+                &addr,
+                "--edge-index",
+                &edge_index.to_string(),
+                "--spec",
+                &spec_for(encoding),
+            ]);
+            c
+        }));
+    }
+    for (i, edge) in edges.iter_mut().enumerate() {
+        edge.wait_success(deadline, &format!("edge-node {i}"));
+        let report: SessionReport =
+            serde_json::from_str(&edge.expect_line_with(LINE_REPORT, deadline))
+                .expect("edge report parses");
+        assert_eq!(
+            report, reference.sessions[i],
+            "edge {i} diverged from the in-memory reference"
+        );
+    }
+    cloud.wait_success(deadline, "cloud-node");
+    let stats: smallbig::core::transport::NodeStats =
+        serde_json::from_str(&cloud.expect_line_with(LINE_STATS, deadline))
+            .expect("cloud stats parse");
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.refused, 0);
+    assert_eq!(stats.aborted, 0);
+    assert_eq!(stats.cloud.sessions, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Session multiplexing
+// ---------------------------------------------------------------------------
+
+/// Multiplexed edges (every device's session interleaved over one
+/// connection, here also on the binary codec) must produce a fleet report
+/// bit-identical to the in-memory reference, which always dials one
+/// connection per device.
+#[test]
+fn mux_process_fleet_matches_in_memory_fleet_bit_for_bit() {
+    let spec = FleetSpec {
+        edges: 2,
+        devices_per_edge: 3,
+        frames_per_device: 4,
+        edge: EdgeSpec {
+            retry: quick_retry(),
+            encoding: Some(Encoding::Binary),
+            mux: Some(true),
+            ..EdgeSpec::default()
+        },
+        ..FleetSpec::default()
+    };
+    let reference = run_fleet_in_memory(&spec);
+    let processes = run_fleet_processes(
+        &spec,
+        Path::new(CLOUD_BIN),
+        Path::new(EDGE_BIN),
+        Duration::from_secs(120),
+    )
+    .expect("mux process fleet completes");
+
+    assert_eq!(processes.sessions, reference.sessions);
+    assert_eq!(processes.frames, reference.frames);
+    assert_eq!(processes.uploads, reference.uploads);
+    assert_eq!(processes.uplink_bytes, reference.uplink_bytes);
+    assert_eq!(
+        processes.cloud.connections, 2,
+        "one connection per edge, not per device"
+    );
+    assert_eq!(processes.cloud.aborted, 0);
+    assert_eq!(processes.cloud.refused, 0);
+    assert_eq!(processes.cloud.cloud.sessions, 6);
+    let ids: Vec<u64> = processes.sessions.iter().map(|s| s.session).collect();
+    assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded backpressure
+// ---------------------------------------------------------------------------
+
+/// With its peer stalled, a transport sender must wedge at the bounded
+/// frame queue ([`FRAME_QUEUE_CAP`]) instead of buffering without limit —
+/// and once the reader resumes, every frame arrives in order.
+#[test]
+fn stalled_reader_bounds_in_flight_frames_then_drains() {
+    let (a, b) = memory_pair();
+    let (mut tx, _a_rx) = (Box::new(a) as Box<dyn Transport>).split();
+    let (_b_tx, mut rx) = (Box::new(b) as Box<dyn Transport>).split();
+    const TOTAL: usize = 10 * FRAME_QUEUE_CAP;
+    let sent = Arc::new(AtomicUsize::new(0));
+    let progress = Arc::clone(&sent);
+    let flooder = std::thread::spawn(move || {
+        for i in 0..TOTAL {
+            let frame = u32::try_from(i).expect("small index").to_le_bytes();
+            tx.send(&frame).expect("receiver stays alive");
+            progress.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    // Nobody reads: the flood must stall at the queue bound.
+    std::thread::sleep(Duration::from_millis(300));
+    let in_flight = sent.load(Ordering::SeqCst);
+    assert!(
+        in_flight <= FRAME_QUEUE_CAP + 1,
+        "sender ran {in_flight} frames ahead of a stalled reader (cap {FRAME_QUEUE_CAP})"
+    );
+    assert!(
+        in_flight >= FRAME_QUEUE_CAP / 2,
+        "sender should at least make progress up to the bound, sent {in_flight}"
+    );
+    // Resume reading: the sender unblocks and nothing is lost or reordered.
+    for i in 0..TOTAL {
+        let frame = rx.recv().expect("recv").expect("stream open");
+        let want = u32::try_from(i).expect("small index").to_le_bytes();
+        assert_eq!(&frame[..], &want[..], "frame {i} out of order");
+    }
+    flooder.join().expect("flooder thread");
+}
+
+/// Forwards framed bytes `from` → `to`, freezing once for `stall` after
+/// `stall_after` frames — a slow consumer, not a cut.
+fn copy_frames_stalling(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    stall_after: usize,
+    stall: Duration,
+) {
+    let mut forwarded = 0usize;
+    loop {
+        let mut prefix = [0u8; 4];
+        if from.read_exact(&mut prefix).is_err() {
+            break;
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        let mut payload = vec![0u8; len];
+        if from.read_exact(&mut payload).is_err() {
+            break;
+        }
+        if to
+            .write_all(&prefix)
+            .and_then(|()| to.write_all(&payload))
+            .is_err()
+        {
+            break;
+        }
+        forwarded += 1;
+        if forwarded == stall_after {
+            std::thread::sleep(stall);
+        }
+    }
+}
+
+/// A slow consumer mid-session (the proxy freezes the client→server
+/// direction for 400 ms) must backpressure the edge — bounded buffering,
+/// no reconnect, no loss — and the final report stays bit-identical to
+/// the channel path.
+#[test]
+fn slow_consumer_stall_backpressures_without_losing_frames() {
+    let spec = FleetSpec {
+        edge: EdgeSpec {
+            policy: PolicySpec::CloudOnly,
+            retry: quick_retry(),
+            ..EdgeSpec::default()
+        },
+        ..small_fleet(1, 12)
+    };
+    let (want, _) = run_channel_single(&spec);
+    let mut listener = TcpWireListener::bind("127.0.0.1:0").expect("bind backend");
+    let backend = listener.local_addr();
+    let front = TcpListener::bind("127.0.0.1:0").expect("bind proxy");
+    let proxy = front.local_addr().expect("proxy addr").to_string();
+    std::thread::spawn(move || {
+        for conn in front.incoming() {
+            let Ok(client) = conn else { break };
+            let Ok(server) = TcpStream::connect(&backend) else {
+                break;
+            };
+            let (c2s_c, c2s_s) = (
+                client.try_clone().expect("clone"),
+                server.try_clone().expect("clone"),
+            );
+            std::thread::spawn(move || {
+                copy_frames_stalling(c2s_c, c2s_s, 5, Duration::from_millis(400))
+            });
+            std::thread::spawn(move || copy_frames(server, client, None));
+        }
+    });
+    let cloud_cfg = spec.cloud.build();
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(spec.split.big_model());
+    let opts = ServeOptions {
+        expect_sessions: Some(1),
+        ..ServeOptions::default()
+    };
+    let (report, stats) = std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let stop = AtomicBool::new(false);
+            serve(&mut listener, &cloud_cfg, &big, &opts, &stop)
+        });
+        let remote =
+            RemoteCloud::connect_tcp_with(&proxy, 0, &spec.edge.retry, Encoding::Binary, false)
+                .expect("proxy handshake");
+        let report = run_device_session(&remote, &spec, 0);
+        remote.close();
+        (report, server.join().expect("serve thread"))
+    });
+    assert_eq!(report, want, "stalled wire must not change the report");
+    assert_eq!(stats.connections, 1, "a stall is not a cut: no reconnect");
+    assert_eq!(stats.aborted, 0);
 }
 
 /// `dial_with_backoff` must keep retrying while the listener is still

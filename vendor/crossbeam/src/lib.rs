@@ -1,6 +1,7 @@
 //! Minimal vendored shim of `crossbeam`: the `channel` module with unbounded
-//! MPMC channels and crossbeam's disconnect semantics, built on a
-//! `Mutex<VecDeque>` + `Condvar`.
+//! and bounded MPMC channels and crossbeam's disconnect semantics, built on
+//! a `Mutex<VecDeque>` + two `Condvar`s (one for readers waiting on items,
+//! one for bounded senders waiting on space).
 
 #![forbid(unsafe_code)]
 
@@ -13,10 +14,12 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<State<T>>,
         ready: Condvar,
+        space: Condvar,
     }
 
     struct State<T> {
         items: VecDeque<T>,
+        cap: Option<usize>,
         senders: usize,
         receivers: usize,
     }
@@ -86,15 +89,16 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// Creates an unbounded FIFO channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
+                cap,
                 senders: 1,
                 receivers: 1,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -104,12 +108,43 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Creates a bounded FIFO channel holding at most `cap` queued values.
+    ///
+    /// [`Sender::send`] blocks while the queue is full (and at least one
+    /// receiver is alive), so a slow consumer applies backpressure to its
+    /// producers instead of letting the queue grow without bound. A `cap`
+    /// of zero is rounded up to one (this shim has no rendezvous mode).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
     impl<T> Sender<T> {
         /// Enqueues a value; fails if every receiver has been dropped.
+        ///
+        /// On a [`bounded`] channel this blocks while the queue is full,
+        /// returning only once space frees up (value enqueued) or every
+        /// receiver disappears (value handed back in the error).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            if state.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match state.cap {
+                    Some(cap) if state.items.len() >= cap => {
+                        state = self
+                            .shared
+                            .space
+                            .wait(state)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
             }
             state.items.push_back(value);
             drop(state);
@@ -147,6 +182,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if state.senders == 0 {
@@ -167,6 +204,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if state.senders == 0 {
@@ -189,6 +228,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(v) = state.items.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
                 Ok(v)
             } else if state.senders == 0 {
                 Err(TryRecvError::Disconnected)
@@ -213,6 +254,13 @@ pub mod channel {
         fn drop(&mut self) {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             state.receivers -= 1;
+            let last = state.receivers == 0;
+            drop(state);
+            if last {
+                // Wake bounded senders blocked on space so they observe the
+                // disconnect and fail instead of waiting forever.
+                self.shared.space.notify_all();
+            }
         }
     }
 }
@@ -277,5 +325,57 @@ mod tests {
         }
         h.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_blocks_sender_until_space() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent2 = Arc::clone(&sent);
+        let h = std::thread::spawn(move || {
+            for i in 0..6 {
+                tx.send(i).unwrap();
+                sent2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // With the receiver stalled, exactly `cap` sends complete.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sent.load(Ordering::SeqCst) < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(sent.load(Ordering::SeqCst), 2);
+        // Draining unblocks the sender; FIFO order is preserved.
+        let mut got = Vec::new();
+        for _ in 0..6 {
+            got.push(rx.recv().unwrap());
+        }
+        h.join().unwrap();
+        assert_eq!(got, (0..6).collect::<Vec<_>>());
+        assert_eq!(sent.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn bounded_send_fails_when_receiver_drops_mid_block() {
+        use std::time::Duration;
+
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(0).unwrap();
+        let h = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(30));
+        drop(rx);
+        let res = h.join().unwrap();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn bounded_zero_capacity_rounds_up_to_one() {
+        let (tx, rx) = channel::bounded::<u32>(0);
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv().unwrap(), 9);
     }
 }

@@ -13,6 +13,20 @@
 //! serialize-via-`Value` implementation stays in this crate: it still backs
 //! [`to_string_pretty`] and, under `#[cfg(test)]`, serves as the oracle the
 //! proptest suite pins the streaming output against byte-for-byte.
+//!
+//! **Binary codec.** [`to_vec_binary`]/[`to_vec_binary_into`]/
+//! [`from_slice_binary`] carry the same [`Value`] data model in a compact
+//! self-describing binary form (tag byte per value, LEB128 varints for
+//! integers and lengths, raw little-endian `f64`, a per-message key
+//! dictionary so repeated object keys cost one varint after their first
+//! appearance). It shares the derive machinery end to end — encoding goes
+//! through [`Serialize::to_value`] and decoding through
+//! `Deserialize::from_value` — and mirrors the JSON path's semantics:
+//! non-finite floats are rejected on both encode and decode, and
+//! non-negative `I64`s normalize to `U64` exactly as JSON digit text
+//! re-parses. A binary round trip is therefore a fixpoint after one pass,
+//! and the JSON rendering of a round-tripped tree is byte-identical to the
+//! original's — the property suite pins both.
 
 #![forbid(unsafe_code)]
 
@@ -419,6 +433,332 @@ impl<'a> Parser<'a> {
     }
 }
 
+// ---- binary codec ----
+
+/// Tag bytes for the binary encoding of each [`Value`] variant.
+///
+/// Layout after each tag:
+/// - `NULL`, `FALSE`, `TRUE` — nothing.
+/// - `UINT` — LEB128 varint of the value. Non-negative `I64`s are
+///   normalized here (the JSON path does the same: `5` re-parses as `U64`).
+/// - `NEGINT` — LEB128 varint of the magnitude `m = -(n + 1)`, so `-1`
+///   encodes `m = 0` and `i64::MIN` encodes `m = i64::MAX as u64`.
+/// - `FLOAT` — 8 raw little-endian bytes; non-finite rejected both ways.
+/// - `STRING` — varint byte length + UTF-8 bytes.
+/// - `ARRAY` — varint element count + encoded elements.
+/// - `OBJECT` — varint entry count + (key, value) pairs in `BTreeMap`
+///   (sorted) order. A key is either varint `0` followed by varint length +
+///   UTF-8 bytes (a new key, appended to the message's key dictionary) or
+///   varint `k > 0`, a back-reference to the `k`-th interned key. Repeated
+///   keys — every frame after the first object of a batch, every object in
+///   an array of structs — cost one or two bytes instead of the full text.
+///   The dictionary may start pre-seeded with a static table both sides
+///   agree on out of band ([`to_vec_binary_into_with_dict`](crate::to_vec_binary_into_with_dict)),
+///   making even first-use protocol keys one back-reference byte.
+mod btag {
+    pub const NULL: u8 = 0;
+    pub const FALSE: u8 = 1;
+    pub const TRUE: u8 = 2;
+    pub const UINT: u8 = 3;
+    pub const NEGINT: u8 = 4;
+    pub const FLOAT: u8 = 5;
+    pub const STRING: u8 = 6;
+    pub const ARRAY: u8 = 7;
+    pub const OBJECT: u8 = 8;
+}
+
+/// Serializes a value to compact binary bytes.
+pub fn to_vec_binary<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::new();
+    write_binary_root(&mut out, &value.to_value(), &[])?;
+    Ok(out)
+}
+
+/// Serializes a value into a reusable byte buffer (cleared first, capacity
+/// kept) — the binary sibling of [`to_string_into`] for wire hot paths.
+pub fn to_vec_binary_into<T: Serialize + ?Sized>(
+    out: &mut Vec<u8>,
+    value: &T,
+) -> Result<(), Error> {
+    out.clear();
+    write_binary_root(out, &value.to_value(), &[])
+}
+
+/// Like [`to_vec_binary_into`], but with the key dictionary pre-seeded
+/// from `static_keys` — an HPACK-style static table. Keys in the table
+/// cost one back-reference byte even on first use, instead of their full
+/// text; keys not in the table intern after it exactly as before. The
+/// decoder must be given the identical table
+/// ([`from_slice_binary_with_dict`]): the table is part of the format the
+/// two sides agree on, not discoverable from the bytes.
+///
+/// `static_keys` must not contain duplicates (a duplicate would desync
+/// the encoder's map from the decoder's list; debug builds assert).
+pub fn to_vec_binary_into_with_dict<T: Serialize + ?Sized>(
+    out: &mut Vec<u8>,
+    value: &T,
+    static_keys: &[&str],
+) -> Result<(), Error> {
+    out.clear();
+    write_binary_root(out, &value.to_value(), static_keys)
+}
+
+/// Parses a value from compact binary bytes produced by [`to_vec_binary`].
+pub fn from_slice_binary<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let value = parse_binary_complete(bytes, &[])?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Parses a value encoded with [`to_vec_binary_into_with_dict`] under the
+/// same static key table. Passing a different table than the encoder used
+/// yields garbage keys or an out-of-range back-reference error — never
+/// silent misdecoding of other value kinds.
+pub fn from_slice_binary_with_dict<T: DeserializeOwned>(
+    bytes: &[u8],
+    static_keys: &[&str],
+) -> Result<T, Error> {
+    let value = parse_binary_complete(bytes, static_keys)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn write_binary_root<'a>(
+    out: &mut Vec<u8>,
+    v: &'a Value,
+    static_keys: &'a [&'a str],
+) -> Result<(), Error> {
+    let mut dict = BinaryKeyDict::default();
+    for (i, k) in static_keys.iter().enumerate() {
+        let prev = dict.by_key.insert(k, i as u64 + 1);
+        debug_assert!(prev.is_none(), "duplicate key {k:?} in static dictionary");
+    }
+    write_binary_value(out, v, &mut dict)
+}
+
+/// Encode-side key dictionary: maps already-seen keys to their 1-based
+/// interning index. Lookup only — assignment order is traversal order, so
+/// the encoding is deterministic.
+#[derive(Default)]
+struct BinaryKeyDict<'a> {
+    by_key: std::collections::HashMap<&'a str, u64>,
+}
+
+fn write_varint(out: &mut Vec<u8>, mut n: u64) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn write_binary_value<'a>(
+    out: &mut Vec<u8>,
+    v: &'a Value,
+    dict: &mut BinaryKeyDict<'a>,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push(btag::NULL),
+        Value::Bool(false) => out.push(btag::FALSE),
+        Value::Bool(true) => out.push(btag::TRUE),
+        Value::U64(n) => {
+            out.push(btag::UINT);
+            write_varint(out, *n);
+        }
+        Value::I64(n) if *n >= 0 => {
+            out.push(btag::UINT);
+            write_varint(out, *n as u64);
+        }
+        Value::I64(n) => {
+            out.push(btag::NEGINT);
+            // Two's complement: `!n == -(n + 1)`, a non-negative magnitude.
+            write_varint(out, (!*n) as u64);
+        }
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error::new(
+                    "binary codec cannot represent non-finite numbers",
+                ));
+            }
+            out.push(btag::FLOAT);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(btag::STRING);
+            write_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(btag::ARRAY);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                write_binary_value(out, item, dict)?;
+            }
+        }
+        Value::Object(map) => {
+            out.push(btag::OBJECT);
+            write_varint(out, map.len() as u64);
+            for (k, item) in map {
+                match dict.by_key.get(k.as_str()) {
+                    Some(&idx) => write_varint(out, idx),
+                    None => {
+                        let idx = dict.by_key.len() as u64 + 1;
+                        dict.by_key.insert(k.as_str(), idx);
+                        write_varint(out, 0);
+                        write_varint(out, k.len() as u64);
+                        out.extend_from_slice(k.as_bytes());
+                    }
+                }
+                write_binary_value(out, item, dict)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_binary_complete(bytes: &[u8], static_keys: &[&str]) -> Result<Value, Error> {
+    let mut p = BinaryParser {
+        bytes,
+        pos: 0,
+        keys: static_keys.iter().map(|k| k.to_string()).collect(),
+    };
+    let v = p.parse_value()?;
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing bytes at offset {} of binary value",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct BinaryParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    keys: Vec<String>,
+}
+
+impl<'a> BinaryParser<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn byte(&mut self) -> Result<u8, Error> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| Error::new("truncated binary value"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos.checked_add(n).ok_or_else(length_overflow)?)
+            .ok_or_else(|| Error::new("truncated binary value"))?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn varint(&mut self) -> Result<u64, Error> {
+        let mut n: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.byte()?;
+            let chunk = (byte & 0x7f) as u64;
+            if shift == 63 && chunk > 1 {
+                return Err(Error::new("varint overflows u64"));
+            }
+            n |= chunk << shift;
+            if byte & 0x80 == 0 {
+                return Ok(n);
+            }
+        }
+        Err(Error::new("varint longer than 10 bytes"))
+    }
+
+    fn length(&mut self) -> Result<usize, Error> {
+        let n = self.varint()?;
+        usize::try_from(n).map_err(|_| length_overflow())
+    }
+
+    fn utf8(&mut self, len: usize) -> Result<String, Error> {
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_string)
+            .map_err(|e| Error::new(format!("invalid UTF-8 in binary string: {e}")))
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.byte()? {
+            btag::NULL => Ok(Value::Null),
+            btag::FALSE => Ok(Value::Bool(false)),
+            btag::TRUE => Ok(Value::Bool(true)),
+            btag::UINT => Ok(Value::U64(self.varint()?)),
+            btag::NEGINT => {
+                let m = self.varint()?;
+                let m = i64::try_from(m)
+                    .map_err(|_| Error::new(format!("negative integer magnitude {m} overflows")))?;
+                Ok(Value::I64(!m))
+            }
+            btag::FLOAT => {
+                let raw: [u8; 8] = self.take(8)?.try_into().expect("take(8) yields 8 bytes");
+                let x = f64::from_le_bytes(raw);
+                if !x.is_finite() {
+                    return Err(Error::new(
+                        "binary codec cannot represent non-finite numbers",
+                    ));
+                }
+                Ok(Value::F64(x))
+            }
+            btag::STRING => {
+                let len = self.length()?;
+                Ok(Value::String(self.utf8(len)?))
+            }
+            btag::ARRAY => {
+                let count = self.length()?;
+                // Every element costs at least a tag byte, so `remaining`
+                // bounds a hostile count before any allocation.
+                let mut items = Vec::with_capacity(count.min(self.remaining()));
+                for _ in 0..count {
+                    items.push(self.parse_value()?);
+                }
+                Ok(Value::Array(items))
+            }
+            btag::OBJECT => {
+                let count = self.length()?;
+                let mut map = BTreeMap::new();
+                for _ in 0..count {
+                    let key = match self.varint()? {
+                        0 => {
+                            let len = self.length()?;
+                            let key = self.utf8(len)?;
+                            self.keys.push(key.clone());
+                            key
+                        }
+                        idx => self.keys.get(idx as usize - 1).cloned().ok_or_else(|| {
+                            Error::new(format!("key back-reference {idx} out of range"))
+                        })?,
+                    };
+                    let value = self.parse_value()?;
+                    map.insert(key, value);
+                }
+                Ok(Value::Object(map))
+            }
+            other => Err(Error::new(format!(
+                "unknown binary tag {other} at offset {}",
+                self.pos - 1
+            ))),
+        }
+    }
+}
+
+fn length_overflow() -> Error {
+    Error::new("binary length overflows usize")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,29 +820,18 @@ mod tests {
     }
 }
 
-/// Byte-identity suite: the streaming serializer against the original
-/// serialize-via-`Value` implementation ([`to_string_via_value`]), which
-/// stays in this crate as the oracle.
+/// Seeded generators shared by the equivalence and binary-codec suites,
+/// biased toward the tricky spots: integer extremes, float edge cases,
+/// escape-heavy strings, empty and nested containers.
 #[cfg(test)]
-mod stream_equivalence_tests {
-    use super::*;
-    use proptest::prelude::*;
+mod stream_equivalence_tests_generators {
+    use super::Value;
     use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn assert_stream_matches_oracle<T: Serialize + ?Sized + std::fmt::Debug>(value: &T) {
-        let stream = to_string(value);
-        let oracle = to_string_via_value(value);
-        match (stream, oracle) {
-            (Ok(s), Ok(o)) => assert_eq!(s, o, "streaming vs Value-tree for {value:?}"),
-            (Err(_), Err(_)) => {}
-            (s, o) => panic!("paths disagree on fallibility for {value:?}: {s:?} vs {o:?}"),
-        }
-    }
+    use rand::Rng;
 
     /// Random string mixing plain ASCII, every escape class, control
     /// characters and multi-byte UTF-8.
-    fn arb_string(rng: &mut StdRng) -> String {
+    pub fn arb_string(rng: &mut StdRng) -> String {
         const POOL: &[&str] = &[
             "a", "Z", "0", " ", "\"", "\\", "\n", "\r", "\t", "\u{1}", "\u{b}", "\u{1f}", "/", "é",
             "日", "🦀", "\u{7f}", "-", "{", "}", "[", "]", ":", ",",
@@ -513,7 +842,7 @@ mod stream_equivalence_tests {
             .collect()
     }
 
-    fn arb_f64(rng: &mut StdRng) -> f64 {
+    pub fn arb_f64(rng: &mut StdRng) -> f64 {
         match rng.gen_range(0..8) {
             0 => 0.0,
             1 => -0.0,
@@ -526,10 +855,8 @@ mod stream_equivalence_tests {
         }
     }
 
-    /// Recursive random `Value`, biased toward the tricky spots: integer
-    /// extremes, float edge cases, escape-heavy strings, empty and nested
-    /// containers.
-    fn arb_value(rng: &mut StdRng, depth: usize) -> Value {
+    /// Recursive random `Value` tree.
+    pub fn arb_value(rng: &mut StdRng, depth: usize) -> Value {
         let pick = if depth == 0 {
             rng.gen_range(0..6) // leaves only
         } else {
@@ -562,6 +889,28 @@ mod stream_equivalence_tests {
                         .collect(),
                 )
             }
+        }
+    }
+}
+
+/// Byte-identity suite: the streaming serializer against the original
+/// serialize-via-`Value` implementation ([`to_string_via_value`]), which
+/// stays in this crate as the oracle.
+#[cfg(test)]
+mod stream_equivalence_tests {
+    use super::stream_equivalence_tests_generators::{arb_f64, arb_string, arb_value};
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_stream_matches_oracle<T: Serialize + ?Sized + std::fmt::Debug>(value: &T) {
+        let stream = to_string(value);
+        let oracle = to_string_via_value(value);
+        match (stream, oracle) {
+            (Ok(s), Ok(o)) => assert_eq!(s, o, "streaming vs Value-tree for {value:?}"),
+            (Err(_), Err(_)) => {}
+            (s, o) => panic!("paths disagree on fallibility for {value:?}: {s:?} vs {o:?}"),
         }
     }
 
@@ -745,5 +1094,303 @@ mod stream_equivalence_tests {
             to_string(&Mixed::Named { y: 1, x: vec![] }).unwrap(),
             "{\"Named\":{\"x\":[],\"y\":1}}"
         );
+    }
+}
+
+/// Binary codec suite: round trips pinned against the JSON tree serializer
+/// as the semantic oracle — a binary round trip must preserve exactly the
+/// JSON meaning of the tree (byte-identical re-serialization), reach a
+/// fixpoint after one pass, and reject the same values JSON rejects.
+#[cfg(test)]
+mod binary_codec_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    // Reuse the equivalence suite's biased generators.
+    use super::stream_equivalence_tests_generators::{arb_string, arb_value};
+
+    fn binary_round_trip(v: &Value) -> Value {
+        let bytes = to_vec_binary(v).expect("finite tree encodes");
+        from_slice_binary::<Value>(&bytes).expect("own encoding decodes")
+    }
+
+    /// The JSON rendering of a tree, used as the semantic oracle: two trees
+    /// that render identically are the same value on the wire.
+    fn json_meaning(v: &Value) -> String {
+        to_string_via_value(v).expect("finite tree renders")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Arbitrary trees survive a binary round trip with their JSON
+        /// meaning intact, and a second round trip is the identity (the only
+        /// re-typing is non-negative `I64` → `U64`, applied on pass one).
+        #[test]
+        fn round_trip_preserves_json_meaning(seed in proptest::prelude::any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = arb_value(&mut rng, 4);
+            match to_vec_binary(&v) {
+                Ok(bytes) => {
+                    let back = from_slice_binary::<Value>(&bytes).unwrap();
+                    prop_assert_eq!(json_meaning(&back), json_meaning(&v));
+                    let twice = binary_round_trip(&back);
+                    prop_assert_eq!(&twice, &back);
+                    // Re-encoding the normalized tree is byte-identical.
+                    prop_assert_eq!(to_vec_binary(&back).unwrap(), bytes);
+                }
+                // Encode fails only where JSON also fails: non-finite f64.
+                Err(_) => prop_assert!(to_string_via_value(&v).is_err()),
+            }
+        }
+
+        /// Strings with every escape class and multi-byte UTF-8 round-trip
+        /// exactly (no escaping exists in the binary form to get wrong).
+        #[test]
+        fn strings_round_trip(seed in proptest::prelude::any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let s = arb_string(&mut rng);
+            let bytes = to_vec_binary(&s).unwrap();
+            prop_assert_eq!(from_slice_binary::<String>(&bytes).unwrap(), s);
+        }
+
+        /// Truncating an encoding at any point errors rather than panicking
+        /// or mis-decoding (the decoder sees hostile input off the wire).
+        #[test]
+        fn truncation_always_errors(seed in proptest::prelude::any::<u64>()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = arb_value(&mut rng, 3);
+            if let Ok(bytes) = to_vec_binary(&v) {
+                for cut in 0..bytes.len() {
+                    prop_assert!(from_slice_binary::<Value>(&bytes[..cut]).is_err());
+                }
+            }
+        }
+
+        /// A pre-seeded static key table changes the bytes but never the
+        /// meaning, for any tree — including trees whose keys aren't in the
+        /// table at all (their interned indices shift past the table).
+        #[test]
+        fn static_dict_round_trip_preserves_json_meaning(seed in proptest::prelude::any::<u64>()) {
+            const TABLE: &[&str] = &["id", "objects", "bbox", "score", "a", "b"];
+            let mut rng = StdRng::seed_from_u64(seed);
+            let v = arb_value(&mut rng, 4);
+            let mut bytes = Vec::new();
+            if to_vec_binary_into_with_dict(&mut bytes, &v, TABLE).is_ok() {
+                let back = from_slice_binary_with_dict::<Value>(&bytes, TABLE).unwrap();
+                prop_assert_eq!(json_meaning(&back), json_meaning(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn static_dict_saves_first_use_key_bytes() {
+        const TABLE: &[&str] = &["id", "score", "bbox"];
+        let v: Value = from_str(r#"{"bbox":{"id":2},"id":1,"score":0.5}"#).unwrap();
+        let plain = to_vec_binary(&v).unwrap();
+        let mut seeded = Vec::new();
+        to_vec_binary_into_with_dict(&mut seeded, &v, TABLE).unwrap();
+        // Every key is in the table: each first use shrinks from
+        // `0, len, text` to a single back-reference byte.
+        let key_text_bytes: usize = TABLE.iter().map(|k| 2 + k.len()).sum();
+        assert_eq!(seeded.len(), plain.len() - key_text_bytes + TABLE.len());
+        let back: Value = from_slice_binary_with_dict(&seeded, TABLE).unwrap();
+        assert_eq!(json_meaning(&back), json_meaning(&v));
+        // Decoding under the wrong (empty) table must not silently yield
+        // the same value: back-references land out of range.
+        assert!(from_slice_binary::<Value>(&seeded).is_err());
+    }
+
+    #[test]
+    fn integer_extremes_round_trip_exactly() {
+        for n in [0u64, 1, 127, 128, u64::MAX - 1, u64::MAX] {
+            let bytes = to_vec_binary(&n).unwrap();
+            assert_eq!(from_slice_binary::<u64>(&bytes).unwrap(), n);
+        }
+        for n in [i64::MIN, i64::MIN + 1, -129, -128, -1, 0, i64::MAX] {
+            let bytes = to_vec_binary(&n).unwrap();
+            assert_eq!(from_slice_binary::<i64>(&bytes).unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn nonnegative_i64_normalizes_to_u64_like_json() {
+        let bytes = to_vec_binary(&Value::I64(42)).unwrap();
+        assert_eq!(from_slice_binary::<Value>(&bytes).unwrap(), Value::U64(42));
+        // …and encodes identically to the U64 it means.
+        assert_eq!(bytes, to_vec_binary(&Value::U64(42)).unwrap());
+    }
+
+    #[test]
+    fn non_finite_floats_error_on_encode_and_decode() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(to_vec_binary(&x).is_err());
+            assert!(to_vec_binary(&vec![1.0, x]).is_err());
+            let mut buf = Vec::new();
+            assert!(to_vec_binary_into(&mut buf, &Some(x)).is_err());
+            // Hand-built hostile frame: FLOAT tag + non-finite bits.
+            let mut raw = vec![super::btag::FLOAT];
+            raw.extend_from_slice(&x.to_le_bytes());
+            assert!(from_slice_binary::<Value>(&raw).is_err());
+        }
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        let mut v = Value::U64(7);
+        for i in 0..200 {
+            v = if i % 2 == 0 {
+                Value::Array(vec![v])
+            } else {
+                let mut m = BTreeMap::new();
+                m.insert("k".to_string(), v);
+                Value::Object(m)
+            };
+        }
+        let bytes = to_vec_binary(&v).unwrap();
+        assert_eq!(from_slice_binary::<Value>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn key_dictionary_compresses_repeated_keys() {
+        // An array of identical structs: keys are written once, then cost a
+        // one-byte back-reference per object.
+        let obj = |n: u64| {
+            let mut m = BTreeMap::new();
+            m.insert("difficulty".to_string(), Value::F64(0.5));
+            m.insert("texture_seed".to_string(), Value::U64(n));
+            Value::Object(m)
+        };
+        let many = Value::Array((0..16).map(obj).collect());
+        let bytes = to_vec_binary(&many).unwrap();
+        let json = to_string(&many).unwrap();
+        assert!(
+            bytes.len() * 2 < json.len(),
+            "expected <0.5x JSON on key-heavy data: {} vs {}",
+            bytes.len(),
+            json.len()
+        );
+        assert_eq!(from_slice_binary::<Value>(&bytes).unwrap(), many);
+    }
+
+    #[test]
+    fn hostile_inputs_error_cleanly() {
+        // Unknown tag.
+        assert!(from_slice_binary::<Value>(&[99]).is_err());
+        // Empty input.
+        assert!(from_slice_binary::<Value>(&[]).is_err());
+        // Trailing bytes after a complete value.
+        assert!(from_slice_binary::<Value>(&[super::btag::NULL, 0]).is_err());
+        // Varint longer than a u64 (11 continuation bytes).
+        let long = [
+            super::btag::UINT,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x80,
+            0x01,
+        ];
+        assert!(from_slice_binary::<Value>(&long).is_err());
+        // Varint that overflows u64 in the 10th byte.
+        let overflow = [
+            super::btag::UINT,
+            0xff,
+            0xff,
+            0xff,
+            0xff,
+            0xff,
+            0xff,
+            0xff,
+            0xff,
+            0xff,
+            0x7f,
+        ];
+        assert!(from_slice_binary::<Value>(&overflow).is_err());
+        // Negative-int magnitude beyond i64::MAX.
+        let mut too_neg = vec![super::btag::NEGINT];
+        super::write_varint(&mut too_neg, u64::MAX);
+        assert!(from_slice_binary::<Value>(&too_neg).is_err());
+        // String length pointing past the end of input.
+        assert!(from_slice_binary::<Value>(&[super::btag::STRING, 0x20, b'x']).is_err());
+        // Hostile array count with no elements behind it.
+        let mut huge = vec![super::btag::ARRAY];
+        super::write_varint(&mut huge, u64::MAX / 2);
+        assert!(from_slice_binary::<Value>(&huge).is_err());
+        // Key back-reference into an empty dictionary.
+        let mut badref = vec![super::btag::OBJECT];
+        super::write_varint(&mut badref, 1);
+        super::write_varint(&mut badref, 7); // reference, but nothing interned
+        badref.push(super::btag::NULL);
+        assert!(from_slice_binary::<Value>(&badref).is_err());
+        // Invalid UTF-8 in a string body.
+        assert!(from_slice_binary::<Value>(&[super::btag::STRING, 2, 0xff, 0xfe]).is_err());
+    }
+
+    // ---- derived structs and enums through the binary path ----
+
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Extremes {
+        big: u64,
+        small: i64,
+        text: String,
+        maybe: Option<f64>,
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Unit,
+        New(u64),
+        Tuple(i32, String),
+        Named { a: Vec<f64>, b: bool },
+    }
+
+    #[test]
+    fn derived_struct_round_trips_exactly() {
+        let v = Extremes {
+            big: u64::MAX,
+            small: i64::MIN,
+            text: "a\"b\\c\nd\te\u{1}é日🦀".to_string(),
+            maybe: None,
+        };
+        let bytes = to_vec_binary(&v).unwrap();
+        assert_eq!(from_slice_binary::<Extremes>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn derived_enum_variants_round_trip() {
+        for v in [
+            Shape::Unit,
+            Shape::New(u64::MAX),
+            Shape::Tuple(-3, "x\ty".to_string()),
+            Shape::Named {
+                a: vec![0.25, -1.5],
+                b: true,
+            },
+        ] {
+            let bytes = to_vec_binary(&v).unwrap();
+            assert_eq!(from_slice_binary::<Shape>(&bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_clears_and_keeps_capacity() {
+        let mut buf = vec![1u8, 2, 3];
+        to_vec_binary_into(&mut buf, &vec![1u32, 2, 3]).unwrap();
+        let first = buf.clone();
+        assert_eq!(from_slice_binary::<Vec<u32>>(&first).unwrap(), [1, 2, 3]);
+        let cap = buf.capacity();
+        to_vec_binary_into(&mut buf, &9u32).unwrap();
+        assert_eq!(from_slice_binary::<u32>(&buf).unwrap(), 9);
+        assert!(buf.capacity() >= cap.min(buf.len()));
     }
 }
