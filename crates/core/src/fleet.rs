@@ -1,0 +1,1011 @@
+//! Fleet-scale engine: an event-driven virtual-time core that carries
+//! 10⁵–10⁶ heterogeneous edge sessions in one process, plus the seeded
+//! population layer that generates them.
+//!
+//! # Why not threads
+//!
+//! The thread-per-component deployment ([`CloudServer::spawn`] +
+//! [`crate::EdgeSession`]) is the right shape for a handful of edges: each
+//! session blocks on its own channel, the cloud worker drains one queue,
+//! and determinism follows from virtual time. It is structurally wrong at
+//! population scale — 10⁵ OS threads and 3×10⁵ channels buy nothing when
+//! time is virtual anyway. The fleet engine keeps the exact same state
+//! machines ([`EdgeMachine`] per session, [`CloudMachine`] per cloud
+//! shard) but drives them **inline** from a central event queue keyed on
+//! each session's next frame time. No session threads, no channels: a
+//! session is ~1 KB of state in a `Vec`, created at its first frame and
+//! dropped after its last.
+//!
+//! # Determinism and the facade contract
+//!
+//! Both runtimes execute the *same* per-session code against the same
+//! [`CloudPort`] seam, and the event queue replays the exact message
+//! order a thread-per-session deployment would produce (each frame is
+//! submitted and resolved depth-1, in planned arrival order, ties broken
+//! by session id). [`run_fleet_sessions`] (event core) and
+//! [`run_fleet_reference`] (real threads + channels over the public API)
+//! therefore return **bit-identical** per-session reports and cloud
+//! stats — pinned by `tests/fleet.rs` and re-asserted by the bench's
+//! `fleet` section before any timing.
+//!
+//! # Population layer
+//!
+//! [`FleetSpec`] describes a population, not individual sessions: weighted
+//! device/link/policy/deadline mixes, Zipf-skewed tenant sizes, and an
+//! arrival curve ([`ArrivalCurve::Diurnal`] rides
+//! [`LinkTrace::diurnal_ramp`]'s capacity shape through its cumulative
+//! integral, so arrivals crowd the peaks and thin out mid-trough).
+//! [`Population::generate`] expands the spec with a single seeded RNG into
+//! compact [`PlannedSession`]s (~32 bytes each — 1 M sessions plan in
+//! ~32 MB); everything heavier is materialized lazily at the session's
+//! first frame. The same seed always yields the same population, the same
+//! schedule, and the same [`FleetReport`], bit for bit.
+
+use crate::scheduler::SchedulerSlot;
+use crate::server::{
+    AnswerTx, CloudConfig, CloudMachine, CloudPort, CloudServer, CloudStats, EdgeMachine,
+    FrameResult, ProbeReply, ProbeTx, SessionConfig, SessionReport, ToCloud, UploadSizeCache,
+};
+use crate::strategies::{OffloadPolicy, Policy};
+use crate::DifficultCaseDiscriminator;
+use bytes::Bytes;
+use datagen::{Dataset, DatasetProfile, Scene, SplitId};
+use modelzoo::{Detector, ModelKind, SimDetector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simnet::{DeviceModel, LinkModel, LinkTrace};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Classes in the fleet's synthetic monitoring workload (HELMET-like:
+/// person, helmet).
+const NUM_CLASSES: usize = 2;
+
+/// Fixed deadline grid (seconds) the deadline-miss curve is evaluated on.
+const MISS_GRID: [f64; 11] = [0.05, 0.075, 0.1, 0.15, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0];
+
+/// When new sessions start over the arrival window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalCurve {
+    /// Constant arrival intensity over `[0, horizon_s)`.
+    Uniform,
+    /// Arrival intensity follows a raised-cosine diurnal capacity curve
+    /// ([`LinkTrace::diurnal_ramp`]): dense at period boundaries (peak
+    /// hours), sparse mid-period (`floor_scale` of peak intensity).
+    Diurnal {
+        /// Length of one diurnal period, seconds.
+        period_s: f64,
+        /// Trough intensity as a fraction of peak, in `(0, 1]`.
+        floor_scale: f64,
+    },
+}
+
+/// Offload policy archetypes a fleet mixes over (instantiated per
+/// session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetPolicy {
+    /// The paper's difficult-case discriminator (paper thresholds).
+    Discriminator,
+    /// Upload everything.
+    CloudOnly,
+    /// Upload nothing.
+    EdgeOnly,
+}
+
+/// One weighted entry of a fleet's device mix.
+#[derive(Debug, Clone)]
+pub struct DeviceChoice {
+    /// Relative weight (any positive scale).
+    pub weight: f64,
+    /// The edge device model.
+    pub device: DeviceModel,
+}
+
+/// One weighted entry of a fleet's link mix.
+#[derive(Debug, Clone)]
+pub struct LinkChoice {
+    /// Relative weight (any positive scale).
+    pub weight: f64,
+    /// The session's static link model.
+    pub link: LinkModel,
+    /// Optional dynamic schedule over the link (`None` = static fast
+    /// path).
+    pub trace: Option<LinkTrace>,
+}
+
+/// One weighted entry of a fleet's policy mix.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyChoice {
+    /// Relative weight (any positive scale).
+    pub weight: f64,
+    /// The policy archetype.
+    pub policy: FleetPolicy,
+}
+
+/// One weighted entry of a fleet's deadline mix.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineChoice {
+    /// Relative weight (any positive scale).
+    pub weight: f64,
+    /// Per-frame latency deadline, `None` = best-effort.
+    pub deadline_s: Option<f64>,
+}
+
+/// A seeded description of a whole fleet: how many sessions, who they
+/// are (device/link/policy/deadline mixes), which tenant they belong to
+/// (Zipf-skewed), when they arrive, and what cloud they share.
+///
+/// Construct with [`FleetSpec::new`] and override fields; every run
+/// function is a pure function of the spec, so the same spec always
+/// reproduces the same [`FleetReport`].
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of sessions in the population.
+    pub sessions: usize,
+    /// Number of tenants sessions are assigned to (Zipf-skewed sizes).
+    pub tenants: usize,
+    /// Zipf exponent for tenant sizes (`0` = uniform; larger = more
+    /// skew).
+    pub zipf_exponent: f64,
+    /// Frames every session submits.
+    pub frames_per_session: u32,
+    /// Virtual seconds between a session's consecutive frames.
+    pub frame_interval_s: f64,
+    /// Shape of the arrival intensity over the window.
+    pub arrival: ArrivalCurve,
+    /// Length of the arrival window: every session starts in
+    /// `[0, horizon_s)`. Sessions whose frames outlast the window keep
+    /// running — overlap is what makes the fleet *concurrent*.
+    pub horizon_s: f64,
+    /// Weighted edge-device mix.
+    pub device_mix: Vec<DeviceChoice>,
+    /// Weighted link mix (entries may carry a dynamic trace).
+    pub link_mix: Vec<LinkChoice>,
+    /// Weighted offload-policy mix.
+    pub policy_mix: Vec<PolicyChoice>,
+    /// Weighted deadline mix.
+    pub deadline_mix: Vec<DeadlineChoice>,
+    /// Resolution frames are rendered at for upload sizing.
+    pub frame_size: (usize, usize),
+    /// Distinct synthetic scenes the fleet cycles through (shared
+    /// `Arc<Scene>`s; per-session offset decorrelates neighbours).
+    pub scene_pool: usize,
+    /// Cloud shards; session `i` is served by shard `i % shards`. Each
+    /// shard is an independent [`CloudMachine`] with a derived seed.
+    pub shards: usize,
+    /// Per-shard cloud configuration (seed is xored with the shard id).
+    pub cloud: CloudConfig,
+    /// Master seed: population draws, scene generation, and every
+    /// per-session RNG stream derive from it.
+    pub seed: u64,
+}
+
+impl FleetSpec {
+    /// A heterogeneous default fleet of `sessions` sessions: Jetson
+    /// edges over a wlan/fast-wifi/cellular link mix (one slice traced
+    /// through a diurnal bandwidth ramp), discriminator-heavy policy
+    /// mix, half the fleet under a 500 ms deadline, 20 Zipf(1.1)
+    /// tenants, and diurnal arrivals over a 60 s window. Frame cadence
+    /// (8 frames, 20 s apart) makes session lifetimes span the window,
+    /// so the whole population is live concurrently mid-run.
+    ///
+    /// The cloud is *provisioned to the population*: shards scale as
+    /// `sessions / 1024` (clamped to `[4, 64]`) so per-shard offered
+    /// load stays near capacity instead of drowning at scale, and
+    /// admission control is on (`queue_limit: Some(64)`) so transient
+    /// overload sheds to the edge-local answer rather than queueing
+    /// unboundedly — deadline-miss curves then measure the control
+    /// plane, not an unbounded backlog.
+    pub fn new(sessions: usize) -> FleetSpec {
+        FleetSpec {
+            sessions,
+            tenants: 20,
+            zipf_exponent: 1.1,
+            frames_per_session: 8,
+            frame_interval_s: 20.0,
+            arrival: ArrivalCurve::Diurnal {
+                period_s: 30.0,
+                floor_scale: 0.25,
+            },
+            horizon_s: 60.0,
+            device_mix: vec![DeviceChoice {
+                weight: 1.0,
+                device: DeviceModel::jetson_nano(),
+            }],
+            link_mix: vec![
+                LinkChoice {
+                    weight: 0.5,
+                    link: LinkModel::wlan(),
+                    trace: None,
+                },
+                LinkChoice {
+                    weight: 0.3,
+                    link: LinkModel::fast_wifi(),
+                    trace: None,
+                },
+                LinkChoice {
+                    weight: 0.2,
+                    link: LinkModel::cellular(),
+                    trace: Some(LinkTrace::diurnal_ramp(30.0, 0.4, 12, 8)),
+                },
+            ],
+            policy_mix: vec![
+                PolicyChoice {
+                    weight: 0.7,
+                    policy: FleetPolicy::Discriminator,
+                },
+                PolicyChoice {
+                    weight: 0.2,
+                    policy: FleetPolicy::CloudOnly,
+                },
+                PolicyChoice {
+                    weight: 0.1,
+                    policy: FleetPolicy::EdgeOnly,
+                },
+            ],
+            deadline_mix: vec![
+                DeadlineChoice {
+                    weight: 0.5,
+                    deadline_s: None,
+                },
+                DeadlineChoice {
+                    weight: 0.5,
+                    deadline_s: Some(0.5),
+                },
+            ],
+            frame_size: (96, 96),
+            scene_pool: 32,
+            shards: (sessions / 1024).clamp(4, 64),
+            cloud: CloudConfig {
+                queue_limit: Some(64),
+                ..CloudConfig::default()
+            },
+            seed: 0xf1ee7,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.sessions > 0, "a fleet needs at least one session");
+        assert!(
+            self.sessions <= u32::MAX as usize,
+            "session ids are u32 in the planner"
+        );
+        assert!(self.tenants > 0, "a fleet needs at least one tenant");
+        assert!(self.zipf_exponent >= 0.0, "zipf exponent must be >= 0");
+        assert!(self.frames_per_session >= 1, "sessions need >= 1 frame");
+        assert!(self.frame_interval_s > 0.0, "frame interval must be > 0");
+        assert!(self.horizon_s > 0.0, "arrival window must be > 0");
+        assert!(self.scene_pool > 0, "scene pool must be non-empty");
+        assert!(self.shards >= 1, "need at least one cloud shard");
+        for (name, n) in [
+            ("device", self.device_mix.len()),
+            ("link", self.link_mix.len()),
+            ("policy", self.policy_mix.len()),
+            ("deadline", self.deadline_mix.len()),
+        ] {
+            assert!(n > 0, "{name} mix must be non-empty");
+            assert!(n <= 256, "{name} mix indexes as u8 (max 256 entries)");
+        }
+        if let Some(autoscale) = &self.cloud.autoscale {
+            autoscale.assert_valid();
+        }
+    }
+
+    /// The cloud configuration shard `shard` runs with (derived seed).
+    fn shard_config(&self, shard: usize) -> CloudConfig {
+        let mut cfg = self.cloud.clone();
+        cfg.seed ^= (shard as u64) << 32;
+        cfg
+    }
+
+    /// Materializes the full [`SessionConfig`] for one planned session.
+    fn session_config(&self, p: &PlannedSession, index: usize) -> SessionConfig {
+        let link = &self.link_mix[p.link as usize];
+        let mut cfg = SessionConfig::new(NUM_CLASSES);
+        cfg.edge = self.device_mix[p.device as usize].device.clone();
+        cfg.link = link.link.clone();
+        cfg.link_trace = link.trace.clone();
+        cfg.frame_size = self.frame_size;
+        cfg.seed = session_seed(self.seed, index);
+        cfg.deadline_s = self.deadline_mix[p.deadline as usize].deadline_s;
+        cfg
+    }
+
+    fn build_policy(&self, p: &PlannedSession) -> Box<dyn OffloadPolicy> {
+        match self.policy_mix[p.policy as usize].policy {
+            FleetPolicy::Discriminator => {
+                Box::new(Policy::DifficultCase(DifficultCaseDiscriminator::default()))
+            }
+            FleetPolicy::CloudOnly => Box::new(Policy::CloudOnly),
+            FleetPolicy::EdgeOnly => Box::new(Policy::EdgeOnly),
+        }
+    }
+}
+
+/// Per-session RNG seed: decorrelates neighbouring sessions while staying
+/// a pure function of `(master seed, session index)`.
+fn session_seed(master: u64, index: usize) -> u64 {
+    master ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The compact plan for one session — everything the engine needs to
+/// materialize it at its first frame, as mix indexes (~32 bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedSession {
+    /// Virtual time of the session's first frame.
+    pub start_s: f64,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Frames this session submits.
+    pub frames: u32,
+    /// Index into [`FleetSpec::device_mix`].
+    pub device: u8,
+    /// Index into [`FleetSpec::link_mix`].
+    pub link: u8,
+    /// Index into [`FleetSpec::policy_mix`].
+    pub policy: u8,
+    /// Index into [`FleetSpec::deadline_mix`].
+    pub deadline: u8,
+}
+
+/// The expanded population: one [`PlannedSession`] per session, in
+/// session-id order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    /// Planned sessions, indexed by session id.
+    pub sessions: Vec<PlannedSession>,
+}
+
+/// Cumulative weights for a categorical draw by binary search.
+fn cumulative(weights: impl Iterator<Item = f64>) -> Vec<f64> {
+    let mut acc = 0.0;
+    let cum: Vec<f64> = weights
+        .map(|w| {
+            assert!(w.is_finite() && w > 0.0, "mix weights must be positive");
+            acc += w;
+            acc
+        })
+        .collect();
+    cum
+}
+
+fn draw(cum: &[f64], rng: &mut StdRng) -> usize {
+    let total = *cum.last().expect("non-empty mix");
+    let r = rng.gen::<f64>() * total;
+    cum.partition_point(|&c| c <= r).min(cum.len() - 1)
+}
+
+impl Population {
+    /// Expands a spec into its planned sessions.
+    ///
+    /// All draws come from one RNG seeded by `spec.seed`, in a fixed
+    /// per-session order (tenant, device, link, policy, deadline,
+    /// arrival), so the population is reproducible and two specs
+    /// differing only in, say, `shards` plan identical sessions. Start
+    /// times are stratified through the arrival curve's inverse
+    /// cumulative intensity: session `i` lands in the `i`-th of
+    /// `sessions` equal-mass slots (jittered within it), which keeps
+    /// arrival order equal to id order and the empirical curve tight to
+    /// the spec even for small fleets.
+    pub fn generate(spec: &FleetSpec) -> Population {
+        spec.validate();
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x907a_7e0f);
+        let tenant_cum =
+            cumulative((0..spec.tenants).map(|t| ((t + 1) as f64).powf(-spec.zipf_exponent)));
+        let device_cum = cumulative(spec.device_mix.iter().map(|c| c.weight));
+        let link_cum = cumulative(spec.link_mix.iter().map(|c| c.weight));
+        let policy_cum = cumulative(spec.policy_mix.iter().map(|c| c.weight));
+        let deadline_cum = cumulative(spec.deadline_mix.iter().map(|c| c.weight));
+        let arrival_trace = match spec.arrival {
+            ArrivalCurve::Uniform => None,
+            ArrivalCurve::Diurnal {
+                period_s,
+                floor_scale,
+            } => {
+                let periods = ((spec.horizon_s / period_s).ceil() as usize).max(1);
+                Some(LinkTrace::diurnal_ramp(period_s, floor_scale, 48, periods))
+            }
+        };
+        let total_mass = match &arrival_trace {
+            None => spec.horizon_s,
+            Some(trace) => trace.cumulative_scale(spec.horizon_s),
+        };
+        let n = spec.sessions;
+        let sessions = (0..n)
+            .map(|i| {
+                let tenant = draw(&tenant_cum, &mut rng) as u32;
+                let device = draw(&device_cum, &mut rng) as u8;
+                let link = draw(&link_cum, &mut rng) as u8;
+                let policy = draw(&policy_cum, &mut rng) as u8;
+                let deadline = draw(&deadline_cum, &mut rng) as u8;
+                let mass = (i as f64 + rng.gen::<f64>()) / n as f64 * total_mass;
+                let start_s = match &arrival_trace {
+                    None => mass,
+                    Some(trace) => trace.time_at_cumulative_scale(mass),
+                };
+                PlannedSession {
+                    start_s,
+                    tenant,
+                    frames: spec.frames_per_session,
+                    device,
+                    link,
+                    policy,
+                    deadline,
+                }
+            })
+            .collect();
+        Population { sessions }
+    }
+}
+
+/// One entry of the central event queue: session `session`'s frame
+/// `frame` is due at virtual time `time`. Min-ordered by `(time,
+/// session)` — the planned arrival order, independent of how long
+/// processing takes, which is what makes the event core's cloud message
+/// order equal to the threaded reference's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Step {
+    time: f64,
+    session: u32,
+    frame: u32,
+}
+
+impl Eq for Step {}
+
+impl PartialOrd for Step {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Step {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.session.cmp(&other.session))
+    }
+}
+
+/// The central event queue: pops steps in `(time, session)` order and
+/// automatically schedules each session's next frame. Holds one entry
+/// per not-yet-finished session, so even a 1 M-session fleet queues in
+/// ~16 MB.
+struct Schedule<'p> {
+    heap: BinaryHeap<Reverse<Step>>,
+    plan: &'p [PlannedSession],
+    interval_s: f64,
+}
+
+impl<'p> Schedule<'p> {
+    fn new(plan: &'p [PlannedSession], interval_s: f64) -> Schedule<'p> {
+        let heap = plan
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Reverse(Step {
+                    time: p.start_s,
+                    session: i as u32,
+                    frame: 0,
+                })
+            })
+            .collect();
+        Schedule {
+            heap,
+            plan,
+            interval_s,
+        }
+    }
+
+    fn next(&mut self) -> Option<Step> {
+        let step = self.heap.pop()?.0;
+        let p = &self.plan[step.session as usize];
+        if step.frame + 1 < p.frames {
+            self.heap.push(Reverse(Step {
+                time: p.start_s + (step.frame + 1) as f64 * self.interval_s,
+                session: step.session,
+                frame: step.frame + 1,
+            }));
+        }
+        Some(step)
+    }
+}
+
+/// The in-process mailboxes one inline session shares with its cloud
+/// shard: answers and probe replies land here synchronously (the shard's
+/// `AnswerTx`/`ProbeTx` sinks push from inside `CloudMachine::handle`)
+/// and the session's port pops them right after.
+#[derive(Default)]
+struct InlineInfra {
+    inbox: Arc<Mutex<VecDeque<(u64, Bytes)>>>,
+    probe: Arc<Mutex<Option<ProbeReply>>>,
+}
+
+/// The inline [`CloudPort`]: `send` *is* the cloud's message handler, so
+/// a "blocking receive" is just popping the mailbox the handler filled on
+/// the same call stack. Never actually blocks — depth-1 driving
+/// guarantees every recv follows the send that produced its reply.
+struct InlinePort<'c, 'a> {
+    cloud: &'c mut CloudMachine<'a>,
+    infra: &'c InlineInfra,
+}
+
+impl CloudPort for InlinePort<'_, '_> {
+    fn send(&mut self, msg: ToCloud) -> bool {
+        self.cloud.handle(msg)
+    }
+
+    fn recv_answer(&mut self) -> Option<(u64, Bytes)> {
+        self.infra.inbox.lock().unwrap().pop_front()
+    }
+
+    fn recv_probe(&mut self) -> Option<ProbeReply> {
+        self.infra.probe.lock().unwrap().take()
+    }
+}
+
+/// One live session in the event core: its state machine plus mailboxes.
+/// Boxed so the fleet's `Vec<Option<...>>` stays one pointer per planned
+/// session regardless of machine size.
+struct LiveSession<'a> {
+    m: EdgeMachine<'a>,
+    infra: InlineInfra,
+    scene_off: usize,
+}
+
+/// Generates the fleet's shared synthetic workload: a small pool of
+/// scenes sessions cycle through (per-session offset), plus the small
+/// and big detectors.
+fn workload(spec: &FleetSpec) -> (Vec<Arc<Scene>>, SimDetector, SimDetector) {
+    let data = Dataset::generate(
+        "fleet",
+        &DatasetProfile::helmet(),
+        spec.scene_pool,
+        spec.seed ^ 0x5ce9e5,
+    );
+    let scenes: Vec<Arc<Scene>> = data.iter().map(|s| Arc::new(s.clone())).collect();
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, NUM_CLASSES);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, NUM_CLASSES);
+    (scenes, small, big)
+}
+
+/// Registers an inline session with its shard, wiring the shard's reply
+/// paths straight into the session's mailboxes.
+fn register_inline(cloud: &mut CloudMachine<'_>, id: u64, link: LinkModel, infra: &InlineInfra) {
+    let inbox = Arc::clone(&infra.inbox);
+    let probe = Arc::clone(&infra.probe);
+    cloud.handle(ToCloud::Register {
+        session: id,
+        link,
+        resp_tx: AnswerTx::Sink(Box::new(move |ticket, frame| {
+            inbox.lock().unwrap().push_back((ticket, frame));
+            true
+        })),
+        probe_tx: ProbeTx::Sink(Box::new(move |reply| {
+            probe.lock().unwrap().replace(reply);
+            true
+        })),
+    });
+}
+
+/// Drives the whole fleet through the event core, streaming every frame
+/// result and session report into the callbacks (nothing per-session is
+/// retained here — the caller chooses between aggregation and
+/// collection). Returns the per-shard cloud stats.
+fn run_event_core<F, G>(
+    spec: &FleetSpec,
+    pop: &Population,
+    mut on_frame: F,
+    mut on_session: G,
+) -> Vec<CloudStats>
+where
+    F: FnMut(u32, &FrameResult),
+    G: FnMut(u32, SessionReport),
+{
+    let (scenes, small, big) = workload(spec);
+    let small: &(dyn Detector + Sync) = &small;
+    let big: &(dyn Detector + Sync) = &big;
+    let shard_cfgs: Vec<CloudConfig> = (0..spec.shards).map(|s| spec.shard_config(s)).collect();
+    let mut clouds: Vec<CloudMachine<'_>> = shard_cfgs
+        .iter()
+        .map(|cfg| CloudMachine::new(big, cfg, SchedulerSlot::from_config(&cfg.scheduler), None))
+        .collect();
+    let admission = spec.cloud.queue_limit.is_some();
+    let mut lives: Vec<Option<Box<LiveSession<'_>>>> =
+        (0..pop.sessions.len()).map(|_| None).collect();
+    // One upload-size memo for the whole fleet: sessions cycle a shared
+    // scene pool, and encoded size is a pure function of (scene,
+    // resolution), so after `scene_pool` cold renders every upload's
+    // sizing is a hash lookup. The `scenes` vec outlives every session,
+    // which is what keeps the address-keyed cache valid.
+    let size_cache: UploadSizeCache = Arc::new(Mutex::new(HashMap::new()));
+    let mut schedule = Schedule::new(&pop.sessions, spec.frame_interval_s);
+    while let Some(step) = schedule.next() {
+        let i = step.session as usize;
+        let p = &pop.sessions[i];
+        let shard = i % spec.shards;
+        if step.frame == 0 {
+            let cfg = spec.session_config(p, i);
+            let infra = InlineInfra::default();
+            register_inline(&mut clouds[shard], i as u64, cfg.link.clone(), &infra);
+            let mut m = EdgeMachine::new(i as u64, cfg, small, spec.build_policy(p), admission);
+            m.set_size_cache(Arc::clone(&size_cache));
+            lives[i] = Some(Box::new(LiveSession {
+                m,
+                infra,
+                scene_off: i % scenes.len(),
+            }));
+        }
+        let live = lives[i]
+            .as_mut()
+            .expect("live between first and last frame");
+        live.m.advance_to(step.time);
+        let scene = &scenes[(live.scene_off + step.frame as usize) % scenes.len()];
+        let mut port = InlinePort {
+            cloud: &mut clouds[shard],
+            infra: &live.infra,
+        };
+        let ticket = live.m.submit_inner(&mut port, scene, Some(scene));
+        let result = live
+            .m
+            .poll(&mut port, ticket)
+            .expect("depth-1 driving resolves every frame");
+        on_frame(p.tenant, &result);
+        if step.frame + 1 == p.frames {
+            let report = live.m.drain(&mut port);
+            port.send(ToCloud::Deregister { session: i as u64 });
+            on_session(p.tenant, report);
+            lives[i] = None;
+        }
+    }
+    clouds.into_iter().map(|c| c.finish()).collect()
+}
+
+/// Runs the fleet through the event core and returns every per-session
+/// report plus per-shard cloud stats — the bit-identity counterpart of
+/// [`run_fleet_reference`]. Prefer [`run_fleet`] for large fleets (it
+/// aggregates instead of collecting).
+pub fn run_fleet_sessions(spec: &FleetSpec) -> (Vec<SessionReport>, Vec<CloudStats>) {
+    let pop = Population::generate(spec);
+    let mut reports = Vec::with_capacity(pop.sessions.len());
+    let stats = run_event_core(spec, &pop, |_, _| {}, |_, r| reports.push(r));
+    (reports, stats)
+}
+
+/// Runs the *same* fleet through the historical thread-per-session
+/// deployment — real [`CloudServer`] threads, real channels, the public
+/// [`CloudServer::connect_as`] API — consuming the identical schedule.
+/// Per-session reports and cloud stats are bit-identical to
+/// [`run_fleet_sessions`]; this is the conformance oracle, not a way to
+/// run big fleets (it still materializes sessions lazily, but each shard
+/// is an OS thread and every answer crosses a channel).
+pub fn run_fleet_reference(spec: &FleetSpec) -> (Vec<SessionReport>, Vec<CloudStats>) {
+    let pop = Population::generate(spec);
+    let (scenes, small, big) = workload(spec);
+    let small: &(dyn Detector + Sync) = &small;
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(big);
+    let mut servers: Vec<CloudServer> = (0..spec.shards)
+        .map(|s| CloudServer::spawn(spec.shard_config(s), Arc::clone(&big)))
+        .collect();
+    let n = pop.sessions.len();
+    let mut lives: Vec<Option<crate::EdgeSession<'_>>> = (0..n).map(|_| None).collect();
+    let mut reports: Vec<Option<SessionReport>> = (0..n).map(|_| None).collect();
+    let mut schedule = Schedule::new(&pop.sessions, spec.frame_interval_s);
+    while let Some(step) = schedule.next() {
+        let i = step.session as usize;
+        let p = &pop.sessions[i];
+        let shard = i % spec.shards;
+        if step.frame == 0 {
+            let cfg = spec.session_config(p, i);
+            lives[i] = Some(servers[shard].connect_as(i as u64, cfg, small, spec.build_policy(p)));
+        }
+        let live = lives[i]
+            .as_mut()
+            .expect("live between first and last frame");
+        live.advance_to(step.time);
+        let scene = &scenes[(i % scenes.len() + step.frame as usize) % scenes.len()];
+        let ticket = live.submit_shared(scene);
+        live.poll(ticket)
+            .expect("depth-1 driving resolves every frame");
+        if step.frame + 1 == p.frames {
+            reports[i] = Some(live.drain());
+            lives[i] = None; // drop sends the Deregister, as the core does
+        }
+    }
+    let stats = servers.into_iter().map(|s| s.shutdown()).collect();
+    (
+        reports
+            .into_iter()
+            .map(|r| r.expect("every session finished"))
+            .collect(),
+        stats,
+    )
+}
+
+/// Latency quantiles over a set of frames (nearest-rank on the observed
+/// samples), seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyQuantiles {
+    /// Mean frame latency.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 90th percentile.
+    pub p90_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// 99.9th percentile.
+    pub p999_s: f64,
+    /// Worst frame.
+    pub max_s: f64,
+}
+
+/// One point of the deadline-miss curve: the fraction of all frames
+/// whose end-to-end latency exceeded `deadline_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissPoint {
+    /// Hypothetical deadline, seconds.
+    pub deadline_s: f64,
+    /// Fraction of frames that would miss it, in `[0, 1]`.
+    pub miss_fraction: f64,
+}
+
+/// Per-tenant slice of the fleet report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantReport {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Sessions assigned to this tenant.
+    pub sessions: usize,
+    /// Frames this tenant's sessions submitted.
+    pub frames: u64,
+    /// Frames uploaded to the cloud.
+    pub uploads: u64,
+    /// Configured-deadline misses across the tenant's sessions.
+    pub deadline_misses: u64,
+    /// Latency quantiles over the tenant's frames.
+    pub latency: LatencyQuantiles,
+}
+
+/// Everything a fleet run measured, reproducible from the spec's seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// The spec's master seed (provenance).
+    pub seed: u64,
+    /// Sessions that ran.
+    pub sessions: usize,
+    /// Total frames submitted.
+    pub frames: u64,
+    /// Frames uploaded to the cloud.
+    pub uploads: u64,
+    /// Fraction of frames uploaded.
+    pub upload_ratio: f64,
+    /// Total bytes shipped edge→cloud.
+    pub uplink_bytes: u64,
+    /// Configured-deadline misses.
+    pub deadline_misses: u64,
+    /// Traced-link give-ups served locally.
+    pub link_fallbacks: u64,
+    /// Admission refusals served locally.
+    pub admission_fallbacks: u64,
+    /// Latency quantiles over all frames.
+    pub latency: LatencyQuantiles,
+    /// Per-tenant breakdowns, tenant id ascending (only tenants that
+    /// received sessions appear).
+    pub tenants: Vec<TenantReport>,
+    /// Fraction of frames that would miss each hypothetical deadline
+    /// (fixed grid, monotone non-increasing in the deadline).
+    pub miss_curve: Vec<MissPoint>,
+    /// Per-shard cloud stats.
+    pub cloud: Vec<CloudStats>,
+    /// Virtual time of the last completed frame.
+    pub completed_horizon_s: f64,
+}
+
+fn quantile(sorted: &[f32], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx] as f64
+}
+
+fn quantiles_of(sorted: &[f32]) -> LatencyQuantiles {
+    let mean = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted.iter().map(|&l| l as f64).sum::<f64>() / sorted.len() as f64
+    };
+    LatencyQuantiles {
+        mean_s: mean,
+        p50_s: quantile(sorted, 0.50),
+        p90_s: quantile(sorted, 0.90),
+        p99_s: quantile(sorted, 0.99),
+        p999_s: quantile(sorted, 0.999),
+        max_s: sorted.last().copied().unwrap_or(0.0) as f64,
+    }
+}
+
+#[derive(Default, Clone)]
+struct TenantAccum {
+    sessions: usize,
+    frames: u64,
+    uploads: u64,
+    deadline_misses: u64,
+}
+
+/// Runs the fleet through the event core and aggregates: p50/p99/p999
+/// latency, per-tenant breakdowns, a deadline-miss curve, and per-shard
+/// cloud stats. Memory stays O(frames) for the latency samples plus
+/// O(live sessions) for the machines — per-session reports are folded
+/// in as sessions finish, never collected.
+pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
+    let pop = Population::generate(spec);
+    let mut samples: Vec<(u32, f32)> = Vec::new();
+    let mut accums: Vec<TenantAccum> = vec![TenantAccum::default(); spec.tenants];
+    let mut uplink_bytes = 0u64;
+    let mut link_fallbacks = 0u64;
+    let mut admission_fallbacks = 0u64;
+    let mut completed_horizon_s = 0.0f64;
+    let cloud = run_event_core(
+        spec,
+        &pop,
+        |tenant, result| {
+            samples.push((tenant, result.breakdown.total() as f32));
+            completed_horizon_s = completed_horizon_s.max(result.completed_at);
+        },
+        |tenant, report| {
+            let a = &mut accums[tenant as usize];
+            a.sessions += 1;
+            a.frames += report.frames as u64;
+            a.uploads += report.uploads as u64;
+            a.deadline_misses += report.deadline_misses as u64;
+            uplink_bytes += report.uplink_bytes;
+            link_fallbacks += report.link_fallbacks as u64;
+            admission_fallbacks += report.admission_fallbacks as u64;
+        },
+    );
+    // Global quantiles and the miss curve over every frame's latency.
+    let mut all: Vec<f32> = samples.iter().map(|&(_, l)| l).collect();
+    all.sort_unstable_by(f32::total_cmp);
+    let latency = quantiles_of(&all);
+    let miss_curve = MISS_GRID
+        .iter()
+        .map(|&d| MissPoint {
+            deadline_s: d,
+            miss_fraction: if all.is_empty() {
+                0.0
+            } else {
+                // First sorted index above the deadline = count <= d.
+                let below = all.partition_point(|&l| l as f64 <= d);
+                (all.len() - below) as f64 / all.len() as f64
+            },
+        })
+        .collect();
+    // Per-tenant quantiles: partition the samples by tenant once.
+    samples.sort_unstable_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut tenants = Vec::new();
+    let mut lo = 0;
+    while lo < samples.len() {
+        let tenant = samples[lo].0;
+        let hi = samples[lo..].partition_point(|&(t, _)| t == tenant) + lo;
+        let sorted: Vec<f32> = samples[lo..hi].iter().map(|&(_, l)| l).collect();
+        let a = &accums[tenant as usize];
+        tenants.push(TenantReport {
+            tenant,
+            sessions: a.sessions,
+            frames: a.frames,
+            uploads: a.uploads,
+            deadline_misses: a.deadline_misses,
+            latency: quantiles_of(&sorted),
+        });
+        lo = hi;
+    }
+    let frames = accums.iter().map(|a| a.frames).sum::<u64>();
+    let uploads = accums.iter().map(|a| a.uploads).sum::<u64>();
+    FleetReport {
+        seed: spec.seed,
+        sessions: spec.sessions,
+        frames,
+        uploads,
+        upload_ratio: if frames == 0 {
+            0.0
+        } else {
+            uploads as f64 / frames as f64
+        },
+        uplink_bytes,
+        deadline_misses: accums.iter().map(|a| a.deadline_misses).sum(),
+        link_fallbacks,
+        admission_fallbacks,
+        latency,
+        tenants,
+        miss_curve,
+        cloud,
+        completed_horizon_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> FleetSpec {
+        FleetSpec {
+            frames_per_session: 3,
+            scene_pool: 8,
+            shards: 2,
+            ..FleetSpec::new(40)
+        }
+    }
+
+    #[test]
+    fn population_is_reproducible() {
+        let spec = tiny_spec();
+        assert_eq!(Population::generate(&spec), Population::generate(&spec));
+        let other = FleetSpec {
+            seed: spec.seed + 1,
+            ..spec.clone()
+        };
+        assert_ne!(Population::generate(&spec), Population::generate(&other));
+    }
+
+    #[test]
+    fn tenant_sizes_are_zipf_skewed() {
+        let spec = FleetSpec {
+            zipf_exponent: 1.5,
+            ..FleetSpec::new(2000)
+        };
+        let pop = Population::generate(&spec);
+        let mut counts = vec![0usize; spec.tenants];
+        for p in &pop.sessions {
+            counts[p.tenant as usize] += 1;
+        }
+        assert!(
+            counts[0] > 4 * counts[spec.tenants - 1].max(1),
+            "tenant 0 ({}) should dwarf the tail ({})",
+            counts[0],
+            counts[spec.tenants - 1]
+        );
+    }
+
+    #[test]
+    fn arrivals_stay_inside_the_window_and_sorted() {
+        let pop = Population::generate(&tiny_spec());
+        let mut last = 0.0f64;
+        for p in &pop.sessions {
+            assert!(p.start_s >= last, "stratified starts are sorted by id");
+            assert!(p.start_s < tiny_spec().horizon_s + 1e-9);
+            last = p.start_s;
+        }
+    }
+
+    #[test]
+    fn event_core_matches_threaded_reference() {
+        let spec = tiny_spec();
+        let (a_reports, a_stats) = run_fleet_sessions(&spec);
+        let (b_reports, b_stats) = run_fleet_reference(&spec);
+        assert_eq!(a_reports, b_reports);
+        assert_eq!(a_stats, b_stats);
+    }
+
+    #[test]
+    fn fleet_report_is_deterministic_and_consistent() {
+        let spec = tiny_spec();
+        let a = run_fleet(&spec);
+        let b = run_fleet(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.frames, (spec.sessions as u64) * 3);
+        assert!(a.latency.p50_s <= a.latency.p99_s);
+        assert!(a.latency.p99_s <= a.latency.p999_s);
+        assert!(a.latency.p999_s <= a.latency.max_s);
+        for pair in a.miss_curve.windows(2) {
+            assert!(pair[0].miss_fraction >= pair[1].miss_fraction);
+        }
+        assert_eq!(
+            a.tenants.iter().map(|t| t.frames).sum::<u64>(),
+            a.frames,
+            "tenant breakdowns partition the fleet"
+        );
+    }
+}

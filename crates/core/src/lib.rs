@@ -128,6 +128,7 @@
 mod calibrate;
 mod discriminator;
 mod features;
+pub mod fleet;
 mod labeling;
 pub mod par;
 mod persist;

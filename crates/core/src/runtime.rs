@@ -13,7 +13,7 @@
 //! identical to the pre-session-layer implementation (guarded by
 //! `tests/api_equivalence.rs`).
 
-use crate::scheduler::{AutoscaleConfig, SchedulerConfig};
+use crate::scheduler::{AutoscaleConfig, SchedulerConfig, SchedulerSlot};
 use crate::server::{cloud_loop, CloudConfig, EdgePipeline, SessionConfig};
 use crate::strategies::OffloadPolicy;
 use crate::{DifficultCaseDiscriminator, Policy};
@@ -222,7 +222,14 @@ pub fn run_system(
     let (tx, rx) = channel::unbounded();
     let (report, stats) = thread::scope(|scope| {
         // ---- Cloud worker thread (same loop CloudServer::spawn runs) ----
-        let cloud = scope.spawn(|| cloud_loop(&rx, big, &cloud_cfg, cloud_cfg.scheduler.build()));
+        let cloud = scope.spawn(|| {
+            cloud_loop(
+                &rx,
+                big,
+                &cloud_cfg,
+                SchedulerSlot::from_config(&cloud_cfg.scheduler),
+            )
+        });
 
         // ---- Edge device (this thread): one blocking session ----
         let mut session = crate::EdgeSession::attach(

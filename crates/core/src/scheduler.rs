@@ -246,18 +246,22 @@ impl Scheduler for FifoBatcher {
         Cow::Borrowed("fifo")
     }
 
+    #[inline]
     fn push(&mut self, frame: QueuedFrame) {
         self.queue.push(frame);
     }
 
+    #[inline]
     fn len(&self) -> usize {
         self.queue.len()
     }
 
+    #[inline]
     fn ready(&self, max_batch: usize) -> bool {
         self.queue.len() >= max_batch
     }
 
+    #[inline]
     fn take_batch(&mut self, max_batch: usize, out: &mut Vec<QueuedFrame>) {
         out.clear();
         let n = max_batch.min(self.queue.len());
@@ -448,6 +452,73 @@ impl SchedulerConfig {
             SchedulerConfig::Fifo => "fifo",
             SchedulerConfig::DeadlineAware { .. } => "deadline-aware",
             SchedulerConfig::DifficultyPriority { .. } => "difficulty-priority",
+        }
+    }
+}
+
+/// The cloud worker's scheduler seam, with a monomorphized fast path.
+///
+/// The default [`FifoBatcher`] is held *concretely*: every `push`/`ready`/
+/// `take_batch` on the default path is a statically dispatched (and
+/// inlinable) call into the plain `Vec` FIFO, so the control-plane seam
+/// costs nothing unless a deployment actually plugs in a custom scheduler —
+/// those keep the object-safe boxed form. `BENCH_PR5` measured the boxed
+/// seam at ~10 ns/frame over the historical inline loop; this enum closes
+/// that gap for the configuration every test and deployment defaults to.
+pub(crate) enum SchedulerSlot {
+    /// The default FIFO, statically dispatched.
+    Fifo(FifoBatcher),
+    /// Any other scheduler, behind the object-safe seam.
+    Custom(Box<dyn Scheduler>),
+}
+
+impl SchedulerSlot {
+    /// Builds the slot for a declarative config: the default FIFO gets the
+    /// monomorphized fast path, everything else the boxed seam.
+    pub(crate) fn from_config(config: &SchedulerConfig) -> SchedulerSlot {
+        match config {
+            SchedulerConfig::Fifo => SchedulerSlot::Fifo(FifoBatcher::new()),
+            other => SchedulerSlot::Custom(other.build()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, frame: QueuedFrame) {
+        match self {
+            SchedulerSlot::Fifo(f) => f.push(frame),
+            SchedulerSlot::Custom(s) => s.push(frame),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            SchedulerSlot::Fifo(f) => Scheduler::len(f),
+            SchedulerSlot::Custom(s) => s.len(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            SchedulerSlot::Fifo(f) => Scheduler::is_empty(f),
+            SchedulerSlot::Custom(s) => s.is_empty(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn ready(&self, max_batch: usize) -> bool {
+        match self {
+            SchedulerSlot::Fifo(f) => f.ready(max_batch),
+            SchedulerSlot::Custom(s) => s.ready(max_batch),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn take_batch(&mut self, max_batch: usize, out: &mut Vec<QueuedFrame>) {
+        match self {
+            SchedulerSlot::Fifo(f) => f.take_batch(max_batch, out),
+            SchedulerSlot::Custom(s) => s.take_batch(max_batch, out),
         }
     }
 }

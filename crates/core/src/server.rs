@@ -76,6 +76,25 @@
 //! the cloud is saturated (see `examples/degraded_network.rs` and
 //! `examples/cloud_scheduling.rs`).
 //!
+//! # Fleet-scale engine
+//!
+//! [`EdgeSession`] is a *facade*: the session's entire state — clock, RNG,
+//! policy, pending frames, metrics — lives in a channel-free
+//! `EdgeMachine`, and every public method delegates through the
+//! `CloudPort` seam (here a `ChannelPort` to the worker thread; both
+//! are monomorphized, so this path compiles to exactly the pre-seam
+//! code). The cloud worker has the same split: `CloudMachine` is the
+//! full worker as an inline state machine, and `cloud_loop` merely
+//! drains a channel into it.
+//!
+//! That seam is what the fleet engine ([`crate::fleet`]) exploits: it
+//! drives the *same* machines inline from a central virtual-time event
+//! queue — no thread, no channel, ~1 KB of state per session — so one
+//! process carries 10⁵–10⁶ concurrent heterogeneous sessions over
+//! sharded cloud machines, and still produces per-session reports
+//! bit-identical to a thread-per-session deployment (pinned by
+//! `tests/fleet.rs`).
+//!
 //! # Distributed deployment
 //!
 //! Everything above runs edge and cloud in one process, wired by channels.
@@ -126,7 +145,9 @@
 //! assert_eq!(stats.served, report.uploads);
 //! ```
 
-use crate::scheduler::{AutoscaleConfig, Autoscaler, QueuedFrame, Scheduler, SchedulerConfig};
+use crate::scheduler::{
+    AutoscaleConfig, Autoscaler, QueuedFrame, Scheduler, SchedulerConfig, SchedulerSlot,
+};
 use crate::strategies::{Decision, OffloadPolicy, PolicyInput};
 use crate::wire::{decode_frame, encode_frame};
 use crossbeam::channel::{self, Receiver, Sender};
@@ -146,7 +167,7 @@ use simnet::{
 };
 use std::borrow::Cow;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// How much edge compute runs (and is charged) before the offload decision.
@@ -583,7 +604,7 @@ pub(crate) fn cloud_loop(
     rx: &Receiver<ToCloud>,
     big: &(dyn Detector + Sync),
     config: &CloudConfig,
-    sched: Box<dyn Scheduler>,
+    sched: SchedulerSlot,
 ) -> CloudStats {
     assert!(config.workers >= 1, "workers must be at least 1");
     if config.workers == 1 {
@@ -624,7 +645,7 @@ struct CloudWorker<'a> {
     big: &'a (dyn Detector + Sync),
     config: &'a CloudConfig,
     pool: Option<&'a DetectPool>,
-    sched: Box<dyn Scheduler>,
+    sched: SchedulerSlot,
     sessions: HashMap<u64, SessionHandles>,
     server_free_at: f64,
     next_seq: u64,
@@ -719,7 +740,7 @@ fn cloud_scheduler(
     rx: &Receiver<ToCloud>,
     big: &(dyn Detector + Sync),
     config: &CloudConfig,
-    sched: Box<dyn Scheduler>,
+    sched: SchedulerSlot,
     pool: Option<&DetectPool>,
 ) -> CloudStats {
     let mut m = CloudMachine::new(big, config, sched, pool);
@@ -747,7 +768,7 @@ impl<'a> CloudMachine<'a> {
     pub(crate) fn new(
         big: &'a (dyn Detector + Sync),
         config: &'a CloudConfig,
-        sched: Box<dyn Scheduler>,
+        sched: SchedulerSlot,
         pool: Option<&'a DetectPool>,
     ) -> CloudMachine<'a> {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
@@ -892,10 +913,11 @@ pub struct CloudServer {
 
 impl CloudServer {
     /// Spawns the cloud worker thread with the scheduler named by
-    /// [`CloudConfig::scheduler`].
+    /// [`CloudConfig::scheduler`]. The default FIFO runs on the
+    /// monomorphized fast path (no virtual dispatch per frame).
     pub fn spawn(config: CloudConfig, big: Arc<dyn Detector + Send + Sync>) -> CloudServer {
-        let sched = config.scheduler.build();
-        CloudServer::spawn_with(config, big, sched)
+        let sched = SchedulerSlot::from_config(&config.scheduler);
+        CloudServer::spawn_slot(config, big, sched)
     }
 
     /// Spawns the cloud worker thread with a custom [`Scheduler`] — the
@@ -905,6 +927,14 @@ impl CloudServer {
         config: CloudConfig,
         big: Arc<dyn Detector + Send + Sync>,
         scheduler: Box<dyn Scheduler>,
+    ) -> CloudServer {
+        CloudServer::spawn_slot(config, big, SchedulerSlot::Custom(scheduler))
+    }
+
+    fn spawn_slot(
+        config: CloudConfig,
+        big: Arc<dyn Detector + Send + Sync>,
+        scheduler: SchedulerSlot,
     ) -> CloudServer {
         // Validate here, on the caller's thread: a bad autoscale config
         // must fail at spawn, not kill the worker at its first batch.
@@ -983,20 +1013,74 @@ struct PendingUpload {
     gts: Vec<GroundTruth>,
 }
 
+/// How an edge state machine reaches its cloud: the seam that lets the
+/// *same* per-session logic run behind channels (the thread-per-component
+/// [`EdgeSession`]) or inline against a [`CloudMachine`] (the fleet
+/// engine's event-driven core). Each implementation is monomorphized into
+/// [`EdgeMachine`]'s methods, so the channel path compiles to exactly the
+/// code it was before the seam existed.
+pub(crate) trait CloudPort {
+    /// Delivers one message to the cloud; `false` when the cloud is gone.
+    fn send(&mut self, msg: ToCloud) -> bool;
+    /// Blocks for the next answer routed to this session; `None` once the
+    /// cloud is gone and its buffered answers are exhausted.
+    fn recv_answer(&mut self) -> Option<(u64, bytes::Bytes)>;
+    /// Blocks for the reply to the admission probe just sent (probes are
+    /// strictly request/reply); `None` when the cloud is gone.
+    fn recv_probe(&mut self) -> Option<ProbeReply>;
+}
+
+/// The channel-backed [`CloudPort`]: what [`CloudServer::connect`] wires a
+/// session to (the cloud worker lives on its own thread and owns the other
+/// ends).
+pub(crate) struct ChannelPort {
+    tx: Sender<ToCloud>,
+    rx: Receiver<(u64, bytes::Bytes)>,
+    probe_rx: Receiver<ProbeReply>,
+}
+
+impl CloudPort for ChannelPort {
+    fn send(&mut self, msg: ToCloud) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+
+    fn recv_answer(&mut self) -> Option<(u64, bytes::Bytes)> {
+        self.rx.recv().ok()
+    }
+
+    fn recv_probe(&mut self) -> Option<ProbeReply> {
+        self.probe_rx.recv().ok()
+    }
+}
+
 /// One edge device streaming frames against a [`CloudServer`].
 ///
 /// The session owns a virtual clock, an RNG stream for downlink jitter, and
 /// running quality/latency accounting. Frames resolve either locally at
 /// [`submit`](Self::submit) time or when [`poll`](Self::poll) /
 /// [`drain`](Self::drain) absorbs the cloud's answer.
+///
+/// Internally the session is a thin facade: all of the above state lives in
+/// an [`EdgeMachine`] — a compact, channel-free state machine — wired here
+/// to a [`ChannelPort`]. The fleet engine ([`crate::fleet`]) drives the
+/// same machines inline against sharded [`CloudMachine`]s, which is how one
+/// process carries 10⁵–10⁶ concurrent sessions without a thread or channel
+/// per session; this facade keeps the historical thread-per-component shape
+/// (and its reports, bit for bit).
 pub struct EdgeSession<'a> {
+    m: EdgeMachine<'a>,
+    port: ChannelPort,
+}
+
+/// The per-session state machine behind [`EdgeSession`] (and the unit the
+/// fleet engine schedules): everything a session owns *except* the
+/// transport it reaches its cloud through — that arrives per call as a
+/// [`CloudPort`].
+pub(crate) struct EdgeMachine<'a> {
     id: u64,
     cfg: SessionConfig,
     small: &'a (dyn Detector + Sync),
     policy: Box<dyn OffloadPolicy + 'a>,
-    tx: Sender<ToCloud>,
-    rx: Receiver<(u64, bytes::Bytes)>,
-    probe_rx: Receiver<ProbeReply>,
     /// Whether the cloud enforces a queue limit: uploads then probe for
     /// admission before spending the uplink. `false` sends no probes at
     /// all — the bit-identical path.
@@ -1025,7 +1109,21 @@ pub struct EdgeSession<'a> {
     /// into their [`PendingUpload`], which costs what the old per-frame
     /// `ground_truths()` allocation did.
     gts_scratch: Vec<GroundTruth>,
+    /// Optional shared memo of upload sizes, keyed by scene identity and
+    /// render resolution. `render` is deterministic, so the encoded byte
+    /// count is a pure function of the key — the fleet engine shares one
+    /// cache across its whole population (sessions cycle a small scene
+    /// pool, so renders would otherwise dominate wall-clock by ~500×).
+    /// Keys use the `Arc<Scene>` address: only valid while the caller
+    /// keeps every cached scene alive, which the fleet engine does for
+    /// the duration of a run. `None` (every other deployment) renders
+    /// per upload exactly as before.
+    size_cache: Option<UploadSizeCache>,
 }
+
+/// Shared upload-size memo: `(scene address, width, height)` → encoded
+/// bytes. See [`EdgeMachine::size_cache`].
+pub(crate) type UploadSizeCache = Arc<Mutex<HashMap<(usize, usize, usize), usize>>>;
 
 /// How a traced transfer ended after retransmissions.
 enum TransferOutcome {
@@ -1127,16 +1225,127 @@ impl<'a> EdgeSession<'a> {
             probe_tx: ProbeTx::Chan(probe_tx),
         })
         .expect("cloud server alive");
+        EdgeSession {
+            m: EdgeMachine::new(id, cfg, small, policy, admission),
+            port: ChannelPort {
+                tx,
+                rx: resp_rx,
+                probe_rx,
+            },
+        }
+    }
+
+    /// The session id assigned by the cloud server.
+    pub fn id(&self) -> u64 {
+        self.m.id()
+    }
+
+    /// The session's virtual clock.
+    pub fn now(&self) -> f64 {
+        self.m.now()
+    }
+
+    /// Frames submitted but not yet resolved.
+    pub fn outstanding(&self) -> usize {
+        self.m.outstanding()
+    }
+
+    /// The offload policy's name (for reports). Borrowed for policies with
+    /// static names; no allocation per call in that case.
+    pub fn policy_name(&self) -> Cow<'static, str> {
+        self.m.policy_name()
+    }
+
+    /// Cloud queue depth this session last observed (from admission probes
+    /// and answer headers), or `None` before any cloud interaction. The
+    /// same signal policies receive as [`PolicyInput::cloud_queue`].
+    pub fn observed_cloud_queue(&self) -> Option<usize> {
+        self.m.observed_cloud_queue()
+    }
+
+    /// Advances the session's virtual clock to `t` (a no-op when the clock
+    /// is already past it). This is how inter-frame idle time is modelled:
+    /// a camera that captures a frame every 500 ms calls
+    /// `advance_to(n as f64 * 0.5)` before the n-th submit. Never moves
+    /// the clock backwards, so it cannot perturb any existing accounting.
+    pub fn advance_to(&mut self, t: f64) {
+        self.m.advance_to(t);
+    }
+
+    /// Pushes one frame through the edge pipeline.
+    ///
+    /// Easy cases resolve immediately; difficult cases are rendered,
+    /// serialized and queued to the cloud, and resolve on a later
+    /// [`poll`](Self::poll) or [`drain`](Self::drain).
+    ///
+    /// An uploaded scene is cloned once into an [`Arc`]; callers that
+    /// already hold scenes behind an `Arc` can avoid even that with
+    /// [`submit_shared`](Self::submit_shared).
+    pub fn submit(&mut self, scene: &Scene) -> FrameTicket {
+        self.m.submit_inner(&mut self.port, scene, None)
+    }
+
+    /// [`submit`](Self::submit) for a scene already behind an [`Arc`]:
+    /// uploads share the existing allocation instead of cloning the scene.
+    ///
+    /// Identical to `submit(&scene)` in every observable way (decisions,
+    /// timing, reports).
+    pub fn submit_shared(&mut self, scene: &Arc<Scene>) -> FrameTicket {
+        self.m.submit_inner(&mut self.port, scene, Some(scene))
+    }
+
+    /// Blocks until the given frame is resolved and returns its result.
+    ///
+    /// Returns `None` for tickets this session never issued or whose result
+    /// was already taken. Polling a pending ticket flushes the cloud
+    /// scheduler so queued partial batches make progress. Answers the cloud
+    /// delivered before shutting down are still absorbed after
+    /// [`CloudServer::shutdown`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame can no longer be resolved because the cloud
+    /// server shut down before answering it.
+    pub fn poll(&mut self, ticket: FrameTicket) -> Option<FrameResult> {
+        self.m.poll(&mut self.port, ticket)
+    }
+
+    /// Resolves every outstanding frame and snapshots the session report.
+    ///
+    /// The session stays usable afterwards — `drain` is "flush plus
+    /// report", not a close. Per-frame results not yet taken with
+    /// [`poll`](Self::poll) are discarded here (their metrics are already
+    /// folded into the report), so a long-lived session that only ever
+    /// submits and periodically drains holds bounded memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if outstanding frames can no longer be resolved because the
+    /// cloud server shut down before answering them.
+    pub fn drain(&mut self) -> SessionReport {
+        self.m.drain(&mut self.port)
+    }
+}
+
+impl<'a> EdgeMachine<'a> {
+    /// Builds the session state machine. The caller owns registration:
+    /// a `ToCloud::Register` for `id` must reach the cloud (through
+    /// whatever port this machine will be driven with) before the first
+    /// submit.
+    pub(crate) fn new(
+        id: u64,
+        cfg: SessionConfig,
+        small: &'a (dyn Detector + Sync),
+        policy: Box<dyn OffloadPolicy + 'a>,
+        admission: bool,
+    ) -> EdgeMachine<'a> {
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0xed6e);
         let map = MapEvaluator::new(cfg.num_classes, cfg.ap_protocol);
-        EdgeSession {
+        EdgeMachine {
             id,
             cfg,
             small,
             policy,
-            tx,
-            rx: resp_rx,
-            probe_rx,
             admission,
             last_cloud_queue: None,
             rng,
@@ -1155,60 +1364,74 @@ impl<'a> EdgeSession<'a> {
             done: HashMap::new(),
             count_scratch: CountScratch::new(),
             gts_scratch: Vec::new(),
+            size_cache: None,
         }
     }
 
-    /// The session id assigned by the cloud server.
-    pub fn id(&self) -> u64 {
+    /// Installs a shared upload-size memo (fleet engine only); see
+    /// [`EdgeMachine::size_cache`] for the validity contract.
+    pub(crate) fn set_size_cache(&mut self, cache: UploadSizeCache) {
+        self.size_cache = Some(cache);
+    }
+
+    /// Encoded upload size of this frame: render + entropy-model encode,
+    /// memoised through the shared cache when one is installed and the
+    /// scene is pool-shared (cache keys need a stable scene address).
+    /// Bit-identical either way — `render` is deterministic, so the memo
+    /// only skips recomputing a pure function.
+    fn upload_size(&self, scene: &Scene, shared: Option<&Arc<Scene>>) -> usize {
+        let (w, h) = self.cfg.frame_size;
+        let key = match (&self.size_cache, shared) {
+            (Some(_), Some(arc)) => Some((Arc::as_ptr(arc) as usize, w, h)),
+            _ => None,
+        };
+        if let (Some(cache), Some(key)) = (&self.size_cache, key) {
+            if let Some(&bytes) = cache.lock().expect("size cache poisoned").get(&key) {
+                return bytes;
+            }
+        }
+        let bytes = encoded_size_bytes(&render(
+            &scene.render_spec(self.cfg.frame_size.0, self.cfg.frame_size.1),
+        ));
+        if let (Some(cache), Some(key)) = (&self.size_cache, key) {
+            cache
+                .lock()
+                .expect("size cache poisoned")
+                .insert(key, bytes);
+        }
+        bytes
+    }
+
+    pub(crate) fn id(&self) -> u64 {
         self.id
     }
 
-    /// The session's virtual clock.
-    pub fn now(&self) -> f64 {
+    pub(crate) fn now(&self) -> f64 {
         self.now
     }
 
-    /// Frames submitted but not yet resolved.
-    pub fn outstanding(&self) -> usize {
+    pub(crate) fn outstanding(&self) -> usize {
         self.pending.len()
     }
 
-    /// The offload policy's name (for reports). Borrowed for policies with
-    /// static names; no allocation per call in that case.
-    pub fn policy_name(&self) -> Cow<'static, str> {
+    pub(crate) fn policy_name(&self) -> Cow<'static, str> {
         self.policy.name()
     }
 
-    /// Cloud queue depth this session last observed (from admission probes
-    /// and answer headers), or `None` before any cloud interaction. The
-    /// same signal policies receive as [`PolicyInput::cloud_queue`].
-    pub fn observed_cloud_queue(&self) -> Option<usize> {
+    pub(crate) fn observed_cloud_queue(&self) -> Option<usize> {
         self.last_cloud_queue
     }
 
-    /// Pushes one frame through the edge pipeline.
-    ///
-    /// Easy cases resolve immediately; difficult cases are rendered,
-    /// serialized and queued to the cloud, and resolve on a later
-    /// [`poll`](Self::poll) or [`drain`](Self::drain).
-    ///
-    /// An uploaded scene is cloned once into an [`Arc`]; callers that
-    /// already hold scenes behind an `Arc` can avoid even that with
-    /// [`submit_shared`](Self::submit_shared).
-    pub fn submit(&mut self, scene: &Scene) -> FrameTicket {
-        self.submit_inner(scene, None)
+    pub(crate) fn advance_to(&mut self, t: f64) {
+        self.now = self.now.max(t);
     }
 
-    /// [`submit`](Self::submit) for a scene already behind an [`Arc`]:
-    /// uploads share the existing allocation instead of cloning the scene.
-    ///
-    /// Identical to `submit(&scene)` in every observable way (decisions,
-    /// timing, reports).
-    pub fn submit_shared(&mut self, scene: &Arc<Scene>) -> FrameTicket {
-        self.submit_inner(scene, Some(scene))
-    }
-
-    fn submit_inner(&mut self, scene: &Scene, shared: Option<&Arc<Scene>>) -> FrameTicket {
+    pub(crate) fn submit_inner<P: CloudPort>(
+        &mut self,
+        port: &mut P,
+        scene: &Scene,
+        shared: Option<&Arc<Scene>>,
+    ) -> FrameTicket {
         let ticket = FrameTicket(self.next_ticket);
         self.next_ticket += 1;
         self.frames += 1;
@@ -1263,13 +1486,14 @@ impl<'a> EdgeSession<'a> {
             // only — zero virtual cost, no RNG — and without a queue limit
             // no probe is ever sent (the bit-identical path).
             if self.admission {
-                self.tx
-                    .send(ToCloud::Probe {
+                assert!(
+                    port.send(ToCloud::Probe {
                         session: self.id,
                         now: self.now,
-                    })
-                    .expect("cloud server alive");
-                let reply = self.probe_rx.recv().expect("cloud server alive");
+                    }),
+                    "cloud server alive"
+                );
+                let reply = port.recv_probe().expect("cloud server alive");
                 self.last_cloud_queue = Some(reply.queue_depth);
                 if !reply.admitted {
                     self.admission_fallbacks += 1;
@@ -1280,8 +1504,7 @@ impl<'a> EdgeSession<'a> {
                     return ticket;
                 }
             }
-            let frame = render(&scene.render_spec(self.cfg.frame_size.0, self.cfg.frame_size.1));
-            let frame_bytes = encoded_size_bytes(&frame);
+            let frame_bytes = self.upload_size(scene, shared);
             // Traced links drive the uplink from the edge (retransmitting
             // against the virtual clock); static links let the cloud draw
             // the transfer in arrival order, exactly as the seed did.
@@ -1352,9 +1575,10 @@ impl<'a> EdgeSession<'a> {
                     Some(arc) => Arc::clone(arc),
                     None => Arc::new(scene.clone()),
                 };
-                self.tx
-                    .send(ToCloud::Frame(req, scene_arc))
-                    .expect("cloud server alive");
+                assert!(
+                    port.send(ToCloud::Frame(req, scene_arc)),
+                    "cloud server alive"
+                );
                 self.pending.insert(
                     ticket.0,
                     PendingUpload {
@@ -1375,19 +1599,12 @@ impl<'a> EdgeSession<'a> {
         ticket
     }
 
-    /// Blocks until the given frame is resolved and returns its result.
-    ///
-    /// Returns `None` for tickets this session never issued or whose result
-    /// was already taken. Polling a pending ticket flushes the cloud
-    /// scheduler so queued partial batches make progress. Answers the cloud
-    /// delivered before shutting down are still absorbed after
-    /// [`CloudServer::shutdown`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the frame can no longer be resolved because the cloud
-    /// server shut down before answering it.
-    pub fn poll(&mut self, ticket: FrameTicket) -> Option<FrameResult> {
+    /// [`EdgeSession::poll`], against any [`CloudPort`].
+    pub(crate) fn poll<P: CloudPort>(
+        &mut self,
+        port: &mut P,
+        ticket: FrameTicket,
+    ) -> Option<FrameResult> {
         if let Some(done) = self.done.remove(&ticket.0) {
             return Some(done);
         }
@@ -1397,11 +1614,11 @@ impl<'a> EdgeSession<'a> {
         // A dead worker has already flushed everything it will ever answer
         // into our response channel, so a failed Flush is not yet fatal —
         // keep absorbing buffered answers.
-        let _ = self.tx.send(ToCloud::Flush { session: self.id });
+        let _ = port.send(ToCloud::Flush { session: self.id });
         while self.pending.contains_key(&ticket.0) {
-            match self.rx.recv() {
-                Ok((_, bytes)) => self.absorb_response(&bytes),
-                Err(_) => panic!(
+            match port.recv_answer() {
+                Some((_, bytes)) => self.absorb_response(&bytes),
+                None => panic!(
                     "cloud server shut down with {} of this session's frames unresolved",
                     self.pending.len()
                 ),
@@ -1410,26 +1627,15 @@ impl<'a> EdgeSession<'a> {
         self.done.remove(&ticket.0)
     }
 
-    /// Resolves every outstanding frame and snapshots the session report.
-    ///
-    /// The session stays usable afterwards — `drain` is "flush plus
-    /// report", not a close. Per-frame results not yet taken with
-    /// [`poll`](Self::poll) are discarded here (their metrics are already
-    /// folded into the report), so a long-lived session that only ever
-    /// submits and periodically drains holds bounded memory.
-    ///
-    /// # Panics
-    ///
-    /// Panics if outstanding frames can no longer be resolved because the
-    /// cloud server shut down before answering them.
-    pub fn drain(&mut self) -> SessionReport {
+    /// [`EdgeSession::drain`], against any [`CloudPort`].
+    pub(crate) fn drain<P: CloudPort>(&mut self, port: &mut P) -> SessionReport {
         if !self.pending.is_empty() {
             // As in `poll`: a dead worker already flushed its answers.
-            let _ = self.tx.send(ToCloud::Flush { session: self.id });
+            let _ = port.send(ToCloud::Flush { session: self.id });
             while !self.pending.is_empty() {
-                match self.rx.recv() {
-                    Ok((_, bytes)) => self.absorb_response(&bytes),
-                    Err(_) => panic!(
+                match port.recv_answer() {
+                    Some((_, bytes)) => self.absorb_response(&bytes),
+                    None => panic!(
                         "cloud server shut down with {} of this session's frames unresolved",
                         self.pending.len()
                     ),
@@ -1609,7 +1815,10 @@ impl<'a> EdgeSession<'a> {
 impl Drop for EdgeSession<'_> {
     fn drop(&mut self) {
         // Best-effort: the cloud may already be gone.
-        let _ = self.tx.send(ToCloud::Deregister { session: self.id });
+        let _ = self
+            .port
+            .tx
+            .send(ToCloud::Deregister { session: self.m.id });
     }
 }
 

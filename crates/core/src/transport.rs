@@ -100,6 +100,7 @@
 //! ([`FrameTx::send_all`]) — a fleet's back-to-back submissions cost one
 //! syscall and wake the cloud's reader once.
 
+use crate::scheduler::SchedulerSlot;
 use crate::server::{
     cloud_loop, AnswerTx, CloudMachine, ProbeReply, ProbeTx, SubmitRequest, SubmitResponse, ToCloud,
 };
@@ -1993,7 +1994,7 @@ pub fn serve_connection(
                     // message swaps in the fresh reply handles.
                     let worker = workers.entry(session).or_insert_with(|| {
                         if inline {
-                            let sched = config.scheduler.build();
+                            let sched = SchedulerSlot::from_config(&config.scheduler);
                             SessionExec::Inline(Box::new(CloudMachine::new(
                                 &**big, config, sched, None,
                             )))
@@ -2001,7 +2002,7 @@ pub fn serve_connection(
                             let (ctx, crx) = channel::bounded::<ToCloud>(FRAME_QUEUE_CAP);
                             let cfg = config.clone();
                             let big2 = Arc::clone(big);
-                            let sched = cfg.scheduler.build();
+                            let sched = SchedulerSlot::from_config(&cfg.scheduler);
                             let handle =
                                 std::thread::spawn(move || cloud_loop(&crx, &*big2, &cfg, sched));
                             SessionExec::Threaded(SessionWorker { ctx, handle })

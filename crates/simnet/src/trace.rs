@@ -354,6 +354,76 @@ impl LinkTrace {
         &self.segments[idx.saturating_sub(1)]
     }
 
+    /// The bandwidth scale in effect at virtual time `t` (piecewise
+    /// constant; clamps like [`segment_at`](Self::segment_at)).
+    pub fn scale_at(&self, t: f64) -> f64 {
+        self.segment_at(t).bandwidth_scale
+    }
+
+    /// The integral of the bandwidth scale over `[0, t]`.
+    ///
+    /// Monotone non-decreasing in `t` (strictly increasing wherever the
+    /// scale is positive), so it doubles as an *unnormalised arrival CDF*
+    /// when a population layer uses "capacity over the day" as its arrival
+    /// intensity. Negative `t` integrates to `0`.
+    pub fn cumulative_scale(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.start_s >= t {
+                break;
+            }
+            let end = match self.segments.get(i + 1) {
+                Some(next) => next.start_s.min(t),
+                None => t,
+            };
+            acc += (end - seg.start_s.max(0.0)).max(0.0) * seg.bandwidth_scale;
+        }
+        acc
+    }
+
+    /// The inverse of [`cumulative_scale`](Self::cumulative_scale): the
+    /// earliest time `t` with `cumulative_scale(t) >= target`.
+    ///
+    /// Zero-scale segments contribute no mass, so no inverse value lands
+    /// strictly inside an outage — arrivals scheduled through this function
+    /// skip dark windows entirely. Targets past the trace's total mass
+    /// extrapolate through the final (infinite) segment; if that segment
+    /// has zero scale the result is `f64::INFINITY`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is negative or non-finite.
+    pub fn time_at_cumulative_scale(&self, target: f64) -> f64 {
+        assert!(
+            target.is_finite() && target >= 0.0,
+            "target mass must be finite and non-negative"
+        );
+        if target == 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (i, seg) in self.segments.iter().enumerate() {
+            let end = self.segments.get(i + 1).map(|next| next.start_s);
+            let width = match end {
+                Some(end) => end - seg.start_s,
+                None => f64::INFINITY,
+            };
+            let mass = width * seg.bandwidth_scale;
+            if acc + mass >= target || end.is_none() {
+                if seg.bandwidth_scale <= 0.0 {
+                    // Final segment is an outage: the target is unreachable.
+                    return f64::INFINITY;
+                }
+                return seg.start_s + (target - acc) / seg.bandwidth_scale;
+            }
+            acc += mass;
+        }
+        unreachable!("the last segment extends to infinity");
+    }
+
     /// The effective [`LinkState`] of `base` under this trace at time `t`.
     pub fn state_of(&self, base: &LinkModel, t: f64) -> LinkState {
         let seg = self.segment_at(t);
@@ -639,6 +709,36 @@ mod tests {
         assert!(mid < edge, "mid-period {mid} vs boundary {edge}");
         assert!(mid >= 0.2 - 1e-12);
         assert_eq!(trace.segment_at(250.0).bandwidth_scale, 1.0);
+    }
+
+    #[test]
+    fn cumulative_scale_integrates_piecewise() {
+        // 10 s at full capacity, 5 s dark, then full capacity forever.
+        let trace = LinkTrace::step_outage(10.0, 5.0);
+        assert_eq!(trace.cumulative_scale(-1.0), 0.0);
+        assert!((trace.cumulative_scale(10.0) - 10.0).abs() < 1e-12);
+        assert!((trace.cumulative_scale(15.0) - 10.0).abs() < 1e-12);
+        assert!((trace.cumulative_scale(18.0) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_cumulative_scale_skips_outages() {
+        let trace = LinkTrace::step_outage(10.0, 5.0);
+        assert_eq!(trace.time_at_cumulative_scale(0.0), 0.0);
+        assert!((trace.time_at_cumulative_scale(5.0) - 5.0).abs() < 1e-12);
+        // Mass just past the outage boundary lands after it, never inside.
+        assert!((trace.time_at_cumulative_scale(10.5) - 15.5).abs() < 1e-12);
+        // Round trip through a diurnal curve.
+        let ramp = LinkTrace::diurnal_ramp(100.0, 0.2, 8, 1);
+        for &t in &[3.0, 40.0, 77.0, 150.0] {
+            let mass = ramp.cumulative_scale(t);
+            assert!((ramp.time_at_cumulative_scale(mass) - t).abs() < 1e-9);
+        }
+        // Unreachable mass under a permanent outage.
+        assert_eq!(
+            LinkTrace::total_outage().time_at_cumulative_scale(1.0),
+            f64::INFINITY
+        );
     }
 
     #[test]

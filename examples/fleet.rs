@@ -1,0 +1,96 @@
+//! Fleet-scale simulation: a diurnal, Zipf-skewed population of edge
+//! sessions over sharded clouds, run through the event-driven virtual-time
+//! core — no thread or channel per session.
+//!
+//! ```bash
+//! cargo run --release --example fleet            # 20k sessions
+//! cargo run --release --example fleet -- 100000  # pick your own scale
+//! ```
+
+use smallbig::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let sessions: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("session count"))
+        .unwrap_or(20_000);
+
+    // The default population: Jetson edges over a wlan/fast-wifi/cellular
+    // mix (one slice traced through a diurnal bandwidth ramp), 20
+    // Zipf(1.1) tenants, diurnal arrivals, half the fleet under a 500 ms
+    // deadline, 4 cloud shards.
+    let spec = FleetSpec::new(sessions);
+
+    let wall = Instant::now();
+    let report = run_fleet(&spec);
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    println!(
+        "fleet: {} sessions, {} tenants, {} frames ({:.0}% uploaded), seed {:#x}",
+        report.sessions,
+        report.tenants.len(),
+        report.frames,
+        report.upload_ratio * 100.0,
+        report.seed,
+    );
+    println!(
+        "wall: {elapsed:.2}s ({:.0} sessions/sec, {:.0} frames/sec)",
+        report.sessions as f64 / elapsed,
+        report.frames as f64 / elapsed,
+    );
+    println!(
+        "virtual horizon: {:.1}s; uplink {:.1} MB ({:.0} bytes/session)",
+        report.completed_horizon_s,
+        report.uplink_bytes as f64 / 1e6,
+        report.uplink_bytes as f64 / report.sessions as f64,
+    );
+
+    let q = &report.latency;
+    println!(
+        "\nlatency: mean {:.1} ms | p50 {:.1} ms | p90 {:.1} ms | p99 {:.1} ms | p999 {:.1} ms | max {:.1} ms",
+        q.mean_s * 1e3,
+        q.p50_s * 1e3,
+        q.p90_s * 1e3,
+        q.p99_s * 1e3,
+        q.p999_s * 1e3,
+        q.max_s * 1e3,
+    );
+    println!(
+        "fallbacks: {} deadline misses, {} link, {} admission",
+        report.deadline_misses, report.link_fallbacks, report.admission_fallbacks,
+    );
+
+    println!("\ndeadline-miss curve (fraction of frames missing each deadline):");
+    for point in &report.miss_curve {
+        let bar = "#".repeat((point.miss_fraction * 40.0).round() as usize);
+        println!(
+            "  {:>6.0} ms  {:>6.2}%  {bar}",
+            point.deadline_s * 1e3,
+            point.miss_fraction * 100.0
+        );
+    }
+
+    println!("\nper-tenant breakdown (Zipf sizes; largest first):");
+    println!(
+        "  {:>6} {:>9} {:>9} {:>8} {:>9} {:>9} {:>9}",
+        "tenant", "sessions", "frames", "upload%", "p50(ms)", "p99(ms)", "p999(ms)"
+    );
+    let mut tenants = report.tenants.clone();
+    tenants.sort_by_key(|t| std::cmp::Reverse(t.sessions));
+    for t in tenants.iter().take(8) {
+        println!(
+            "  {:>6} {:>9} {:>9} {:>7.1}% {:>9.1} {:>9.1} {:>9.1}",
+            t.tenant,
+            t.sessions,
+            t.frames,
+            t.uploads as f64 / t.frames.max(1) as f64 * 100.0,
+            t.latency.p50_s * 1e3,
+            t.latency.p99_s * 1e3,
+            t.latency.p999_s * 1e3,
+        );
+    }
+    if tenants.len() > 8 {
+        println!("  … {} more tenants", tenants.len() - 8);
+    }
+}

@@ -103,6 +103,44 @@
 //! assert_eq!(report.frames, 8);
 //! ```
 //!
+//! # Fleet-scale quickstart (100k sessions, one process)
+//!
+//! Beyond a handful of edges, threads and channels stop being the right
+//! shape. The **fleet engine** ([`core::fleet`]) runs the *same* session
+//! and cloud state machines inline from a central virtual-time event
+//! queue — no thread or channel per session — so one process carries
+//! 10⁵–10⁶ concurrent heterogeneous sessions. Populations are drawn from
+//! seeded distributions (device/link/policy/deadline mixes, Zipf tenant
+//! sizes, diurnal arrivals), and a run aggregates p50/p99/p999 latency,
+//! per-tenant breakdowns and a deadline-miss curve:
+//!
+//! ```no_run
+//! use smallbig::prelude::*;
+//!
+//! // 100k sessions over 4 cloud shards: Jetson edges on a
+//! // wlan/fast-wifi/cellular mix, 20 Zipf tenants, diurnal arrivals,
+//! // half the fleet under a 500 ms deadline.
+//! let spec = FleetSpec::new(100_000);
+//! let report = run_fleet(&spec);
+//! println!(
+//!     "{} sessions, {} frames: p50 {:.0} ms, p99 {:.0} ms, p999 {:.0} ms",
+//!     report.sessions,
+//!     report.frames,
+//!     report.latency.p50_s * 1e3,
+//!     report.latency.p99_s * 1e3,
+//!     report.latency.p999_s * 1e3,
+//! );
+//! for t in &report.tenants {
+//!     println!("tenant {}: {} frames, p99 {:.0} ms", t.tenant, t.frames, t.latency.p99_s * 1e3);
+//! }
+//! ```
+//!
+//! The same spec can be replayed through the historical
+//! thread-per-session deployment ([`core::fleet::run_fleet_reference`]);
+//! both produce **bit-identical** per-session reports — the conformance
+//! contract `tests/fleet.rs` pins and the bench re-asserts before any
+//! timing. See `examples/fleet.rs`.
+//!
 //! # Distributed deployment
 //!
 //! The streaming runtime also speaks a real wire protocol
@@ -162,6 +200,9 @@ pub mod prelude {
     };
     pub use modelzoo::{Capability, Detector, ModelKind, SimDetector};
     pub use simnet::{DeviceModel, FaultPlan, LinkModel, LinkState, LinkTrace};
+    pub use smallbig_core::fleet::{
+        run_fleet, ArrivalCurve, FleetPolicy, FleetReport, FleetSpec, LinkChoice,
+    };
     pub use smallbig_core::{
         calibrate, evaluate, evaluate_streaming, run_system, AutoscaleConfig, CaseKind,
         CloudConfig, CloudServer, DifficultCaseDiscriminator, EdgeSession, EvalConfig,

@@ -1,0 +1,189 @@
+//! Fleet conformance: the event-driven virtual-time core must be
+//! bit-identical to the thread-per-session reference deployment, and the
+//! population layer must be reproducible from its seed.
+//!
+//! These are the pins behind the PR 8 refactor: `EdgeSession` /
+//! `CloudServer` became facades over channel-free state machines, and the
+//! fleet engine drives those same machines inline. If either runtime
+//! drifts — an RNG draw moved, a message reordered, a clock advanced
+//! differently — the heterogeneous fleet here diverges immediately.
+
+use smallbig::core::fleet::{
+    run_fleet, run_fleet_reference, run_fleet_sessions, ArrivalCurve, DeadlineChoice, FleetPolicy,
+    FleetSpec, LinkChoice, PolicyChoice, Population,
+};
+use smallbig::core::CloudConfig;
+use smallbig::prelude::{LinkModel, LinkTrace};
+
+/// A small but maximally heterogeneous fleet: static and traced links,
+/// all three policy archetypes, mixed deadlines, admission control, and
+/// two cloud shards.
+fn heterogeneous_spec() -> FleetSpec {
+    FleetSpec {
+        tenants: 5,
+        frames_per_session: 4,
+        frame_interval_s: 5.0,
+        horizon_s: 30.0,
+        arrival: ArrivalCurve::Diurnal {
+            period_s: 15.0,
+            floor_scale: 0.3,
+        },
+        link_mix: vec![
+            LinkChoice {
+                weight: 0.4,
+                link: LinkModel::wlan(),
+                trace: None,
+            },
+            LinkChoice {
+                weight: 0.3,
+                link: LinkModel::fast_wifi(),
+                trace: None,
+            },
+            LinkChoice {
+                weight: 0.3,
+                link: LinkModel::cellular(),
+                trace: Some(LinkTrace::diurnal_ramp(20.0, 0.35, 8, 3)),
+            },
+        ],
+        policy_mix: vec![
+            PolicyChoice {
+                weight: 0.6,
+                policy: FleetPolicy::Discriminator,
+            },
+            PolicyChoice {
+                weight: 0.25,
+                policy: FleetPolicy::CloudOnly,
+            },
+            PolicyChoice {
+                weight: 0.15,
+                policy: FleetPolicy::EdgeOnly,
+            },
+        ],
+        deadline_mix: vec![
+            DeadlineChoice {
+                weight: 0.5,
+                deadline_s: None,
+            },
+            DeadlineChoice {
+                weight: 0.5,
+                deadline_s: Some(0.4),
+            },
+        ],
+        scene_pool: 12,
+        shards: 2,
+        cloud: CloudConfig {
+            max_batch: 1,
+            queue_limit: Some(64),
+            ..CloudConfig::default()
+        },
+        seed: 0x000f_1ee7_2023,
+        ..FleetSpec::new(120)
+    }
+}
+
+#[test]
+fn event_core_is_bit_identical_to_threaded_reference() {
+    let spec = heterogeneous_spec();
+    let (core_reports, core_stats) = run_fleet_sessions(&spec);
+    let (ref_reports, ref_stats) = run_fleet_reference(&spec);
+    assert_eq!(
+        core_reports, ref_reports,
+        "per-session reports must match the thread-per-session deployment bit for bit"
+    );
+    assert_eq!(
+        core_stats, ref_stats,
+        "per-shard cloud stats must match the thread-per-session deployment"
+    );
+    // The fleet actually exercised the interesting paths.
+    assert_eq!(core_reports.len(), spec.sessions);
+    assert!(core_reports.iter().any(|r| r.uploads > 0), "some uploads");
+    assert!(
+        core_reports.iter().any(|r| r.uploads == 0),
+        "some edge-only sessions"
+    );
+    assert!(
+        core_reports.iter().any(|r| r.deadline_misses > 0)
+            || core_reports.iter().any(|r| r.link_fallbacks > 0),
+        "deadlines or traced links should bite somewhere"
+    );
+}
+
+#[test]
+fn fleet_replays_are_deterministic() {
+    let spec = heterogeneous_spec();
+    let a = run_fleet(&spec);
+    let b = run_fleet(&spec);
+    assert_eq!(a, b, "same spec, same process: bit-identical reports");
+    assert_eq!(a.frames, (spec.sessions * 4) as u64);
+    assert_eq!(a.cloud.len(), spec.shards);
+    assert_eq!(
+        a.cloud.iter().map(|c| c.sessions).sum::<usize>(),
+        spec.sessions
+    );
+}
+
+#[test]
+fn seeded_population_is_reproducible_and_seed_sensitive() {
+    let spec = heterogeneous_spec();
+    let a = Population::generate(&spec);
+    let b = Population::generate(&spec);
+    assert_eq!(a, b, "same seed, same population");
+    let reseeded = FleetSpec {
+        seed: spec.seed ^ 1,
+        ..heterogeneous_spec()
+    };
+    assert_ne!(
+        a,
+        Population::generate(&reseeded),
+        "a different seed must plan a different population"
+    );
+    // Every mix entry is actually used by this population.
+    assert!((0..3).all(|l| a.sessions.iter().any(|p| p.link == l)));
+    assert!((0..3).all(|k| a.sessions.iter().any(|p| p.policy == k)));
+    assert!((0..2).all(|d| a.sessions.iter().any(|p| p.deadline == d)));
+}
+
+#[test]
+fn fleet_report_quantiles_and_miss_curve_are_coherent() {
+    let report = run_fleet(&heterogeneous_spec());
+    let q = &report.latency;
+    assert!(q.p50_s > 0.0);
+    assert!(q.p50_s <= q.p90_s && q.p90_s <= q.p99_s);
+    assert!(q.p99_s <= q.p999_s && q.p999_s <= q.max_s);
+    assert!(q.mean_s > 0.0 && q.mean_s <= q.max_s);
+    for pair in report.miss_curve.windows(2) {
+        assert!(pair[0].deadline_s < pair[1].deadline_s);
+        assert!(
+            pair[0].miss_fraction >= pair[1].miss_fraction,
+            "a longer deadline cannot be missed more often"
+        );
+    }
+    assert_eq!(
+        report.tenants.iter().map(|t| t.frames).sum::<u64>(),
+        report.frames,
+        "tenant breakdowns partition the fleet's frames"
+    );
+    assert_eq!(
+        report.tenants.iter().map(|t| t.sessions).sum::<usize>(),
+        report.sessions
+    );
+    for t in &report.tenants {
+        assert!(t.latency.p50_s <= t.latency.p999_s);
+    }
+}
+
+#[test]
+fn uniform_arrivals_and_single_shard_also_conform() {
+    // The degenerate corners of the planner: one shard, uniform arrivals,
+    // no admission control.
+    let spec = FleetSpec {
+        arrival: ArrivalCurve::Uniform,
+        shards: 1,
+        cloud: CloudConfig::default(),
+        ..heterogeneous_spec()
+    };
+    let (core_reports, core_stats) = run_fleet_sessions(&spec);
+    let (ref_reports, ref_stats) = run_fleet_reference(&spec);
+    assert_eq!(core_reports, ref_reports);
+    assert_eq!(core_stats, ref_stats);
+}
