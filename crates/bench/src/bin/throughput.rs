@@ -1191,6 +1191,40 @@ struct FleetRow {
 }
 
 #[derive(Debug, Serialize)]
+struct FleetThreadsRow {
+    sessions: usize,
+    shards: usize,
+    /// Drive-thread counts swept (`FleetSpec::threads`; one worker per
+    /// shard group).
+    threads: Vec<usize>,
+    /// Wall-clock frames/sec at each thread count (same order as
+    /// `threads`). The `FleetReport` is asserted bit-identical across all
+    /// thread counts before any timing happens.
+    fps: Vec<f64>,
+    /// time(threads = 1) / time(threads = t): > 1.0 means the parallel
+    /// drive pays on this host, ≈ 1.0 means the host has no spare cores
+    /// to fan the shard groups out over.
+    speedup_vs_single: Vec<f64>,
+}
+
+#[derive(Debug, Serialize)]
+struct FleetRssRow {
+    sessions: usize,
+    frames: u64,
+    /// Peak RSS (VmHWM) of a fresh subprocess running the fleet with the
+    /// full per-session evaluators (`MetricsMode::Full`) — the PR 8
+    /// memory shape.
+    full_peak_rss_mb: f64,
+    /// Peak RSS of the same fleet with the compact frame-metrics
+    /// accumulator (`MetricsMode::Compact`, the `run_fleet` default).
+    compact_peak_rss_mb: f64,
+    /// full / compact — the PR 9 memory bar (≥ 5× at 10⁶ sessions).
+    reduction_x: f64,
+    full_wall_s: f64,
+    compact_wall_s: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct FleetBench {
     /// Sessions in the conformance fleet: the event-driven core is
     /// asserted bit-identical (per-session reports and per-shard cloud
@@ -1200,6 +1234,66 @@ struct FleetBench {
     /// `run_fleet` over `FleetSpec::new(n)` at increasing population
     /// scale; the last full-mode row is the 10⁶-session smoke run.
     scale: Vec<FleetRow>,
+    /// The PR 9 shard-parallel drive swept over thread counts, reports
+    /// asserted bit-identical first.
+    threads_sweep: FleetThreadsRow,
+    /// Full vs compact metrics peak RSS, each measured in its own
+    /// subprocess (VmHWM is a process-lifetime high-water mark, so
+    /// in-process before/after would pollute each other).
+    rss: Vec<FleetRssRow>,
+}
+
+/// Peak resident set size (VmHWM) of this process, from
+/// `/proc/self/status`. `None` off Linux — the RSS rows are then skipped.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Child mode behind the hidden `--fleet-rss` flag: run one fleet in this
+/// fresh process and print its own peak RSS. Parent parses the line.
+fn fleet_rss_child(sessions: usize, mode: smallbig_core::fleet::MetricsMode) {
+    let spec = smallbig_core::fleet::FleetSpec::new(sessions);
+    let t = Instant::now();
+    let r = smallbig_core::fleet::run_fleet_with(&spec, mode).expect("healthy drive");
+    let wall = t.elapsed().as_secs_f64();
+    let peak_kb = peak_rss_kb().unwrap_or(0);
+    println!("frames={} peak_kb={peak_kb} wall_s={wall:.3}", r.frames);
+}
+
+/// Re-exec this binary to measure one fleet configuration's peak RSS in an
+/// unpolluted process. Returns (frames, peak_kb, wall_s).
+fn fleet_rss_probe(sessions: usize, mode: &str) -> (u64, u64, f64) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .args(["--fleet-rss", &sessions.to_string(), mode])
+        .output()
+        .expect("spawn fleet RSS probe");
+    assert!(
+        out.status.success(),
+        "fleet RSS probe ({sessions} sessions, {mode}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let (mut frames, mut peak_kb, mut wall) = (0u64, 0u64, 0f64);
+    for tok in text.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("frames=") {
+            frames = v.parse().expect("frames field");
+        } else if let Some(v) = tok.strip_prefix("peak_kb=") {
+            peak_kb = v.parse().expect("peak_kb field");
+        } else if let Some(v) = tok.strip_prefix("wall_s=") {
+            wall = v.parse().expect("wall_s field");
+        }
+    }
+    assert!(
+        frames > 0 && peak_kb > 0,
+        "probe printed no measurement: {text}"
+    );
+    (frames, peak_kb, wall)
 }
 
 fn main() {
@@ -1217,6 +1311,21 @@ fn main() {
                     eprintln!("{arg} needs a path");
                     std::process::exit(2);
                 })
+            }
+            // Hidden: child mode for the RSS rows. Runs one fleet in this
+            // fresh process, prints its own VmHWM, exits.
+            "--fleet-rss" => {
+                let sessions: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--fleet-rss SESSIONS full|compact");
+                let mode = match args.next().as_deref() {
+                    Some("full") => smallbig_core::fleet::MetricsMode::Full,
+                    Some("compact") => smallbig_core::fleet::MetricsMode::Compact,
+                    other => panic!("--fleet-rss mode must be full|compact, got {other:?}"),
+                };
+                fleet_rss_child(sessions, mode);
+                return;
             }
             "--help" | "-h" => {
                 println!("usage: throughput [--quick] [--json-out PATH]");
@@ -2264,7 +2373,8 @@ fn main() {
     let conformance_sessions = 1_000;
     {
         let spec = smallbig_core::fleet::FleetSpec::new(conformance_sessions);
-        let (core_reports, core_stats) = smallbig_core::fleet::run_fleet_sessions(&spec);
+        let (core_reports, core_stats) =
+            smallbig_core::fleet::run_fleet_sessions(&spec).expect("healthy drive");
         let (ref_reports, ref_stats) = smallbig_core::fleet::run_fleet_reference(&spec);
         assert_eq!(
             core_reports, ref_reports,
@@ -2297,7 +2407,7 @@ fn main() {
             let mut report = None;
             for _ in 0..passes {
                 let t = Instant::now();
-                let r = smallbig_core::fleet::run_fleet(&spec);
+                let r = smallbig_core::fleet::run_fleet(&spec).expect("healthy drive");
                 best = best.min(t.elapsed());
                 report = Some(r);
             }
@@ -2327,17 +2437,91 @@ fn main() {
             row
         })
         .collect();
+    // ---- Fleet engine: shard-parallel drive --------------------------------
+    // Bit-identity before speed: the FleetReport must not change by a byte
+    // across thread counts — only then is the fps column a pure wall-clock
+    // comparison.
+    let sweep_sessions = if quick { 2_000 } else { 100_000 };
+    let sweep_threads = vec![1usize, 2, 4];
+    let sweep_spec = |threads: usize| smallbig_core::fleet::FleetSpec {
+        threads,
+        ..smallbig_core::fleet::FleetSpec::new(sweep_sessions)
+    };
+    let baseline_report = smallbig_core::fleet::run_fleet(&sweep_spec(1)).expect("healthy drive");
+    let mut sweep_walls = Vec::with_capacity(sweep_threads.len());
+    let mut sweep_fps = Vec::with_capacity(sweep_threads.len());
+    for &threads in &sweep_threads {
+        let spec = sweep_spec(threads);
+        let passes = if sweep_sessions <= 10_000 {
+            repeats.min(3)
+        } else {
+            1
+        };
+        let mut best = Duration::MAX;
+        for _ in 0..passes {
+            let t = Instant::now();
+            let r = smallbig_core::fleet::run_fleet(&spec).expect("healthy drive");
+            best = best.min(t.elapsed());
+            assert_eq!(
+                r, baseline_report,
+                "parallel drive drifted from the single-thread report on {threads} thread(s)"
+            );
+        }
+        sweep_walls.push(best.as_secs_f64());
+        sweep_fps.push(baseline_report.frames as f64 / best.as_secs_f64());
+    }
+    eprintln!(
+        "# fleet thread-sweep self-check passed: FleetReport bit-identical on {sweep_threads:?} thread(s)"
+    );
+    let threads_sweep = FleetThreadsRow {
+        sessions: sweep_sessions,
+        shards: sweep_spec(1).shards,
+        speedup_vs_single: sweep_walls.iter().map(|&w| sweep_walls[0] / w).collect(),
+        threads: sweep_threads,
+        fps: sweep_fps,
+    };
+    eprintln!("fleet/threads_sweep: {threads_sweep:?}");
+
+    // ---- Fleet engine: compact-metrics memory ------------------------------
+    // Each (scale, mode) pair runs in its own subprocess so VmHWM — a
+    // process-lifetime high-water mark — measures exactly one fleet.
+    let rss_scales: &[usize] = if quick { &[50_000] } else { &[1_000_000] };
+    let rss_rows: Vec<FleetRssRow> = rss_scales
+        .iter()
+        .map(|&n| {
+            let (frames_full, full_kb, full_wall) = fleet_rss_probe(n, "full");
+            let (frames_compact, compact_kb, compact_wall) = fleet_rss_probe(n, "compact");
+            assert_eq!(
+                frames_full, frames_compact,
+                "metrics mode must not change the frame count"
+            );
+            let row = FleetRssRow {
+                sessions: n,
+                frames: frames_full,
+                full_peak_rss_mb: full_kb as f64 / 1024.0,
+                compact_peak_rss_mb: compact_kb as f64 / 1024.0,
+                reduction_x: full_kb as f64 / compact_kb as f64,
+                full_wall_s: full_wall,
+                compact_wall_s: compact_wall,
+            };
+            eprintln!("fleet/rss[{n}]: {row:?}");
+            row
+        })
+        .collect();
+
     let fleet_bench = FleetBench {
         conformance_sessions,
         scale: fleet_rows,
+        threads_sweep,
+        rss: rss_rows,
     };
 
     let report = Report {
-        pr: 8,
+        pr: 9,
         title:
-            "Fleet-scale engine: event-driven virtual-time core for 100k+ concurrent edge sessions"
+            "Shard-parallel fleet drive and compact metrics accumulator for million-session runs"
                 .to_string(),
-        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR8.json"
+        command: "cargo run --release -p bench --bin throughput -- --json-out BENCH_PR9.json"
             .to_string(),
         quick,
         host_parallelism,

@@ -28,6 +28,26 @@
 //! stats — pinned by `tests/fleet.rs` and re-asserted by the bench's
 //! `fleet` section before any timing.
 //!
+//! # Parallel drive: one worker per shard group
+//!
+//! Shards are independent by construction: session `i` only ever talks to
+//! shard `i % shards`, shard RNG streams are disjoint (each shard's
+//! [`CloudConfig`] seed is derived from the shard id), and the only state
+//! crossing shard groups — the upload-size memo — is a pure-function
+//! cache whose fill order cannot change any value. Restricting the global
+//! `(time, session)` event order to one shard's sessions therefore yields
+//! *exactly* the message sequence that shard observes in a single-threaded
+//! drive, so each shard group runs its own virtual-time queue on its own
+//! scoped worker ([`FleetSpec::threads`], fanned out over the vendored
+//! crossbeam channels like [`crate::par::ordered_map`]) and the per-shard
+//! outcomes are merged in shard / session-index order. **[`FleetReport`]
+//! is bit-identical for every thread count** — pinned by the
+//! threads ∈ {1, 2, 4} sweep in `tests/fleet.rs` against the threaded
+//! reference deployment; parallelism changes wall-clock time only. A
+//! shard drive that panics (e.g. a poisoned inline mailbox) is caught at
+//! the shard boundary and surfaced as a typed [`FleetError`] instead of
+//! tearing the process down.
+//!
 //! # Population layer
 //!
 //! [`FleetSpec`] describes a population, not individual sessions: weighted
@@ -40,11 +60,26 @@
 //! ~32 MB); everything heavier is materialized lazily at the session's
 //! first frame. The same seed always yields the same population, the same
 //! schedule, and the same [`FleetReport`], bit for bit.
+//!
+//! # Memory: compact metrics
+//!
+//! At 10⁶ live sessions every retained byte is a megabyte. The aggregate
+//! path ([`run_fleet`]) drives sessions in compact-metrics mode: the
+//! per-session `MapEvaluator` (detection records + match scratch, the
+//! dominant per-session cost) is dropped entirely — [`FleetReport`]
+//! never reads mAP — and per-frame scratch buffers are shared per shard.
+//! Counting metrics stay exact integer sums, so
+//! [`run_fleet_with`]`(spec, `[`MetricsMode::Full`]`)` and the compact
+//! default produce bit-identical reports (pinned in `tests/fleet.rs`);
+//! only [`SessionReport::map_pct`] — which the aggregate path discards —
+//! differs. [`run_fleet_sessions`] keeps full metrics, so its per-session
+//! reports stay bit-identical to the reference deployment.
 
 use crate::scheduler::SchedulerSlot;
 use crate::server::{
     AnswerTx, CloudConfig, CloudMachine, CloudPort, CloudServer, CloudStats, EdgeMachine,
-    FrameResult, ProbeReply, ProbeTx, SessionConfig, SessionReport, ToCloud, UploadSizeCache,
+    FrameResult, ProbeReply, ProbeTx, SessionConfig, SessionReport, SharedFrameScratch, ToCloud,
+    UploadSizeCache,
 };
 use crate::strategies::{OffloadPolicy, Policy};
 use crate::DifficultCaseDiscriminator;
@@ -177,6 +212,13 @@ pub struct FleetSpec {
     pub shards: usize,
     /// Per-shard cloud configuration (seed is xored with the shard id).
     pub cloud: CloudConfig,
+    /// Worker threads for the shard-parallel drive: shard groups fan out
+    /// over `min(threads, shards)` scoped workers. `0` picks one per
+    /// available core; `1` forces the exact sequential path. The
+    /// `SMALLBIG_FLEET_THREADS` environment variable overrides a `0`
+    /// here. [`FleetReport`] is bit-identical for every value —
+    /// parallelism changes wall-clock time only (see the module docs).
+    pub threads: usize,
     /// Master seed: population draws, scene generation, and every
     /// per-session RNG stream derive from it.
     pub seed: u64,
@@ -262,6 +304,7 @@ impl FleetSpec {
                 queue_limit: Some(64),
                 ..CloudConfig::default()
             },
+            threads: 0,
             seed: 0xf1ee7,
         }
     }
@@ -480,12 +523,23 @@ struct Schedule<'p> {
 
 impl<'p> Schedule<'p> {
     fn new(plan: &'p [PlannedSession], interval_s: f64) -> Schedule<'p> {
-        let heap = plan
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
+        Schedule::for_sessions(plan, interval_s, 0..plan.len())
+    }
+
+    /// A schedule over a subset of the plan's sessions (by global id).
+    /// Pops in the same `(time, session)` order the full schedule would
+    /// emit restricted to exactly these sessions — the property the
+    /// shard-parallel drive rests on: a shard sees the identical message
+    /// sequence whether the whole fleet or only its own group is driven.
+    fn for_sessions(
+        plan: &'p [PlannedSession],
+        interval_s: f64,
+        ids: impl Iterator<Item = usize>,
+    ) -> Schedule<'p> {
+        let heap = ids
+            .map(|i| {
                 Reverse(Step {
-                    time: p.start_s,
+                    time: plan[i].start_s,
                     session: i as u32,
                     frame: 0,
                 })
@@ -512,14 +566,56 @@ impl<'p> Schedule<'p> {
     }
 }
 
-/// The in-process mailboxes one inline session shares with its cloud
-/// shard: answers and probe replies land here synchronously (the shard's
+/// Panic message every inline-mailbox access uses on a poisoned lock: a
+/// *previous* frame panicked while the shard held the mailbox. The shard
+/// drive's [`shard_guard`] converts this into a typed [`FleetError`], so
+/// one poisoned shard fails the run with a diagnostic instead of a bare
+/// `PoisonError` unwrap.
+const MAILBOX_POISONED: &str =
+    "inline mailbox poisoned: an earlier frame panicked mid-reply on this shard";
+
+/// The in-process mailbox one inline session shares with its cloud shard:
+/// answers and probe replies land here synchronously (the shard's
 /// `AnswerTx`/`ProbeTx` sinks push from inside `CloudMachine::handle`)
-/// and the session's port pops them right after.
+/// and the session's port pops them right after. One allocation per
+/// session — both reply paths share the `Arc`.
 #[derive(Default)]
+struct InlineMailbox {
+    answers: VecDeque<(u64, Bytes)>,
+    probe: Option<ProbeReply>,
+}
+
+/// Handle to one session's [`InlineMailbox`]; cloning shares the mailbox
+/// (the cloud-side sinks hold clones).
+#[derive(Default, Clone)]
 struct InlineInfra {
-    inbox: Arc<Mutex<VecDeque<(u64, Bytes)>>>,
-    probe: Arc<Mutex<Option<ProbeReply>>>,
+    mailbox: Arc<Mutex<InlineMailbox>>,
+}
+
+impl InlineInfra {
+    fn pop_answer(&self) -> Option<(u64, Bytes)> {
+        self.mailbox
+            .lock()
+            .expect(MAILBOX_POISONED)
+            .answers
+            .pop_front()
+    }
+
+    fn take_probe(&self) -> Option<ProbeReply> {
+        self.mailbox.lock().expect(MAILBOX_POISONED).probe.take()
+    }
+
+    fn push_answer(&self, ticket: u64, frame: Bytes) {
+        self.mailbox
+            .lock()
+            .expect(MAILBOX_POISONED)
+            .answers
+            .push_back((ticket, frame));
+    }
+
+    fn put_probe(&self, reply: ProbeReply) {
+        self.mailbox.lock().expect(MAILBOX_POISONED).probe = Some(reply);
+    }
 }
 
 /// The inline [`CloudPort`]: `send` *is* the cloud's message handler, so
@@ -537,21 +633,34 @@ impl CloudPort for InlinePort<'_, '_> {
     }
 
     fn recv_answer(&mut self) -> Option<(u64, Bytes)> {
-        self.infra.inbox.lock().unwrap().pop_front()
+        self.infra.pop_answer()
     }
 
     fn recv_probe(&mut self) -> Option<ProbeReply> {
-        self.infra.probe.lock().unwrap().take()
+        self.infra.take_probe()
     }
 }
 
-/// One live session in the event core: its state machine plus mailboxes.
+/// One live session in the event core: its state machine plus mailbox.
 /// Boxed so the fleet's `Vec<Option<...>>` stays one pointer per planned
 /// session regardless of machine size.
 struct LiveSession<'a> {
     m: EdgeMachine<'a>,
     infra: InlineInfra,
-    scene_off: usize,
+}
+
+/// Index into the shared scene pool for session `session`'s frame
+/// `frame`: each session starts at its own offset (`session % pool`) and
+/// cycles the pool from there, decorrelating neighbours while keeping
+/// renders memoisable. This is the **only** copy of that arithmetic —
+/// the event core and the threaded reference used to each spell it
+/// inline (`(scene_off + frame) % pool` vs `(i % pool + frame) % pool`),
+/// which agreed only because `scene_off` happened to equal `i % pool`;
+/// any future offset change in one runtime would have silently diverged
+/// the populations. Both runtimes now call this helper, pinned by a
+/// regression test.
+fn scene_index(session: usize, frame: u32, pool: usize) -> usize {
+    (session % pool + frame as usize) % pool
 }
 
 /// Generates the fleet's shared synthetic workload: a small pool of
@@ -571,79 +680,169 @@ fn workload(spec: &FleetSpec) -> (Vec<Arc<Scene>>, SimDetector, SimDetector) {
 }
 
 /// Registers an inline session with its shard, wiring the shard's reply
-/// paths straight into the session's mailboxes.
+/// paths straight into the session's mailbox.
 fn register_inline(cloud: &mut CloudMachine<'_>, id: u64, link: LinkModel, infra: &InlineInfra) {
-    let inbox = Arc::clone(&infra.inbox);
-    let probe = Arc::clone(&infra.probe);
+    let answers = infra.clone();
+    let probes = infra.clone();
     cloud.handle(ToCloud::Register {
         session: id,
         link,
         resp_tx: AnswerTx::Sink(Box::new(move |ticket, frame| {
-            inbox.lock().unwrap().push_back((ticket, frame));
+            answers.push_answer(ticket, frame);
             true
         })),
         probe_tx: ProbeTx::Sink(Box::new(move |reply| {
-            probe.lock().unwrap().replace(reply);
+            probes.put_probe(reply);
             true
         })),
     });
 }
 
-/// Drives the whole fleet through the event core, streaming every frame
-/// result and session report into the callbacks (nothing per-session is
-/// retained here — the caller chooses between aggregation and
-/// collection). Returns the per-shard cloud stats.
-fn run_event_core<F, G>(
+/// A fleet run failed: one shard's drive panicked (a poisoned inline
+/// mailbox after an earlier mid-frame panic, an unresolved frame, a
+/// machine invariant violation). The run surfaces the first failing
+/// shard (lowest id) with its panic diagnostic instead of tearing the
+/// process down — remaining shards complete normally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetError {
+    /// The cloud shard whose drive failed.
+    pub shard: usize,
+    /// The panic diagnostic.
+    pub message: String,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fleet shard {} failed: {}", self.shard, self.message)
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Runs one shard's drive with a panic boundary: any panic inside —
+/// including the descriptive mutex-poison panics of [`InlineInfra`] —
+/// becomes a typed [`FleetError`] naming the shard, so callers of the
+/// public run functions see `Result`, not an unwinding thread.
+fn shard_guard<T>(shard: usize, f: impl FnOnce() -> T) -> Result<T, FleetError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).map_err(|payload| {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "shard drive panicked with a non-string payload".to_string());
+        FleetError { shard, message }
+    })
+}
+
+/// Resolves [`FleetSpec::threads`] for a run: the `SMALLBIG_FLEET_THREADS`
+/// environment variable overrides a spec left at `0` (auto), auto means
+/// one worker per available core, and the result is capped by the shard
+/// count (a shard group is the unit of parallelism).
+fn fleet_threads(spec: &FleetSpec) -> usize {
+    fleet_threads_from(
+        std::env::var("SMALLBIG_FLEET_THREADS").ok().as_deref(),
+        spec,
+    )
+}
+
+/// [`fleet_threads`] with the environment override supplied by the caller
+/// (kept pure so it can be tested without mutating process-global state).
+fn fleet_threads_from(env_override: Option<&str>, spec: &FleetSpec) -> usize {
+    let configured = match spec.threads {
+        0 => env_override
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(0),
+        t => t,
+    };
+    let resolved = if configured == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        configured
+    };
+    resolved.min(spec.shards).max(1)
+}
+
+/// How the fleet engine accumulates per-session quality metrics; see the
+/// module docs' memory section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsMode {
+    /// Historical per-session state: a full `MapEvaluator` plus private
+    /// scratch per live session. What [`run_fleet_sessions`] uses, so
+    /// [`SessionReport::map_pct`] matches the reference deployment.
+    Full,
+    /// Fleet-scale mode: no per-session mAP state, per-frame scratch
+    /// shared per shard. `SessionReport::map_pct` reads `0`; everything
+    /// [`FleetReport`] aggregates is bit-identical to [`MetricsMode::Full`].
+    Compact,
+}
+
+/// What a shard drive streams as it runs: one callback per resolved frame
+/// and one per finished session (with the session's global id, so callers
+/// can merge across shards in index order). Implementations are
+/// per-shard values, created by a factory and returned to the caller —
+/// which is what lets the drives run on independent workers.
+trait ShardConsumer: Send {
+    fn on_frame(&mut self, tenant: u32, result: &FrameResult);
+    fn on_session(&mut self, session: u32, tenant: u32, report: SessionReport);
+}
+
+/// Drives one shard group — sessions `i ≡ shard (mod spec.shards)` —
+/// through the event core: its own virtual-time queue, its own
+/// [`CloudMachine`], its own live-session storage (dense: global id
+/// `i` lives at slot `i / shards`). The message sequence this produces
+/// is exactly the full fleet schedule restricted to this shard, which is
+/// why per-shard drives compose bit-identically (see the module docs).
+#[allow(clippy::too_many_arguments)]
+fn drive_shard<C: ShardConsumer>(
     spec: &FleetSpec,
     pop: &Population,
-    mut on_frame: F,
-    mut on_session: G,
-) -> Vec<CloudStats>
-where
-    F: FnMut(u32, &FrameResult),
-    G: FnMut(u32, SessionReport),
-{
-    let (scenes, small, big) = workload(spec);
-    let small: &(dyn Detector + Sync) = &small;
-    let big: &(dyn Detector + Sync) = &big;
-    let shard_cfgs: Vec<CloudConfig> = (0..spec.shards).map(|s| spec.shard_config(s)).collect();
-    let mut clouds: Vec<CloudMachine<'_>> = shard_cfgs
-        .iter()
-        .map(|cfg| CloudMachine::new(big, cfg, SchedulerSlot::from_config(&cfg.scheduler), None))
-        .collect();
+    shard: usize,
+    mode: MetricsMode,
+    scenes: &[Arc<Scene>],
+    small: &(dyn Detector + Sync),
+    big: &(dyn Detector + Sync),
+    size_cache: &UploadSizeCache,
+    consumer: &mut C,
+) -> CloudStats {
+    let cfg = spec.shard_config(shard);
+    let mut cloud = CloudMachine::new(big, &cfg, SchedulerSlot::from_config(&cfg.scheduler), None);
     let admission = spec.cloud.queue_limit.is_some();
-    let mut lives: Vec<Option<Box<LiveSession<'_>>>> =
-        (0..pop.sessions.len()).map(|_| None).collect();
-    // One upload-size memo for the whole fleet: sessions cycle a shared
-    // scene pool, and encoded size is a pure function of (scene,
-    // resolution), so after `scene_pool` cold renders every upload's
-    // sizing is a hash lookup. The `scenes` vec outlives every session,
-    // which is what keeps the address-keyed cache valid.
-    let size_cache: UploadSizeCache = Arc::new(Mutex::new(HashMap::new()));
-    let mut schedule = Schedule::new(&pop.sessions, spec.frame_interval_s);
+    let n = pop.sessions.len();
+    let group = n.saturating_sub(shard).div_ceil(spec.shards);
+    let mut lives: Vec<Option<Box<LiveSession<'_>>>> = (0..group).map(|_| None).collect();
+    // Per-frame scratch shared across the shard's sessions in compact
+    // mode (single-threaded per shard, so the lock is uncontended).
+    let scratch: SharedFrameScratch = SharedFrameScratch::default();
+    let mut schedule = Schedule::for_sessions(
+        &pop.sessions,
+        spec.frame_interval_s,
+        (shard..n).step_by(spec.shards),
+    );
     while let Some(step) = schedule.next() {
         let i = step.session as usize;
         let p = &pop.sessions[i];
-        let shard = i % spec.shards;
+        let slot = i / spec.shards;
         if step.frame == 0 {
             let cfg = spec.session_config(p, i);
             let infra = InlineInfra::default();
-            register_inline(&mut clouds[shard], i as u64, cfg.link.clone(), &infra);
+            register_inline(&mut cloud, i as u64, cfg.link.clone(), &infra);
             let mut m = EdgeMachine::new(i as u64, cfg, small, spec.build_policy(p), admission);
-            m.set_size_cache(Arc::clone(&size_cache));
-            lives[i] = Some(Box::new(LiveSession {
-                m,
-                infra,
-                scene_off: i % scenes.len(),
-            }));
+            m.set_size_cache(Arc::clone(size_cache));
+            if mode == MetricsMode::Compact {
+                m.set_compact_metrics(Arc::clone(&scratch));
+            }
+            lives[slot] = Some(Box::new(LiveSession { m, infra }));
         }
-        let live = lives[i]
+        let live = lives[slot]
             .as_mut()
             .expect("live between first and last frame");
         live.m.advance_to(step.time);
-        let scene = &scenes[(live.scene_off + step.frame as usize) % scenes.len()];
+        let scene = &scenes[scene_index(i, step.frame, scenes.len())];
         let mut port = InlinePort {
-            cloud: &mut clouds[shard],
+            cloud: &mut cloud,
             infra: &live.infra,
         };
         let ticket = live.m.submit_inner(&mut port, scene, Some(scene));
@@ -651,26 +850,99 @@ where
             .m
             .poll(&mut port, ticket)
             .expect("depth-1 driving resolves every frame");
-        on_frame(p.tenant, &result);
+        consumer.on_frame(p.tenant, &result);
         if step.frame + 1 == p.frames {
             let report = live.m.drain(&mut port);
             port.send(ToCloud::Deregister { session: i as u64 });
-            on_session(p.tenant, report);
-            lives[i] = None;
+            consumer.on_session(step.session, p.tenant, report);
+            lives[slot] = None;
         }
     }
-    clouds.into_iter().map(|c| c.finish()).collect()
+    cloud.finish()
+}
+
+/// Drives the whole fleet, one worker per shard group (see
+/// [`fleet_threads`]), and returns every shard's `(consumer, stats)` in
+/// shard order. Each shard runs behind [`shard_guard`]; the first
+/// failing shard's error is returned after all drives complete.
+fn run_event_core<C, F>(
+    spec: &FleetSpec,
+    pop: &Population,
+    mode: MetricsMode,
+    make: F,
+) -> Result<Vec<(C, CloudStats)>, FleetError>
+where
+    C: ShardConsumer,
+    F: Fn() -> C + Sync,
+{
+    let (scenes, small, big) = workload(spec);
+    let small: &(dyn Detector + Sync) = &small;
+    let big: &(dyn Detector + Sync) = &big;
+    // One upload-size memo for the whole fleet: sessions cycle a shared
+    // scene pool, and encoded size is a pure function of (scene,
+    // resolution), so after `scene_pool` cold renders every upload's
+    // sizing is a hash lookup. The `scenes` vec outlives every session,
+    // which is what keeps the address-keyed cache valid — and sharing it
+    // across shard workers stays deterministic for the same reason: every
+    // fill writes the same value for a key, whoever gets there first.
+    let size_cache: UploadSizeCache = Arc::new(Mutex::new(HashMap::new()));
+    let threads = fleet_threads(spec);
+    crate::par::ordered_map_with(threads, spec.shards, |shard| {
+        shard_guard(shard, || {
+            let mut consumer = make();
+            let stats = drive_shard(
+                spec,
+                pop,
+                shard,
+                mode,
+                &scenes,
+                small,
+                big,
+                &size_cache,
+                &mut consumer,
+            );
+            (consumer, stats)
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Collects per-session reports with their global session ids.
+#[derive(Default)]
+struct CollectSessions {
+    reports: Vec<(u32, SessionReport)>,
+}
+
+impl ShardConsumer for CollectSessions {
+    fn on_frame(&mut self, _tenant: u32, _result: &FrameResult) {}
+
+    fn on_session(&mut self, session: u32, _tenant: u32, report: SessionReport) {
+        self.reports.push((session, report));
+    }
 }
 
 /// Runs the fleet through the event core and returns every per-session
-/// report plus per-shard cloud stats — the bit-identity counterpart of
-/// [`run_fleet_reference`]. Prefer [`run_fleet`] for large fleets (it
-/// aggregates instead of collecting).
-pub fn run_fleet_sessions(spec: &FleetSpec) -> (Vec<SessionReport>, Vec<CloudStats>) {
+/// report (session-id order) plus per-shard cloud stats — the
+/// bit-identity counterpart of [`run_fleet_reference`], for any
+/// [`FleetSpec::threads`]. Prefer [`run_fleet`] for large fleets (it
+/// aggregates instead of collecting, and drops per-session mAP state).
+pub fn run_fleet_sessions(
+    spec: &FleetSpec,
+) -> Result<(Vec<SessionReport>, Vec<CloudStats>), FleetError> {
     let pop = Population::generate(spec);
-    let mut reports = Vec::with_capacity(pop.sessions.len());
-    let stats = run_event_core(spec, &pop, |_, _| {}, |_, r| reports.push(r));
-    (reports, stats)
+    let shards = run_event_core(spec, &pop, MetricsMode::Full, CollectSessions::default)?;
+    let mut stats = Vec::with_capacity(spec.shards);
+    let mut indexed: Vec<(u32, SessionReport)> = Vec::with_capacity(pop.sessions.len());
+    for (c, s) in shards {
+        indexed.extend(c.reports);
+        stats.push(s);
+    }
+    // Explicitly index-ordered: the merge must not depend on per-shard
+    // completion order (sessions with unequal lifetimes finish out of id
+    // order even within a shard).
+    indexed.sort_by_key(|&(i, _)| i);
+    Ok((indexed.into_iter().map(|(_, r)| r).collect(), stats))
 }
 
 /// Runs the *same* fleet through the historical thread-per-session
@@ -704,7 +976,7 @@ pub fn run_fleet_reference(spec: &FleetSpec) -> (Vec<SessionReport>, Vec<CloudSt
             .as_mut()
             .expect("live between first and last frame");
         live.advance_to(step.time);
-        let scene = &scenes[(i % scenes.len() + step.frame as usize) % scenes.len()];
+        let scene = &scenes[scene_index(i, step.frame, scenes.len())];
         let ticket = live.submit_shared(scene);
         live.poll(ticket)
             .expect("depth-1 driving resolves every frame");
@@ -764,6 +1036,12 @@ pub struct TenantReport {
     pub uploads: u64,
     /// Configured-deadline misses across the tenant's sessions.
     pub deadline_misses: u64,
+    /// Objects detected across the tenant's frames (counting metric,
+    /// finalized per session as it ends — exact integer sums in both
+    /// metrics modes).
+    pub detected: u64,
+    /// Ground-truth objects across the tenant's frames.
+    pub total_gt: u64,
     /// Latency quantiles over the tenant's frames.
     pub latency: LatencyQuantiles,
 }
@@ -803,6 +1081,13 @@ pub struct FleetReport {
     pub completed_horizon_s: f64,
 }
 
+/// Nearest-rank quantile over an ascending-sorted sample:
+/// `sorted[ceil(q·n) − 1]`, with the rank clamped into `[1, n]`. The
+/// convention — pinned by exact-value unit tests — is: `q = 0.0` reads
+/// the minimum, `q = 1.0` the maximum, a single sample answers every
+/// `q`, two samples split at `q = 0.5` inclusive to the lower, and an
+/// empty sample reads `0`. No interpolation: every reported quantile is
+/// a latency that actually occurred.
 fn quantile(sorted: &[f32], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -833,39 +1118,107 @@ struct TenantAccum {
     frames: u64,
     uploads: u64,
     deadline_misses: u64,
+    detected: u64,
+    total_gt: u64,
+}
+
+/// The aggregate path's per-shard consumer: latency samples tagged by
+/// tenant, running per-tenant sums, and fleet-wide counters. Everything
+/// here merges across shards without loss: the counters are exact
+/// integer sums, the horizon is an `f64` max, and the samples are
+/// re-sorted globally before any quantile is read — so per-shard
+/// accumulation followed by a shard-ordered merge is bit-identical to
+/// the single-threaded fold.
+struct Aggregate {
+    samples: Vec<(u32, f32)>,
+    accums: Vec<TenantAccum>,
+    uplink_bytes: u64,
+    link_fallbacks: u64,
+    admission_fallbacks: u64,
+    completed_horizon_s: f64,
+}
+
+impl Aggregate {
+    fn new(tenants: usize) -> Aggregate {
+        Aggregate {
+            samples: Vec::new(),
+            accums: vec![TenantAccum::default(); tenants],
+            uplink_bytes: 0,
+            link_fallbacks: 0,
+            admission_fallbacks: 0,
+            completed_horizon_s: 0.0,
+        }
+    }
+
+    /// Folds another shard's aggregate into this one (called in shard
+    /// order, though every merged quantity is order-independent).
+    fn merge(&mut self, other: Aggregate) {
+        self.samples.extend(other.samples);
+        for (a, b) in self.accums.iter_mut().zip(other.accums) {
+            a.sessions += b.sessions;
+            a.frames += b.frames;
+            a.uploads += b.uploads;
+            a.deadline_misses += b.deadline_misses;
+            a.detected += b.detected;
+            a.total_gt += b.total_gt;
+        }
+        self.uplink_bytes += other.uplink_bytes;
+        self.link_fallbacks += other.link_fallbacks;
+        self.admission_fallbacks += other.admission_fallbacks;
+        self.completed_horizon_s = self.completed_horizon_s.max(other.completed_horizon_s);
+    }
+}
+
+impl ShardConsumer for Aggregate {
+    fn on_frame(&mut self, tenant: u32, result: &FrameResult) {
+        self.samples.push((tenant, result.breakdown.total() as f32));
+        self.completed_horizon_s = self.completed_horizon_s.max(result.completed_at);
+    }
+
+    fn on_session(&mut self, _session: u32, tenant: u32, report: SessionReport) {
+        let a = &mut self.accums[tenant as usize];
+        a.sessions += 1;
+        a.frames += report.frames as u64;
+        a.uploads += report.uploads as u64;
+        a.deadline_misses += report.deadline_misses as u64;
+        a.detected += report.detected as u64;
+        a.total_gt += report.total_gt as u64;
+        self.uplink_bytes += report.uplink_bytes;
+        self.link_fallbacks += report.link_fallbacks as u64;
+        self.admission_fallbacks += report.admission_fallbacks as u64;
+    }
 }
 
 /// Runs the fleet through the event core and aggregates: p50/p99/p999
 /// latency, per-tenant breakdowns, a deadline-miss curve, and per-shard
 /// cloud stats. Memory stays O(frames) for the latency samples plus
 /// O(live sessions) for the machines — per-session reports are folded
-/// in as sessions finish, never collected.
-pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
+/// in as sessions finish, never collected. Uses [`MetricsMode::Compact`]
+/// (see [`run_fleet_with`] to override).
+pub fn run_fleet(spec: &FleetSpec) -> Result<FleetReport, FleetError> {
+    run_fleet_with(spec, MetricsMode::Compact)
+}
+
+/// [`run_fleet`] with an explicit [`MetricsMode`]. Both modes produce
+/// bit-identical reports (pinned in `tests/fleet.rs`); `Full` exists for
+/// before/after memory measurement and as the conservative fallback.
+pub fn run_fleet_with(spec: &FleetSpec, mode: MetricsMode) -> Result<FleetReport, FleetError> {
     let pop = Population::generate(spec);
-    let mut samples: Vec<(u32, f32)> = Vec::new();
-    let mut accums: Vec<TenantAccum> = vec![TenantAccum::default(); spec.tenants];
-    let mut uplink_bytes = 0u64;
-    let mut link_fallbacks = 0u64;
-    let mut admission_fallbacks = 0u64;
-    let mut completed_horizon_s = 0.0f64;
-    let cloud = run_event_core(
-        spec,
-        &pop,
-        |tenant, result| {
-            samples.push((tenant, result.breakdown.total() as f32));
-            completed_horizon_s = completed_horizon_s.max(result.completed_at);
-        },
-        |tenant, report| {
-            let a = &mut accums[tenant as usize];
-            a.sessions += 1;
-            a.frames += report.frames as u64;
-            a.uploads += report.uploads as u64;
-            a.deadline_misses += report.deadline_misses as u64;
-            uplink_bytes += report.uplink_bytes;
-            link_fallbacks += report.link_fallbacks as u64;
-            admission_fallbacks += report.admission_fallbacks as u64;
-        },
-    );
+    let shards = run_event_core(spec, &pop, mode, || Aggregate::new(spec.tenants))?;
+    let mut agg = Aggregate::new(spec.tenants);
+    let mut cloud = Vec::with_capacity(spec.shards);
+    for (shard_agg, stats) in shards {
+        agg.merge(shard_agg);
+        cloud.push(stats);
+    }
+    let Aggregate {
+        mut samples,
+        accums,
+        uplink_bytes,
+        link_fallbacks,
+        admission_fallbacks,
+        completed_horizon_s,
+    } = agg;
     // Global quantiles and the miss curve over every frame's latency.
     let mut all: Vec<f32> = samples.iter().map(|&(_, l)| l).collect();
     all.sort_unstable_by(f32::total_cmp);
@@ -898,13 +1251,15 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
             frames: a.frames,
             uploads: a.uploads,
             deadline_misses: a.deadline_misses,
+            detected: a.detected,
+            total_gt: a.total_gt,
             latency: quantiles_of(&sorted),
         });
         lo = hi;
     }
     let frames = accums.iter().map(|a| a.frames).sum::<u64>();
     let uploads = accums.iter().map(|a| a.uploads).sum::<u64>();
-    FleetReport {
+    Ok(FleetReport {
         seed: spec.seed,
         sessions: spec.sessions,
         frames,
@@ -923,7 +1278,7 @@ pub fn run_fleet(spec: &FleetSpec) -> FleetReport {
         miss_curve,
         cloud,
         completed_horizon_s,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -983,7 +1338,7 @@ mod tests {
     #[test]
     fn event_core_matches_threaded_reference() {
         let spec = tiny_spec();
-        let (a_reports, a_stats) = run_fleet_sessions(&spec);
+        let (a_reports, a_stats) = run_fleet_sessions(&spec).expect("healthy drive");
         let (b_reports, b_stats) = run_fleet_reference(&spec);
         assert_eq!(a_reports, b_reports);
         assert_eq!(a_stats, b_stats);
@@ -992,8 +1347,8 @@ mod tests {
     #[test]
     fn fleet_report_is_deterministic_and_consistent() {
         let spec = tiny_spec();
-        let a = run_fleet(&spec);
-        let b = run_fleet(&spec);
+        let a = run_fleet(&spec).expect("healthy drive");
+        let b = run_fleet(&spec).expect("healthy drive");
         assert_eq!(a, b);
         assert_eq!(a.frames, (spec.sessions as u64) * 3);
         assert!(a.latency.p50_s <= a.latency.p99_s);
@@ -1006,6 +1361,148 @@ mod tests {
             a.tenants.iter().map(|t| t.frames).sum::<u64>(),
             a.frames,
             "tenant breakdowns partition the fleet"
+        );
+        assert!(
+            a.tenants.iter().map(|t| t.total_gt).sum::<u64>() > 0,
+            "counting metrics survive the compact accumulator"
+        );
+    }
+
+    #[test]
+    fn parallel_drive_matches_sequential_for_any_thread_count() {
+        let sequential = run_fleet(&FleetSpec {
+            threads: 1,
+            ..tiny_spec()
+        })
+        .expect("healthy drive");
+        for threads in [2, 4] {
+            let parallel = run_fleet(&FleetSpec {
+                threads,
+                ..tiny_spec()
+            })
+            .expect("healthy drive");
+            assert_eq!(
+                sequential, parallel,
+                "threads={threads} must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_and_full_metrics_agree_bit_for_bit() {
+        let spec = tiny_spec();
+        let full = run_fleet_with(&spec, MetricsMode::Full).expect("healthy drive");
+        let compact = run_fleet_with(&spec, MetricsMode::Compact).expect("healthy drive");
+        assert_eq!(full, compact);
+    }
+
+    #[test]
+    fn thread_resolution_is_capped_and_env_overridable() {
+        let spec = tiny_spec(); // shards = 2, threads = 0 (auto)
+        assert_eq!(fleet_threads_from(Some("8"), &spec), 2, "capped by shards");
+        assert_eq!(fleet_threads_from(Some("1"), &spec), 1);
+        let pinned = FleetSpec {
+            threads: 4,
+            ..spec.clone()
+        };
+        assert_eq!(
+            fleet_threads_from(Some("1"), &pinned),
+            2,
+            "an explicit spec.threads wins over the env (still shard-capped)"
+        );
+        // Zero or garbage env with auto spec falls back to the host
+        // default (at least 1, still shard-capped).
+        let auto = fleet_threads_from(Some("nope"), &spec);
+        assert!((1..=2).contains(&auto));
+    }
+
+    #[test]
+    fn scene_indexing_is_shared_not_duplicated() {
+        let pool = 12;
+        // The shared helper computes what both runtimes historically
+        // spelled inline.
+        for i in 0..40usize {
+            for frame in 0..9u32 {
+                assert_eq!(
+                    scene_index(i, frame, pool),
+                    (i % pool + frame as usize) % pool
+                );
+            }
+        }
+        // Why the helper exists: the event core used to compute
+        // `(scene_off + frame) % pool` from a stored offset while the
+        // reference recomputed `(i % pool + frame) % pool` inline. They
+        // agreed only because `scene_off == i % pool`; a population whose
+        // offset drifted from that (tenant striping, per-shard rotation)
+        // would have silently diverged on every frame:
+        let i = 3usize;
+        let drifted_off = 7usize;
+        for frame in 0..8u32 {
+            assert_ne!(
+                (drifted_off + frame as usize) % pool,
+                (i % pool + frame as usize) % pool,
+                "duplicated formulas diverge as soon as the offset is not i % pool"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_convention_is_nearest_rank() {
+        // A single sample answers every q.
+        assert_eq!(quantile(&[2.5], 0.0), 2.5);
+        assert_eq!(quantile(&[2.5], 0.5), 2.5);
+        assert_eq!(quantile(&[2.5], 1.0), 2.5);
+        // Two samples split at q = 0.5, inclusive to the lower.
+        assert_eq!(quantile(&[1.0, 2.0], 0.0), 1.0);
+        assert_eq!(quantile(&[1.0, 2.0], 0.5), 1.0);
+        assert_eq!(quantile(&[1.0, 2.0], 0.500_01), 2.0);
+        assert_eq!(quantile(&[1.0, 2.0], 1.0), 2.0);
+        // q = 0 reads the minimum, q = 1 the maximum.
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&s, 0.0), 1.0);
+        assert_eq!(quantile(&s, 1.0), 5.0);
+        // Nearest rank on the p-grid the report uses: p99 of 5 samples is
+        // the 5th (ceil(0.99 · 5) = 5), p50 the 3rd.
+        assert_eq!(quantile(&s, 0.99), 5.0);
+        assert_eq!(quantile(&s, 0.50), 3.0);
+        // Empty reads 0.
+        assert_eq!(quantile(&[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn poisoned_inline_mailbox_surfaces_as_typed_error() {
+        let infra = InlineInfra::default();
+        // Poison the mailbox the way a mid-reply panic would: die while
+        // holding the lock.
+        let poisoner = infra.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = poisoner.mailbox.lock().unwrap();
+            panic!("frame handler died mid-reply");
+        }));
+        // Every subsequent mailbox access reports the poison through the
+        // shard boundary as a typed error naming the shard.
+        let err = shard_guard(3, || infra.pop_answer()).expect_err("poison must surface");
+        assert_eq!(err.shard, 3);
+        assert!(
+            err.message.contains("poisoned"),
+            "diagnostic names the poison, got: {}",
+            err.message
+        );
+        assert!(err.to_string().contains("shard 3"));
+        // A healthy drive still returns Ok.
+        assert!(run_fleet(&tiny_spec()).is_ok());
+    }
+
+    #[test]
+    fn shard_guard_passes_values_and_catches_panics() {
+        assert_eq!(shard_guard(0, || 41 + 1), Ok(42));
+        let err = shard_guard(7, || -> usize { panic!("boom {}", 9) }).unwrap_err();
+        assert_eq!(
+            err,
+            FleetError {
+                shard: 7,
+                message: "boom 9".to_string()
+            }
         );
     }
 }

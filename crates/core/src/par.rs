@@ -63,8 +63,11 @@ where
     ordered_map_with(harness_workers(jobs), jobs, f)
 }
 
-/// [`ordered_map`] with an explicit worker count.
-fn ordered_map_with<T, F>(workers: usize, jobs: usize, f: F) -> Vec<T>
+/// [`ordered_map`] with an explicit worker count. Crate-visible so the
+/// fleet engine can fan its shard drives out over the same scoped-worker
+/// machinery with its own thread knob ([`crate::fleet::FleetSpec::threads`])
+/// instead of the harness default.
+pub(crate) fn ordered_map_with<T, F>(workers: usize, jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -1090,8 +1090,7 @@ pub(crate) struct EdgeMachine<'a> {
     last_cloud_queue: Option<usize>,
     rng: StdRng,
     now: f64,
-    map: MapEvaluator,
-    counter: DatasetCounter,
+    metrics: SessionMetrics,
     latency: LatencyStats,
     uplink_bytes: u64,
     deadline_misses: usize,
@@ -1102,13 +1101,6 @@ pub(crate) struct EdgeMachine<'a> {
     next_ticket: u64,
     pending: HashMap<u64, PendingUpload>,
     done: HashMap<u64, FrameResult>,
-    /// Reused counting-metric scratch.
-    count_scratch: CountScratch,
-    /// Reused per-frame ground-truth buffer: local frames borrow it for
-    /// metric accumulation (zero allocation when warm); uploads clone it
-    /// into their [`PendingUpload`], which costs what the old per-frame
-    /// `ground_truths()` allocation did.
-    gts_scratch: Vec<GroundTruth>,
     /// Optional shared memo of upload sizes, keyed by scene identity and
     /// render resolution. `render` is deterministic, so the encoded byte
     /// count is a pure function of the key — the fleet engine shares one
@@ -1124,6 +1116,116 @@ pub(crate) struct EdgeMachine<'a> {
 /// Shared upload-size memo: `(scene address, width, height)` → encoded
 /// bytes. See [`EdgeMachine::size_cache`].
 pub(crate) type UploadSizeCache = Arc<Mutex<HashMap<(usize, usize, usize), usize>>>;
+
+/// Per-frame working buffers the fleet engine shares across all sessions
+/// of one cloud shard in compact-metrics mode: the counting scratch and
+/// the ground-truth staging vector. Every use is call-independent
+/// ([`count_detected_with`] and `ground_truths_into` clear before
+/// writing), so sharing only removes per-session retained capacity — it
+/// cannot change any result.
+#[derive(Default)]
+pub(crate) struct FleetFrameScratch {
+    count: CountScratch,
+    gts: Vec<GroundTruth>,
+}
+
+/// One [`FleetFrameScratch`] per shard, behind a mutex so [`EdgeMachine`]
+/// stays `Send`. Within a shard the lock is uncontended (the drive is
+/// single-threaded per shard); a poisoned lock means an earlier frame
+/// panicked mid-metric, and the descriptive panic here is converted into
+/// a typed fleet error by the shard drive.
+pub(crate) type SharedFrameScratch = Arc<Mutex<FleetFrameScratch>>;
+
+const SCRATCH_POISONED: &str =
+    "shared fleet frame scratch poisoned: an earlier frame panicked mid-metric";
+
+/// How a session accumulates quality metrics.
+///
+/// `Full` is the historical per-session state: a [`MapEvaluator`] (mAP
+/// over every served frame) plus a private counting scratch — what every
+/// deployment except the fleet's aggregate path uses, and what
+/// [`SessionReport::map_pct`] is computed from. `Compact` is the fleet
+/// engine's memory mode: mAP bookkeeping (detection records, match
+/// scratch — multiple KB per live session) is dropped entirely because
+/// [`crate::fleet::FleetReport`] never reads it, and the per-frame
+/// scratch is borrowed from the shard-shared [`FleetFrameScratch`]. The
+/// counting metric stays exact in both modes (running integer sums), so
+/// a compact fleet report is bit-identical to a full one.
+enum SessionMetrics {
+    /// Boxed so a compact fleet's [`EdgeMachine`]s don't carry the full
+    /// variant's footprint inline.
+    Full(Box<FullMetrics>),
+    Compact {
+        counter: DatasetCounter,
+        shared: SharedFrameScratch,
+    },
+}
+
+/// The historical per-session metric state (see [`SessionMetrics::Full`]).
+struct FullMetrics {
+    map: MapEvaluator,
+    counter: DatasetCounter,
+    scratch: CountScratch,
+    /// Reused per-frame ground-truth buffer: local frames borrow it
+    /// for metric accumulation (zero allocation when warm); uploads
+    /// clone it into their [`PendingUpload`], which costs what the
+    /// old per-frame `ground_truths()` allocation did.
+    gts: Vec<GroundTruth>,
+}
+
+impl SessionMetrics {
+    /// Takes the per-frame ground-truth buffer (returned via
+    /// [`SessionMetrics::put_gts`] before the frame completes).
+    fn take_gts(&mut self) -> Vec<GroundTruth> {
+        match self {
+            SessionMetrics::Full(full) => std::mem::take(&mut full.gts),
+            SessionMetrics::Compact { shared, .. } => {
+                std::mem::take(&mut shared.lock().expect(SCRATCH_POISONED).gts)
+            }
+        }
+    }
+
+    fn put_gts(&mut self, buf: Vec<GroundTruth>) {
+        match self {
+            SessionMetrics::Full(full) => full.gts = buf,
+            SessionMetrics::Compact { shared, .. } => {
+                shared.lock().expect(SCRATCH_POISONED).gts = buf;
+            }
+        }
+    }
+
+    /// Folds one served frame into the session's quality metrics.
+    fn record(&mut self, dets: &ImageDetections, gts: &[GroundTruth], counting: &CountingConfig) {
+        match self {
+            SessionMetrics::Full(full) => {
+                full.map.add_image(dets, gts);
+                full.counter
+                    .add(count_detected_with(dets, gts, counting, &mut full.scratch));
+            }
+            SessionMetrics::Compact { counter, shared } => {
+                let mut s = shared.lock().expect(SCRATCH_POISONED);
+                counter.add(count_detected_with(dets, gts, counting, &mut s.count));
+            }
+        }
+    }
+
+    /// End-to-end mAP (%) of the served results; `0` in compact mode,
+    /// which keeps no mAP state (nothing downstream of the fleet's
+    /// aggregate path reads it).
+    fn map_pct(&self) -> f64 {
+        match self {
+            SessionMetrics::Full(full) => full.map.evaluate().map_percent(),
+            SessionMetrics::Compact { .. } => 0.0,
+        }
+    }
+
+    fn counter(&self) -> &DatasetCounter {
+        match self {
+            SessionMetrics::Full(full) => &full.counter,
+            SessionMetrics::Compact { counter, .. } => counter,
+        }
+    }
+}
 
 /// How a traced transfer ended after retransmissions.
 enum TransferOutcome {
@@ -1340,7 +1442,12 @@ impl<'a> EdgeMachine<'a> {
         admission: bool,
     ) -> EdgeMachine<'a> {
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0xed6e);
-        let map = MapEvaluator::new(cfg.num_classes, cfg.ap_protocol);
+        let metrics = SessionMetrics::Full(Box::new(FullMetrics {
+            map: MapEvaluator::new(cfg.num_classes, cfg.ap_protocol),
+            counter: DatasetCounter::new(),
+            scratch: CountScratch::new(),
+            gts: Vec::new(),
+        }));
         EdgeMachine {
             id,
             cfg,
@@ -1350,8 +1457,7 @@ impl<'a> EdgeMachine<'a> {
             last_cloud_queue: None,
             rng,
             now: 0.0,
-            map,
-            counter: DatasetCounter::new(),
+            metrics,
             latency: LatencyStats::new(),
             uplink_bytes: 0,
             deadline_misses: 0,
@@ -1362,8 +1468,6 @@ impl<'a> EdgeMachine<'a> {
             next_ticket: 0,
             pending: HashMap::new(),
             done: HashMap::new(),
-            count_scratch: CountScratch::new(),
-            gts_scratch: Vec::new(),
             size_cache: None,
         }
     }
@@ -1372,6 +1476,23 @@ impl<'a> EdgeMachine<'a> {
     /// [`EdgeMachine::size_cache`] for the validity contract.
     pub(crate) fn set_size_cache(&mut self, cache: UploadSizeCache) {
         self.size_cache = Some(cache);
+    }
+
+    /// Switches this session to compact metrics (fleet engine only): no
+    /// per-session [`MapEvaluator`], per-frame scratch borrowed from the
+    /// shard-shared [`FleetFrameScratch`]. Must be called before the
+    /// first submit; [`SessionReport::map_pct`] then reads `0`. See
+    /// [`SessionMetrics`] for why this is bit-identical everywhere the
+    /// fleet's aggregate path looks.
+    pub(crate) fn set_compact_metrics(&mut self, shared: SharedFrameScratch) {
+        debug_assert_eq!(
+            self.frames, 0,
+            "compact metrics must be set before any frame"
+        );
+        self.metrics = SessionMetrics::Compact {
+            counter: DatasetCounter::new(),
+            shared,
+        };
     }
 
     /// Encoded upload size of this frame: render + entropy-model encode,
@@ -1436,7 +1557,7 @@ impl<'a> EdgeMachine<'a> {
         self.next_ticket += 1;
         self.frames += 1;
 
-        let mut gts = std::mem::take(&mut self.gts_scratch);
+        let mut gts = self.metrics.take_gts();
         scene.ground_truths_into(&mut gts);
         let mut breakdown = LatencyBreakdown::default();
         let dets = self.small.detect(scene);
@@ -1500,7 +1621,7 @@ impl<'a> EdgeMachine<'a> {
                     self.resolve(
                         ticket.0, decision, breakdown, dets, &gts, self.now, false, false, true,
                     );
-                    self.gts_scratch = gts;
+                    self.metrics.put_gts(gts);
                     return ticket;
                 }
             }
@@ -1595,7 +1716,7 @@ impl<'a> EdgeMachine<'a> {
                 ticket.0, decision, breakdown, dets, &gts, self.now, false, false, false,
             );
         }
-        self.gts_scratch = gts;
+        self.metrics.put_gts(gts);
         ticket
     }
 
@@ -1647,9 +1768,9 @@ impl<'a> EdgeMachine<'a> {
             session: self.id,
             frames: self.frames,
             uploads: self.uploads,
-            map_pct: self.map.evaluate().map_percent(),
-            detected: self.counter.total_detected(),
-            total_gt: self.counter.total_gt(),
+            map_pct: self.metrics.map_pct(),
+            detected: self.metrics.counter().total_detected(),
+            total_gt: self.metrics.counter().total_gt(),
             total_time_s: self.now,
             upload_ratio: if self.frames == 0 {
                 0.0
@@ -1789,13 +1910,7 @@ impl<'a> EdgeMachine<'a> {
         admission_fallback: bool,
     ) {
         self.latency.add(breakdown);
-        self.map.add_image(&dets, gts);
-        self.counter.add(count_detected_with(
-            &dets,
-            gts,
-            &self.cfg.counting,
-            &mut self.count_scratch,
-        ));
+        self.metrics.record(&dets, gts, &self.cfg.counting);
         self.done.insert(
             ticket,
             FrameResult {

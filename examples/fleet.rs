@@ -3,8 +3,9 @@
 //! core — no thread or channel per session.
 //!
 //! ```bash
-//! cargo run --release --example fleet            # 20k sessions
-//! cargo run --release --example fleet -- 100000  # pick your own scale
+//! cargo run --release --example fleet              # 20k sessions
+//! cargo run --release --example fleet -- 100000    # pick your own scale
+//! cargo run --release --example fleet -- 100000 4  # …on 4 drive threads
 //! ```
 
 use smallbig::prelude::*;
@@ -15,15 +16,23 @@ fn main() {
         .nth(1)
         .map(|s| s.parse().expect("session count"))
         .unwrap_or(20_000);
+    let threads: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().expect("thread count"))
+        .unwrap_or(0); // 0 = one worker per core
 
     // The default population: Jetson edges over a wlan/fast-wifi/cellular
     // mix (one slice traced through a diurnal bandwidth ramp), 20
     // Zipf(1.1) tenants, diurnal arrivals, half the fleet under a 500 ms
-    // deadline, 4 cloud shards.
-    let spec = FleetSpec::new(sessions);
+    // deadline, 4 cloud shards. The report is bit-identical for any
+    // `threads` value — the knob changes wall-clock time only.
+    let spec = FleetSpec {
+        threads,
+        ..FleetSpec::new(sessions)
+    };
 
     let wall = Instant::now();
-    let report = run_fleet(&spec);
+    let report = run_fleet(&spec).expect("no shard failed");
     let elapsed = wall.elapsed().as_secs_f64();
 
     println!(

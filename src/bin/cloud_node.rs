@@ -7,7 +7,7 @@
 //! finally prints `STATS <json NodeStats>`.
 //!
 //! Configure with `--spec JSON` / `--spec-file PATH` or individual fleet
-//! flags (see `smallbig::distributed::fleet_spec_from_args`).
+//! flags (see `smallbig::distributed::deployment_spec_from_args`).
 
 use std::io::BufRead;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use smallbig::core::transport::{serve, Listener, ServeOptions, TcpWireListener};
-use smallbig::distributed::{fleet_spec_from_args, CliArgs, LINE_LISTENING, LINE_STATS};
+use smallbig::distributed::{deployment_spec_from_args, CliArgs, LINE_LISTENING, LINE_STATS};
 use smallbig::modelzoo::Detector;
 
 fn die(msg: &str) -> ! {
@@ -29,7 +29,7 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args = CliArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| die(&e));
-    let spec = fleet_spec_from_args(&args).unwrap_or_else(|e| die(&e));
+    let spec = deployment_spec_from_args(&args).unwrap_or_else(|e| die(&e));
     let listen = args.get("listen").unwrap_or("127.0.0.1:0").to_string();
     let expect = args
         .get_with("expect-sessions", Some(spec.total_sessions()), |v| {

@@ -14,11 +14,11 @@
 //! cloud for the compact binary frame codec in the handshake.
 //!
 //! Configure with `--spec JSON` / `--spec-file PATH` or individual fleet
-//! flags (see `smallbig::distributed::fleet_spec_from_args`).
+//! flags (see `smallbig::distributed::deployment_spec_from_args`).
 
 use smallbig::core::transport::RemoteCloud;
 use smallbig::distributed::{
-    fleet_spec_from_args, run_device_session, run_edge_sessions_mux, CliArgs, LINE_CONNECTED,
+    deployment_spec_from_args, run_device_session, run_edge_sessions_mux, CliArgs, LINE_CONNECTED,
     LINE_REPORT,
 };
 
@@ -33,7 +33,7 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let args = CliArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| die(&e));
-    let spec = fleet_spec_from_args(&args).unwrap_or_else(|e| die(&e));
+    let spec = deployment_spec_from_args(&args).unwrap_or_else(|e| die(&e));
     let Some(cloud) = args.get("cloud") else {
         die("--cloud ADDR is required");
     };

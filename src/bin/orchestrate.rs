@@ -13,13 +13,13 @@
 //! Binary paths default to `cloud-node` / `edge-node` next to this
 //! executable (override with `--cloud-bin` / `--edge-bin`). Fleet shape
 //! comes from `--spec JSON` / `--spec-file PATH` or individual flags (see
-//! `smallbig::distributed::fleet_spec_from_args`).
+//! `smallbig::distributed::deployment_spec_from_args`).
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use smallbig::distributed::{
-    fleet_spec_from_args, run_fleet_in_memory, run_fleet_processes, CliArgs, FleetReport,
+    deployment_spec_from_args, run_fleet_in_memory, run_fleet_processes, CliArgs, DeploymentReport,
 };
 
 fn die(msg: &str) -> ! {
@@ -39,7 +39,7 @@ fn sibling_bin(name: &str) -> PathBuf {
         .unwrap_or_else(|| PathBuf::from(name))
 }
 
-fn print_report(report: &FleetReport) {
+fn print_report(report: &DeploymentReport) {
     match serde_json::to_string(report) {
         Ok(json) => println!("{json}"),
         Err(e) => die(&format!("report: {e}")),
@@ -48,7 +48,7 @@ fn print_report(report: &FleetReport) {
 
 fn main() {
     let args = CliArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| die(&e));
-    let spec = fleet_spec_from_args(&args).unwrap_or_else(|e| die(&e));
+    let spec = deployment_spec_from_args(&args).unwrap_or_else(|e| die(&e));
     let mode = args.get("mode").unwrap_or("process");
     let timeout_s = args
         .get_with("timeout-s", 120u64, |v| v.parse().ok())

@@ -2,7 +2,7 @@
 //! and two interchangeable fleet runners.
 //!
 //! A *fleet* is one cloud node serving `edges × devices_per_edge` edge
-//! sessions. The same [`FleetSpec`] drives both runners:
+//! sessions. The same [`DeploymentSpec`] drives both runners:
 //!
 //! * [`run_fleet_in_memory`] — every node in this process, connected over
 //!   [`core::transport::memory_listener`]. Deterministic and fast; the
@@ -20,7 +20,7 @@
 //!
 //! Wall-clock aggregates in [`NodeStats`] (e.g. `busy_s`) are summed in
 //! connection-completion order and are *not* part of the bit-identity
-//! contract; compare [`FleetReport::sessions`], not the node stats.
+//! contract; compare [`DeploymentReport::sessions`], not the node stats.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::path::Path;
@@ -325,8 +325,14 @@ impl EdgeSpec {
 
 /// A whole deployment: one cloud node and `edges × devices_per_edge`
 /// sessions over a common workload.
+///
+/// Not to be confused with [`smallbig_core::fleet::FleetSpec`], which
+/// describes a *simulated population* for the in-process fleet engine;
+/// a `DeploymentSpec` describes real nodes (processes, connections,
+/// wire encodings). Both were briefly named `FleetSpec`, which made
+/// every quickstart ambiguous — this one is the deployment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FleetSpec {
+pub struct DeploymentSpec {
     /// Number of edge nodes (processes in the process runner).
     pub edges: usize,
     /// Devices (sessions) per edge node, driven sequentially.
@@ -343,9 +349,9 @@ pub struct FleetSpec {
     pub edge: EdgeSpec,
 }
 
-impl Default for FleetSpec {
+impl Default for DeploymentSpec {
     fn default() -> Self {
-        FleetSpec {
+        DeploymentSpec {
             edges: 2,
             devices_per_edge: 1,
             frames_per_device: 8,
@@ -357,7 +363,7 @@ impl Default for FleetSpec {
     }
 }
 
-impl FleetSpec {
+impl DeploymentSpec {
     /// Total sessions in the fleet.
     pub fn total_sessions(&self) -> usize {
         self.edges * self.devices_per_edge
@@ -406,7 +412,11 @@ impl FleetSpec {
 /// connection in lockstep (submit, then poll) and returns the session
 /// report. Both the in-memory runner and the `edge-node` binary call this,
 /// so the two paths cannot drift.
-pub fn run_device_session(remote: &RemoteCloud, spec: &FleetSpec, session: u64) -> SessionReport {
+pub fn run_device_session(
+    remote: &RemoteCloud,
+    spec: &DeploymentSpec,
+    session: u64,
+) -> SessionReport {
     let data = spec.dataset(session);
     let small = spec.split.small_model();
     let (_, policy) = spec.edge.policy.build();
@@ -432,7 +442,7 @@ pub fn run_device_session(remote: &RemoteCloud, spec: &FleetSpec, session: u64) 
 /// Returns the reports in device order (ascending session id).
 pub fn run_edge_sessions_mux(
     remote: &RemoteCloud,
-    spec: &FleetSpec,
+    spec: &DeploymentSpec,
     edge: usize,
 ) -> Vec<SessionReport> {
     assert!(
@@ -472,13 +482,15 @@ pub fn run_edge_sessions_mux(
 }
 
 // ---------------------------------------------------------------------------
-// Fleet report
+// Deployment report
 // ---------------------------------------------------------------------------
 
-/// The merged outcome of a fleet run: every session's report (sorted by
-/// session id) plus the cloud node's stats and fleet-wide totals.
+/// The merged outcome of a deployment run: every session's report (sorted
+/// by session id) plus the cloud node's stats and fleet-wide totals.
+/// (The simulated-population analogue is
+/// [`smallbig_core::fleet::FleetReport`].)
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FleetReport {
+pub struct DeploymentReport {
     /// Per-session reports, sorted by `session` — the bit-identity
     /// contract between runners lives here.
     pub sessions: Vec<SessionReport>,
@@ -498,11 +510,11 @@ pub struct FleetReport {
     pub admission_fallbacks: usize,
 }
 
-impl FleetReport {
+impl DeploymentReport {
     /// Sorts `sessions` by id and computes the fleet totals.
-    pub fn merge(mut sessions: Vec<SessionReport>, cloud: NodeStats) -> FleetReport {
+    pub fn merge(mut sessions: Vec<SessionReport>, cloud: NodeStats) -> DeploymentReport {
         sessions.sort_by_key(|r| r.session);
-        let mut report = FleetReport {
+        let mut report = DeploymentReport {
             sessions: Vec::new(),
             cloud,
             frames: 0,
@@ -530,14 +542,14 @@ impl FleetReport {
 // ---------------------------------------------------------------------------
 
 /// Runs the whole fleet in this process over the in-memory transport: one
-/// serving thread (stopping after [`FleetSpec::total_sessions`]
+/// serving thread (stopping after [`DeploymentSpec::total_sessions`]
 /// connections), one thread per edge node, devices sequential per edge.
 ///
 /// # Panics
 ///
 /// Panics if any session fails — in-process the transport cannot drop, so
 /// a failure is a bug, not weather.
-pub fn run_fleet_in_memory(spec: &FleetSpec) -> FleetReport {
+pub fn run_fleet_in_memory(spec: &DeploymentSpec) -> DeploymentReport {
     let (mut listener, connector) = memory_listener();
     let cloud_cfg = spec.cloud.build();
     let big: Arc<dyn Detector + Send + Sync> = Arc::new(spec.split.big_model());
@@ -587,7 +599,7 @@ pub fn run_fleet_in_memory(spec: &FleetSpec) -> FleetReport {
             sessions.extend(h.join().expect("edge thread completes"));
         }
         let cloud = server.join().expect("serve thread completes");
-        FleetReport::merge(sessions, cloud)
+        DeploymentReport::merge(sessions, cloud)
     })
 }
 
@@ -680,7 +692,7 @@ fn wait_with_timeout(
 /// Runs the fleet as real OS processes: spawns `cloud_bin`, waits for its
 /// `LISTENING` line, spawns one `edge_bin` per edge, scrapes their
 /// `REPORT` lines, then collects the cloud's `STATS` line. Produces a
-/// [`FleetReport`] whose per-session reports are bit-identical to
+/// [`DeploymentReport`] whose per-session reports are bit-identical to
 /// [`run_fleet_in_memory`] of the same spec.
 ///
 /// # Errors
@@ -688,11 +700,11 @@ fn wait_with_timeout(
 /// Fails when a child cannot be spawned, exits non-zero, breaks the line
 /// protocol, or blows `timeout` (every child is killed on the way out).
 pub fn run_fleet_processes(
-    spec: &FleetSpec,
+    spec: &DeploymentSpec,
     cloud_bin: &Path,
     edge_bin: &Path,
     timeout: Duration,
-) -> io::Result<FleetReport> {
+) -> io::Result<DeploymentReport> {
     let deadline = Instant::now() + timeout;
     let spec_json = serde_json::to_string(spec).map_err(|e| proto_err(e.to_string()))?;
 
@@ -787,7 +799,7 @@ pub fn run_fleet_processes(
         }
     }
     let stats = stats.ok_or_else(|| proto_err("cloud-node exited without a STATS line"))?;
-    Ok(FleetReport::merge(sessions, stats))
+    Ok(DeploymentReport::merge(sessions, stats))
 }
 
 // ---------------------------------------------------------------------------
@@ -850,19 +862,19 @@ impl CliArgs {
     }
 }
 
-/// Builds a [`FleetSpec`] from CLI arguments: `--spec JSON` (or
+/// Builds a [`DeploymentSpec`] from CLI arguments: `--spec JSON` (or
 /// `--spec-file PATH`) wins outright; otherwise individual flags
 /// (`--edges`, `--devices`, `--frames`, `--split`, `--policy`, `--link`,
 /// `--trace`, `--frame-px`, `--deadline-s`, `--scheduler`,
 /// `--queue-limit`, `--max-batch`, `--workers`, `--seed`,
 /// `--dataset-seed`, `--encoding json|binary`, `--mux true|false`)
-/// overlay [`FleetSpec::default`].
+/// overlay [`DeploymentSpec::default`].
 ///
 /// # Errors
 ///
 /// Fails on an unreadable spec file, malformed JSON, or an invalid flag
 /// value.
-pub fn fleet_spec_from_args(args: &CliArgs) -> Result<FleetSpec, String> {
+pub fn deployment_spec_from_args(args: &CliArgs) -> Result<DeploymentSpec, String> {
     let json = match (args.get("spec"), args.get("spec-file")) {
         (Some(j), _) => Some(j.to_string()),
         (None, Some(path)) => {
@@ -873,8 +885,8 @@ pub fn fleet_spec_from_args(args: &CliArgs) -> Result<FleetSpec, String> {
     if let Some(json) = json {
         return serde_json::from_str(&json).map_err(|e| format!("bad fleet spec: {e}"));
     }
-    let base = FleetSpec::default();
-    Ok(FleetSpec {
+    let base = DeploymentSpec::default();
+    Ok(DeploymentSpec {
         edges: args.get_with("edges", base.edges, |v| v.parse().ok())?,
         devices_per_edge: args.get_with("devices", base.devices_per_edge, |v| v.parse().ok())?,
         frames_per_device: args.get_with("frames", base.frames_per_device, |v| v.parse().ok())?,
@@ -933,7 +945,7 @@ mod tests {
 
     #[test]
     fn fleet_spec_round_trips_through_json() {
-        let spec = FleetSpec {
+        let spec = DeploymentSpec {
             edges: 3,
             devices_per_edge: 2,
             cloud: CloudSpec {
@@ -951,10 +963,10 @@ mod tests {
                 deadline_s: Some(0.25),
                 ..EdgeSpec::default()
             },
-            ..FleetSpec::default()
+            ..DeploymentSpec::default()
         };
         let json = serde_json::to_string(&spec).unwrap();
-        let back: FleetSpec = serde_json::from_str(&json).unwrap();
+        let back: DeploymentSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
     }
 
@@ -982,7 +994,7 @@ mod tests {
             .map(String::from),
         )
         .unwrap();
-        let spec = fleet_spec_from_args(&args).unwrap();
+        let spec = deployment_spec_from_args(&args).unwrap();
         assert_eq!(spec.edges, 3);
         assert_eq!(spec.devices_per_edge, 2);
         assert_eq!(spec.frames_per_device, 5);
@@ -1004,11 +1016,11 @@ mod tests {
 
     #[test]
     fn in_memory_fleet_sessions_are_deterministic() {
-        let spec = FleetSpec {
+        let spec = DeploymentSpec {
             edges: 2,
             devices_per_edge: 2,
             frames_per_device: 6,
-            ..FleetSpec::default()
+            ..DeploymentSpec::default()
         };
         let a = run_fleet_in_memory(&spec);
         let b = run_fleet_in_memory(&spec);

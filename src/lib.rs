@@ -119,9 +119,12 @@
 //!
 //! // 100k sessions over 4 cloud shards: Jetson edges on a
 //! // wlan/fast-wifi/cellular mix, 20 Zipf tenants, diurnal arrivals,
-//! // half the fleet under a 500 ms deadline.
+//! // half the fleet under a 500 ms deadline. Shard groups are driven in
+//! // parallel (`spec.threads`, default one worker per core) and the
+//! // report is bit-identical for any thread count; a shard drive that
+//! // panics surfaces as a typed `FleetError` instead of unwinding.
 //! let spec = FleetSpec::new(100_000);
-//! let report = run_fleet(&spec);
+//! let report = run_fleet(&spec).expect("no shard failed");
 //! println!(
 //!     "{} sessions, {} frames: p50 {:.0} ms, p99 {:.0} ms, p999 {:.0} ms",
 //!     report.sessions,
@@ -201,7 +204,8 @@ pub mod prelude {
     pub use modelzoo::{Capability, Detector, ModelKind, SimDetector};
     pub use simnet::{DeviceModel, FaultPlan, LinkModel, LinkState, LinkTrace};
     pub use smallbig_core::fleet::{
-        run_fleet, ArrivalCurve, FleetPolicy, FleetReport, FleetSpec, LinkChoice,
+        run_fleet, run_fleet_with, ArrivalCurve, FleetError, FleetPolicy, FleetReport, FleetSpec,
+        LinkChoice, MetricsMode,
     };
     pub use smallbig_core::{
         calibrate, evaluate, evaluate_streaming, run_system, AutoscaleConfig, CaseKind,

@@ -7,10 +7,14 @@
 //! fleet engine drives those same machines inline. If either runtime
 //! drifts — an RNG draw moved, a message reordered, a clock advanced
 //! differently — the heterogeneous fleet here diverges immediately.
+//!
+//! PR 9 adds two more pins on top: the shard-parallel drive must be
+//! bit-identical for threads ∈ {1, 2, 4}, and the compact frame-metrics
+//! accumulator must be bit-identical to the full per-session evaluators.
 
 use smallbig::core::fleet::{
-    run_fleet, run_fleet_reference, run_fleet_sessions, ArrivalCurve, DeadlineChoice, FleetPolicy,
-    FleetSpec, LinkChoice, PolicyChoice, Population,
+    run_fleet, run_fleet_reference, run_fleet_sessions, run_fleet_with, ArrivalCurve,
+    DeadlineChoice, FleetPolicy, FleetSpec, LinkChoice, MetricsMode, PolicyChoice, Population,
 };
 use smallbig::core::CloudConfig;
 use smallbig::prelude::{LinkModel, LinkTrace};
@@ -84,7 +88,7 @@ fn heterogeneous_spec() -> FleetSpec {
 #[test]
 fn event_core_is_bit_identical_to_threaded_reference() {
     let spec = heterogeneous_spec();
-    let (core_reports, core_stats) = run_fleet_sessions(&spec);
+    let (core_reports, core_stats) = run_fleet_sessions(&spec).expect("healthy drive");
     let (ref_reports, ref_stats) = run_fleet_reference(&spec);
     assert_eq!(
         core_reports, ref_reports,
@@ -111,8 +115,8 @@ fn event_core_is_bit_identical_to_threaded_reference() {
 #[test]
 fn fleet_replays_are_deterministic() {
     let spec = heterogeneous_spec();
-    let a = run_fleet(&spec);
-    let b = run_fleet(&spec);
+    let a = run_fleet(&spec).expect("healthy drive");
+    let b = run_fleet(&spec).expect("healthy drive");
     assert_eq!(a, b, "same spec, same process: bit-identical reports");
     assert_eq!(a.frames, (spec.sessions * 4) as u64);
     assert_eq!(a.cloud.len(), spec.shards);
@@ -145,7 +149,7 @@ fn seeded_population_is_reproducible_and_seed_sensitive() {
 
 #[test]
 fn fleet_report_quantiles_and_miss_curve_are_coherent() {
-    let report = run_fleet(&heterogeneous_spec());
+    let report = run_fleet(&heterogeneous_spec()).expect("healthy drive");
     let q = &report.latency;
     assert!(q.p50_s > 0.0);
     assert!(q.p50_s <= q.p90_s && q.p90_s <= q.p99_s);
@@ -182,8 +186,59 @@ fn uniform_arrivals_and_single_shard_also_conform() {
         cloud: CloudConfig::default(),
         ..heterogeneous_spec()
     };
-    let (core_reports, core_stats) = run_fleet_sessions(&spec);
+    let (core_reports, core_stats) = run_fleet_sessions(&spec).expect("healthy drive");
     let (ref_reports, ref_stats) = run_fleet_reference(&spec);
     assert_eq!(core_reports, ref_reports);
     assert_eq!(core_stats, ref_stats);
+}
+
+#[test]
+fn parallel_drive_is_bit_identical_for_threads_1_2_4() {
+    // The PR 9 pin: the one-worker-per-shard-group parallel drive must
+    // produce the same bytes as the sequential drive AND the
+    // thread-per-session reference deployment, for every thread count.
+    // Shard groups share no mutable state (disjoint RNG streams, disjoint
+    // session sets, a pure-function upload-size memo), so the thread knob
+    // may change wall-clock time only.
+    let base = heterogeneous_spec();
+    let (ref_reports, ref_stats) = run_fleet_reference(&base);
+    let one = FleetSpec {
+        threads: 1,
+        ..base.clone()
+    };
+    let seq_report = run_fleet(&one).expect("healthy drive");
+    for threads in [1, 2, 4] {
+        let spec = FleetSpec {
+            threads,
+            ..base.clone()
+        };
+        let (reports, stats) = run_fleet_sessions(&spec).expect("healthy drive");
+        assert_eq!(
+            reports, ref_reports,
+            "per-session reports diverged on {threads} thread(s)"
+        );
+        assert_eq!(
+            stats, ref_stats,
+            "per-shard cloud stats diverged on {threads} thread(s)"
+        );
+        let report = run_fleet(&spec).expect("healthy drive");
+        assert_eq!(
+            report, seq_report,
+            "aggregate FleetReport diverged on {threads} thread(s)"
+        );
+    }
+}
+
+#[test]
+fn compact_metrics_match_full_metrics_bit_for_bit() {
+    // FleetReport never reads per-session mAP, so the compact accumulator
+    // (no MapEvaluator, shared per-shard frame scratch) must change memory
+    // only — never a byte of the report. `run_fleet` defaults to Compact;
+    // pin it against an explicit Full run.
+    let spec = heterogeneous_spec();
+    let full = run_fleet_with(&spec, MetricsMode::Full).expect("healthy drive");
+    let compact = run_fleet_with(&spec, MetricsMode::Compact).expect("healthy drive");
+    assert_eq!(full, compact, "metrics mode must not change the report");
+    assert_eq!(run_fleet(&spec).expect("healthy drive"), compact);
+    assert!(full.frames > 0 && full.tenants.iter().any(|t| t.total_gt > 0));
 }

@@ -20,8 +20,8 @@ use smallbig::core::transport::{
 use smallbig::core::wire::{encode_frame, Encoding};
 use smallbig::core::{CloudServer, CloudStats, SessionReport};
 use smallbig::distributed::{
-    run_device_session, run_fleet_in_memory, run_fleet_processes, CloudSpec, EdgeSpec, FleetSpec,
-    LinkSpec, PolicySpec, TraceSpec, LINE_CONNECTED, LINE_REPORT, LINE_STATS,
+    run_device_session, run_fleet_in_memory, run_fleet_processes, CloudSpec, DeploymentSpec,
+    EdgeSpec, LinkSpec, PolicySpec, TraceSpec, LINE_CONNECTED, LINE_REPORT, LINE_STATS,
 };
 use smallbig::modelzoo::Detector;
 use smallbig::simnet::RetryConfig;
@@ -38,8 +38,8 @@ fn quick_retry() -> RetryConfig {
     }
 }
 
-fn small_fleet(edges: usize, frames: usize) -> FleetSpec {
-    FleetSpec {
+fn small_fleet(edges: usize, frames: usize) -> DeploymentSpec {
+    DeploymentSpec {
         edges,
         devices_per_edge: 1,
         frames_per_device: frames,
@@ -47,7 +47,7 @@ fn small_fleet(edges: usize, frames: usize) -> FleetSpec {
             retry: quick_retry(),
             ..EdgeSpec::default()
         },
-        ..FleetSpec::default()
+        ..DeploymentSpec::default()
     }
 }
 
@@ -81,7 +81,7 @@ fn process_fleet_matches_in_memory_fleet_bit_for_bit() {
 /// Runs the single session of `spec` over real loopback TCP against a
 /// `serve` loop in this process, requesting `encoding` in the handshake
 /// (and asserting the cloud granted exactly that).
-fn run_tcp_single_as(spec: &FleetSpec, encoding: Encoding) -> (SessionReport, CloudStats) {
+fn run_tcp_single_as(spec: &DeploymentSpec, encoding: Encoding) -> (SessionReport, CloudStats) {
     assert_eq!(spec.total_sessions(), 1);
     let mut listener = TcpWireListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr();
@@ -113,14 +113,14 @@ fn run_tcp_single_as(spec: &FleetSpec, encoding: Encoding) -> (SessionReport, Cl
 }
 
 /// [`run_tcp_single_as`] with the default JSON codec.
-fn run_tcp_single(spec: &FleetSpec) -> (SessionReport, CloudStats) {
+fn run_tcp_single(spec: &DeploymentSpec) -> (SessionReport, CloudStats) {
     run_tcp_single_as(spec, Encoding::Json)
 }
 
 /// The same session driven through the historical in-process channel path
 /// (`CloudServer::spawn` + `connect`) — the reference the transports must
 /// reproduce bit for bit.
-fn run_channel_single(spec: &FleetSpec) -> (SessionReport, CloudStats) {
+fn run_channel_single(spec: &DeploymentSpec) -> (SessionReport, CloudStats) {
     assert_eq!(spec.total_sessions(), 1);
     let big: Arc<dyn Detector + Send + Sync> = Arc::new(spec.split.big_model());
     let mut cloud = CloudServer::spawn(spec.cloud.build(), big);
@@ -143,11 +143,11 @@ fn run_channel_single(spec: &FleetSpec) -> (SessionReport, CloudStats) {
 #[test]
 fn tcp_sessions_match_channel_path_across_configs() {
     let base = small_fleet(1, 10);
-    let variants: Vec<(&str, FleetSpec)> = vec![
+    let variants: Vec<(&str, DeploymentSpec)> = vec![
         ("discriminator", base.clone()),
         (
             "cloud-only",
-            FleetSpec {
+            DeploymentSpec {
                 edge: EdgeSpec {
                     policy: PolicySpec::CloudOnly,
                     ..base.edge.clone()
@@ -157,7 +157,7 @@ fn tcp_sessions_match_channel_path_across_configs() {
         ),
         (
             "edge-only",
-            FleetSpec {
+            DeploymentSpec {
                 edge: EdgeSpec {
                     policy: PolicySpec::EdgeOnly,
                     ..base.edge.clone()
@@ -167,7 +167,7 @@ fn tcp_sessions_match_channel_path_across_configs() {
         ),
         (
             "deadline",
-            FleetSpec {
+            DeploymentSpec {
                 edge: EdgeSpec {
                     deadline_s: Some(0.12),
                     ..base.edge.clone()
@@ -177,7 +177,7 @@ fn tcp_sessions_match_channel_path_across_configs() {
         ),
         (
             "bursty-trace",
-            FleetSpec {
+            DeploymentSpec {
                 edge: EdgeSpec {
                     policy: PolicySpec::CloudOnly,
                     link: LinkSpec::Cellular,
@@ -189,7 +189,7 @@ fn tcp_sessions_match_channel_path_across_configs() {
         ),
         (
             "admission",
-            FleetSpec {
+            DeploymentSpec {
                 cloud: CloudSpec {
                     queue_limit: Some(2),
                     ..base.cloud.clone()
@@ -203,7 +203,7 @@ fn tcp_sessions_match_channel_path_across_configs() {
         ),
         (
             "deadline-scheduler",
-            FleetSpec {
+            DeploymentSpec {
                 cloud: CloudSpec {
                     max_batch: 3,
                     workers: 2,
@@ -454,7 +454,7 @@ fn copy_frames(mut from: TcpStream, mut to: TcpStream, mut budget: Option<usize>
 /// frame — while the cloud books one aborted and one clean connection.
 #[test]
 fn mid_run_cut_reconnects_and_completes_every_frame() {
-    let spec = FleetSpec {
+    let spec = DeploymentSpec {
         edge: EdgeSpec {
             policy: PolicySpec::CloudOnly,
             retry: quick_retry(),
@@ -609,11 +609,11 @@ fn silent_server_times_out_the_client_handshake() {
 #[test]
 fn binary_codec_sessions_match_channel_path_bit_for_bit() {
     let base = small_fleet(1, 10);
-    let variants: Vec<(&str, FleetSpec)> = vec![
+    let variants: Vec<(&str, DeploymentSpec)> = vec![
         ("discriminator", base.clone()),
         (
             "cloud-only",
-            FleetSpec {
+            DeploymentSpec {
                 edge: EdgeSpec {
                     policy: PolicySpec::CloudOnly,
                     ..base.edge.clone()
@@ -722,7 +722,7 @@ fn mixed_encoding_fleet_matches_in_memory_reference() {
     let spec = small_fleet(2, 6);
     let reference = run_fleet_in_memory(&spec);
     let spec_for = |encoding: Encoding| {
-        serde_json::to_string(&FleetSpec {
+        serde_json::to_string(&DeploymentSpec {
             edge: EdgeSpec {
                 encoding: Some(encoding),
                 ..spec.edge.clone()
@@ -792,7 +792,7 @@ fn mixed_encoding_fleet_matches_in_memory_reference() {
 /// connection per device.
 #[test]
 fn mux_process_fleet_matches_in_memory_fleet_bit_for_bit() {
-    let spec = FleetSpec {
+    let spec = DeploymentSpec {
         edges: 2,
         devices_per_edge: 3,
         frames_per_device: 4,
@@ -802,7 +802,7 @@ fn mux_process_fleet_matches_in_memory_fleet_bit_for_bit() {
             mux: Some(true),
             ..EdgeSpec::default()
         },
-        ..FleetSpec::default()
+        ..DeploymentSpec::default()
     };
     let reference = run_fleet_in_memory(&spec);
     let processes = run_fleet_processes(
@@ -909,7 +909,7 @@ fn copy_frames_stalling(
 /// the channel path.
 #[test]
 fn slow_consumer_stall_backpressures_without_losing_frames() {
-    let spec = FleetSpec {
+    let spec = DeploymentSpec {
         edge: EdgeSpec {
             policy: PolicySpec::CloudOnly,
             retry: quick_retry(),
