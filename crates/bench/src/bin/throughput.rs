@@ -1004,10 +1004,32 @@ struct SessionRow {
 }
 
 #[derive(Debug, Serialize)]
+struct UpdateRow {
+    images: usize,
+    /// Frames/sec with the update loop disabled (`updates: None`, the
+    /// default every other section runs under).
+    disabled_fps: f64,
+    /// Frames/sec with an epoch cadence that actually refits and rolls
+    /// artifacts out to the session.
+    enabled_fps: f64,
+    /// Refits the enabled run published (sanity: ≥ 1 or the row is
+    /// vacuous — asserted before timing).
+    updates_published: u64,
+    /// enabled wall-clock over disabled wall-clock: the cost of the
+    /// pseudo-label accumulation + refit + rollout machinery where it
+    /// fires. The disabled path is separately asserted bit-identical to a
+    /// starved loop, so `updates: None` stays free.
+    enabled_over_disabled: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Sessions {
     /// `run_system` end-to-end: one blocking edge session against one cloud
     /// worker, with and without a link trace.
     runtime_session: SessionRow,
+    /// The model-update loop on the same session shape: disabled vs an
+    /// epoch cadence that refits, bit-identity-gated before timing.
+    update_loop: UpdateRow,
 }
 
 #[derive(Debug, Serialize)]
@@ -1916,7 +1938,95 @@ fn main() {
         static_over_constant: session_times[1].as_secs_f64() / session_times[0].as_secs_f64(),
     };
     eprintln!("sessions/runtime_session: {runtime_session:?}");
-    let sessions = Sessions { runtime_session };
+
+    // ---- Model-update loop: pay only where it fires ------------------------
+    // Twice over, in fact: `updates: None` (the default every other
+    // section runs under) is asserted bit-identical to an enabled loop
+    // that never reaches `min_examples` — so the machinery costs nothing
+    // until it fires — and the firing cadence is then timed against the
+    // disabled path.
+    let update_cfg = smallbig_core::UpdateConfig {
+        epoch_s: 1.0,
+        min_examples: 8,
+        ..Default::default()
+    };
+    let update_run = |updates: Option<smallbig_core::UpdateConfig>| {
+        let mut cloud = smallbig_core::CloudServer::spawn(
+            smallbig_core::CloudConfig {
+                updates,
+                ..Default::default()
+            },
+            Arc::new(SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2)),
+        );
+        let mut sess = cloud.connect(
+            smallbig_core::SessionConfig {
+                frame_size: (96, 96),
+                ..smallbig_core::SessionConfig::new(2)
+            },
+            &session_small,
+            Box::new(Policy::DifficultCase(DifficultCaseDiscriminator::default())),
+        );
+        for scene in session_data.iter() {
+            let ticket = sess.submit(scene);
+            sess.poll(ticket).expect("frame resolves");
+        }
+        let report = sess.drain();
+        drop(sess);
+        (report, cloud.shutdown())
+    };
+    let update_published;
+    {
+        let (disabled, _) = update_run(None);
+        let starved = smallbig_core::UpdateConfig {
+            min_examples: usize::MAX,
+            ..Default::default()
+        };
+        let (starved_report, starved_stats) = update_run(Some(starved));
+        assert_eq!(
+            disabled, starved_report,
+            "an update loop that never fires must be bit-identical to `updates: None`"
+        );
+        assert_eq!(starved_stats.updates_published, 0);
+        let (enabled_a, stats_a) = update_run(Some(update_cfg));
+        let (enabled_b, stats_b) = update_run(Some(update_cfg));
+        assert_eq!(
+            enabled_a, enabled_b,
+            "update-enabled session must be deterministic"
+        );
+        assert_eq!(stats_a.updates_published, stats_b.updates_published);
+        assert!(
+            stats_a.updates_published >= 1,
+            "bench cadence must actually refit"
+        );
+        assert!(enabled_a.updates_applied >= 1);
+        update_published = stats_a.updates_published;
+    }
+    eprintln!(
+        "# update self-check passed: starved loop bit-identical to disabled, enabled run deterministic"
+    );
+    let update_times = best_of_each(
+        repeats,
+        &mut [
+            &mut || {
+                sink(update_run(None).0);
+            },
+            &mut || {
+                sink(update_run(Some(update_cfg)).0);
+            },
+        ],
+    );
+    let update_loop = UpdateRow {
+        images: session_images,
+        disabled_fps: fps(session_images, update_times[0]),
+        enabled_fps: fps(session_images, update_times[1]),
+        updates_published: update_published,
+        enabled_over_disabled: update_times[1].as_secs_f64() / update_times[0].as_secs_f64(),
+    };
+    eprintln!("sessions/update_loop: {update_loop:?}");
+    let sessions = Sessions {
+        runtime_session,
+        update_loop,
+    };
 
     // ---- Transport layer: channel vs in-memory vs loopback TCP ------------
     // One cloud-only session (every frame crosses the wire) end to end on

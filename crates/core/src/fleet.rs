@@ -207,6 +207,14 @@ pub struct FleetSpec {
     /// Distinct synthetic scenes the fleet cycles through (shared
     /// `Arc<Scene>`s; per-session offset decorrelates neighbours).
     pub scene_pool: usize,
+    /// Optional distribution drift: a piecewise-constant schedule of
+    /// generative profiles over virtual time. Each phase gets its own
+    /// scene pool (of [`FleetSpec::scene_pool`] scenes), and which pool a
+    /// frame samples from is a pure function of the frame's virtual
+    /// timestamp — so drifting fleets stay bit-reproducible and the
+    /// event core and threaded reference agree. `None` keeps today's
+    /// single static helmet pool, bit-identical to pre-drift builds.
+    pub drift: Option<datagen::DriftSchedule>,
     /// Cloud shards; session `i` is served by shard `i % shards`. Each
     /// shard is an independent [`CloudMachine`] with a derived seed.
     pub shards: usize,
@@ -299,6 +307,7 @@ impl FleetSpec {
             ],
             frame_size: (96, 96),
             scene_pool: 32,
+            drift: None,
             shards: (sessions / 1024).clamp(4, 64),
             cloud: CloudConfig {
                 queue_limit: Some(64),
@@ -333,6 +342,11 @@ impl FleetSpec {
         }
         if let Some(autoscale) = &self.cloud.autoscale {
             autoscale.assert_valid();
+        }
+        if let Some(drift) = &self.drift {
+            if let Err(e) = drift.validate() {
+                panic!("invalid drift schedule: {e}");
+            }
         }
     }
 
@@ -663,20 +677,55 @@ fn scene_index(session: usize, frame: u32, pool: usize) -> usize {
     (session % pool + frame as usize) % pool
 }
 
-/// Generates the fleet's shared synthetic workload: a small pool of
-/// scenes sessions cycle through (per-session offset), plus the small
-/// and big detectors.
-fn workload(spec: &FleetSpec) -> (Vec<Arc<Scene>>, SimDetector, SimDetector) {
-    let data = Dataset::generate(
-        "fleet",
-        &DatasetProfile::helmet(),
-        spec.scene_pool,
-        spec.seed ^ 0x5ce9e5,
-    );
-    let scenes: Vec<Arc<Scene>> = data.iter().map(|s| Arc::new(s.clone())).collect();
+/// Generates the fleet's shared synthetic workload: one pool of scenes
+/// per drift phase (a single static pool when [`FleetSpec::drift`] is
+/// `None` — generated exactly as pre-drift builds did, so undrifted
+/// fleets stay bit-identical), plus the small and big detectors.
+fn workload(spec: &FleetSpec) -> (Vec<Vec<Arc<Scene>>>, SimDetector, SimDetector) {
+    let arcs =
+        |data: &Dataset| -> Vec<Arc<Scene>> { data.iter().map(|s| Arc::new(s.clone())).collect() };
+    let pools = match &spec.drift {
+        None => vec![arcs(&Dataset::generate(
+            "fleet",
+            &DatasetProfile::helmet(),
+            spec.scene_pool,
+            spec.seed ^ 0x5ce9e5,
+        ))],
+        Some(drift) => drift
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(idx, phase)| {
+                // Each phase draws from its own derived seed so identical
+                // profiles in different phases still yield distinct pools.
+                arcs(&Dataset::generate(
+                    &format!("fleet-phase{idx}"),
+                    &phase.profile,
+                    spec.scene_pool,
+                    spec.seed ^ 0x5ce9e5 ^ ((idx as u64) << 20),
+                ))
+            })
+            .collect(),
+    };
     let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, NUM_CLASSES);
     let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, NUM_CLASSES);
-    (scenes, small, big)
+    (pools, small, big)
+}
+
+/// The scene session `session`'s frame `frame` samples at virtual time
+/// `t_s`: the drift schedule picks the phase pool (pure function of the
+/// timestamp; pool 0 when undrifted) and [`scene_index`] picks within it.
+/// Shared by the event core and the threaded reference — the same
+/// single-copy rule as [`scene_index`] itself.
+fn scene_at<'a>(
+    pools: &'a [Vec<Arc<Scene>>],
+    drift: Option<&datagen::DriftSchedule>,
+    session: usize,
+    frame: u32,
+    t_s: f64,
+) -> &'a Arc<Scene> {
+    let pool = &pools[drift.map_or(0, |d| d.phase_index(t_s))];
+    &pool[scene_index(session, frame, pool.len())]
 }
 
 /// Registers an inline session with its shard, wiring the shard's reply
@@ -801,7 +850,7 @@ fn drive_shard<C: ShardConsumer>(
     pop: &Population,
     shard: usize,
     mode: MetricsMode,
-    scenes: &[Arc<Scene>],
+    pools: &[Vec<Arc<Scene>>],
     small: &(dyn Detector + Sync),
     big: &(dyn Detector + Sync),
     size_cache: &UploadSizeCache,
@@ -840,7 +889,7 @@ fn drive_shard<C: ShardConsumer>(
             .as_mut()
             .expect("live between first and last frame");
         live.m.advance_to(step.time);
-        let scene = &scenes[scene_index(i, step.frame, scenes.len())];
+        let scene = scene_at(pools, spec.drift.as_ref(), i, step.frame, step.time);
         let mut port = InlinePort {
             cloud: &mut cloud,
             infra: &live.infra,
@@ -875,13 +924,13 @@ where
     C: ShardConsumer,
     F: Fn() -> C + Sync,
 {
-    let (scenes, small, big) = workload(spec);
+    let (pools, small, big) = workload(spec);
     let small: &(dyn Detector + Sync) = &small;
     let big: &(dyn Detector + Sync) = &big;
     // One upload-size memo for the whole fleet: sessions cycle a shared
     // scene pool, and encoded size is a pure function of (scene,
     // resolution), so after `scene_pool` cold renders every upload's
-    // sizing is a hash lookup. The `scenes` vec outlives every session,
+    // sizing is a hash lookup. The scene pools outlive every session,
     // which is what keeps the address-keyed cache valid — and sharing it
     // across shard workers stays deterministic for the same reason: every
     // fill writes the same value for a key, whoever gets there first.
@@ -895,7 +944,7 @@ where
                 pop,
                 shard,
                 mode,
-                &scenes,
+                &pools,
                 small,
                 big,
                 &size_cache,
@@ -954,7 +1003,7 @@ pub fn run_fleet_sessions(
 /// is an OS thread and every answer crosses a channel).
 pub fn run_fleet_reference(spec: &FleetSpec) -> (Vec<SessionReport>, Vec<CloudStats>) {
     let pop = Population::generate(spec);
-    let (scenes, small, big) = workload(spec);
+    let (pools, small, big) = workload(spec);
     let small: &(dyn Detector + Sync) = &small;
     let big: Arc<dyn Detector + Send + Sync> = Arc::new(big);
     let mut servers: Vec<CloudServer> = (0..spec.shards)
@@ -976,7 +1025,7 @@ pub fn run_fleet_reference(spec: &FleetSpec) -> (Vec<SessionReport>, Vec<CloudSt
             .as_mut()
             .expect("live between first and last frame");
         live.advance_to(step.time);
-        let scene = &scenes[scene_index(i, step.frame, scenes.len())];
+        let scene = scene_at(&pools, spec.drift.as_ref(), i, step.frame, step.time);
         let ticket = live.submit_shared(scene);
         live.poll(ticket)
             .expect("depth-1 driving resolves every frame");

@@ -139,6 +139,7 @@ mod server;
 mod strategies;
 mod system;
 pub mod transport;
+mod update;
 pub mod wire;
 
 pub use persist::PersistError;
@@ -167,3 +168,6 @@ pub use server::{
 };
 pub use strategies::{Decision, OffloadPolicy, Policy, PolicyInput, QuantileStream, ScoreKind};
 pub use system::{SmallBigSystem, SmallBigSystemBuilder};
+pub use update::{
+    CalibrationSnapshot, CalibrationUpdate, UpdateConfig, UPDATE_FORMAT, UPDATE_TICKET,
+};

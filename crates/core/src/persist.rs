@@ -2,9 +2,14 @@
 //!
 //! A deployed edge device calibrates once (or receives thresholds from the
 //! cloud) and then reloads them at boot; this module provides the JSON
-//! round-trip for [`Thresholds`] and [`Calibration`].
+//! round-trip for [`Thresholds`], [`Calibration`] and the versioned
+//! [`CalibrationUpdate`] artifacts the model-update loop produces. Update
+//! artifacts carry a format version ([`crate::UPDATE_FORMAT`]): loading one
+//! written by a *newer* build is a typed error
+//! ([`PersistError::UnsupportedVersion`]), never a panic, so a fleet
+//! mid-upgrade degrades gracefully.
 
-use crate::{Calibration, Thresholds};
+use crate::{Calibration, CalibrationUpdate, Thresholds, UPDATE_FORMAT};
 use std::fmt;
 use std::io;
 use std::path::Path;
@@ -18,6 +23,13 @@ pub enum PersistError {
     Parse(serde_json::Error),
     /// The loaded thresholds violate their invariants.
     Invalid(String),
+    /// The artifact's format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Format version found in the file.
+        found: u32,
+        /// Newest format version this build can load.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -26,6 +38,11 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "persisted artefact i/o error: {e}"),
             PersistError::Parse(e) => write!(f, "persisted artefact is malformed: {e}"),
             PersistError::Invalid(m) => write!(f, "persisted thresholds invalid: {m}"),
+            PersistError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "persisted artefact format {found} is newer than this build supports \
+                 (up to {supported})"
+            ),
         }
     }
 }
@@ -36,6 +53,7 @@ impl std::error::Error for PersistError {
             PersistError::Io(e) => Some(e),
             PersistError::Parse(e) => Some(e),
             PersistError::Invalid(_) => None,
+            PersistError::UnsupportedVersion { .. } => None,
         }
     }
 }
@@ -125,6 +143,56 @@ impl Calibration {
     }
 }
 
+impl CalibrationUpdate {
+    /// Writes the versioned update artifact to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save_json<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        let json = serde_json::to_string_pretty(self).expect("update artifact serializes");
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a versioned update artifact, gating on its format version and
+    /// validating the thresholds it carries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] on i/o failure, malformed JSON, a format
+    /// newer than [`UPDATE_FORMAT`] ([`PersistError::UnsupportedVersion`]),
+    /// or out-of-range values.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use smallbig_core::{CalibrationUpdate, Thresholds};
+    ///
+    /// let path = std::env::temp_dir().join("smallbig-doc-update.json");
+    /// let artifact = CalibrationUpdate::factory(Thresholds::paper());
+    /// artifact.save_json(&path).unwrap();
+    /// assert_eq!(CalibrationUpdate::load_json(&path).unwrap(), artifact);
+    /// ```
+    pub fn load_json<P: AsRef<Path>>(path: P) -> Result<CalibrationUpdate, PersistError> {
+        let data = std::fs::read_to_string(path)?;
+        let u: CalibrationUpdate = serde_json::from_str(&data).map_err(PersistError::Parse)?;
+        if u.format > UPDATE_FORMAT {
+            return Err(PersistError::UnsupportedVersion {
+                found: u.format,
+                supported: UPDATE_FORMAT,
+            });
+        }
+        validate(&u.thresholds)?;
+        if u.quantile_scores.iter().any(|s| !s.is_finite()) {
+            return Err(PersistError::Invalid(
+                "quantile scores must be finite".to_string(),
+            ));
+        }
+        Ok(u)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +239,59 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = Thresholds::load_json("/nonexistent/nope.json").unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn update_artifact_round_trips() {
+        let path = tmp("upd");
+        let u = CalibrationUpdate {
+            format: UPDATE_FORMAT,
+            version: 5,
+            epoch: 12,
+            thresholds: Thresholds {
+                conf: 0.2,
+                count: 3,
+                area: 0.07,
+            },
+            quantile_scores: vec![0.1, 0.4, 0.9],
+            examples: 40,
+            accuracy: 0.925,
+            holdout: 16,
+            divergence: 0.35,
+        };
+        u.save_json(&path).unwrap();
+        assert_eq!(CalibrationUpdate::load_json(&path).unwrap(), u);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn future_format_is_typed_error_not_panic() {
+        let path = tmp("upd-future");
+        let mut u = CalibrationUpdate::factory(Thresholds::paper());
+        u.format = UPDATE_FORMAT + 1;
+        u.save_json(&path).unwrap();
+        let err = CalibrationUpdate::load_json(&path).unwrap_err();
+        match err {
+            PersistError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, UPDATE_FORMAT + 1);
+                assert_eq!(supported, UPDATE_FORMAT);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        assert!(format!("{err}").contains("newer than this build"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn update_artifact_validates_contents() {
+        let path = tmp("upd-inv");
+        let mut u = CalibrationUpdate::factory(Thresholds::paper());
+        u.thresholds.conf = 0.9;
+        u.save_json(&path).unwrap();
+        assert!(matches!(
+            CalibrationUpdate::load_json(&path),
+            Err(PersistError::Invalid(_))
+        ));
+        std::fs::remove_file(path).ok();
     }
 }

@@ -193,6 +193,7 @@ pub fn run_system(
         scheduler: config.scheduler,
         queue_limit: config.queue_limit,
         autoscale: config.autoscale,
+        updates: None,
     };
     let session_cfg = SessionConfig {
         edge: config.edge.clone(),

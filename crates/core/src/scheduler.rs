@@ -96,6 +96,13 @@ impl QueuedFrame {
         self.seq
     }
 
+    /// Objects the uploading edge's small model predicted (score ≥ 0.5) —
+    /// the edge half of the model-update loop's pseudo-label, also usable
+    /// by custom schedulers as a crowding hint.
+    pub fn small_count(&self) -> usize {
+        self.req.small_count
+    }
+
     /// A stand-alone frame for unit-testing custom [`Scheduler`]
     /// implementations outside a running [`crate::CloudServer`] (the
     /// payload is a placeholder scene; only the header fields matter to a
@@ -116,6 +123,7 @@ impl QueuedFrame {
                 uplink_s: Some(0.0),
                 difficulty,
                 deadline_at,
+                small_count: 0,
             },
             scene: Arc::new(Scene::sample(&datagen::DatasetProfile::helmet(), 0, ticket)),
             uplink_s: 0.0,

@@ -114,6 +114,38 @@
 //! processes, and `smallbig-orchestrate` launches and scrapes a whole
 //! fleet (see `smallbig::distributed`).
 //!
+//! # Model-update loop
+//!
+//! With [`CloudConfig::updates`] set, the cloud treats every served frame
+//! as a *pseudo-label*: the uploading session stamps the small model's
+//! predicted count on the wire header, the big model's answer provides
+//! the other half, and "big saw more than small" is exactly the paper's
+//! difficulty label — no ground truth needed. Pseudo-labels accumulate in
+//! served order; when a served frame's virtual arrival crosses an epoch
+//! boundary ([`crate::UpdateConfig::epoch_s`]) with enough examples, the
+//! cloud re-runs the paper's count/area grid search
+//! ([`crate::calibrate_count_area`]) and packages the result as a
+//! versioned [`crate::CalibrationUpdate`] — thresholds, a sorted
+//! difficulty-score vector that re-seeds [`crate::QuantileStream`]
+//! history, and the rollout policy (holdout + divergence bound).
+//!
+//! Rollout piggybacks the answer path: the artifact rides the session's
+//! response channel under the reserved ticket [`crate::UPDATE_TICKET`],
+//! pushed immediately before the next answer to any session still on an
+//! older version — so a session that was offline (or simply quiet) through
+//! several epochs receives the *current* artifact on its next answer, and
+//! lost updates need no separate retry machinery. Edges stash the frame
+//! on receipt and apply it **atomically between frames**
+//! ([`crate::OffloadPolicy::apply_calibration`]); each apply opens a
+//! probation window, and if the upload fraction over that window diverges
+//! from the pre-update holdout beyond the artifact's bound, the edge
+//! restores its pre-apply snapshot and reverts to the last good version
+//! ([`SessionReport::rollbacks`]). Everything is deterministic: epochs
+//! are pure functions of virtual time, update frames cost zero virtual
+//! time and zero RNG draws, and `updates: None` (the default) is
+//! bit-identical to a build without the subsystem (pinned by
+//! `tests/model_update.rs` and the golden suites).
+//!
 //! # Example
 //!
 //! ```
@@ -145,10 +177,12 @@
 //! assert_eq!(stats.served, report.uploads);
 //! ```
 
+use crate::features::PREDICTION_THRESHOLD;
 use crate::scheduler::{
     AutoscaleConfig, Autoscaler, QueuedFrame, Scheduler, SchedulerConfig, SchedulerSlot,
 };
 use crate::strategies::{Decision, OffloadPolicy, PolicyInput};
+use crate::update::{UpdateClient, UpdatePublisher};
 use crate::wire::{decode_frame, encode_frame};
 use crossbeam::channel::{self, Receiver, Sender};
 use datagen::Scene;
@@ -230,6 +264,15 @@ pub struct CloudConfig {
     /// pool. Reports are bit-identical either way (scaling never touches
     /// virtual time); [`CloudStats::peak_workers`] records the trajectory.
     pub autoscale: Option<AutoscaleConfig>,
+    /// The model-update loop: with `Some`, the cloud accumulates every
+    /// served frame as a pseudo-label, refits discriminator thresholds on
+    /// the configured virtual-time epochs, and pushes versioned
+    /// [`crate::CalibrationUpdate`] artifacts to sessions over the answer
+    /// path (see the module docs' *Model-update loop* section). `None`
+    /// (the default) disables the loop entirely and changes nothing — not
+    /// even RNG draws — so update-free runs stay bit-identical to the
+    /// seed.
+    pub updates: Option<crate::UpdateConfig>,
 }
 
 impl Default for CloudConfig {
@@ -243,6 +286,7 @@ impl Default for CloudConfig {
             scheduler: SchedulerConfig::Fifo,
             queue_limit: None,
             autoscale: None,
+            updates: None,
         }
     }
 }
@@ -375,6 +419,15 @@ pub struct SessionReport {
     /// admission ([`CloudConfig::queue_limit`]): the edge served its local
     /// answer and spent no uplink. Always zero without a queue limit.
     pub admission_fallbacks: usize,
+    /// Rollout version of the calibration in force when the session
+    /// drained (`0` = the factory calibration it booted with; see the
+    /// module docs' *Model-update loop* section). Always zero with
+    /// [`CloudConfig::updates`] disabled.
+    pub calibration_version: u64,
+    /// Calibration updates the session applied over its lifetime.
+    pub updates_applied: u64,
+    /// Updates rolled back after a divergence trip.
+    pub rollbacks: u64,
 }
 
 /// What the cloud worker measured over its lifetime.
@@ -397,6 +450,12 @@ pub struct CloudStats {
     /// Autoscaler resizing events over the server's lifetime (`0` when
     /// autoscaling is disabled).
     pub scale_changes: usize,
+    /// Calibration refits published by the update loop (`0` when
+    /// [`CloudConfig::updates`] is disabled).
+    pub updates_published: u64,
+    /// Current rollout version of the published calibration (`0` before
+    /// the first refit or with updates disabled).
+    pub calibration_version: u64,
 }
 
 /// The wire message for one uploaded frame (edge → cloud).
@@ -426,6 +485,11 @@ pub(crate) struct SubmitRequest {
     /// Absolute virtual deadline of the frame (`entered_at + deadline_s`)
     /// when the session has one; deadline-aware schedulers order by it.
     pub(crate) deadline_at: Option<f64>,
+    /// Objects the edge's small model predicted for this frame (score ≥
+    /// 0.5): the edge half of the pseudo-label the update loop derives
+    /// from the big model's answer. Header bytes don't drive the link, so
+    /// carrying it is timing-free.
+    pub(crate) small_count: usize,
 }
 
 /// The wire message for one answer (cloud → edge).
@@ -653,6 +717,13 @@ struct CloudWorker<'a> {
     dets_scratch: Vec<Option<ImageDetections>>,
     autoscaler: Option<Autoscaler>,
     stats: CloudStats,
+    /// The model-update loop's pseudo-label accumulator (`None` with
+    /// [`CloudConfig::updates`] disabled — the bit-identical default).
+    updates: Option<UpdatePublisher>,
+    /// Rollout version last pushed to each session; a session behind the
+    /// current version receives the artifact right before its next answer
+    /// (which is also how a session that missed epochs catches up).
+    pushed: HashMap<u64, u64>,
 }
 
 impl CloudWorker<'_> {
@@ -704,6 +775,26 @@ impl CloudWorker<'_> {
         for (q, dets) in self.batch.drain(..).zip(self.dets_scratch.iter_mut()) {
             let dets = dets.take().expect("detect_batch fills every slot");
             self.stats.served += 1;
+            if let Some(publisher) = &mut self.updates {
+                // The big model's answer against the edge's reported small
+                // count is exactly the paper's difficulty label — a free
+                // pseudo-label per served frame.
+                let n_big = dets.count_above(crate::PREDICTION_THRESHOLD);
+                let example = crate::LabeledExample {
+                    scene_id: q.scene.id,
+                    true_count: q.scene.num_objects(),
+                    true_min_area: q.scene.min_area_ratio(),
+                    features: crate::SemanticFeatures::extract(&dets, 0.2),
+                    label: if n_big > q.req.small_count {
+                        crate::CaseKind::Difficult
+                    } else {
+                        crate::CaseKind::Easy
+                    },
+                };
+                publisher.observe(example, q.req.difficulty, q.arrival);
+                self.stats.updates_published = publisher.published;
+                self.stats.calibration_version = publisher.version();
+            }
             let resp = SubmitResponse {
                 ticket: q.req.ticket,
                 dets,
@@ -713,6 +804,18 @@ impl CloudWorker<'_> {
                 queue_depth,
             };
             if let Some(handles) = self.sessions.get_mut(&q.req.session) {
+                // A session behind the current calibration gets the
+                // artifact pushed right before its answer (same virtual
+                // instant, zero extra draws).
+                if let Some(update) = self.updates.as_ref().and_then(|p| p.current()) {
+                    let pushed = self.pushed.entry(q.req.session).or_insert(0);
+                    if *pushed < update.version {
+                        *pushed = update.version;
+                        let _ = handles
+                            .resp_tx
+                            .send(crate::UPDATE_TICKET, encode_frame(update));
+                    }
+                }
                 // A session that hung up just loses its reply. The ticket
                 // rides beside the encoded frame so transports can route
                 // the answer without parsing it.
@@ -794,7 +897,11 @@ impl<'a> CloudMachine<'a> {
                     admission_rejects: 0,
                     peak_workers: 0,
                     scale_changes: 0,
+                    updates_published: 0,
+                    calibration_version: 0,
                 },
+                updates: config.updates.map(UpdatePublisher::new),
+                pushed: HashMap::new(),
             },
             rng: StdRng::seed_from_u64(config.seed ^ 0xc10d),
         }
@@ -940,6 +1047,9 @@ impl CloudServer {
         // must fail at spawn, not kill the worker at its first batch.
         if let Some(autoscale) = &config.autoscale {
             autoscale.assert_valid();
+        }
+        if let Some(updates) = &config.updates {
+            updates.assert_valid();
         }
         let admission = config.queue_limit.is_some();
         let (tx, rx) = channel::unbounded();
@@ -1111,6 +1221,10 @@ pub(crate) struct EdgeMachine<'a> {
     /// the duration of a run. `None` (every other deployment) renders
     /// per upload exactly as before.
     size_cache: Option<UploadSizeCache>,
+    /// Edge half of the model-update loop: stash → apply-between-frames →
+    /// probation → rollback. Inert (and cost-free) unless the cloud
+    /// actually pushes updates.
+    updates: UpdateClient,
 }
 
 /// Shared upload-size memo: `(scene address, width, height)` → encoded
@@ -1469,6 +1583,7 @@ impl<'a> EdgeMachine<'a> {
             pending: HashMap::new(),
             done: HashMap::new(),
             size_cache: None,
+            updates: UpdateClient::new(),
         }
     }
 
@@ -1553,6 +1668,17 @@ impl<'a> EdgeMachine<'a> {
         scene: &Scene,
         shared: Option<&Arc<Scene>>,
     ) -> FrameTicket {
+        // Stashed calibration updates apply here, between frames: the
+        // previous frame's decision used the old state end to end, this
+        // frame's uses the new one. The snapshot taken just before the
+        // apply is what a divergence trip rolls back to.
+        if let Some(update) = self.updates.take_pending() {
+            let fallback = self.policy.calibration_snapshot();
+            if self.policy.apply_calibration(&update) {
+                self.updates.note_applied(&update, fallback);
+            }
+        }
+
         let ticket = FrameTicket(self.next_ticket);
         self.next_ticket += 1;
         self.frames += 1;
@@ -1584,6 +1710,11 @@ impl<'a> EdgeMachine<'a> {
             cloud_queue: self.last_cloud_queue,
         };
         let decision = self.policy.decide(&input);
+        if let Some((fallback, _from)) = self.updates.record_decision(decision.is_upload()) {
+            // Probation window ended with a diverged upload fraction:
+            // restore the pre-update calibration for every later frame.
+            self.policy.restore_calibration(&fallback);
+        }
         // The difficulty score rides the wire header for priority
         // schedulers; non-finite scores are clamped out so scheduling keys
         // stay totally ordered.
@@ -1691,6 +1822,7 @@ impl<'a> EdgeMachine<'a> {
                     uplink_s,
                     difficulty,
                     deadline_at: self.cfg.deadline_s.map(|d| entered_at + d),
+                    small_count: dets.count_above(PREDICTION_THRESHOLD),
                 };
                 let scene_arc = match shared {
                     Some(arc) => Arc::clone(arc),
@@ -1738,6 +1870,7 @@ impl<'a> EdgeMachine<'a> {
         let _ = port.send(ToCloud::Flush { session: self.id });
         while self.pending.contains_key(&ticket.0) {
             match port.recv_answer() {
+                Some((crate::UPDATE_TICKET, bytes)) => self.stash_update(&bytes),
                 Some((_, bytes)) => self.absorb_response(&bytes),
                 None => panic!(
                     "cloud server shut down with {} of this session's frames unresolved",
@@ -1755,6 +1888,7 @@ impl<'a> EdgeMachine<'a> {
             let _ = port.send(ToCloud::Flush { session: self.id });
             while !self.pending.is_empty() {
                 match port.recv_answer() {
+                    Some((crate::UPDATE_TICKET, bytes)) => self.stash_update(&bytes),
                     Some((_, bytes)) => self.absorb_response(&bytes),
                     None => panic!(
                         "cloud server shut down with {} of this session's frames unresolved",
@@ -1782,7 +1916,17 @@ impl<'a> EdgeMachine<'a> {
             deadline_misses: self.deadline_misses,
             link_fallbacks: self.link_fallbacks,
             admission_fallbacks: self.admission_fallbacks,
+            calibration_version: self.updates.active_version,
+            updates_applied: self.updates.applied,
+            rollbacks: self.updates.rollbacks,
         }
+    }
+
+    /// Stashes a pushed [`CalibrationUpdate`] for the between-frames apply.
+    fn stash_update(&mut self, bytes: &bytes::Bytes) {
+        let update: crate::CalibrationUpdate =
+            decode_frame(bytes).expect("cloud sends well-formed update frames");
+        self.updates.stash(update);
     }
 
     /// Applies one cloud answer: downlink timing, deadline check, metrics.

@@ -129,6 +129,30 @@ pub trait OffloadPolicy: Send {
     fn difficulty(&mut self, _input: &PolicyInput<'_>) -> Option<f64> {
         None
     }
+
+    /// Adopts a cloud-pushed [`CalibrationUpdate`](crate::CalibrationUpdate),
+    /// returning `true` if the policy actually changed state. The runtime
+    /// calls this *between* frames only (never mid-decision), so an
+    /// implementation may replace itself wholesale. The default ignores
+    /// updates — policies with no calibrated state (cloud-only, random…)
+    /// are unaffected by the model-update loop.
+    fn apply_calibration(&mut self, _update: &crate::CalibrationUpdate) -> bool {
+        false
+    }
+
+    /// Snapshots the policy's calibrated state right before an update is
+    /// applied, so a divergence trip can restore it via
+    /// [`restore_calibration`](Self::restore_calibration). Policies that
+    /// accept updates should return a non-empty snapshot or rollback
+    /// becomes a no-op for them.
+    fn calibration_snapshot(&self) -> crate::CalibrationSnapshot {
+        crate::CalibrationSnapshot::default()
+    }
+
+    /// Restores a snapshot taken by
+    /// [`calibration_snapshot`](Self::calibration_snapshot) (the rollback
+    /// path). The default does nothing.
+    fn restore_calibration(&mut self, _snapshot: &crate::CalibrationSnapshot) {}
 }
 
 /// The discriminator's scalar difficulty score (higher = harder): count
@@ -163,6 +187,29 @@ impl OffloadPolicy for DifficultCaseDiscriminator {
             input.small_dets,
             self.thresholds().conf,
         ))
+    }
+
+    fn apply_calibration(&mut self, update: &crate::CalibrationUpdate) -> bool {
+        if self.thresholds() == update.thresholds {
+            return false;
+        }
+        // The refit grid only emits in-range thresholds, so the
+        // constructor's invariants hold by construction.
+        *self = DifficultCaseDiscriminator::with_config(update.thresholds, self.config());
+        true
+    }
+
+    fn calibration_snapshot(&self) -> crate::CalibrationSnapshot {
+        crate::CalibrationSnapshot {
+            thresholds: Some(self.thresholds()),
+            quantile_scores: None,
+        }
+    }
+
+    fn restore_calibration(&mut self, snapshot: &crate::CalibrationSnapshot) {
+        if let Some(t) = snapshot.thresholds {
+            *self = DifficultCaseDiscriminator::with_config(t, self.config());
+        }
     }
 }
 
@@ -225,6 +272,26 @@ impl OffloadPolicy for Policy {
         match self {
             Policy::DifficultCase(disc) => disc.difficulty(input),
             _ => None,
+        }
+    }
+
+    fn apply_calibration(&mut self, update: &crate::CalibrationUpdate) -> bool {
+        match self {
+            Policy::DifficultCase(disc) => disc.apply_calibration(update),
+            _ => false,
+        }
+    }
+
+    fn calibration_snapshot(&self) -> crate::CalibrationSnapshot {
+        match self {
+            Policy::DifficultCase(disc) => OffloadPolicy::calibration_snapshot(disc),
+            _ => crate::CalibrationSnapshot::default(),
+        }
+    }
+
+    fn restore_calibration(&mut self, snapshot: &crate::CalibrationSnapshot) {
+        if let Policy::DifficultCase(disc) = self {
+            disc.restore_calibration(snapshot);
         }
     }
 }
@@ -541,6 +608,31 @@ impl OffloadPolicy for QuantileStream {
         // `decide` just scored this frame, so reuse its score rather than
         // re-render (blur) or re-extract features.
         Some(-self.last_score.unwrap_or_else(|| self.score(input)))
+    }
+
+    fn apply_calibration(&mut self, update: &crate::CalibrationUpdate) -> bool {
+        // The artifact carries the cloud-observed difficulty scores sorted
+        // ascending (higher = harder); this stream ranks by "lower = more
+        // worth uploading", so negate and reverse to keep the history
+        // ascending in the stream's own convention.
+        if update.quantile_scores.is_empty() {
+            return false;
+        }
+        self.sorted_scores = update.quantile_scores.iter().rev().map(|d| -d).collect();
+        true
+    }
+
+    fn calibration_snapshot(&self) -> crate::CalibrationSnapshot {
+        crate::CalibrationSnapshot {
+            thresholds: None,
+            quantile_scores: Some(self.sorted_scores.iter().rev().map(|s| -s).collect()),
+        }
+    }
+
+    fn restore_calibration(&mut self, snapshot: &crate::CalibrationSnapshot) {
+        if let Some(scores) = &snapshot.quantile_scores {
+            self.sorted_scores = scores.iter().rev().map(|d| -d).collect();
+        }
     }
 }
 

@@ -158,6 +158,13 @@ mod tag {
     /// `[tag][8-byte LE session][inner frame]` — probe replies on
     /// multiplexed connections.
     pub const PROBE_REPLY_MUX: u8 = 13;
+    /// `[tag][8-byte LE session][inner frame]` — a pushed
+    /// [`CalibrationUpdate`](crate::CalibrationUpdate) riding the answer
+    /// path (reserved ticket [`crate::UPDATE_TICKET`]). Session-prefixed on
+    /// mux *and* plain connections: update frames are not answers to a
+    /// pending submit, so the edge routes them by session alone. Peers
+    /// that predate the model-update loop ignore the tag.
+    pub const UPDATE: u8 = 14;
 }
 
 // ---------------------------------------------------------------------------
@@ -1137,6 +1144,12 @@ impl ConnShared {
     /// Like [`ConnShared::take_submit`], for probes: probes carry no ticket,
     /// so the oldest pending probe (for the hinted session, when given) is
     /// the one being answered.
+    /// The response channel of a registered session, for frames routed by
+    /// session alone (calibration updates).
+    fn update_tx(&self, session: u64) -> Option<Sender<(u64, Bytes)>> {
+        self.lock().resp_tx.get(&session).cloned()
+    }
+
     fn take_probe(&self, session: Option<u64>) -> (bool, Option<Sender<ProbeReply>>) {
         let mut st = self.lock();
         let idx = st.pending.iter().position(|p| {
@@ -1460,6 +1473,21 @@ fn deliver_answer_mux(session: u64, ticket: u64, inner: Bytes, shared: &ConnShar
     true
 }
 
+/// Routes a pushed calibration update to its session's response channel
+/// under the reserved ticket — never tracked in `pending` (an update is
+/// not an answer and is never replayed by the transport; a lost update is
+/// re-delivered by the cloud at the next version, which supersedes it). An
+/// update for an unknown or already-detached session is dropped, like a
+/// stale answer.
+fn deliver_update(session: u64, inner: Bytes, shared: &ConnShared) -> bool {
+    if let Some(tx) = shared.update_tx(session) {
+        // A disconnected session channel just means the session is gone;
+        // the connection itself stays healthy.
+        let _ = tx.send((crate::UPDATE_TICKET, inner));
+    }
+    true
+}
+
 fn deliver_probe_reply(session: Option<u64>, inner: &Bytes, shared: &ConnShared) -> bool {
     let Ok(r) = wire::decode_frame_as::<WireProbeReply>(inner, shared.encoding) else {
         return false;
@@ -1491,6 +1519,10 @@ fn handle_inbound(frame: &Bytes, shared: &ConnShared) -> bool {
         tag::PROBE_REPLY => deliver_probe_reply(None, &inner, shared),
         tag::PROBE_REPLY_MUX => match split_mux(&inner) {
             Some((session, inner)) => deliver_probe_reply(Some(session), &inner, shared),
+            None => false,
+        },
+        tag::UPDATE => match split_mux(&inner) {
+            Some((session, inner)) => deliver_update(session, inner, shared),
             None => false,
         },
         _ => true,
@@ -1816,6 +1848,8 @@ fn merge_cloud_stats(into: &mut CloudStats, s: &CloudStats) {
     into.admission_rejects += s.admission_rejects;
     into.peak_workers = into.peak_workers.max(s.peak_workers);
     into.scale_changes += s.scale_changes;
+    into.updates_published += s.updates_published;
+    into.calibration_version = into.calibration_version.max(s.calibration_version);
 }
 
 impl NodeStats {
@@ -2020,7 +2054,13 @@ pub fn serve_connection(
                     // exactly the backpressure cascade the channels gave.
                     let ftx_a = Arc::clone(&ftx);
                     let resp_tx = AnswerTx::Sink(Box::new(move |ticket, b: Bytes| {
-                        let payload = if mux {
+                        // Calibration pushes ride the answer path under the
+                        // reserved ticket but are not answers to a pending
+                        // submit: they ship under their own session-prefixed
+                        // tag on mux and plain connections alike.
+                        let payload = if ticket == crate::UPDATE_TICKET {
+                            msg_mux(tag::UPDATE, session, &b)
+                        } else if mux {
                             msg_mux_answer(session, ticket, &b)
                         } else {
                             let mut p = Vec::with_capacity(1 + b.len());

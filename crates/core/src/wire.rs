@@ -144,6 +144,23 @@ pub const BINARY_STATIC_KEYS: &[&str] = &[
     "loss_prob",
     "now",
     "admitted",
+    // SubmitRequest pseudo-label field (appended in the same protocol
+    // revision as the update frame below).
+    "small_count",
+    // CalibrationUpdate frames (cloud → edge model-update push) and their
+    // nested Thresholds.
+    "format",
+    "version",
+    "epoch",
+    "thresholds",
+    "quantile_scores",
+    "examples",
+    "accuracy",
+    "holdout",
+    "divergence",
+    "conf",
+    "count",
+    "area",
 ];
 
 impl Encoding {
@@ -832,6 +849,96 @@ mod tests {
                     serde_json::from_slice_binary_with_dict(p, BINARY_STATIC_KEYS).unwrap();
                 let want: ImageDetections = decode_frame_as(f, Encoding::Binary).unwrap();
                 assert_eq!(dets, want);
+            }
+            assert_eq!(reader.pending_bytes(), 0);
+        }
+    }
+
+    // ---- calibration-update frames ----
+
+    fn sample_update() -> crate::CalibrationUpdate {
+        crate::CalibrationUpdate {
+            format: crate::UPDATE_FORMAT,
+            version: 3,
+            epoch: 7,
+            thresholds: crate::Thresholds {
+                conf: 0.2,
+                count: 4,
+                area: 0.05,
+            },
+            quantile_scores: (0..12).map(|i| f64::from(i) / 11.0).collect(),
+            examples: 48,
+            accuracy: 0.9375,
+            holdout: 16,
+            divergence: 0.35,
+        }
+    }
+
+    #[test]
+    fn update_frame_round_trips_in_both_encodings() {
+        let update = sample_update();
+        for enc in [Encoding::Json, Encoding::Binary] {
+            let frame = encode_frame_as(&update, enc);
+            let back: crate::CalibrationUpdate = decode_frame_as(&frame, enc).unwrap();
+            assert_eq!(back, update, "{enc}");
+        }
+        // Every field name of the update frame (and its nested thresholds)
+        // is in the static dictionary, so the binary form beats JSON.
+        let json = encode_frame_as(&update, Encoding::Json);
+        let binary = encode_frame_as(&update, Encoding::Binary);
+        assert!(
+            binary.len() < json.len(),
+            "binary {} should beat JSON {}",
+            binary.len(),
+            json.len()
+        );
+        // Cross-decoding with the wrong encoding is an error, not garbage.
+        assert!(decode_frame_as::<crate::CalibrationUpdate>(&binary, Encoding::Json).is_err());
+        assert!(decode_frame_as::<crate::CalibrationUpdate>(&json, Encoding::Binary).is_err());
+    }
+
+    #[test]
+    fn update_frame_encodings_agree_with_serde_json_oracle() {
+        // The JSON payload must be exactly what plain serde_json writes
+        // (the frame layer adds only the length prefix), and the binary
+        // payload must decode to the same value the JSON text does.
+        let update = sample_update();
+        let json = encode_frame_as(&update, Encoding::Json);
+        assert_eq!(&json[4..], &serde_json::to_vec(&update).unwrap()[..]);
+        let binary = encode_frame_as(&update, Encoding::Binary);
+        let via_binary: crate::CalibrationUpdate =
+            serde_json::from_slice_binary_with_dict(&binary[4..], BINARY_STATIC_KEYS).unwrap();
+        let via_json: crate::CalibrationUpdate = serde_json::from_slice(&json[4..]).unwrap();
+        assert_eq!(via_binary, via_json);
+        assert_eq!(via_binary, update);
+    }
+
+    #[test]
+    fn frame_reader_reassembles_update_frames_across_arbitrary_splits() {
+        let frames: Vec<Bytes> = (0..4u64)
+            .map(|v| {
+                let mut u = sample_update();
+                u.version = v;
+                u.quantile_scores.truncate(v as usize * 3);
+                encode_frame_as(&u, Encoding::Binary)
+            })
+            .collect();
+        let stream: Vec<u8> = frames.iter().flat_map(|f| f.iter().copied()).collect();
+        for chunk_size in [1usize, 2, 3, 5, 7, 64] {
+            let mut reader = FrameReader::new();
+            let mut got = Vec::new();
+            for chunk in stream.chunks(chunk_size) {
+                reader.feed(chunk);
+                while let Some(p) = reader.next_frame().unwrap() {
+                    got.push(p);
+                }
+            }
+            assert_eq!(got.len(), frames.len(), "chunk_size {chunk_size}");
+            for (v, (p, f)) in got.iter().zip(&frames).enumerate() {
+                assert_eq!(&p[..], &f[4..], "chunk_size {chunk_size}");
+                let update: crate::CalibrationUpdate =
+                    serde_json::from_slice_binary_with_dict(p, BINARY_STATIC_KEYS).unwrap();
+                assert_eq!(update.version, v as u64);
             }
             assert_eq!(reader.pending_bytes(), 0);
         }

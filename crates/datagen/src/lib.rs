@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 mod dataset;
+mod drift;
 mod profile;
 mod scene;
 mod splits;
@@ -33,6 +34,7 @@ mod stats;
 mod video;
 
 pub use dataset::Dataset;
+pub use drift::{DriftPhase, DriftSchedule};
 pub use profile::{AreaModel, CameraModel, CountModel, DatasetProfile, DifficultyModel};
 pub use scene::{Scene, SceneObject};
 pub use splits::{Split, SplitId};

@@ -311,6 +311,29 @@ impl DatasetProfile {
         }
     }
 
+    /// The night-shift variant of this profile: dimmer light, heavier blur
+    /// and sensor noise, smaller apparent objects, denser grouping, and a
+    /// higher intrinsic difficulty floor. Used by drift schedules
+    /// ([`DriftSchedule::day_night`](crate::DriftSchedule::day_night)) to
+    /// model the day/night distribution swap a fixed camera sees.
+    pub fn night(&self) -> Self {
+        let mut p = self.clone();
+        p.name = format!("{}-night", p.name);
+        p.difficulty.base = (p.difficulty.base + 0.22).min(1.0);
+        p.camera.mean_blur *= 1.8;
+        p.camera.mean_noise *= 2.0;
+        p.camera.illum_range = (
+            (p.camera.illum_range.0 * 0.5).max(0.05),
+            p.camera.illum_range.1 * 0.7,
+        );
+        // Headlights and floodlights: objects read smaller at night, and
+        // activity clusters under the lit patches, so crowded scenes are
+        // much more common.
+        p.area.ln_mu -= 0.4;
+        p.count.p_crowd = (p.count.p_crowd + 0.25).min(0.9);
+        p
+    }
+
     /// Samples one object class according to the class weights.
     pub fn sample_class<R: Rng + ?Sized>(&self, rng: &mut R) -> ClassId {
         let total: f64 = self.class_weights.iter().sum();

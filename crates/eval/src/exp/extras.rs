@@ -745,6 +745,180 @@ pub fn multiedge(cfg: &ExpConfig) -> Report {
     .with_note("sessions share one FIFO scheduler; links and policies differ per edge")
 }
 
+/// Extension: calibration drift and the model-update loop (PR 10).
+///
+/// A HELMET camera lives through a day → night → dawn drift schedule
+/// (night: harsher blur and noise, dimmer illumination, smaller apparent
+/// objects). Both calibrations drive a streaming difficulty-quantile
+/// policy targeting 50% uploads:
+///
+/// * **static** keeps whatever score history it accumulates on-device —
+///   after the swap its long day history ranks nearly every night frame
+///   as upload-worthy (bandwidth blowout), and at dawn the accumulated
+///   night mass ranks day frames as easy, so truly difficult frames stay
+///   local (recall collapse);
+/// * **updated** receives the cloud's refit artifact at every window
+///   boundary — the `quantile_scores` replay `UpdatePublisher`'s epoch
+///   refit, so its adaptation lags each swap by exactly one window, like
+///   the real rollout.
+///
+/// Per window the table reports the realised upload ratio (target 50%)
+/// and difficult-case recall (fraction of truly difficult frames each
+/// stream uploaded).
+pub fn drift(cfg: &ExpConfig) -> Report {
+    use datagen::{Dataset, DatasetProfile, DriftPhase, DriftSchedule};
+    use modelzoo::SimDetector;
+    use smallbig_core::{
+        calibrate, detect_all, label_dataset_with, CalibrationUpdate, OffloadPolicy, PolicyInput,
+        QuantileStream, ScoreKind,
+    };
+
+    const WINDOW_S: f64 = 60.0;
+    const WINDOWS: usize = 9;
+    const TARGET: f64 = 0.5;
+    let day = DatasetProfile::helmet();
+    let schedule = DriftSchedule {
+        phases: vec![
+            DriftPhase {
+                start_s: 0.0,
+                profile: day.clone(),
+            },
+            DriftPhase {
+                start_s: 3.0 * WINDOW_S,
+                profile: day.night(),
+            },
+            DriftPhase {
+                start_s: 6.0 * WINDOW_S,
+                profile: day.clone(),
+            },
+        ],
+    };
+    schedule.validate().expect("well-formed schedule");
+    let num_classes = day.taxonomy.len();
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, num_classes);
+    let big = SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, num_classes);
+    let n = ((400.0 * cfg.scale).round() as usize).max(24);
+
+    // Day-time calibration, as the factory would ship it: the confidence
+    // threshold for difficulty labelling plus a day score history warmed
+    // into both streams.
+    let train = Dataset::generate("drift-train", &day, n, 0xd21f7);
+    let (calibration, _) = calibrate(&train, &small, &big);
+    let t_conf = calibration.thresholds.conf;
+    let kind = ScoreKind::Difficulty { t_conf };
+    let mut static_stream = QuantileStream::new(kind, TARGET);
+    let mut updated_stream = QuantileStream::new(kind, TARGET);
+    // The camera has been deployed for a while: weeks of day traffic give
+    // the on-device history real inertia (several windows' worth of
+    // scores), which is exactly what makes it slow to track a swap.
+    for pass in 0..4u64 {
+        let warm_data = Dataset::generate("drift-warm", &day, n, 0xd21f7 ^ (pass << 40));
+        let warm = detect_all(&warm_data, &small, &big);
+        for (scene, (small_dets, _)) in warm_data.scenes().iter().zip(&warm) {
+            for stream in [&mut static_stream, &mut updated_stream] {
+                stream.decide(&PolicyInput {
+                    scene,
+                    small_dets,
+                    label: None,
+                    num_classes,
+                    link: None,
+                    cloud_queue: None,
+                });
+            }
+        }
+    }
+
+    let mut t = Table::new(vec![
+        "window / phase".into(),
+        "static upload(%)".into(),
+        "updated upload(%)".into(),
+        "static recall(%)".into(),
+        "updated recall(%)".into(),
+    ]);
+    let (mut static_dev, mut updated_dev) = (0.0f64, 0.0f64);
+    let mut recall_margin = Vec::new();
+    for w in 0..WINDOWS {
+        let t_s = w as f64 * WINDOW_S;
+        let phase = ["day", "night", "dawn"][schedule.phase_index(t_s)];
+        let window = Dataset::generate(
+            &format!("drift-w{w}"),
+            schedule.profile_at(t_s),
+            n,
+            0xd21f7 ^ ((w as u64 + 1) << 8),
+        );
+        let dets = detect_all(&window, &small, &big);
+        let examples = label_dataset_with(&window, &dets, t_conf);
+        // (uploads, difficult frames uploaded) per stream.
+        let mut counts = [(0usize, 0usize); 2];
+        let mut fresh_scores = Vec::with_capacity(window.len());
+        let difficult = examples.iter().filter(|e| e.label.is_difficult()).count();
+        for ((scene, (small_dets, _)), ex) in window.scenes().iter().zip(&dets).zip(&examples) {
+            let streams = [&mut static_stream, &mut updated_stream];
+            for (i, stream) in streams.into_iter().enumerate() {
+                let input = PolicyInput {
+                    scene,
+                    small_dets,
+                    label: None,
+                    num_classes,
+                    link: None,
+                    cloud_queue: None,
+                };
+                let upload = stream.decide(&input).is_upload();
+                if i == 1 {
+                    fresh_scores.push(stream.difficulty(&input).expect("quantile difficulty"));
+                }
+                counts[i].0 += upload as usize;
+                counts[i].1 += (upload && ex.label.is_difficult()) as usize;
+            }
+        }
+        let frac = |c: usize| c as f64 / window.len() as f64;
+        let recall = |c: usize| {
+            if difficult == 0 {
+                1.0
+            } else {
+                c as f64 / difficult as f64
+            }
+        };
+        static_dev += (frac(counts[0].0) - TARGET).abs();
+        updated_dev += (frac(counts[1].0) - TARGET).abs();
+        if phase == "dawn" {
+            recall_margin.push(recall(counts[1].1) - recall(counts[0].1));
+        }
+        t.add_row(vec![
+            format!("{w} / {phase}"),
+            f2(frac(counts[0].0) * 100.0),
+            f2(frac(counts[1].0) * 100.0),
+            f2(recall(counts[0].1) * 100.0),
+            f2(recall(counts[1].1) * 100.0),
+        ]);
+        // Window boundary: the cloud's refit artifact replaces the
+        // updated stream's score history, exactly as `apply_calibration`
+        // does on a live session.
+        fresh_scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+        let mut artifact = CalibrationUpdate::factory(calibration.thresholds);
+        artifact.version = w as u64 + 1;
+        artifact.quantile_scores = fresh_scores;
+        assert!(updated_stream.apply_calibration(&artifact));
+    }
+    let dawn_margin = 100.0 * recall_margin.iter().cloned().fold(f64::MIN, f64::max);
+    Report::new(
+        "drift",
+        "Extension: day→night→dawn drift — on-device history vs the model-update loop (HELMET, 50% target)",
+        t,
+    )
+    .with_note(format!(
+        "mean |upload − target|: static {} pp, update loop {} pp",
+        f2(100.0 * static_dev / WINDOWS as f64),
+        f2(100.0 * updated_dev / WINDOWS as f64)
+    ))
+    .with_note(format!(
+        "largest dawn-window difficult-case recall margin of the update loop: {} pp — \
+         the night-polluted on-device history keeps difficult day frames local",
+        f2(dawn_margin)
+    ))
+    .with_note("count/area thresholds stay put under this drift; the score distribution is what moves")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -800,6 +974,16 @@ mod tests {
         assert!(text.contains("outage"));
         assert!(text.contains("bursty"));
         assert!(text.contains("diurnal"));
+    }
+
+    #[test]
+    fn drift_covers_nine_windows_and_reports_margins() {
+        let r = drift(&ExpConfig::quick());
+        assert_eq!(r.table.num_rows(), 9, "3 day + 3 night + 3 dawn windows");
+        let text = r.to_string();
+        assert!(text.contains("night"));
+        assert!(text.contains("dawn"));
+        assert!(text.contains("recall margin"));
     }
 
     #[test]

@@ -81,7 +81,7 @@ impl fmt::Display for Report {
 }
 
 /// All experiment ids in presentation order.
-pub const ALL_EXPERIMENTS: [&str; 31] = [
+pub const ALL_EXPERIMENTS: [&str; 32] = [
     "motivation",
     "table1",
     "table2",
@@ -113,6 +113,7 @@ pub const ALL_EXPERIMENTS: [&str; 31] = [
     "multiedge",
     "degraded",
     "scheduling",
+    "drift",
 ];
 
 /// Runs one experiment by id (or `"all"`).
@@ -169,6 +170,7 @@ pub fn run_experiment(id: &str, cfg: &ExpConfig) -> Result<Vec<Report>, String> 
         "multiedge" => extras::multiedge(cfg),
         "degraded" => extras::degraded(cfg),
         "scheduling" => extras::scheduling(cfg),
+        "drift" => extras::drift(cfg),
         other => return Err(format!("unknown experiment id: {other}")),
     };
     Ok(vec![report])

@@ -1,0 +1,215 @@
+//! The model-update loop end to end: the cloud refits the discriminator
+//! calibration from its own big-model answers (free pseudo-labels — no
+//! human labels anywhere), rolls the refit out as versioned artifacts on
+//! the answer path, and the edge applies them atomically between frames
+//! with a probation window that rolls back on divergence.
+//!
+//! Three scenarios:
+//!
+//! 1. **Drift.** A camera drifts from day to night mid-run. A static
+//!    calibration keeps routing on day-shaped difficulty scores; the
+//!    update loop re-anchors the edge's score history each epoch.
+//! 2. **Lost updates.** A session that goes dark while refits publish
+//!    catches up with a single apply on its next served frame — versions
+//!    are cumulative, so nothing is replayed.
+//! 3. **Rollback.** A zero divergence bound turns any probation shift
+//!    into a trip: the edge restores its pre-apply snapshot and reverts
+//!    the active version.
+//!
+//! Everything is deterministic (virtual clocks, seeded pools, grid-search
+//! refits), and the final determinism check pins that an update loop
+//! which never fires changes nothing at all.
+//!
+//! ```bash
+//! cargo run --release --example model_update
+//! ```
+
+use smallbig::prelude::*;
+use std::sync::Arc;
+
+const NUM_CLASSES: usize = 2;
+const FRAMES: usize = 120;
+const SWAP_AT_S: f64 = 60.0;
+const WINDOW_S: usize = 20;
+
+/// One scene pool per drift phase, generated up front so every run (and
+/// every configuration) sees byte-identical frames.
+fn pools(schedule: &DriftSchedule) -> Vec<Dataset> {
+    (0..FRAMES)
+        .map(|i| i as f64)
+        .fold(Vec::new(), |mut acc, t| {
+            let phase = schedule.phase_index(t);
+            if phase == acc.len() {
+                acc.push(Dataset::generate(
+                    &format!("update-phase{phase}"),
+                    schedule.profile_at(t),
+                    40,
+                    0x10ad ^ (phase as u64) << 16,
+                ));
+            }
+            acc
+        })
+}
+
+/// Drives the drifting camera against one cloud configuration, one frame
+/// per virtual second, and prints the per-window upload fraction.
+fn drive(
+    label: &str,
+    schedule: &DriftSchedule,
+    updates: Option<UpdateConfig>,
+) -> (SessionReport, smallbig::core::CloudStats) {
+    let pools = pools(schedule);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, NUM_CLASSES);
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(SimDetector::new(
+        ModelKind::SsdVgg16,
+        SplitId::Helmet,
+        NUM_CLASSES,
+    ));
+    let mut cloud = CloudServer::spawn(
+        CloudConfig {
+            updates,
+            ..CloudConfig::default()
+        },
+        big,
+    );
+    let mut sess = cloud.connect(
+        SessionConfig {
+            frame_size: (96, 96),
+            ..SessionConfig::new(NUM_CLASSES)
+        },
+        &small,
+        Box::new(Policy::DifficultCase(DifficultCaseDiscriminator::default())),
+    );
+
+    print!("  {label:<22}");
+    let mut window_uploads = 0usize;
+    for i in 0..FRAMES {
+        let t = i as f64;
+        let pool = &pools[schedule.phase_index(t)];
+        sess.advance_to(t);
+        let ticket = sess.submit(&pool.scenes()[i % pool.len()]);
+        let result = sess.poll(ticket).expect("frame resolves");
+        if result.decision.is_upload() {
+            window_uploads += 1;
+        }
+        if (i + 1) % WINDOW_S == 0 {
+            print!(" {:>4.0}%", 100.0 * window_uploads as f64 / WINDOW_S as f64);
+            window_uploads = 0;
+        }
+    }
+    let report = sess.drain();
+    drop(sess);
+    let stats = cloud.shutdown();
+    println!(
+        "   v{} ({} applied, {} rollbacks)",
+        report.calibration_version, report.updates_applied, report.rollbacks
+    );
+    (report, stats)
+}
+
+fn main() {
+    let schedule = DriftSchedule::day_night(DatasetProfile::helmet(), SWAP_AT_S);
+    let cfg = UpdateConfig {
+        epoch_s: 15.0,
+        min_examples: 6,
+        holdout: 4,
+        divergence: 1.0, // scenario 3 tightens this
+    };
+
+    // ---- 1. Day→night drift: static calibration vs the update loop ----
+    println!(
+        "drifting camera ({FRAMES} frames, day→night at t={SWAP_AT_S}s; \
+         upload fraction per {WINDOW_S}s window):"
+    );
+    let (static_report, _) = drive("static calibration", &schedule, None);
+    let (updated_report, stats) = drive("update loop", &schedule, Some(cfg));
+    assert_eq!(static_report.updates_applied, 0);
+    assert!(stats.updates_published >= 2);
+    assert!(updated_report.updates_applied >= 1);
+    println!(
+        "  the cloud refit {} times; the edge ended on version {} of the calibration",
+        stats.updates_published, updated_report.calibration_version
+    );
+
+    // ---- 2. Lost updates: a quiet session catches up in one apply ----
+    // The cloud pushes the *newest* artifact right before a lagging
+    // session's next answer, so a session that slept through several
+    // versions needs exactly one apply to converge.
+    let pool = pools(&schedule).remove(0);
+    let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, NUM_CLASSES);
+    let big: Arc<dyn Detector + Send + Sync> = Arc::new(SimDetector::new(
+        ModelKind::SsdVgg16,
+        SplitId::Helmet,
+        NUM_CLASSES,
+    ));
+    let mut cloud = CloudServer::spawn(
+        CloudConfig {
+            updates: Some(cfg),
+            ..CloudConfig::default()
+        },
+        big,
+    );
+    let session_cfg = SessionConfig {
+        frame_size: (96, 96),
+        ..SessionConfig::new(NUM_CLASSES)
+    };
+    let mk_policy = || Box::new(Policy::DifficultCase(DifficultCaseDiscriminator::default()));
+    let mut busy = cloud.connect(session_cfg.clone(), &small, mk_policy());
+    let mut quiet = cloud.connect(session_cfg, &small, mk_policy());
+    for i in 0..80 {
+        busy.advance_to(i as f64);
+        let t = busy.submit(&pool.scenes()[i % pool.len()]);
+        busy.poll(t).expect("frame resolves");
+    }
+    for i in 80..82 {
+        quiet.advance_to(i as f64);
+        let t = quiet.submit(&pool.scenes()[i % pool.len()]);
+        quiet.poll(t).expect("frame resolves");
+    }
+    let busy_report = busy.drain();
+    let quiet_report = quiet.drain();
+    drop((busy, quiet));
+    let stats = cloud.shutdown();
+    println!(
+        "\nlost-update catch-up: {} versions published while one session slept; \
+         it woke, applied {} artifact, and landed on v{} (newest is v{})",
+        stats.updates_published,
+        quiet_report.updates_applied,
+        quiet_report.calibration_version,
+        stats.calibration_version,
+    );
+    assert_eq!(quiet_report.updates_applied, 1);
+    assert_eq!(quiet_report.calibration_version, stats.calibration_version);
+    assert!(busy_report.updates_applied >= 1);
+
+    // ---- 3. Rollback: a zero divergence bound trips probation ----
+    println!("\nzero divergence bound (every probation shift is a trip):");
+    let (tripped, _) = drive(
+        "paranoid bound",
+        &schedule,
+        Some(UpdateConfig {
+            divergence: 0.0,
+            ..cfg
+        }),
+    );
+    assert!(tripped.rollbacks >= 1, "probation must trip at least once");
+    println!(
+        "  {} rollback(s): each trip restored the pre-apply snapshot and reverted the version",
+        tripped.rollbacks
+    );
+
+    // ---- 4. Determinism: replays are bit-identical; a loop that never
+    //         fires changes nothing ----
+    let (replay, _) = drive("replay (bit-check)", &schedule, Some(cfg));
+    assert_eq!(replay, updated_report, "update runs must replay exactly");
+    let starved = UpdateConfig {
+        min_examples: usize::MAX,
+        ..UpdateConfig::default()
+    };
+    let (starved_report, _) = drive("starved loop", &schedule, Some(starved));
+    assert_eq!(
+        starved_report, static_report,
+        "an update loop that never fires must not move a byte"
+    );
+    println!("\ndeterminism: replay bit-identical; starved loop == updates disabled (asserted)");
+}

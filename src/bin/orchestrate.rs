@@ -14,6 +14,11 @@
 //! executable (override with `--cloud-bin` / `--edge-bin`). Fleet shape
 //! comes from `--spec JSON` / `--spec-file PATH` or individual flags (see
 //! `smallbig::distributed::deployment_spec_from_args`).
+//!
+//! With `--assert-converged true` the orchestrator additionally checks
+//! that every session ended the run on the newest calibration version the
+//! cloud published (see `--update-epoch-s`), exiting 1 with the laggard
+//! sessions otherwise.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -27,6 +32,7 @@ fn die(msg: &str) -> ! {
     eprintln!(
         "usage: smallbig-orchestrate [--mode process|memory|check] \
          [--cloud-bin PATH] [--edge-bin PATH] [--timeout-s N] \
+         [--assert-converged true] \
          [--spec JSON | --spec-file PATH | fleet flags]"
     );
     std::process::exit(2);
@@ -46,10 +52,34 @@ fn print_report(report: &DeploymentReport) {
     }
 }
 
+/// `--assert-converged`: every session must end on the newest calibration
+/// version the cloud published (exit 1 otherwise, listing the laggards).
+fn assert_converged(report: &DeploymentReport) {
+    match report.calibration_converged() {
+        Ok(version) => eprintln!(
+            "converged: {} sessions on calibration version {version}",
+            report.sessions.len()
+        ),
+        Err(laggards) => {
+            eprintln!(
+                "smallbig-orchestrate: calibration did not converge (newest version {}):",
+                report.cloud.cloud.calibration_version
+            );
+            for (session, version) in laggards {
+                eprintln!("  session {session} ended on version {version}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = CliArgs::parse(std::env::args().skip(1)).unwrap_or_else(|e| die(&e));
     let spec = deployment_spec_from_args(&args).unwrap_or_else(|e| die(&e));
     let mode = args.get("mode").unwrap_or("process");
+    let check_converged = args
+        .get_with("assert-converged", false, |v| v.parse().ok())
+        .unwrap_or_else(|e| die(&e));
     let timeout_s = args
         .get_with("timeout-s", 120u64, |v| v.parse().ok())
         .unwrap_or_else(|e| die(&e));
@@ -63,13 +93,10 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| sibling_bin("edge-node"));
 
-    match mode {
-        "memory" => print_report(&run_fleet_in_memory(&spec)),
-        "process" => {
-            let report = run_fleet_processes(&spec, &cloud_bin, &edge_bin, timeout)
-                .unwrap_or_else(|e| die(&format!("process fleet: {e}")));
-            print_report(&report);
-        }
+    let report = match mode {
+        "memory" => run_fleet_in_memory(&spec),
+        "process" => run_fleet_processes(&spec, &cloud_bin, &edge_bin, timeout)
+            .unwrap_or_else(|e| die(&format!("process fleet: {e}"))),
         "check" => {
             let reference = run_fleet_in_memory(&spec);
             let processes = run_fleet_processes(&spec, &cloud_bin, &edge_bin, timeout)
@@ -81,8 +108,12 @@ fn main() {
                 "check ok: {} sessions bit-identical between process and in-memory fleets",
                 reference.sessions.len()
             );
-            print_report(&processes);
+            processes
         }
         other => die(&format!("unknown --mode `{other}`")),
+    };
+    if check_converged {
+        assert_converged(&report);
     }
+    print_report(&report);
 }

@@ -40,7 +40,7 @@ use smallbig_core::transport::{
 use smallbig_core::wire::Encoding;
 use smallbig_core::{
     AutoscaleConfig, CloudConfig, DifficultCaseDiscriminator, EdgePipeline, OffloadPolicy, Policy,
-    SchedulerConfig, SessionConfig, SessionReport,
+    SchedulerConfig, SessionConfig, SessionReport, UpdateConfig,
 };
 
 // ---------------------------------------------------------------------------
@@ -235,6 +235,11 @@ pub struct CloudSpec {
     pub queue_limit: Option<usize>,
     /// Deterministic autoscaling of the inference pool, if any.
     pub autoscale: Option<AutoscaleConfig>,
+    /// Cloud-driven calibration update loop, if any (`None` keeps the
+    /// deployment bit-identical to pre-update builds). Spec JSON written
+    /// before the update loop existed still parses: missing fields
+    /// deserialize as `null`, which an `Option` reads as `None`.
+    pub updates: Option<UpdateConfig>,
 }
 
 impl Default for CloudSpec {
@@ -247,6 +252,7 @@ impl Default for CloudSpec {
             scheduler: base.scheduler,
             queue_limit: base.queue_limit,
             autoscale: base.autoscale,
+            updates: base.updates,
         }
     }
 }
@@ -261,6 +267,7 @@ impl CloudSpec {
             scheduler: self.scheduler,
             queue_limit: self.queue_limit,
             autoscale: self.autoscale,
+            updates: self.updates,
             ..CloudConfig::default()
         }
     }
@@ -534,6 +541,36 @@ impl DeploymentReport {
         }
         report.sessions = sessions;
         report
+    }
+
+    /// Checks fleet-wide calibration-version convergence: every session
+    /// must have ended the run on the newest version any cloud worker
+    /// published (all zeros when the update loop is disabled).
+    ///
+    /// Convergence is a property of the run's shape, not of the update
+    /// loop itself: a session whose final answer carried a fresh artifact
+    /// never serves the frame that would apply it, so callers asserting
+    /// convergence should pick an update cadence that settles before the
+    /// tail of the run (see `--update-epoch-s` and
+    /// `smallbig-orchestrate --assert-converged`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lagging `(session, version)` pairs if any session's
+    /// active version differs from the fleet-wide newest.
+    pub fn calibration_converged(&self) -> Result<u64, Vec<(u64, u64)>> {
+        let newest = self.cloud.cloud.calibration_version;
+        let laggards: Vec<(u64, u64)> = self
+            .sessions
+            .iter()
+            .filter(|s| s.calibration_version != newest)
+            .map(|s| (s.session, s.calibration_version))
+            .collect();
+        if laggards.is_empty() {
+            Ok(newest)
+        } else {
+            Err(laggards)
+        }
     }
 }
 
@@ -867,7 +904,10 @@ impl CliArgs {
 /// (`--edges`, `--devices`, `--frames`, `--split`, `--policy`, `--link`,
 /// `--trace`, `--frame-px`, `--deadline-s`, `--scheduler`,
 /// `--queue-limit`, `--max-batch`, `--workers`, `--seed`,
-/// `--dataset-seed`, `--encoding json|binary`, `--mux true|false`)
+/// `--dataset-seed`, `--encoding json|binary`, `--mux true|false`,
+/// `--update-epoch-s SECS` — enables the cloud's calibration update loop
+/// at that virtual-time cadence, default rollout policy —
+/// and `--update-min-examples N`, the refit floor of an enabled loop)
 /// overlay [`DeploymentSpec::default`].
 ///
 /// # Errors
@@ -901,6 +941,39 @@ pub fn deployment_spec_from_args(args: &CliArgs) -> Result<DeploymentSpec, Strin
                 v.parse().ok().map(Some)
             })?,
             autoscale: base.cloud.autoscale,
+            updates: {
+                let updates = args.get_with("update-epoch-s", base.cloud.updates, |v| {
+                    v.parse().ok().map(|epoch_s| {
+                        Some(UpdateConfig {
+                            epoch_s,
+                            ..UpdateConfig::default()
+                        })
+                    })
+                })?;
+                match updates {
+                    // `--update-min-examples` tunes the refit floor of an
+                    // enabled loop (short demo runs never reach the
+                    // production default of 32 pseudo-labels).
+                    Some(cfg) => Some(UpdateConfig {
+                        min_examples: args.get_with(
+                            "update-min-examples",
+                            cfg.min_examples,
+                            |v| v.parse().ok(),
+                        )?,
+                        ..cfg
+                    }),
+                    None => {
+                        if args.get("update-min-examples").is_some() {
+                            return Err(
+                                "--update-min-examples needs --update-epoch-s (or a spec with \
+                                 cloud updates enabled)"
+                                    .into(),
+                            );
+                        }
+                        None
+                    }
+                }
+            },
         },
         edge: EdgeSpec {
             policy: args.get_with("policy", base.edge.policy, PolicySpec::parse)?,

@@ -144,6 +144,62 @@
 //! contract `tests/fleet.rs` pins and the bench re-asserts before any
 //! timing. See `examples/fleet.rs`.
 //!
+//! # Model-update quickstart (recalibration under drift)
+//!
+//! Workloads drift — day turns to night, crowds form — and a calibration
+//! fitted once decays. With [`core::CloudConfig::updates`] set, the cloud
+//! treats every big-model answer as a free pseudo-label, refits the
+//! discriminator calibration on virtual-time epoch boundaries, and pushes
+//! versioned artifacts to lagging sessions on the answer path; edges
+//! apply them atomically between frames and roll back if a probation
+//! window diverges from the pre-update holdout:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use smallbig::prelude::*;
+//!
+//! let schedule = DriftSchedule::day_night(DatasetProfile::helmet(), 30.0);
+//! let day = Dataset::generate("upd-day", schedule.profile_at(0.0), 16, 7);
+//! let night = Dataset::generate("upd-night", schedule.profile_at(30.0), 16, 7);
+//! let small = SimDetector::new(ModelKind::VggLiteSsd, SplitId::Helmet, 2);
+//! let big: Arc<dyn Detector + Send + Sync> =
+//!     Arc::new(SimDetector::new(ModelKind::SsdVgg16, SplitId::Helmet, 2));
+//!
+//! let mut cloud = CloudServer::spawn(
+//!     CloudConfig {
+//!         updates: Some(UpdateConfig { epoch_s: 10.0, min_examples: 4, ..UpdateConfig::default() }),
+//!         ..CloudConfig::default()
+//!     },
+//!     big,
+//! );
+//! let mut edge = cloud.connect(
+//!     SessionConfig { frame_size: (96, 96), ..SessionConfig::new(2) },
+//!     &small,
+//!     Box::new(Policy::DifficultCase(DifficultCaseDiscriminator::default())),
+//! );
+//! for i in 0..60 {
+//!     let t = i as f64;
+//!     let pool = if schedule.phase_index(t) == 0 { &day } else { &night };
+//!     edge.advance_to(t);
+//!     let ticket = edge.submit(&pool.scenes()[i % pool.len()]);
+//!     edge.poll(ticket).expect("frame resolves");
+//! }
+//! let report = edge.drain();
+//! println!(
+//!     "calibration v{} after {} applies ({} rollbacks)",
+//!     report.calibration_version, report.updates_applied, report.rollbacks
+//! );
+//! ```
+//!
+//! `updates: None` (the default) is bit-identical to builds that predate
+//! the loop; `tests/model_update.rs` pins the golden trajectories
+//! (lost-update replay, rollback-after-divergence, disabled-path
+//! identity), and the `drift` experiment measures a static calibration
+//! decaying under day/night drift while the update loop holds. Fleets get
+//! the same loop via `CloudSpec::updates` / `--update-epoch-s`, and
+//! `smallbig-orchestrate --assert-converged true` checks every session
+//! ended on the newest published version. See `examples/model_update.rs`.
+//!
 //! # Distributed deployment
 //!
 //! The streaming runtime also speaks a real wire protocol
@@ -197,7 +253,7 @@ pub use smallbig_core as core;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use datagen::{Dataset, DatasetProfile, Scene, Split, SplitId};
+    pub use datagen::{Dataset, DatasetProfile, DriftSchedule, Scene, Split, SplitId};
     pub use detcore::{
         ApProtocol, BBox, ClassId, Detection, GroundTruth, ImageDetections, MapEvaluator, Taxonomy,
     };
@@ -211,7 +267,7 @@ pub mod prelude {
         calibrate, evaluate, evaluate_streaming, run_system, AutoscaleConfig, CaseKind,
         CloudConfig, CloudServer, DifficultCaseDiscriminator, EdgeSession, EvalConfig,
         OffloadPolicy, Policy, RuntimeConfig, RuntimeMode, Scheduler, SchedulerConfig,
-        SessionConfig, SessionReport, Thresholds,
+        SessionConfig, SessionReport, Thresholds, UpdateConfig,
     };
 }
 

@@ -17,6 +17,7 @@ use smallbig::core::fleet::{
     DeadlineChoice, FleetPolicy, FleetSpec, LinkChoice, MetricsMode, PolicyChoice, Population,
 };
 use smallbig::core::CloudConfig;
+use smallbig::datagen::{DatasetProfile, DriftSchedule};
 use smallbig::prelude::{LinkModel, LinkTrace};
 
 /// A small but maximally heterogeneous fleet: static and traced links,
@@ -227,6 +228,33 @@ fn parallel_drive_is_bit_identical_for_threads_1_2_4() {
             "aggregate FleetReport diverged on {threads} thread(s)"
         );
     }
+}
+
+#[test]
+fn drifting_population_is_bit_identical_to_threaded_reference() {
+    // The PR 10 pin: a mid-run day/night profile swap must hit both
+    // runtimes identically — which phase pool a frame samples from is a
+    // pure function of the frame's virtual timestamp, shared by the event
+    // core and the thread-per-session reference. Sessions whose lifetimes
+    // straddle the swap see day scenes first and night scenes after.
+    let spec = FleetSpec {
+        drift: Some(DriftSchedule::day_night(DatasetProfile::helmet(), 15.0)),
+        ..heterogeneous_spec()
+    };
+    let (core_reports, core_stats) = run_fleet_sessions(&spec).expect("healthy drive");
+    let (ref_reports, ref_stats) = run_fleet_reference(&spec);
+    assert_eq!(
+        core_reports, ref_reports,
+        "drifting per-session reports must match the reference bit for bit"
+    );
+    assert_eq!(core_stats, ref_stats);
+    // The swap really changed the workload: the same fleet without drift
+    // produces different reports.
+    let (static_reports, _) = run_fleet_sessions(&heterogeneous_spec()).expect("healthy drive");
+    assert_ne!(
+        core_reports, static_reports,
+        "the night phase must actually alter the fleet's traffic"
+    );
 }
 
 #[test]

@@ -1,0 +1,237 @@
+//! Conformance suite for the model-update loop (PR 10).
+//!
+//! Four contracts are pinned here:
+//!
+//! 1. **Golden trajectories.** An update-enabled run is a pure function of
+//!    its seeds: refit versions, applies and rollback counters replay
+//!    bit-identically, and the loop actually fires under a realistic
+//!    drive.
+//! 2. **Lost-update replay.** A session that uploads nothing while a refit
+//!    publishes (an outage, a quiet camera) catches up on its next served
+//!    frame — the cloud piggybacks the newest artifact immediately before
+//!    the answer, so no separate reliability machinery is needed.
+//! 3. **Rollback.** A divergence trip (probation upload fraction moving
+//!    beyond the artifact's bound vs the pre-update holdout) restores the
+//!    snapshot taken before the apply and reverts the active version —
+//!    pinned end to end, not just at the state-machine level.
+//! 4. **Disabled-path bit-identity.** `CloudConfig::updates: None` (the
+//!    default) and an enabled loop that never accumulates enough examples
+//!    both leave every report byte untouched — the update path costs
+//!    nothing unless it actually fires (`tests/api_equivalence.rs`
+//!    separately pins the default path against the seed implementation).
+
+use datagen::{Dataset, DatasetProfile};
+use modelzoo::{ModelKind, SimDetector};
+use smallbig::core::{
+    CloudConfig, CloudServer, CloudStats, DifficultCaseDiscriminator, Policy, SessionConfig,
+    SessionReport, Thresholds, UpdateConfig,
+};
+use std::sync::Arc;
+
+const NUM_CLASSES: usize = 2;
+
+fn fixture(n: usize) -> Dataset {
+    Dataset::generate("update-fixture", &DatasetProfile::helmet(), n, 9)
+}
+
+fn small() -> SimDetector {
+    SimDetector::new(ModelKind::VggLiteSsd, datagen::SplitId::Helmet, NUM_CLASSES)
+}
+
+fn big() -> Arc<SimDetector> {
+    Arc::new(SimDetector::new(
+        ModelKind::SsdVgg16,
+        datagen::SplitId::Helmet,
+        NUM_CLASSES,
+    ))
+}
+
+fn session_cfg() -> SessionConfig {
+    SessionConfig {
+        frame_size: (96, 96),
+        ..SessionConfig::new(NUM_CLASSES)
+    }
+}
+
+/// A discriminator that uploads essentially every helmet scene, keeping
+/// the cloud's pseudo-label stream dense.
+fn eager_disc() -> DifficultCaseDiscriminator {
+    DifficultCaseDiscriminator::with_config(
+        Thresholds {
+            conf: 0.2,
+            count: 1,
+            area: 0.6,
+        },
+        Default::default(),
+    )
+}
+
+/// Drives `frames` scenes through one update-enabled session, one frame
+/// per virtual second, and returns its report plus the cloud stats.
+fn drive_one(updates: Option<UpdateConfig>, frames: usize) -> (SessionReport, CloudStats) {
+    let data = fixture(30);
+    let small = small();
+    let mut cloud = CloudServer::spawn(
+        CloudConfig {
+            updates,
+            ..CloudConfig::default()
+        },
+        big(),
+    );
+    let mut sess = cloud.connect(
+        session_cfg(),
+        &small,
+        Box::new(Policy::DifficultCase(eager_disc())),
+    );
+    for i in 0..frames {
+        sess.advance_to(i as f64);
+        let ticket = sess.submit(&data.scenes()[i % data.len()]);
+        sess.poll(ticket).expect("frame resolves");
+    }
+    let report = sess.drain();
+    drop(sess);
+    (report, cloud.shutdown())
+}
+
+#[test]
+fn update_loop_fires_and_replays_bit_identically() {
+    let cfg = UpdateConfig {
+        epoch_s: 8.0,
+        min_examples: 6,
+        holdout: 4,
+        divergence: 1.0, // never roll back in this scenario
+    };
+    let (report, stats) = drive_one(Some(cfg), 48);
+    assert!(
+        stats.updates_published >= 2,
+        "48 virtual seconds at epoch_s=8 must refit more than once, got {}",
+        stats.updates_published
+    );
+    assert_eq!(stats.calibration_version, stats.updates_published);
+    assert!(report.updates_applied >= 1, "the edge must adopt a refit");
+    assert!(
+        report.calibration_version >= 1,
+        "a version must be active at drain"
+    );
+    assert_eq!(report.rollbacks, 0);
+    assert!(report.uploads > 0);
+
+    // Golden trajectory: the whole run — refit contents, push points,
+    // applies — replays bit-for-bit from the same seeds.
+    let (report2, stats2) = drive_one(Some(cfg), 48);
+    assert_eq!(report, report2, "update-enabled runs must be deterministic");
+    assert_eq!(stats, stats2);
+}
+
+#[test]
+fn lost_update_replay_catches_a_quiet_session_up() {
+    let data = fixture(30);
+    let small = small();
+    let mut cloud = CloudServer::spawn(
+        CloudConfig {
+            updates: Some(UpdateConfig {
+                epoch_s: 8.0,
+                min_examples: 6,
+                holdout: 4,
+                divergence: 1.0,
+            }),
+            ..CloudConfig::default()
+        },
+        big(),
+    );
+    let mut busy = cloud.connect(
+        session_cfg(),
+        &small,
+        Box::new(Policy::DifficultCase(eager_disc())),
+    );
+    let mut quiet = cloud.connect(
+        session_cfg(),
+        &small,
+        Box::new(Policy::DifficultCase(eager_disc())),
+    );
+
+    // The quiet session serves one early frame (no refit exists yet, so
+    // nothing is pushed to it) and then goes dark.
+    quiet.advance_to(0.0);
+    let t = quiet.submit(&data.scenes()[0]);
+    quiet.poll(t).expect("frame resolves");
+
+    // The busy session's traffic drives several refits meanwhile.
+    for i in 0..40 {
+        busy.advance_to(i as f64);
+        let t = busy.submit(&data.scenes()[i % data.len()]);
+        busy.poll(t).expect("frame resolves");
+    }
+
+    // The quiet session wakes up: its first served frame's answer is
+    // preceded by the *newest* artifact (intermediate versions were lost
+    // to it and are never replayed — versions are cumulative), and the
+    // frame after that applies it between frames.
+    quiet.advance_to(41.0);
+    let t = quiet.submit(&data.scenes()[1]);
+    quiet.poll(t).expect("frame resolves");
+    quiet.advance_to(42.0);
+    let t = quiet.submit(&data.scenes()[2]);
+    quiet.poll(t).expect("frame resolves");
+
+    let busy_report = busy.drain();
+    let quiet_report = quiet.drain();
+    drop((busy, quiet));
+    let stats = cloud.shutdown();
+
+    assert!(stats.updates_published >= 2);
+    assert!(busy_report.updates_applied >= 1);
+    assert_eq!(
+        quiet_report.updates_applied, 1,
+        "the quiet session must apply exactly one catch-up artifact"
+    );
+    assert_eq!(
+        quiet_report.calibration_version, stats.calibration_version,
+        "one catch-up apply must land the quiet session on the newest version"
+    );
+}
+
+#[test]
+fn divergence_trips_a_pinned_rollback() {
+    // A zero divergence bound makes any upload-fraction change between the
+    // pre-update holdout and the probation window a trip. The eager
+    // discriminator uploads everything (pre-fraction 1.0); the refit
+    // learned from pseudo-labels is stricter, so probation diverges and
+    // the edge must restore its snapshot and revert to version 0.
+    let cfg = UpdateConfig {
+        epoch_s: 8.0,
+        min_examples: 6,
+        holdout: 4,
+        divergence: 0.0,
+    };
+    let (report, stats) = drive_one(Some(cfg), 48);
+    assert!(stats.updates_published >= 1);
+    assert!(
+        report.rollbacks >= 1,
+        "a zero divergence bound must trip at least once (applied {}, version {})",
+        report.updates_applied,
+        report.calibration_version
+    );
+    // Pinned end state: the trajectory replays bit-identically.
+    let (report2, _) = drive_one(Some(cfg), 48);
+    assert_eq!(report, report2);
+}
+
+#[test]
+fn disabled_and_never_firing_update_loops_are_bit_identical() {
+    // `updates: None` is the default; an enabled loop that never reaches
+    // min_examples must not change a single byte either — no RNG draws,
+    // no virtual time, no frames.
+    let (none_report, none_stats) = drive_one(None, 32);
+    let starved = UpdateConfig {
+        min_examples: usize::MAX,
+        ..UpdateConfig::default()
+    };
+    let (starved_report, starved_stats) = drive_one(Some(starved), 32);
+    assert_eq!(none_report, starved_report);
+    assert_eq!(none_stats.served, starved_stats.served);
+    assert_eq!(none_stats.busy_s, starved_stats.busy_s);
+    assert_eq!(starved_stats.updates_published, 0);
+    assert_eq!(starved_report.calibration_version, 0);
+    assert_eq!(starved_report.updates_applied, 0);
+}

@@ -18,7 +18,7 @@ use smallbig::core::transport::{
     HELLO_MAGIC,
 };
 use smallbig::core::wire::{encode_frame, Encoding};
-use smallbig::core::{CloudServer, CloudStats, SessionReport};
+use smallbig::core::{CloudServer, CloudStats, SessionReport, UpdateConfig};
 use smallbig::distributed::{
     run_device_session, run_fleet_in_memory, run_fleet_processes, CloudSpec, DeploymentSpec,
     EdgeSpec, LinkSpec, PolicySpec, TraceSpec, LINE_CONNECTED, LINE_REPORT, LINE_STATS,
@@ -226,6 +226,79 @@ fn tcp_sessions_match_channel_path_across_configs() {
             got_stats.served, want_stats.served,
             "variant `{name}` served a different frame count"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-update loop over the wire
+// ---------------------------------------------------------------------------
+
+/// A fleet with the cloud's calibration-update loop switched on, paced so
+/// the 30-frame sessions cross a couple of refit epochs mid-run.
+fn update_fleet(edges: usize, frames: usize) -> DeploymentSpec {
+    DeploymentSpec {
+        cloud: CloudSpec {
+            updates: Some(UpdateConfig {
+                epoch_s: 0.1,
+                min_examples: 6,
+                ..UpdateConfig::default()
+            }),
+            ..CloudSpec::default()
+        },
+        ..small_fleet(edges, frames)
+    }
+}
+
+/// Calibration updates ride the wire: a session over loopback TCP must
+/// stash and apply the same artifacts at the same frames as the
+/// historical channel path — the pushed `tag::UPDATE` frames are part of
+/// the conformance surface, not an out-of-band extra.
+#[test]
+fn calibration_updates_over_tcp_match_channel_path() {
+    let spec = update_fleet(1, 30);
+    let (want, want_stats) = run_channel_single(&spec);
+    let (got, got_stats) = run_tcp_single(&spec);
+    assert!(
+        want.updates_applied >= 1,
+        "workload must actually exercise the update loop"
+    );
+    assert!(want.calibration_version >= 1);
+    assert_eq!(got, want, "update-enabled TCP session diverged");
+    assert_eq!(got_stats.updates_published, want_stats.updates_published);
+    assert_eq!(
+        got_stats.calibration_version,
+        want_stats.calibration_version
+    );
+}
+
+/// Fleet-wide rollout convergence: the serve path runs one cloud worker
+/// (and hence one update publisher) per connection, so convergence means
+/// every session ended on the newest version any publisher reached —
+/// exactly what `DeploymentReport::calibration_converged` (and the
+/// orchestrator's `--assert-converged`) checks across the merged report.
+#[test]
+fn fleet_calibration_rollout_converges_in_memory() {
+    let spec = update_fleet(3, 30);
+    let report = run_fleet_in_memory(&spec);
+    let newest = report
+        .calibration_converged()
+        .unwrap_or_else(|laggards| panic!("sessions lagged the newest calibration: {laggards:?}"));
+    assert!(newest >= 1, "at least one refit must have rolled out");
+    // Per-connection publishers: each of the three sessions' clouds walks
+    // the same deterministic epoch cadence, and the merged node stats sum
+    // their publish counts.
+    assert_eq!(
+        report.cloud.cloud.updates_published,
+        newest * report.sessions.len() as u64
+    );
+    for s in &report.sessions {
+        assert!(
+            s.updates_applied >= 1,
+            "session {} never applied",
+            s.session
+        );
+        assert_eq!(s.calibration_version, newest);
+        assert_eq!(s.rollbacks, 0);
     }
 }
 
